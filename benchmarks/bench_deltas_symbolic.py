@@ -1,0 +1,95 @@
+"""E3 — symbolic artifacts: Example 1.1 closed forms, the §6 condition truth table,
+and the Example 6.5 degree chain.
+
+These are the paper's remaining "figures": purely symbolic computations whose
+outputs are asserted exactly; the benchmark times the symbolic pipeline
+(delta construction + simplification), which is the compile-time cost of the
+approach.
+"""
+
+import pytest
+
+from repro.algebra.polynomials import square_polynomial
+from repro.core.ast import Compare, Const, Var
+from repro.core.degree import degree
+from repro.core.delta import UpdateEvent, delta
+from repro.core.parser import parse
+from repro.core.semantics import evaluate
+from repro.core.simplify import simplify
+from repro.gmr.database import Database
+from repro.gmr.records import EMPTY_RECORD, Record
+
+
+def test_example_1_1_closed_forms(benchmark):
+    """∆f = 2u₁x + u₁², ∆²f = 2u₁u₂, ∆³f = 0 for f(x) = x²."""
+
+    def derive():
+        f = square_polynomial()
+        return f.delta(3), f.delta(3).delta(-2), f.delta(3).delta(-2).delta(5)
+
+    first, second, third = benchmark(derive)
+    assert first.coefficients == (9, 6)  # u₁² + 2u₁x with u₁ = 3
+    assert second.coefficients == (-12,)  # 2·3·(−2)
+    assert third.is_zero()
+
+
+def test_condition_delta_truth_table(benchmark):
+    """The (new ∧ ¬old) − (old ∧ ¬new) truth table of the §6 condition rule."""
+    db = Database({"R": ("A",)})
+    # Condition (Sum(R(x)) >= t) where t makes it flip; the delta is evaluated
+    # for the four old/new combinations by choosing thresholds around count=1.
+    event = UpdateEvent(1, "R", (Const(0),))
+
+    def table():
+        rows = []
+        for threshold, old_expected, new_expected in [(1, False, True), (0, True, True), (2, False, False)]:
+            condition = Compare(parse("Sum(R(x))"), ">=", Const(threshold))
+            change = evaluate(delta(condition, event), db)[EMPTY_RECORD]
+            rows.append((old_expected, new_expected, change))
+        # Deletion flips a previously-true condition back to false.
+        falling = Compare(parse("Sum(R(x))"), ">=", Const(1))
+        populated = Database({"R": ("A",)})
+        populated.load("R", [(0,)])
+        falling_change = evaluate(delta(falling, UpdateEvent(-1, "R", (Const(0),))), populated)[
+            EMPTY_RECORD
+        ]
+        rows.append((True, False, falling_change))
+        return rows
+
+    rows = benchmark(table)
+    # (old, new) -> ∆ must be: (0,1) -> +1, (1,1) -> 0, (0,0) -> 0, (1,0) -> -1.
+    assert rows[0] == (False, True, 1)
+    assert rows[1] == (True, True, 0)
+    assert rows[2] == (False, False, 0)
+    assert rows[3] == (True, False, -1)
+
+
+def test_example_6_5_degree_chain(benchmark):
+    """deg q = 2, deg ∆q = 1, deg ∆²q = 0 and the second delta is database-independent."""
+    query = parse("AggSum([c], C(c, n) * C(c2, n2) * (n = n2))")
+
+    def derive():
+        first_event = UpdateEvent.symbolic(1, "C", 2, prefix="__u1")
+        second_event = UpdateEvent.symbolic(1, "C", 2, prefix="__u2")
+        first = simplify(
+            delta(query, first_event),
+            bound_vars=first_event.argument_names,
+            needed_vars=set(first_event.argument_names) | {"c"},
+        )
+        second = simplify(
+            delta(first, second_event),
+            bound_vars=first_event.argument_names + second_event.argument_names,
+            needed_vars=set(first_event.argument_names + second_event.argument_names) | {"c"},
+        )
+        return first, second
+
+    first, second = benchmark(derive)
+    assert degree(query) == 2
+    assert degree(first) == 1
+    assert degree(second) == 0
+    # The second delta mentions no relation: its value is the same on any database.
+    empty = Database({"C": ("cid", "nation")})
+    populated = Database({"C": ("cid", "nation")})
+    populated.load("C", [(1, "FR"), (2, "FR"), (3, "JP")])
+    bindings = Record.of(__u1_C_0=9, __u1_C_1="FR", __u2_C_0=8, __u2_C_1="FR", c=9)
+    assert evaluate(second, empty, bindings) == evaluate(second, populated, bindings)

@@ -1,0 +1,73 @@
+"""E2 — the Example 1.2 table: the self-join count under the paper's 8-step update trace.
+
+Checks that the maintained Q(R) and the first-delta view reproduce the
+printed table exactly, and benchmarks replaying the trace (plus a longer
+synthetic continuation) through the compiled triggers.
+"""
+
+import pytest
+
+from repro.compiler.compile import compile_query
+from repro.compiler.runtime import TriggerRuntime
+from repro.core.parser import parse
+from repro.gmr.database import delete, insert
+from repro.workloads.schemas import UNARY_SCHEMA
+from repro.workloads.streams import StreamGenerator
+
+QUERY = parse("Sum(R(x) * R(y) * (x = y))")
+
+#: (update, expected Q, expected ∆Q(+R(c)), ∆Q(-R(c)), ∆Q(+R(d)), ∆Q(-R(d)))
+#: — the columns of the Example 1.2 table.
+PAPER_TRACE = [
+    (insert("R", "c"), 1, 3, -1, 1, 1),
+    (insert("R", "c"), 4, 5, -3, 1, 1),
+    (insert("R", "d"), 5, 5, -3, 3, -1),
+    (insert("R", "c"), 10, 7, -5, 3, -1),
+    (delete("R", "d"), 9, 7, -5, 1, 1),
+    (insert("R", "c"), 16, 9, -7, 1, 1),
+    (delete("R", "c"), 9, 7, -5, 1, 1),
+]
+
+
+def delta_value(runtime, auxiliary, sign, value):
+    """∆Q(±R(a)) = 1 ± 2·count(A = a), read off the maintained first-delta view."""
+    return 1 + sign * 2 * runtime.lookup(auxiliary, value)
+
+
+def test_example_1_2_table(benchmark):
+    program = compile_query(QUERY, UNARY_SCHEMA, name="q")
+
+    def replay():
+        runtime = TriggerRuntime(program)
+        observed = []
+        [auxiliary] = [name for name in program.maps if name != "q"]
+        for update, *_ in PAPER_TRACE:
+            runtime.apply(update)
+            observed.append(
+                (
+                    runtime.result(),
+                    delta_value(runtime, auxiliary, +1, "c"),
+                    delta_value(runtime, auxiliary, -1, "c"),
+                    delta_value(runtime, auxiliary, +1, "d"),
+                    delta_value(runtime, auxiliary, -1, "d"),
+                )
+            )
+        return observed
+
+    observed = benchmark(replay)
+    expected = [tuple(row[1:]) for row in PAPER_TRACE]
+    assert observed == expected
+
+
+@pytest.mark.parametrize("length", [2000])
+def test_long_trace_throughput(benchmark, length):
+    """Throughput of the compiled triggers on a long continuation of the same workload."""
+    program = compile_query(QUERY, UNARY_SCHEMA, name="q")
+    stream = StreamGenerator(UNARY_SCHEMA, seed=12, default_domain_size=26).generate(length)
+
+    def replay():
+        runtime = TriggerRuntime(program)
+        runtime.apply_all(stream.updates)
+        return runtime.result()
+
+    benchmark(replay)

@@ -1,0 +1,57 @@
+"""E1 — Figure 1: recursive memoization of deltas for f(x) = x².
+
+Regenerates the seven memoized values for x = -2..4 (checked against the
+paper's closed forms) and benchmarks the constant-work update rule against
+re-evaluating the polynomial from scratch.
+"""
+
+import pytest
+
+from repro.algebra.polynomials import square_polynomial
+from repro.core.recursive_delta import PolynomialFunction, RecursiveDeltaMemo, figure1_rows
+
+
+def test_figure1_table_matches_closed_forms(benchmark):
+    """Regenerate the Figure 1 table (and time how long the regeneration takes)."""
+    rows = benchmark(figure1_rows)
+    square = square_polynomial()
+    assert [row["x"] for row in rows] == list(range(-2, 5))
+    for row in rows:
+        x = row["x"]
+        assert row["f(x)"] == x * x
+        assert row["df(x,+1)"] == 2 * x + 1
+        assert row["df(x,-1)"] == -2 * x + 1
+        assert row["d2f(x,+1,+1)"] == 2
+        assert row["d2f(x,+1,-1)"] == -2
+
+
+@pytest.mark.parametrize("steps", [1000])
+def test_memoized_updates(benchmark, steps):
+    """Per-update work of the memoized scheme: additions only, independent of x."""
+    memo = RecursiveDeltaMemo(PolynomialFunction(square_polynomial()), (-1, +1), initial_point=0)
+    updates = [(+1 if i % 3 else -1) for i in range(steps)]
+
+    def run():
+        for update in updates:
+            memo.apply(update)
+        return memo.value()
+
+    result = benchmark(run)
+    assert result == memo.point**2
+
+
+@pytest.mark.parametrize("steps", [1000])
+def test_reevaluation_baseline(benchmark, steps):
+    """Baseline: evaluate f(x) from its definition after every update."""
+    square = square_polynomial()
+    updates = [(+1 if i % 3 else -1) for i in range(steps)]
+
+    def run():
+        point = 0
+        value = square(point)
+        for update in updates:
+            point += update
+            value = square(point)
+        return value
+
+    benchmark(run)

@@ -1,0 +1,56 @@
+"""E8 — micro-benchmark of the ring operations on generalized multiset relations.
+
+Confirms the cost model behind the engine comparison: ``+`` is linear in the
+operand supports, ``*`` is the join convolution (output-size bound), and the
+additive inverse is linear.  These are the primitives every engine is built
+from, so their absolute cost anchors the end-to-end numbers.
+"""
+
+import pytest
+
+from repro.gmr.records import Record
+from repro.gmr.relation import GMR
+
+SIZES = [100, 1000]
+
+
+def uniform_relation(size, columns=("A", "B"), offset=0, fanout=1):
+    rows = {}
+    for index in range(size):
+        rows[Record.from_values(columns, (index // fanout + offset, index))] = 1
+    return GMR(rows)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_addition(benchmark, size):
+    benchmark.group = f"E8 gmr ops, n={size}"
+    left = uniform_relation(size)
+    right = uniform_relation(size, offset=size // 2)
+    result = benchmark(lambda: left + right)
+    assert len(result) == 2 * size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_negation(benchmark, size):
+    benchmark.group = f"E8 gmr ops, n={size}"
+    relation = uniform_relation(size)
+    result = benchmark(lambda: -relation)
+    assert len(result) == size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_join_convolution(benchmark, size):
+    benchmark.group = f"E8 gmr ops, n={size}"
+    left = uniform_relation(size, columns=("A", "B"))
+    right = uniform_relation(size, columns=("B", "C"))
+    result = benchmark(lambda: left * right)
+    # Key B is unique on both sides, so the equi-join has at most `size` results.
+    assert len(result) <= size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scalar_aggregation(benchmark, size):
+    benchmark.group = f"E8 gmr ops, n={size}"
+    relation = uniform_relation(size)
+    total = benchmark(relation.total)
+    assert total == size

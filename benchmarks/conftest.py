@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness (pytest-benchmark based).
+
+Each ``bench_*.py`` file regenerates one experiment of DESIGN.md's experiment
+index (E1–E8).  The timing numbers come from pytest-benchmark; the qualitative
+tables (who wins, by what factor, where the paper's worked examples land) are
+printed to stdout and also regenerated offline by
+``benchmarks/run_experiments.py``, which is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.streams import StreamGenerator
+
+
+def build_engine_with_warmup(engine_factory, query, schema, warmup_size, seed=0):
+    """Create an engine and feed it an insert-only warm-up stream of the given size."""
+    engine = engine_factory(query, schema)
+    generator = StreamGenerator(schema, seed=seed, default_domain_size=max(10, warmup_size // 10))
+    warmup = generator.generate_inserts(warmup_size)
+    engine.apply_all(warmup.updates)
+    return engine, generator
+
+
+@pytest.fixture(scope="session")
+def print_section():
+    """Print a section header that survives pytest's output capturing with -s."""
+
+    def _print(title: str) -> None:
+        print("\n" + "=" * 72)
+        print(title)
+        print("=" * 72)
+
+    return _print

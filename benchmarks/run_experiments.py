@@ -1,0 +1,270 @@
+"""Regenerate every experiment table of DESIGN.md (E1–E8) and print them.
+
+This is the offline companion of the pytest-benchmark files: it produces the
+qualitative tables (who wins, by what factor, where the paper's worked
+examples land) that EXPERIMENTS.md records.  Run with:
+
+    python benchmarks/run_experiments.py            # everything
+    python benchmarks/run_experiments.py E2 E4      # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.analysis.reporting import Table, scaling_exponent
+from repro.compiler.compile import compile_query
+from repro.compiler.cost import CountingSemiring
+from repro.compiler.runtime import TriggerRuntime
+from repro.core.degree import degree
+from repro.core.delta import UpdateEvent, delta
+from repro.core.parser import parse, to_string
+from repro.core.recursive_delta import figure1_rows
+from repro.core.simplify import simplify
+from repro.gmr.database import delete, insert
+from repro.ivm.classical import ClassicalIVM
+from repro.ivm.naive import NaiveReevaluation
+from repro.ivm.recursive import RecursiveIVM
+from repro.workloads.queries import chain_count_query, query_by_name
+from repro.workloads.schemas import RST_SCHEMA, UNARY_SCHEMA
+from repro.workloads.streams import StreamGenerator
+from repro.workloads.tpch_like import SalesStreamGenerator
+
+SELFJOIN = parse("Sum(R(x) * R(y) * (x = y))")
+
+
+def _header(title: str) -> None:
+    print("\n" + "=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def experiment_e1() -> None:
+    _header("E1  Figure 1: memoized deltas of f(x) = x²")
+    rows = figure1_rows()
+    headers = list(rows[0].keys())
+    table = Table(headers)
+    for row in rows:
+        table.add_row(*[row[column] for column in headers])
+    print(table.render())
+
+
+def experiment_e2() -> None:
+    _header("E2  Example 1.2: update trace of the self-join count")
+    program = compile_query(SELFJOIN, UNARY_SCHEMA, name="q")
+    runtime = TriggerRuntime(program)
+    [auxiliary] = [name for name in program.maps if name != "q"]
+    trace = [insert("R", "c"), insert("R", "c"), insert("R", "d"), insert("R", "c"),
+             delete("R", "d"), insert("R", "c"), delete("R", "c")]
+    table = Table(["update", "Q(R)", "dQ(+R(c))", "dQ(-R(c))", "dQ(+R(d))", "dQ(-R(d))"])
+    table.add_row("(empty)", 0, 1, 1, 1, 1)
+    for update in trace:
+        runtime.apply(update)
+        count_c = runtime.lookup(auxiliary, "c")
+        count_d = runtime.lookup(auxiliary, "d")
+        table.add_row(
+            str(update), runtime.result(),
+            1 + 2 * count_c, 1 - 2 * count_c, 1 + 2 * count_d, 1 - 2 * count_d,
+        )
+    print(table.render())
+
+
+def experiment_e3() -> None:
+    _header("E3  Symbolic deltas: Example 6.5 degree chain and the condition truth table")
+    query = parse("AggSum([c], C(c, n) * C(c2, n2) * (n = n2))")
+    event1 = UpdateEvent.symbolic(1, "C", 2, prefix="__u1")
+    event2 = UpdateEvent.symbolic(1, "C", 2, prefix="__u2")
+    first = simplify(delta(query, event1), bound_vars=event1.argument_names,
+                     needed_vars=set(event1.argument_names) | {"c"})
+    second = simplify(delta(first, event2),
+                      bound_vars=event1.argument_names + event2.argument_names,
+                      needed_vars=set(event1.argument_names + event2.argument_names) | {"c"})
+    table = Table(["expression", "degree", "text"])
+    table.add_row("q", degree(query), to_string(query))
+    table.add_row("delta q", degree(first), to_string(first))
+    table.add_row("delta^2 q", degree(second), to_string(second))
+    print(table.render())
+    truth = Table(["old", "new", "delta of condition"])
+    for old, new in [(1, 1), (1, 0), (0, 1), (0, 0)]:
+        truth.add_row(old, new, new - old)
+    print()
+    print(truth.render())
+
+
+def _per_update_seconds(engine, updates) -> float:
+    started = time.perf_counter()
+    for update in updates:
+        engine.apply(update)
+    return (time.perf_counter() - started) / len(updates)
+
+
+def experiment_e4(sizes=(100, 300, 1000, 3000), measured_updates=100) -> None:
+    _header("E4  Per-update cost vs database size (self-join count)")
+    table = Table(
+        ["N (tuples)", "recursive (µs)", "recursive ops", "classical (µs)", "naive (µs)"]
+    )
+    recursive_costs, classical_costs, naive_costs = [], [], []
+    for size in sizes:
+        domain = max(20, size // 20)
+        generator = StreamGenerator(UNARY_SCHEMA, seed=size, default_domain_size=domain)
+        warmup = generator.generate_inserts(size).updates
+        measured = generator.generate(measured_updates).updates
+        # Baselines are bootstrapped from the warm database directly (warming
+        # them up through their own update path would itself cost O(N²+)).
+        from repro.gmr.database import Database
+
+        warm_db = Database(UNARY_SCHEMA)
+        warm_db.apply_all(warmup)
+
+        counting = CountingSemiring()
+        recursive = RecursiveIVM(SELFJOIN, UNARY_SCHEMA, ring=counting)
+        recursive.apply_all(warmup)
+        counting.counter.reset()
+        recursive_seconds = _per_update_seconds(recursive, measured)
+        recursive_ops = counting.counter.total / len(measured)
+
+        classical = ClassicalIVM(SELFJOIN, UNARY_SCHEMA)
+        classical.bootstrap(warm_db)
+        classical_seconds = _per_update_seconds(classical, measured)
+
+        naive = NaiveReevaluation(SELFJOIN, UNARY_SCHEMA)
+        naive.bootstrap(warm_db)
+        naive_seconds = _per_update_seconds(naive, measured[:5])
+
+        recursive_costs.append(recursive_seconds)
+        classical_costs.append(classical_seconds)
+        naive_costs.append(naive_seconds)
+        table.add_row(
+            size,
+            recursive_seconds * 1e6,
+            recursive_ops,
+            classical_seconds * 1e6,
+            naive_seconds * 1e6,
+        )
+    print(table.render())
+    print(
+        "log-log scaling exponents (0 = size-independent): "
+        f"recursive {scaling_exponent(sizes, recursive_costs):.2f}, "
+        f"classical {scaling_exponent(sizes, classical_costs):.2f}, "
+        f"naive {scaling_exponent(sizes, naive_costs):.2f}"
+    )
+
+
+def experiment_e5(domains=(50, 100, 200, 400)) -> None:
+    _header("E5  Factorization (Example 1.3): auxiliary view sizes and per-update time")
+    query = query_by_name("join_sum_product").expr
+    program = compile_query(query, RST_SCHEMA, name="q")
+    trigger = program.trigger_for("S", 1)
+    [q_statement] = [s for s in trigger.statements if s.target == "q"]
+    factor_views = q_statement.maps_read()
+    print("On +S the result is maintained as:", q_statement.describe())
+    table = Table(
+        ["active domain", "view entries (factorized)", "domain² (unfactorized bound)",
+         "recursive µs/update", "classical µs/update"]
+    )
+    for domain in domains:
+        generator = StreamGenerator(RST_SCHEMA, seed=domain, default_domain_size=domain)
+        warmup = generator.generate_inserts(4 * domain).updates
+        measured = generator.generate(100, relations=["S"]).updates
+
+        runtime = TriggerRuntime(program)
+        runtime.apply_all(warmup)
+        started = time.perf_counter()
+        runtime.apply_all(measured)
+        recursive_us = (time.perf_counter() - started) / len(measured) * 1e6
+        view_entries = sum(runtime.map_sizes()[name] for name in factor_views)
+
+        from repro.gmr.database import Database
+
+        warm_db = Database(RST_SCHEMA)
+        warm_db.apply_all(warmup)
+        classical = ClassicalIVM(query, RST_SCHEMA)
+        classical.bootstrap(warm_db)
+        classical_us = _per_update_seconds(classical, measured[:30]) * 1e6
+
+        table.add_row(domain, view_entries, domain * domain, recursive_us, classical_us)
+    print(table.render())
+
+
+def experiment_e6(degrees=(1, 2, 3, 4), warm=400) -> None:
+    _header("E6  Degree scaling: hierarchy size and per-update cost for chain-join counts")
+    table = Table(["degree k", "maps", "max level", "statements", "µs/update (N=%d)" % warm])
+    for degree_k in degrees:
+        query = chain_count_query(degree_k)
+        engine = RecursiveIVM(query.expr, query.schema, backend="generated")
+        generator = StreamGenerator(query.schema, seed=degree_k, default_domain_size=8)
+        engine.apply_all(generator.generate_inserts(warm).updates)
+        measured = generator.generate(100).updates
+        seconds = _per_update_seconds(engine, measured)
+        program = engine.program
+        table.add_row(
+            degree_k,
+            len(program.maps),
+            max(definition.level for definition in program.maps.values()),
+            program.statement_count(),
+            seconds * 1e6,
+        )
+    print(table.render())
+
+
+def experiment_e7(orders=250) -> None:
+    _header("E7  TPC-H-like sales stream: revenue per nation, updates/second")
+    query = query_by_name("revenue_per_nation")
+    table = Table(["engine", "updates", "seconds", "updates/s"])
+    reference = None
+    for name, factory, scale in [
+        ("recursive (generated)", lambda: RecursiveIVM(query.expr, query.schema, backend="generated"), 1.0),
+        ("recursive (interpreted)", lambda: RecursiveIVM(query.expr, query.schema), 1.0),
+        ("classical", lambda: ClassicalIVM(query.expr, query.schema), 0.1),
+        ("naive", lambda: NaiveReevaluation(query.expr, query.schema), 0.02),
+    ]:
+        stream = SalesStreamGenerator(customers=40, seed=7).generate(max(5, int(orders * scale)))
+        engine = factory()
+        started = time.perf_counter()
+        engine.apply_all(stream.updates)
+        elapsed = time.perf_counter() - started
+        table.add_row(name, len(stream), elapsed, len(stream) / elapsed)
+        if scale == 1.0 and reference is None:
+            reference = engine.result()
+    print(table.render())
+
+
+def experiment_e8(sizes=(100, 1000, 5000)) -> None:
+    _header("E8  gmr ring operation micro-benchmark")
+    from repro.gmr.records import Record
+    from repro.gmr.relation import GMR
+
+    table = Table(["n", "add (ms)", "neg (ms)", "join (ms)", "total (ms)"])
+    for size in sizes:
+        left = GMR({Record.of(A=i, B=i): 1 for i in range(size)})
+        right = GMR({Record.of(B=i, C=i): 1 for i in range(size)})
+        timings = []
+        for operation in (lambda: left + left, lambda: -left, lambda: left * right, left.total):
+            started = time.perf_counter()
+            operation()
+            timings.append((time.perf_counter() - started) * 1e3)
+        table.add_row(size, *timings)
+    print(table.render())
+
+
+EXPERIMENTS = {
+    "E1": experiment_e1,
+    "E2": experiment_e2,
+    "E3": experiment_e3,
+    "E4": experiment_e4,
+    "E5": experiment_e5,
+    "E6": experiment_e6,
+    "E7": experiment_e7,
+    "E8": experiment_e8,
+}
+
+
+def main(argv) -> None:
+    selected = [name.upper() for name in argv] or list(EXPERIMENTS)
+    for name in selected:
+        EXPERIMENTS[name]()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,47 @@
+"""Reproduce Figure 1 of the paper: recursive memoization of deltas for f(x) = x².
+
+The seven memoized values (f, the two first deltas, the four second deltas)
+are shown for x = -2 .. 4, and then a random walk over x demonstrates that the
+maintained value always equals x² while only additions of memoized values are
+performed.
+
+Run with:  python examples/polynomial_memoization.py
+"""
+
+import random
+
+from repro.algebra.polynomials import square_polynomial
+from repro.analysis.reporting import Table
+from repro.core.recursive_delta import PolynomialFunction, RecursiveDeltaMemo, figure1_rows
+
+
+def print_figure_1() -> None:
+    rows = figure1_rows()
+    headers = list(rows[0].keys())
+    table = Table(headers, title="Figure 1: memoized deltas of f(x) = x², U = {+1, -1}")
+    for row in rows:
+        table.add_row(*[row[column] for column in headers])
+    print(table.render())
+
+
+def random_walk(steps: int = 20, seed: int = 7) -> None:
+    rng = random.Random(seed)
+    square = square_polynomial()
+    memo = RecursiveDeltaMemo(PolynomialFunction(square), updates=(-1, +1), initial_point=0)
+    print("\nRandom walk maintained with additions only:")
+    print(f"{'step':>4}  {'u':>3}  {'x':>4}  {'memoized f(x)':>14}  {'x² (check)':>10}")
+    for step in range(steps):
+        update = rng.choice((-1, +1))
+        memo.apply(update)
+        assert memo.value() == square(memo.point)
+        print(f"{step:>4}  {update:+3d}  {memo.point:>4}  {memo.value():>14}  {square(memo.point):>10}")
+    print(
+        f"\n{memo.additions_performed} additions performed for {steps} updates "
+        f"({memo.memo_size} memoized values; the polynomial was evaluated "
+        f"{memo.initial_evaluations} times, only at initialization)."
+    )
+
+
+if __name__ == "__main__":
+    print_figure_1()
+    random_walk()

@@ -1,0 +1,89 @@
+"""Per-customer 'same nation' analytics (Examples 5.2 / 6.2 / 6.5 of the paper).
+
+The query asks, for each customer, how many customers share their nation —
+a self-join with group-by.  The example shows the symbolic machinery (the
+delta, the second delta and their degrees) and then maintains the query over
+a churn stream of registrations and departures, cross-checking the recursive
+engine against full re-evaluation.
+
+Run with:  python examples/social_analytics.py
+"""
+
+import random
+
+from repro import (
+    NaiveReevaluation,
+    RecursiveIVM,
+    UpdateEvent,
+    degree,
+    delta,
+    insert,
+    delete,
+    parse,
+    simplify,
+    to_string,
+)
+
+SCHEMA = {"C": ("cid", "nation")}
+QUERY_TEXT = "AggSum([c], C(c, n) * C(c2, n2) * (n = n2))"
+NATIONS = ["FRANCE", "GERMANY", "JAPAN", "BRAZIL"]
+
+
+def show_symbolic_deltas() -> None:
+    query = parse(QUERY_TEXT)
+    print("Query           :", to_string(query), f"(degree {degree(query)})")
+    event1 = UpdateEvent.symbolic(1, "C", 2, prefix="__u1")
+    first = simplify(delta(query, event1), bound_vars=event1.argument_names,
+                     needed_vars=set(event1.argument_names) | {"c"})
+    print("First delta     :", to_string(first), f"(degree {degree(first)})")
+    event2 = UpdateEvent.symbolic(1, "C", 2, prefix="__u2")
+    second = simplify(delta(first, event2),
+                      bound_vars=event1.argument_names + event2.argument_names,
+                      needed_vars=set(event1.argument_names + event2.argument_names) | {"c"})
+    print("Second delta    :", to_string(second), f"(degree {degree(second)})")
+    print("The second delta no longer mentions C: it is a pure function of the updates.\n")
+
+
+def run_churn_stream(members: int = 40, steps: int = 300, seed: int = 3) -> None:
+    query = parse(QUERY_TEXT)
+    incremental = RecursiveIVM(query, SCHEMA, backend="generated")
+    reference = NaiveReevaluation(query, SCHEMA)
+
+    rng = random.Random(seed)
+    population = {}
+    next_cid = 0
+    for _ in range(steps):
+        if population and rng.random() < 0.35:
+            cid = rng.choice(list(population))
+            update = delete("C", cid, population.pop(cid))
+        else:
+            nation = rng.choice(NATIONS)
+            population[next_cid] = nation
+            update = insert("C", next_cid, nation)
+            next_cid += 1
+        incremental.apply(update)
+        reference.apply(update)
+
+    assert incremental.result() == reference.result()
+    by_nation = {}
+    for cid, nation in population.items():
+        by_nation.setdefault(nation, []).append(cid)
+    print(f"After {steps} updates, {len(population)} customers remain:")
+    for nation, members_of_nation in sorted(by_nation.items()):
+        sample = members_of_nation[0]
+        maintained = incremental.result()[(sample,)]
+        print(
+            f"  {nation:<8} {len(members_of_nation):>3} customers; "
+            f"maintained same-nation count for customer {sample}: {maintained}"
+        )
+    spent = incremental.statistics.seconds_per_update() * 1e6
+    spent_reference = reference.statistics.seconds_per_update() * 1e6
+    print(
+        f"\nPer-update time: recursive {spent:.1f} µs vs naive re-evaluation "
+        f"{spent_reference:.1f} µs on this stream."
+    )
+
+
+if __name__ == "__main__":
+    show_symbolic_deltas()
+    run_churn_stream()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so the
+package can be installed in environments without the ``wheel`` package (PEP
+660 editable installs require it), via ``python setup.py develop`` or
+``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

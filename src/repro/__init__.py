@@ -1,0 +1,81 @@
+"""repro — reproduction of "Incremental Query Evaluation in a Ring of Databases".
+
+Public API re-exports live here; see README.md for a quickstart.
+"""
+
+__version__ = "1.0.0"
+
+from repro.gmr import GMR, PGMR, Database, Record, Update, delete, insert
+from repro.core import (
+    AggSum,
+    Assign,
+    Compare,
+    Const,
+    MapRef,
+    Mul,
+    Neg,
+    Rel,
+    Sum,
+    Var,
+    UpdateEvent,
+    degree,
+    delta,
+    delta_for_update,
+    evaluate,
+    meaning,
+    parse,
+    simplify,
+    to_string,
+)
+
+from repro.compiler import Compiler, TriggerRuntime, compile_query, generate_python
+from repro.ivm import (
+    ClassicalIVM,
+    NaiveReevaluation,
+    RecursiveIVM,
+    cross_validate,
+    measure_engines,
+    results_agree,
+)
+from repro.sql import sql_to_agca
+
+__all__ = [
+    "__version__",
+    "GMR",
+    "PGMR",
+    "Database",
+    "Record",
+    "Update",
+    "insert",
+    "delete",
+    "AggSum",
+    "Assign",
+    "Compare",
+    "Const",
+    "MapRef",
+    "Mul",
+    "Neg",
+    "Rel",
+    "Sum",
+    "Var",
+    "UpdateEvent",
+    "degree",
+    "delta",
+    "delta_for_update",
+    "evaluate",
+    "meaning",
+    "parse",
+    "simplify",
+    "to_string",
+    "Compiler",
+    "TriggerRuntime",
+    "compile_query",
+    "generate_python",
+    "RecursiveIVM",
+    "ClassicalIVM",
+    "NaiveReevaluation",
+    "cross_validate",
+    "measure_engines",
+    "results_agree",
+    "sql_to_agca",
+]

@@ -1,0 +1,56 @@
+"""Abstract-algebra substrate for the ring-of-databases reproduction.
+
+This package implements Section 2 of Koch (PODS 2010): basic algebraic
+structures and axiom verifiers, monoid (semi)rings ``A[G]``, avalanche
+(semi)rings ``=>A[G]``, the "mutilation" (quotient) construction for
+downward-closed subsets of the monoid, and the polynomial ring used by the
+recursive-delta warm-up example (Figure 1).
+
+Everything in :mod:`repro.gmr` (the ring of databases) is an instance of the
+generic constructions provided here; the generic versions are kept because the
+paper's proofs are stated at this level of generality, and our property-based
+tests exercise the axioms against several carrier structures.
+"""
+
+from repro.algebra.semirings import (
+    BooleanSemiring,
+    FloatField,
+    IntegerRing,
+    MaxPlusSemiring,
+    MinPlusSemiring,
+    NaturalSemiring,
+    RationalField,
+    Semiring,
+)
+from repro.algebra.structures import (
+    FunctionMonoid,
+    Monoid,
+    ProductMonoid,
+    TupleConcatMonoid,
+)
+from repro.algebra.monoid_ring import MonoidRing, MonoidRingElement
+from repro.algebra.avalanche import AvalancheRing, AvalancheElement
+from repro.algebra.quotient import MutilatedMonoidRing, is_downward_closed
+from repro.algebra.polynomials import Polynomial
+
+__all__ = [
+    "Semiring",
+    "IntegerRing",
+    "RationalField",
+    "FloatField",
+    "BooleanSemiring",
+    "NaturalSemiring",
+    "MinPlusSemiring",
+    "MaxPlusSemiring",
+    "Monoid",
+    "ProductMonoid",
+    "TupleConcatMonoid",
+    "FunctionMonoid",
+    "MonoidRing",
+    "MonoidRingElement",
+    "AvalancheRing",
+    "AvalancheElement",
+    "MutilatedMonoidRing",
+    "is_downward_closed",
+    "Polynomial",
+]

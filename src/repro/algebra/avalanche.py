@@ -1,0 +1,124 @@
+"""Avalanche (semi)rings ``=>A[G]`` (Definition 2.5 / Theorem 2.6).
+
+An avalanche element is a function ``G -> A[G]``; addition is pointwise and
+multiplication threads the "binding" argument sideways:
+
+    (f * g)(b)(x) = sum over x = y *_G z of f(b)(y) *_A g(b *_G y)(z).
+
+This is the structure that algebraizes sideways binding passing in query
+languages; the AGCA evaluator (:mod:`repro.core.semantics`) is an avalanche
+computation over the singleton-join monoid, specialized for speed.  The
+generic construction here exists so that the paper's Theorems 2.6 / 2.8 can be
+tested directly (the sub-ring of constant functions is isomorphic to A[G],
+associativity and distributivity hold, ...).
+
+Elements are lazy (wrapped callables); equality is extensional and can only be
+checked on a caller-supplied finite probe set of binding/monoid elements,
+which is what the property tests do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from repro.algebra.monoid_ring import MonoidRing, MonoidRingElement
+from repro.algebra.quotient import MutilatedMonoidRing
+
+
+class AvalancheElement:
+    """A function ``G -> A[G]`` belonging to an :class:`AvalancheRing`."""
+
+    __slots__ = ("ring", "_function")
+
+    def __init__(self, ring: "AvalancheRing", function: Callable[[Any], MonoidRingElement]):
+        self.ring = ring
+        self._function = function
+
+    def __call__(self, binding: Any) -> MonoidRingElement:
+        return self._function(binding)
+
+    def __add__(self, other: "AvalancheElement") -> "AvalancheElement":
+        return self.ring.add(self, other)
+
+    def __mul__(self, other: "AvalancheElement") -> "AvalancheElement":
+        return self.ring.mul(self, other)
+
+    def __neg__(self) -> "AvalancheElement":
+        return self.ring.neg(self)
+
+    def __sub__(self, other: "AvalancheElement") -> "AvalancheElement":
+        return self.ring.add(self, self.ring.neg(other))
+
+    def equals_on(self, other: "AvalancheElement", probes: Iterable[Any]) -> bool:
+        """Extensional equality restricted to the given probe bindings."""
+        return all(self(probe) == other(probe) for probe in probes)
+
+
+class AvalancheRing:
+    """The avalanche (semi)ring ``=>A[G]`` built on top of a monoid ring ``A[G]``."""
+
+    def __init__(self, base: MonoidRing, name: Optional[str] = None):
+        self.base = base
+        self.coefficients = base.coefficients
+        self.monoid = base.monoid
+        self.name = name or f"=>{base.name}"
+
+    # -- constructors --------------------------------------------------------
+
+    def element(self, function: Callable[[Any], MonoidRingElement]) -> AvalancheElement:
+        """Wrap an arbitrary function ``G -> A[G]``."""
+        return AvalancheElement(self, function)
+
+    def lift(self, value: MonoidRingElement) -> AvalancheElement:
+        """The embedding of A[G] as the sub-ring of constant functions (Prop. 2.8)."""
+        return AvalancheElement(self, lambda _binding: value)
+
+    def zero(self) -> AvalancheElement:
+        return self.lift(self.base.zero())
+
+    def one(self) -> AvalancheElement:
+        return self.lift(self.base.one())
+
+    # -- operations (Definition 2.5) -------------------------------------------
+
+    def add(self, left: AvalancheElement, right: AvalancheElement) -> AvalancheElement:
+        base = self.base
+        return AvalancheElement(self, lambda binding: base.add(left(binding), right(binding)))
+
+    def neg(self, element: AvalancheElement) -> AvalancheElement:
+        base = self.base
+        return AvalancheElement(self, lambda binding: base.neg(element(binding)))
+
+    def mul(self, left: AvalancheElement, right: AvalancheElement) -> AvalancheElement:
+        """Sideways-binding convolution."""
+        base = self.base
+        monoid = self.monoid
+        coefficients = self.coefficients
+        restricted = isinstance(base, MutilatedMonoidRing)
+
+        def product(binding: Any) -> MonoidRingElement:
+            accumulator = {}
+            left_value = left(binding)
+            for left_basis, left_coefficient in left_value.items():
+                extended_binding = monoid.op(binding, left_basis)
+                if restricted and not base.membership(extended_binding):
+                    # b * y must stay inside G0 (the extended multiplication of §2.4).
+                    continue
+                right_value = right(extended_binding)
+                for right_basis, right_coefficient in right_value.items():
+                    key = monoid.op(left_basis, right_basis)
+                    contribution = coefficients.mul(left_coefficient, right_coefficient)
+                    if key in accumulator:
+                        accumulator[key] = coefficients.add(accumulator[key], contribution)
+                    else:
+                        accumulator[key] = contribution
+            return base.element(accumulator)
+
+        return AvalancheElement(self, product)
+
+    @property
+    def is_ring(self) -> bool:
+        return self.base.is_ring
+
+    def __repr__(self) -> str:
+        return f"<AvalancheRing {self.name}>"

@@ -1,0 +1,188 @@
+"""Monoid (semi)rings ``A[G]`` (Definition 2.3 / Proposition 2.4).
+
+An element of ``A[G]`` is a finitely-supported function ``G -> A``; addition
+is pointwise and multiplication is the convolution product
+
+    (alpha * beta)(x) = sum over x = y *_G z of alpha(y) *_A beta(z).
+
+The construction is generic in both the coefficient structure ``A`` (any
+:class:`repro.algebra.semirings.Semiring`) and the monoid ``G`` (any
+:class:`repro.algebra.structures.Monoid`).  The ring of databases ``A[T]``
+(:mod:`repro.gmr.relation`) is an optimized instance of this construction for
+the singleton-join monoid; the property tests verify the two agree.
+
+Computing a convolution requires enumerating the factorizations ``x = y * z``
+with ``alpha(y)`` and ``beta(z)`` nonzero; since both supports are finite we
+simply enumerate support pairs, which matches the definition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Mapping, Tuple
+
+from repro.algebra.semirings import Semiring
+from repro.algebra.structures import Monoid
+
+
+class MonoidRingElement:
+    """A finitely-supported function ``G -> A``, i.e. an element of ``A[G]``."""
+
+    __slots__ = ("ring", "_data")
+
+    def __init__(self, ring: "MonoidRing", data: Mapping[Any, Any]):
+        self.ring = ring
+        coefficient_ring = ring.coefficients
+        cleaned: Dict[Any, Any] = {}
+        for basis_element, coefficient in data.items():
+            coefficient = coefficient_ring.coerce(coefficient)
+            if not coefficient_ring.is_zero(coefficient):
+                cleaned[basis_element] = coefficient
+        self._data = cleaned
+
+    # -- inspection ----------------------------------------------------------
+
+    def __call__(self, basis_element: Any) -> Any:
+        """Return the coefficient of ``basis_element`` (0 outside the support)."""
+        return self._data.get(basis_element, self.ring.coefficients.zero)
+
+    def support(self) -> Iterable[Any]:
+        """The basis elements with nonzero coefficient."""
+        return self._data.keys()
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        return iter(self._data.items())
+
+    def is_zero(self) -> bool:
+        return not self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MonoidRingElement):
+            return NotImplemented
+        return self.ring is other.ring and self._data == other._data
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._data.items()))
+
+    def __repr__(self) -> str:
+        if not self._data:
+            return "0"
+        parts = [f"{coeff}·{basis!r}" for basis, coeff in sorted(self._data.items(), key=repr)]
+        return " + ".join(parts)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __add__(self, other: "MonoidRingElement") -> "MonoidRingElement":
+        self._check_compatible(other)
+        return self.ring.add(self, other)
+
+    def __neg__(self) -> "MonoidRingElement":
+        return self.ring.neg(self)
+
+    def __sub__(self, other: "MonoidRingElement") -> "MonoidRingElement":
+        self._check_compatible(other)
+        return self.ring.add(self, self.ring.neg(other))
+
+    def __mul__(self, other: "MonoidRingElement") -> "MonoidRingElement":
+        self._check_compatible(other)
+        return self.ring.mul(self, other)
+
+    def scale(self, scalar: Any) -> "MonoidRingElement":
+        """The A-module action ``a · alpha`` (Proposition 2.15)."""
+        return self.ring.scale(scalar, self)
+
+    def _check_compatible(self, other: "MonoidRingElement") -> None:
+        if self.ring is not other.ring:
+            raise ValueError("cannot combine elements of different monoid rings")
+
+
+class MonoidRing:
+    """The monoid (semi)ring ``A[G]`` of monoid ``G`` over coefficient structure ``A``."""
+
+    def __init__(self, coefficients: Semiring, monoid: Monoid, name: str = None):
+        self.coefficients = coefficients
+        self.monoid = monoid
+        self.name = name or f"{coefficients.name}[{monoid.name}]"
+
+    # -- constructors --------------------------------------------------------
+
+    def element(self, data: Mapping[Any, Any]) -> MonoidRingElement:
+        """Build an element from a ``{basis: coefficient}`` mapping."""
+        return MonoidRingElement(self, data)
+
+    def zero(self) -> MonoidRingElement:
+        """The additive identity (the empty support function)."""
+        return MonoidRingElement(self, {})
+
+    def one(self) -> MonoidRingElement:
+        """The multiplicative identity χ_{1_G}."""
+        return MonoidRingElement(self, {self.monoid.identity: self.coefficients.one})
+
+    def basis(self, basis_element: Any) -> MonoidRingElement:
+        """The characteristic element χ_g (coefficient 1 on ``g``)."""
+        return MonoidRingElement(self, {basis_element: self.coefficients.one})
+
+    # -- operations (Definition 2.3) ------------------------------------------
+
+    def add(self, left: MonoidRingElement, right: MonoidRingElement) -> MonoidRingElement:
+        """Pointwise addition."""
+        result = dict(left._data)
+        coefficient_ring = self.coefficients
+        for basis_element, coefficient in right.items():
+            if basis_element in result:
+                result[basis_element] = coefficient_ring.add(result[basis_element], coefficient)
+            else:
+                result[basis_element] = coefficient
+        return MonoidRingElement(self, result)
+
+    def neg(self, element: MonoidRingElement) -> MonoidRingElement:
+        """Pointwise additive inverse (requires ``A`` to be a ring)."""
+        coefficient_ring = self.coefficients
+        return MonoidRingElement(
+            self,
+            {basis: coefficient_ring.neg(coeff) for basis, coeff in element.items()},
+        )
+
+    def mul(self, left: MonoidRingElement, right: MonoidRingElement) -> MonoidRingElement:
+        """The convolution product over factorizations ``x = y *_G z``."""
+        coefficient_ring = self.coefficients
+        monoid = self.monoid
+        result: Dict[Any, Any] = {}
+        for left_basis, left_coefficient in left.items():
+            for right_basis, right_coefficient in right.items():
+                product_basis = monoid.op(left_basis, right_basis)
+                if monoid.has_zero() and product_basis == monoid.zero:
+                    # The mutilated construction (Section 2.4) drops the monoid zero;
+                    # plain monoid rings keep it.  MutilatedMonoidRing overrides this.
+                    if self._drops_monoid_zero():
+                        continue
+                contribution = coefficient_ring.mul(left_coefficient, right_coefficient)
+                if product_basis in result:
+                    result[product_basis] = coefficient_ring.add(result[product_basis], contribution)
+                else:
+                    result[product_basis] = contribution
+        return MonoidRingElement(self, result)
+
+    def scale(self, scalar: Any, element: MonoidRingElement) -> MonoidRingElement:
+        """The module action (a, alpha) -> x -> a *_A alpha(x)."""
+        coefficient_ring = self.coefficients
+        scalar = coefficient_ring.coerce(scalar)
+        return MonoidRingElement(
+            self,
+            {basis: coefficient_ring.mul(scalar, coeff) for basis, coeff in element.items()},
+        )
+
+    # -- predicates ----------------------------------------------------------
+
+    @property
+    def is_ring(self) -> bool:
+        return self.coefficients.is_ring
+
+    def _drops_monoid_zero(self) -> bool:
+        """Plain monoid rings keep the monoid zero as an ordinary basis element."""
+        return False
+
+    def __repr__(self) -> str:
+        return f"<MonoidRing {self.name}>"

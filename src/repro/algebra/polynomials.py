@@ -1,0 +1,195 @@
+"""Univariate polynomials over a coefficient ring (Example 1.1 substrate).
+
+The polynomial ring ``A[x]`` is the warm-up example of the paper's recursive
+delta technique: the delta of a polynomial ``f`` with respect to an update
+``u`` is ``∆f(x, u) = f(x + u) - f(x)``, whose degree is one less than the
+degree of ``f``, so the (deg f + 1)-st delta vanishes identically.  Figure 1
+of the paper memoizes exactly these deltas for ``f(x) = x²``; the generic
+memoization machinery that drives it lives in
+:mod:`repro.core.recursive_delta`, with :class:`Polynomial` as the function
+being maintained.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence, Tuple, Union
+
+from repro.algebra.semirings import INTEGER_RING, Semiring
+
+Number = Union[int, float]
+
+
+class Polynomial:
+    """A univariate polynomial with coefficients in a (semi)ring.
+
+    Coefficients are stored densely, lowest degree first; trailing zeros are
+    stripped so the zero polynomial has an empty coefficient list and degree
+    ``-1`` by convention.
+    """
+
+    __slots__ = ("coefficients", "ring")
+
+    def __init__(self, coefficients: Sequence[Any] = (), ring: Semiring = INTEGER_RING):
+        self.ring = ring
+        coerced = [ring.coerce(value) for value in coefficients]
+        while coerced and ring.is_zero(coerced[-1]):
+            coerced.pop()
+        self.coefficients: Tuple[Any, ...] = tuple(coerced)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def constant(cls, value: Any, ring: Semiring = INTEGER_RING) -> "Polynomial":
+        return cls([value], ring=ring)
+
+    @classmethod
+    def x(cls, ring: Semiring = INTEGER_RING) -> "Polynomial":
+        """The monomial ``x``."""
+        return cls([ring.zero, ring.one], ring=ring)
+
+    @classmethod
+    def monomial(cls, degree: int, coefficient: Any = 1, ring: Semiring = INTEGER_RING) -> "Polynomial":
+        """The monomial ``coefficient * x**degree``."""
+        if degree < 0:
+            raise ValueError("monomial degree must be non-negative")
+        coefficients = [ring.zero] * degree + [coefficient]
+        return cls(coefficients, ring=ring)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        """Polynomial degree; the zero polynomial has degree -1."""
+        return len(self.coefficients) - 1
+
+    def is_zero(self) -> bool:
+        return not self.coefficients
+
+    def coefficient(self, power: int) -> Any:
+        if 0 <= power < len(self.coefficients):
+            return self.coefficients[power]
+        return self.ring.zero
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self.ring == other.ring and self.coefficients == other.coefficients
+
+    def __hash__(self) -> int:
+        return hash((self.ring, self.coefficients))
+
+    def __repr__(self) -> str:
+        if self.is_zero():
+            return "Polynomial(0)"
+        terms = []
+        for power, coefficient in enumerate(self.coefficients):
+            if self.ring.is_zero(coefficient):
+                continue
+            if power == 0:
+                terms.append(f"{coefficient}")
+            elif power == 1:
+                terms.append(f"{coefficient}*x")
+            else:
+                terms.append(f"{coefficient}*x^{power}")
+        return "Polynomial(" + " + ".join(terms) + ")"
+
+    # -- evaluation ----------------------------------------------------------
+
+    def __call__(self, point: Any) -> Any:
+        """Evaluate via Horner's rule."""
+        ring = self.ring
+        point = ring.coerce(point)
+        accumulator = ring.zero
+        for coefficient in reversed(self.coefficients):
+            accumulator = ring.add(ring.mul(accumulator, point), coefficient)
+        return accumulator
+
+    # -- ring operations ------------------------------------------------------
+
+    def _coerce_operand(self, other: Union["Polynomial", Number]) -> "Polynomial":
+        if isinstance(other, Polynomial):
+            return other
+        return Polynomial.constant(other, ring=self.ring)
+
+    def __add__(self, other: Union["Polynomial", Number]) -> "Polynomial":
+        other = self._coerce_operand(other)
+        ring = self.ring
+        size = max(len(self.coefficients), len(other.coefficients))
+        summed = [
+            ring.add(self.coefficient(power), other.coefficient(power)) for power in range(size)
+        ]
+        return Polynomial(summed, ring=ring)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Polynomial":
+        ring = self.ring
+        return Polynomial([ring.neg(value) for value in self.coefficients], ring=ring)
+
+    def __sub__(self, other: Union["Polynomial", Number]) -> "Polynomial":
+        return self + (-self._coerce_operand(other))
+
+    def __rsub__(self, other: Union["Polynomial", Number]) -> "Polynomial":
+        return self._coerce_operand(other) - self
+
+    def __mul__(self, other: Union["Polynomial", Number]) -> "Polynomial":
+        other = self._coerce_operand(other)
+        ring = self.ring
+        if self.is_zero() or other.is_zero():
+            return Polynomial((), ring=ring)
+        result = [ring.zero] * (len(self.coefficients) + len(other.coefficients) - 1)
+        for left_power, left_coefficient in enumerate(self.coefficients):
+            if ring.is_zero(left_coefficient):
+                continue
+            for right_power, right_coefficient in enumerate(other.coefficients):
+                contribution = ring.mul(left_coefficient, right_coefficient)
+                index = left_power + right_power
+                result[index] = ring.add(result[index], contribution)
+        return Polynomial(result, ring=ring)
+
+    __rmul__ = __mul__
+
+    def __pow__(self, exponent: int) -> "Polynomial":
+        if exponent < 0:
+            raise ValueError("negative powers are not polynomials")
+        result = Polynomial.constant(self.ring.one, ring=self.ring)
+        for _ in range(exponent):
+            result = result * self
+        return result
+
+    # -- the delta operator (Section 1.1 / Example 1.1) -------------------------
+
+    def shift(self, update: Any) -> "Polynomial":
+        """The polynomial ``x -> f(x + update)``."""
+        ring = self.ring
+        update_polynomial = Polynomial([ring.coerce(update), ring.one], ring=ring)
+        result = Polynomial((), ring=ring)
+        for power, coefficient in enumerate(self.coefficients):
+            if ring.is_zero(coefficient):
+                continue
+            result = result + (update_polynomial ** power) * coefficient
+        return result
+
+    def delta(self, update: Any) -> "Polynomial":
+        """``∆f(·, update) = f(· + update) - f(·)``; degree drops by one (Ex. 1.1)."""
+        return self.shift(update) - self
+
+    def iterated_delta(self, updates: Iterable[Any]) -> "Polynomial":
+        """``∆^k f`` applied to the given sequence of updates, left to right."""
+        result = self
+        for update in updates:
+            result = result.delta(update)
+        return result
+
+    def delta_order(self) -> int:
+        """The smallest k such that every k-th delta is identically zero.
+
+        For a polynomial this is ``degree + 1`` (and 0 for the zero
+        polynomial) — the fact that makes recursive memoization terminate.
+        """
+        return self.degree + 1 if not self.is_zero() else 0
+
+
+def square_polynomial(ring: Semiring = INTEGER_RING) -> Polynomial:
+    """``f(x) = x²`` — the running example of Figure 1."""
+    return Polynomial.monomial(2, ring=ring)

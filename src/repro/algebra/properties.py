@@ -1,0 +1,179 @@
+"""Axiom verifiers for algebraic structures.
+
+These helpers check (semi)ring, module and homomorphism laws on *sampled*
+elements.  They do not prove the laws — that is the paper's job — but they
+make the property-based test suite short and uniform: hypothesis generates
+random elements of each structure and the checkers below assert every axiom
+that the paper's Definitions 2.1/2.3/2.5/2.13 require.
+
+Each checker raises :class:`AssertionError` with a descriptive message on the
+first violated law, which makes hypothesis shrinking output readable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+
+class LawViolation(AssertionError):
+    """Raised when a sampled algebraic law fails."""
+
+
+def _require(condition: bool, law: str, *witnesses: Any) -> None:
+    if not condition:
+        raise LawViolation(f"law violated: {law}; witnesses: {witnesses!r}")
+
+
+def check_semigroup(op: Callable[[Any, Any], Any], samples: Sequence[Any]) -> None:
+    """Associativity on all sampled triples."""
+    for a in samples:
+        for b in samples:
+            for c in samples:
+                _require(op(op(a, b), c) == op(a, op(b, c)), "associativity", a, b, c)
+
+
+def check_monoid(op, identity, samples: Sequence[Any], commutative: bool = False) -> None:
+    """Monoid laws (and commutativity when requested) on sampled elements."""
+    check_semigroup(op, samples)
+    for a in samples:
+        _require(op(a, identity) == a, "right identity", a)
+        _require(op(identity, a) == a, "left identity", a)
+    if commutative:
+        for a in samples:
+            for b in samples:
+                _require(op(a, b) == op(b, a), "commutativity", a, b)
+
+
+def check_group(op, identity, inverse, samples: Sequence[Any]) -> None:
+    """Group laws on sampled elements."""
+    check_monoid(op, identity, samples)
+    for a in samples:
+        _require(op(a, inverse(a)) == identity, "right inverse", a)
+        _require(op(inverse(a), a) == identity, "left inverse", a)
+
+
+def check_semiring_laws(
+    add: Callable[[Any, Any], Any],
+    mul: Callable[[Any, Any], Any],
+    zero: Any,
+    one: Any,
+    samples: Sequence[Any],
+    neg: Callable[[Any], Any] = None,
+    commutative_mul: bool = False,
+    check_annihilation: bool = True,
+) -> None:
+    """All (semi)ring axioms of Definition 2.1 on sampled elements.
+
+    When ``neg`` is supplied the additive-inverse law is also checked, i.e. the
+    structure is verified to be a ring with identity.
+    """
+    check_monoid(add, zero, samples, commutative=True)
+    check_monoid(mul, one, samples, commutative=commutative_mul)
+    for a in samples:
+        for b in samples:
+            for c in samples:
+                _require(
+                    mul(a, add(b, c)) == add(mul(a, b), mul(a, c)),
+                    "left distributivity",
+                    a,
+                    b,
+                    c,
+                )
+                _require(
+                    mul(add(a, b), c) == add(mul(a, c), mul(b, c)),
+                    "right distributivity",
+                    a,
+                    b,
+                    c,
+                )
+    if check_annihilation:
+        for a in samples:
+            _require(mul(a, zero) == zero, "right annihilation by zero", a)
+            _require(mul(zero, a) == zero, "left annihilation by zero", a)
+    if neg is not None:
+        for a in samples:
+            _require(add(a, neg(a)) == zero, "additive inverse", a)
+
+
+def check_module_laws(
+    scalar_add,
+    scalar_mul,
+    scalars: Sequence[Any],
+    vector_add,
+    action,
+    vectors: Sequence[Any],
+    scalar_one: Any = None,
+) -> None:
+    """The (left) A-module laws of Definition 2.13 on sampled scalars/vectors."""
+    for a in scalars:
+        for b in scalars:
+            for m in vectors:
+                _require(
+                    action(scalar_add(a, b), m) == vector_add(action(a, m), action(b, m)),
+                    "(a+b)m = am + bm",
+                    a,
+                    b,
+                    m,
+                )
+                _require(
+                    action(scalar_mul(a, b), m) == action(a, action(b, m)),
+                    "(ab)m = a(bm)",
+                    a,
+                    b,
+                    m,
+                )
+    for a in scalars:
+        for m in vectors:
+            for n in vectors:
+                _require(
+                    action(a, vector_add(m, n)) == vector_add(action(a, m), action(a, n)),
+                    "a(m+n) = am + an",
+                    a,
+                    m,
+                    n,
+                )
+    if scalar_one is not None:
+        for m in vectors:
+            _require(action(scalar_one, m) == m, "1·m = m", m)
+
+
+def check_homomorphism(
+    phi: Callable[[Any], Any],
+    source_add,
+    source_mul,
+    target_add,
+    target_mul,
+    samples: Sequence[Any],
+) -> None:
+    """φ(a ∘ b) = φ(a) ∘ φ(b) for ∘ ∈ {+, *} on sampled pairs (Definition 2.7)."""
+    for a in samples:
+        for b in samples:
+            _require(
+                phi(source_add(a, b)) == target_add(phi(a), phi(b)),
+                "homomorphism preserves +",
+                a,
+                b,
+            )
+            _require(
+                phi(source_mul(a, b)) == target_mul(phi(a), phi(b)),
+                "homomorphism preserves *",
+                a,
+                b,
+            )
+
+
+def check_ideal(
+    ring_add,
+    ring_mul,
+    ring_samples: Sequence[Any],
+    ideal_membership: Callable[[Any], bool],
+    ideal_samples: Sequence[Any],
+) -> None:
+    """Two-sided-ideal laws (Definition 2.10) on sampled elements."""
+    for i in ideal_samples:
+        for j in ideal_samples:
+            _require(ideal_membership(ring_add(i, j)), "ideal closed under +", i, j)
+    for r in ring_samples:
+        for i in ideal_samples:
+            _require(ideal_membership(ring_mul(r, i)), "left absorption r*i", r, i)
+            _require(ideal_membership(ring_mul(i, r)), "right absorption i*r", i, r)

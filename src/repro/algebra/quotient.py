@@ -1,0 +1,89 @@
+"""Mutilating the monoid (Section 2.4): quotients by downward-closed subsets.
+
+Given a monoid ``G`` and a downward-closed subset ``G0 ⊆ G`` (``g * h ∈ G0``
+implies ``g, h ∈ G0``), the projection that forgets coefficients outside
+``G0`` is a (semi)ring homomorphism from ``A[G]`` whose kernel is an ideal
+(Lemmas 2.9 and 2.11); the image is the quotient ring ``A[G0]``.
+
+The main database application is removing the absorbing element ∅ from the
+singleton-join monoid ``Sng∅``: that quotient is (isomorphic to) the ring of
+generalized multiset relations of Section 3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.algebra.monoid_ring import MonoidRing, MonoidRingElement
+from repro.algebra.semirings import Semiring
+from repro.algebra.structures import Monoid
+
+
+def is_downward_closed(monoid: Monoid, subset: Iterable[Any], universe: Iterable[Any]) -> bool:
+    """Check downward closure of ``subset`` inside a *finite* ``universe``.
+
+    ``subset`` is downward-closed iff whenever ``g * h`` lands in it, both
+    ``g`` and ``h`` are already in it.  Only usable for finite universes; the
+    property tests use small enumerated monoids.
+    """
+    member = set(subset)
+    elements = list(universe)
+    for left in elements:
+        for right in elements:
+            if monoid.op(left, right) in member and (left not in member or right not in member):
+                return False
+    return True
+
+
+class MutilatedMonoidRing(MonoidRing):
+    """The quotient ring ``A[G0] = A[G] / I_{A[G],G0}`` for downward-closed ``G0``.
+
+    ``membership`` decides whether a monoid element belongs to ``G0``.  The
+    element constructor and the convolution product project away coefficients
+    outside ``G0``, which is exactly the natural projection of Lemma 2.12.
+    """
+
+    def __init__(
+        self,
+        coefficients: Semiring,
+        monoid: Monoid,
+        membership: Callable[[Any], bool],
+        name: str = None,
+    ):
+        super().__init__(coefficients, monoid, name=name or f"{coefficients.name}[{monoid.name}]/~")
+        self.membership = membership
+
+    def element(self, data) -> MonoidRingElement:
+        projected = {basis: coeff for basis, coeff in dict(data).items() if self.membership(basis)}
+        return MonoidRingElement(self, projected)
+
+    def project(self, element: MonoidRingElement) -> MonoidRingElement:
+        """The natural projection A[G] -> A[G0] (restriction of the support to G0)."""
+        return self.element(dict(element.items()))
+
+    def mul(self, left: MonoidRingElement, right: MonoidRingElement) -> MonoidRingElement:
+        product = super().mul(left, right)
+        return self.element(dict(product.items()))
+
+    def in_kernel(self, element: MonoidRingElement) -> bool:
+        """True when ``element`` lies in the kernel ideal I_{A[G],G0}."""
+        return all(not self.membership(basis) for basis in element.support())
+
+    def _drops_monoid_zero(self) -> bool:
+        # When G0 excludes the monoid zero, products that collapse to the zero
+        # are dropped; this is subsumed by the projection in ``mul`` but keeping
+        # the early exit avoids building entries that are immediately removed.
+        return self.monoid.has_zero() and not self.membership(self.monoid.zero)
+
+
+def without_zero(coefficients: Semiring, monoid: Monoid, name: str = None) -> MutilatedMonoidRing:
+    """The most common mutilation: remove the monoid's absorbing element.
+
+    Requires ``monoid.zero`` to be declared.  ``G \\ {0}`` is downward-closed
+    because ``g * h = 0`` forces at least the product (not the factors) to be
+    zero only when one factor already is — see Section 2.4.
+    """
+    if not monoid.has_zero():
+        raise ValueError(f"monoid {monoid.name} does not declare an absorbing element")
+    zero = monoid.zero
+    return MutilatedMonoidRing(coefficients, monoid, lambda g: g != zero, name=name)

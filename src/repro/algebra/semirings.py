@@ -1,0 +1,283 @@
+"""Coefficient (semi)rings for multiplicities (Definition 2.1 / Example 2.2).
+
+A :class:`Semiring` instance describes how multiplicities are added,
+multiplied and (for rings) negated.  Generalized multiset relations
+(:mod:`repro.gmr.relation`) and monoid rings (:mod:`repro.algebra.monoid_ring`)
+are parameterized by one of these structures; the default used throughout the
+library is :data:`INTEGER_RING` (the paper's ℤ[T]).
+
+The structures operate on plain Python values (``int``, ``Fraction``,
+``float``, ``bool``) so that user code never has to wrap numbers.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Callable, Optional
+
+
+class Semiring:
+    """A (semi)ring over plain Python values.
+
+    Parameters
+    ----------
+    zero, one:
+        The additive and multiplicative neutral elements.
+    add, mul:
+        Binary operations; must satisfy the (semi)ring axioms (verified for the
+        built-in instances by the property tests in ``tests/algebra``).
+    neg:
+        Additive inverse, or ``None`` for a proper semiring (no inverse).
+    coerce:
+        Normalizes arbitrary input values into the carrier (e.g. ``int(x)``).
+    name:
+        Human-readable name used in reprs and error messages.
+    commutative:
+        Whether multiplication commutes.
+    """
+
+    __slots__ = ("zero", "one", "_add", "_mul", "_neg", "_coerce", "name", "commutative")
+
+    def __init__(
+        self,
+        zero: Any,
+        one: Any,
+        add: Callable[[Any, Any], Any],
+        mul: Callable[[Any, Any], Any],
+        neg: Optional[Callable[[Any], Any]] = None,
+        coerce: Optional[Callable[[Any], Any]] = None,
+        name: str = "semiring",
+        commutative: bool = True,
+    ):
+        self.zero = zero
+        self.one = one
+        self._add = add
+        self._mul = mul
+        self._neg = neg
+        self._coerce = coerce
+        self.name = name
+        self.commutative = commutative
+
+    # -- ring interface ------------------------------------------------------
+
+    def add(self, left: Any, right: Any) -> Any:
+        """Return ``left + right`` in this structure."""
+        return self._add(left, right)
+
+    def mul(self, left: Any, right: Any) -> Any:
+        """Return ``left * right`` in this structure."""
+        return self._mul(left, right)
+
+    def neg(self, value: Any) -> Any:
+        """Return the additive inverse of ``value``.
+
+        Raises
+        ------
+        TypeError
+            If the structure is a semiring without additive inverses.
+        """
+        if self._neg is None:
+            raise TypeError(f"{self.name} is a semiring without an additive inverse")
+        return self._neg(value)
+
+    def sub(self, left: Any, right: Any) -> Any:
+        """Return ``left - right`` (requires an additive inverse)."""
+        return self.add(left, self.neg(right))
+
+    def coerce(self, value: Any) -> Any:
+        """Normalize ``value`` into the carrier set."""
+        if self._coerce is None:
+            return value
+        return self._coerce(value)
+
+    # -- predicates ----------------------------------------------------------
+
+    @property
+    def is_ring(self) -> bool:
+        """True when the structure has an additive inverse."""
+        return self._neg is not None
+
+    def is_zero(self, value: Any) -> bool:
+        """True when ``value`` equals the additive identity."""
+        return value == self.zero
+
+    def is_one(self, value: Any) -> bool:
+        """True when ``value`` equals the multiplicative identity."""
+        return value == self.one
+
+    # -- helpers -------------------------------------------------------------
+
+    def sum(self, values) -> Any:
+        """Add up an iterable of values (empty sum is ``zero``)."""
+        accumulator = self.zero
+        for value in values:
+            accumulator = self.add(accumulator, value)
+        return accumulator
+
+    def product(self, values) -> Any:
+        """Multiply an iterable of values (empty product is ``one``)."""
+        accumulator = self.one
+        for value in values:
+            accumulator = self.mul(accumulator, value)
+        return accumulator
+
+    def pow(self, value: Any, exponent: int) -> Any:
+        """Return ``value`` raised to a non-negative integer power."""
+        if exponent < 0:
+            raise ValueError("negative exponents are not defined in a (semi)ring")
+        return self.product(value for _ in range(exponent))
+
+    def from_int(self, n: int) -> Any:
+        """The image of the integer ``n`` under the canonical map ℤ → A (or ℕ → A)."""
+        if n < 0:
+            return self.neg(self.from_int(-n))
+        return self.sum(self.one for _ in range(n))
+
+    def __repr__(self) -> str:
+        kind = "ring" if self.is_ring else "semiring"
+        return f"<{kind} {self.name}>"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Semiring) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Semiring", self.name))
+
+
+class IntegerRing(Semiring):
+    """The ring of integers ℤ — the paper's default multiplicity ring."""
+
+    def __init__(self):
+        super().__init__(
+            zero=0,
+            one=1,
+            add=lambda a, b: a + b,
+            mul=lambda a, b: a * b,
+            neg=lambda a: -a,
+            coerce=int,
+            name="Z",
+        )
+
+
+class RationalField(Semiring):
+    """The field of rationals ℚ, with exact ``fractions.Fraction`` arithmetic."""
+
+    def __init__(self):
+        super().__init__(
+            zero=Fraction(0),
+            one=Fraction(1),
+            add=lambda a, b: a + b,
+            mul=lambda a, b: a * b,
+            neg=lambda a: -a,
+            coerce=Fraction,
+            name="Q",
+        )
+
+
+class FloatField(Semiring):
+    """Floating-point reals (approximate; useful for large numeric workloads)."""
+
+    def __init__(self):
+        super().__init__(
+            zero=0.0,
+            one=1.0,
+            add=lambda a, b: a + b,
+            mul=lambda a, b: a * b,
+            neg=lambda a: -a,
+            coerce=float,
+            name="R-float",
+        )
+
+
+class BooleanSemiring(Semiring):
+    """The boolean semiring (B, ∨, ∧, false, true) — set semantics (Example 2.2)."""
+
+    def __init__(self):
+        super().__init__(
+            zero=False,
+            one=True,
+            add=lambda a, b: a or b,
+            mul=lambda a, b: a and b,
+            neg=None,
+            coerce=bool,
+            name="B",
+        )
+
+
+class NaturalSemiring(Semiring):
+    """The semiring of natural numbers ℕ (no additive inverse — Example 2.2)."""
+
+    def __init__(self):
+        def coerce(value):
+            value = int(value)
+            if value < 0:
+                raise ValueError("natural numbers cannot be negative")
+            return value
+
+        super().__init__(
+            zero=0,
+            one=1,
+            add=lambda a, b: a + b,
+            mul=lambda a, b: a * b,
+            neg=None,
+            coerce=coerce,
+            name="N",
+        )
+
+
+class MinPlusSemiring(Semiring):
+    """The tropical (min, +) semiring — shortest-path style provenance."""
+
+    INFINITY = float("inf")
+
+    def __init__(self):
+        super().__init__(
+            zero=self.INFINITY,
+            one=0.0,
+            add=min,
+            mul=lambda a, b: a + b,
+            neg=None,
+            coerce=float,
+            name="min-plus",
+        )
+
+
+class MaxPlusSemiring(Semiring):
+    """The (max, +) semiring — dual of :class:`MinPlusSemiring`."""
+
+    NEG_INFINITY = float("-inf")
+
+    def __init__(self):
+        super().__init__(
+            zero=self.NEG_INFINITY,
+            one=0.0,
+            add=max,
+            mul=lambda a, b: a + b,
+            neg=None,
+            coerce=float,
+            name="max-plus",
+        )
+
+
+#: Shared default instances (semirings are stateless, so sharing is safe).
+INTEGER_RING = IntegerRing()
+RATIONAL_FIELD = RationalField()
+FLOAT_FIELD = FloatField()
+BOOLEAN_SEMIRING = BooleanSemiring()
+NATURAL_SEMIRING = NaturalSemiring()
+MIN_PLUS = MinPlusSemiring()
+MAX_PLUS = MaxPlusSemiring()
+
+#: All built-in structures, keyed by name (used by tests and the CLI examples).
+BUILTIN_SEMIRINGS = {
+    structure.name: structure
+    for structure in (
+        INTEGER_RING,
+        RATIONAL_FIELD,
+        FLOAT_FIELD,
+        BOOLEAN_SEMIRING,
+        NATURAL_SEMIRING,
+        MIN_PLUS,
+        MAX_PLUS,
+    )
+}

@@ -1,0 +1,175 @@
+"""Basic algebraic structures (Definition 2.1 of the paper).
+
+The classes here describe *carriers with operations* rather than wrapping
+every element in an object: a :class:`Monoid` is a small descriptor holding
+the binary operation and the neutral element, and works directly on ordinary
+Python values.  This keeps the generic monoid-ring and avalanche-ring
+constructions cheap and keeps elements hashable (they are used as dictionary
+keys by :class:`repro.algebra.monoid_ring.MonoidRingElement`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterable, Optional, Sequence, TypeVar
+
+G = TypeVar("G")
+H = TypeVar("H")
+
+
+class Semigroup(Generic[G]):
+    """A set with an associative binary operation (Definition 2.1)."""
+
+    def __init__(self, operation: Callable[[G, G], G], name: str = "semigroup"):
+        self._operation = operation
+        self.name = name
+
+    def op(self, left: G, right: G) -> G:
+        """Apply the semigroup operation."""
+        return self._operation(left, right)
+
+    def combine(self, elements: Iterable[G], initial: Optional[G] = None) -> G:
+        """Fold ``op`` over ``elements`` (left-to-right)."""
+        iterator = iter(elements)
+        if initial is None:
+            try:
+                accumulator = next(iterator)
+            except StopIteration:
+                raise ValueError("cannot combine an empty sequence without an initial value")
+        else:
+            accumulator = initial
+        for element in iterator:
+            accumulator = self.op(accumulator, element)
+        return accumulator
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Monoid(Semigroup[G]):
+    """A semigroup with a neutral element (Definition 2.1).
+
+    ``zero`` optionally names an *absorbing* element (``0 * g = g * 0 = 0``),
+    which the mutilation construction of Section 2.4 removes.
+    """
+
+    def __init__(
+        self,
+        operation: Callable[[G, G], G],
+        identity: G,
+        name: str = "monoid",
+        commutative: bool = False,
+        zero: Optional[G] = None,
+    ):
+        super().__init__(operation, name)
+        self.identity = identity
+        self.commutative = commutative
+        self.zero = zero
+
+    def has_zero(self) -> bool:
+        """Return True when an absorbing element has been declared."""
+        return self.zero is not None
+
+    def is_identity(self, element: G) -> bool:
+        return element == self.identity
+
+    def power(self, element: G, exponent: int) -> G:
+        """Return ``element`` combined with itself ``exponent`` times."""
+        if exponent < 0:
+            raise ValueError("monoids do not have inverses; exponent must be >= 0")
+        result = self.identity
+        for _ in range(exponent):
+            result = self.op(result, element)
+        return result
+
+
+class Group(Monoid[G]):
+    """A monoid in which every element has an inverse."""
+
+    def __init__(
+        self,
+        operation: Callable[[G, G], G],
+        identity: G,
+        inverse: Callable[[G], G],
+        name: str = "group",
+        commutative: bool = False,
+    ):
+        super().__init__(operation, identity, name=name, commutative=commutative)
+        self._inverse = inverse
+
+    def inverse(self, element: G) -> G:
+        """Return the inverse of ``element``."""
+        return self._inverse(element)
+
+
+# ---------------------------------------------------------------------------
+# Concrete monoids used in tests and in the database constructions
+# ---------------------------------------------------------------------------
+
+
+class TupleConcatMonoid(Monoid[tuple]):
+    """The free monoid of tuples (words) under concatenation."""
+
+    def __init__(self, name: str = "tuple-concat"):
+        super().__init__(lambda a, b: a + b, (), name=name, commutative=False)
+
+    def factorizations(self, word: tuple) -> Sequence[tuple]:
+        """All splits ``word = prefix + suffix`` — used by convolution products."""
+        return [(word[:i], word[i:]) for i in range(len(word) + 1)]
+
+
+class ProductMonoid(Monoid[tuple]):
+    """The direct product of a finite family of monoids."""
+
+    def __init__(self, factors: Sequence[Monoid], name: str = "product"):
+        self.factors = tuple(factors)
+        identity = tuple(m.identity for m in self.factors)
+        commutative = all(m.commutative for m in self.factors)
+
+        def operation(left: tuple, right: tuple) -> tuple:
+            return tuple(m.op(a, b) for m, a, b in zip(self.factors, left, right))
+
+        super().__init__(operation, identity, name=name, commutative=commutative)
+
+
+class FunctionMonoid(Monoid[frozenset]):
+    """Consistent union of partial functions, represented as frozensets of pairs.
+
+    This is (an isomorphic copy of) the monoid ``Sng∅`` of singleton relations
+    under natural join from Section 3.1: two partial functions join to their
+    union when they agree on shared keys, and to the absorbing element
+    ``FunctionMonoid.ZERO`` otherwise.  The identity is the empty function
+    (the nullary tuple ``⟨⟩``).
+    """
+
+    #: Absorbing element standing for the empty relation ∅.
+    ZERO = "∅"
+
+    def __init__(self, name: str = "partial-function-join"):
+        super().__init__(
+            self._join,
+            frozenset(),
+            name=name,
+            commutative=True,
+            zero=self.ZERO,
+        )
+
+    @classmethod
+    def _join(cls, left, right):
+        if left == cls.ZERO or right == cls.ZERO:
+            return cls.ZERO
+        mapping = dict(left)
+        for key, value in right:
+            if key in mapping and mapping[key] != value:
+                return cls.ZERO
+            mapping[key] = value
+        return frozenset(mapping.items())
+
+    @staticmethod
+    def singleton(**columns) -> frozenset:
+        """Convenience constructor for a record element."""
+        return frozenset(columns.items())
+
+
+def integers_additive_group() -> Group[int]:
+    """(ℤ, +, 0) — used by tests of the module/scalar-action laws."""
+    return Group(lambda a, b: a + b, 0, lambda a: -a, name="Z-additive", commutative=True)

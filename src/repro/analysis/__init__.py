@@ -1,0 +1,5 @@
+"""Reporting helpers: plain-text/markdown tables and experiment summaries."""
+
+from repro.analysis.reporting import Table, format_markdown, format_table, scaling_exponent
+
+__all__ = ["Table", "format_table", "format_markdown", "scaling_exponent"]

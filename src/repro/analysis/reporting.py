@@ -1,0 +1,108 @@
+"""Small reporting toolkit used by the benchmark harness.
+
+Benchmarks print the same kind of tables the paper shows (Figure 1, the
+Example 1.2 trace) and the added performance tables; this module renders them
+as aligned plain text and as Markdown (for EXPERIMENTS.md), and provides the
+log-log slope estimate used to summarize how per-update cost scales with
+database size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """A simple column-oriented table."""
+
+    headers: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells but the table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(values))
+
+    def column(self, header: str) -> List[Any]:
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        return format_table(self.headers, self.rows, title=self.title)
+
+    def render_markdown(self) -> str:
+        return format_markdown(self.headers, self.rows, title=self.title)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = "") -> str:
+    """Render an aligned plain-text table."""
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_markdown(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = "") -> str:
+    """Render a Markdown table (used to paste results into EXPERIMENTS.md)."""
+    lines = []
+    if title:
+        lines.append(f"**{title}**")
+        lines.append("")
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_format_cell(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def scaling_exponent(sizes: Sequence[float], costs: Sequence[float]) -> Optional[float]:
+    """Least-squares slope of log(cost) against log(size).
+
+    A slope near 0 means size-independent cost (the recursive engine's
+    behaviour); a slope near 1 or 2 means linear or quadratic growth
+    (classical IVM / re-evaluation).  Returns ``None`` when the fit is not
+    possible (fewer than two valid points).
+    """
+    points = [
+        (math.log(size), math.log(cost))
+        for size, cost in zip(sizes, costs)
+        if size > 0 and cost > 0
+    ]
+    if len(points) < 2:
+        return None
+    mean_x = sum(x for x, _ in points) / len(points)
+    mean_y = sum(y for _, y in points) / len(points)
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    denominator = sum((x - mean_x) ** 2 for x, _ in points)
+    if denominator == 0:
+        return None
+    return numerator / denominator

@@ -1,0 +1,33 @@
+"""Compilation of AGCA queries to trigger programs over a materialized-map hierarchy.
+
+* :mod:`repro.compiler.maps` — map (materialized view) definitions;
+* :mod:`repro.compiler.triggers` — the trigger IR (statements, triggers, programs);
+* :mod:`repro.compiler.compile` — the recursive compiler (delta → simplify →
+  factorize → materialize);
+* :mod:`repro.compiler.runtime` — interpreted trigger execution;
+* :mod:`repro.compiler.codegen` — generation of straight-line Python trigger code
+  (the paper's NC⁰C target, retargeted);
+* :mod:`repro.compiler.cost` — operation counting for the constant-work claims.
+"""
+
+from repro.compiler.compile import Compiler, compile_query
+from repro.compiler.codegen import GeneratedTriggers, generate_python
+from repro.compiler.cost import CountingSemiring, OperationCounter, RuntimeStatistics
+from repro.compiler.maps import MapDefinition
+from repro.compiler.runtime import TriggerRuntime
+from repro.compiler.triggers import Statement, Trigger, TriggerProgram
+
+__all__ = [
+    "Compiler",
+    "compile_query",
+    "GeneratedTriggers",
+    "generate_python",
+    "CountingSemiring",
+    "OperationCounter",
+    "RuntimeStatistics",
+    "MapDefinition",
+    "TriggerRuntime",
+    "Statement",
+    "Trigger",
+    "TriggerProgram",
+]

@@ -1,0 +1,308 @@
+"""Code generation: compiled triggers as straight-line Python (the "NC⁰C" analogue).
+
+The paper compiles update triggers to a tiny fragment of C whose statements
+only add and multiply fixed-size numbers and read/write individual map
+entries.  This module performs the same compilation step targeting Python
+source code: every trigger becomes a function of the update values that
+manipulates plain dictionaries with a bounded amount of arithmetic per entry
+touched.  The generated code contains no query operators — no joins, no
+aggregation — just lookups, loops over map slices, additions and
+multiplications, which is precisely the point of the paper's compilation
+result.
+
+The generated module is also useful practically: it is considerably faster
+than interpreting trigger statements through the AGCA evaluator (see
+``benchmarks/bench_update_cost_vs_size.py`` for the comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.compiler.triggers import Statement, Trigger, TriggerProgram
+from repro.core.ast import (
+    Add,
+    AggSum,
+    Assign,
+    Compare,
+    Const,
+    Expr,
+    MapRef,
+    Mul,
+    Neg,
+    Rel,
+    Var,
+)
+from repro.core.errors import CompilationError
+from repro.core.normalization import to_polynomial
+from repro.core.simplify import order_for_safety
+
+_PYTHON_OPS = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+class _NameAllocator:
+    """Maps AGCA variable names to unique, valid Python identifiers."""
+
+    def __init__(self):
+        self._names: Dict[str, str] = {}
+        self._used = set()
+
+    def __call__(self, variable: str) -> str:
+        if variable in self._names:
+            return self._names[variable]
+        candidate = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in variable)
+        if not candidate or candidate[0].isdigit():
+            candidate = "v_" + candidate
+        base = candidate
+        suffix = 0
+        while candidate in self._used:
+            suffix += 1
+            candidate = f"{base}_{suffix}"
+        self._used.add(candidate)
+        self._names[variable] = candidate
+        return candidate
+
+
+class _Writer:
+    """Accumulates indented source lines."""
+
+    def __init__(self, indent: int = 0):
+        self.lines: List[str] = []
+        self.indent = indent
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def block(self) -> "_Writer":
+        """Return self after increasing the indentation (used after emitting a header)."""
+        self.indent += 1
+        return self
+
+    def dedent(self, levels: int = 1) -> None:
+        self.indent -= levels
+
+
+class GeneratedTriggers:
+    """The result of code generation: Python source plus the executable namespace."""
+
+    def __init__(self, program: TriggerProgram, source: str):
+        self.program = program
+        self.source = source
+        self._namespace: Dict[str, Any] = {}
+        exec(compile(source, f"<generated triggers for {program.result_map}>", "exec"), self._namespace)
+
+    def apply(self, maps: Dict[str, Dict[Tuple[Any, ...], Any]], relation: str, sign: int, values: Tuple[Any, ...]) -> None:
+        """Run the generated trigger for one update event against the given maps."""
+        self._namespace["apply_update"](maps, relation, sign, tuple(values))
+
+    def trigger_function_names(self) -> List[str]:
+        return [name for name in self._namespace if name.startswith("on_")]
+
+
+def generate_python(program: TriggerProgram) -> GeneratedTriggers:
+    """Generate a Python module implementing the program's triggers."""
+    writer = _Writer()
+    writer.emit('"""Generated trigger code — see repro.compiler.codegen."""')
+    writer.emit("")
+    dispatch_entries = []
+    for (relation, sign), trigger in sorted(program.triggers.items(), key=lambda item: (item[0][0], -item[0][1])):
+        function_name = trigger.event_name
+        dispatch_entries.append(f"    ({relation!r}, {sign}): {function_name},")
+        _generate_trigger(writer, trigger)
+        writer.emit("")
+    writer.emit("TRIGGERS = {")
+    for entry in dispatch_entries:
+        writer.emit(entry)
+    writer.emit("}")
+    writer.emit("")
+    writer.emit("def apply_update(maps, relation, sign, values):")
+    writer.emit("    trigger = TRIGGERS.get((relation, sign))")
+    writer.emit("    if trigger is not None:")
+    writer.emit("        trigger(maps, values)")
+    source = "\n".join(writer.lines) + "\n"
+    return GeneratedTriggers(program, source)
+
+
+# ---------------------------------------------------------------------------
+# Trigger / statement generation
+# ---------------------------------------------------------------------------
+
+
+def _generate_trigger(writer: _Writer, trigger: Trigger) -> None:
+    names = _NameAllocator()
+    writer.emit(f"def {trigger.event_name}(maps, values):")
+    writer.block()
+    if trigger.argument_names:
+        unpack = ", ".join(names(argument) for argument in trigger.argument_names)
+        trailing = "," if len(trigger.argument_names) == 1 else ""
+        writer.emit(f"{unpack}{trailing} = values")
+    writer.emit("_pending = []")
+    for index, statement in enumerate(trigger.statements):
+        accumulator = f"_acc{index}"
+        writer.emit(f"{accumulator} = {{}}")
+        _generate_statement(writer, statement, trigger.argument_names, accumulator, names)
+        writer.emit(f"_pending.append(({statement.target!r}, {accumulator}))")
+    writer.emit("for _name, _acc in _pending:")
+    writer.emit("    _table = maps[_name]")
+    writer.emit("    for _key, _delta in _acc.items():")
+    writer.emit("        _new = _table.get(_key, 0) + _delta")
+    writer.emit("        if _new == 0:")
+    writer.emit("            _table.pop(_key, None)")
+    writer.emit("        else:")
+    writer.emit("            _table[_key] = _new")
+    writer.dedent()
+
+
+def _generate_statement(
+    writer: _Writer,
+    statement: Statement,
+    argument_names: Tuple[str, ...],
+    accumulator: str,
+    names: _NameAllocator,
+) -> None:
+    counter = [0]
+    for monomial in to_polynomial(statement.rhs):
+        base_indent = writer.indent
+        environment = {argument: names(argument) for argument in argument_names}
+        factors = order_for_safety(monomial.factors, bound_vars=argument_names)
+        coefficient = monomial.coefficient
+        value_terms: List[str] = []
+        for factor in factors:
+            coefficient = _generate_factor(
+                writer, factor, environment, value_terms, coefficient, counter, names
+            )
+            if coefficient is None:
+                break
+        if coefficient is not None and coefficient != 0:
+            key_expression = _key_tuple(statement.target_keys, environment)
+            value_expression = _value_product(coefficient, value_terms)
+            writer.emit(
+                f"{accumulator}[{key_expression}] = "
+                f"{accumulator}.get({key_expression}, 0) + {value_expression}"
+            )
+        writer.indent = base_indent
+
+
+def _generate_factor(
+    writer: _Writer,
+    factor: Expr,
+    environment: Dict[str, str],
+    value_terms: List[str],
+    coefficient: Any,
+    counter: List[int],
+    names: _NameAllocator,
+):
+    """Emit code for one monomial factor; returns the (possibly folded) coefficient.
+
+    Returning ``None`` means the monomial is statically zero and should be
+    dropped.
+    """
+    if isinstance(factor, Const):
+        value = factor.value
+        if not isinstance(value, (int, float)):
+            raise CompilationError(f"non-numeric constant {value!r} as a multiplicity")
+        if value == 0:
+            return None
+        return coefficient * value
+
+    if isinstance(factor, Var):
+        value_terms.append(_value_expression(factor, environment))
+        return coefficient
+
+    if isinstance(factor, Assign):
+        target = factor.var
+        source = _value_expression(factor.expr, environment)
+        if target in environment:
+            writer.emit(f"if {environment[target]} == {source}:")
+            writer.block()
+            return coefficient
+        local = names(target)
+        writer.emit(f"{local} = {source}")
+        environment[target] = local
+        return coefficient
+
+    if isinstance(factor, Compare):
+        left = _value_expression(factor.left, environment)
+        right = _value_expression(factor.right, environment)
+        writer.emit(f"if {left} {_PYTHON_OPS[factor.op]} {right}:")
+        writer.block()
+        return coefficient
+
+    if isinstance(factor, MapRef):
+        counter[0] += 1
+        index = counter[0]
+        value_name = f"_v{index}"
+        bound = [key in environment for key in factor.key_vars]
+        if all(bound):
+            key_expression = _key_tuple(factor.key_vars, environment)
+            writer.emit(f"{value_name} = maps[{factor.name!r}].get({key_expression}, 0)")
+            writer.emit(f"if {value_name} != 0:")
+            writer.block()
+        else:
+            key_name = f"_k{index}"
+            writer.emit(f"for {key_name}, {value_name} in maps[{factor.name!r}].items():")
+            writer.block()
+            for position, key in enumerate(factor.key_vars):
+                if key in environment:
+                    writer.emit(f"if {key_name}[{position}] == {environment[key]}:")
+                    writer.block()
+                else:
+                    local = names(key)
+                    writer.emit(f"{local} = {key_name}[{position}]")
+                    environment[key] = local
+        value_terms.append(value_name)
+        return coefficient
+
+    if isinstance(factor, (Rel, AggSum)):
+        raise CompilationError(
+            f"cannot generate code for factor {factor!r}: compiled trigger statements must not "
+            "contain base relations or nested aggregates"
+        )
+
+    raise CompilationError(f"cannot generate code for factor {factor!r}")
+
+
+# ---------------------------------------------------------------------------
+# Expression fragments
+# ---------------------------------------------------------------------------
+
+
+def _value_expression(expr: Expr, environment: Dict[str, str]) -> str:
+    """A Python expression computing a data value from bound locals."""
+    if isinstance(expr, Const):
+        return repr(expr.value)
+    if isinstance(expr, Var):
+        if expr.name not in environment:
+            raise CompilationError(f"variable {expr.name!r} is not bound in generated code")
+        return environment[expr.name]
+    if isinstance(expr, Neg):
+        return f"-({_value_expression(expr.expr, environment)})"
+    if isinstance(expr, Add):
+        inner = " + ".join(_value_expression(term, environment) for term in expr.terms)
+        return f"({inner})"
+    if isinstance(expr, Mul):
+        inner = " * ".join(_value_expression(factor, environment) for factor in expr.factors)
+        return f"({inner})"
+    raise CompilationError(f"cannot generate a value expression for {expr!r}")
+
+
+def _key_tuple(key_vars: Iterable[str], environment: Dict[str, str]) -> str:
+    parts = []
+    for key in key_vars:
+        if key not in environment:
+            raise CompilationError(f"key variable {key!r} is not bound in generated code")
+        parts.append(environment[key])
+    if not parts:
+        return "()"
+    return "(" + ", ".join(parts) + ",)"
+
+
+def _value_product(coefficient: Any, value_terms: List[str]) -> str:
+    if not value_terms:
+        return repr(coefficient)
+    product = " * ".join(value_terms)
+    if coefficient == 1:
+        return product
+    if coefficient == -1:
+        return f"-({product})"
+    return f"{coefficient!r} * {product}"

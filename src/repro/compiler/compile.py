@@ -1,0 +1,320 @@
+"""The recursive trigger compiler (the paper's compilation algorithm).
+
+Given an aggregate query ``AggSum(group_vars, body)`` over declared base
+relations, the compiler produces a :class:`~repro.compiler.triggers.TriggerProgram`:
+
+1. the query itself becomes the level-0 map;
+2. for every map ``M`` and every event kind ``±R(~u)`` the delta of ``M``'s
+   definition is taken symbolically (Section 6), simplified, and expanded into
+   monomials;
+3. each monomial is factorized into variable-connected components
+   (Example 1.3); components containing base relations are materialized as
+   child maps (deduplicated structurally) and replaced by map references, the
+   rest is kept inline as arithmetic over the update values;
+4. the per-monomial products are summed into one increment statement
+   ``M[keys] += rhs``;
+5. steps 2–4 recurse on the newly created maps.  Termination is guaranteed by
+   Theorem 6.4: the degree of each child map's definition is strictly smaller
+   than its parent's, and a definition of degree 0 contains no relation atoms,
+   so it creates no triggers and no children.
+
+The compiler supports the class of queries for which the paper proves the
+constant-work result: non-nested aggregate queries with simple conditions.
+Nested aggregates are rejected with a :class:`CompilationError` (they are
+supported by the direct evaluator, just not by this compiler).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.ast import (
+    Add,
+    AggSum,
+    Expr,
+    MapRef,
+    Rel,
+    is_zero_literal,
+    mul,
+    walk,
+)
+from repro.core.degree import has_only_simple_conditions
+from repro.core.delta import UpdateEvent, delta
+from repro.core.errors import CompilationError, SchemaError
+from repro.core.factorization import Component, connected_components
+from repro.core.normalization import (
+    Monomial,
+    combine_like_terms,
+    from_polynomial,
+    monomials_of,
+    to_polynomial,
+)
+from repro.core.simplify import make_safe, order_for_safety, rename_variables, simplify
+from repro.core.variables import all_variables, check_safety
+from repro.compiler.maps import MapDefinition
+from repro.compiler.triggers import Statement, Trigger, TriggerProgram
+
+
+class Compiler:
+    """Compiles AGCA aggregate queries into trigger programs over a map hierarchy."""
+
+    def __init__(self, schema: Mapping[str, Sequence[str]]):
+        self.schema: Dict[str, Tuple[str, ...]] = {
+            name: tuple(columns) for name, columns in schema.items()
+        }
+
+    # -- public API -------------------------------------------------------------
+
+    def compile(
+        self,
+        query: Expr,
+        name: str = "q",
+        group_vars: Optional[Sequence[str]] = None,
+    ) -> TriggerProgram:
+        """Compile a query into a trigger program.
+
+        ``query`` may be an ``AggSum`` (its group variables are used) or a bare
+        body combined with explicit ``group_vars``.
+        """
+        body, keys = self._normalize_query(query, group_vars)
+        self._validate(body, keys)
+
+        self._maps: Dict[str, MapDefinition] = {}
+        self._registry: Dict[Tuple[Expr, Tuple[str, ...]], str] = {}
+        self._statements: Dict[Tuple[str, int], List[Statement]] = defaultdict(list)
+        self._counter = 0
+        self._base_name = name
+
+        result_body = make_safe(simplify(body, needed_vars=set(keys) | all_variables(body)))
+        result_map = MapDefinition(name=name, key_vars=tuple(keys), definition=result_body, level=0)
+        self._maps[name] = result_map
+
+        worklist: List[MapDefinition] = [result_map]
+        while worklist:
+            self._process_map(worklist.pop(0), worklist)
+
+        triggers = self._assemble_triggers()
+        return TriggerProgram(
+            result_map=name,
+            maps=dict(self._maps),
+            triggers=triggers,
+            schema=dict(self.schema),
+        )
+
+    # -- query validation ----------------------------------------------------------
+
+    def _normalize_query(
+        self, query: Expr, group_vars: Optional[Sequence[str]]
+    ) -> Tuple[Expr, Tuple[str, ...]]:
+        if isinstance(query, AggSum):
+            if group_vars is not None and tuple(group_vars) != query.group_vars:
+                raise CompilationError(
+                    "group_vars argument conflicts with the query's AggSum group variables"
+                )
+            return query.expr, query.group_vars
+        return query, tuple(group_vars or ())
+
+    def _validate(self, body: Expr, keys: Tuple[str, ...]) -> None:
+        for node in walk(body):
+            if isinstance(node, AggSum):
+                raise CompilationError(
+                    "nested aggregates are not supported by the trigger compiler "
+                    "(use the direct evaluator for such queries)"
+                )
+            if isinstance(node, MapRef):
+                raise CompilationError("user queries must not contain map references")
+            if isinstance(node, Rel):
+                declared = self.schema.get(node.name)
+                if declared is None:
+                    raise SchemaError(f"relation {node.name!r} is not declared in the schema")
+                if len(declared) != len(node.columns):
+                    raise SchemaError(
+                        f"relation atom {node.name}{node.columns} does not match declared "
+                        f"arity {len(declared)}"
+                    )
+        if not has_only_simple_conditions(body):
+            raise CompilationError(
+                "conditions containing relation atoms (nested aggregates) are not supported "
+                "by the trigger compiler"
+            )
+        check_safety(AggSum(keys, body))
+
+    # -- per-map trigger generation ---------------------------------------------------
+
+    def _process_map(self, definition: MapDefinition, worklist: List[MapDefinition]) -> None:
+        keys = set(definition.key_vars)
+        for relation in sorted(definition.relations):
+            arity = len(self.schema[relation])
+            for sign in (1, -1):
+                event = UpdateEvent.symbolic(sign, relation, arity)
+                event_args = event.argument_names
+                raw_delta = delta(definition.definition, event)
+                if is_zero_literal(raw_delta):
+                    continue
+                bound = keys | set(event_args)
+                simplified = simplify(raw_delta, bound_vars=bound, needed_vars=bound)
+                if is_zero_literal(simplified):
+                    continue
+                rhs_terms: List[Expr] = []
+                for monomial in monomials_of(simplified):
+                    compiled = self._compile_monomial(monomial, definition, event_args, worklist)
+                    if compiled is not None:
+                        rhs_terms.append(compiled)
+                if not rhs_terms:
+                    continue
+                rhs = rhs_terms[0] if len(rhs_terms) == 1 else Add(tuple(rhs_terms))
+                # Identical monomials can emerge only after component materialization
+                # (e.g. the two symmetric terms of a self-join delta); combine them so
+                # the trigger performs one lookup scaled by 2 instead of two lookups.
+                rhs = from_polynomial(combine_like_terms(to_polynomial(rhs)))
+                statement = Statement(
+                    target=definition.name,
+                    target_keys=definition.key_vars,
+                    rhs=rhs,
+                )
+                self._statements[(relation, sign)].append(statement)
+
+    def _compile_monomial(
+        self,
+        monomial: Monomial,
+        parent: MapDefinition,
+        event_args: Tuple[str, ...],
+        worklist: List[MapDefinition],
+    ) -> Optional[Expr]:
+        if monomial.is_zero():
+            return None
+        separator = frozenset(parent.key_vars) | frozenset(event_args)
+        components = connected_components(monomial.factors, separator)
+        rhs_factors: List[Expr] = []
+        for component in components:
+            if component.has_relations:
+                map_reference, deferred = self._materialize_component(
+                    component, separator, parent, worklist
+                )
+                rhs_factors.append(map_reference)
+                rhs_factors.extend(deferred)
+            else:
+                rhs_factors.extend(component.factors)
+        ordered = order_for_safety(rhs_factors, bound_vars=event_args)
+        return Monomial(monomial.coefficient, tuple(ordered)).to_expr()
+
+    def _materialize_component(
+        self,
+        component: Component,
+        separator: frozenset,
+        parent: MapDefinition,
+        worklist: List[MapDefinition],
+    ) -> Tuple[MapRef, Tuple[Expr, ...]]:
+        """Materialize one relation-bearing component as a (possibly shared) child map.
+
+        Non-equality conditions that link a component variable to a separator
+        variable (a group-by key or an update argument) cannot be folded into
+        the materialized view — the view would acquire an "input variable"
+        ranging over the whole domain.  Such conditions are *deferred* to the
+        trigger statement, and the component variables they mention become
+        additional keys of the child map so the statement can still constrain
+        them (this is how inequality joins stay incrementally maintainable).
+        Returns the map reference plus the deferred condition factors.
+        """
+        component, deferred = self._defer_boundary_conditions(component, separator)
+        ordered_vars = self._variables_in_order(component)
+        deferred_vars = set()
+        for condition in deferred:
+            deferred_vars.update(all_variables(condition))
+        child_keys_original = tuple(
+            name
+            for name in ordered_vars
+            if name in separator or name in deferred_vars
+        )
+
+        renaming = {}
+        for index, name in enumerate(child_keys_original):
+            renaming[name] = f"k{index}"
+        fresh = 0
+        for name in ordered_vars:
+            if name not in renaming:
+                renaming[name] = f"v{fresh}"
+                fresh += 1
+
+        canonical_factors = tuple(
+            rename_variables(factor, renaming) for factor in component.factors
+        )
+        canonical_factors = order_for_safety(canonical_factors, bound_vars=())
+        canonical_keys = tuple(f"k{index}" for index in range(len(child_keys_original)))
+        canonical_expr = mul(*canonical_factors)
+
+        registry_key = (canonical_expr, canonical_keys)
+        map_name = self._registry.get(registry_key)
+        if map_name is None:
+            self._counter += 1
+            map_name = f"{self._base_name}_m{self._counter}"
+            definition = MapDefinition(
+                name=map_name,
+                key_vars=canonical_keys,
+                definition=canonical_expr,
+                level=parent.level + 1,
+            )
+            self._registry[registry_key] = map_name
+            self._maps[map_name] = definition
+            worklist.append(definition)
+        return MapRef(map_name, child_keys_original), deferred
+
+    @staticmethod
+    def _defer_boundary_conditions(
+        component: Component, separator: frozenset
+    ) -> Tuple[Component, Tuple[Expr, ...]]:
+        """Split off non-equality conditions that cross the component/separator boundary."""
+        from repro.core.ast import Compare
+
+        kept: List[Expr] = []
+        deferred: List[Expr] = []
+        for factor in component.factors:
+            if isinstance(factor, Compare) and factor.op != "=":
+                variables = all_variables(factor)
+                crosses_boundary = bool(variables & separator) and bool(variables - separator)
+                if crosses_boundary:
+                    deferred.append(factor)
+                    continue
+            kept.append(factor)
+        return Component(tuple(kept)), tuple(deferred)
+
+    @staticmethod
+    def _variables_in_order(component: Component) -> List[str]:
+        """Component variables ordered by first appearance (stable canonical order)."""
+        seen: List[str] = []
+        for factor in component.factors:
+            for name in sorted(all_variables(factor)):
+                if name not in seen:
+                    seen.append(name)
+        return seen
+
+    # -- trigger assembly ------------------------------------------------------------
+
+    def _assemble_triggers(self) -> Dict[Tuple[str, int], Trigger]:
+        triggers: Dict[Tuple[str, int], Trigger] = {}
+        for (relation, sign), statements in self._statements.items():
+            # Parents before children: within one event all reads use the
+            # pre-update state (the runtime snapshots reads), so this ordering
+            # is presentational — it mirrors Equation (1)'s increasing-j order.
+            ordered = tuple(
+                sorted(statements, key=lambda statement: self._maps[statement.target].level)
+            )
+            argument_names = UpdateEvent.symbolic(sign, relation, len(self.schema[relation])).argument_names
+            triggers[(relation, sign)] = Trigger(
+                relation=relation,
+                sign=sign,
+                argument_names=argument_names,
+                statements=ordered,
+            )
+        return triggers
+
+
+def compile_query(
+    query: Expr,
+    schema: Mapping[str, Sequence[str]],
+    name: str = "q",
+    group_vars: Optional[Sequence[str]] = None,
+) -> TriggerProgram:
+    """Convenience wrapper around :class:`Compiler`."""
+    return Compiler(schema).compile(query, name=name, group_vars=group_vars)

@@ -1,0 +1,66 @@
+"""Materialized-map definitions for the trigger compiler.
+
+A map is a materialized view ``M[k1, ..., kn] := AggSum((k1, ..., kn), body)``:
+one stored aggregate value per combination of key values.  The result of a
+compiled query is the level-0 map; the maps materializing delta components are
+its children, grandchildren, and so on — the view hierarchy of Section 1.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+from repro.core.ast import AggSum, Expr, relations_mentioned
+from repro.core.degree import degree
+
+
+@dataclass(frozen=True)
+class MapDefinition:
+    """One materialized view of the compiled hierarchy.
+
+    Attributes
+    ----------
+    name:
+        Unique map name (``q`` for the result map, ``q_m1``, ``q_m2``, ... for
+        auxiliary maps).
+    key_vars:
+        The map's key variables, in storage order.  The stored content is one
+        aggregate value per key combination.
+    definition:
+        The AGCA body; the map's meaning is ``AggSum(key_vars, definition)``
+        evaluated over the current database.
+    level:
+        Depth in the materialization hierarchy (0 for the query result map).
+    """
+
+    name: str
+    key_vars: Tuple[str, ...]
+    definition: Expr
+    level: int = 0
+
+    @property
+    def arity(self) -> int:
+        return len(self.key_vars)
+
+    @property
+    def relations(self) -> FrozenSet[str]:
+        """Base relations this map depends on (each contributes two triggers)."""
+        return relations_mentioned(self.definition)
+
+    @property
+    def degree(self) -> int:
+        """Degree of the defining expression — bounds the remaining recursion depth."""
+        return degree(self.definition)
+
+    def as_aggregate(self) -> AggSum:
+        """The full defining query ``AggSum(key_vars, definition)``."""
+        return AggSum(self.key_vars, self.definition)
+
+    def describe(self) -> str:
+        """A one-line human-readable description used by ``explain()`` output."""
+        keys = ", ".join(self.key_vars)
+        return f"{self.name}[{keys}] := Sum_[{keys}] {self.definition}"
+
+    def __repr__(self) -> str:
+        return f"MapDefinition({self.describe()})"

@@ -1,0 +1,119 @@
+"""Trigger intermediate representation (the paper's "NC⁰C" programs).
+
+A compiled query becomes a :class:`TriggerProgram`: a set of map definitions
+plus, for every base relation ``R`` and every sign, a :class:`Trigger` —
+a list of increment statements executed when a tuple is inserted into or
+deleted from ``R``.  Each :class:`Statement` increments one map by the value
+of a right-hand-side expression that refers only to trigger arguments,
+constants, conditions and *other maps* (never to base relations), which is
+what makes per-value maintenance work constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.core.ast import AggSum, Expr, MapRef, walk
+from repro.compiler.maps import MapDefinition
+
+
+@dataclass(frozen=True)
+class Statement:
+    """``target[target_keys] += rhs`` (for every key combination produced by ``rhs``).
+
+    The right-hand side is an AGCA expression over map references and
+    update-argument variables; evaluating ``AggSum(target_keys, rhs)`` under
+    the trigger-argument bindings yields the per-key increments to apply.
+    """
+
+    target: str
+    target_keys: Tuple[str, ...]
+    rhs: Expr
+
+    def as_aggregate(self) -> AggSum:
+        return AggSum(self.target_keys, self.rhs)
+
+    def maps_read(self) -> Tuple[str, ...]:
+        """Names of the maps referenced by the right-hand side."""
+        names = []
+        for node in walk(self.rhs):
+            if isinstance(node, MapRef) and node.name not in names:
+                names.append(node.name)
+        return tuple(names)
+
+    def describe(self) -> str:
+        keys = ", ".join(self.target_keys)
+        return f"{self.target}[{keys}] += {self.rhs}"
+
+    def __repr__(self) -> str:
+        return f"Statement({self.describe()})"
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """All statements to execute for one update event kind ``±R(args)``."""
+
+    relation: str
+    sign: int
+    argument_names: Tuple[str, ...]
+    statements: Tuple[Statement, ...]
+
+    @property
+    def event_name(self) -> str:
+        sign = "insert" if self.sign == 1 else "delete"
+        return f"on_{sign}_{self.relation}"
+
+    def describe(self) -> str:
+        sign = "+" if self.sign == 1 else "-"
+        header = f"ON {sign}{self.relation}({', '.join(self.argument_names)}):"
+        body = "\n".join(f"  {statement.describe()}" for statement in self.statements)
+        return f"{header}\n{body}" if body else f"{header}\n  (no-op)"
+
+    def __repr__(self) -> str:
+        return f"Trigger({self.event_name}, {len(self.statements)} statements)"
+
+
+@dataclass
+class TriggerProgram:
+    """A compiled query: the map hierarchy plus one trigger per event kind."""
+
+    result_map: str
+    maps: Dict[str, MapDefinition]
+    triggers: Dict[Tuple[str, int], Trigger]
+    schema: Dict[str, Tuple[str, ...]]
+
+    def trigger_for(self, relation: str, sign: int) -> Optional[Trigger]:
+        return self.triggers.get((relation, sign))
+
+    @property
+    def result_definition(self) -> MapDefinition:
+        return self.maps[self.result_map]
+
+    @property
+    def group_vars(self) -> Tuple[str, ...]:
+        return self.result_definition.key_vars
+
+    def auxiliary_maps(self) -> Tuple[MapDefinition, ...]:
+        """All maps other than the result map, ordered by hierarchy level then name."""
+        others = [definition for name, definition in self.maps.items() if name != self.result_map]
+        return tuple(sorted(others, key=lambda definition: (definition.level, definition.name)))
+
+    def statement_count(self) -> int:
+        return sum(len(trigger.statements) for trigger in self.triggers.values())
+
+    def explain(self) -> str:
+        """A human-readable listing of the whole program (maps + triggers)."""
+        lines = ["MAPS:"]
+        for definition in sorted(self.maps.values(), key=lambda d: (d.level, d.name)):
+            lines.append(f"  [level {definition.level}] {definition.describe()}")
+        lines.append("TRIGGERS:")
+        for key in sorted(self.triggers, key=lambda pair: (pair[0], -pair[1])):
+            lines.append(self.triggers[key].describe())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"TriggerProgram(result={self.result_map!r}, maps={len(self.maps)}, "
+            f"triggers={len(self.triggers)}, statements={self.statement_count()})"
+        )

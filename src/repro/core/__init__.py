@@ -1,0 +1,89 @@
+"""AGCA — the aggregate query calculus and its delta machinery (Sections 4–6).
+
+This package is the paper's primary contribution:
+
+* :mod:`repro.core.ast` / :mod:`repro.core.parser` — abstract and concrete syntax;
+* :mod:`repro.core.semantics` — the denotational semantics ``[[q]](A) ∈ =>A[T]``;
+* :mod:`repro.core.variables` — range-restriction (safety) analysis;
+* :mod:`repro.core.degree` — the polynomial degree of Definition 6.3;
+* :mod:`repro.core.normalization` / :mod:`repro.core.factorization` /
+  :mod:`repro.core.simplify` — polynomial normal form, monomial factorization
+  and algebraic simplification;
+* :mod:`repro.core.delta` — the delta operator and recursive deltas;
+* :mod:`repro.core.recursive_delta` — the abstract memoization technique of
+  Section 1.1 (Figure 1).
+"""
+
+from repro.core.ast import (
+    Add,
+    AggSum,
+    Assign,
+    Compare,
+    Const,
+    Expr,
+    MapRef,
+    Mul,
+    Neg,
+    Rel,
+    Sum,
+    Var,
+    add,
+    mul,
+)
+from repro.core.degree import degree, has_only_simple_conditions
+from repro.core.delta import UpdateEvent, delta, delta_for_update, nth_delta
+from repro.core.errors import (
+    AGCAError,
+    CompilationError,
+    DeltaError,
+    ParseError,
+    UnboundVariableError,
+    UnsafeQueryError,
+)
+from repro.core.parser import parse, to_string
+from repro.core.recursive_delta import PolynomialFunction, RecursiveDeltaMemo
+from repro.core.semantics import evaluate, evaluate_value, meaning
+from repro.core.simplify import make_safe, simplify
+from repro.core.variables import check_safety, is_safe, needed_variables, output_variables
+
+__all__ = [
+    "Add",
+    "AggSum",
+    "Assign",
+    "Compare",
+    "Const",
+    "Expr",
+    "MapRef",
+    "Mul",
+    "Neg",
+    "Rel",
+    "Sum",
+    "Var",
+    "add",
+    "mul",
+    "degree",
+    "has_only_simple_conditions",
+    "UpdateEvent",
+    "delta",
+    "delta_for_update",
+    "nth_delta",
+    "AGCAError",
+    "CompilationError",
+    "DeltaError",
+    "ParseError",
+    "UnboundVariableError",
+    "UnsafeQueryError",
+    "parse",
+    "to_string",
+    "PolynomialFunction",
+    "RecursiveDeltaMemo",
+    "evaluate",
+    "evaluate_value",
+    "meaning",
+    "make_safe",
+    "simplify",
+    "check_safety",
+    "is_safe",
+    "needed_variables",
+    "output_variables",
+]

@@ -1,0 +1,56 @@
+"""Polynomial degree of AGCA expressions (Definition 6.3).
+
+The degree counts relation atoms multiplied together; it is the structural
+complexity measure that the delta operator strictly reduces (Theorem 6.4) and
+it bounds the data complexity O(n^deg) of non-incremental evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.core.ast import Add, AggSum, Assign, Compare, Expr, MapRef, Mul, Neg, Rel
+
+
+def degree(expr: Expr) -> int:
+    """The polynomial degree of an AGCA expression (Definition 6.3).
+
+    * ``deg(a * b) = deg(a) + deg(b)``
+    * ``deg(a + b) = max(deg(a), deg(b))``
+    * ``deg(-a) = deg(Sum(a)) = deg(a θ 0) = deg(a)``
+    * ``deg(R(~x)) = 1``; constants, variables, assignments and map references
+      have degree 0 (map references hold already-materialized values and are
+      never differentiated).
+    """
+    if isinstance(expr, Rel):
+        return 1
+    if isinstance(expr, Mul):
+        return sum(degree(factor) for factor in expr.factors)
+    if isinstance(expr, Add):
+        return max((degree(term) for term in expr.terms), default=0)
+    if isinstance(expr, Neg):
+        return degree(expr.expr)
+    if isinstance(expr, AggSum):
+        return degree(expr.expr)
+    if isinstance(expr, Compare):
+        return max(degree(expr.left), degree(expr.right))
+    if isinstance(expr, Assign):
+        return degree(expr.expr)
+    if isinstance(expr, MapRef):
+        return 0
+    return 0
+
+
+def is_simple_condition(expr: Compare) -> bool:
+    """A condition is *simple* when its operands contain no relation atoms.
+
+    For simple conditions the delta of the condition is identically zero
+    (their operands do not depend on the database), which is the hypothesis of
+    Theorem 6.4.
+    """
+    return degree(expr.left) == 0 and degree(expr.right) == 0
+
+
+def has_only_simple_conditions(expr: Expr) -> bool:
+    """True when every condition atom in the expression is simple."""
+    if isinstance(expr, Compare):
+        return is_simple_condition(expr)
+    return all(has_only_simple_conditions(child) for child in expr.children())

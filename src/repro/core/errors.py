@@ -1,0 +1,45 @@
+"""Exception hierarchy for the AGCA calculus and its compiler."""
+
+from __future__ import annotations
+
+
+class AGCAError(Exception):
+    """Base class for all errors raised by the AGCA calculus."""
+
+
+class UnboundVariableError(AGCAError):
+    """A variable was evaluated without a binding (the `fail` of the §4 semantics)."""
+
+    def __init__(self, name: str):
+        super().__init__(f"variable {name!r} is not bound at evaluation time")
+        self.name = name
+
+
+class UnsafeQueryError(AGCAError):
+    """A query is not range-restricted: some variable can never receive a binding."""
+
+
+class NotScalarError(AGCAError):
+    """An expression used as a condition operand or assignment source did not
+    evaluate to a value on the nullary tuple ⟨⟩ only."""
+
+
+class SchemaError(AGCAError):
+    """A relation atom does not match the declared schema (arity mismatch, unknown name)."""
+
+
+class ParseError(AGCAError):
+    """The AGCA concrete-syntax parser rejected its input."""
+
+    def __init__(self, message: str, position: int = -1):
+        suffix = f" (at token {position})" if position >= 0 else ""
+        super().__init__(message + suffix)
+        self.position = position
+
+
+class CompilationError(AGCAError):
+    """The trigger compiler could not handle a query (e.g. non-simple conditions)."""
+
+
+class DeltaError(AGCAError):
+    """The delta operator was applied to an expression it does not support."""

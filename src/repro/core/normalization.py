@@ -1,0 +1,139 @@
+"""Polynomial normal form for AGCA expressions (Section 5).
+
+Because AGCA inherits distributivity from the ring of databases, every
+expression can be brought into a sum-of-monomials form: a list of
+:class:`Monomial` values, each an integer/ring coefficient together with an
+ordered tuple of atomic factors (relation atoms, conditions, assignments,
+variables, map references, or whole aggregates treated atomically).  Factor
+order is preserved during expansion because products pass bindings sideways —
+reordering is a separate, safety-aware step performed by
+:mod:`repro.core.simplify`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.ast import (
+    Add,
+    AggSum,
+    Assign,
+    Compare,
+    Const,
+    Expr,
+    MapRef,
+    Mul,
+    Neg,
+    Rel,
+    Var,
+    ZERO,
+    mul,
+)
+
+#: Node types that are kept as atomic factors of a monomial.
+ATOMIC_FACTORS = (Rel, Compare, Assign, Var, MapRef, AggSum)
+
+
+@dataclass(frozen=True)
+class Monomial:
+    """A product ``coefficient * f1 * f2 * ...`` of atomic factors."""
+
+    coefficient: int
+    factors: Tuple[Expr, ...]
+
+    def is_zero(self) -> bool:
+        return self.coefficient == 0
+
+    def scaled(self, scalar: int) -> "Monomial":
+        return Monomial(self.coefficient * scalar, self.factors)
+
+    def times(self, other: "Monomial") -> "Monomial":
+        """Concatenate factor lists (left factors first, preserving binding order)."""
+        return Monomial(self.coefficient * other.coefficient, self.factors + other.factors)
+
+    def to_expr(self) -> Expr:
+        """Rebuild a single product expression."""
+        if self.coefficient == 0:
+            return ZERO
+        factors: List[Expr] = list(self.factors)
+        if self.coefficient == 1 and factors:
+            return mul(*factors)
+        if self.coefficient == -1 and factors:
+            return Neg(mul(*factors))
+        return mul(Const(self.coefficient), *factors)
+
+    def relation_atoms(self) -> Tuple[Rel, ...]:
+        return tuple(factor for factor in self.factors if isinstance(factor, Rel))
+
+    def __repr__(self) -> str:
+        inner = " * ".join(str(factor) for factor in self.factors) or "1"
+        return f"{self.coefficient} * {inner}"
+
+
+def to_polynomial(expr: Expr) -> List[Monomial]:
+    """Expand an expression into a list of monomials (no like-term combination)."""
+    if isinstance(expr, Const):
+        value = expr.value
+        if not isinstance(value, (int, float)):
+            raise TypeError(f"non-numeric constant {value!r} cannot appear as a multiplicity")
+        return [] if value == 0 else [Monomial(value, ())]
+
+    if isinstance(expr, Neg):
+        return [monomial.scaled(-1) for monomial in to_polynomial(expr.expr)]
+
+    if isinstance(expr, Add):
+        monomials: List[Monomial] = []
+        for term in expr.terms:
+            monomials.extend(to_polynomial(term))
+        return monomials
+
+    if isinstance(expr, Mul):
+        product: List[Monomial] = [Monomial(1, ())]
+        for factor in expr.factors:
+            factor_monomials = to_polynomial(factor)
+            product = [left.times(right) for left in product for right in factor_monomials]
+            if not product:
+                return []
+        return [monomial for monomial in product if not monomial.is_zero()]
+
+    if isinstance(expr, ATOMIC_FACTORS):
+        return [Monomial(1, (expr,))]
+
+    raise TypeError(f"cannot normalize unknown AGCA expression node: {expr!r}")
+
+
+def combine_like_terms(monomials: Sequence[Monomial]) -> List[Monomial]:
+    """Merge monomials with identical factor sequences by adding their coefficients."""
+    combined = {}
+    order: List[Tuple[Expr, ...]] = []
+    for monomial in monomials:
+        if monomial.factors not in combined:
+            combined[monomial.factors] = 0
+            order.append(monomial.factors)
+        combined[monomial.factors] += monomial.coefficient
+    return [
+        Monomial(combined[factors], factors)
+        for factors in order
+        if combined[factors] != 0
+    ]
+
+
+def from_polynomial(monomials: Sequence[Monomial]) -> Expr:
+    """Rebuild an expression from a list of monomials."""
+    expressions = [monomial.to_expr() for monomial in monomials if not monomial.is_zero()]
+    if not expressions:
+        return ZERO
+    if len(expressions) == 1:
+        return expressions[0]
+    return Add(tuple(expressions))
+
+
+def polynomial_normal_form(expr: Expr) -> Expr:
+    """Expand, combine like terms, and rebuild — the normal form of Section 5."""
+    return from_polynomial(combine_like_terms(to_polynomial(expr)))
+
+
+def monomials_of(expr: Expr) -> List[Monomial]:
+    """Expanded and like-term-combined monomials of an expression."""
+    return combine_like_terms(to_polynomial(expr))

@@ -1,0 +1,275 @@
+"""Concrete syntax for AGCA: a small tokenizer, recursive-descent parser and
+pretty printer.
+
+The syntax follows the paper's EBNF with a few notational conveniences:
+
+* relation atoms:      ``R(x, y)``
+* aggregation:         ``Sum(q)`` and ``AggSum([c, d], q)``
+* conditions:          parenthesized comparisons such as ``(x < y)``,
+                       ``(Sum(R(x)) > 5)``; ``=``, ``!=``, ``<``, ``<=``, ``>``, ``>=``
+* assignments:         ``x := q``
+* map references:      ``m[x, y]`` (compiler-internal, accepted for round-tripping)
+* literals:            integers, floats, and quoted strings
+
+Examples
+--------
+>>> parse("Sum(C(c, n) * C(c2, n2) * (n = n2))")
+AggSum((), Mul(...))
+>>> print(to_string(parse("Sum(R(x, y) * 3 * x)")))
+Sum(R(x, y) * 3 * x)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from repro.core.ast import (
+    Add,
+    AggSum,
+    Assign,
+    Compare,
+    Const,
+    Expr,
+    MapRef,
+    Mul,
+    Neg,
+    Rel,
+    Var,
+)
+from repro.core.errors import ParseError
+
+
+class Token(NamedTuple):
+    kind: str
+    value: str
+    position: int
+
+
+_TOKEN_SPEC = [
+    ("NUMBER", r"\d+\.\d+|\d+"),
+    ("STRING", r"'[^']*'|\"[^\"]*\""),
+    ("ASSIGN", r":="),
+    ("CMP", r"!=|<=|>=|=|<|>"),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_']*"),
+    ("OP", r"[+\-*(),\[\]]"),
+    ("WS", r"\s+"),
+]
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split the input into tokens, raising :class:`ParseError` on junk."""
+    tokens: List[Token] = []
+    position = 0
+    for match in _TOKEN_RE.finditer(text):
+        if match.start() != position:
+            raise ParseError(f"unexpected character {text[position]!r}", position)
+        kind = match.lastgroup
+        if kind != "WS":
+            tokens.append(Token(kind, match.group(), match.start()))
+        position = match.end()
+    if position != len(text):
+        raise ParseError(f"unexpected character {text[position]!r}", position)
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    def _peek(self) -> Optional[Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input", self.index)
+        self.index += 1
+        return token
+
+    def _accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        token = self._peek()
+        if token is not None and token.kind == kind and (value is None or token.value == value):
+            self.index += 1
+            return token
+        return None
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self._accept(kind, value)
+        if token is None:
+            found = self._peek()
+            found_text = repr(found.value) if found is not None else "end of input"
+            expectation = value or kind
+            raise ParseError(f"expected {expectation!r}, found {found_text}", self.index)
+        return token
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self) -> Expr:
+        expr = self.expression()
+        if self._peek() is not None:
+            raise ParseError(f"trailing input starting at {self._peek().value!r}", self.index)
+        return expr
+
+    def expression(self) -> Expr:
+        terms = [self.product()]
+        negations = [False]
+        while True:
+            if self._accept("OP", "+"):
+                terms.append(self.product())
+                negations.append(False)
+            elif self._accept("OP", "-"):
+                terms.append(self.product())
+                negations.append(True)
+            else:
+                break
+        built = [Neg(term) if negate else term for term, negate in zip(terms, negations)]
+        if len(built) == 1:
+            return built[0]
+        return Add(tuple(built))
+
+    def product(self) -> Expr:
+        factors = [self.unary()]
+        while self._accept("OP", "*"):
+            factors.append(self.unary())
+        if len(factors) == 1:
+            return factors[0]
+        return Mul(tuple(factors))
+
+    def unary(self) -> Expr:
+        if self._accept("OP", "-"):
+            return Neg(self.unary())
+        return self.primary()
+
+    def primary(self) -> Expr:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input", self.index)
+
+        if token.kind == "NUMBER":
+            self._next()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Const(value)
+
+        if token.kind == "STRING":
+            self._next()
+            return Const(token.value[1:-1])
+
+        if token.kind == "OP" and token.value == "(":
+            self._next()
+            inner = self.expression()
+            comparison = self._accept("CMP")
+            if comparison is not None:
+                right = self.expression()
+                self._expect("OP", ")")
+                return Compare(inner, comparison.value, right)
+            self._expect("OP", ")")
+            return inner
+
+        if token.kind == "IDENT":
+            return self._identifier()
+
+        raise ParseError(f"unexpected token {token.value!r}", self.index)
+
+    def _identifier(self) -> Expr:
+        name_token = self._expect("IDENT")
+        name = name_token.value
+
+        if name == "Sum" and self._accept("OP", "("):
+            inner = self.expression()
+            self._expect("OP", ")")
+            return AggSum((), inner)
+
+        if name == "AggSum" and self._accept("OP", "("):
+            self._expect("OP", "[")
+            group_vars = self._variable_list("]")
+            self._expect("OP", "]")
+            self._expect("OP", ",")
+            inner = self.expression()
+            self._expect("OP", ")")
+            return AggSum(tuple(group_vars), inner)
+
+        if self._accept("OP", "("):
+            columns = self._variable_list(")")
+            self._expect("OP", ")")
+            return Rel(name, tuple(columns))
+
+        if self._accept("OP", "["):
+            key_vars = self._variable_list("]")
+            self._expect("OP", "]")
+            return MapRef(name, tuple(key_vars))
+
+        if self._accept("ASSIGN"):
+            return Assign(name, self.unary())
+
+        return Var(name)
+
+    def _variable_list(self, closing: str) -> List[str]:
+        names: List[str] = []
+        token = self._peek()
+        if token is not None and token.kind == "OP" and token.value == closing:
+            return names
+        names.append(self._expect("IDENT").value)
+        while self._accept("OP", ","):
+            names.append(self._expect("IDENT").value)
+        return names
+
+
+def parse(text: str) -> Expr:
+    """Parse AGCA concrete syntax into an expression tree."""
+    return _Parser(tokenize(text)).parse()
+
+
+# ---------------------------------------------------------------------------
+# Pretty printer
+# ---------------------------------------------------------------------------
+
+
+def to_string(expr: Expr) -> str:
+    """Render an expression in the concrete syntax accepted by :func:`parse`."""
+    if isinstance(expr, Const):
+        if isinstance(expr.value, str):
+            return f"'{expr.value}'"
+        return str(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Rel):
+        return f"{expr.name}({', '.join(expr.columns)})"
+    if isinstance(expr, MapRef):
+        return f"{expr.name}[{', '.join(expr.key_vars)}]"
+    if isinstance(expr, Neg):
+        return f"-{_wrap(expr.expr)}"
+    if isinstance(expr, Add):
+        return " + ".join(_wrap(term) if isinstance(term, Add) else to_string(term) for term in expr.terms)
+    if isinstance(expr, Mul):
+        return " * ".join(
+            _wrap(factor) if isinstance(factor, (Add, Neg, Assign)) else to_string(factor)
+            for factor in expr.factors
+        )
+    if isinstance(expr, AggSum):
+        if not expr.group_vars:
+            return f"Sum({to_string(expr.expr)})"
+        return f"AggSum([{', '.join(expr.group_vars)}], {to_string(expr.expr)})"
+    if isinstance(expr, Compare):
+        return f"({to_string(expr.left)} {expr.op} {to_string(expr.right)})"
+    if isinstance(expr, Assign):
+        return f"{expr.var} := {_wrap_assign(expr.expr)}"
+    raise TypeError(f"unknown AGCA expression node: {expr!r}")
+
+
+def _wrap(expr: Expr) -> str:
+    return f"({to_string(expr)})"
+
+
+def _wrap_assign(expr: Expr) -> str:
+    if isinstance(expr, (Add, Mul)):
+        return f"({to_string(expr)})"
+    return to_string(expr)

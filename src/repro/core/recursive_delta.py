@@ -1,0 +1,182 @@
+"""The abstract recursive-delta memoization technique of Section 1.1.
+
+Given a function ``f`` whose ``k``-th delta vanishes identically, and a finite
+set ``U`` of possible updates, the technique memoizes the values of ``∆^j f``
+for every ``j < k`` and every ``j``-tuple of updates, at the current point
+``x``.  An update ``x := x + u`` is then applied with *additions only*
+(Equation (1)):
+
+    ∆^j f(x_new, θ) := ∆^j f(x_cur, θ) + ∆^{j+1} f(x_cur, θ, u)
+
+Nothing is ever recomputed from the function's definition after
+initialization.  This module provides the machinery generically — any object
+implementing the small :class:`DeltaFunction` protocol can be maintained —
+plus the polynomial instance used by Figure 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from itertools import product as cartesian_product
+from typing import Any, Dict, Generic, Iterable, List, Protocol, Sequence, Tuple, TypeVar
+
+from repro.algebra.polynomials import Polynomial
+
+Update = TypeVar("Update")
+
+
+class DeltaFunction(Protocol):
+    """The interface required of a function maintained by :class:`RecursiveDeltaMemo`."""
+
+    def evaluate(self, point: Any) -> Any:
+        """The value ``f(point)``."""
+
+    def delta(self, update: Any) -> "DeltaFunction":
+        """The function ``x -> f(x + update) - f(x)``."""
+
+    def is_identically_zero(self) -> bool:
+        """True when the function is 0 on every input."""
+
+
+class PolynomialFunction:
+    """Adapter exposing :class:`repro.algebra.polynomials.Polynomial` as a DeltaFunction."""
+
+    __slots__ = ("polynomial",)
+
+    def __init__(self, polynomial: Polynomial):
+        self.polynomial = polynomial
+
+    def evaluate(self, point: Any) -> Any:
+        return self.polynomial(point)
+
+    def delta(self, update: Any) -> "PolynomialFunction":
+        return PolynomialFunction(self.polynomial.delta(update))
+
+    def is_identically_zero(self) -> bool:
+        return self.polynomial.is_zero()
+
+    def __repr__(self) -> str:
+        return f"PolynomialFunction({self.polynomial!r})"
+
+
+class RecursiveDeltaMemo(Generic[Update]):
+    """Memoized hierarchy of deltas supporting constant-work updates (Section 1.1).
+
+    Parameters
+    ----------
+    function:
+        The function ``f`` to maintain (a :class:`DeltaFunction`).
+    updates:
+        The finite update set ``U``; update tuples index the memoized deltas.
+    initial_point:
+        The starting value of ``x``; the only moment the function definitions
+        are evaluated.
+    max_order:
+        Safety bound on the delta order (the recursion stops as soon as a
+        delta is identically zero, which for polynomials happens at
+        ``degree + 1``).
+    """
+
+    def __init__(
+        self,
+        function: DeltaFunction,
+        updates: Sequence[Update],
+        initial_point: Any,
+        max_order: int = 16,
+    ):
+        self.updates: Tuple[Update, ...] = tuple(updates)
+        self.point = initial_point
+        self.additions_performed = 0
+        self.initial_evaluations = 0
+
+        # Build the delta hierarchy ∆^j f for each update tuple, stopping at the
+        # first identically-zero level.
+        self._order = 0
+        level_functions: Dict[Tuple[Update, ...], DeltaFunction] = {(): function}
+        self._memo: Dict[Tuple[Update, ...], Any] = {}
+        while level_functions and self._order < max_order:
+            next_level: Dict[Tuple[Update, ...], DeltaFunction] = {}
+            all_zero = True
+            for key, level_function in level_functions.items():
+                if level_function.is_identically_zero():
+                    continue
+                all_zero = False
+                self._memo[key] = level_function.evaluate(initial_point)
+                self.initial_evaluations += 1
+                for update in self.updates:
+                    next_level[key + (update,)] = level_function.delta(update)
+            if all_zero:
+                break
+            self._order += 1
+            level_functions = next_level
+        if () not in self._memo:
+            # Identically-zero functions still maintain their (constant) value.
+            self._memo[()] = function.evaluate(initial_point)
+            self.initial_evaluations += 1
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """The number of memoized delta levels (the paper's ``k``)."""
+        return self._order
+
+    @property
+    def memo_size(self) -> int:
+        """Number of memoized values (``|U|^0 + ... + |U|^{k-1}`` minus pruned zeros)."""
+        return len(self._memo)
+
+    def value(self) -> Any:
+        """The maintained value ``f(x)`` for the current ``x``."""
+        return self._memo[()]
+
+    def delta_value(self, *updates: Update) -> Any:
+        """The maintained value ``∆^j f(x, u_1, ..., u_j)`` (0 if pruned as constant zero)."""
+        return self._memo.get(tuple(updates), 0)
+
+    def snapshot(self) -> Dict[Tuple[Update, ...], Any]:
+        """A copy of the full memo table (one row of Figure 1)."""
+        return dict(self._memo)
+
+    # -- the update rule (Equation (1)) -----------------------------------------
+
+    def apply(self, update: Update) -> Any:
+        """Apply ``x := x + update`` using only additions of memoized values.
+
+        Returns the new value of ``f(x)``.  Values are updated in order of
+        increasing delta level, in place, exactly as described in Section 1.1.
+        """
+        if update not in self.updates:
+            raise ValueError(f"update {update!r} is not in the declared update set")
+        for key in sorted(self._memo, key=len):
+            higher = self._memo.get(key + (update,))
+            if higher is not None:
+                self._memo[key] = self._memo[key] + higher
+                self.additions_performed += 1
+        self.point = self.point + update
+        return self._memo[()]
+
+    def apply_all(self, updates: Iterable[Update]) -> Any:
+        result = self.value()
+        for update in updates:
+            result = self.apply(update)
+        return result
+
+
+def figure1_rows(points: Iterable[int] = range(-2, 5)) -> List[Dict[str, Any]]:
+    """Reproduce Figure 1 of the paper: the seven memoized values for f(x) = x².
+
+    For each ``x`` in ``points`` the returned row contains ``f(x)``,
+    ``∆f(x, ±1)`` and ``∆²f(x, ±1, ±1)`` — the values a
+    :class:`RecursiveDeltaMemo` holds when the current point is ``x``.
+    """
+    square = Polynomial.monomial(2)
+    rows: List[Dict[str, Any]] = []
+    for x in points:
+        row: Dict[str, Any] = {"x": x, "f(x)": square(x)}
+        for u1 in (-1, +1):
+            row[f"df(x,{u1:+d})"] = square.delta(u1)(x)
+        for u1 in (-1, +1):
+            for u2 in (-1, +1):
+                row[f"d2f(x,{u1:+d},{u2:+d})"] = square.delta(u1).delta(u2)(x)
+        rows.append(row)
+    return rows

@@ -1,0 +1,142 @@
+"""Variable and range-restriction (safety) analysis for AGCA expressions (Section 4).
+
+The evaluation of a variable fails when it is not bound; queries in which this
+can happen are illegal.  The analysis here is the analogue of range
+restriction for relational calculus mentioned in the paper: it walks products
+left to right (the direction bindings are passed sideways), tracking which
+variables are guaranteed to be bound, and reports the variables that would
+still be required from the environment.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.core.ast import (
+    Add,
+    AggSum,
+    Assign,
+    Compare,
+    Const,
+    Expr,
+    MapRef,
+    Mul,
+    Neg,
+    Rel,
+    Var,
+    walk,
+)
+from repro.core.errors import UnsafeQueryError
+
+EMPTY: FrozenSet[str] = frozenset()
+
+
+def all_variables(expr: Expr) -> FrozenSet[str]:
+    """Every variable name occurring anywhere in the expression."""
+    names = set()
+    for node in walk(expr):
+        if isinstance(node, Var):
+            names.add(node.name)
+        elif isinstance(node, Rel):
+            names.update(node.columns)
+        elif isinstance(node, MapRef):
+            names.update(node.key_vars)
+        elif isinstance(node, Assign):
+            names.add(node.var)
+        elif isinstance(node, AggSum):
+            names.update(node.group_vars)
+    return frozenset(names)
+
+
+def binding_analysis(expr: Expr, bound: Iterable[str] = ()) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+    """Return ``(needed, produced)`` for evaluation under the given bound variables.
+
+    ``needed`` is the set of variables the expression would have to receive
+    from its environment (beyond ``bound``) to evaluate without failure;
+    ``produced`` is the set of variables that are guaranteed to be bound in
+    every record of the result (and hence visible to later factors of an
+    enclosing product).
+    """
+    bound = frozenset(bound)
+
+    if isinstance(expr, Const):
+        return EMPTY, EMPTY
+
+    if isinstance(expr, Var):
+        return frozenset({expr.name}) - bound, EMPTY
+
+    if isinstance(expr, Rel):
+        return EMPTY, frozenset(expr.columns)
+
+    if isinstance(expr, MapRef):
+        return EMPTY, frozenset(expr.key_vars)
+
+    if isinstance(expr, Assign):
+        needed, _ = binding_analysis(expr.expr, bound)
+        return needed, frozenset({expr.var})
+
+    if isinstance(expr, Compare):
+        left_needed, _ = binding_analysis(expr.left, bound)
+        right_needed, _ = binding_analysis(expr.right, bound)
+        return left_needed | right_needed, EMPTY
+
+    if isinstance(expr, Neg):
+        return binding_analysis(expr.expr, bound)
+
+    if isinstance(expr, Mul):
+        currently_bound = set(bound)
+        needed = set()
+        for factor in expr.factors:
+            factor_needed, factor_produced = binding_analysis(factor, frozenset(currently_bound))
+            needed.update(factor_needed)
+            currently_bound.update(factor_produced)
+        produced = frozenset(currently_bound) - bound
+        return frozenset(needed), produced
+
+    if isinstance(expr, Add):
+        if not expr.terms:
+            return EMPTY, EMPTY
+        needed = set()
+        produced = None
+        for term in expr.terms:
+            term_needed, term_produced = binding_analysis(term, bound)
+            needed.update(term_needed)
+            produced = term_produced if produced is None else produced & term_produced
+        return frozenset(needed), frozenset(produced or EMPTY)
+
+    if isinstance(expr, AggSum):
+        inner_needed, inner_produced = binding_analysis(expr.expr, bound)
+        group_vars = frozenset(expr.group_vars)
+        # Group-by variables that the body neither produces nor receives from
+        # the environment make the aggregate unsafe; they are reported as needed.
+        missing_groups = group_vars - inner_produced - bound
+        return inner_needed | missing_groups, group_vars
+
+    raise TypeError(f"unknown AGCA expression node: {expr!r}")
+
+
+def needed_variables(expr: Expr, bound: Iterable[str] = ()) -> FrozenSet[str]:
+    """Variables that must be supplied by the environment for safe evaluation."""
+    needed, _ = binding_analysis(expr, bound)
+    return needed
+
+
+def output_variables(expr: Expr, bound: Iterable[str] = ()) -> FrozenSet[str]:
+    """Variables guaranteed to be bound in every record of the result."""
+    _, produced = binding_analysis(expr, bound)
+    return produced
+
+
+def is_safe(expr: Expr, bound: Iterable[str] = ()) -> bool:
+    """True when the expression is range-restricted given the bound variables."""
+    return not needed_variables(expr, bound)
+
+
+def check_safety(expr: Expr, bound: Iterable[str] = ()) -> None:
+    """Raise :class:`UnsafeQueryError` when the expression is not range-restricted."""
+    needed = needed_variables(expr, bound)
+    if needed:
+        raise UnsafeQueryError(
+            f"query is not range-restricted: variables {sorted(needed)} may be unbound "
+            f"(bound from outside: {sorted(set(bound))})"
+        )

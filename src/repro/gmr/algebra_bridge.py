@@ -1,0 +1,92 @@
+"""Classical multiset relational algebra expressed on top of gmrs (Section 5).
+
+The paper shows that on classical multiset relations (uniform schema,
+non-negative multiplicities) the ring operations specialize to the familiar
+operators: ``*`` is natural join, ``+`` is multiset union, conditions are
+selections, and ``Sum`` is the SQL aggregate.  The helpers here give those
+operators their usual names — they are convenience wrappers used by the
+baseline engines, the workload generators and the tests that validate the
+correspondence stated in Section 5.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.gmr.records import Record
+from repro.gmr.relation import GMR
+
+
+def selection(relation: GMR, predicate: Callable[[Record], bool]) -> GMR:
+    """σ_predicate — keep records satisfying the predicate, multiplicities unchanged."""
+    return relation.filter(predicate)
+
+
+def projection(relation: GMR, columns: Iterable[str]) -> GMR:
+    """π_columns — multiset projection (multiplicities of collapsing records add up)."""
+    return relation.project(columns)
+
+
+def renaming(relation: GMR, mapping: Mapping[str, str]) -> GMR:
+    """ρ — rename columns."""
+    return relation.rename(mapping)
+
+
+def natural_join(left: GMR, right: GMR) -> GMR:
+    """⋈ — on classical multiset relations this is exactly ``left * right``."""
+    return left * right
+
+
+def multiset_union(left: GMR, right: GMR) -> GMR:
+    """∪ (multiset union, additive) — exactly ``left + right``."""
+    return left + right
+
+
+def cross_product(left: GMR, right: GMR) -> GMR:
+    """× — natural join of relations with disjoint schemas.
+
+    Raises when the schemas overlap, because then ``*`` would be a join, not a
+    cross product, and silently returning it would hide a modelling error.
+    """
+    left_schema = left.schema()
+    right_schema = right.schema()
+    if left_schema is None or right_schema is None:
+        raise ValueError("cross product requires uniform-schema operands")
+    if left_schema & right_schema:
+        raise ValueError(
+            f"cross product operands share columns {sorted(left_schema & right_schema)}; "
+            "use natural_join instead"
+        )
+    return left * right
+
+
+def aggregate_sum(relation: GMR, value: Callable[[Record], Any] = None) -> Any:
+    """SUM aggregate: total multiplicity, optionally weighted by a per-record value.
+
+    ``aggregate_sum(R)`` is ``SELECT SUM(1)`` (i.e. COUNT(*) under multiset
+    semantics); ``aggregate_sum(R, lambda r: r["price"])`` is
+    ``SELECT SUM(price)``.
+    """
+    ring = relation.ring
+    if value is None:
+        return relation.total()
+    return ring.sum(
+        ring.mul(multiplicity, ring.coerce(value(record))) for record, multiplicity in relation.items()
+    )
+
+
+def group_by_sum(
+    relation: GMR,
+    group_columns: Iterable[str],
+    value: Callable[[Record], Any] = None,
+) -> dict:
+    """GROUP BY + SUM: a dict from group record to aggregate value."""
+    ring = relation.ring
+    group_columns = tuple(group_columns)
+    groups: dict = {}
+    for record, multiplicity in relation.items():
+        key = record.restrict(group_columns)
+        weight = ring.one if value is None else ring.coerce(value(record))
+        contribution = ring.mul(multiplicity, weight)
+        groups[key] = ring.add(groups.get(key, ring.zero), contribution)
+    return {key: total for key, total in groups.items() if not ring.is_zero(total)}

@@ -1,0 +1,218 @@
+"""Databases, schemas, and single-tuple update events ``±R(t)`` (Sections 3 and 6).
+
+A :class:`Database` is a finite collection of named gmrs, each with a declared
+column order (needed to interpret positional relation atoms ``R(x1, ..., xk)``
+in AGCA).  A :class:`Update` is the paper's single-tuple insertion/deletion
+event; applying it adds ``±{t}`` to the named relation — precisely the ``D + u``
+of the introduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.algebra.semirings import INTEGER_RING, Semiring
+from repro.gmr.records import Record
+from repro.gmr.relation import GMR
+
+INSERT = 1
+DELETE = -1
+
+
+@dataclass(frozen=True)
+class Update:
+    """A single-tuple update event ``±R(t)``.
+
+    ``sign`` is +1 for an insertion and -1 for a deletion; ``values`` are the
+    tuple's data values in the relation's declared column order.
+    """
+
+    sign: int
+    relation: str
+    values: Tuple[Any, ...]
+
+    def __post_init__(self):
+        if self.sign not in (INSERT, DELETE):
+            raise ValueError("update sign must be +1 (insert) or -1 (delete)")
+        object.__setattr__(self, "values", tuple(self.values))
+
+    @property
+    def is_insert(self) -> bool:
+        return self.sign == INSERT
+
+    @property
+    def is_delete(self) -> bool:
+        return self.sign == DELETE
+
+    def inverted(self) -> "Update":
+        """The update that undoes this one."""
+        return Update(-self.sign, self.relation, self.values)
+
+    def __repr__(self) -> str:
+        sign = "+" if self.is_insert else "-"
+        inner = ", ".join(repr(value) for value in self.values)
+        return f"{sign}{self.relation}({inner})"
+
+
+def insert(relation: str, *values: Any) -> Update:
+    """Convenience constructor: ``insert('R', 1, 2)`` is ``+R(1, 2)``."""
+    return Update(INSERT, relation, values)
+
+
+def delete(relation: str, *values: Any) -> Update:
+    """Convenience constructor: ``delete('R', 1, 2)`` is ``-R(1, 2)``."""
+    return Update(DELETE, relation, values)
+
+
+class Database:
+    """A named collection of gmrs with declared column orders.
+
+    Parameters
+    ----------
+    schema:
+        Mapping from relation name to its ordered column names, e.g.
+        ``{"R": ("A", "B"), "S": ("C", "D")}``.  Relations not mentioned can
+        still be added later with :meth:`declare`.
+    ring:
+        Coefficient structure for multiplicities (default ℤ).
+    """
+
+    def __init__(self, schema: Optional[Mapping[str, Sequence[str]]] = None, ring: Semiring = INTEGER_RING):
+        self.ring = ring
+        self._columns: Dict[str, Tuple[str, ...]] = {}
+        self._relations: Dict[str, GMR] = {}
+        if schema:
+            for name, columns in schema.items():
+                self.declare(name, columns)
+
+    # -- schema management ---------------------------------------------------------
+
+    def declare(self, name: str, columns: Sequence[str]) -> None:
+        """Declare (or re-declare, if unchanged) a relation and its column order."""
+        columns = tuple(columns)
+        if len(set(columns)) != len(columns):
+            raise ValueError(f"relation {name!r} has duplicate column names: {columns}")
+        existing = self._columns.get(name)
+        if existing is not None and existing != columns:
+            raise ValueError(
+                f"relation {name!r} already declared with columns {existing}, got {columns}"
+            )
+        self._columns[name] = columns
+        self._relations.setdefault(name, GMR.zero(ring=self.ring))
+
+    def columns(self, name: str) -> Tuple[str, ...]:
+        """The declared column order of a relation."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(f"unknown relation {name!r}; declared: {sorted(self._columns)}") from None
+
+    def relation_names(self) -> Iterable[str]:
+        return self._columns.keys()
+
+    def arity(self, name: str) -> int:
+        return len(self.columns(name))
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._columns
+
+    @property
+    def schema(self) -> Dict[str, Tuple[str, ...]]:
+        """A copy of the full schema mapping."""
+        return dict(self._columns)
+
+    # -- contents --------------------------------------------------------------------
+
+    def relation(self, name: str) -> GMR:
+        """The current gmr stored under ``name`` (empty if never touched)."""
+        self.columns(name)
+        return self._relations[name]
+
+    def __getitem__(self, name: str) -> GMR:
+        return self.relation(name)
+
+    def set_relation(self, name: str, value: GMR) -> None:
+        """Replace the contents of a relation wholesale."""
+        self.columns(name)
+        if value.ring != self.ring:
+            raise ValueError("relation coefficient structure does not match the database")
+        self._relations[name] = value
+
+    def load(self, name: str, tuples: Iterable[Sequence[Any]]) -> None:
+        """Bulk-insert tuples (each in declared column order) into a relation."""
+        columns = self.columns(name)
+        addition = GMR.from_tuples(columns, tuples, ring=self.ring)
+        self._relations[name] = self._relations[name] + addition
+
+    def size(self, name: Optional[str] = None) -> int:
+        """Number of distinct records in one relation, or in the whole database."""
+        if name is not None:
+            return len(self.relation(name))
+        return sum(len(gmr) for gmr in self._relations.values())
+
+    def active_domain(self) -> frozenset:
+        """All data values appearing anywhere in the database."""
+        values = set()
+        for gmr in self._relations.values():
+            values.update(gmr.active_domain())
+        return frozenset(values)
+
+    def is_empty(self) -> bool:
+        return all(gmr.is_zero() for gmr in self._relations.values())
+
+    # -- updates -----------------------------------------------------------------------
+
+    def record_for(self, update: Update) -> Record:
+        """The record ``{A_i -> t_i}`` denoted by an update's values."""
+        columns = self.columns(update.relation)
+        if len(columns) != len(update.values):
+            raise ValueError(
+                f"update arity mismatch for {update.relation!r}: "
+                f"expected {len(columns)} values, got {len(update.values)}"
+            )
+        return Record.from_values(columns, update.values)
+
+    def delta_gmr(self, update: Update) -> GMR:
+        """The gmr ``±{t}`` that the update adds to its relation."""
+        record = self.record_for(update)
+        return GMR.singleton(record, multiplicity=self.ring.from_int(update.sign), ring=self.ring)
+
+    def apply(self, update: Update) -> None:
+        """Apply a single-tuple update in place: ``R += ±{t}``."""
+        self._relations[update.relation] = self.relation(update.relation) + self.delta_gmr(update)
+
+    def apply_all(self, updates: Iterable[Update]) -> None:
+        for update in updates:
+            self.apply(update)
+
+    def updated(self, update: Update) -> "Database":
+        """A copy of the database with the update applied (``D + u``)."""
+        clone = self.copy()
+        clone.apply(update)
+        return clone
+
+    def copy(self) -> "Database":
+        """A shallow-but-safe copy (gmrs are immutable, so sharing them is fine)."""
+        clone = Database(ring=self.ring)
+        clone._columns = dict(self._columns)
+        clone._relations = dict(self._relations)
+        return clone
+
+    # -- dunder -----------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        if self.ring != other.ring or self._columns != other._columns:
+            return False
+        return self._relations == other._relations
+
+    def __iter__(self) -> Iterator[Tuple[str, GMR]]:
+        return iter(self._relations.items())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}{self._columns[name]}: {len(gmr)} rows" for name, gmr in self._relations.items()
+        )
+        return f"Database({parts})"

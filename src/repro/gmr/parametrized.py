@@ -1,0 +1,153 @@
+"""Parametrized gmrs — the avalanche ring of databases ``=>A[T]`` (Section 3.2).
+
+A :class:`PGMR` is a function from binding records to gmrs, with the avalanche
+operations: addition is pointwise and multiplication passes bindings sideways,
+
+    (f * g)(b)(x) = sum over {x} = {y} ⋈ {z}, {b} ⋈ {y} ≠ ∅
+                    of f(b)(y) *_A g(b ⋈ y)(z).
+
+AGCA query meanings are PGMRs (the evaluator in :mod:`repro.core.semantics`
+produces them); this module provides the structure itself so that the
+avalanche-ring laws can be exercised directly, plus the helpers used in the
+paper's Example 3.5 (conditions as parametrized gmrs).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.algebra.semirings import INTEGER_RING, Semiring
+from repro.gmr.records import EMPTY_RECORD, Record
+from repro.gmr.relation import GMR
+
+
+class PGMR:
+    """A parametrized gmr: a function ``T -> A[T]`` with avalanche operations."""
+
+    __slots__ = ("ring", "_function")
+
+    def __init__(self, function: Callable[[Record], GMR], ring: Semiring = INTEGER_RING):
+        self.ring = ring
+        self._function = function
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def lift(cls, value: GMR) -> "PGMR":
+        """A constant pgmr (ignores its binding) — the raw embedding of A[T].
+
+        Note that a constant function is a *well-formed* pgmr (``f(b)(x) = 0``
+        for inconsistent ``b, x``) only when evaluated at bindings consistent
+        with every record of ``value``; use :meth:`from_gmr` for the embedding
+        that restricts the output to records consistent with the binding,
+        which satisfies the pgmr condition everywhere.
+        """
+        return cls(lambda _binding: value, ring=value.ring)
+
+    @classmethod
+    def from_gmr(cls, value: GMR) -> "PGMR":
+        """The well-formed embedding of A[T] into =>A[T].
+
+        The returned pgmr maps a binding ``b`` to the restriction of ``value``
+        to records consistent with ``b`` — exactly the image of the natural
+        projection of Section 2.4 applied to the constant function, and the
+        shape produced by evaluating a relational atom.
+        """
+
+        def function(binding: Record) -> GMR:
+            if binding.is_empty():
+                return value
+            return value.filter(lambda record: binding.join(record) is not None)
+
+        return cls(function, ring=value.ring)
+
+    @classmethod
+    def zero(cls, ring: Semiring = INTEGER_RING) -> "PGMR":
+        return cls(lambda _binding: GMR.zero(ring=ring), ring=ring)
+
+    @classmethod
+    def one(cls, ring: Semiring = INTEGER_RING) -> "PGMR":
+        return cls(lambda _binding: GMR.one(ring=ring), ring=ring)
+
+    @classmethod
+    def condition(cls, predicate: Callable[[Record], bool], ring: Semiring = INTEGER_RING) -> "PGMR":
+        """A condition pgmr: maps a binding to {⟨⟩: 1} when the predicate holds.
+
+        This is the shape of the comparison atoms of Example 3.5: the result
+        is supported only on the nullary tuple and acts as a 0/1 multiplier.
+        """
+
+        def function(binding: Record) -> GMR:
+            if predicate(binding):
+                return GMR.one(ring=ring)
+            return GMR.zero(ring=ring)
+
+        return cls(function, ring=ring)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def __call__(self, binding: Record = EMPTY_RECORD) -> GMR:
+        result = self._function(binding)
+        if result.ring != self.ring:
+            raise ValueError("pgmr produced a gmr over an unexpected coefficient structure")
+        return result
+
+    def equals_on(self, other: "PGMR", probes: Iterable[Record]) -> bool:
+        """Extensional equality restricted to the given probe bindings."""
+        return all(self(probe) == other(probe) for probe in probes)
+
+    # -- avalanche operations (Section 3.2) --------------------------------------------
+
+    def __add__(self, other: "PGMR") -> "PGMR":
+        self._check_compatible(other)
+        return PGMR(lambda binding: self(binding) + other(binding), ring=self.ring)
+
+    def __neg__(self) -> "PGMR":
+        return PGMR(lambda binding: -self(binding), ring=self.ring)
+
+    def __sub__(self, other: "PGMR") -> "PGMR":
+        self._check_compatible(other)
+        return self + (-other)
+
+    def __mul__(self, other: "PGMR") -> "PGMR":
+        """Sideways-binding product: the right factor sees bindings extended by the left."""
+        self._check_compatible(other)
+        ring = self.ring
+
+        def product(binding: Record) -> GMR:
+            accumulator: dict = {}
+            left_value = self(binding)
+            for left_record, left_multiplicity in left_value.items():
+                extended = binding.join(left_record)
+                if extended is None:
+                    # {b} ⋈ {y} = ∅: excluded by the pgmr well-formedness condition.
+                    continue
+                right_value = other(extended)
+                for right_record, right_multiplicity in right_value.items():
+                    joined = left_record.join(right_record)
+                    if joined is None:
+                        continue
+                    contribution = ring.mul(left_multiplicity, right_multiplicity)
+                    if joined in accumulator:
+                        accumulator[joined] = ring.add(accumulator[joined], contribution)
+                    else:
+                        accumulator[joined] = contribution
+            return GMR(accumulator, ring=ring)
+
+        return PGMR(product, ring=ring)
+
+    def aggregate(self) -> "PGMR":
+        """Collapse each result gmr to its total multiplicity at ⟨⟩ (the Sum of §4)."""
+        ring = self.ring
+
+        def function(binding: Record) -> GMR:
+            return GMR.scalar(self(binding).total(), ring=ring)
+
+        return PGMR(function, ring=ring)
+
+    def _check_compatible(self, other: "PGMR") -> None:
+        if self.ring != other.ring:
+            raise ValueError("cannot combine pgmrs over different coefficient structures")
+
+    def __repr__(self) -> str:
+        return f"<PGMR over {self.ring.name}>"

@@ -1,0 +1,177 @@
+"""Schema-polymorphic records and the singleton-join monoid (Section 3.1).
+
+A *record* is a tuple with a schema of its own: a partial function from
+column names to data values.  Records of different schemas coexist inside one
+generalized multiset relation — this is what makes union and join total
+operations and yields the ring structure.
+
+``Record.join`` implements the natural join of two singletons: the union of
+the two partial functions when they agree on shared columns, ``None`` (the
+empty relation ∅, the absorbing element of ``Sng∅``) otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+
+class Record(Mapping):
+    """An immutable, hashable partial function from column names to values."""
+
+    __slots__ = ("_items", "_dict", "_hash")
+
+    def __init__(self, mapping: Any = ()):
+        if isinstance(mapping, Record):
+            data = dict(mapping._dict)
+        elif isinstance(mapping, Mapping):
+            data = dict(mapping)
+        else:
+            data = dict(mapping)
+        for column in data:
+            if not isinstance(column, str):
+                raise TypeError(f"column names must be strings, got {column!r}")
+        self._dict: Dict[str, Any] = data
+        self._items: Tuple[Tuple[str, Any], ...] = tuple(sorted(data.items()))
+        self._hash = hash(self._items)
+
+    # -- Mapping protocol ------------------------------------------------------
+
+    def __getitem__(self, column: str) -> Any:
+        return self._dict[column]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._dict)
+
+    def __len__(self) -> int:
+        return len(self._dict)
+
+    def __contains__(self, column: object) -> bool:
+        return column in self._dict
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Record):
+            return self._items == other._items
+        if isinstance(other, Mapping):
+            return self._dict == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        if not self._items:
+            return "⟨⟩"
+        inner = ", ".join(f"{column}={value!r}" for column, value in self._items)
+        return f"⟨{inner}⟩"
+
+    # -- schema ----------------------------------------------------------------
+
+    @property
+    def columns(self) -> frozenset:
+        """The record's schema (its domain as a partial function)."""
+        return frozenset(self._dict)
+
+    def is_empty(self) -> bool:
+        """True for the nullary tuple ⟨⟩ (the join identity)."""
+        return not self._dict
+
+    # -- the Sng∅ monoid operation ----------------------------------------------
+
+    def join(self, other: "Record") -> Optional["Record"]:
+        """Natural join of singletons.
+
+        Returns the merged record when the two agree on all shared columns,
+        ``None`` otherwise (the absorbing ∅ of the monoid ``Sng∅``).
+        """
+        if not other._dict:
+            return self
+        if not self._dict:
+            return other
+        small, large = (self, other) if len(self) <= len(other) else (other, self)
+        merged = dict(large._dict)
+        for column, value in small._dict.items():
+            existing = merged.get(column, _MISSING)
+            if existing is _MISSING:
+                merged[column] = value
+            elif existing != value:
+                return None
+        return Record(merged)
+
+    def consistent_with(self, other: "Record") -> bool:
+        """True when the two records agree on every shared column."""
+        return self.join(other) is not None
+
+    # -- record surgery -----------------------------------------------------------
+
+    def restrict(self, columns: Iterable[str]) -> "Record":
+        """Project onto the given columns (missing columns are dropped silently)."""
+        wanted = set(columns)
+        return Record({column: value for column, value in self._dict.items() if column in wanted})
+
+    def drop(self, columns: Iterable[str]) -> "Record":
+        """Remove the given columns."""
+        unwanted = set(columns)
+        return Record(
+            {column: value for column, value in self._dict.items() if column not in unwanted}
+        )
+
+    def rename(self, mapping: Mapping[str, str]) -> "Record":
+        """Rename columns; columns not mentioned keep their names."""
+        renamed: Dict[str, Any] = {}
+        for column, value in self._dict.items():
+            target = mapping.get(column, column)
+            if target in renamed and renamed[target] != value:
+                raise ValueError(f"rename collapses columns with conflicting values: {target}")
+            renamed[target] = value
+        return Record(renamed)
+
+    def extend(self, **columns: Any) -> "Record":
+        """Return a copy with extra columns added (existing values must agree)."""
+        merged = self.join(Record(columns))
+        if merged is None:
+            raise ValueError("extension conflicts with existing column values")
+        return merged
+
+    def values_for(self, columns: Iterable[str]) -> Tuple[Any, ...]:
+        """The values of the given columns, in the given order (KeyError if missing)."""
+        return tuple(self._dict[column] for column in columns)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A plain mutable dict copy."""
+        return dict(self._dict)
+
+    # -- constructors --------------------------------------------------------------
+
+    @classmethod
+    def of(cls, **columns: Any) -> "Record":
+        """Keyword-argument constructor: ``Record.of(A=1, B='x')``."""
+        return cls(columns)
+
+    @classmethod
+    def from_values(cls, columns: Iterable[str], values: Iterable[Any]) -> "Record":
+        """Build a record by zipping column names with values."""
+        columns = tuple(columns)
+        values = tuple(values)
+        if len(columns) != len(values):
+            raise ValueError(
+                f"column/value arity mismatch: {len(columns)} columns, {len(values)} values"
+            )
+        data: Dict[str, Any] = {}
+        for column, value in zip(columns, values):
+            if column in data and data[column] != value:
+                raise ValueError(f"conflicting values for repeated column {column!r}")
+            data[column] = value
+        return cls(data)
+
+
+class _Missing:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+#: The nullary tuple ⟨⟩ — the identity of the singleton-join monoid.
+EMPTY_RECORD = Record()

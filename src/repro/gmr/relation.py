@@ -1,0 +1,300 @@
+"""Generalized multiset relations — the ring of databases A[T] (Definition 3.1).
+
+A :class:`GMR` maps records (schema-polymorphic tuples) to multiplicities
+drawn from a coefficient (semi)ring; only finitely many records have nonzero
+multiplicity.  Addition is pointwise (generalized multiset union),
+multiplication is the convolution product over natural-join factorizations
+(generalized natural join), and — when the coefficient structure is a ring —
+negation is pointwise, which models deletions.
+
+On classical multiset relations (uniform schema, non-negative multiplicities)
+``*`` coincides with the usual multiset natural join and ``+`` with multiset
+union; the extra generality is exactly what is needed to make both operations
+total and to obtain the additive inverse required for delta processing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Tuple, Union
+
+from repro.algebra.semirings import INTEGER_RING, Semiring
+from repro.gmr.records import EMPTY_RECORD, Record
+
+RowLike = Union[Record, Mapping[str, Any]]
+
+
+def _as_record(row: RowLike) -> Record:
+    return row if isinstance(row, Record) else Record(row)
+
+
+class GMR:
+    """A generalized multiset relation: a finitely-supported map ``T -> A``."""
+
+    __slots__ = ("ring", "_data")
+
+    def __init__(self, data: Optional[Mapping[RowLike, Any]] = None, ring: Semiring = INTEGER_RING):
+        self.ring = ring
+        cleaned: Dict[Record, Any] = {}
+        if data:
+            for row, multiplicity in data.items():
+                record = _as_record(row)
+                value = ring.coerce(multiplicity)
+                if record in cleaned:
+                    value = ring.add(cleaned[record], value)
+                if ring.is_zero(value):
+                    cleaned.pop(record, None)
+                else:
+                    cleaned[record] = value
+        self._data = cleaned
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def zero(cls, ring: Semiring = INTEGER_RING) -> "GMR":
+        """The empty gmr — the additive identity 0 of A[T]."""
+        return cls(ring=ring)
+
+    @classmethod
+    def one(cls, ring: Semiring = INTEGER_RING) -> "GMR":
+        """The multiplicative identity: the nullary tuple ⟨⟩ with multiplicity 1."""
+        return cls({EMPTY_RECORD: ring.one}, ring=ring)
+
+    @classmethod
+    def scalar(cls, value: Any, ring: Semiring = INTEGER_RING) -> "GMR":
+        """The nullary tuple with the given multiplicity (a "number" in A[T])."""
+        return cls({EMPTY_RECORD: value}, ring=ring)
+
+    @classmethod
+    def singleton(cls, row: RowLike, multiplicity: Any = 1, ring: Semiring = INTEGER_RING) -> "GMR":
+        """A single record with the given multiplicity."""
+        return cls({_as_record(row): multiplicity}, ring=ring)
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Iterable[RowLike],
+        multiplicity: Any = 1,
+        ring: Semiring = INTEGER_RING,
+    ) -> "GMR":
+        """Build a multiset relation from an iterable of rows (duplicates add up)."""
+        data: Dict[Record, Any] = {}
+        for row in rows:
+            record = _as_record(row)
+            data[record] = ring.add(data.get(record, ring.zero), ring.coerce(multiplicity))
+        return cls(data, ring=ring)
+
+    @classmethod
+    def from_tuples(
+        cls,
+        columns: Iterable[str],
+        tuples: Iterable[Iterable[Any]],
+        ring: Semiring = INTEGER_RING,
+    ) -> "GMR":
+        """Build a uniform-schema relation from column names and value tuples."""
+        columns = tuple(columns)
+        return cls.from_rows((Record.from_values(columns, values) for values in tuples), ring=ring)
+
+    # -- inspection -------------------------------------------------------------
+
+    def __getitem__(self, row: RowLike) -> Any:
+        """The multiplicity of a record (0 outside the support)."""
+        return self._data.get(_as_record(row), self.ring.zero)
+
+    def get(self, row: RowLike, default: Any = None) -> Any:
+        value = self._data.get(_as_record(row))
+        if value is None:
+            return self.ring.zero if default is None else default
+        return value
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._data)
+
+    def items(self) -> Iterator[Tuple[Record, Any]]:
+        return iter(self._data.items())
+
+    def support(self) -> Iterable[Record]:
+        """The records with nonzero multiplicity."""
+        return self._data.keys()
+
+    def __len__(self) -> int:
+        """Number of distinct records in the support."""
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def is_zero(self) -> bool:
+        return not self._data
+
+    def __contains__(self, row: object) -> bool:
+        try:
+            record = _as_record(row)  # type: ignore[arg-type]
+        except Exception:
+            return False
+        return record in self._data
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GMR):
+            return NotImplemented
+        return self.ring == other.ring and self._data == other._data
+
+    def __hash__(self) -> int:
+        return hash((self.ring, frozenset(self._data.items())))
+
+    def __repr__(self) -> str:
+        if not self._data:
+            return "GMR{}"
+        entries = ", ".join(
+            f"{record!r}: {multiplicity}" for record, multiplicity in sorted(self._data.items(), key=repr)
+        )
+        return "GMR{" + entries + "}"
+
+    # -- schema-level helpers -----------------------------------------------------
+
+    def schema(self) -> Optional[frozenset]:
+        """The common schema of all records, or ``None`` if schemas differ."""
+        schemas = {record.columns for record in self._data}
+        if not schemas:
+            return frozenset()
+        if len(schemas) == 1:
+            return next(iter(schemas))
+        return None
+
+    def is_multiset_relation(self) -> bool:
+        """True when all records share one schema and no multiplicity is negative.
+
+        Only meaningful for ordered coefficient structures (ℤ, ℚ, ℝ, ℕ).
+        """
+        if self.schema() is None:
+            return False
+        try:
+            return all(multiplicity >= self.ring.zero for multiplicity in self._data.values())
+        except TypeError:
+            return True
+
+    def total(self) -> Any:
+        """The sum of all multiplicities — the value of ``Sum`` over this gmr."""
+        return self.ring.sum(self._data.values())
+
+    def active_domain(self) -> frozenset:
+        """All data values appearing in any record."""
+        values = set()
+        for record in self._data:
+            values.update(record.values())
+        return frozenset(values)
+
+    # -- ring operations (Definition 3.1) -------------------------------------------
+
+    def __add__(self, other: "GMR") -> "GMR":
+        """Pointwise addition (generalized multiset union)."""
+        self._check_compatible(other)
+        ring = self.ring
+        if not other._data:
+            return self
+        if not self._data:
+            return other
+        result = dict(self._data)
+        for record, multiplicity in other._data.items():
+            if record in result:
+                summed = ring.add(result[record], multiplicity)
+                if ring.is_zero(summed):
+                    del result[record]
+                else:
+                    result[record] = summed
+            else:
+                result[record] = multiplicity
+        return self._wrap(result)
+
+    def __neg__(self) -> "GMR":
+        """Pointwise additive inverse — a deletion of this relation."""
+        ring = self.ring
+        return self._wrap({record: ring.neg(value) for record, value in self._data.items()})
+
+    def __sub__(self, other: "GMR") -> "GMR":
+        self._check_compatible(other)
+        return self + (-other)
+
+    def __mul__(self, other: Union["GMR", int, float]) -> "GMR":
+        """Convolution over natural-join factorizations (generalized natural join).
+
+        Multiplying by a plain number applies the A-module scalar action.
+        """
+        if not isinstance(other, GMR):
+            return self.scale(other)
+        self._check_compatible(other)
+        ring = self.ring
+        result: Dict[Record, Any] = {}
+        for left_record, left_multiplicity in self._data.items():
+            for right_record, right_multiplicity in other._data.items():
+                joined = left_record.join(right_record)
+                if joined is None:
+                    continue
+                contribution = ring.mul(left_multiplicity, right_multiplicity)
+                if joined in result:
+                    result[joined] = ring.add(result[joined], contribution)
+                else:
+                    result[joined] = contribution
+        return self._wrap(self._strip_zeros(result))
+
+    def __rmul__(self, other: Union[int, float]) -> "GMR":
+        return self.scale(other)
+
+    def scale(self, scalar: Any) -> "GMR":
+        """The A-module scalar action ``a · R`` (Proposition 2.15)."""
+        ring = self.ring
+        scalar = ring.coerce(scalar)
+        if ring.is_zero(scalar):
+            return GMR.zero(ring=ring)
+        return self._wrap(
+            self._strip_zeros(
+                {record: ring.mul(scalar, value) for record, value in self._data.items()}
+            )
+        )
+
+    # -- relational-algebra-flavoured helpers (used by the bridge and the evaluator) --
+
+    def filter(self, predicate) -> "GMR":
+        """Keep only records satisfying ``predicate`` (multiplicities unchanged)."""
+        return self._wrap(
+            {record: value for record, value in self._data.items() if predicate(record)}
+        )
+
+    def map_records(self, transform) -> "GMR":
+        """Apply ``transform`` to every record; multiplicities of equal images add up."""
+        ring = self.ring
+        result: Dict[Record, Any] = {}
+        for record, value in self._data.items():
+            image = _as_record(transform(record))
+            if image in result:
+                result[image] = ring.add(result[image], value)
+            else:
+                result[image] = value
+        return self._wrap(self._strip_zeros(result))
+
+    def project(self, columns: Iterable[str]) -> "GMR":
+        """Multiset projection: restrict records to ``columns`` and add multiplicities."""
+        columns = tuple(columns)
+        return self.map_records(lambda record: record.restrict(columns))
+
+    def rename(self, mapping: Mapping[str, str]) -> "GMR":
+        """Rename columns in every record."""
+        return self.map_records(lambda record: record.rename(mapping))
+
+    # -- internals ----------------------------------------------------------------
+
+    def _wrap(self, data: Dict[Record, Any]) -> "GMR":
+        gmr = GMR.__new__(GMR)
+        gmr.ring = self.ring
+        gmr._data = data
+        return gmr
+
+    def _strip_zeros(self, data: Dict[Record, Any]) -> Dict[Record, Any]:
+        ring = self.ring
+        return {record: value for record, value in data.items() if not ring.is_zero(value)}
+
+    def _check_compatible(self, other: "GMR") -> None:
+        if self.ring != other.ring:
+            raise ValueError(
+                f"cannot combine gmrs over different coefficient structures: "
+                f"{self.ring.name} vs {other.ring.name}"
+            )

@@ -1,0 +1,105 @@
+"""Common interface of the incremental view maintenance engines.
+
+Three engines implement it:
+
+* :class:`repro.ivm.recursive.RecursiveIVM` — the paper's technique
+  (compiled trigger program over a hierarchy of materialized views);
+* :class:`repro.ivm.classical.ClassicalIVM` — the classical first-order
+  baseline (materialize only the query result, evaluate the first delta
+  against the stored base relations on every update);
+* :class:`repro.ivm.naive.NaiveReevaluation` — re-evaluate the query from
+  scratch after every update.
+
+All engines expose the same ``apply`` / ``result`` interface and comparable
+timing/operation statistics, which is what the benchmarks and the
+cross-validation tests rely on.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.core.ast import AggSum, Expr
+from repro.gmr.database import Database, Update
+
+
+@dataclass
+class EngineStatistics:
+    """Wall-clock and work counters shared by all engines."""
+
+    updates_processed: int = 0
+    seconds_in_updates: float = 0.0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def seconds_per_update(self) -> float:
+        if not self.updates_processed:
+            return 0.0
+        return self.seconds_in_updates / self.updates_processed
+
+
+class IVMEngine(ABC):
+    """Maintains the result of one aggregate query under single-tuple updates."""
+
+    #: Short identifier used in benchmark tables.
+    name: str = "engine"
+
+    def __init__(self, query: Expr, schema: Mapping[str, Sequence[str]]):
+        self.query = query if isinstance(query, AggSum) else AggSum((), query)
+        self.schema = {relation: tuple(columns) for relation, columns in schema.items()}
+        self.statistics = EngineStatistics()
+
+    # -- the engine-specific parts ------------------------------------------------
+
+    @abstractmethod
+    def _apply(self, update: Update) -> None:
+        """Process one update (timed by :meth:`apply`)."""
+
+    @abstractmethod
+    def result(self) -> Any:
+        """The current query result: a scalar for ungrouped queries, else a dict."""
+
+    # -- shared driver --------------------------------------------------------------
+
+    def apply(self, update: Update) -> None:
+        """Apply one single-tuple update, recording wall-clock time."""
+        started = time.perf_counter()
+        self._apply(update)
+        self.statistics.seconds_in_updates += time.perf_counter() - started
+        self.statistics.updates_processed += 1
+
+    def apply_all(self, updates: Iterable[Update]) -> None:
+        for update in updates:
+            self.apply(update)
+
+    def run(self, updates: Iterable[Update]) -> Any:
+        """Apply a whole stream and return the final result."""
+        self.apply_all(updates)
+        return self.result()
+
+    @property
+    def group_vars(self) -> Tuple[str, ...]:
+        return self.query.group_vars
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} for {self.query}>"
+
+
+def result_as_mapping(result: Any) -> Dict[Tuple[Any, ...], Any]:
+    """Normalize an engine result to a ``{key tuple: value}`` mapping.
+
+    Scalars become ``{(): value}`` (dropping a zero scalar, to match the
+    convention that absent keys mean zero).
+    """
+    if isinstance(result, dict):
+        return {key: value for key, value in result.items() if value != 0}
+    if result == 0:
+        return {}
+    return {(): result}
+
+
+def results_agree(left: Any, right: Any) -> bool:
+    """True when two engine results denote the same mapping."""
+    return result_as_mapping(left) == result_as_mapping(right)

@@ -1,0 +1,131 @@
+"""Cross-validation and side-by-side measurement of the three engines.
+
+Used heavily by the integration tests (all engines must agree on every prefix
+of every stream) and by the benchmark harness (per-update cost and throughput
+comparisons that reproduce the paper's complexity-separation claim
+empirically).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.ast import Expr
+from repro.gmr.database import Update
+from repro.ivm.base import IVMEngine, results_agree
+from repro.ivm.classical import ClassicalIVM
+from repro.ivm.naive import NaiveReevaluation
+from repro.ivm.recursive import RecursiveIVM
+
+#: Factory signature: (query, schema) -> engine.
+EngineFactory = Callable[[Expr, Mapping[str, Sequence[str]]], IVMEngine]
+
+DEFAULT_ENGINES: Dict[str, EngineFactory] = {
+    "recursive": lambda query, schema: RecursiveIVM(query, schema),
+    "recursive-generated": lambda query, schema: RecursiveIVM(query, schema, backend="generated"),
+    "classical": lambda query, schema: ClassicalIVM(query, schema),
+    "naive": lambda query, schema: NaiveReevaluation(query, schema),
+}
+
+
+@dataclass
+class Disagreement:
+    """A point in the stream where two engines produced different results."""
+
+    position: int
+    update: Update
+    results: Dict[str, Any]
+
+    def __repr__(self) -> str:
+        return f"Disagreement(after update #{self.position}: {self.update!r}, results={self.results!r})"
+
+
+def cross_validate(
+    query: Expr,
+    schema: Mapping[str, Sequence[str]],
+    updates: Sequence[Update],
+    engines: Optional[Mapping[str, EngineFactory]] = None,
+    check_every: int = 1,
+) -> Optional[Disagreement]:
+    """Run the same stream through several engines and compare results along the way.
+
+    Returns ``None`` when all engines agree at every checked prefix, or the
+    first :class:`Disagreement` otherwise.
+    """
+    factories = dict(engines or DEFAULT_ENGINES)
+    instances = {name: factory(query, schema) for name, factory in factories.items()}
+    reference_name = next(iter(instances))
+    for position, update in enumerate(updates):
+        for instance in instances.values():
+            instance.apply(update)
+        if position % check_every != 0 and position != len(updates) - 1:
+            continue
+        reference = instances[reference_name].result()
+        for name, instance in instances.items():
+            if not results_agree(reference, instance.result()):
+                return Disagreement(
+                    position=position,
+                    update=update,
+                    results={label: engine.result() for label, engine in instances.items()},
+                )
+    return None
+
+
+@dataclass
+class EngineMeasurement:
+    """Timing summary for one engine over one stream."""
+
+    engine: str
+    updates: int
+    total_seconds: float
+    final_result: Any
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def seconds_per_update(self) -> float:
+        return self.total_seconds / self.updates if self.updates else 0.0
+
+    @property
+    def updates_per_second(self) -> float:
+        return self.updates / self.total_seconds if self.total_seconds else float("inf")
+
+
+def measure_engines(
+    query: Expr,
+    schema: Mapping[str, Sequence[str]],
+    warmup: Sequence[Update],
+    measured: Sequence[Update],
+    engines: Optional[Mapping[str, EngineFactory]] = None,
+) -> List[EngineMeasurement]:
+    """Feed each engine a warm-up prefix, then time the measured suffix.
+
+    The warm-up prefix builds up a database of the desired size so that the
+    measured per-update cost reflects the steady state (this is where the
+    recursive engine's size-independence shows).
+    """
+    factories = dict(engines or DEFAULT_ENGINES)
+    measurements: List[EngineMeasurement] = []
+    for name, factory in factories.items():
+        engine = factory(query, schema)
+        for update in warmup:
+            engine.apply(update)
+        started = time.perf_counter()
+        for update in measured:
+            engine.apply(update)
+        elapsed = time.perf_counter() - started
+        extra: Dict[str, Any] = {}
+        if isinstance(engine, RecursiveIVM):
+            extra["map_entries"] = engine.total_map_entries()
+            extra["maps"] = len(engine.program.maps)
+        measurements.append(
+            EngineMeasurement(
+                engine=name,
+                updates=len(measured),
+                total_seconds=elapsed,
+                final_result=engine.result(),
+                extra=extra,
+            )
+        )
+    return measurements

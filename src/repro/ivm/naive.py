@@ -1,0 +1,51 @@
+"""Naive baseline: re-evaluate the query from scratch after every update."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Sequence, Tuple
+
+from repro.algebra.semirings import INTEGER_RING, Semiring
+from repro.core.ast import Expr
+from repro.core.semantics import evaluate
+from repro.gmr.database import Database, Update
+from repro.ivm.base import IVMEngine
+
+
+class NaiveReevaluation(IVMEngine):
+    """Apply the update to the stored database, then recompute ``Q(D)`` in full."""
+
+    name = "naive"
+
+    def __init__(
+        self,
+        query: Expr,
+        schema: Mapping[str, Sequence[str]],
+        ring: Semiring = INTEGER_RING,
+    ):
+        super().__init__(query, schema)
+        self.ring = ring
+        self.db = Database(schema=self.schema, ring=ring)
+        self._result: Dict[Tuple[Any, ...], Any] = {}
+
+    def bootstrap(self, db: Database) -> None:
+        """Adopt an existing database and compute the current result."""
+        self.db = db.copy()
+        self._result = self._evaluate_full()
+
+    def _apply(self, update: Update) -> None:
+        self.db.apply(update)
+        self._result = self._evaluate_full()
+
+    def result(self) -> Any:
+        if not self.query.group_vars:
+            return self._result.get((), self.ring.zero)
+        return dict(self._result)
+
+    def _evaluate_full(self) -> Dict[Tuple[Any, ...], Any]:
+        evaluated = evaluate(self.query, self.db)
+        result: Dict[Tuple[Any, ...], Any] = {}
+        for record, value in evaluated.items():
+            key = record.values_for(self.query.group_vars)
+            if not self.ring.is_zero(value):
+                result[key] = value
+        return result

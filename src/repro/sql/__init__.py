@@ -1,0 +1,5 @@
+"""SQL(-subset) frontend: aggregate SELECT queries translated to AGCA (Section 5)."""
+
+from repro.sql.frontend import SQLQuery, sql_to_agca, translate
+
+__all__ = ["SQLQuery", "sql_to_agca", "translate"]

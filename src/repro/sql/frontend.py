@@ -1,0 +1,228 @@
+"""Translation of a practical SQL subset into AGCA (Section 5, "From SQL to the calculus").
+
+The supported shape is the one the paper translates:
+
+    SELECT g1, ..., gm, SUM(t)            -- or COUNT(*)
+    FROM   R1 a1, R2 a2, ...
+    WHERE  c1 AND c2 AND ...
+    GROUP BY g1, ..., gm
+
+which becomes
+
+    AggSum((g1, ..., gm),  R1(~x1) * R2(~x2) * ... * c1 * c2 * ... * t)
+
+Column references may be qualified (``a1.col``) or unqualified when
+unambiguous; conditions are comparisons between column references, constants
+and simple arithmetic; the SUM argument is an arithmetic expression over
+column references and constants.
+
+This is intentionally a *subset* parser — enough for the paper's examples, the
+TPC-H-flavoured workloads and the test suite — not a full SQL implementation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.ast import AggSum, Compare, Const, Expr, Mul, Rel, Var, mul
+from repro.core.errors import ParseError
+
+_COMPARISON_PATTERN = re.compile(r"(!=|<=|>=|=|<|>)")
+_NUMBER_PATTERN = re.compile(r"^-?\d+(\.\d+)?$")
+
+
+@dataclass
+class SQLQuery:
+    """A parsed SQL aggregate query (pre-translation)."""
+
+    select_groups: List[str]
+    aggregate: str
+    tables: List[Tuple[str, str]]  # (relation name, alias)
+    conditions: List[str]
+    group_by: List[str]
+    text: str = ""
+
+    def aliases(self) -> Dict[str, str]:
+        return {alias: relation for relation, alias in self.tables}
+
+
+def parse_sql(text: str) -> SQLQuery:
+    """Parse the supported SQL subset into a :class:`SQLQuery` structure."""
+    squashed = " ".join(text.strip().rstrip(";").split())
+    pattern = re.compile(
+        r"^select\s+(?P<select>.+?)\s+from\s+(?P<from>.+?)"
+        r"(?:\s+where\s+(?P<where>.+?))?"
+        r"(?:\s+group\s+by\s+(?P<group>.+?))?$",
+        re.IGNORECASE,
+    )
+    match = pattern.match(squashed)
+    if match is None:
+        raise ParseError(f"unsupported SQL shape: {text!r}")
+
+    select_items = [item.strip() for item in match.group("select").split(",")]
+    aggregate = None
+    select_groups: List[str] = []
+    for item in select_items:
+        if re.match(r"^(sum|count)\s*\(", item, re.IGNORECASE):
+            if aggregate is not None:
+                raise ParseError("only one aggregate per query is supported")
+            aggregate = item
+        else:
+            select_groups.append(item)
+    if aggregate is None:
+        raise ParseError("the SELECT clause must contain a SUM(...) or COUNT(*) aggregate")
+
+    tables: List[Tuple[str, str]] = []
+    for entry in match.group("from").split(","):
+        parts = entry.split()
+        if len(parts) == 1:
+            tables.append((parts[0], parts[0]))
+        elif len(parts) == 2:
+            tables.append((parts[0], parts[1]))
+        elif len(parts) == 3 and parts[1].lower() == "as":
+            tables.append((parts[0], parts[2]))
+        else:
+            raise ParseError(f"unsupported FROM entry: {entry.strip()!r}")
+
+    conditions: List[str] = []
+    if match.group("where"):
+        conditions = [part.strip() for part in re.split(r"\s+and\s+", match.group("where"), flags=re.IGNORECASE)]
+
+    group_by: List[str] = []
+    if match.group("group"):
+        group_by = [part.strip() for part in match.group("group").split(",")]
+
+    return SQLQuery(
+        select_groups=select_groups,
+        aggregate=aggregate,
+        tables=tables,
+        conditions=conditions,
+        group_by=group_by,
+        text=text,
+    )
+
+
+class _Translator:
+    """Carries the alias/column environment while building the AGCA expression."""
+
+    def __init__(self, query: SQLQuery, schema: Mapping[str, Sequence[str]]):
+        self.query = query
+        self.schema = {name: tuple(columns) for name, columns in schema.items()}
+        self.variable_of: Dict[Tuple[str, str], str] = {}
+        self.column_owners: Dict[str, List[str]] = {}
+        for relation, alias in query.tables:
+            if relation not in self.schema:
+                raise ParseError(f"relation {relation!r} is not declared in the schema")
+            for column in self.schema[relation]:
+                self.variable_of[(alias, column)] = self._make_variable(alias, column)
+                self.column_owners.setdefault(column, []).append(alias)
+
+    def _make_variable(self, alias: str, column: str) -> str:
+        if len(self.query.tables) == 1:
+            return column
+        return f"{alias}_{column}"
+
+    # -- reference resolution ---------------------------------------------------------
+
+    def resolve(self, reference: str) -> Expr:
+        """Turn a SQL scalar reference (column, constant, arithmetic) into AGCA."""
+        reference = reference.strip()
+        arithmetic = self._try_arithmetic(reference)
+        if arithmetic is not None:
+            return arithmetic
+        if _NUMBER_PATTERN.match(reference):
+            return Const(float(reference) if "." in reference else int(reference))
+        if reference.startswith("'") and reference.endswith("'"):
+            return Const(reference[1:-1])
+        return Var(self.resolve_column(reference))
+
+    def resolve_column(self, reference: str) -> str:
+        reference = reference.strip()
+        if "." in reference:
+            alias, column = reference.split(".", 1)
+            key = (alias, column)
+            if key not in self.variable_of:
+                raise ParseError(f"unknown column reference {reference!r}")
+            return self.variable_of[key]
+        owners = self.column_owners.get(reference, [])
+        if not owners:
+            raise ParseError(f"unknown column {reference!r}")
+        if len(owners) > 1:
+            raise ParseError(f"ambiguous column {reference!r}; qualify it with a table alias")
+        return self.variable_of[(owners[0], reference)]
+
+    def _try_arithmetic(self, reference: str) -> Optional[Expr]:
+        for operator in ("+", "-", "*"):
+            depth = 0
+            for index, character in enumerate(reference):
+                if character == "(":
+                    depth += 1
+                elif character == ")":
+                    depth -= 1
+                elif character == operator and depth == 0 and index > 0:
+                    left = self.resolve(reference[:index])
+                    right = self.resolve(reference[index + 1 :])
+                    if operator == "+":
+                        return left + right
+                    if operator == "-":
+                        return left - right
+                    return Mul((left, right))
+        if reference.startswith("(") and reference.endswith(")"):
+            return self.resolve(reference[1:-1])
+        return None
+
+    # -- clause translation -----------------------------------------------------------------
+
+    def relation_atoms(self) -> List[Rel]:
+        atoms = []
+        for relation, alias in self.query.tables:
+            columns = self.schema[relation]
+            atoms.append(Rel(relation, tuple(self.variable_of[(alias, column)] for column in columns)))
+        return atoms
+
+    def condition_atoms(self) -> List[Expr]:
+        atoms: List[Expr] = []
+        for condition in self.query.conditions:
+            pieces = _COMPARISON_PATTERN.split(condition, maxsplit=1)
+            if len(pieces) != 3:
+                raise ParseError(f"unsupported WHERE condition: {condition!r}")
+            left, operator, right = (piece.strip() for piece in pieces)
+            atoms.append(Compare(self.resolve(left), operator, self.resolve(right)))
+        return atoms
+
+    def aggregate_value(self) -> Optional[Expr]:
+        aggregate = self.query.aggregate.strip()
+        match = re.match(r"^(sum|count)\s*\((.*)\)$", aggregate, re.IGNORECASE)
+        if match is None:
+            raise ParseError(f"unsupported aggregate: {aggregate!r}")
+        kind, argument = match.group(1).lower(), match.group(2).strip()
+        if kind == "count":
+            if argument not in ("*", "1"):
+                raise ParseError("only COUNT(*) is supported")
+            return None
+        if argument in ("1", "*"):
+            return None
+        return self.resolve(argument)
+
+    def group_variables(self) -> Tuple[str, ...]:
+        columns = self.query.group_by or self.query.select_groups
+        return tuple(self.resolve_column(column) for column in columns)
+
+
+def sql_to_agca(text: str, schema: Mapping[str, Sequence[str]]) -> AggSum:
+    """Translate a SQL aggregate query into an AGCA ``AggSum`` expression."""
+    return translate(parse_sql(text), schema)
+
+
+def translate(query: SQLQuery, schema: Mapping[str, Sequence[str]]) -> AggSum:
+    """Translate a parsed :class:`SQLQuery` into AGCA."""
+    translator = _Translator(query, schema)
+    factors: List[Expr] = list(translator.relation_atoms())
+    factors.extend(translator.condition_atoms())
+    value = translator.aggregate_value()
+    if value is not None:
+        factors.append(value)
+    group_vars = translator.group_variables()
+    return AggSum(group_vars, mul(*factors))

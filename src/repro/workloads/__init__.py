@@ -1,0 +1,31 @@
+"""Workload substrate: schemas, update-stream generators and canonical queries.
+
+The paper has no experimental section of its own (PODS theory paper), so the
+performance experiments of this reproduction use the synthetic workloads
+defined here: the paper's own worked-example schemas (unary ``R``; ``R/S/T``;
+customers) plus a small TPC-H-flavoured sales schema matching the queries the
+paper's introduction and the DBToaster follow-up motivate.
+"""
+
+from repro.workloads.schemas import (
+    CUSTOMER_SCHEMA,
+    RST_SCHEMA,
+    SALES_SCHEMA,
+    UNARY_SCHEMA,
+)
+from repro.workloads.streams import StreamGenerator, UpdateStream
+from repro.workloads.queries import CANONICAL_QUERIES, CanonicalQuery, query_by_name
+from repro.workloads.tpch_like import SalesStreamGenerator
+
+__all__ = [
+    "UNARY_SCHEMA",
+    "RST_SCHEMA",
+    "CUSTOMER_SCHEMA",
+    "SALES_SCHEMA",
+    "StreamGenerator",
+    "UpdateStream",
+    "CANONICAL_QUERIES",
+    "CanonicalQuery",
+    "query_by_name",
+    "SalesStreamGenerator",
+]

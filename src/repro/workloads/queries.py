@@ -1,0 +1,152 @@
+"""The canonical query suite.
+
+Every query the paper uses as a worked example, plus a handful of structurally
+similar ones that exercise each feature of the calculus (group-by, inequality
+conditions, value aggregation, higher degrees).  Tests cross-validate all
+three engines on each of these; the benchmarks pick the ones named by the
+experiment index in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.ast import AggSum, Expr
+from repro.core.parser import parse
+from repro.workloads.schemas import (
+    CUSTOMER_SCHEMA,
+    RST_SCHEMA,
+    SALES_SCHEMA,
+    UNARY_SCHEMA,
+    chain_schema,
+)
+
+
+@dataclass(frozen=True)
+class CanonicalQuery:
+    """A named query together with its schema and provenance in the paper."""
+
+    name: str
+    agca_text: str
+    schema: Mapping[str, Tuple[str, ...]]
+    description: str
+    paper_reference: str = ""
+    sql_text: str = ""
+
+    @property
+    def expr(self) -> Expr:
+        return parse(self.agca_text)
+
+    @property
+    def aggregate(self) -> AggSum:
+        expr = self.expr
+        return expr if isinstance(expr, AggSum) else AggSum((), expr)
+
+    def __repr__(self) -> str:
+        return f"CanonicalQuery({self.name!r}: {self.agca_text})"
+
+
+CANONICAL_QUERIES: Tuple[CanonicalQuery, ...] = (
+    CanonicalQuery(
+        name="selfjoin_count",
+        agca_text="Sum(R(x) * R(y) * (x = y))",
+        schema=UNARY_SCHEMA,
+        description="Number of pairs of R-tuples with equal A value",
+        paper_reference="Example 1.2",
+        sql_text="SELECT COUNT(*) FROM R r1, R r2 WHERE r1.A = r2.A",
+    ),
+    CanonicalQuery(
+        name="count_r",
+        agca_text="Sum(R(x))",
+        schema=UNARY_SCHEMA,
+        description="COUNT(*) over a unary relation (degree 1)",
+        paper_reference="degree-1 warm-up",
+        sql_text="SELECT COUNT(*) FROM R",
+    ),
+    CanonicalQuery(
+        name="sum_values",
+        agca_text="Sum(R(x) * x)",
+        schema=UNARY_SCHEMA,
+        description="SUM(A) over a unary relation",
+        paper_reference="degree-1 value aggregate",
+        sql_text="SELECT SUM(A) FROM R",
+    ),
+    CanonicalQuery(
+        name="join_sum_product",
+        agca_text="Sum(R(a, b) * S(c, d) * T(e, f) * (b = c) * (d = e) * a * f)",
+        schema=RST_SCHEMA,
+        description="Three-way join with SUM(A*F) — the factorization example",
+        paper_reference="Example 1.3",
+        sql_text="SELECT SUM(r.A * t.F) FROM R r, S s, T t WHERE r.B = s.C AND s.D = t.E",
+    ),
+    CanonicalQuery(
+        name="same_nation_per_customer",
+        agca_text="AggSum([c], C(c, n) * C(c2, n2) * (n = n2))",
+        schema=CUSTOMER_SCHEMA,
+        description="Per customer, the number of customers of the same nation",
+        paper_reference="Examples 5.2 / 6.2 / 6.5",
+        sql_text=(
+            "SELECT C1.cid, SUM(1) FROM C C1, C C2 "
+            "WHERE C1.nation = C2.nation GROUP BY C1.cid"
+        ),
+    ),
+    CanonicalQuery(
+        name="two_way_inequality",
+        agca_text="Sum(R(a, b) * S(c, d) * (b = c) * (a < d) * d)",
+        schema=RST_SCHEMA,
+        description="Equi-join plus inequality condition with SUM(D)",
+        paper_reference="inequality conditions (avalanche range restriction)",
+        sql_text="SELECT SUM(s.D) FROM R r, S s WHERE r.B = s.C AND r.A < s.D",
+    ),
+    CanonicalQuery(
+        name="revenue_per_nation",
+        agca_text=(
+            "AggSum([nation], Customer(ck, nation) * Orders(ok, ck2) * (ck = ck2)"
+            " * Lineitem(ok2, price, qty) * (ok = ok2) * price * qty)"
+        ),
+        schema=SALES_SCHEMA,
+        description="Revenue per customer nation over a sales schema (degree 3, group-by)",
+        paper_reference="DBToaster-style motivating workload",
+        sql_text=(
+            "SELECT c.nation, SUM(l.price * l.qty) FROM Customer c, Orders o, Lineitem l "
+            "WHERE c.ck = o.ck AND o.ok = l.ok2 GROUP BY c.nation"
+        ),
+    ),
+    CanonicalQuery(
+        name="order_count_per_customer",
+        agca_text="AggSum([ck], Customer(ck, nation) * Orders(ok, ck2) * (ck = ck2))",
+        schema=SALES_SCHEMA,
+        description="Number of orders per customer (degree 2, group-by)",
+        paper_reference="join + group-by",
+        sql_text=(
+            "SELECT c.ck, SUM(1) FROM Customer c, Orders o WHERE c.ck = o.ck GROUP BY c.ck"
+        ),
+    ),
+)
+
+
+_BY_NAME: Dict[str, CanonicalQuery] = {query.name: query for query in CANONICAL_QUERIES}
+
+
+def query_by_name(name: str) -> CanonicalQuery:
+    """Look up a canonical query by its short name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown canonical query {name!r}; available: {sorted(_BY_NAME)}") from None
+
+
+def chain_count_query(length: int) -> CanonicalQuery:
+    """A degree-``length`` chain-join COUNT query (used by the degree-scaling experiment).
+
+    ``Sum(E1(a0,a1) * E2(a1,a2) * ... * Ek(a_{k-1},a_k))``
+    """
+    atoms = " * ".join(f"E{index}(a{index - 1}, a{index})" for index in range(1, length + 1))
+    return CanonicalQuery(
+        name=f"chain_count_{length}",
+        agca_text=f"Sum({atoms})",
+        schema=chain_schema(length),
+        description=f"COUNT over a {length}-way chain join (degree {length})",
+        paper_reference="degree scaling",
+    )

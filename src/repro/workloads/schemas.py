@@ -1,0 +1,34 @@
+"""Schemas used by the worked examples, the tests and the benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Unary relation R(A) — Example 1.2 (self-join count).
+UNARY_SCHEMA: Dict[str, Tuple[str, ...]] = {"R": ("A",)}
+
+#: R(A,B), S(C,D), T(E,F) — Example 1.3 (three-way join with SUM(A*F)).
+RST_SCHEMA: Dict[str, Tuple[str, ...]] = {
+    "R": ("A", "B"),
+    "S": ("C", "D"),
+    "T": ("E", "F"),
+}
+
+#: C(cid, nation) — Example 5.2 (customers of the same nation).
+CUSTOMER_SCHEMA: Dict[str, Tuple[str, ...]] = {"C": ("cid", "nation")}
+
+#: A small TPC-H-flavoured sales schema used by the throughput benchmark and
+#: the examples: customers place orders, orders contain line items.
+SALES_SCHEMA: Dict[str, Tuple[str, ...]] = {
+    "Customer": ("ck", "nation"),
+    "Orders": ("ok", "ck"),
+    "Lineitem": ("ok2", "price", "qty"),
+}
+
+#: Chains of binary relations E1(x0,x1), E2(x1,x2), ... used by the degree-scaling
+#: experiment (a k-way join query has degree k).
+def chain_schema(length: int) -> Dict[str, Tuple[str, ...]]:
+    """Schema of a length-``length`` join chain: E1(a0,a1), ..., Ek(a_{k-1},a_k)."""
+    if length < 1:
+        raise ValueError("chain length must be at least 1")
+    return {f"E{index}": (f"a{index - 1}", f"a{index}") for index in range(1, length + 1)}

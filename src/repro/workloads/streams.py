@@ -1,0 +1,179 @@
+"""Random single-tuple update streams (inserts and deletes) for the benchmarks and tests.
+
+The generator is deterministic given a seed, only ever deletes tuples that are
+currently present (so classical multiset semantics stays well defined for the
+baselines), and supports skewed value distributions to exercise group-by
+queries with hot keys.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.gmr.database import Update, delete, insert
+
+
+@dataclass
+class UpdateStream:
+    """A materialized stream of updates plus the parameters that produced it."""
+
+    updates: List[Update]
+    description: str = ""
+    parameters: Dict[str, Any] = field(default_factory=dict)
+
+    def __iter__(self) -> Iterator[Update]:
+        return iter(self.updates)
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    def __getitem__(self, index):
+        return self.updates[index]
+
+    def split(self, position: int) -> Tuple["UpdateStream", "UpdateStream"]:
+        """Split into a warm-up prefix and a measured suffix."""
+        return (
+            UpdateStream(self.updates[:position], self.description + " (warmup)", dict(self.parameters)),
+            UpdateStream(self.updates[position:], self.description + " (measured)", dict(self.parameters)),
+        )
+
+    def insert_count(self) -> int:
+        return sum(1 for update in self.updates if update.is_insert)
+
+    def delete_count(self) -> int:
+        return sum(1 for update in self.updates if update.is_delete)
+
+
+class StreamGenerator:
+    """Generates random insert/delete streams over a declared schema.
+
+    Parameters
+    ----------
+    schema:
+        Relation name -> column names; every generated update matches the arity.
+    domains:
+        Per-column value generators.  Either a mapping ``column -> callable(rng)``
+        or ``column -> sequence`` (a value is drawn uniformly); columns without
+        an entry draw integers from ``range(default_domain_size)``.
+    seed:
+        Seed of the private :class:`random.Random` instance.
+    delete_fraction:
+        Probability that a step deletes an existing tuple instead of inserting.
+    default_domain_size:
+        Size of the default integer domain.
+    zipf_s:
+        When set, default-domain integer values are drawn with a Zipf-like skew
+        (probability proportional to ``1 / rank**zipf_s``) instead of uniformly.
+    """
+
+    def __init__(
+        self,
+        schema: Mapping[str, Sequence[str]],
+        domains: Optional[Mapping[str, Any]] = None,
+        seed: int = 0,
+        delete_fraction: float = 0.25,
+        default_domain_size: int = 100,
+        zipf_s: Optional[float] = None,
+    ):
+        self.schema = {name: tuple(columns) for name, columns in schema.items()}
+        self.domains = dict(domains or {})
+        self.delete_fraction = delete_fraction
+        self.default_domain_size = default_domain_size
+        self.zipf_s = zipf_s
+        self.rng = random.Random(seed)
+        self._live: Dict[str, List[Tuple[Any, ...]]] = {name: [] for name in self.schema}
+        self._zipf_weights: Optional[List[float]] = None
+        if zipf_s is not None:
+            self._zipf_weights = [1.0 / (rank**zipf_s) for rank in range(1, default_domain_size + 1)]
+
+    # -- value generation -----------------------------------------------------------
+
+    def _draw_value(self, column: str) -> Any:
+        domain = self.domains.get(column)
+        if callable(domain):
+            return domain(self.rng)
+        if domain is not None:
+            return self.rng.choice(list(domain))
+        if self._zipf_weights is not None:
+            return self.rng.choices(range(self.default_domain_size), weights=self._zipf_weights, k=1)[0]
+        return self.rng.randrange(self.default_domain_size)
+
+    def _draw_tuple(self, relation: str) -> Tuple[Any, ...]:
+        return tuple(self._draw_value(column) for column in self.schema[relation])
+
+    # -- stream generation ----------------------------------------------------------------
+
+    def generate(
+        self,
+        length: int,
+        relations: Optional[Sequence[str]] = None,
+        description: str = "",
+    ) -> UpdateStream:
+        """Generate a stream of ``length`` updates over the given relations."""
+        relations = list(relations or self.schema.keys())
+        updates: List[Update] = []
+        for _ in range(length):
+            relation = self.rng.choice(relations)
+            live = self._live[relation]
+            if live and self.rng.random() < self.delete_fraction:
+                index = self.rng.randrange(len(live))
+                values = live.pop(index)
+                updates.append(delete(relation, *values))
+            else:
+                values = self._draw_tuple(relation)
+                live.append(values)
+                updates.append(insert(relation, *values))
+        return UpdateStream(
+            updates=updates,
+            description=description or f"random stream over {relations}",
+            parameters={
+                "length": length,
+                "relations": tuple(relations),
+                "delete_fraction": self.delete_fraction,
+                "default_domain_size": self.default_domain_size,
+                "zipf_s": self.zipf_s,
+            },
+        )
+
+    def generate_inserts(
+        self,
+        length: int,
+        relations: Optional[Sequence[str]] = None,
+        description: str = "",
+    ) -> UpdateStream:
+        """Generate an insert-only stream (used to build warm-up databases of a given size)."""
+        saved = self.delete_fraction
+        self.delete_fraction = 0.0
+        try:
+            return self.generate(length, relations=relations, description=description or "insert-only stream")
+        finally:
+            self.delete_fraction = saved
+
+    def live_tuples(self, relation: str) -> List[Tuple[Any, ...]]:
+        """Tuples currently present according to the generated stream so far."""
+        return list(self._live[relation])
+
+
+def apply_stream(db, stream: Iterable[Update]) -> None:
+    """Apply a stream of updates to a database (test/benchmark convenience)."""
+    for update in stream:
+        db.apply(update)
+
+
+def interleave(*streams: UpdateStream) -> UpdateStream:
+    """Round-robin interleaving of several streams (preserves per-stream order)."""
+    iterators = [iter(stream) for stream in streams]
+    merged: List[Update] = []
+    active = list(iterators)
+    while active:
+        still_active = []
+        for iterator in active:
+            try:
+                merged.append(next(iterator))
+                still_active.append(iterator)
+            except StopIteration:
+                pass
+        active = still_active
+    return UpdateStream(merged, description="interleaved stream")

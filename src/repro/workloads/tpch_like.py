@@ -1,0 +1,110 @@
+"""A small TPC-H-flavoured synthetic sales workload.
+
+The paper (and its DBToaster follow-up) motivates higher-order IVM with
+order/lineitem-style analytical aggregates maintained under a stream of
+inserts and deletes.  This module generates such a stream over the
+``SALES_SCHEMA``: customers registered up front, orders arriving and
+occasionally being cancelled, line items arriving per order with skewed
+prices.  It is a *synthetic equivalent* of the TPC-H refresh streams — the
+real generator and data are not available offline — designed so that the
+compiled queries exercise the same code paths (multi-way joins, group-by,
+value aggregation, deletions).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.gmr.database import Update, delete, insert
+from repro.workloads.schemas import SALES_SCHEMA
+from repro.workloads.streams import UpdateStream
+
+NATIONS: Tuple[str, ...] = (
+    "FRANCE",
+    "GERMANY",
+    "JAPAN",
+    "BRAZIL",
+    "CANADA",
+    "KENYA",
+    "INDIA",
+    "PERU",
+)
+
+
+@dataclass
+class SalesStreamGenerator:
+    """Generates customer/order/lineitem update streams.
+
+    Parameters mirror scale knobs of the TPC-H refresh functions in spirit:
+    ``customers`` fixes the customer population, ``order_cancel_fraction``
+    controls the delete rate, ``max_lineitems_per_order`` the fan-out.
+    """
+
+    customers: int = 50
+    seed: int = 0
+    order_cancel_fraction: float = 0.15
+    max_lineitems_per_order: int = 4
+    price_range: Tuple[int, int] = (1, 100)
+
+    def __post_init__(self):
+        self.rng = random.Random(self.seed)
+        self._next_order_key = 0
+        self._open_orders: List[Tuple[int, int, List[Tuple[int, int, int]]]] = []
+
+    # -- pieces --------------------------------------------------------------------
+
+    def customer_updates(self) -> List[Update]:
+        """Insert the full customer population (done once, up front)."""
+        updates = []
+        for customer_key in range(self.customers):
+            nation = NATIONS[customer_key % len(NATIONS)]
+            updates.append(insert("Customer", customer_key, nation))
+        return updates
+
+    def _new_order(self) -> List[Update]:
+        order_key = self._next_order_key
+        self._next_order_key += 1
+        customer_key = self.rng.randrange(self.customers)
+        updates = [insert("Orders", order_key, customer_key)]
+        lineitems: List[Tuple[int, int, int]] = []
+        for _ in range(self.rng.randint(1, self.max_lineitems_per_order)):
+            price = self.rng.randint(*self.price_range)
+            quantity = self.rng.randint(1, 10)
+            lineitems.append((order_key, price, quantity))
+            updates.append(insert("Lineitem", order_key, price, quantity))
+        self._open_orders.append((order_key, customer_key, lineitems))
+        return updates
+
+    def _cancel_order(self) -> List[Update]:
+        index = self.rng.randrange(len(self._open_orders))
+        order_key, customer_key, lineitems = self._open_orders.pop(index)
+        updates = [delete("Lineitem", *item) for item in lineitems]
+        updates.append(delete("Orders", order_key, customer_key))
+        return updates
+
+    # -- the full stream ---------------------------------------------------------------
+
+    def generate(self, orders: int, include_customers: bool = True) -> UpdateStream:
+        """Generate a stream containing ``orders`` order arrivals (plus cancellations)."""
+        updates: List[Update] = []
+        if include_customers:
+            updates.extend(self.customer_updates())
+        for _ in range(orders):
+            if self._open_orders and self.rng.random() < self.order_cancel_fraction:
+                updates.extend(self._cancel_order())
+            updates.extend(self._new_order())
+        return UpdateStream(
+            updates=updates,
+            description=f"sales stream ({orders} orders, {self.customers} customers)",
+            parameters={
+                "orders": orders,
+                "customers": self.customers,
+                "order_cancel_fraction": self.order_cancel_fraction,
+                "seed": self.seed,
+            },
+        )
+
+    def schema(self) -> Dict[str, Tuple[str, ...]]:
+        return dict(SALES_SCHEMA)

@@ -1,0 +1,105 @@
+"""Tests for avalanche (semi)rings =>A[G] (Definition 2.5, Theorem 2.6, Proposition 2.8)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.avalanche import AvalancheRing
+from repro.algebra.monoid_ring import MonoidRing
+from repro.algebra.semirings import INTEGER_RING
+from repro.algebra.structures import Monoid
+
+ADDITIVE_MONOID = Monoid(lambda a, b: a + b, 0, commutative=True, name="N-additive")
+BASE = MonoidRing(INTEGER_RING, ADDITIVE_MONOID)
+AVALANCHE = AvalancheRing(BASE)
+
+#: Probe bindings for extensional equality checks.
+PROBES = [0, 1, 2, 3]
+
+
+def base_elements():
+    return st.dictionaries(
+        st.integers(min_value=0, max_value=2), st.integers(min_value=-2, max_value=2), max_size=3
+    ).map(BASE.element)
+
+
+def avalanche_elements():
+    """Binding-dependent functions: the binding shifts which basis element carries weight."""
+
+    def build(pair):
+        constant, weight = pair
+
+        def function(binding):
+            return BASE.element({binding % 3: weight, 0: constant})
+
+        return AVALANCHE.element(function)
+
+    return st.tuples(st.integers(-2, 2), st.integers(-2, 2)).map(build)
+
+
+@settings(max_examples=25, deadline=None)
+@given(avalanche_elements(), avalanche_elements(), avalanche_elements())
+def test_avalanche_addition_is_commutative_and_associative(f, g, h):
+    assert (f + g).equals_on(g + f, PROBES)
+    assert ((f + g) + h).equals_on(f + (g + h), PROBES)
+
+
+@settings(max_examples=25, deadline=None)
+@given(avalanche_elements(), avalanche_elements(), avalanche_elements())
+def test_avalanche_multiplication_is_associative(f, g, h):
+    """The computation in the proof of Theorem 2.6."""
+    assert ((f * g) * h).equals_on(f * (g * h), PROBES)
+
+
+@settings(max_examples=25, deadline=None)
+@given(avalanche_elements(), avalanche_elements(), avalanche_elements())
+def test_avalanche_distributivity(f, g, h):
+    assert (f * (g + h)).equals_on((f * g) + (f * h), PROBES)
+    assert ((f + g) * h).equals_on((f * h) + (g * h), PROBES)
+
+
+@settings(max_examples=25, deadline=None)
+@given(avalanche_elements())
+def test_avalanche_identities(f):
+    one = AVALANCHE.one()
+    zero = AVALANCHE.zero()
+    assert (f * one).equals_on(f, PROBES)
+    assert (one * f).equals_on(f, PROBES)
+    assert (f + zero).equals_on(f, PROBES)
+    assert (zero * f).equals_on(zero, PROBES)
+
+
+@settings(max_examples=25, deadline=None)
+@given(avalanche_elements())
+def test_avalanche_additive_inverse(f):
+    assert (f - f).equals_on(AVALANCHE.zero(), PROBES)
+
+
+@settings(max_examples=25, deadline=None)
+@given(base_elements(), base_elements())
+def test_lift_is_a_ring_homomorphism(alpha, beta):
+    """Proposition 2.8: the constant functions form a sub-ring isomorphic to A[G]."""
+    lifted_sum = AVALANCHE.lift(alpha) + AVALANCHE.lift(beta)
+    lifted_product = AVALANCHE.lift(alpha) * AVALANCHE.lift(beta)
+    assert lifted_sum.equals_on(AVALANCHE.lift(BASE.add(alpha, beta)), PROBES)
+    assert lifted_product.equals_on(AVALANCHE.lift(BASE.mul(alpha, beta)), PROBES)
+
+
+def test_sideways_binding_passing_is_observable():
+    """The right factor of a product sees bindings extended by the left factor."""
+    # f places weight 1 on basis element 2 regardless of the binding;
+    # g returns the binding it receives as a coefficient on the monoid identity.
+    f = AVALANCHE.element(lambda binding: BASE.element({2: 1}))
+    g = AVALANCHE.element(lambda binding: BASE.element({0: binding}))
+    product = f * g
+    # Evaluated at binding 1: g is called with binding 1 + 2 = 3, so the
+    # coefficient is 3 and it sits on basis element 2 + 0 = 2.
+    assert product(1)(2) == 3
+    # The reversed product calls f with the extended binding but f ignores it;
+    # g contributes its own binding 1 as the coefficient.
+    reversed_product = g * f
+    assert reversed_product(1)(2) == 1
+
+
+def test_is_ring_flag_follows_base():
+    assert AVALANCHE.is_ring
+    assert "=>" in repr(AVALANCHE)

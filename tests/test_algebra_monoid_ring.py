@@ -1,0 +1,145 @@
+"""Tests for monoid (semi)rings A[G] (Definition 2.3, Propositions 2.4/2.15/2.16)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.monoid_ring import MonoidRing
+from repro.algebra.properties import check_module_laws, check_semiring_laws
+from repro.algebra.semirings import BOOLEAN_SEMIRING, INTEGER_RING
+from repro.algebra.structures import Monoid, TupleConcatMonoid
+
+#: ℤ[ℕ] with the additive monoid of small naturals — i.e. univariate polynomials
+#: with exponents as basis elements; a convenient, well-understood instance.
+ADDITIVE_MONOID = Monoid(lambda a, b: a + b, 0, commutative=True, name="N-additive")
+ZN = MonoidRing(INTEGER_RING, ADDITIVE_MONOID)
+
+#: The free (word) monoid: ℤ[Σ*] is the ring of non-commutative polynomials.
+WORDS = TupleConcatMonoid()
+ZW = MonoidRing(INTEGER_RING, WORDS)
+
+
+def zn_elements():
+    return st.dictionaries(
+        st.integers(min_value=0, max_value=3), st.integers(min_value=-3, max_value=3), max_size=3
+    ).map(ZN.element)
+
+
+def zw_elements():
+    return st.dictionaries(
+        st.lists(st.sampled_from(["a", "b"]), max_size=2).map(tuple),
+        st.integers(min_value=-2, max_value=2),
+        max_size=3,
+    ).map(ZW.element)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(zn_elements(), min_size=1, max_size=3))
+def test_commutative_monoid_ring_is_a_ring(samples):
+    check_semiring_laws(
+        ZN.add, ZN.mul, ZN.zero(), ZN.one(), samples, neg=ZN.neg, commutative_mul=True
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(zw_elements(), min_size=1, max_size=3))
+def test_noncommutative_monoid_ring_is_a_ring(samples):
+    check_semiring_laws(ZW.add, ZW.mul, ZW.zero(), ZW.one(), samples, neg=ZW.neg)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.integers(min_value=-3, max_value=3), min_size=1, max_size=3),
+    st.lists(zn_elements(), min_size=1, max_size=3),
+)
+def test_monoid_ring_is_a_module(scalars, vectors):
+    """Proposition 2.15(1): A[G] is an A-module under the scalar action."""
+    check_module_laws(
+        INTEGER_RING.add,
+        INTEGER_RING.mul,
+        scalars,
+        ZN.add,
+        lambda scalar, element: ZN.scale(scalar, element),
+        vectors,
+        scalar_one=1,
+    )
+
+
+def test_convolution_multiplies_like_polynomials():
+    # (1 + x) * (1 + x) = 1 + 2x + x²  where the basis element n stands for x^n.
+    one_plus_x = ZN.element({0: 1, 1: 1})
+    square = ZN.mul(one_plus_x, one_plus_x)
+    assert square(0) == 1
+    assert square(1) == 2
+    assert square(2) == 1
+    assert square(3) == 0
+
+
+def test_word_convolution_is_concatenation():
+    left = ZW.element({("a",): 1})
+    right = ZW.element({("b",): 2})
+    product = ZW.mul(left, right)
+    assert product(("a", "b")) == 2
+    assert product(("b", "a")) == 0
+
+
+def test_basis_elements_are_conservative_over_the_monoid():
+    """Proposition 2.16: χ_g * χ_h = χ_{g*h}."""
+    for g in (0, 1, 2):
+        for h in (0, 1, 2):
+            product = ZN.mul(ZN.basis(g), ZN.basis(h))
+            assert product == ZN.basis(ADDITIVE_MONOID.op(g, h))
+
+
+def test_identity_elements():
+    assert ZN.one()(0) == 1
+    assert ZN.one()(1) == 0
+    assert ZN.zero().is_zero()
+    assert len(ZN.zero()) == 0
+
+
+def test_zero_coefficients_are_dropped():
+    element = ZN.element({0: 0, 1: 2, 2: 0})
+    assert list(element.support()) == [1]
+    assert len(element) == 1
+
+
+def test_element_equality_and_hash():
+    left = ZN.element({1: 2, 2: 3})
+    right = ZN.element({2: 3, 1: 2})
+    assert left == right
+    assert hash(left) == hash(right)
+    assert left != ZN.element({1: 2})
+
+
+def test_operator_sugar_on_elements():
+    left = ZN.element({0: 1})
+    right = ZN.element({1: 1})
+    assert (left + right)(1) == 1
+    assert (left - right)(1) == -1
+    assert (left * right)(1) == 1
+    assert (-right)(1) == -1
+    assert right.scale(5)(1) == 5
+
+
+def test_elements_of_different_rings_do_not_mix():
+    other = MonoidRing(INTEGER_RING, ADDITIVE_MONOID)
+    with pytest.raises(ValueError):
+        ZN.element({0: 1}) + other.element({0: 1})
+
+
+def test_boolean_monoid_semiring_has_no_negation():
+    boolean_ring = MonoidRing(BOOLEAN_SEMIRING, ADDITIVE_MONOID)
+    element = boolean_ring.element({1: True})
+    with pytest.raises(TypeError):
+        boolean_ring.neg(element)
+
+
+def test_scale_by_zero_gives_zero():
+    element = ZN.element({1: 3, 2: -1})
+    assert ZN.scale(0, element).is_zero()
+
+
+def test_repr_is_stable():
+    assert repr(ZN.zero()) == "0"
+    assert "·" in repr(ZN.element({1: 2}))

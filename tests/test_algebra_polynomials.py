@@ -1,0 +1,162 @@
+"""Tests for the polynomial ring and its delta operator (Example 1.1)."""
+
+import pytest
+from fractions import Fraction
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.polynomials import Polynomial, square_polynomial
+from repro.algebra.semirings import RATIONAL_FIELD
+
+coefficient_lists = st.lists(st.integers(min_value=-5, max_value=5), max_size=4)
+points = st.integers(min_value=-6, max_value=6)
+
+
+def poly(coefficients):
+    return Polynomial(coefficients)
+
+
+# ---------------------------------------------------------------------------
+# Construction and inspection
+# ---------------------------------------------------------------------------
+
+
+def test_trailing_zeros_are_stripped():
+    assert poly([1, 2, 0, 0]).coefficients == (1, 2)
+    assert poly([0, 0]).is_zero()
+    assert poly([]).degree == -1
+
+
+def test_constant_and_monomial_constructors():
+    assert Polynomial.constant(7)(123) == 7
+    assert Polynomial.x()(5) == 5
+    assert Polynomial.monomial(3, 2)(2) == 16
+    with pytest.raises(ValueError):
+        Polynomial.monomial(-1)
+
+
+def test_coefficient_accessor():
+    p = poly([1, 0, 4])
+    assert p.coefficient(0) == 1
+    assert p.coefficient(2) == 4
+    assert p.coefficient(9) == 0
+
+
+def test_equality_and_hash():
+    assert poly([1, 2]) == poly([1, 2, 0])
+    assert hash(poly([1, 2])) == hash(poly([1, 2, 0]))
+    assert poly([1, 2]) != poly([2, 1])
+
+
+def test_repr_shows_terms():
+    assert repr(poly([])) == "Polynomial(0)"
+    assert "x^2" in repr(poly([0, 0, 3]))
+
+
+# ---------------------------------------------------------------------------
+# Ring operations and evaluation
+# ---------------------------------------------------------------------------
+
+
+@given(coefficient_lists, coefficient_lists, points)
+def test_addition_is_pointwise(left, right, x):
+    assert (poly(left) + poly(right))(x) == poly(left)(x) + poly(right)(x)
+
+
+@given(coefficient_lists, coefficient_lists, points)
+def test_multiplication_matches_evaluation(left, right, x):
+    assert (poly(left) * poly(right))(x) == poly(left)(x) * poly(right)(x)
+
+
+@given(coefficient_lists, points)
+def test_negation_and_subtraction(coefficients, x):
+    p = poly(coefficients)
+    assert (-p)(x) == -p(x)
+    assert (p - p).is_zero()
+
+
+@given(coefficient_lists, st.integers(min_value=0, max_value=3), points)
+def test_power(coefficients, exponent, x):
+    p = poly(coefficients)
+    assert (p**exponent)(x) == p(x) ** exponent
+
+
+def test_power_rejects_negative_exponent():
+    with pytest.raises(ValueError):
+        poly([1, 1]) ** -1
+
+
+@given(coefficient_lists, points)
+def test_scalar_operands_coerce(coefficients, x):
+    p = poly(coefficients)
+    assert (p + 3)(x) == p(x) + 3
+    assert (2 * p)(x) == 2 * p(x)
+    assert (5 - p)(x) == 5 - p(x)
+
+
+def test_degree_of_product():
+    assert (poly([0, 1]) * poly([0, 1])).degree == 2
+    assert (poly([1]) * poly([0, 0, 1])).degree == 2
+
+
+# ---------------------------------------------------------------------------
+# The delta operator (Example 1.1)
+# ---------------------------------------------------------------------------
+
+
+@given(coefficient_lists, points, points)
+def test_delta_definition(coefficients, x, update):
+    """∆f(x, u) = f(x + u) - f(x)."""
+    p = poly(coefficients)
+    assert p.delta(update)(x) == p(x + update) - p(x)
+
+
+@given(coefficient_lists, points)
+def test_shift_matches_composition(coefficients, x):
+    p = poly(coefficients)
+    assert p.shift(3)(x) == p(x + 3)
+
+
+@given(coefficient_lists)
+def test_delta_reduces_degree(coefficients):
+    p = poly(coefficients)
+    if p.degree >= 1:
+        assert p.delta(1).degree == p.degree - 1
+    else:
+        assert p.delta(1).is_zero()
+
+
+def test_example_1_1_closed_forms():
+    """The worked derivation of Example 1.1 for f(x) = x²."""
+    f = square_polynomial()
+    u1, u2, u3 = 3, -2, 5
+    delta1 = f.delta(u1)
+    # ∆f(x, u1) = 2*u1*x + u1²
+    assert delta1.coefficients == (u1 * u1, 2 * u1)
+    delta2 = delta1.delta(u2)
+    # ∆²f(x, u1, u2) = 2*u1*u2 (a constant)
+    assert delta2.coefficients == (2 * u1 * u2,)
+    delta3 = delta2.delta(u3)
+    assert delta3.is_zero()
+
+
+@given(coefficient_lists)
+def test_delta_order_is_degree_plus_one(coefficients):
+    p = poly(coefficients)
+    order = p.delta_order()
+    assert order == (p.degree + 1 if not p.is_zero() else 0)
+    # The order-th iterated delta is identically zero, the previous one is not.
+    assert p.iterated_delta([1] * order).is_zero()
+    if order > 0:
+        assert not p.iterated_delta([1] * (order - 1)).is_zero()
+
+
+def test_rational_coefficients():
+    p = Polynomial([Fraction(1, 2), Fraction(1, 3)], ring=RATIONAL_FIELD)
+    assert p(3) == Fraction(1, 2) + Fraction(1, 3) * 3
+    assert p.delta(1)(0) == p(1) - p(0)
+
+
+def test_iterated_delta_on_empty_sequence_is_identity():
+    p = poly([1, 2, 3])
+    assert p.iterated_delta([]) == p

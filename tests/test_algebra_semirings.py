@@ -1,0 +1,158 @@
+"""Unit and property tests for the coefficient (semi)rings."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algebra.properties import check_semiring_laws
+from repro.algebra.semirings import (
+    BOOLEAN_SEMIRING,
+    BUILTIN_SEMIRINGS,
+    FLOAT_FIELD,
+    INTEGER_RING,
+    MAX_PLUS,
+    MIN_PLUS,
+    NATURAL_SEMIRING,
+    RATIONAL_FIELD,
+    IntegerRing,
+)
+
+small_ints = st.integers(min_value=-6, max_value=6)
+small_naturals = st.integers(min_value=0, max_value=6)
+small_fractions = st.fractions(min_value=-4, max_value=4, max_denominator=5)
+small_bools = st.booleans()
+
+
+@given(st.lists(small_ints, min_size=1, max_size=4))
+def test_integer_ring_axioms(samples):
+    check_semiring_laws(
+        INTEGER_RING.add, INTEGER_RING.mul, 0, 1, samples, neg=INTEGER_RING.neg, commutative_mul=True
+    )
+
+
+@given(st.lists(small_fractions, min_size=1, max_size=4))
+def test_rational_field_axioms(samples):
+    samples = [Fraction(value) for value in samples]
+    check_semiring_laws(
+        RATIONAL_FIELD.add,
+        RATIONAL_FIELD.mul,
+        Fraction(0),
+        Fraction(1),
+        samples,
+        neg=RATIONAL_FIELD.neg,
+        commutative_mul=True,
+    )
+
+
+@given(st.lists(small_bools, min_size=1, max_size=4))
+def test_boolean_semiring_axioms(samples):
+    check_semiring_laws(
+        BOOLEAN_SEMIRING.add, BOOLEAN_SEMIRING.mul, False, True, samples, commutative_mul=True
+    )
+
+
+@given(st.lists(small_naturals, min_size=1, max_size=4))
+def test_natural_semiring_axioms(samples):
+    check_semiring_laws(
+        NATURAL_SEMIRING.add, NATURAL_SEMIRING.mul, 0, 1, samples, commutative_mul=True
+    )
+
+
+@given(st.lists(st.integers(min_value=0, max_value=20).map(float), min_size=1, max_size=4))
+def test_min_plus_semiring_axioms(samples):
+    # Integer-valued floats keep tropical addition exactly associative.
+    check_semiring_laws(
+        MIN_PLUS.add,
+        MIN_PLUS.mul,
+        MIN_PLUS.zero,
+        MIN_PLUS.one,
+        samples,
+        commutative_mul=True,
+    )
+
+
+def test_min_plus_identities():
+    assert MIN_PLUS.add(3.0, MIN_PLUS.zero) == 3.0
+    assert MIN_PLUS.mul(3.0, MIN_PLUS.one) == 3.0
+    assert MIN_PLUS.add(3.0, 5.0) == 3.0
+    assert MIN_PLUS.mul(3.0, 5.0) == 8.0
+
+
+def test_max_plus_identities():
+    assert MAX_PLUS.add(3.0, MAX_PLUS.zero) == 3.0
+    assert MAX_PLUS.add(3.0, 5.0) == 5.0
+    assert MAX_PLUS.mul(3.0, 5.0) == 8.0
+
+
+def test_is_ring_flags():
+    assert INTEGER_RING.is_ring
+    assert RATIONAL_FIELD.is_ring
+    assert FLOAT_FIELD.is_ring
+    assert not BOOLEAN_SEMIRING.is_ring
+    assert not NATURAL_SEMIRING.is_ring
+    assert not MIN_PLUS.is_ring
+
+
+def test_semiring_without_inverse_rejects_negation():
+    with pytest.raises(TypeError):
+        NATURAL_SEMIRING.neg(1)
+    with pytest.raises(TypeError):
+        BOOLEAN_SEMIRING.sub(True, True)
+
+
+def test_natural_coerce_rejects_negatives():
+    with pytest.raises(ValueError):
+        NATURAL_SEMIRING.coerce(-1)
+
+
+def test_coerce_normalizes_types():
+    assert INTEGER_RING.coerce(True) == 1
+    assert RATIONAL_FIELD.coerce(2) == Fraction(2)
+    assert BOOLEAN_SEMIRING.coerce(3) is True
+
+
+@given(small_ints)
+def test_from_int_matches_python_integers(n):
+    assert INTEGER_RING.from_int(n) == n
+    assert RATIONAL_FIELD.from_int(n) == Fraction(n)
+
+
+def test_from_int_on_semiring_rejects_negative():
+    with pytest.raises(TypeError):
+        NATURAL_SEMIRING.from_int(-2)
+
+
+@given(st.lists(small_ints, max_size=5))
+def test_sum_and_product_helpers(values):
+    assert INTEGER_RING.sum(values) == sum(values)
+    product = 1
+    for value in values:
+        product *= value
+    assert INTEGER_RING.product(values) == product
+
+
+@given(small_ints, st.integers(min_value=0, max_value=5))
+def test_pow_helper(base, exponent):
+    assert INTEGER_RING.pow(base, exponent) == base**exponent
+
+
+def test_pow_rejects_negative_exponent():
+    with pytest.raises(ValueError):
+        INTEGER_RING.pow(2, -1)
+
+
+def test_semiring_equality_is_by_name():
+    assert IntegerRing() == INTEGER_RING
+    assert IntegerRing() != RATIONAL_FIELD
+    assert hash(IntegerRing()) == hash(INTEGER_RING)
+
+
+def test_builtin_registry_contains_all_structures():
+    assert set(BUILTIN_SEMIRINGS) == {"Z", "Q", "R-float", "B", "N", "min-plus", "max-plus"}
+
+
+def test_repr_mentions_kind():
+    assert "ring" in repr(INTEGER_RING)
+    assert "semiring" in repr(BOOLEAN_SEMIRING)

@@ -1,0 +1,120 @@
+"""Tests for the basic algebraic structures (monoids, groups) of Section 2.1/2.2."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algebra.properties import LawViolation, check_group, check_monoid
+from repro.algebra.structures import (
+    FunctionMonoid,
+    Monoid,
+    ProductMonoid,
+    Semigroup,
+    TupleConcatMonoid,
+    integers_additive_group,
+)
+
+short_tuples = st.lists(st.integers(min_value=0, max_value=3), max_size=3).map(tuple)
+
+
+def test_semigroup_combine():
+    semigroup = Semigroup(lambda a, b: a + b, name="sum")
+    assert semigroup.combine([1, 2, 3]) == 6
+    assert semigroup.combine([], initial=10) == 10
+    with pytest.raises(ValueError):
+        semigroup.combine([])
+
+
+@given(st.lists(short_tuples, min_size=1, max_size=4))
+def test_tuple_concat_monoid_laws(samples):
+    monoid = TupleConcatMonoid()
+    check_monoid(monoid.op, monoid.identity, samples)
+
+
+def test_tuple_concat_factorizations():
+    monoid = TupleConcatMonoid()
+    word = (1, 2, 3)
+    splits = monoid.factorizations(word)
+    assert ((), (1, 2, 3)) in splits
+    assert ((1, 2), (3,)) in splits
+    assert len(splits) == 4
+
+
+def test_monoid_power():
+    monoid = Monoid(lambda a, b: a + b, 0, commutative=True)
+    assert monoid.power(3, 4) == 12
+    assert monoid.power(3, 0) == 0
+    with pytest.raises(ValueError):
+        monoid.power(3, -1)
+
+
+def test_monoid_is_identity():
+    monoid = Monoid(lambda a, b: a * b, 1)
+    assert monoid.is_identity(1)
+    assert not monoid.is_identity(2)
+
+
+@given(st.lists(st.tuples(st.integers(-3, 3), st.integers(0, 3)), min_size=1, max_size=4))
+def test_product_monoid_laws(samples):
+    product = ProductMonoid(
+        [Monoid(lambda a, b: a + b, 0, commutative=True), Monoid(lambda a, b: max(a, b), 0, commutative=True)]
+    )
+    check_monoid(product.op, product.identity, samples, commutative=True)
+
+
+def test_product_monoid_componentwise():
+    product = ProductMonoid([Monoid(lambda a, b: a + b, 0), Monoid(lambda a, b: a * b, 1)])
+    assert product.op((1, 2), (3, 4)) == (4, 8)
+    assert product.identity == (0, 1)
+
+
+def test_integers_additive_group_laws():
+    group = integers_additive_group()
+    check_group(group.op, group.identity, group.inverse, [-3, -1, 0, 2, 5])
+
+
+def test_law_violation_reports_witnesses():
+    bad = Monoid(lambda a, b: a - b, 0)  # subtraction is not associative
+    with pytest.raises(LawViolation):
+        check_monoid(bad.op, bad.identity, [1, 2, 3])
+
+
+# ---------------------------------------------------------------------------
+# The singleton-join monoid (Sng∅ of Section 3.1)
+# ---------------------------------------------------------------------------
+
+
+def test_function_monoid_join_consistent():
+    monoid = FunctionMonoid()
+    left = FunctionMonoid.singleton(A=1)
+    right = FunctionMonoid.singleton(B=2)
+    assert monoid.op(left, right) == FunctionMonoid.singleton(A=1, B=2)
+
+
+def test_function_monoid_join_conflict_is_zero():
+    monoid = FunctionMonoid()
+    left = FunctionMonoid.singleton(A=1)
+    right = FunctionMonoid.singleton(A=2)
+    assert monoid.op(left, right) == FunctionMonoid.ZERO
+
+
+def test_function_monoid_identity_and_zero():
+    monoid = FunctionMonoid()
+    element = FunctionMonoid.singleton(A=1, B=2)
+    assert monoid.op(element, monoid.identity) == element
+    assert monoid.op(monoid.zero, element) == FunctionMonoid.ZERO
+    assert monoid.has_zero()
+
+
+@given(
+    st.lists(
+        st.dictionaries(st.sampled_from(["A", "B", "C"]), st.integers(0, 2), max_size=2).map(
+            lambda mapping: frozenset(mapping.items())
+        ),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_function_monoid_laws(samples):
+    monoid = FunctionMonoid()
+    check_monoid(monoid.op, monoid.identity, samples, commutative=True)

@@ -1,0 +1,138 @@
+"""Tests for reporting helpers and the operation-counting instrumentation."""
+
+import pytest
+
+from repro.analysis.reporting import Table, format_markdown, format_table, scaling_exponent
+from repro.compiler.compile import compile_query
+from repro.compiler.cost import CountingSemiring, OperationCounter, RuntimeStatistics
+from repro.compiler.runtime import TriggerRuntime
+from repro.core.parser import parse
+from repro.gmr.database import insert
+from repro.gmr.relation import GMR
+from repro.workloads.schemas import UNARY_SCHEMA
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+
+def test_table_add_row_and_column():
+    table = Table(["name", "value"], title="demo")
+    table.add_row("a", 1)
+    table.add_row("b", 2.5)
+    assert table.column("value") == [1, 2.5]
+    with pytest.raises(ValueError):
+        table.add_row("only-one-cell")
+    rendered = table.render()
+    assert "demo" in rendered and "name" in rendered and "2.5" in rendered
+    assert str(table) == rendered
+
+
+def test_format_table_alignment_and_floats():
+    text = format_table(["x", "cost"], [[1, 0.000123], [1000, 123456.0]])
+    assert "1.230e-04" in text
+    assert "1.235e+05" in text or "123456" in text
+    lines = text.splitlines()
+    assert len(lines) == 4
+
+
+def test_format_markdown():
+    markdown = format_markdown(["a", "b"], [[1, 2]], title="T")
+    assert markdown.splitlines()[0] == "**T**"
+    assert "| a | b |" in markdown
+    assert "| 1 | 2 |" in markdown
+
+
+def test_scaling_exponent_identifies_growth_rates():
+    sizes = [100, 1000, 10000]
+    assert scaling_exponent(sizes, [5.0, 5.0, 5.0]) == pytest.approx(0.0, abs=1e-9)
+    assert scaling_exponent(sizes, [1.0, 10.0, 100.0]) == pytest.approx(1.0, abs=1e-9)
+    assert scaling_exponent(sizes, [1.0, 100.0, 10000.0]) == pytest.approx(2.0, abs=1e-9)
+    assert scaling_exponent([1], [1.0]) is None
+    assert scaling_exponent([1, 1], [2.0, 2.0]) is None
+    assert scaling_exponent([0, 10], [1.0, 2.0]) is None
+
+
+# ---------------------------------------------------------------------------
+# Operation counting
+# ---------------------------------------------------------------------------
+
+
+def test_operation_counter_arithmetic():
+    counter = OperationCounter(additions=2, multiplications=3, negations=1)
+    assert counter.total == 6
+    later = OperationCounter(additions=5, multiplications=4, negations=1)
+    difference = later - counter
+    assert difference.additions == 3 and difference.multiplications == 1
+    snapshot = counter.snapshot()
+    counter.reset()
+    assert counter.total == 0 and snapshot.total == 6
+    assert "+=" in repr(snapshot) or "+" in repr(snapshot)
+
+
+def test_counting_semiring_counts_gmr_operations():
+    counting = CountingSemiring()
+    left = GMR.from_tuples(("A",), [(1,), (2,)], ring=counting)
+    right = GMR.from_tuples(("A",), [(1,), (3,)], ring=counting)
+    counting.counter.reset()
+    _ = left + right
+    assert counting.counter.additions >= 1
+    counting.counter.reset()
+    _ = left * right
+    assert counting.counter.multiplications >= 1
+    counting.counter.reset()
+    _ = -left
+    assert counting.counter.negations == 2
+
+
+def test_counting_semiring_interoperates_with_plain_ring():
+    counting = CountingSemiring()
+    counted = GMR.from_tuples(("A",), [(1,)], ring=counting)
+    plain = GMR.from_tuples(("A",), [(1,)])
+    assert counted + plain == GMR.from_tuples(("A",), [(1,), (1,)])
+
+
+def test_counting_semiring_without_inverse():
+    from repro.algebra.semirings import NATURAL_SEMIRING
+
+    counting = CountingSemiring(NATURAL_SEMIRING)
+    assert not counting.is_ring
+    with pytest.raises(TypeError):
+        counting.neg(1)
+
+
+def test_runtime_statistics_per_update_and_reset():
+    statistics = RuntimeStatistics()
+    assert statistics.per_update() == {}
+    statistics.updates_processed = 4
+    statistics.statements_executed = 8
+    statistics.entries_updated = 12
+    statistics.operations.additions = 20
+    summary = statistics.per_update()
+    assert summary["statements"] == 2.0
+    assert summary["entries_updated"] == 3.0
+    assert summary["arithmetic_ops"] == 5.0
+    statistics.reset()
+    assert statistics.updates_processed == 0
+
+
+def test_constant_arithmetic_per_update_for_selfjoin_count():
+    """The measured consequence of the NC⁰ claim: per-update ring operations do not
+    grow with the database size for the recursive scheme."""
+    query = parse("Sum(R(x) * R(y) * (x = y))")
+    program = compile_query(query, UNARY_SCHEMA)
+
+    def operations_for_update_at_size(size):
+        counting = CountingSemiring()
+        runtime = TriggerRuntime(program, ring=counting)
+        for index in range(size):
+            runtime.apply(insert("R", index % 17))
+        counting.counter.reset()
+        runtime.apply(insert("R", 3))
+        return counting.counter.total
+
+    small = operations_for_update_at_size(50)
+    large = operations_for_update_at_size(800)
+    assert small > 0
+    assert large <= small * 2  # independent of the 16x database-size increase

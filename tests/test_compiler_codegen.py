@@ -1,0 +1,106 @@
+"""Tests for the generated straight-line Python triggers (the NC⁰C analogue)."""
+
+import pytest
+
+from repro.compiler.codegen import generate_python
+from repro.compiler.compile import compile_query
+from repro.compiler.runtime import TriggerRuntime
+from repro.core.ast import Rel
+from repro.core.errors import CompilationError
+from repro.core.parser import parse
+from repro.workloads.queries import CANONICAL_QUERIES
+from repro.workloads.schemas import CUSTOMER_SCHEMA, RST_SCHEMA, UNARY_SCHEMA
+from repro.workloads.streams import StreamGenerator
+
+
+def fresh_maps(program):
+    return {name: {} for name in program.maps}
+
+
+def test_generated_module_shape():
+    program = compile_query(parse("Sum(R(x) * R(y) * (x = y))"), UNARY_SCHEMA, name="q")
+    generated = generate_python(program)
+    assert "def on_insert_R(maps, values):" in generated.source
+    assert "def on_delete_R(maps, values):" in generated.source
+    assert "def apply_update(maps, relation, sign, values):" in generated.source
+    assert set(generated.trigger_function_names()) == {"on_insert_R", "on_delete_R"}
+    # The generated code never mentions joins, relations or the evaluator.
+    assert "evaluate" not in generated.source
+    assert "Rel(" not in generated.source
+
+
+def test_generated_code_reproduces_example_1_2():
+    program = compile_query(parse("Sum(R(x) * R(y) * (x = y))"), UNARY_SCHEMA, name="q")
+    generated = generate_python(program)
+    maps = fresh_maps(program)
+    expected = [1, 4, 5, 10, 9, 16, 9]
+    sequence = [("c", 1), ("c", 1), ("d", 1), ("c", 1), ("d", -1), ("c", 1), ("c", -1)]
+    observed = []
+    for value, sign in sequence:
+        generated.apply(maps, "R", sign, (value,))
+        observed.append(maps["q"].get((), 0))
+    assert observed == expected
+
+
+@pytest.mark.parametrize(
+    "query", [q for q in CANONICAL_QUERIES], ids=[q.name for q in CANONICAL_QUERIES]
+)
+def test_generated_and_interpreted_triggers_agree(query):
+    program = compile_query(query.expr, query.schema, name="q")
+    generated = generate_python(program)
+    interpreter = TriggerRuntime(program)
+    maps = fresh_maps(program)
+    stream = StreamGenerator(query.schema, seed=13, default_domain_size=6).generate(120)
+    for update in stream:
+        interpreter.apply(update)
+        generated.apply(maps, update.relation, update.sign, update.values)
+    for name in program.maps:
+        assert maps[name] == interpreter.maps[name], name
+
+
+def test_generated_code_handles_deferred_inequalities():
+    schema = {"R": ("A", "B"), "S": ("C", "D")}
+    query = parse("Sum(R(a, b) * S(c, d) * (b = c) * (a < d) * d)")
+    program = compile_query(query, schema, name="q")
+    generated = generate_python(program)
+    interpreter = TriggerRuntime(program)
+    maps = fresh_maps(program)
+    stream = StreamGenerator(schema, seed=5, default_domain_size=5).generate(100)
+    for update in stream:
+        interpreter.apply(update)
+        generated.apply(maps, update.relation, update.sign, update.values)
+    assert maps["q"] == interpreter.maps["q"]
+
+
+def test_generated_source_is_idempotent_per_program():
+    program = compile_query(parse("Sum(R(x) * x)"), UNARY_SCHEMA)
+    assert generate_python(program).source == generate_python(program).source
+
+
+def test_codegen_rejects_base_relations_in_statements():
+    from repro.compiler.triggers import Statement, Trigger, TriggerProgram
+    from repro.compiler.maps import MapDefinition
+
+    bogus = TriggerProgram(
+        result_map="q",
+        maps={"q": MapDefinition("q", (), parse("R(x)"))},
+        triggers={
+            ("R", 1): Trigger(
+                relation="R",
+                sign=1,
+                argument_names=("__d_R_0",),
+                statements=(Statement("q", (), Rel("R", ("x",))),),
+            )
+        },
+        schema={"R": ("A",)},
+    )
+    with pytest.raises(CompilationError):
+        generate_python(bogus)
+
+
+def test_unknown_event_is_a_no_op():
+    program = compile_query(parse("Sum(R(x))"), {"R": ("A",), "S": ("B",)}, name="q")
+    generated = generate_python(program)
+    maps = fresh_maps(program)
+    generated.apply(maps, "S", 1, (1,))
+    assert maps["q"] == {}

@@ -1,0 +1,125 @@
+"""Tests for the trigger runtime: the Example 1.2 trace, bootstrap, statistics."""
+
+import pytest
+
+from repro.compiler.compile import compile_query
+from repro.compiler.runtime import TriggerRuntime
+from repro.core.parser import parse
+from repro.core.semantics import evaluate
+from repro.gmr.database import Database, delete, insert
+from repro.gmr.records import EMPTY_RECORD
+from repro.workloads.schemas import CUSTOMER_SCHEMA, UNARY_SCHEMA
+
+SELFJOIN = parse("Sum(R(x) * R(y) * (x = y))")
+
+#: The update sequence and expected Q values of the Example 1.2 table.
+EXAMPLE_1_2_TRACE = [
+    (insert("R", "c"), 1),
+    (insert("R", "c"), 4),
+    (insert("R", "d"), 5),
+    (insert("R", "c"), 10),
+    (delete("R", "d"), 9),
+    (insert("R", "c"), 16),
+    (delete("R", "c"), 9),
+]
+
+
+def make_runtime(query=SELFJOIN, schema=UNARY_SCHEMA, name="q"):
+    return TriggerRuntime(compile_query(query, schema, name=name))
+
+
+def test_example_1_2_query_trace():
+    """The maintained Q follows the exact column of the Example 1.2 table."""
+    runtime = make_runtime()
+    for update, expected in EXAMPLE_1_2_TRACE:
+        runtime.apply(update)
+        assert runtime.result() == expected
+
+
+def test_example_1_2_first_delta_views():
+    """The auxiliary map holds count(A = a), i.e. the paper's ∆Q(+R(a)) = 1 + 2·count."""
+    runtime = make_runtime()
+    for update, _expected in EXAMPLE_1_2_TRACE[:4]:
+        runtime.apply(update)
+    # Database is now {c, c, c, d}: the count map must reflect it.
+    [auxiliary] = [name for name in runtime.maps if name != "q"]
+    assert runtime.lookup(auxiliary, "c") == 3
+    assert runtime.lookup(auxiliary, "d") == 1
+    assert runtime.lookup(auxiliary, "missing") == 0
+
+
+def test_result_for_group_by_queries_is_a_dict():
+    query = parse("AggSum([c], C(c, n) * C(c2, n2) * (n = n2))")
+    runtime = TriggerRuntime(compile_query(query, CUSTOMER_SCHEMA))
+    runtime.apply(insert("C", 1, "FR"))
+    runtime.apply(insert("C", 2, "FR"))
+    runtime.apply(insert("C", 3, "JP"))
+    assert runtime.result() == {(1,): 2, (2,): 2, (3,): 1}
+    assert runtime.result_map_contents() == runtime.result()
+
+
+def test_zero_entries_are_evicted():
+    runtime = make_runtime()
+    runtime.apply(insert("R", "c"))
+    runtime.apply(delete("R", "c"))
+    assert runtime.result() == 0
+    assert runtime.total_map_entries() == 0
+
+
+def test_updates_to_unreferenced_relations_are_ignored():
+    query = parse("Sum(R(x))")
+    program = compile_query(query, {"R": ("A",), "S": ("B",)})
+    runtime = TriggerRuntime(program)
+    runtime.apply(insert("S", 1))
+    assert runtime.result() == 0
+    assert runtime.statistics.updates_processed == 1
+
+
+def test_arity_mismatch_raises():
+    runtime = make_runtime()
+    with pytest.raises(ValueError):
+        runtime.apply(insert("R", 1, 2))
+
+
+def test_bootstrap_from_existing_database(unary_db):
+    runtime = make_runtime()
+    runtime.bootstrap(unary_db)
+    assert runtime.result() == 5
+    runtime.apply(insert("R", "c"))
+    db = unary_db.updated(insert("R", "c"))
+    assert runtime.result() == evaluate(SELFJOIN, db)[EMPTY_RECORD]
+
+
+def test_bootstrap_group_by_query(customers_db):
+    query = parse("AggSum([c], C(c, n) * C(c2, n2) * (n = n2))")
+    runtime = TriggerRuntime(compile_query(query, CUSTOMER_SCHEMA))
+    runtime.bootstrap(customers_db)
+    assert runtime.result() == {(1,): 2, (2,): 2, (3,): 1, (4,): 3, (5,): 3, (6,): 3}
+    runtime.apply(insert("C", 7, "GERMANY"))
+    assert runtime.result()[(3,)] == 2
+    assert runtime.result()[(7,)] == 2
+
+
+def test_statistics_accumulate():
+    runtime = make_runtime()
+    for update, _ in EXAMPLE_1_2_TRACE:
+        runtime.apply(update)
+    stats = runtime.statistics
+    assert stats.updates_processed == len(EXAMPLE_1_2_TRACE)
+    assert stats.statements_executed >= stats.updates_processed
+    assert stats.entries_updated >= stats.updates_processed
+    per_update = stats.per_update()
+    assert per_update["statements"] >= 1
+    assert runtime.map_sizes()["q"] == 1
+    assert "TriggerRuntime" in repr(runtime)
+
+
+def test_float_ring_runtime():
+    from repro.algebra.semirings import FLOAT_FIELD
+
+    query = parse("Sum(R(x) * x)")
+    runtime = TriggerRuntime(compile_query(query, UNARY_SCHEMA), ring=FLOAT_FIELD)
+    runtime.apply(insert("R", 2.5))
+    runtime.apply(insert("R", 1.5))
+    runtime.apply(delete("R", 2.5))
+    assert runtime.result() == pytest.approx(1.5)

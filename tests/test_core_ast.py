@@ -1,0 +1,131 @@
+"""Tests for the AGCA abstract syntax (Section 4 EBNF)."""
+
+import pytest
+
+from repro.core.ast import (
+    Add,
+    AggSum,
+    Assign,
+    Compare,
+    Const,
+    MapRef,
+    Mul,
+    Neg,
+    ONE,
+    Rel,
+    Sum,
+    Var,
+    ZERO,
+    add,
+    as_expr,
+    is_one_literal,
+    is_zero_literal,
+    map_references,
+    mul,
+    relation_atoms,
+    relations_mentioned,
+    walk,
+)
+
+
+def test_operator_sugar_builds_expected_nodes():
+    x, y = Var("x"), Var("y")
+    assert x + y == Add((x, y))
+    assert x * y == Mul((x, y))
+    assert -x == Neg(x)
+    assert (x - y) == Add((x, Neg(y)))
+    assert (1 + x) == Add((Const(1), x))
+    assert (2 * x) == Mul((Const(2), x))
+    assert (3 - x) == Add((Const(3), Neg(x)))
+
+
+def test_comparison_builders():
+    x = Var("x")
+    assert x.eq(1) == Compare(x, "=", Const(1))
+    assert x.ne(1).op == "!="
+    assert x.lt(1).op == "<"
+    assert x.le(1).op == "<="
+    assert x.gt(1).op == ">"
+    assert x.ge(1).op == ">="
+
+
+def test_compare_rejects_unknown_operator():
+    with pytest.raises(ValueError):
+        Compare(Var("x"), "~", Const(0))
+
+
+def test_compare_complement():
+    condition = Compare(Var("x"), "<", Const(3))
+    assert condition.complement().op == ">="
+    assert condition.complement().complement() == condition
+
+
+def test_as_expr_coercion():
+    assert as_expr(3) == Const(3)
+    assert as_expr("n") == Const("n")
+    assert as_expr(Var("x")) == Var("x")
+    with pytest.raises(TypeError):
+        as_expr(object())
+
+
+def test_sum_is_aggsum_without_groups():
+    body = Rel("R", ("x",))
+    assert Sum(body) == AggSum((), body)
+    assert AggSum(["a", "b"], body).group_vars == ("a", "b")
+
+
+def test_nary_helpers():
+    assert add() == ZERO
+    assert mul() == ONE
+    assert add(Var("x")) == Var("x")
+    assert mul(Var("x")) == Var("x")
+    assert add(1, 2, Var("x")) == Add((Const(1), Const(2), Var("x")))
+    assert mul(Var("x"), 2) == Mul((Var("x"), Const(2)))
+
+
+def test_literal_predicates():
+    assert is_zero_literal(Const(0))
+    assert is_zero_literal(Neg(Const(0)))
+    assert is_zero_literal(Add((Const(0), Neg(Const(0)))))
+    assert not is_zero_literal(Const(1))
+    assert not is_zero_literal(Var("x"))
+    assert is_one_literal(Const(1))
+    assert not is_one_literal(Const(2))
+
+
+def test_walk_visits_all_nodes_preorder():
+    expr = AggSum((), Mul((Rel("R", ("x",)), Compare(Var("x"), "<", Const(3)))))
+    nodes = list(walk(expr))
+    assert nodes[0] is expr
+    assert any(isinstance(node, Rel) for node in nodes)
+    assert any(isinstance(node, Const) for node in nodes)
+    assert len(nodes) == 6
+
+
+def test_relation_atoms_and_names():
+    expr = Mul((Rel("R", ("x",)), Rel("S", ("x", "y")), MapRef("m", ("x",))))
+    atoms = relation_atoms(expr)
+    assert [atom.name for atom in atoms] == ["R", "S"]
+    assert relations_mentioned(expr) == frozenset({"R", "S"})
+    assert [reference.name for reference in map_references(expr)] == ["m"]
+
+
+def test_nodes_are_hashable_and_structurally_equal():
+    left = AggSum(("c",), Mul((Rel("C", ("c", "n")), Var("c"))))
+    right = AggSum(("c",), Mul((Rel("C", ("c", "n")), Var("c"))))
+    assert left == right
+    assert hash(left) == hash(right)
+    assert len({left, right}) == 1
+
+
+def test_children():
+    assert Const(1).children() == ()
+    assert Neg(Var("x")).children() == (Var("x"),)
+    assert Assign("x", Const(1)).children() == (Const(1),)
+    assert Compare(Var("x"), "=", Const(1)).children() == (Var("x"), Const(1))
+    assert Add((Var("x"), Var("y"))).children() == (Var("x"), Var("y"))
+
+
+def test_str_uses_concrete_syntax():
+    expr = Mul((Rel("R", ("x",)), Var("x")))
+    assert str(expr) == "R(x) * x"

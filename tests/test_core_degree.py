@@ -1,0 +1,70 @@
+"""Tests for the polynomial degree of queries (Definition 6.3, Theorem 6.4)."""
+
+from hypothesis import given, settings
+
+from repro.core.ast import Const
+from repro.core.degree import degree, has_only_simple_conditions, is_simple_condition
+from repro.core.delta import UpdateEvent, delta, nth_delta
+from repro.core.parser import parse
+from tests.conftest import simple_unary_queries
+
+
+def test_degree_of_leaves():
+    assert degree(parse("3")) == 0
+    assert degree(parse("x")) == 0
+    assert degree(parse("x := 3")) == 0
+    assert degree(parse("m[k]")) == 0
+    assert degree(parse("R(x)")) == 1
+
+
+def test_degree_composition_rules():
+    assert degree(parse("R(x) * S(y)")) == 2
+    assert degree(parse("R(x) * R(y) * R(z)")) == 3
+    assert degree(parse("R(x) + S(y) * T(z)")) == 2
+    assert degree(parse("-R(x)")) == 1
+    assert degree(parse("Sum(R(x) * S(y))")) == 2
+    assert degree(parse("(x < 3)")) == 0
+    assert degree(parse("(Sum(R(x)) < 3)")) == 1
+
+
+def test_paper_example_degrees():
+    """Example 6.5: deg q = 2, deg ∆q = 1, deg ∆²q = 0."""
+    q = parse("Sum(C(c, n) * C(c2, n2) * (n = n2))")
+    assert degree(q) == 2
+    first = delta(q, UpdateEvent.symbolic(1, "C", 2, prefix="__u1"))
+    assert degree(first) == 1
+    second = delta(first, UpdateEvent.symbolic(1, "C", 2, prefix="__u2"))
+    assert degree(second) == 0
+    third = delta(second, UpdateEvent.symbolic(1, "C", 2, prefix="__u3"))
+    assert degree(third) == 0
+
+
+def test_simple_conditions():
+    assert is_simple_condition(parse("(x < y)"))
+    assert not is_simple_condition(parse("(Sum(R(x)) < 3)"))
+    assert has_only_simple_conditions(parse("Sum(R(x) * (x < 3) * S(y))"))
+    assert not has_only_simple_conditions(parse("Sum(R(x) * (Sum(S(y)) = 2))"))
+    assert has_only_simple_conditions(Const(5))
+
+
+@settings(max_examples=40, deadline=None)
+@given(simple_unary_queries())
+def test_theorem_6_4_delta_reduces_degree(query):
+    """deg(∆q) = max(0, deg(q) - 1) for queries with simple conditions."""
+    event = UpdateEvent.symbolic(1, "R", 1)
+    assert degree(delta(query, event)) == max(0, degree(query) - 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(simple_unary_queries())
+def test_degree_many_deltas_vanish(query):
+    """The deg(q)-th delta has degree 0 and further deltas stay at 0."""
+    events = [UpdateEvent.symbolic(1, "R", 1, prefix=f"__u{i}") for i in range(degree(query) + 2)]
+    assert degree(nth_delta(query, events)) == 0
+
+
+def test_degree_of_three_way_join_chain():
+    q = parse("Sum(R(a, b) * S(c, d) * T(e, f) * (b = c) * (d = e) * a * f)")
+    assert degree(q) == 3
+    after_one = delta(q, UpdateEvent.symbolic(1, "S", 2))
+    assert degree(after_one) == 2

@@ -1,0 +1,189 @@
+"""Tests for delta queries (Section 6, Proposition 6.1, Examples 6.2/6.5, Example 1.2)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.ast import Const, Rel, Var
+from repro.core.degree import degree
+from repro.core.delta import UpdateEvent, delta, delta_for_update, nth_delta, symbolic_events_for
+from repro.core.errors import DeltaError
+from repro.core.parser import parse, to_string
+from repro.core.semantics import evaluate
+from repro.core.simplify import simplify
+from repro.gmr.database import Database, delete, insert
+from repro.gmr.records import EMPTY_RECORD, Record
+from tests.conftest import simple_unary_queries, unary_update_streams
+
+
+def scalar(gmr):
+    return gmr[EMPTY_RECORD]
+
+
+# ---------------------------------------------------------------------------
+# UpdateEvent
+# ---------------------------------------------------------------------------
+
+
+def test_update_event_constructors():
+    concrete = UpdateEvent.from_update(insert("R", 1, "x"))
+    assert concrete.args == (Const(1), Const("x"))
+    assert concrete.is_insert
+    symbolic = UpdateEvent.symbolic(-1, "R", 2)
+    assert symbolic.argument_names == ("__d_R_0", "__d_R_1")
+    assert not symbolic.is_insert
+    with pytest.raises(ValueError):
+        UpdateEvent(0, "R", (Const(1),))
+    with pytest.raises(DeltaError):
+        concrete.argument_names  # concrete components are not variables
+
+
+def test_symbolic_events_for():
+    up, down = symbolic_events_for("S", 2)
+    assert up.sign == 1 and down.sign == -1
+    assert up.argument_names == down.argument_names
+
+
+# ---------------------------------------------------------------------------
+# The delta rules
+# ---------------------------------------------------------------------------
+
+
+def test_delta_of_leaves_is_zero():
+    event = UpdateEvent.symbolic(1, "R", 1)
+    assert delta(Const(5), event) == Const(0)
+    assert delta(Var("x"), event) == Const(0)
+    assert delta(parse("m[k]"), event) == Const(0)
+    assert delta(parse("(x < 3)"), event) == Const(0)
+    assert delta(Rel("S", ("x",)), event) == Const(0)
+
+
+def test_delta_of_matching_relation_is_assignment_product():
+    event = UpdateEvent(1, "R", (Const(7), Const(8)))
+    result = delta(Rel("R", ("x", "y")), event)
+    assert to_string(result) == "(x := 7) * (y := 8)"
+    negated = delta(Rel("R", ("x", "y")), UpdateEvent(-1, "R", (Const(7), Const(8))))
+    assert to_string(negated) == "-((x := 7) * (y := 8))"
+
+
+def test_delta_arity_mismatch():
+    with pytest.raises(DeltaError):
+        delta(Rel("R", ("x",)), UpdateEvent(1, "R", (Const(1), Const(2))))
+
+
+def test_delta_of_assignment_with_database_dependent_source():
+    with pytest.raises(DeltaError):
+        delta(parse("x := Sum(R(y))"), UpdateEvent.symbolic(1, "R", 1))
+    assert delta(parse("x := 3"), UpdateEvent.symbolic(1, "R", 1)) == Const(0)
+
+
+def test_example_1_2_delta_values(unary_db):
+    """∆Q(R, ±R(a)) = 1 ± 2 * count(A = a) on R = {c, c, d}."""
+    query = parse("Sum(R(x) * R(y) * (x = y))")
+    assert scalar(evaluate(query, unary_db)) == 5
+    assert scalar(evaluate(delta_for_update(query, insert("R", "c")), unary_db)) == 1 + 2 * 2
+    assert scalar(evaluate(delta_for_update(query, delete("R", "c")), unary_db)) == 1 - 2 * 2
+    assert scalar(evaluate(delta_for_update(query, insert("R", "d")), unary_db)) == 1 + 2 * 1
+    assert scalar(evaluate(delta_for_update(query, delete("R", "d")), unary_db)) == 1 - 2 * 1
+    assert scalar(evaluate(delta_for_update(query, insert("R", "zzz")), unary_db)) == 1
+
+
+def test_example_1_2_second_delta_is_constant(unary_db):
+    """∆²Q = ±2 when the two updates touch the same value, 0 otherwise."""
+    query = parse("Sum(R(x) * R(y) * (x = y))")
+    cases = [
+        (insert("R", "a"), insert("R", "a"), 2),
+        (delete("R", "a"), delete("R", "a"), 2),
+        (insert("R", "a"), delete("R", "a"), -2),
+        (delete("R", "a"), insert("R", "a"), -2),
+        (insert("R", "a"), insert("R", "b"), 0),
+    ]
+    for first, second, expected in cases:
+        second_delta = delta_for_update(delta_for_update(query, first), second)
+        value = scalar(evaluate(second_delta, unary_db))
+        assert value == expected, (first, second, value)
+        # Constant: the same value on a different database (the empty one).
+        empty = Database({"R": ("A",)})
+        assert scalar(evaluate(second_delta, empty)) == expected
+
+
+def test_third_delta_is_identically_zero(unary_db):
+    query = parse("Sum(R(x) * R(y) * (x = y))")
+    events = [UpdateEvent.from_update(insert("R", "a"))] * 3
+    third = nth_delta(query, events)
+    assert evaluate(third, unary_db).is_zero()
+    assert degree(third) == 0
+
+
+def test_example_6_2_structure():
+    """Example 6.2: the delta of the same-nation query has the three product-rule terms."""
+    query = parse("Sum(C(c, n) * C(c2, n2) * (n = n2))")
+    event = UpdateEvent(1, "C", (Const(10), Const("FR")))
+    raw = delta(query, event)
+    text = to_string(raw)
+    assert text.count("C(") == 2  # one remaining relation atom per mixed term
+    assert "c := 10" in text and "c2 := 10" in text
+
+
+def test_non_simple_condition_uses_truth_table_rule(unary_db):
+    """∆(t θ 0) for a condition containing an aggregate: the (new ∧ ¬old) − (old ∧ ¬new) rule."""
+    query = parse("Sum(R(x) * (Sum(R(y)) >= 4))")
+    # Current count is 3, so the condition is false and Q = 0; inserting one
+    # tuple makes the count 4, so Q jumps to 4.
+    assert evaluate(query, unary_db).is_zero()
+    update = insert("R", "e")
+    change = evaluate(delta_for_update(query, update), unary_db)
+    after = unary_db.updated(update)
+    assert scalar(evaluate(query, after)) == 4
+    assert scalar(change) == 4
+
+
+# ---------------------------------------------------------------------------
+# Proposition 6.1: [[q]](D + u) = [[q]](D) + [[∆_u q]](D)
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(simple_unary_queries(), unary_update_streams())
+def test_proposition_6_1_along_streams(query, updates):
+    db = Database({"R": ("A",)})
+    for update in updates[:8]:
+        before = evaluate(query, db)
+        change = evaluate(delta_for_update(query, update), db)
+        db.apply(update)
+        after = evaluate(query, db)
+        assert after == before + change
+
+
+@settings(max_examples=25, deadline=None)
+@given(simple_unary_queries(), unary_update_streams())
+def test_second_order_proposition_6_1(query, updates):
+    """The delta of a delta again satisfies Proposition 6.1."""
+    if len(updates) < 2:
+        return
+    db = Database({"R": ("A",)})
+    probe = updates[0]
+    first = delta_for_update(query, probe)
+    for update in updates[1:5]:
+        before = evaluate(first, db)
+        change = evaluate(delta_for_update(first, update), db)
+        db.apply(update)
+        after = evaluate(first, db)
+        assert after == before + change
+
+
+def test_delta_on_group_by_query(customers_db):
+    query = parse("AggSum([c], C(c, n) * C(c2, n2) * (n = n2))")
+    update = insert("C", 7, "JAPAN")
+    change = evaluate(delta_for_update(query, update), customers_db)
+    after = customers_db.updated(update)
+    assert evaluate(query, after) == evaluate(query, customers_db) + change
+
+
+def test_simplified_delta_still_correct(rst_db):
+    query = parse("Sum(R(a, b) * S(c, d) * T(e, f) * (b = c) * (d = e) * a * f)")
+    update = insert("S", 10, 200)
+    raw = delta_for_update(query, update)
+    tidy = simplify(raw)
+    assert evaluate(raw, rst_db) == evaluate(tidy, rst_db)
+    after = rst_db.updated(update)
+    assert evaluate(query, after) == evaluate(query, rst_db) + evaluate(tidy, rst_db)

@@ -1,0 +1,109 @@
+"""Tests for the polynomial normal form (Section 5)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.ast import Add, AggSum, Const, Mul, Neg, Rel, Var
+from repro.core.normalization import (
+    Monomial,
+    combine_like_terms,
+    from_polynomial,
+    monomials_of,
+    polynomial_normal_form,
+    to_polynomial,
+)
+from repro.core.parser import parse, to_string
+from repro.core.semantics import evaluate
+from repro.gmr.database import Database
+from tests.conftest import simple_unary_queries, unary_update_streams
+
+
+def test_constants_and_leaves():
+    assert to_polynomial(Const(0)) == []
+    assert to_polynomial(Const(3)) == [Monomial(3, ())]
+    assert to_polynomial(Var("x")) == [Monomial(1, (Var("x"),))]
+    assert to_polynomial(Rel("R", ("x",))) == [Monomial(1, (Rel("R", ("x",)),))]
+
+
+def test_non_numeric_constant_rejected():
+    with pytest.raises(TypeError):
+        to_polynomial(Const("FR"))
+
+
+def test_negation_scales_coefficients():
+    assert to_polynomial(Neg(Const(3))) == [Monomial(-3, ())]
+    assert to_polynomial(Neg(Neg(Var("x")))) == [Monomial(1, (Var("x"),))]
+
+
+def test_distribution_of_products_over_sums():
+    expr = parse("(R(x) + S(y)) * (T(z) + 2)")
+    monomials = to_polynomial(expr)
+    assert len(monomials) == 4
+    rendered = {to_string(monomial.to_expr()) for monomial in monomials}
+    assert "R(x) * T(z)" in rendered
+    assert "2 * S(y)" in rendered or "S(y) * 2" in rendered
+
+
+def test_factor_order_is_preserved():
+    expr = parse("R(x) * (x < 3) * S(y)")
+    [monomial] = to_polynomial(expr)
+    kinds = [type(factor).__name__ for factor in monomial.factors]
+    assert kinds == ["Rel", "Compare", "Rel"]
+
+
+def test_combine_like_terms_merges_and_drops_zero():
+    a = Monomial(2, (Var("x"),))
+    b = Monomial(3, (Var("x"),))
+    c = Monomial(-5, (Var("x"),))
+    d = Monomial(4, (Var("y"),))
+    combined = combine_like_terms([a, b, c, d])
+    assert combined == [Monomial(4, (Var("y"),))]
+
+
+def test_monomial_to_expr_coefficients():
+    assert Monomial(1, (Var("x"),)).to_expr() == Var("x")
+    assert Monomial(-1, (Var("x"),)).to_expr() == Neg(Var("x"))
+    assert Monomial(0, (Var("x"),)).to_expr() == Const(0)
+    assert to_string(Monomial(2, (Var("x"),)).to_expr()) == "2 * x"
+    assert Monomial(7, ()).to_expr() == Const(7)
+
+
+def test_from_polynomial_shapes():
+    assert from_polynomial([]) == Const(0)
+    assert from_polynomial([Monomial(1, (Var("x"),))]) == Var("x")
+    rebuilt = from_polynomial([Monomial(1, (Var("x"),)), Monomial(2, ())])
+    assert isinstance(rebuilt, Add)
+
+
+def test_monomial_helpers():
+    monomial = Monomial(2, (Rel("R", ("x",)), Var("x")))
+    assert not monomial.is_zero()
+    assert monomial.scaled(-1).coefficient == -2
+    assert monomial.relation_atoms() == (Rel("R", ("x",)),)
+    assert "R(x)" in repr(monomial)
+    product = monomial.times(Monomial(3, (Var("y"),)))
+    assert product.coefficient == 6
+    assert len(product.factors) == 3
+
+
+def test_aggregates_are_atomic_factors():
+    expr = parse("Sum(R(x)) * 2")
+    [monomial] = to_polynomial(expr)
+    assert monomial.coefficient == 2
+    assert isinstance(monomial.factors[0], AggSum)
+
+
+def test_normal_form_cancels_opposite_terms(unary_db):
+    expr = parse("R(x) - R(x)")
+    assert polynomial_normal_form(expr) == Const(0)
+    assert monomials_of(parse("R(x) * 2 - R(x) - R(x)")) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(simple_unary_queries(), unary_update_streams())
+def test_normal_form_preserves_semantics(query, updates):
+    """Expanding to polynomial normal form never changes the query's meaning."""
+    db = Database({"R": ("A",)})
+    db.apply_all(updates[:10])
+    body = query.expr
+    assert evaluate(body, db) == evaluate(polynomial_normal_form(body), db)

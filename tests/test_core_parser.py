@@ -1,0 +1,131 @@
+"""Tests for the AGCA concrete syntax (parser and pretty printer)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ast import (
+    Add,
+    AggSum,
+    Assign,
+    Compare,
+    Const,
+    MapRef,
+    Mul,
+    Neg,
+    Rel,
+    Var,
+)
+from repro.core.errors import ParseError
+from repro.core.parser import parse, to_string, tokenize
+
+
+def test_tokenize_kinds():
+    tokens = tokenize("Sum(R(x) * 3.5 + 'abc') != :=")
+    kinds = [token.kind for token in tokens]
+    assert "IDENT" in kinds and "NUMBER" in kinds and "STRING" in kinds
+    assert "CMP" in kinds and "ASSIGN" in kinds
+
+
+def test_tokenize_rejects_junk():
+    with pytest.raises(ParseError):
+        tokenize("R(x) $ 3")
+
+
+def test_parse_constants_and_variables():
+    assert parse("42") == Const(42)
+    assert parse("3.5") == Const(3.5)
+    assert parse("'FRANCE'") == Const("FRANCE")
+    assert parse("x") == Var("x")
+
+
+def test_parse_relation_and_mapref():
+    assert parse("R(x, y)") == Rel("R", ("x", "y"))
+    assert parse("m[x, y]") == MapRef("m", ("x", "y"))
+    assert parse("R()") == Rel("R", ())
+
+
+def test_parse_sum_and_aggsum():
+    assert parse("Sum(R(x))") == AggSum((), Rel("R", ("x",)))
+    assert parse("AggSum([a, b], R(a, b))") == AggSum(("a", "b"), Rel("R", ("a", "b")))
+    assert parse("AggSum([], R(a, b))") == AggSum((), Rel("R", ("a", "b")))
+
+
+def test_parse_products_and_sums_with_precedence():
+    expr = parse("R(x) * S(y) + T(z)")
+    assert isinstance(expr, Add)
+    assert isinstance(expr.terms[0], Mul)
+    expr2 = parse("R(x) * (S(y) + T(z))")
+    assert isinstance(expr2, Mul)
+    assert isinstance(expr2.factors[1], Add)
+
+
+def test_parse_subtraction_and_negation():
+    expr = parse("R(x) - S(y)")
+    assert expr == Add((Rel("R", ("x",)), Neg(Rel("S", ("y",)))))
+    assert parse("-R(x)") == Neg(Rel("R", ("x",)))
+    assert parse("- -x") == Neg(Neg(Var("x")))
+
+
+def test_parse_conditions():
+    assert parse("(x < y)") == Compare(Var("x"), "<", Var("y"))
+    assert parse("(x = 3)") == Compare(Var("x"), "=", Const(3))
+    assert parse("(Sum(R(x)) >= 5)") == Compare(AggSum((), Rel("R", ("x",))), ">=", Const(5))
+    nested = parse("R(x, y) * (x != y)")
+    assert isinstance(nested.factors[1], Compare)
+
+
+def test_parse_assignment():
+    assert parse("x := 3") == Assign("x", Const(3))
+    assert parse("(x := y) * R(x)") == Mul((Assign("x", Var("y")), Rel("R", ("x",))))
+
+
+def test_parse_paper_example_queries():
+    q52 = parse("Sum(C(c, n) * C(c2, n2) * (n = n2))")
+    assert isinstance(q52, AggSum)
+    q13 = parse("Sum(R(a, b) * S(c, d) * T(e, f) * (b = c) * (d = e) * a * f)")
+    assert len(q13.expr.factors) == 7
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse("")
+    with pytest.raises(ParseError):
+        parse("R(x")
+    with pytest.raises(ParseError):
+        parse("R(x) R(y)")
+    with pytest.raises(ParseError):
+        parse("(x <)")
+    with pytest.raises(ParseError):
+        parse("AggSum(x, R(x))")
+
+
+def test_to_string_output_shapes():
+    assert to_string(Const("FR")) == "'FR'"
+    assert to_string(MapRef("m", ("a", "b"))) == "m[a, b]"
+    assert to_string(AggSum((), Rel("R", ("x",)))) == "Sum(R(x))"
+    assert to_string(AggSum(("a",), Rel("R", ("a",)))) == "AggSum([a], R(a))"
+    assert to_string(Neg(Add((Var("x"), Var("y"))))) == "-(x + y)"
+    assert to_string(Mul((Assign("x", Const(1)), Rel("R", ("x",))))) == "(x := 1) * R(x)"
+
+
+EXAMPLES = [
+    "Sum(R(x) * R(y) * (x = y))",
+    "AggSum([c], C(c, n) * C(c2, n2) * (n = n2))",
+    "Sum(R(a, b) * S(c, d) * T(e, f) * (b = c) * (d = e) * a * f)",
+    "R(x) * (x < 3) + -S(y) * 2",
+    "m[a, b] * (a := 5) * (b >= 2)",
+    "Sum(R(x, y) * 3 * x)",
+]
+
+
+@pytest.mark.parametrize("text", EXAMPLES)
+def test_roundtrip_through_pretty_printer(text):
+    expr = parse(text)
+    assert parse(to_string(expr)) == expr
+
+
+@given(st.integers(min_value=-100, max_value=100))
+def test_integer_constants_roundtrip(value):
+    expr = Const(value) if value >= 0 else Neg(Const(-value))
+    assert parse(to_string(expr)) == expr

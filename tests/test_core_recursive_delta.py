@@ -1,0 +1,157 @@
+"""Tests for the abstract recursive-delta memoization of Section 1.1 (Figure 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.polynomials import Polynomial, square_polynomial
+from repro.core.recursive_delta import PolynomialFunction, RecursiveDeltaMemo, figure1_rows
+
+updates_pm1 = st.lists(st.sampled_from([-1, +1]), max_size=25)
+coefficients = st.lists(st.integers(min_value=-4, max_value=4), max_size=4)
+
+
+def make_memo(polynomial, initial_point=0, updates=(-1, +1)):
+    return RecursiveDeltaMemo(PolynomialFunction(polynomial), updates, initial_point)
+
+
+# ---------------------------------------------------------------------------
+# Figure 1
+# ---------------------------------------------------------------------------
+
+#: The seven memoized values of Figure 1 for x = -2 .. 4:
+#: (x, f(x), ∆f(x,-1), ∆f(x,+1), ∆²f(-1,-1), ∆²f(-1,+1), ∆²f(+1,-1), ∆²f(+1,+1))
+FIGURE_1 = [
+    (-2, 4, 5, -3, 2, -2, -2, 2),
+    (-1, 1, 3, -1, 2, -2, -2, 2),
+    (0, 0, 1, 1, 2, -2, -2, 2),
+    (1, 1, -1, 3, 2, -2, -2, 2),
+    (2, 4, -3, 5, 2, -2, -2, 2),
+    (3, 9, -5, 7, 2, -2, -2, 2),
+    (4, 16, -7, 9, 2, -2, -2, 2),
+]
+
+
+@pytest.mark.parametrize("row", FIGURE_1, ids=[str(row[0]) for row in FIGURE_1])
+def test_figure_1_values_from_definitions(row):
+    """The memo initialized at x holds exactly the row of Figure 1."""
+    x, fx, d_minus, d_plus, d_mm, d_mp, d_pm, d_pp = row
+    memo = make_memo(square_polynomial(), initial_point=x)
+    assert memo.value() == fx
+    assert memo.delta_value(-1) == d_minus
+    assert memo.delta_value(+1) == d_plus
+    assert memo.delta_value(-1, -1) == d_mm
+    assert memo.delta_value(-1, +1) == d_mp
+    assert memo.delta_value(+1, -1) == d_pm
+    assert memo.delta_value(+1, +1) == d_pp
+    assert memo.memo_size == 7
+    assert memo.order == 3
+
+
+def test_figure1_rows_helper_matches_table():
+    rows = figure1_rows()
+    assert len(rows) == 7
+    first = rows[0]
+    assert first["x"] == -2 and first["f(x)"] == 4
+    assert first["df(x,-1)"] == 5 and first["df(x,+1)"] == -3
+    assert first["d2f(x,+1,+1)"] == 2 and first["d2f(x,-1,+1)"] == -2
+
+
+def test_update_walks_along_figure_1_rows():
+    """Applying +1 / -1 moves the memoized row to its successor / predecessor."""
+    memo = make_memo(square_polynomial(), initial_point=-2)
+    for expected in FIGURE_1[1:]:
+        memo.apply(+1)
+        assert memo.value() == expected[1]
+        assert memo.delta_value(-1) == expected[2]
+        assert memo.delta_value(+1) == expected[3]
+    for expected in reversed(FIGURE_1[:-1]):
+        memo.apply(-1)
+        assert memo.value() == expected[1]
+
+
+def test_example_walkthrough_from_the_paper():
+    """Section 1.1: at x = 3, incrementing by 1 adds 7 to f, 2 to ∆f(+1), -2 to ∆f(-1)."""
+    memo = make_memo(square_polynomial(), initial_point=3)
+    assert memo.value() == 9
+    new_value = memo.apply(+1)
+    assert new_value == 16
+    assert memo.delta_value(+1) == 9
+    assert memo.delta_value(-1) == -7
+
+
+# ---------------------------------------------------------------------------
+# General properties
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(coefficients, updates_pm1)
+def test_memo_tracks_direct_evaluation(coefficient_list, updates):
+    polynomial = Polynomial(coefficient_list)
+    memo = make_memo(polynomial, initial_point=0)
+    point = 0
+    for update in updates:
+        memo.apply(update)
+        point += update
+        assert memo.value() == polynomial(point)
+    assert memo.point == point
+
+
+@settings(max_examples=20, deadline=None)
+@given(coefficients, updates_pm1)
+def test_all_delta_levels_stay_consistent(coefficient_list, updates):
+    polynomial = Polynomial(coefficient_list)
+    memo = make_memo(polynomial, initial_point=0)
+    memo.apply_all(updates)
+    point = memo.point
+    assert memo.delta_value(+1) == polynomial.delta(+1)(point)
+    assert memo.delta_value(-1, +1) == polynomial.delta(-1).delta(+1)(point)
+
+
+def test_memo_size_bounded_by_geometric_sum():
+    cubic = Polynomial([0, 0, 0, 1])
+    memo = make_memo(cubic, initial_point=1)
+    # |U|^0 + |U|^1 + ... + |U|^(k-1) with k = 4 and |U| = 2, minus pruned zeros.
+    assert memo.order == 4
+    assert memo.memo_size <= 1 + 2 + 4 + 8
+
+
+def test_updates_only_use_additions():
+    memo = make_memo(square_polynomial(), initial_point=0)
+    initial_evaluations = memo.initial_evaluations
+    memo.apply_all([+1, +1, -1, +1])
+    # After initialization nothing is re-evaluated from the definition; each
+    # update costs at most memo_size additions.
+    assert memo.initial_evaluations == initial_evaluations
+    assert memo.additions_performed <= 4 * memo.memo_size
+
+
+def test_constant_function_needs_single_entry():
+    memo = make_memo(Polynomial([5]), initial_point=10)
+    assert memo.order == 1
+    assert memo.memo_size == 1
+    memo.apply(+1)
+    assert memo.value() == 5
+
+
+def test_zero_polynomial():
+    memo = make_memo(Polynomial([]), initial_point=0)
+    assert memo.order == 0
+    assert memo.memo_size == 1
+    memo.apply(+1)
+    assert memo.value() == 0
+
+
+def test_unknown_update_rejected():
+    memo = make_memo(square_polynomial(), initial_point=0)
+    with pytest.raises(ValueError):
+        memo.apply(+2)
+
+
+def test_snapshot_is_a_copy():
+    memo = make_memo(square_polynomial(), initial_point=0)
+    snapshot = memo.snapshot()
+    memo.apply(+1)
+    assert snapshot[()] == 0
+    assert memo.value() == 1

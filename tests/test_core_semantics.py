@@ -1,0 +1,194 @@
+"""Tests for the AGCA denotational semantics (Section 4, Examples 4.1–4.4, 5.2)."""
+
+import pytest
+
+from repro.core.ast import AggSum, Const, MapRef, Rel, Var
+from repro.core.errors import NotScalarError, SchemaError, UnboundVariableError
+from repro.core.parser import parse
+from repro.core.semantics import evaluate, evaluate_value, meaning
+from repro.gmr.database import Database
+from repro.gmr.records import EMPTY_RECORD, Record
+from repro.gmr.relation import GMR
+
+
+def scalar(result):
+    return result[EMPTY_RECORD]
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+
+def test_constants(unary_db):
+    assert scalar(evaluate(Const(7), unary_db)) == 7
+    assert evaluate(Const(0), unary_db).is_zero()
+
+
+def test_variables_require_bindings(unary_db):
+    with pytest.raises(UnboundVariableError):
+        evaluate(Var("x"), unary_db)
+    assert scalar(evaluate(Var("x"), unary_db, Record.of(x=4))) == 4
+
+
+def test_relation_atom_renames_columns(customers_db):
+    """Example 4.1: R(x, y) renames the stored columns and filters on bound variables."""
+    result = evaluate(Rel("C", ("x", "y")), customers_db)
+    assert result[Record.of(x=1, y="FRANCE")] == 1
+    assert len(result) == 6
+    bound = evaluate(Rel("C", ("x", "y")), customers_db, Record.of(y="JAPAN"))
+    assert len(bound) == 3
+    assert all(record["y"] == "JAPAN" for record in bound.support())
+
+
+def test_relation_atom_with_repeated_variable():
+    db = Database({"E": ("src", "dst")})
+    db.load("E", [(1, 1), (1, 2), (2, 2)])
+    loops = evaluate(Rel("E", ("x", "x")), db)
+    assert len(loops) == 2
+    assert loops[Record.of(x=1)] == 1
+
+
+def test_relation_arity_mismatch_is_an_error(unary_db):
+    with pytest.raises(SchemaError):
+        evaluate(Rel("R", ("x", "y")), unary_db)
+
+
+# ---------------------------------------------------------------------------
+# Connectives
+# ---------------------------------------------------------------------------
+
+
+def test_example_4_2_conditions():
+    """Example 4.2: conditions under sideways bindings on a schema-polymorphic gmr.
+
+    The input gmr is the already-renamed ``[[R(x, y)]](A)(⟨⟩)`` of the paper
+    (its records have differing schemas), so the product is formed in the
+    avalanche ring with the evaluator supplying the condition semantics.
+    """
+    from repro.gmr.parametrized import PGMR
+    from repro.core.semantics import meaning
+
+    db = Database({"R": ("a", "b")})
+    a1, a2, a3, a4 = 2, 3, 5, 7
+    relation = GMR(
+        {
+            Record.of(x=1): a1,
+            Record.of(y=1): a2,
+            Record.of(x=1, y=1): a3,
+            Record.of(x=1, y=2): a4,
+        }
+    )
+    result_lt = (PGMR.lift(relation) * meaning(parse("(x < y)"), db))(EMPTY_RECORD)
+    result_eq = (PGMR.lift(relation) * meaning(parse("(x = y)"), db))(EMPTY_RECORD)
+    assert dict(result_lt.items()) == {Record.of(x=1, y=2): a4}
+    assert dict(result_eq.items()) == {Record.of(x=1, y=1): a1 + a2 + a3}
+
+
+def test_example_4_3_sum_of_values():
+    """Example 4.3: Sum(R(x, y) * 3 * x) = Σ multiplicities * 3 * x."""
+    db = Database({"R": ("a", "b")})
+    db.set_relation(
+        "R",
+        GMR({Record.of(a=4, b=10): 2, Record.of(a=6, b=20): 5}),
+    )
+    result = evaluate(parse("Sum(R(x, y) * 3 * x)"), db)
+    assert scalar(result) == 2 * 3 * 4 + 5 * 3 * 6
+
+
+def test_example_4_4_constructing_gmrs_from_scratch():
+    """Example 4.4: assignments build tuples without touching the database."""
+    db = Database()
+    bindings = Record.of(x1="a1", y1="b1", x2="a2", z=2)
+    expr = parse("(x := x1) * (y := y1) * z + (x := x2) * (-3)")
+    result = evaluate(expr, db, bindings)
+    assert result[Record.of(x="a1", y="b1")] == 2
+    assert result[Record.of(x="a2")] == -3
+    assert len(result) == 2
+
+
+def test_example_5_2_group_by(customers_db):
+    """Example 5.2: customers of the same nation, per customer."""
+    query = parse("AggSum([c], C(c, n) * C(c2, n2) * (n = n2))")
+    result = evaluate(query, customers_db)
+    per_customer = {record["c"]: value for record, value in result.items()}
+    assert per_customer == {1: 2, 2: 2, 3: 1, 4: 3, 5: 3, 6: 3}
+    # Evaluating with c bound gives a single group (the v of the example).
+    bound = evaluate(query, customers_db, Record.of(c=4))
+    assert dict(bound.items()) == {Record.of(c=4): 3}
+
+
+def test_sum_collapses_to_nullary_tuple(unary_db):
+    result = evaluate(parse("Sum(R(x))"), unary_db)
+    assert dict(result.items()) == {EMPTY_RECORD: 3}
+
+
+def test_products_pass_bindings_sideways(unary_db):
+    # The second occurrence of R sees x bound by the first: a self-join on A.
+    result = evaluate(parse("Sum(R(x) * R(x))"), unary_db)
+    assert scalar(result) == 2 * 2 + 1 * 1
+
+
+def test_addition_and_negation(unary_db):
+    assert scalar(evaluate(parse("Sum(R(x)) + 2"), unary_db)) == 5
+    assert scalar(evaluate(parse("-Sum(R(x))"), unary_db)) == -3
+    assert scalar(evaluate(parse("Sum(R(x)) - Sum(R(y))"), unary_db)) == 0
+
+
+def test_conditions_with_string_constants(customers_db):
+    query = parse("Sum(C(c, n) * (n = 'JAPAN'))")
+    assert scalar(evaluate(query, customers_db)) == 3
+    query_ne = parse("Sum(C(c, n) * (n != 'JAPAN'))")
+    assert scalar(evaluate(query_ne, customers_db)) == 3
+
+
+def test_nested_aggregate_in_condition(unary_db):
+    """Conditions may contain aggregates (nested queries), per the calculus."""
+    query = parse("Sum(R(x) * (Sum(R(y)) >= 3))")
+    assert scalar(evaluate(query, unary_db)) == 3
+    query_false = parse("Sum(R(x) * (Sum(R(y)) > 3))")
+    assert evaluate(query_false, unary_db).is_zero()
+
+
+def test_assignment_of_bound_variable_acts_as_equality(unary_db):
+    expr = parse("(x := 3)")
+    assert evaluate(expr, unary_db, Record.of(x=3))[EMPTY_RECORD.extend(x=3)] == 1
+    assert evaluate(expr, unary_db, Record.of(x=4)).is_zero()
+
+
+def test_aggsum_group_variable_from_binding(unary_db):
+    expr = AggSum(("g",), Rel("R", ("x",)))
+    result = evaluate(expr, unary_db, Record.of(g="group1"))
+    assert result[Record.of(g="group1")] == 3
+    with pytest.raises(UnboundVariableError):
+        evaluate(expr, unary_db)
+
+
+def test_evaluate_value_arithmetic(unary_db):
+    bindings = Record.of(x=4, y=10)
+    assert evaluate_value(parse("x * y + 2"), unary_db, bindings) == 42
+    assert evaluate_value(parse("-x"), unary_db, bindings) == -4
+    assert evaluate_value(Const("FR"), unary_db) == "FR"
+    assert evaluate_value(parse("Sum(R(z))"), unary_db) == 3
+
+
+def test_evaluate_value_rejects_non_scalar(unary_db):
+    with pytest.raises(NotScalarError):
+        evaluate_value(Rel("R", ("x",)), unary_db)
+
+
+def test_map_reference_environment(unary_db):
+    maps = {"m": {(1,): 10, (2,): 0}}
+    expr = MapRef("m", ("k",))
+    result = evaluate(expr, unary_db, maps=maps)
+    assert dict(result.items()) == {Record.of(k=1): 10}
+    with pytest.raises(SchemaError):
+        evaluate(MapRef("missing", ("k",)), unary_db, maps=maps)
+    with pytest.raises(SchemaError):
+        evaluate(MapRef("missing", ("k",)), unary_db)
+
+
+def test_meaning_is_a_pgmr(customers_db):
+    query = parse("AggSum([c], C(c, n) * C(c2, n2) * (n = n2))")
+    pgmr = meaning(query, customers_db)
+    assert pgmr(Record.of(c=4))[Record.of(c=4)] == 3

@@ -1,0 +1,95 @@
+"""Tests for variable and range-restriction (safety) analysis."""
+
+import pytest
+
+from repro.core.ast import AggSum, Assign, Compare, Const, MapRef, Mul, Rel, Var
+from repro.core.errors import UnsafeQueryError
+from repro.core.parser import parse
+from repro.core.variables import (
+    all_variables,
+    binding_analysis,
+    check_safety,
+    is_safe,
+    needed_variables,
+    output_variables,
+)
+
+
+def test_all_variables_collects_every_position():
+    expr = parse("AggSum([g], R(x, y) * m[k] * (z := 3) * (w < 2))")
+    assert all_variables(expr) == frozenset({"g", "x", "y", "k", "z", "w"})
+
+
+def test_leaves():
+    assert binding_analysis(Const(3)) == (frozenset(), frozenset())
+    assert binding_analysis(Var("x")) == (frozenset({"x"}), frozenset())
+    assert binding_analysis(Var("x"), bound={"x"}) == (frozenset(), frozenset())
+    assert binding_analysis(Rel("R", ("a", "b"))) == (frozenset(), frozenset({"a", "b"}))
+    assert binding_analysis(MapRef("m", ("k",))) == (frozenset(), frozenset({"k"}))
+
+
+def test_assignment_and_condition():
+    needed, produced = binding_analysis(Assign("x", Var("y")))
+    assert needed == frozenset({"y"}) and produced == frozenset({"x"})
+    needed, produced = binding_analysis(Compare(Var("x"), "<", Var("y")), bound={"x"})
+    assert needed == frozenset({"y"}) and produced == frozenset()
+
+
+def test_product_passes_bindings_left_to_right():
+    safe = parse("R(x, y) * (x < y)")
+    assert is_safe(safe)
+    unsafe = parse("(x < y) * R(x, y)")
+    assert not is_safe(unsafe)
+    assert needed_variables(unsafe) == frozenset({"x", "y"})
+    # Binding the condition's variables from outside makes the product safe again.
+    assert is_safe(unsafe, bound={"x", "y"})
+
+
+def test_addition_needs_union_and_produces_intersection():
+    expr = parse("R(x, y) + S(x, z)")
+    needed, produced = binding_analysis(expr)
+    assert needed == frozenset()
+    assert produced == frozenset({"x"})
+
+
+def test_aggsum_group_vars_must_be_produced_or_bound():
+    safe = parse("AggSum([x], R(x, y))")
+    assert is_safe(safe)
+    unsafe = parse("AggSum([g], R(x, y))")
+    assert needed_variables(unsafe) == frozenset({"g"})
+    assert is_safe(unsafe, bound={"g"})
+
+
+def test_output_variables_of_products_and_aggregates():
+    assert output_variables(parse("R(x, y) * (z := x)")) == frozenset({"x", "y", "z"})
+    assert output_variables(parse("AggSum([x], R(x, y))")) == frozenset({"x"})
+
+
+def test_paper_queries_are_safe():
+    assert is_safe(parse("Sum(C(c, n) * C(c2, n2) * (n = n2))"))
+    assert is_safe(parse("Sum(R(a, b) * S(c, d) * T(e, f) * (b = c) * (d = e) * a * f)"))
+
+
+def test_variable_used_as_value_requires_binding():
+    expr = parse("Sum(R(x) * y)")
+    assert needed_variables(expr) == frozenset({"y"})
+    assert is_safe(parse("Sum(R(x) * x)"))
+
+
+def test_check_safety_raises_with_variable_names():
+    with pytest.raises(UnsafeQueryError) as excinfo:
+        check_safety(parse("Sum(R(x) * y * z)"))
+    message = str(excinfo.value)
+    assert "y" in message and "z" in message
+
+
+def test_check_safety_accepts_bound_variables():
+    check_safety(parse("Sum(R(x) * y)"), bound={"y"})
+
+
+def test_unknown_node_type_raises():
+    class Strange:
+        pass
+
+    with pytest.raises(TypeError):
+        binding_analysis(Strange())  # type: ignore[arg-type]

@@ -1,0 +1,93 @@
+"""Tests for the classical multiset-relational-algebra bridge (Section 5)."""
+
+import pytest
+from hypothesis import given
+
+from repro.gmr.algebra_bridge import (
+    aggregate_sum,
+    cross_product,
+    group_by_sum,
+    multiset_union,
+    natural_join,
+    projection,
+    renaming,
+    selection,
+)
+from repro.gmr.records import Record
+from repro.gmr.relation import GMR
+from tests.conftest import gmrs
+
+
+@pytest.fixture
+def employees():
+    return GMR.from_tuples(("name", "dept"), [("ann", 1), ("bob", 1), ("cat", 2), ("bob", 1)])
+
+
+@pytest.fixture
+def departments():
+    return GMR.from_tuples(("dept", "city"), [(1, "paris"), (2, "rome")])
+
+
+def test_selection(employees):
+    selected = selection(employees, lambda record: record["dept"] == 1)
+    assert selected.total() == 3
+    assert Record.of(name="cat", dept=2) not in selected
+
+
+def test_projection_multiset_semantics(employees):
+    projected = projection(employees, ["dept"])
+    assert projected[Record.of(dept=1)] == 3
+    assert projected[Record.of(dept=2)] == 1
+
+
+def test_renaming(employees):
+    renamed = renaming(employees, {"dept": "department"})
+    assert Record.of(name="ann", department=1) in renamed
+
+
+def test_natural_join(employees, departments):
+    joined = natural_join(employees, departments)
+    assert joined[Record.of(name="bob", dept=1, city="paris")] == 2
+    assert joined[Record.of(name="cat", dept=2, city="rome")] == 1
+    assert joined.total() == employees.total()
+
+
+def test_multiset_union(employees):
+    doubled = multiset_union(employees, employees)
+    assert doubled.total() == 2 * employees.total()
+
+
+def test_cross_product_requires_disjoint_schemas(employees, departments):
+    colors = GMR.from_tuples(("color",), [("red",), ("blue",)])
+    product = cross_product(departments, colors)
+    assert product.total() == departments.total() * colors.total()
+    with pytest.raises(ValueError):
+        cross_product(employees, departments)  # shares the dept column
+    with pytest.raises(ValueError):
+        cross_product(employees, GMR({Record.of(a=1): 1, Record.of(b=2): 1}))
+
+
+def test_aggregate_sum_count_and_weighted(employees):
+    assert aggregate_sum(employees) == 4
+    weighted = aggregate_sum(employees, lambda record: record["dept"])
+    assert weighted == 1 + 1 + 1 + 2
+
+
+def test_group_by_sum(employees):
+    groups = group_by_sum(employees, ["dept"])
+    assert groups[Record.of(dept=1)] == 3
+    assert groups[Record.of(dept=2)] == 1
+    weighted = group_by_sum(employees, ["dept"], value=lambda record: 10)
+    assert weighted[Record.of(dept=1)] == 30
+
+
+def test_group_by_sum_drops_zero_groups():
+    relation = GMR({Record.of(A=1, B=1): 1, Record.of(A=1, B=2): -1})
+    groups = group_by_sum(relation, ["A"])
+    assert groups == {}
+
+
+@given(gmrs(), gmrs())
+def test_join_and_union_are_the_ring_operations(left, right):
+    assert natural_join(left, right) == left * right
+    assert multiset_union(left, right) == left + right

@@ -1,0 +1,122 @@
+"""Tests for databases, schemas and single-tuple updates (Section 6's ±R(t))."""
+
+import pytest
+
+from repro.gmr.database import DELETE, INSERT, Database, Update, delete, insert
+from repro.gmr.records import Record
+from repro.gmr.relation import GMR
+
+
+def test_update_constructors_and_signs():
+    up = insert("R", 1, 2)
+    down = delete("R", 1, 2)
+    assert up.sign == INSERT and up.is_insert and not up.is_delete
+    assert down.sign == DELETE and down.is_delete
+    assert up.inverted() == down
+    assert repr(up) == "+R(1, 2)"
+    assert repr(down) == "-R(1, 2)"
+
+
+def test_update_rejects_bad_sign():
+    with pytest.raises(ValueError):
+        Update(2, "R", (1,))
+
+
+def test_declare_and_columns():
+    db = Database()
+    db.declare("R", ("A", "B"))
+    assert db.columns("R") == ("A", "B")
+    assert db.arity("R") == 2
+    assert db.has_relation("R")
+    assert list(db.relation_names()) == ["R"]
+    assert db.schema == {"R": ("A", "B")}
+    # Re-declaring identically is fine, changing the columns is not.
+    db.declare("R", ("A", "B"))
+    with pytest.raises(ValueError):
+        db.declare("R", ("A", "C"))
+    with pytest.raises(ValueError):
+        db.declare("S", ("A", "A"))
+
+
+def test_unknown_relation_errors():
+    db = Database({"R": ("A",)})
+    with pytest.raises(KeyError):
+        db.columns("S")
+    with pytest.raises(KeyError):
+        db.relation("S")
+
+
+def test_load_and_size():
+    db = Database({"R": ("A", "B")})
+    db.load("R", [(1, 2), (1, 2), (3, 4)])
+    assert db.size("R") == 2
+    assert db.size() == 2
+    assert db["R"][Record.of(A=1, B=2)] == 2
+    assert not db.is_empty()
+    assert db.active_domain() == frozenset({1, 2, 3, 4})
+
+
+def test_set_relation_checks_ring():
+    from repro.algebra.semirings import RATIONAL_FIELD
+
+    db = Database({"R": ("A",)})
+    db.set_relation("R", GMR.from_tuples(("A",), [(1,)]))
+    assert db.size("R") == 1
+    with pytest.raises(ValueError):
+        db.set_relation("R", GMR.zero(ring=RATIONAL_FIELD))
+
+
+def test_apply_insert_and_delete():
+    db = Database({"R": ("A",)})
+    db.apply(insert("R", "c"))
+    db.apply(insert("R", "c"))
+    db.apply(insert("R", "d"))
+    assert db["R"][Record.of(A="c")] == 2
+    db.apply(delete("R", "c"))
+    assert db["R"][Record.of(A="c")] == 1
+    db.apply(delete("R", "d"))
+    assert Record.of(A="d") not in db["R"]
+
+
+def test_deleting_a_missing_tuple_goes_negative():
+    """Deleting "too much" yields negative multiplicities (Remark 5.1), not an error."""
+    db = Database({"R": ("A",)})
+    db.apply(delete("R", "x"))
+    assert db["R"][Record.of(A="x")] == -1
+
+
+def test_delta_gmr_and_record_for():
+    db = Database({"R": ("A", "B")})
+    update = insert("R", 1, 2)
+    assert db.record_for(update) == Record.of(A=1, B=2)
+    assert db.delta_gmr(update)[Record.of(A=1, B=2)] == 1
+    assert db.delta_gmr(update.inverted())[Record.of(A=1, B=2)] == -1
+    with pytest.raises(ValueError):
+        db.record_for(insert("R", 1))
+
+
+def test_updated_returns_a_copy():
+    db = Database({"R": ("A",)})
+    db.load("R", [(1,)])
+    changed = db.updated(insert("R", 2))
+    assert changed.size("R") == 2
+    assert db.size("R") == 1
+    assert changed != db
+
+
+def test_copy_is_independent():
+    db = Database({"R": ("A",)})
+    clone = db.copy()
+    clone.apply(insert("R", 1))
+    assert db.is_empty()
+    assert not clone.is_empty()
+    assert db == Database({"R": ("A",)})
+
+
+def test_apply_all_and_iteration():
+    db = Database({"R": ("A",), "S": ("B",)})
+    db.apply_all([insert("R", 1), insert("S", 2), delete("R", 1)])
+    contents = dict(db)
+    assert contents["R"].is_zero()
+    assert contents["S"].total() == 1
+    assert "rows" in repr(db)

@@ -1,0 +1,127 @@
+"""Tests for parametrized gmrs =>A[T] (Section 3.2, Proposition 3.4, Example 3.5)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gmr.parametrized import PGMR
+from repro.gmr.records import EMPTY_RECORD, Record
+from repro.gmr.relation import GMR
+from tests.conftest import gmrs, records
+
+PROBES = [
+    EMPTY_RECORD,
+    Record.of(A=1),
+    Record.of(A=2),
+    Record.of(A=1, B=2),
+    Record.of(B=3),
+]
+
+
+def constant_pgmrs():
+    return gmrs().map(PGMR.lift)
+
+
+def binding_dependent_pgmrs():
+    """PGMRs whose output depends on the binding's A column."""
+
+    def build(pair):
+        base, bonus = pair
+
+        def function(binding):
+            if "A" in binding and binding["A"] == 1:
+                return base + GMR.scalar(bonus)
+            return base
+
+        return PGMR(function)
+
+    return st.tuples(gmrs(), st.integers(min_value=-3, max_value=3)).map(build)
+
+
+@settings(max_examples=25, deadline=None)
+@given(binding_dependent_pgmrs(), binding_dependent_pgmrs(), binding_dependent_pgmrs())
+def test_pgmr_ring_laws_on_probes(f, g, h):
+    """Proposition 3.4 (sampled): associativity, commutativity of +, distributivity, inverse."""
+    assert (f + g).equals_on(g + f, PROBES)
+    assert ((f + g) + h).equals_on(f + (g + h), PROBES)
+    assert ((f * g) * h).equals_on(f * (g * h), PROBES)
+    assert (f * (g + h)).equals_on((f * g) + (f * h), PROBES)
+    assert ((f + g) * h).equals_on((f * h) + (g * h), PROBES)
+    assert (f - f).equals_on(PGMR.zero(), PROBES)
+
+
+@settings(max_examples=25, deadline=None)
+@given(gmrs())
+def test_pgmr_identities(value):
+    """Identity laws hold for well-formed pgmrs (the paper's pgmr condition)."""
+    f = PGMR.from_gmr(value)
+    assert (f * PGMR.one()).equals_on(f, PROBES)
+    assert (PGMR.one() * f).equals_on(f, PROBES)
+    assert (f + PGMR.zero()).equals_on(f, PROBES)
+    assert (PGMR.zero() * f).equals_on(PGMR.zero(), PROBES)
+
+
+@settings(max_examples=25, deadline=None)
+@given(binding_dependent_pgmrs())
+def test_pgmr_identities_at_the_empty_binding(f):
+    """At the nullary binding the identity laws hold for arbitrary functions too."""
+    probe = [EMPTY_RECORD]
+    assert (f * PGMR.one()).equals_on(f, probe)
+    assert (PGMR.one() * f).equals_on(f, probe)
+
+
+@settings(max_examples=25, deadline=None)
+@given(gmrs(), gmrs())
+def test_embedding_is_a_homomorphism(alpha, beta):
+    """The well-formed embedding of A[T] preserves + and * (cf. Prop. 2.8)."""
+    lifted_sum = PGMR.from_gmr(alpha) + PGMR.from_gmr(beta)
+    lifted_product = PGMR.from_gmr(alpha) * PGMR.from_gmr(beta)
+    assert lifted_sum.equals_on(PGMR.from_gmr(alpha + beta), PROBES)
+    assert lifted_product.equals_on(PGMR.from_gmr(alpha * beta), PROBES)
+
+
+def test_example_3_5_selection_via_condition():
+    """Multiplying by a condition pgmr selects tuples satisfying it (Example 3.5)."""
+    R = GMR(
+        {
+            Record.of(A=1, B=5): 2,
+            Record.of(A=7, B=3): 4,
+            Record.of(A=2, B=2): 1,
+        }
+    )
+    f = PGMR.lift(R)
+    condition = PGMR.condition(
+        lambda binding: "A" in binding and "B" in binding and binding["A"] < binding["B"]
+    )
+    selected = (f * condition)(EMPTY_RECORD)
+    assert selected[Record.of(A=1, B=5)] == 2
+    assert Record.of(A=7, B=3) not in selected
+    assert Record.of(A=2, B=2) not in selected
+
+
+def test_sideways_binding_is_passed_to_the_right_factor():
+    left = PGMR.lift(GMR({Record.of(A=1): 1, Record.of(A=2): 1}))
+    # The right factor only produces output when the binding it receives has A = 2.
+    right = PGMR.condition(lambda binding: binding.get("A") == 2)
+    product = (left * right)(EMPTY_RECORD)
+    assert Record.of(A=1) not in product
+    assert product[Record.of(A=2)] == 1
+
+
+def test_aggregate_collapses_to_total():
+    relation = GMR({Record.of(A=1): 2, Record.of(A=2): 3})
+    aggregated = PGMR.lift(relation).aggregate()(EMPTY_RECORD)
+    assert aggregated[EMPTY_RECORD] == 5
+    assert len(aggregated) == 1
+
+
+def test_incompatible_rings_rejected():
+    import pytest
+    from repro.algebra.semirings import RATIONAL_FIELD
+
+    over_q = PGMR.zero(ring=RATIONAL_FIELD)
+    with pytest.raises(ValueError):
+        _ = over_q + PGMR.zero()
+
+
+def test_repr_mentions_ring():
+    assert "Z" in repr(PGMR.zero())

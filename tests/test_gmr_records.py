@@ -1,0 +1,129 @@
+"""Tests for schema-polymorphic records and the singleton join (Section 3.1)."""
+
+import pytest
+from hypothesis import given
+
+from repro.gmr.records import EMPTY_RECORD, Record
+from tests.conftest import records
+
+
+def test_construction_from_mapping_and_kwargs():
+    assert Record({"A": 1, "B": 2}) == Record.of(A=1, B=2)
+    assert Record(Record.of(A=1)) == Record.of(A=1)
+    assert Record([("A", 1)]) == Record.of(A=1)
+
+
+def test_column_names_must_be_strings():
+    with pytest.raises(TypeError):
+        Record({1: "x"})
+
+
+def test_mapping_protocol():
+    record = Record.of(A=1, B=2)
+    assert record["A"] == 1
+    assert "B" in record
+    assert "C" not in record
+    assert len(record) == 2
+    assert set(record) == {"A", "B"}
+    assert record.columns == frozenset({"A", "B"})
+    assert record.as_dict() == {"A": 1, "B": 2}
+
+
+def test_equality_with_plain_mappings_and_hash():
+    assert Record.of(A=1) == {"A": 1}
+    assert hash(Record.of(A=1, B=2)) == hash(Record.of(B=2, A=1))
+
+
+def test_empty_record():
+    assert EMPTY_RECORD.is_empty()
+    assert repr(EMPTY_RECORD) == "⟨⟩"
+    assert not Record.of(A=1).is_empty()
+
+
+# ---------------------------------------------------------------------------
+# Natural join (the Sng∅ monoid operation)
+# ---------------------------------------------------------------------------
+
+
+def test_join_of_consistent_records_merges():
+    assert Record.of(A=1).join(Record.of(B=2)) == Record.of(A=1, B=2)
+    assert Record.of(A=1, B=2).join(Record.of(B=2, C=3)) == Record.of(A=1, B=2, C=3)
+
+
+def test_join_of_conflicting_records_is_none():
+    assert Record.of(A=1).join(Record.of(A=2)) is None
+    assert not Record.of(A=1).consistent_with(Record.of(A=2))
+
+
+@given(records())
+def test_empty_record_is_join_identity(record):
+    assert record.join(EMPTY_RECORD) == record
+    assert EMPTY_RECORD.join(record) == record
+
+
+@given(records(), records())
+def test_join_is_commutative(left, right):
+    assert left.join(right) == right.join(left)
+
+
+@given(records(), records(), records())
+def test_join_is_associative(a, b, c):
+    def join3(x, y, z):
+        xy = x.join(y)
+        return None if xy is None else xy.join(z)
+
+    def join3_right(x, y, z):
+        yz = y.join(z)
+        return None if yz is None else x.join(yz)
+
+    assert join3(a, b, c) == join3_right(a, b, c)
+
+
+@given(records())
+def test_join_is_idempotent(record):
+    assert record.join(record) == record
+
+
+# ---------------------------------------------------------------------------
+# Record surgery
+# ---------------------------------------------------------------------------
+
+
+def test_restrict_and_drop():
+    record = Record.of(A=1, B=2, C=3)
+    assert record.restrict(["A", "C", "Z"]) == Record.of(A=1, C=3)
+    assert record.drop(["B"]) == Record.of(A=1, C=3)
+
+
+def test_rename():
+    record = Record.of(A=1, B=2)
+    assert record.rename({"A": "X"}) == Record.of(X=1, B=2)
+    # Collapsing two columns with equal values is allowed ...
+    assert Record.of(A=1, B=1).rename({"A": "B"}) == Record.of(B=1)
+    # ... but conflicting values are an error.
+    with pytest.raises(ValueError):
+        Record.of(A=1, B=2).rename({"A": "B"})
+
+
+def test_extend():
+    assert Record.of(A=1).extend(B=2) == Record.of(A=1, B=2)
+    assert Record.of(A=1).extend(A=1) == Record.of(A=1)
+    with pytest.raises(ValueError):
+        Record.of(A=1).extend(A=2)
+
+
+def test_values_for_preserves_order():
+    record = Record.of(A=1, B=2, C=3)
+    assert record.values_for(["C", "A"]) == (3, 1)
+    with pytest.raises(KeyError):
+        record.values_for(["Z"])
+
+
+def test_from_values():
+    assert Record.from_values(["A", "B"], [1, 2]) == Record.of(A=1, B=2)
+    # Repeated columns must agree.
+    assert Record.from_values(["A", "A"], [1, 1]) == Record.of(A=1)
+    with pytest.raises(ValueError):
+        Record.from_values(["A", "A"], [1, 2])
+    with pytest.raises(ValueError):
+        Record.from_values(["A"], [1, 2])

@@ -1,0 +1,201 @@
+"""Tests for generalized multiset relations A[T] (Definition 3.1, Example 3.2)."""
+
+import pytest
+from fractions import Fraction
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.properties import check_module_laws, check_semiring_laws
+from repro.algebra.semirings import BOOLEAN_SEMIRING, RATIONAL_FIELD
+from repro.gmr.records import EMPTY_RECORD, Record
+from repro.gmr.relation import GMR
+from tests.conftest import gmrs
+
+
+# ---------------------------------------------------------------------------
+# The ring axioms (Proposition 3.3)
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(gmrs(), min_size=1, max_size=3))
+def test_gmr_ring_axioms(samples):
+    check_semiring_laws(
+        lambda a, b: a + b,
+        lambda a, b: a * b,
+        GMR.zero(),
+        GMR.one(),
+        samples,
+        neg=lambda a: -a,
+        commutative_mul=True,
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.integers(min_value=-3, max_value=3), min_size=1, max_size=3),
+    st.lists(gmrs(), min_size=1, max_size=3),
+)
+def test_gmr_is_a_z_module(scalars, vectors):
+    """Proposition 2.15 applied to A[T]: the scalar action satisfies the module laws."""
+    check_module_laws(
+        lambda a, b: a + b,
+        lambda a, b: a * b,
+        scalars,
+        lambda x, y: x + y,
+        lambda scalar, relation: relation.scale(scalar),
+        vectors,
+        scalar_one=1,
+    )
+
+
+@given(gmrs(), gmrs())
+def test_addition_is_pointwise(left, right):
+    total = left + right
+    for record in set(left.support()) | set(right.support()):
+        assert total[record] == left[record] + right[record]
+
+
+@given(gmrs())
+def test_additive_inverse_models_deletion(relation):
+    assert (relation + (-relation)).is_zero()
+    assert (relation - relation).is_zero()
+
+
+@given(gmrs(), gmrs())
+def test_multiplication_is_join_convolution(left, right):
+    product = left * right
+    expected = {}
+    for left_record, left_mult in left.items():
+        for right_record, right_mult in right.items():
+            joined = left_record.join(right_record)
+            if joined is not None:
+                expected[joined] = expected.get(joined, 0) + left_mult * right_mult
+    expected = {record: value for record, value in expected.items() if value != 0}
+    assert dict(product.items()) == expected
+
+
+# ---------------------------------------------------------------------------
+# Example 3.2 of the paper
+# ---------------------------------------------------------------------------
+
+
+def test_example_3_2():
+    r1, r2, s, t1, t2 = 2, 3, 5, 7, 11
+    R = GMR({Record.of(A="a1"): r1, Record.of(A="a2", B="b"): r2})
+    S = GMR({Record.of(C="c"): s})
+    T = GMR({Record.of(B="b", C="c"): t1, Record.of(C="c"): 0, Record.of(B="b", C="c2"): 0})
+    T = GMR({Record.of(C="c"): t1, Record.of(B="b", C="c"): t2})
+
+    union = S + T
+    assert union[Record.of(C="c")] == s + t1
+    assert union[Record.of(B="b", C="c")] == t2
+
+    product = R * union
+    assert product[Record.of(A="a1", C="c")] == r1 * (s + t1)
+    assert product[Record.of(A="a1", B="b", C="c")] == r1 * t2
+    assert product[Record.of(A="a2", B="b", C="c")] == r2 * (s + t1) + r2 * t2
+    assert len(product) == 3
+
+
+# ---------------------------------------------------------------------------
+# Constructors and inspection
+# ---------------------------------------------------------------------------
+
+
+def test_constructors():
+    assert GMR.zero().is_zero()
+    assert GMR.one()[EMPTY_RECORD] == 1
+    assert GMR.scalar(5)[EMPTY_RECORD] == 5
+    assert GMR.singleton({"A": 1}, 3)[Record.of(A=1)] == 3
+    from_rows = GMR.from_rows([{"A": 1}, {"A": 1}, {"A": 2}])
+    assert from_rows[Record.of(A=1)] == 2
+    from_tuples = GMR.from_tuples(("A", "B"), [(1, 2), (1, 2), (3, 4)])
+    assert from_tuples[Record.of(A=1, B=2)] == 2
+
+
+def test_zero_multiplicities_are_normalized_away():
+    relation = GMR({Record.of(A=1): 0, Record.of(A=2): 5})
+    assert Record.of(A=1) not in relation
+    assert len(relation) == 1
+    assert bool(relation)
+
+
+def test_duplicate_rows_in_constructor_add_up():
+    relation = GMR.from_rows([{"A": 1}], multiplicity=2) + GMR.from_rows([{"A": 1}], multiplicity=-2)
+    assert relation.is_zero()
+
+
+def test_getitem_and_get():
+    relation = GMR({Record.of(A=1): 4})
+    assert relation[{"A": 1}] == 4
+    assert relation[{"A": 9}] == 0
+    assert relation.get({"A": 9}, default=-1) == -1
+
+
+def test_schema_and_multiset_checks():
+    uniform = GMR.from_tuples(("A",), [(1,), (2,)])
+    assert uniform.schema() == frozenset({"A"})
+    assert uniform.is_multiset_relation()
+    mixed = GMR({Record.of(A=1): 1, Record.of(B=2): 1})
+    assert mixed.schema() is None
+    assert not mixed.is_multiset_relation()
+    negative = GMR({Record.of(A=1): -1})
+    assert not negative.is_multiset_relation()
+    assert GMR.zero().schema() == frozenset()
+
+
+def test_total_and_active_domain():
+    relation = GMR.from_tuples(("A", "B"), [(1, 5), (2, 5), (2, 5)])
+    assert relation.total() == 3
+    assert relation.active_domain() == frozenset({1, 2, 5})
+
+
+def test_projection_sums_multiplicities():
+    relation = GMR.from_tuples(("A", "B"), [(1, 5), (1, 6), (2, 5)])
+    projected = relation.project(["A"])
+    assert projected[Record.of(A=1)] == 2
+    assert projected[Record.of(A=2)] == 1
+
+
+def test_rename_and_filter():
+    relation = GMR.from_tuples(("A", "B"), [(1, 5), (2, 6)])
+    renamed = relation.rename({"A": "X"})
+    assert renamed[Record.of(X=1, B=5)] == 1
+    filtered = relation.filter(lambda record: record["B"] > 5)
+    assert len(filtered) == 1
+
+
+def test_scalar_multiplication_sugar():
+    relation = GMR.from_tuples(("A",), [(1,), (2,)])
+    assert (3 * relation)[Record.of(A=1)] == 3
+    assert (relation * 0).is_zero()
+    assert relation.scale(-1) == -relation
+
+
+def test_mixed_coefficient_structures_are_rejected():
+    over_q = GMR({Record.of(A=1): Fraction(1, 2)}, ring=RATIONAL_FIELD)
+    over_z = GMR({Record.of(A=1): 1})
+    with pytest.raises(ValueError):
+        over_q + over_z
+    with pytest.raises(ValueError):
+        over_q * over_z
+
+
+def test_boolean_gmr_behaves_like_set_semantics():
+    over_b = GMR({Record.of(A=1): True, Record.of(A=2): True}, ring=BOOLEAN_SEMIRING)
+    joined = over_b * GMR({Record.of(B=5): True}, ring=BOOLEAN_SEMIRING)
+    assert joined[Record.of(A=1, B=5)] is True
+    assert (over_b + over_b) == over_b
+
+
+def test_equality_and_hash():
+    left = GMR.from_tuples(("A",), [(1,), (2,)])
+    right = GMR.from_tuples(("A",), [(2,), (1,)])
+    assert left == right
+    assert hash(left) == hash(right)
+
+
+def test_repr():
+    assert repr(GMR.zero()) == "GMR{}"
+    assert "⟨A=1⟩" in repr(GMR.singleton({"A": 1}))

@@ -1,0 +1,122 @@
+"""Extended engine scenarios: numeric rings, bootstrap-then-stream, failure injection,
+undo streams, and the deferred-inequality path exercised end to end."""
+
+import pytest
+
+from repro.algebra.semirings import FLOAT_FIELD
+from repro.core.errors import CompilationError
+from repro.core.parser import parse
+from repro.core.semantics import evaluate
+from repro.gmr.database import Database, delete, insert
+from repro.gmr.records import EMPTY_RECORD
+from repro.ivm.classical import ClassicalIVM
+from repro.ivm.naive import NaiveReevaluation
+from repro.ivm.recursive import RecursiveIVM
+from repro.workloads.queries import query_by_name
+from repro.workloads.streams import StreamGenerator
+
+INEQUALITY_SCHEMA = {"R": ("A", "B"), "S": ("C", "D")}
+INEQUALITY_QUERY = parse("Sum(R(a, b) * S(c, d) * (b = c) * (a < d) * d)")
+
+
+def test_float_valued_aggregates_across_engines():
+    schema = {"Sales": ("region", "amount")}
+    query = parse("AggSum([r], Sales(r, amount) * amount)")
+    updates = [
+        insert("Sales", "east", 10.5),
+        insert("Sales", "east", 2.25),
+        insert("Sales", "west", 7.0),
+        delete("Sales", "east", 10.5),
+    ]
+    recursive = RecursiveIVM(query, schema, ring=FLOAT_FIELD, backend="generated")
+    naive = NaiveReevaluation(query, schema, ring=FLOAT_FIELD)
+    for update in updates:
+        recursive.apply(update)
+        naive.apply(update)
+    assert recursive.result() == pytest.approx(naive.result())
+    assert recursive.result()[("east",)] == pytest.approx(2.25)
+
+
+def test_bootstrap_then_stream_matches_pure_stream():
+    """Starting from a loaded database + a stream equals streaming everything."""
+    query = query_by_name("same_nation_per_customer")
+    generator = StreamGenerator(query.schema, seed=77, default_domain_size=6)
+    history = generator.generate_inserts(60)
+    future = generator.generate(60)
+
+    warm_db = Database(query.schema)
+    warm_db.apply_all(history.updates)
+
+    bootstrapped = RecursiveIVM(query.expr, query.schema)
+    bootstrapped.bootstrap(warm_db)
+    bootstrapped.apply_all(future.updates)
+
+    streamed = RecursiveIVM(query.expr, query.schema)
+    streamed.apply_all(list(history.updates) + list(future.updates))
+
+    assert bootstrapped.result() == streamed.result()
+
+
+def test_applying_a_stream_and_its_inverse_returns_to_zero():
+    """Failure-injection style check: undoing every update restores the empty state."""
+    query = query_by_name("join_sum_product")
+    generator = StreamGenerator(query.schema, seed=5, default_domain_size=5)
+    stream = generator.generate_inserts(80)
+    engine = RecursiveIVM(query.expr, query.schema, backend="generated")
+    engine.apply_all(stream.updates)
+    assert engine.result() != 0 or engine.total_map_entries() >= 0
+    engine.apply_all([update.inverted() for update in reversed(stream.updates)])
+    assert engine.result() == 0
+    assert engine.total_map_entries() == 0
+
+
+def test_deleting_never_inserted_tuples_stays_consistent():
+    """Negative multiplicities (Remark 5.1) propagate consistently through all engines."""
+    query = query_by_name("selfjoin_count")
+    updates = [delete("R", "ghost"), delete("R", "ghost"), insert("R", "ghost")]
+    engines = [
+        RecursiveIVM(query.expr, query.schema),
+        ClassicalIVM(query.expr, query.schema),
+        NaiveReevaluation(query.expr, query.schema),
+    ]
+    for update in updates:
+        for engine in engines:
+            engine.apply(update)
+    results = {engine.result() for engine in engines}
+    assert len(results) == 1
+    # Multiset {ghost: -1}: the self-join count is (-1)² = 1.
+    assert results == {1}
+
+
+def test_inequality_query_streamed_against_direct_evaluation():
+    generator = StreamGenerator(INEQUALITY_SCHEMA, seed=13, default_domain_size=6)
+    stream = generator.generate(150)
+    engine = RecursiveIVM(INEQUALITY_QUERY, INEQUALITY_SCHEMA, backend="generated")
+    db = Database(INEQUALITY_SCHEMA)
+    for update in stream:
+        engine.apply(update)
+        db.apply(update)
+    assert engine.result() == evaluate(INEQUALITY_QUERY, db)[EMPTY_RECORD]
+
+
+def test_compiler_rejection_is_not_silent_for_engines():
+    nested = parse("Sum(R(x) * (Sum(R(y)) > 1))")
+    with pytest.raises(CompilationError):
+        RecursiveIVM(nested, {"R": ("A",)})
+    # The baselines do not compile anything, so they still handle the query.
+    naive = NaiveReevaluation(nested, {"R": ("A",)})
+    naive.apply_all([insert("R", 1), insert("R", 2)])
+    assert naive.result() == 2
+
+
+def test_interpreted_and_generated_backends_share_statistics_shape():
+    query = query_by_name("order_count_per_customer")
+    generator = StreamGenerator(query.schema, seed=3, default_domain_size=5)
+    stream = generator.generate(60)
+    interpreted = RecursiveIVM(query.expr, query.schema, backend="interpreted")
+    generated = RecursiveIVM(query.expr, query.schema, backend="generated")
+    interpreted.apply_all(stream.updates)
+    generated.apply_all(stream.updates)
+    assert interpreted.result() == generated.result()
+    assert interpreted.statistics.updates_processed == generated.statistics.updates_processed
+    assert interpreted.runtime.statistics.entries_updated > 0

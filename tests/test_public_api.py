@@ -1,0 +1,62 @@
+"""Smoke tests of the top-level public API (what README's quickstart relies on)."""
+
+import repro
+
+
+def test_version_and_all_exports_resolve():
+    assert repro.__version__
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_readme_quickstart_flow():
+    """The exact flow shown in the README quickstart."""
+    schema = {"R": ("A",)}
+    query = repro.parse("Sum(R(x) * R(y) * (x = y))")
+
+    engine = repro.RecursiveIVM(query, schema)
+    engine.apply(repro.insert("R", "c"))
+    engine.apply(repro.insert("R", "c"))
+    engine.apply(repro.insert("R", "d"))
+    assert engine.result() == 5
+
+    engine.apply(repro.delete("R", "d"))
+    assert engine.result() == 4
+
+
+def test_sql_frontend_through_top_level_namespace():
+    schema = {"C": ("cid", "nation")}
+    query = repro.sql_to_agca(
+        "SELECT C1.cid, SUM(1) FROM C C1, C C2 WHERE C1.nation = C2.nation GROUP BY C1.cid",
+        schema,
+    )
+    engine = repro.RecursiveIVM(query, schema, backend="generated")
+    engine.apply_all(
+        [repro.insert("C", 1, "FR"), repro.insert("C", 2, "FR"), repro.insert("C", 3, "JP")]
+    )
+    assert engine.result() == {(1,): 2, (2,): 2, (3,): 1}
+
+
+def test_direct_evaluation_and_delta_through_top_level_namespace():
+    db = repro.Database({"R": ("A",)})
+    db.load("R", [("c",), ("c",), ("d",)])
+    query = repro.parse("Sum(R(x) * R(y) * (x = y))")
+    result = repro.evaluate(query, db)
+    assert result[repro.Record()] == 5
+    change = repro.evaluate(repro.delta_for_update(query, repro.insert("R", "c")), db)
+    assert change[repro.Record()] == 5
+    assert repro.degree(query) == 2
+
+
+def test_compile_and_explain_through_top_level_namespace():
+    program = repro.compile_query(
+        repro.parse("Sum(R(a, b) * S(c, d) * (b = c) * a)"),
+        {"R": ("A", "B"), "S": ("C", "D")},
+    )
+    assert "TRIGGERS:" in program.explain()
+    runtime = repro.TriggerRuntime(program)
+    runtime.apply(repro.insert("R", 2, 7))
+    runtime.apply(repro.insert("S", 7, 1))
+    assert runtime.result() == 2
+    generated = repro.generate_python(program)
+    assert "def apply_update" in generated.source

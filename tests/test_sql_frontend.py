@@ -1,0 +1,121 @@
+"""Tests for the SQL-subset frontend (Section 5: from SQL to the calculus)."""
+
+import pytest
+
+from repro.core.ast import AggSum
+from repro.core.degree import degree
+from repro.core.errors import ParseError
+from repro.core.parser import parse, to_string
+from repro.core.semantics import evaluate
+from repro.gmr.records import EMPTY_RECORD
+from repro.ivm.comparison import cross_validate
+from repro.sql.frontend import parse_sql, sql_to_agca
+from repro.workloads.schemas import CUSTOMER_SCHEMA, RST_SCHEMA, SALES_SCHEMA, UNARY_SCHEMA
+from repro.workloads.streams import StreamGenerator
+
+
+def test_parse_sql_clauses():
+    parsed = parse_sql(
+        "SELECT c.nation, SUM(l.price) FROM Customer c, Lineitem l "
+        "WHERE c.ck = l.ok2 AND l.qty > 2 GROUP BY c.nation;"
+    )
+    assert parsed.select_groups == ["c.nation"]
+    assert parsed.aggregate.upper().startswith("SUM")
+    assert parsed.tables == [("Customer", "c"), ("Lineitem", "l")]
+    assert len(parsed.conditions) == 2
+    assert parsed.group_by == ["c.nation"]
+    assert parsed.aliases() == {"c": "Customer", "l": "Lineitem"}
+
+
+def test_parse_sql_supports_as_and_bare_tables():
+    parsed = parse_sql("SELECT COUNT(*) FROM R AS r1, R")
+    assert parsed.tables == [("R", "r1"), ("R", "R")]
+
+
+def test_count_star_translation(unary_db):
+    query = sql_to_agca("SELECT COUNT(*) FROM R", UNARY_SCHEMA)
+    assert isinstance(query, AggSum)
+    assert degree(query) == 1
+    assert evaluate(query, unary_db)[EMPTY_RECORD] == 3
+
+
+def test_example_1_2_sql(unary_db):
+    query = sql_to_agca("SELECT COUNT(*) FROM R r1, R r2 WHERE r1.A = r2.A", UNARY_SCHEMA)
+    assert evaluate(query, unary_db)[EMPTY_RECORD] == 5
+
+
+def test_example_5_2_sql(customers_db):
+    query = sql_to_agca(
+        "SELECT C1.cid, SUM(1) FROM C C1, C C2 WHERE C1.nation = C2.nation GROUP BY C1.cid",
+        CUSTOMER_SCHEMA,
+    )
+    result = evaluate(query, customers_db)
+    per_customer = {record["C1_cid"]: value for record, value in result.items()}
+    assert per_customer == {1: 2, 2: 2, 3: 1, 4: 3, 5: 3, 6: 3}
+
+
+def test_example_1_3_sql(rst_db):
+    sql = "SELECT SUM(r.A * t.F) FROM R r, S s, T t WHERE r.B = s.C AND s.D = t.E"
+    query = sql_to_agca(sql, RST_SCHEMA)
+    agca = parse("Sum(R(a, b) * S(c, d) * T(e, f) * (b = c) * (d = e) * a * f)")
+    assert evaluate(query, rst_db) == evaluate(agca, rst_db)
+
+
+def test_where_with_constants_and_inequalities(customers_db):
+    query = sql_to_agca(
+        "SELECT COUNT(*) FROM C WHERE nation = 'JAPAN'", CUSTOMER_SCHEMA
+    )
+    assert evaluate(query, customers_db)[EMPTY_RECORD] == 3
+    query_ge = sql_to_agca("SELECT COUNT(*) FROM C WHERE cid >= 4", CUSTOMER_SCHEMA)
+    assert evaluate(query_ge, customers_db)[EMPTY_RECORD] == 3
+
+
+def test_sum_of_arithmetic_expression(rst_db):
+    query = sql_to_agca("SELECT SUM(A + B) FROM R", RST_SCHEMA)
+    assert evaluate(query, rst_db)[EMPTY_RECORD] == (1 + 10) + (2 + 10) + (3 + 20)
+
+
+def test_translated_queries_are_compilable_and_maintainable():
+    sql = (
+        "SELECT c.nation, SUM(l.price * l.qty) FROM Customer c, Orders o, Lineitem l "
+        "WHERE c.ck = o.ck AND o.ok = l.ok2 GROUP BY c.nation"
+    )
+    query = sql_to_agca(sql, SALES_SCHEMA)
+    stream = StreamGenerator(SALES_SCHEMA, seed=31, default_domain_size=5).generate(90)
+    assert cross_validate(query, SALES_SCHEMA, stream.updates, check_every=30) is None
+
+
+def test_unqualified_columns_resolve_when_unambiguous():
+    query = sql_to_agca(
+        "SELECT nation, SUM(1) FROM Customer GROUP BY nation", SALES_SCHEMA
+    )
+    assert query.group_vars == ("nation",)
+
+
+def test_error_cases():
+    with pytest.raises(ParseError):
+        parse_sql("DELETE FROM R")
+    with pytest.raises(ParseError):
+        parse_sql("SELECT A FROM R")  # no aggregate
+    with pytest.raises(ParseError):
+        parse_sql("SELECT SUM(A), SUM(B) FROM R")  # two aggregates
+    with pytest.raises(ParseError):
+        sql_to_agca("SELECT COUNT(*) FROM Unknown", UNARY_SCHEMA)
+    with pytest.raises(ParseError):
+        sql_to_agca("SELECT COUNT(*) FROM R WHERE A LIKE 'x'", UNARY_SCHEMA)
+    with pytest.raises(ParseError):
+        sql_to_agca("SELECT COUNT(*) FROM R r1, R r2 WHERE A = 1", UNARY_SCHEMA)  # ambiguous
+    with pytest.raises(ParseError):
+        sql_to_agca("SELECT COUNT(cid) FROM C", CUSTOMER_SCHEMA)  # only COUNT(*)
+    with pytest.raises(ParseError):
+        sql_to_agca("SELECT COUNT(*) FROM C WHERE unknown = 1", CUSTOMER_SCHEMA)
+    with pytest.raises(ParseError):
+        parse_sql("SELECT COUNT(*) FROM R one two three")
+
+
+def test_to_string_of_translation_is_parseable():
+    query = sql_to_agca(
+        "SELECT C1.cid, SUM(1) FROM C C1, C C2 WHERE C1.nation = C2.nation GROUP BY C1.cid",
+        CUSTOMER_SCHEMA,
+    )
+    assert parse(to_string(query)) == query

@@ -1,0 +1,156 @@
+"""Tests for the workload substrate: schemas, streams, canonical queries, sales generator."""
+
+import pytest
+
+from repro.gmr.database import Database
+from repro.workloads.queries import CANONICAL_QUERIES, CanonicalQuery, chain_count_query, query_by_name
+from repro.workloads.schemas import RST_SCHEMA, SALES_SCHEMA, UNARY_SCHEMA, chain_schema
+from repro.workloads.streams import StreamGenerator, UpdateStream, apply_stream, interleave
+from repro.workloads.tpch_like import NATIONS, SalesStreamGenerator
+
+
+# ---------------------------------------------------------------------------
+# Schemas
+# ---------------------------------------------------------------------------
+
+
+def test_chain_schema_shape():
+    schema = chain_schema(3)
+    assert schema == {"E1": ("a0", "a1"), "E2": ("a1", "a2"), "E3": ("a2", "a3")}
+    with pytest.raises(ValueError):
+        chain_schema(0)
+
+
+# ---------------------------------------------------------------------------
+# Stream generator
+# ---------------------------------------------------------------------------
+
+
+def test_streams_are_deterministic_given_a_seed():
+    first = StreamGenerator(RST_SCHEMA, seed=5).generate(60)
+    second = StreamGenerator(RST_SCHEMA, seed=5).generate(60)
+    third = StreamGenerator(RST_SCHEMA, seed=6).generate(60)
+    assert first.updates == second.updates
+    assert first.updates != third.updates
+
+
+def test_streams_only_delete_existing_tuples():
+    stream = StreamGenerator(UNARY_SCHEMA, seed=8, delete_fraction=0.5).generate(300)
+    db = Database(UNARY_SCHEMA)
+    apply_stream(db, stream)
+    # Every multiplicity stays non-negative because deletes target live tuples.
+    assert all(multiplicity >= 0 for _, multiplicity in db["R"].items())
+    assert stream.insert_count() + stream.delete_count() == len(stream)
+    assert stream.delete_count() > 0
+
+
+def test_stream_respects_arity_and_relations_filter():
+    stream = StreamGenerator(RST_SCHEMA, seed=1).generate(50, relations=["S"])
+    assert all(update.relation == "S" for update in stream)
+    assert all(len(update.values) == 2 for update in stream)
+
+
+def test_insert_only_streams_and_live_tuples():
+    generator = StreamGenerator(UNARY_SCHEMA, seed=4)
+    stream = generator.generate_inserts(40)
+    assert stream.delete_count() == 0
+    assert len(generator.live_tuples("R")) == 40
+    # The delete fraction is restored afterwards.
+    assert generator.delete_fraction == 0.25
+
+
+def test_custom_domains_and_zipf_skew():
+    generator = StreamGenerator(
+        UNARY_SCHEMA,
+        seed=2,
+        domains={"A": ["x", "y"]},
+    )
+    stream = generator.generate_inserts(30)
+    assert {update.values[0] for update in stream} <= {"x", "y"}
+
+    skewed = StreamGenerator(UNARY_SCHEMA, seed=2, default_domain_size=50, zipf_s=1.5)
+    values = [update.values[0] for update in skewed.generate_inserts(300)]
+    # Strong skew: the most frequent value dominates a uniform share by far.
+    most_common = max(set(values), key=values.count)
+    assert values.count(most_common) > 3 * (300 / 50)
+
+    callable_domain = StreamGenerator(
+        UNARY_SCHEMA, seed=3, domains={"A": lambda rng: rng.choice(["only"])}
+    )
+    assert callable_domain.generate_inserts(5)[0].values == ("only",)
+
+
+def test_update_stream_utilities():
+    stream = StreamGenerator(UNARY_SCHEMA, seed=7).generate(20, description="demo")
+    assert len(stream) == 20
+    assert stream[0] in list(stream)
+    warmup, measured = stream.split(15)
+    assert len(warmup) == 15 and len(measured) == 5
+    assert "warmup" in warmup.description
+    merged = interleave(warmup, measured)
+    assert len(merged) == 20
+    assert stream.parameters["length"] == 20
+
+
+# ---------------------------------------------------------------------------
+# Canonical queries
+# ---------------------------------------------------------------------------
+
+
+def test_canonical_queries_parse_and_describe():
+    assert len(CANONICAL_QUERIES) >= 8
+    for query in CANONICAL_QUERIES:
+        assert isinstance(query, CanonicalQuery)
+        aggregate = query.aggregate
+        assert aggregate is not None
+        assert query.description
+        assert query.name in repr(query)
+
+
+def test_query_by_name_lookup():
+    assert query_by_name("selfjoin_count").paper_reference == "Example 1.2"
+    with pytest.raises(KeyError):
+        query_by_name("does_not_exist")
+
+
+def test_chain_count_query_degrees():
+    from repro.core.degree import degree
+
+    for length in (1, 2, 3, 4):
+        query = chain_count_query(length)
+        assert degree(query.expr) == length
+        assert set(query.schema) == {f"E{i}" for i in range(1, length + 1)}
+
+
+# ---------------------------------------------------------------------------
+# Sales (TPC-H-flavoured) generator
+# ---------------------------------------------------------------------------
+
+
+def test_sales_stream_covers_all_relations_and_respects_schema():
+    generator = SalesStreamGenerator(customers=8, seed=1)
+    stream = generator.generate(30)
+    relations = {update.relation for update in stream}
+    assert relations == {"Customer", "Orders", "Lineitem"}
+    db = Database(generator.schema())
+    apply_stream(db, stream)
+    assert all(multiplicity >= 0 for name, gmr in db for _, multiplicity in gmr.items())
+    assert db.size("Customer") == 8
+
+
+def test_sales_stream_contains_cancellations():
+    generator = SalesStreamGenerator(customers=5, seed=2, order_cancel_fraction=0.5)
+    stream = generator.generate(60)
+    assert stream.delete_count() > 0
+    assert stream.parameters["orders"] == 60
+
+
+def test_sales_customers_cycle_through_nations():
+    generator = SalesStreamGenerator(customers=len(NATIONS) * 2, seed=0)
+    customer_updates = generator.customer_updates()
+    nations = [update.values[1] for update in customer_updates]
+    assert set(nations) == set(NATIONS)
+
+
+def test_sales_generator_schema_matches_module_schema():
+    assert SalesStreamGenerator().schema() == dict(SALES_SCHEMA)
