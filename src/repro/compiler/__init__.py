@@ -7,12 +7,15 @@
 * :mod:`repro.compiler.runtime` — interpreted trigger execution;
 * :mod:`repro.compiler.codegen` — generation of straight-line Python trigger code
   (the paper's NC⁰C target, retargeted);
+* :mod:`repro.compiler.indexes` — secondary hash indexes for partially-bound
+  map slices (keeps per-update cost proportional to matching entries);
 * :mod:`repro.compiler.cost` — operation counting for the constant-work claims.
 """
 
 from repro.compiler.compile import Compiler, compile_query
 from repro.compiler.codegen import GeneratedTriggers, generate_python
 from repro.compiler.cost import CountingSemiring, OperationCounter, RuntimeStatistics
+from repro.compiler.indexes import IndexedMaps, SliceIndexes, compute_index_specs
 from repro.compiler.maps import MapDefinition
 from repro.compiler.runtime import TriggerRuntime
 from repro.compiler.triggers import Statement, Trigger, TriggerProgram
@@ -25,6 +28,9 @@ __all__ = [
     "CountingSemiring",
     "OperationCounter",
     "RuntimeStatistics",
+    "IndexedMaps",
+    "SliceIndexes",
+    "compute_index_specs",
     "MapDefinition",
     "TriggerRuntime",
     "Statement",

@@ -10,15 +10,46 @@ aggregation — just lookups, loops over map slices, additions and
 multiplications, which is precisely the point of the paper's compilation
 result.
 
+Three properties of the generated module matter for the paper's cost claims:
+
+* **Ring-generic arithmetic.**  Generation is parameterized by the coefficient
+  :class:`~repro.algebra.semirings.Semiring`.  For the two structures whose
+  operations are native Python arithmetic (``INTEGER_RING`` and
+  ``FLOAT_FIELD``) the emitted code uses ``+``/``*``/literal ``0`` directly;
+  for every other *ring* the emitted code routes through ``ring.add`` /
+  ``ring.mul`` / ``ring.zero`` so that e.g. ``Fraction`` or operation-counting
+  coefficients compute exactly what the interpreted backend computes.
+  Structures without additive inverses (proper semirings) are rejected with a
+  :class:`CompilationError` — deletion triggers need ``-1``.
+
+* **Index-backed map slices.**  A map reference whose key variables are only
+  partially bound at its point of use is compiled to a lookup in a secondary
+  hash index (``repro.compiler.indexes``) instead of an O(|map|) scan of
+  ``.items()``, keeping the per-update work proportional to the number of
+  matching entries.  The generated apply loop maintains those indexes as
+  entries are inserted and removed.
+
+* **A batch-update path.**  ``apply_batch`` groups a batch of single-tuple
+  updates by ``(relation, sign)`` and runs each group through a specialized
+  batched trigger that hoists the per-statement map-table lookups out of the
+  per-tuple loop and dispatches once per group instead of once per tuple.
+  Each tuple's statements are still evaluated against the pre-update state in
+  Equation (1) order and its increments folded in one pass, so a batch is
+  equivalent to applying its updates one at a time (single-tuple updates over
+  a ring commute).
+
 The generated module is also useful practically: it is considerably faster
 than interpreting trigger statements through the AGCA evaluator (see
-``benchmarks/bench_update_cost_vs_size.py`` for the comparison).
+``benchmarks/bench_update_cost_vs_size.py`` and
+``benchmarks/bench_batch_updates.py`` for the comparisons).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.algebra.semirings import FLOAT_FIELD, INTEGER_RING, Semiring
+from repro.compiler.indexes import IndexSpecs, SliceIndexes, compute_index_specs
 from repro.compiler.triggers import Statement, Trigger, TriggerProgram
 from repro.core.ast import (
     Add,
@@ -39,13 +70,19 @@ from repro.core.simplify import order_for_safety
 
 _PYTHON_OPS = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
 
+#: Internal identifiers the name allocator must never hand out to AGCA variables.
+_RESERVED_NAMES = ("maps", "values", "values_list", "relation", "sign", "updates", "_new", "_fkey")
+
 
 class _NameAllocator:
     """Maps AGCA variable names to unique, valid Python identifiers."""
 
-    def __init__(self):
+    def __init__(self, reserved: Iterable[str] = _RESERVED_NAMES):
         self._names: Dict[str, str] = {}
-        self._used = set()
+        self._used = set(reserved)
+
+    def reserve(self, name: str) -> None:
+        self._used.add(name)
 
     def __call__(self, variable: str) -> str:
         if variable in self._names:
@@ -82,45 +119,347 @@ class _Writer:
         self.indent -= levels
 
 
-class GeneratedTriggers:
-    """The result of code generation: Python source plus the executable namespace."""
+class _EmitContext:
+    """Everything statement emission needs to know about the target module.
 
-    def __init__(self, program: TriggerProgram, source: str):
+    ``native`` selects literal ``+``/``*``/``0`` arithmetic (exact for the
+    built-in integer and float structures); otherwise the emitted code calls
+    the ring-operation aliases bound in the module prologue.  ``specs`` are
+    the index signatures of :func:`compute_index_specs`, consulted to decide
+    whether a partially-bound map reference can use an index lookup.
+    """
+
+    def __init__(self, writer: _Writer, ring: Semiring, native: bool, specs: IndexSpecs):
+        self.writer = writer
+        self.ring = ring
+        self.native = native
+        self.specs = specs
+        self._constants: Dict[str, str] = {}
+
+    # -- ring-dependent fragments -------------------------------------------
+
+    def zero_literal(self) -> str:
+        return "0" if self.native else "_ZERO"
+
+    def folded_add(self, left: str, right: str) -> str:
+        if self.native:
+            return f"{left} + {right}"
+        return f"_add({left}, {right})"
+
+    def nonzero_guard(self, expression: str) -> str:
+        if self.native:
+            return f"if {expression} != 0:"
+        return f"if not _is_zero({expression}):"
+
+    def coerced(self, expression: str) -> str:
+        """A data value used as a multiplicity (mirrors the evaluator's coercion)."""
+        if self.native:
+            return expression
+        return f"_coerce({expression})"
+
+    def constant(self, value: Any) -> str:
+        """A module-level constant holding ``value`` in the coefficient structure."""
+        if self.native:
+            return repr(value)
+        key = repr(value)
+        name = self._constants.get(key)
+        if name is None:
+            name = f"_C{len(self._constants)}"
+            self._constants[key] = name
+        return name
+
+    def value_product(self, coefficient: Any, value_terms: List[str]) -> str:
+        """The increment expression ``coefficient * t1 * ... * tn``."""
+        if self.native:
+            if not value_terms:
+                return repr(coefficient)
+            product = " * ".join(value_terms)
+            if coefficient == 1:
+                return product
+            if coefficient == -1:
+                return f"-({product})"
+            return f"{coefficient!r} * {product}"
+        if not value_terms:
+            return self.constant(coefficient)
+        product = value_terms[0]
+        for term in value_terms[1:]:
+            product = f"_mul({product}, {term})"
+        if coefficient == 1:
+            return product
+        if coefficient == -1:
+            return f"_neg({product})"
+        return f"_mul({self.constant(coefficient)}, {product})"
+
+    def emit_constant_definitions(self) -> None:
+        for literal, name in self._constants.items():
+            self.writer.emit(f"{name} = _coerce({literal})")
+
+
+class GeneratedTriggers:
+    """The result of code generation: Python source plus the executable namespace.
+
+    The module's arithmetic is fixed to the ``ring`` used at generation time;
+    :class:`~repro.ivm.recursive.RecursiveIVM` regenerates when constructed
+    over a different coefficient structure.  ``index_specs`` describes the
+    secondary slice indexes the generated code expects (and maintains); when
+    the caller does not supply a :class:`SliceIndexes` — directly or attached
+    to the map environment (:class:`~repro.compiler.indexes.IndexedMaps`) —
+    one is built and kept per map environment automatically.
+    """
+
+    def __init__(
+        self,
+        program: TriggerProgram,
+        source: str,
+        ring: Semiring = INTEGER_RING,
+        index_specs: Optional[IndexSpecs] = None,
+    ):
         self.program = program
         self.source = source
-        self._namespace: Dict[str, Any] = {}
+        self.ring = ring
+        self.index_specs: IndexSpecs = dict(index_specs or {})
+        self._required_signatures = {
+            (name, positions)
+            for name, all_positions in self.index_specs.items()
+            for positions in all_positions
+        }
+        self._namespace: Dict[str, Any] = {"_RING": ring}
         exec(compile(source, f"<generated triggers for {program.result_map}>", "exec"), self._namespace)
+        self._stats: Dict[str, int] = self._namespace["_STATS"]
+        self._apply_update = self._namespace["apply_update"]
+        self._apply_batch = self._namespace["apply_batch"]
+        self._own_indexes: Optional[SliceIndexes] = None
+        self._own_maps: Optional[Dict[str, Dict[Tuple[Any, ...], Any]]] = None
+        self._own_counts: Dict[str, int] = {}
 
-    def apply(self, maps: Dict[str, Dict[Tuple[Any, ...], Any]], relation: str, sign: int, values: Tuple[Any, ...]) -> None:
+    # -- update application ---------------------------------------------------
+
+    def apply(
+        self,
+        maps: Dict[str, Dict[Tuple[Any, ...], Any]],
+        relation: str,
+        sign: int,
+        values: Tuple[Any, ...],
+        indexes: Optional[SliceIndexes] = None,
+    ) -> None:
         """Run the generated trigger for one update event against the given maps."""
-        self._namespace["apply_update"](maps, relation, sign, tuple(values))
+        data = self._index_data(maps, indexes)
+        self._apply_update(maps, relation, sign, tuple(values), data)
+        self._note_own_counts(maps, data)
+
+    def apply_batch(
+        self,
+        maps: Dict[str, Dict[Tuple[Any, ...], Any]],
+        updates: Iterable[Any],
+        indexes: Optional[SliceIndexes] = None,
+    ) -> None:
+        """Apply a batch of updates, grouped by ``(relation, sign)``.
+
+        Equivalent to applying the updates one at a time (single-tuple updates
+        over a ring commute, so the per-group reordering is unobservable in
+        the final map state), but dispatches once per group and hoists map
+        lookups out of the per-tuple loop.
+        """
+        data = self._index_data(maps, indexes)
+        self._apply_batch(maps, updates, data)
+        self._note_own_counts(maps, data)
+
+    def _index_data(self, maps, indexes: Optional[SliceIndexes]):
+        """The raw index storage to hand the generated code (``None`` if unneeded)."""
+        if not self.index_specs:
+            return None
+        if indexes is None:
+            indexes = getattr(maps, "indexes", None)
+        if indexes is not None and self._required_signatures <= indexes.data.keys():
+            return indexes.data
+        # No usable index supplied: maintain a private one per map environment.
+        # The cache is invalidated when a different maps object shows up or
+        # when an indexed table's entry count changed outside our own applies
+        # (e.g. the caller re-bootstrapped or cleared the maps); a same-size
+        # external rewrite is not detectable this way, so callers that mutate
+        # tables directly should pass their own SliceIndexes.
+        if (
+            self._own_maps is not maps
+            or self._own_indexes is None
+            or any(
+                len(maps.get(name, ())) != self._own_counts.get(name, 0)
+                for name in self.index_specs
+            )
+        ):
+            self._own_indexes = SliceIndexes(self.index_specs)
+            self._own_indexes.rebuild(maps)
+            self._own_maps = maps
+            self._record_own_counts(maps)
+        return self._own_indexes.data
+
+    def _note_own_counts(self, maps, data) -> None:
+        """After an apply through the private index, remember the table sizes."""
+        if data is not None and self._own_indexes is not None and data is self._own_indexes.data:
+            self._record_own_counts(maps)
+
+    def _record_own_counts(self, maps) -> None:
+        self._own_counts = {name: len(maps.get(name, ())) for name in self.index_specs}
+
+    # -- statistics ------------------------------------------------------------
+
+    def statistics(self) -> Dict[str, int]:
+        """Cumulative ``statements`` / ``entries`` counters of the module."""
+        return dict(self._stats)
+
+    def drain_statistics(self) -> Tuple[int, int]:
+        """Return ``(statements_executed, entries_updated)`` since the last drain."""
+        stats = self._stats
+        result = (stats["statements"], stats["entries"])
+        stats["statements"] = 0
+        stats["entries"] = 0
+        return result
 
     def trigger_function_names(self) -> List[str]:
         return [name for name in self._namespace if name.startswith("on_")]
 
 
-def generate_python(program: TriggerProgram) -> GeneratedTriggers:
-    """Generate a Python module implementing the program's triggers."""
+def generate_python(program: TriggerProgram, ring: Semiring = INTEGER_RING) -> GeneratedTriggers:
+    """Generate a Python module implementing the program's triggers over ``ring``.
+
+    Raises
+    ------
+    CompilationError
+        When ``ring`` is a proper semiring (no additive inverse): deletion
+        triggers multiply by ``-1``, which such structures cannot represent.
+        Use ``backend="interpreted"`` for insert-only semiring workloads.
+    """
+    if not ring.is_ring:
+        raise CompilationError(
+            f"the generated backend requires a coefficient ring with additive "
+            f"inverses, but {ring.name!r} is a proper semiring; deletion triggers "
+            f"multiply increments by -1 (use the interpreted backend instead)"
+        )
+    native = ring is INTEGER_RING or ring is FLOAT_FIELD
+    specs = compute_index_specs(program)
+
     writer = _Writer()
+    context = _EmitContext(writer, ring, native, specs)
     writer.emit('"""Generated trigger code — see repro.compiler.codegen."""')
     writer.emit("")
+    writer.emit('_STATS = {"statements": 0, "entries": 0}')
+    writer.emit("_NO_KEYS = ()")
+    if not native:
+        writer.emit("_ZERO = _RING.zero")
+        writer.emit("_add = _RING.add")
+        writer.emit("_mul = _RING.mul")
+        writer.emit("_neg = _RING.neg")
+        writer.emit("_coerce = _RING.coerce")
+        writer.emit("_is_zero = _RING.is_zero")
+    writer.emit("")
+    _emit_index_helpers(writer)
+    _emit_fold(context)
+
     dispatch_entries = []
-    for (relation, sign), trigger in sorted(program.triggers.items(), key=lambda item: (item[0][0], -item[0][1])):
-        function_name = trigger.event_name
-        dispatch_entries.append(f"    ({relation!r}, {sign}): {function_name},")
-        _generate_trigger(writer, trigger)
+    batch_entries = []
+    ordered_triggers = sorted(program.triggers.items(), key=lambda item: (item[0][0], -item[0][1]))
+    for (relation, sign), trigger in ordered_triggers:
+        dispatch_entries.append(f"    ({relation!r}, {sign}): {trigger.event_name},")
+        batch_entries.append(f"    ({relation!r}, {sign}): batch_{trigger.event_name},")
+        _generate_trigger(context, trigger)
         writer.emit("")
+        _generate_batch_trigger(context, trigger)
+        writer.emit("")
+
     writer.emit("TRIGGERS = {")
     for entry in dispatch_entries:
         writer.emit(entry)
     writer.emit("}")
     writer.emit("")
-    writer.emit("def apply_update(maps, relation, sign, values):")
-    writer.emit("    trigger = TRIGGERS.get((relation, sign))")
-    writer.emit("    if trigger is not None:")
-    writer.emit("        trigger(maps, values)")
+    writer.emit("BATCH_TRIGGERS = {")
+    for entry in batch_entries:
+        writer.emit(entry)
+    writer.emit("}")
+    writer.emit("")
+    writer.emit(f"_INDEX_SPECS = {specs!r}")
+    writer.emit("")
+    writer.emit("def apply_update(maps, relation, sign, values, _IDX=None):")
+    writer.emit("    _trigger = TRIGGERS.get((relation, sign))")
+    writer.emit("    if _trigger is not None:")
+    writer.emit("        _trigger(maps, values, _IDX)")
+    writer.emit("")
+    writer.emit("def apply_batch(maps, updates, _IDX=None):")
+    writer.emit("    _groups = {}")
+    writer.emit("    for _update in updates:")
+    writer.emit("        _event = (_update.relation, _update.sign)")
+    writer.emit("        _group = _groups.get(_event)")
+    writer.emit("        if _group is None:")
+    writer.emit("            _groups[_event] = [_update.values]")
+    writer.emit("        else:")
+    writer.emit("            _group.append(_update.values)")
+    writer.emit("    for _event, _values_list in _groups.items():")
+    writer.emit("        _trigger = BATCH_TRIGGERS.get(_event)")
+    writer.emit("        if _trigger is not None:")
+    writer.emit("            _trigger(maps, _values_list, _IDX)")
+    writer.emit("")
+    context.emit_constant_definitions()
     source = "\n".join(writer.lines) + "\n"
-    return GeneratedTriggers(program, source)
+    return GeneratedTriggers(program, source, ring=ring, index_specs=specs)
+
+
+# ---------------------------------------------------------------------------
+# Module-level runtime helpers (emitted once per generated module)
+# ---------------------------------------------------------------------------
+
+
+def _emit_index_helpers(writer: _Writer) -> None:
+    writer.emit("def _index_add(_IDX, _specs, _name, _key):")
+    writer.emit("    for _positions in _specs:")
+    writer.emit("        _bucket = _IDX[(_name, _positions)]")
+    writer.emit("        _prefix = tuple(_key[_i] for _i in _positions)")
+    writer.emit("        _entry = _bucket.get(_prefix)")
+    writer.emit("        if _entry is None:")
+    writer.emit("            _bucket[_prefix] = {_key}")
+    writer.emit("        else:")
+    writer.emit("            _entry.add(_key)")
+    writer.emit("")
+    writer.emit("def _index_discard(_IDX, _specs, _name, _key):")
+    writer.emit("    for _positions in _specs:")
+    writer.emit("        _bucket = _IDX[(_name, _positions)]")
+    writer.emit("        _prefix = tuple(_key[_i] for _i in _positions)")
+    writer.emit("        _entry = _bucket.get(_prefix)")
+    writer.emit("        if _entry is not None:")
+    writer.emit("            _entry.discard(_key)")
+    writer.emit("            if not _entry:")
+    writer.emit("                del _bucket[_prefix]")
+    writer.emit("")
+
+
+def _emit_fold(context: _EmitContext) -> None:
+    """The shared fold step: apply one statement's accumulated increments."""
+    writer = context.writer
+    zero = context.zero_literal()
+    new_value = context.folded_add("_table.get(_key, " + zero + ")", "_delta")
+    if context.native:
+        is_zero = "_new == 0"
+    else:
+        is_zero = "_is_zero(_new)"
+    writer.emit("def _fold(_table, _acc, _name, _specs, _IDX):")
+    writer.emit("    if not _acc:")
+    writer.emit("        return")
+    writer.emit('    _STATS["entries"] += len(_acc)')
+    writer.emit("    if _IDX is None or _specs is None:")
+    writer.emit("        for _key, _delta in _acc.items():")
+    writer.emit(f"            _new = {new_value}")
+    writer.emit(f"            if {is_zero}:")
+    writer.emit("                _table.pop(_key, None)")
+    writer.emit("            else:")
+    writer.emit("                _table[_key] = _new")
+    writer.emit("        return")
+    writer.emit("    for _key, _delta in _acc.items():")
+    writer.emit(f"        _new = {new_value}")
+    writer.emit(f"        if {is_zero}:")
+    writer.emit("            if _table.pop(_key, None) is not None:")
+    writer.emit("                _index_discard(_IDX, _specs, _name, _key)")
+    writer.emit("        else:")
+    writer.emit("            if _key not in _table:")
+    writer.emit("                _index_add(_IDX, _specs, _name, _key)")
+    writer.emit("            _table[_key] = _new")
+    writer.emit("")
 
 
 # ---------------------------------------------------------------------------
@@ -128,39 +467,141 @@ def generate_python(program: TriggerProgram) -> GeneratedTriggers:
 # ---------------------------------------------------------------------------
 
 
-def _generate_trigger(writer: _Writer, trigger: Trigger) -> None:
+def _spec_literal(context: _EmitContext, map_name: str) -> str:
+    positions = context.specs.get(map_name)
+    return repr(positions) if positions else "None"
+
+
+def _generate_trigger(context: _EmitContext, trigger: Trigger) -> None:
+    writer = context.writer
     names = _NameAllocator()
-    writer.emit(f"def {trigger.event_name}(maps, values):")
+    writer.emit(f"def {trigger.event_name}(maps, values, _IDX=None):")
     writer.block()
+    writer.emit(f'_STATS["statements"] += {len(trigger.statements)}')
     if trigger.argument_names:
         unpack = ", ".join(names(argument) for argument in trigger.argument_names)
         trailing = "," if len(trigger.argument_names) == 1 else ""
         writer.emit(f"{unpack}{trailing} = values")
-    writer.emit("_pending = []")
+    _generate_trigger_body(context, trigger, names, lambda name: f"maps[{name!r}]")
+    writer.dedent()
+
+
+def _generate_batch_trigger(context: _EmitContext, trigger: Trigger) -> None:
+    """A per-group trigger: table lookups hoisted, one dispatch per batch group."""
+    writer = context.writer
+    names = _NameAllocator()
+    table_locals: Dict[str, str] = {}
+    touched: List[str] = []
+    for statement in trigger.statements:
+        for name in (statement.target,) + statement.maps_read():
+            if name not in table_locals:
+                local = f"_tbl{len(table_locals)}"
+                names.reserve(local)
+                table_locals[name] = local
+                touched.append(name)
+    writer.emit(f"def batch_{trigger.event_name}(maps, values_list, _IDX=None):")
+    writer.block()
+    writer.emit(f'_STATS["statements"] += {len(trigger.statements)} * len(values_list)')
+    for name in touched:
+        writer.emit(f"{table_locals[name]} = maps[{name!r}]")
+    if trigger.argument_names:
+        unpack = ", ".join(names(argument) for argument in trigger.argument_names)
+        writer.emit(f"for ({unpack},) in values_list:")
+    else:
+        writer.emit("for values in values_list:")
+    writer.block()
+    _generate_trigger_body(context, trigger, names, lambda name: table_locals[name])
+    writer.dedent(2)
+
+
+def _generate_trigger_body(
+    context: _EmitContext,
+    trigger: Trigger,
+    names: _NameAllocator,
+    table_ref,
+) -> None:
+    """Emit statement evaluation into accumulators, then the fold steps.
+
+    All right-hand sides are evaluated before any increment is applied — the
+    snapshot semantics of Equation (1): within one update event every read
+    sees the pre-update state.
+
+    A statement whose target keys are all bound to trigger arguments produces
+    exactly one key per update, so its accumulator degenerates to a scalar and
+    its fold inlines to a single guarded table update (skipped when the target
+    map carries slice indexes, where the shared ``_fold`` handles maintenance).
+    """
+    writer = context.writer
+    counter = [0]
+    argument_set = set(trigger.argument_names)
+    scalar_flags = [
+        set(statement.target_keys) <= argument_set
+        and context.specs.get(statement.target) is None
+        for statement in trigger.statements
+    ]
     for index, statement in enumerate(trigger.statements):
         accumulator = f"_acc{index}"
-        writer.emit(f"{accumulator} = {{}}")
-        _generate_statement(writer, statement, trigger.argument_names, accumulator, names)
-        writer.emit(f"_pending.append(({statement.target!r}, {accumulator}))")
-    writer.emit("for _name, _acc in _pending:")
-    writer.emit("    _table = maps[_name]")
-    writer.emit("    for _key, _delta in _acc.items():")
-    writer.emit("        _new = _table.get(_key, 0) + _delta")
-    writer.emit("        if _new == 0:")
-    writer.emit("            _table.pop(_key, None)")
-    writer.emit("        else:")
-    writer.emit("            _table[_key] = _new")
+        names.reserve(accumulator)
+        if scalar_flags[index]:
+            writer.emit(f"{accumulator} = {context.zero_literal()}")
+        else:
+            writer.emit(f"{accumulator} = {{}}")
+        _generate_statement(
+            context, statement, trigger.argument_names, accumulator, names, counter,
+            table_ref, scalar=scalar_flags[index],
+        )
+    for index, statement in enumerate(trigger.statements):
+        accumulator = f"_acc{index}"
+        if scalar_flags[index]:
+            environment = {argument: names(argument) for argument in trigger.argument_names}
+            _emit_scalar_fold(context, statement, environment, accumulator, table_ref)
+        else:
+            writer.emit(
+                f"_fold({table_ref(statement.target)}, {accumulator}, {statement.target!r}, "
+                f"{_spec_literal(context, statement.target)}, _IDX)"
+            )
+
+
+def _emit_scalar_fold(
+    context: _EmitContext,
+    statement: Statement,
+    environment: Dict[str, str],
+    accumulator: str,
+    table_ref,
+) -> None:
+    """The single-key fold for a scalar accumulator (target map unindexed)."""
+    writer = context.writer
+    key_expression = _key_tuple(statement.target_keys, environment)
+    table = table_ref(statement.target)
+    writer.emit(context.nonzero_guard(accumulator))
+    writer.block()
+    if statement.target_keys:
+        # Build the key tuple once for the read and the write.
+        writer.emit(f"_fkey = {key_expression}")
+        key_expression = "_fkey"
+    writer.emit(f"_new = {context.folded_add(f'{table}.get({key_expression}, {context.zero_literal()})', accumulator)}")
+    writer.emit('_STATS["entries"] += 1')
+    if context.native:
+        writer.emit("if _new == 0:")
+    else:
+        writer.emit("if _is_zero(_new):")
+    writer.emit(f"    {table}.pop({key_expression}, None)")
+    writer.emit("else:")
+    writer.emit(f"    {table}[{key_expression}] = _new")
     writer.dedent()
 
 
 def _generate_statement(
-    writer: _Writer,
+    context: _EmitContext,
     statement: Statement,
     argument_names: Tuple[str, ...],
     accumulator: str,
     names: _NameAllocator,
+    counter: List[int],
+    table_ref,
+    scalar: bool = False,
 ) -> None:
-    counter = [0]
+    writer = context.writer
     for monomial in to_polynomial(statement.rhs):
         base_indent = writer.indent
         environment = {argument: names(argument) for argument in argument_names}
@@ -169,34 +610,44 @@ def _generate_statement(
         value_terms: List[str] = []
         for factor in factors:
             coefficient = _generate_factor(
-                writer, factor, environment, value_terms, coefficient, counter, names
+                context, factor, environment, value_terms, coefficient, counter, names, table_ref
             )
             if coefficient is None:
                 break
         if coefficient is not None and coefficient != 0:
-            key_expression = _key_tuple(statement.target_keys, environment)
-            value_expression = _value_product(coefficient, value_terms)
-            writer.emit(
-                f"{accumulator}[{key_expression}] = "
-                f"{accumulator}.get({key_expression}, 0) + {value_expression}"
-            )
+            value_expression = context.value_product(coefficient, value_terms)
+            if scalar:
+                writer.emit(
+                    f"{accumulator} = " + context.folded_add(accumulator, value_expression)
+                )
+            else:
+                key_expression = _key_tuple(statement.target_keys, environment)
+                writer.emit(
+                    f"{accumulator}[{key_expression}] = "
+                    + context.folded_add(
+                        f"{accumulator}.get({key_expression}, {context.zero_literal()})",
+                        value_expression,
+                    )
+                )
         writer.indent = base_indent
 
 
 def _generate_factor(
-    writer: _Writer,
+    context: _EmitContext,
     factor: Expr,
     environment: Dict[str, str],
     value_terms: List[str],
     coefficient: Any,
     counter: List[int],
     names: _NameAllocator,
+    table_ref,
 ):
     """Emit code for one monomial factor; returns the (possibly folded) coefficient.
 
     Returning ``None`` means the monomial is statically zero and should be
     dropped.
     """
+    writer = context.writer
     if isinstance(factor, Const):
         value = factor.value
         if not isinstance(value, (int, float)):
@@ -206,7 +657,7 @@ def _generate_factor(
         return coefficient * value
 
     if isinstance(factor, Var):
-        value_terms.append(_value_expression(factor, environment))
+        value_terms.append(context.coerced(_value_expression(factor, environment)))
         return coefficient
 
     if isinstance(factor, Assign):
@@ -232,15 +683,45 @@ def _generate_factor(
         counter[0] += 1
         index = counter[0]
         value_name = f"_v{index}"
-        bound = [key in environment for key in factor.key_vars]
-        if all(bound):
+        bound_positions = tuple(
+            position for position, key in enumerate(factor.key_vars) if key in environment
+        )
+        if len(bound_positions) == len(factor.key_vars):
+            # Fully bound: one hash lookup.
             key_expression = _key_tuple(factor.key_vars, environment)
-            writer.emit(f"{value_name} = maps[{factor.name!r}].get({key_expression}, 0)")
-            writer.emit(f"if {value_name} != 0:")
+            writer.emit(
+                f"{value_name} = {table_ref(factor.name)}.get({key_expression}, "
+                f"{context.zero_literal()})"
+            )
+            writer.emit(context.nonzero_guard(value_name))
             writer.block()
-        else:
+        elif bound_positions and bound_positions in context.specs.get(factor.name, ()):
+            # Partially bound: iterate only the matching keys via the slice index.
             key_name = f"_k{index}"
-            writer.emit(f"for {key_name}, {value_name} in maps[{factor.name!r}].items():")
+            prefix = "(" + ", ".join(
+                environment[factor.key_vars[position]] for position in bound_positions
+            ) + ",)"
+            writer.emit(
+                f"for {key_name} in _IDX[({factor.name!r}, {bound_positions!r})]"
+                f".get({prefix}, _NO_KEYS):"
+            )
+            writer.block()
+            writer.emit(f"{value_name} = {table_ref(factor.name)}[{key_name}]")
+            for position, key in enumerate(factor.key_vars):
+                if position in bound_positions:
+                    continue
+                if key in environment:
+                    # A repeated free variable: later occurrences become tests.
+                    writer.emit(f"if {key_name}[{position}] == {environment[key]}:")
+                    writer.block()
+                else:
+                    local = names(key)
+                    writer.emit(f"{local} = {key_name}[{position}]")
+                    environment[key] = local
+        else:
+            # No key bound (or no index available): scan the whole table.
+            key_name = f"_k{index}"
+            writer.emit(f"for {key_name}, {value_name} in {table_ref(factor.name)}.items():")
             writer.block()
             for position, key in enumerate(factor.key_vars):
                 if key in environment:
@@ -268,7 +749,12 @@ def _generate_factor(
 
 
 def _value_expression(expr: Expr, environment: Dict[str, str]) -> str:
-    """A Python expression computing a data value from bound locals."""
+    """A Python expression computing a data value from bound locals.
+
+    Data-level arithmetic (inside conditions and assignments) is native Python
+    in every coefficient structure — it mirrors ``evaluate_value`` in the
+    interpreted semantics, which also computes data values natively.
+    """
     if isinstance(expr, Const):
         return repr(expr.value)
     if isinstance(expr, Var):
@@ -295,14 +781,3 @@ def _key_tuple(key_vars: Iterable[str], environment: Dict[str, str]) -> str:
     if not parts:
         return "()"
     return "(" + ", ".join(parts) + ",)"
-
-
-def _value_product(coefficient: Any, value_terms: List[str]) -> str:
-    if not value_terms:
-        return repr(coefficient)
-    product = " * ".join(value_terms)
-    if coefficient == 1:
-        return product
-    if coefficient == -1:
-        return f"-({product})"
-    return f"{coefficient!r} * {product}"

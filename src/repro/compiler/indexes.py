@@ -1,0 +1,180 @@
+"""Secondary hash indexes over materialized maps (index-backed map slices).
+
+The paper's constant-work result assumes that a trigger statement touching a
+map slice ``M[a, y]`` with ``a`` bound and ``y`` free costs time proportional
+to the number of *matching* entries, not to ``|M|``.  A plain Python dict only
+supports full-key lookups, so a partially-bound map reference would otherwise
+degenerate into an O(|M|) scan of ``M.items()``.
+
+This module restores the per-update cost bound:
+
+* :func:`compute_index_specs` statically analyses a compiled
+  :class:`~repro.compiler.triggers.TriggerProgram` and reports, for every map,
+  which *bound-position signatures* its triggers will query it with (e.g.
+  "``q_m1`` is sliced with key position 0 bound and position 1 free");
+* :class:`SliceIndexes` maintains, for each ``(map, positions)`` signature, a
+  hash index from the bound-prefix tuple to the set of full keys currently
+  stored — one O(1) dict operation per signature per entry inserted/removed;
+* :class:`IndexedMaps` is a plain ``dict`` of map tables that additionally
+  carries its :class:`SliceIndexes`, so the AGCA evaluator and the generated
+  trigger code can discover the indexes without any API changes.
+
+Both execution backends (:class:`~repro.compiler.runtime.TriggerRuntime` and
+the generated module of :mod:`repro.compiler.codegen`) keep the indexes in
+sync inside their apply loops, so the two can even be mixed over one runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.compiler.triggers import TriggerProgram
+from repro.core.ast import Assign, MapRef
+from repro.core.normalization import to_polynomial
+from repro.core.simplify import order_for_safety
+
+#: A bound-position signature: the key positions bound at lookup time, sorted.
+Positions = Tuple[int, ...]
+#: Per-map signatures needed by a program.
+IndexSpecs = Dict[str, Tuple[Positions, ...]]
+
+
+def compute_index_specs(program: TriggerProgram) -> IndexSpecs:
+    """The bound-position signatures every trigger statement slices each map with.
+
+    The analysis replays exactly the binding discipline of the code generator
+    (and of the interpreted evaluator, which evaluates the same
+    safety-ordered monomials left to right): trigger arguments start out
+    bound, assignments bind their target, and a map reference binds its free
+    key variables for the factors to its right.  A map reference whose key
+    variables are *partially* bound at that point contributes one
+    ``(map, positions)`` signature.
+    """
+    specs: Dict[str, Set[Positions]] = {}
+    for trigger in program.triggers.values():
+        for statement in trigger.statements:
+            for monomial in to_polynomial(statement.rhs):
+                bound = set(trigger.argument_names)
+                ordered = order_for_safety(monomial.factors, bound_vars=trigger.argument_names)
+                for factor in ordered:
+                    if isinstance(factor, Assign):
+                        bound.add(factor.var)
+                    elif isinstance(factor, MapRef):
+                        positions = tuple(
+                            index
+                            for index, key_var in enumerate(factor.key_vars)
+                            if key_var in bound
+                        )
+                        if positions and len(positions) < len(factor.key_vars):
+                            specs.setdefault(factor.name, set()).add(positions)
+                        bound.update(factor.key_vars)
+    return {name: tuple(sorted(positions)) for name, positions in sorted(specs.items())}
+
+
+class SliceIndexes:
+    """Secondary hash indexes: ``(map, positions) -> {bound prefix -> set of keys}``.
+
+    The index set is fixed at construction from an :data:`IndexSpecs`; maps or
+    signatures outside the specs are ignored by :meth:`add`/:meth:`discard`,
+    which keeps maintenance O(#signatures of the touched map) per entry.
+    """
+
+    __slots__ = ("specs", "data")
+
+    def __init__(self, specs: Optional[Mapping[str, Iterable[Positions]]] = None):
+        self.specs: Dict[str, Tuple[Positions, ...]] = {
+            name: tuple(sorted(set(map(tuple, positions))))
+            for name, positions in (specs or {}).items()
+            if positions
+        }
+        #: Raw storage, shared verbatim with the generated trigger code.
+        self.data: Dict[Tuple[str, Positions], Dict[Tuple[Any, ...], Set[Tuple[Any, ...]]]] = {
+            (name, positions): {}
+            for name, all_positions in self.specs.items()
+            for positions in all_positions
+        }
+
+    # -- maintenance ---------------------------------------------------------
+
+    def add(self, name: str, key: Tuple[Any, ...]) -> None:
+        """Register a key that was just inserted into map ``name``."""
+        for positions in self.specs.get(name, ()):
+            bucket = self.data[(name, positions)]
+            prefix = tuple(key[index] for index in positions)
+            entry = bucket.get(prefix)
+            if entry is None:
+                bucket[prefix] = {key}
+            else:
+                entry.add(key)
+
+    def discard(self, name: str, key: Tuple[Any, ...]) -> None:
+        """Forget a key that was just removed from map ``name``."""
+        for positions in self.specs.get(name, ()):
+            bucket = self.data[(name, positions)]
+            prefix = tuple(key[index] for index in positions)
+            entry = bucket.get(prefix)
+            if entry is not None:
+                entry.discard(key)
+                if not entry:
+                    del bucket[prefix]
+
+    def rebuild(self, maps: Mapping[str, Mapping[Tuple[Any, ...], Any]]) -> None:
+        """Re-derive every index from the current map contents (post-bootstrap)."""
+        for bucket in self.data.values():
+            bucket.clear()
+        for name in self.specs:
+            table = maps.get(name)
+            if not table:
+                continue
+            for key in table:
+                self.add(name, key)
+
+    # -- lookups -------------------------------------------------------------
+
+    def bucket(
+        self, name: str, positions: Positions
+    ) -> Optional[Dict[Tuple[Any, ...], Set[Tuple[Any, ...]]]]:
+        """The prefix index for one signature, or ``None`` when not maintained."""
+        return self.data.get((name, tuple(positions)))
+
+    def lookup(
+        self, name: str, positions: Positions, prefix: Tuple[Any, ...]
+    ) -> Iterable[Tuple[Any, ...]]:
+        """All full keys of ``name`` matching the bound prefix (empty when absent)."""
+        bucket = self.data.get((name, tuple(positions)))
+        if bucket is None:
+            return ()
+        return bucket.get(tuple(prefix), ())
+
+    # -- introspection -------------------------------------------------------
+
+    def signature_count(self) -> int:
+        return len(self.data)
+
+    def total_indexed_keys(self) -> int:
+        """Total key registrations across all signatures (space measure)."""
+        return sum(
+            len(entry) for bucket in self.data.values() for entry in bucket.values()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SliceIndexes(maps={len(self.specs)}, signatures={self.signature_count()}, "
+            f"keys={self.total_indexed_keys()})"
+        )
+
+
+class IndexedMaps(dict):
+    """A map environment (``name -> table``) that carries its slice indexes.
+
+    Being a ``dict`` subclass, it is a drop-in map environment for both the
+    AGCA evaluator and the generated trigger module; the evaluator discovers
+    the attached :class:`SliceIndexes` via ``getattr(maps, "indexes", None)``
+    and uses them to avoid full-table scans for partially-bound references.
+    """
+
+    __slots__ = ("indexes",)
+
+    def __init__(self, tables: Mapping[str, Dict] = (), indexes: Optional[SliceIndexes] = None):
+        super().__init__(tables)
+        self.indexes = indexes if indexes is not None else SliceIndexes()

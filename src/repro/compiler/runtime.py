@@ -8,16 +8,29 @@ increasing-``j`` in-place order of Equation (1) in the paper.
 
 The runtime never stores or consults the base relations themselves: once
 bootstrapped (or started from the empty database), all it does per update is
-look up and add a constant number of map entries per maintained value.
+look up and add a constant number of map entries per maintained value.  To
+keep that bound honest for partially-bound map slices, the runtime maintains
+the secondary hash indexes of :mod:`repro.compiler.indexes` alongside the
+maps: the map environment is an :class:`~repro.compiler.indexes.IndexedMaps`,
+so the AGCA evaluator (and the generated backend, which shares the same
+environment inside :class:`~repro.ivm.recursive.RecursiveIVM`) slices maps by
+bound prefix instead of scanning them.
+
+Batches of updates can be applied with :meth:`TriggerRuntime.apply_batch`,
+which groups the batch by ``(relation, sign)`` and resolves each trigger once
+per group instead of once per tuple.  Single-tuple updates over a ring
+commute, so the per-group reordering leaves the final map state identical to
+one-at-a-time application.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.algebra.semirings import INTEGER_RING, Semiring
 from repro.compiler.cost import RuntimeStatistics
-from repro.compiler.triggers import TriggerProgram
+from repro.compiler.indexes import IndexedMaps, SliceIndexes, compute_index_specs
+from repro.compiler.triggers import Trigger, TriggerProgram
 from repro.core.semantics import evaluate
 from repro.core.simplify import make_safe
 from repro.core.ast import AggSum
@@ -33,7 +46,11 @@ class TriggerRuntime:
     def __init__(self, program: TriggerProgram, ring: Semiring = INTEGER_RING):
         self.program = program
         self.ring = ring
-        self.maps: Dict[str, MapTable] = {name: {} for name in program.maps}
+        self.index_specs = compute_index_specs(program)
+        self.indexes = SliceIndexes(self.index_specs)
+        self.maps: Dict[str, MapTable] = IndexedMaps(
+            {name: {} for name in program.maps}, indexes=self.indexes
+        )
         self.statistics = RuntimeStatistics()
         # The evaluator needs a Database only for its coefficient structure and
         # declared schema; compiled right-hand sides never read base relations.
@@ -56,6 +73,7 @@ class TriggerRuntime:
                 if not self.ring.is_zero(value):
                     table[key] = value
             self.maps[name] = table
+        self.indexes.rebuild(self.maps)
 
     # -- update processing -----------------------------------------------------------
 
@@ -65,11 +83,41 @@ class TriggerRuntime:
         trigger = self.program.trigger_for(update.relation, update.sign)
         if trigger is None:
             return
+        self._check_arity(trigger, update)
+        self._apply_trigger(trigger, update.values)
+
+    def apply_batch(self, updates: Iterable[Update]) -> None:
+        """Apply a batch of single-tuple updates, grouped by ``(relation, sign)``.
+
+        Each trigger is resolved once per group; every tuple's statements are
+        still evaluated against the pre-update state (Equation (1) order) and
+        its increments folded in one pass, so the final map state is the same
+        as applying the batch one update at a time — ring updates commute.
+        """
+        # Validate the whole batch before touching any map, so a malformed
+        # update cannot leave the hierarchy partially advanced mid-batch.
+        groups: Dict[Tuple[str, int], List[Tuple[Any, ...]]] = {}
+        for update in updates:
+            trigger = self.program.trigger_for(update.relation, update.sign)
+            if trigger is not None:
+                self._check_arity(trigger, update)
+            groups.setdefault((update.relation, update.sign), []).append(update.values)
+        for (relation, sign), values_list in groups.items():
+            self.statistics.updates_processed += len(values_list)
+            trigger = self.program.trigger_for(relation, sign)
+            if trigger is None:
+                continue
+            for values in values_list:
+                self._apply_trigger(trigger, values)
+
+    def _check_arity(self, trigger: Trigger, update: Update) -> None:
         if len(trigger.argument_names) != len(update.values):
             raise ValueError(
                 f"update {update!r} does not match the arity of relation {update.relation!r}"
             )
-        bindings = Record.from_values(trigger.argument_names, update.values)
+
+    def _apply_trigger(self, trigger: Trigger, values: Tuple[Any, ...]) -> None:
+        bindings = Record.from_values(trigger.argument_names, values)
 
         # Evaluate every statement against the pre-update state ...
         pending = []
@@ -80,7 +128,8 @@ class TriggerRuntime:
             )
             pending.append((statement, increments))
 
-        # ... then apply all increments.
+        # ... then apply all increments, keeping the slice indexes in sync.
+        indexes = self.indexes
         for statement, increments in pending:
             table = self.maps[statement.target]
             for record, value in increments.items():
@@ -88,8 +137,11 @@ class TriggerRuntime:
                 new_value = self.ring.add(table.get(key, self.ring.zero), value)
                 self.statistics.entries_updated += 1
                 if self.ring.is_zero(new_value):
-                    table.pop(key, None)
+                    if table.pop(key, None) is not None:
+                        indexes.discard(statement.target, key)
                 else:
+                    if key not in table:
+                        indexes.add(statement.target, key)
                     table[key] = new_value
 
     def apply_all(self, updates: Iterable[Update]) -> None:

@@ -248,15 +248,30 @@ def _evaluate_map_reference(
     if maps is None or expr.name not in maps:
         raise SchemaError(f"map {expr.name!r} is not available in the evaluation environment")
     table = maps[expr.name]
-    if all(key_var in bindings for key_var in expr.key_vars):
+    bound_positions = tuple(
+        position for position, key_var in enumerate(expr.key_vars) if key_var in bindings
+    )
+    if len(bound_positions) == len(expr.key_vars):
         # Fully-bound reference: a single hash lookup instead of a scan.
         key = tuple(bindings[key_var] for key_var in expr.key_vars)
         value = table.get(key, ring.zero)
         if ring.is_zero(value):
             return GMR.zero(ring=ring)
         return GMR.singleton(Record.from_values(expr.key_vars, key), multiplicity=value, ring=ring)
+    candidates = table.items()
+    if bound_positions:
+        # Partially-bound reference: when the map environment carries slice
+        # indexes (an IndexedMaps from repro.compiler.indexes), iterate only
+        # the keys matching the bound prefix instead of scanning the table.
+        indexes = getattr(maps, "indexes", None)
+        if indexes is not None:
+            bucket = indexes.bucket(expr.name, bound_positions)
+            if bucket is not None:
+                prefix = tuple(bindings[expr.key_vars[position]] for position in bound_positions)
+                keys = bucket.get(prefix, ())
+                candidates = ((key, table[key]) for key in keys if key in table)
     accumulator: Dict[Record, Any] = {}
-    for key, value in table.items():
+    for key, value in candidates:
         if ring.is_zero(value):
             continue
         record = Record.from_values(expr.key_vars, key)
@@ -311,6 +326,11 @@ def _evaluate_aggregate(
     group_vars = expr.group_vars
     accumulator: Dict[Record, Any] = {}
     for record, multiplicity in inner.items():
+        if ring.is_zero(multiplicity):
+            # A cancelled contribution touches nothing; skipping it before the
+            # group-variable lookup keeps partially-cancelled inner results
+            # (whose records may lack some group variables) from failing.
+            continue
         key_values: Dict[str, Any] = {}
         for variable in group_vars:
             if variable in record:

@@ -63,7 +63,12 @@ class ClassicalIVM(IVMEngine):
         increments = evaluate(delta_query, self.db, bindings)
         group_vars = self.query.group_vars
         for record, value in increments.items():
-            key = tuple(record[name] if name in record else bindings[name] for name in group_vars)
+            if self.ring.is_zero(value):
+                # A zero increment touches no group, so it needs no key — and a
+                # partially-cancelled delta may legitimately produce records
+                # that do not bind every group-by variable.
+                continue
+            key = tuple(self._group_value(name, record, bindings) for name in group_vars)
             new_value = self.ring.add(self._materialized.get(key, self.ring.zero), value)
             if self.ring.is_zero(new_value):
                 self._materialized.pop(key, None)
@@ -71,6 +76,23 @@ class ClassicalIVM(IVMEngine):
                 self._materialized[key] = new_value
         # The base relations must stay current for the next delta evaluation.
         self.db.apply(update)
+
+    @staticmethod
+    def _group_value(name: str, record, bindings):
+        """The value of one group-by variable for a (non-zero) delta increment.
+
+        Looked up in the increment record first, then in the update bindings;
+        a variable found in neither means the delta query was not
+        range-restricted over it, which is reported as the typed
+        :class:`UnboundVariableError` instead of a bare ``KeyError``.
+        """
+        if name in record:
+            return record[name]
+        if name in bindings:
+            return bindings[name]
+        from repro.core.errors import UnboundVariableError
+
+        raise UnboundVariableError(name)
 
     def result(self) -> Any:
         if not self.query.group_vars:

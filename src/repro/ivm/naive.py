@@ -36,6 +36,12 @@ class NaiveReevaluation(IVMEngine):
         self.db.apply(update)
         self._result = self._evaluate_full()
 
+    def _apply_batch(self, updates) -> None:
+        """Apply the whole batch to the database, then re-evaluate once."""
+        for update in updates:
+            self.db.apply(update)
+        self._result = self._evaluate_full()
+
     def result(self) -> Any:
         if not self.query.group_vars:
             return self._result.get((), self.ring.zero)

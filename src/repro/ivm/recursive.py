@@ -50,7 +50,11 @@ class RecursiveIVM(IVMEngine):
         self.runtime = TriggerRuntime(self.program, ring=ring)
         self._generated: Optional[GeneratedTriggers] = None
         if backend == "generated":
-            self._generated = generate_python(self.program)
+            # The generated module's arithmetic is specialized to the ring
+            # (native +/*/0 for the built-in integer and float structures,
+            # ring.add/ring.mul/ring.zero otherwise); proper semirings raise
+            # CompilationError here rather than silently computing integers.
+            self._generated = generate_python(self.program, ring=ring)
 
     # -- initialization from an existing database --------------------------------------
 
@@ -62,10 +66,37 @@ class RecursiveIVM(IVMEngine):
 
     def _apply(self, update: Update) -> None:
         if self._generated is not None:
-            self._generated.apply(self.runtime.maps, update.relation, update.sign, update.values)
-            self.runtime.statistics.updates_processed += 1
+            self._generated.apply(
+                self.runtime.maps,
+                update.relation,
+                update.sign,
+                update.values,
+                indexes=self.runtime.indexes,
+            )
+            self._absorb_generated_statistics(1)
         else:
             self.runtime.apply(update)
+
+    def _apply_batch(self, updates) -> None:
+        """Batched application: one dispatch per ``(relation, sign)`` group.
+
+        See :meth:`repro.ivm.base.IVMEngine.apply_batch` for the contract; the
+        generated backend additionally hoists map-table lookups out of the
+        per-tuple loop.
+        """
+        if self._generated is not None:
+            self._generated.apply_batch(self.runtime.maps, updates, indexes=self.runtime.indexes)
+            self._absorb_generated_statistics(len(updates))
+        else:
+            self.runtime.apply_batch(updates)
+
+    def _absorb_generated_statistics(self, update_count: int) -> None:
+        """Fold the generated module's work counters into the runtime statistics."""
+        statements, entries = self._generated.drain_statistics()
+        statistics = self.runtime.statistics
+        statistics.updates_processed += update_count
+        statistics.statements_executed += statements
+        statistics.entries_updated += entries
 
     def result(self) -> Any:
         return self.runtime.result()

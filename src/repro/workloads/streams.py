@@ -39,6 +39,18 @@ class UpdateStream:
             UpdateStream(self.updates[position:], self.description + " (measured)", dict(self.parameters)),
         )
 
+    def batches(self, size: int) -> Iterator[List[Update]]:
+        """Yield successive chunks of ``size`` updates (the last may be shorter).
+
+        Feed the chunks to ``engine.apply_batch`` to amortize per-update fixed
+        costs; see ``benchmarks/bench_batch_updates.py`` for the comparison
+        against one-at-a-time application.
+        """
+        if size <= 0:
+            raise ValueError("batch size must be positive")
+        for start in range(0, len(self.updates), size):
+            yield self.updates[start : start + size]
+
     def insert_count(self) -> int:
         return sum(1 for update in self.updates if update.is_insert)
 

@@ -20,13 +20,17 @@ def fresh_maps(program):
 def test_generated_module_shape():
     program = compile_query(parse("Sum(R(x) * R(y) * (x = y))"), UNARY_SCHEMA, name="q")
     generated = generate_python(program)
-    assert "def on_insert_R(maps, values):" in generated.source
-    assert "def on_delete_R(maps, values):" in generated.source
-    assert "def apply_update(maps, relation, sign, values):" in generated.source
+    assert "def on_insert_R(maps, values, _IDX=None):" in generated.source
+    assert "def on_delete_R(maps, values, _IDX=None):" in generated.source
+    assert "def apply_update(maps, relation, sign, values, _IDX=None):" in generated.source
+    assert "def apply_batch(maps, updates, _IDX=None):" in generated.source
+    assert "def batch_on_insert_R(maps, values_list, _IDX=None):" in generated.source
     assert set(generated.trigger_function_names()) == {"on_insert_R", "on_delete_R"}
     # The generated code never mentions joins, relations or the evaluator.
     assert "evaluate" not in generated.source
     assert "Rel(" not in generated.source
+    # The default integer ring compiles to native arithmetic, not ring calls.
+    assert "_RING" not in generated.source
 
 
 def test_generated_code_reproduces_example_1_2():
@@ -104,3 +108,104 @@ def test_unknown_event_is_a_no_op():
     maps = fresh_maps(program)
     generated.apply(maps, "S", 1, (1,))
     assert maps["q"] == {}
+
+
+# ---------------------------------------------------------------------------
+# Ring-generic code generation (regression: `ring` used to be silently ignored)
+# ---------------------------------------------------------------------------
+
+
+RING_TEST_QUERIES = [
+    ("Sum(R(x) * R(y) * (x = y))", UNARY_SCHEMA),
+    ("Sum(R(x) * x)", UNARY_SCHEMA),
+    ("AggSum([a], R(a, b) * S(b, c) * c)", {"R": ("A", "B"), "S": ("C", "D")}),
+]
+
+
+@pytest.mark.parametrize("text,schema", RING_TEST_QUERIES, ids=[t for t, _ in RING_TEST_QUERIES])
+def test_generated_backend_respects_fraction_ring(text, schema):
+    from repro.algebra.semirings import RATIONAL_FIELD
+
+    program = compile_query(parse(text), schema, name="q")
+    generated = generate_python(program, ring=RATIONAL_FIELD)
+    interpreter = TriggerRuntime(program, ring=RATIONAL_FIELD)
+    maps = fresh_maps(program)
+    stream = StreamGenerator(schema, seed=7, default_domain_size=5).generate(150)
+    for update in stream:
+        interpreter.apply(update)
+        generated.apply(maps, update.relation, update.sign, update.values)
+    for name in program.maps:
+        assert maps[name] == dict(interpreter.maps[name]), name
+    # The generic module routes arithmetic through the ring object.
+    assert "_RING" in generated.source
+
+
+def test_generated_backend_counts_ring_operations():
+    """A CountingSemiring must not be short-circuited to native arithmetic."""
+    from repro.compiler.cost import CountingSemiring
+
+    counting = CountingSemiring()
+    program = compile_query(parse("Sum(R(x) * R(y) * (x = y))"), UNARY_SCHEMA, name="q")
+    generated = generate_python(program, ring=counting)
+    maps = fresh_maps(program)
+    generated.apply(maps, "R", 1, (3,))
+    generated.apply(maps, "R", 1, (3,))
+    assert counting.counter.total > 0
+
+
+def test_generated_backend_rejects_proper_semirings():
+    from repro.algebra.semirings import BOOLEAN_SEMIRING, MIN_PLUS, NATURAL_SEMIRING
+
+    program = compile_query(parse("Sum(R(x))"), UNARY_SCHEMA, name="q")
+    for semiring in (BOOLEAN_SEMIRING, NATURAL_SEMIRING, MIN_PLUS):
+        with pytest.raises(CompilationError):
+            generate_python(program, ring=semiring)
+
+
+def test_recursive_engine_generated_backend_uses_ring():
+    """End-to-end: RecursiveIVM(ring=Q, backend=generated) matches interpreted."""
+    from fractions import Fraction
+
+    from repro.algebra.semirings import RATIONAL_FIELD
+    from repro.ivm.recursive import RecursiveIVM
+
+    schema = {"R": ("A",)}
+    query = parse("Sum(R(x) * x)")
+    interpreted = RecursiveIVM(query, schema, ring=RATIONAL_FIELD, backend="interpreted")
+    generated = RecursiveIVM(query, schema, ring=RATIONAL_FIELD, backend="generated")
+    domain = [Fraction(1, 3), Fraction(2, 7), Fraction(5, 2)]
+    generator = StreamGenerator(schema, domains={"A": domain}, seed=11)
+    for update in generator.generate(120):
+        interpreted.apply(update)
+        generated.apply(update)
+    expected = sum((value for (value,) in generator.live_tuples("R")), Fraction(0))
+    assert interpreted.result() == expected
+    assert generated.result() == expected
+
+
+def test_recursive_engine_generated_backend_rejects_semiring():
+    from repro.algebra.semirings import BOOLEAN_SEMIRING
+    from repro.ivm.recursive import RecursiveIVM
+
+    with pytest.raises(CompilationError):
+        RecursiveIVM(parse("Sum(R(x))"), UNARY_SCHEMA, ring=BOOLEAN_SEMIRING, backend="generated")
+
+
+def test_generated_backend_reports_work_counters():
+    """Regression: generated triggers used to leave statements/entries at 0."""
+    from repro.ivm.recursive import RecursiveIVM
+
+    query = parse("Sum(R(x) * R(y) * (x = y))")
+    interpreted = RecursiveIVM(query, UNARY_SCHEMA, backend="interpreted")
+    generated = RecursiveIVM(query, UNARY_SCHEMA, backend="generated")
+    stream = StreamGenerator(UNARY_SCHEMA, seed=23, default_domain_size=5).generate(80)
+    for update in stream:
+        interpreted.apply(update)
+        generated.apply(update)
+    lhs = interpreted.runtime.statistics
+    rhs = generated.runtime.statistics
+    assert rhs.statements_executed > 0
+    assert rhs.entries_updated > 0
+    assert rhs.updates_processed == lhs.updates_processed
+    assert rhs.statements_executed == lhs.statements_executed
+    assert rhs.entries_updated == lhs.entries_updated

@@ -1,0 +1,126 @@
+"""Batched update application (`apply_batch`) and the classical group-var fix."""
+
+import pytest
+
+from repro.core.errors import UnboundVariableError
+from repro.core.parser import parse
+from repro.gmr.database import insert
+from repro.ivm.base import results_agree
+from repro.ivm.classical import ClassicalIVM
+from repro.ivm.naive import NaiveReevaluation
+from repro.ivm.recursive import RecursiveIVM
+from repro.workloads.streams import StreamGenerator, UpdateStream
+
+UNARY_SCHEMA = {"R": ("A",)}
+RST_SCHEMA = {"R": ("A", "B"), "S": ("C", "D"), "T": ("E", "F")}
+
+BATCH_QUERIES = [
+    ("Sum(R(x) * R(y) * (x = y))", UNARY_SCHEMA),
+    ("Sum(R(x) * x)", UNARY_SCHEMA),
+    ("AggSum([a], R(a, b) * S(b, d) * d)", {"R": ("A", "B"), "S": ("C", "D")}),
+    ("Sum(R(a, b) * S(c, d) * T(e, f) * (b = c) * (d = e) * a * f)", RST_SCHEMA),
+]
+
+ENGINE_FACTORIES = {
+    "recursive-interpreted": lambda q, s: RecursiveIVM(q, s, backend="interpreted"),
+    "recursive-generated": lambda q, s: RecursiveIVM(q, s, backend="generated"),
+    "classical": ClassicalIVM,
+    "naive": NaiveReevaluation,
+}
+
+
+@pytest.mark.parametrize("engine_name", list(ENGINE_FACTORIES))
+@pytest.mark.parametrize("text,schema", BATCH_QUERIES, ids=[t for t, _ in BATCH_QUERIES])
+def test_apply_batch_matches_sequential_application(engine_name, text, schema):
+    query = parse(text)
+    sequential = ENGINE_FACTORIES[engine_name](query, schema)
+    batched = ENGINE_FACTORIES[engine_name](query, schema)
+    stream = StreamGenerator(schema, seed=31, default_domain_size=4).generate(157)
+    sequential.apply_all(stream)
+    for batch in stream.batches(20):
+        batched.apply_batch(batch)
+    assert results_agree(sequential.result(), batched.result())
+    assert batched.statistics.updates_processed == len(stream)
+
+
+def test_apply_batch_batches_helper():
+    stream = UpdateStream([insert("R", value) for value in range(7)])
+    chunks = list(stream.batches(3))
+    assert [len(chunk) for chunk in chunks] == [3, 3, 1]
+    assert [update for chunk in chunks for update in chunk] == stream.updates
+    with pytest.raises(ValueError):
+        list(stream.batches(0))
+
+
+def test_apply_batch_empty_and_unknown_relation():
+    engine = RecursiveIVM(parse("Sum(R(x))"), {"R": ("A",), "S": ("B",)}, backend="generated")
+    engine.apply_batch([])
+    assert engine.result() == 0
+    engine.apply_batch([insert("S", 1), insert("R", 2), insert("S", 3)])
+    assert engine.result() == 1  # only the R insert counts
+
+
+def test_runtime_apply_batch_counts_statistics():
+    engine = RecursiveIVM(parse("Sum(R(x) * R(y) * (x = y))"), UNARY_SCHEMA, backend="interpreted")
+    stream = StreamGenerator(UNARY_SCHEMA, seed=2, default_domain_size=3).generate(40)
+    for batch in stream.batches(10):
+        engine.apply_batch(batch)
+    statistics = engine.runtime.statistics
+    assert statistics.updates_processed == 40
+    assert statistics.statements_executed > 0
+    assert statistics.entries_updated > 0
+
+
+def test_generated_apply_batch_counts_statistics():
+    engine = RecursiveIVM(parse("Sum(R(x) * R(y) * (x = y))"), UNARY_SCHEMA, backend="generated")
+    reference = RecursiveIVM(parse("Sum(R(x) * R(y) * (x = y))"), UNARY_SCHEMA, backend="interpreted")
+    stream = StreamGenerator(UNARY_SCHEMA, seed=2, default_domain_size=3).generate(40)
+    for batch in stream.batches(10):
+        engine.apply_batch(batch)
+        reference.apply_batch(batch)
+    assert engine.runtime.statistics.statements_executed == (
+        reference.runtime.statistics.statements_executed
+    )
+    assert engine.runtime.statistics.entries_updated == (
+        reference.runtime.statistics.entries_updated
+    )
+
+
+# ---------------------------------------------------------------------------
+# ClassicalIVM group-variable handling (regression: bare KeyError)
+# ---------------------------------------------------------------------------
+
+
+def test_classical_missing_group_variable_raises_typed_error():
+    """A delta increment that binds no group variable must not crash with a
+    bare ``KeyError``; it reports the unbound variable instead (and zero
+    increments are skipped entirely)."""
+    query = parse("AggSum([g], S(g, x))")
+    engine = ClassicalIVM(query, {"S": ("G", "B")})
+    # Simulate a delta query that produces a nonzero increment without
+    # binding g (a record on the nullary tuple): the old code raised
+    # KeyError('g') from the bindings lookup.
+    engine._delta_queries[("S", 1)] = (parse("(0 < 1)"), ("__d_S_0", "__d_S_1"))
+    with pytest.raises(UnboundVariableError):
+        engine.apply(insert("S", 1, 2))
+
+
+def test_classical_zero_increments_are_skipped_without_keys():
+    query = parse("AggSum([g], S(g, x))")
+    engine = ClassicalIVM(query, {"S": ("G", "B")})
+    # A delta that evaluates to the empty gmr: nothing to apply, no key needed.
+    engine._delta_queries[("S", 1)] = (parse("(1 < 0)"), ("__d_S_0", "__d_S_1"))
+    engine.apply(insert("S", 1, 2))
+    assert engine.result() == {}
+
+
+def test_classical_group_values_fall_back_to_update_bindings():
+    """Group variables named like the update arguments resolve via bindings."""
+    query = parse("AggSum([g], S(g, x))")
+    engine = ClassicalIVM(query, {"S": ("G", "B")})
+    reference = NaiveReevaluation(query, {"S": ("G", "B")})
+    stream = StreamGenerator({"S": ("G", "B")}, seed=5, default_domain_size=3).generate(60)
+    for update in stream:
+        engine.apply(update)
+        reference.apply(update)
+    assert results_agree(engine.result(), reference.result())
