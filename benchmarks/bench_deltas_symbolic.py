@@ -7,10 +7,9 @@ outputs are asserted exactly; the benchmark times the symbolic pipeline
 approach.
 """
 
-import pytest
 
 from repro.algebra.polynomials import square_polynomial
-from repro.core.ast import Compare, Const, Var
+from repro.core.ast import Compare, Const
 from repro.core.degree import degree
 from repro.core.delta import UpdateEvent, delta
 from repro.core.parser import parse

@@ -1,11 +1,12 @@
-"""Regenerate every experiment table of DESIGN.md (E1–E8) and print them.
+"""Regenerate the offline experiment tables (E1–E8) and print them.
 
-This is the offline companion of the pytest-benchmark files: it produces the
-qualitative tables (who wins, by what factor, where the paper's worked
-examples land) that EXPERIMENTS.md records.  Run with:
+This is the offline companion of the pytest-benchmark files under
+``benchmarks/`` (see the README's "Tests and benchmarks" section): it
+produces the qualitative tables — who wins, by what factor, where the
+paper's worked examples land — in one run.  Run with:
 
-    python benchmarks/run_experiments.py            # everything
-    python benchmarks/run_experiments.py E2 E4      # a subset
+    PYTHONPATH=src python benchmarks/run_experiments.py            # everything
+    PYTHONPATH=src python benchmarks/run_experiments.py E2 E4      # a subset
 """
 
 from __future__ import annotations

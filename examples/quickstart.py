@@ -1,12 +1,14 @@
-"""Quickstart: maintain an aggregate query incrementally with constant work per update.
+"""Quickstart: one Session, many incrementally maintained views.
 
 This walks through the Example 1.2 query of the paper —
 
     SELECT COUNT(*) FROM R r1, R r2 WHERE r1.A = r2.A
 
-— three ways: direct evaluation, classical first-order IVM, and the paper's
-recursive-delta scheme, and shows that all three agree while only the last
-one never touches the base relation after compilation.
+— first through the multi-view :class:`repro.Session` facade (the primary
+API: register views, stream updates, subscribe to change deltas), then
+through the three low-level engines to show that every maintenance strategy
+agrees while only the paper's recursive scheme never touches the base
+relation after compilation.
 
 Run with:  python examples/quickstart.py
 """
@@ -16,6 +18,7 @@ from repro import (
     Database,
     NaiveReevaluation,
     RecursiveIVM,
+    Session,
     delete,
     evaluate,
     insert,
@@ -23,10 +26,34 @@ from repro import (
 )
 from repro.gmr.records import Record
 
+QUERY_TEXT = "Sum(R(x) * R(y) * (x = y))"
 
-def main() -> None:
+
+def session_walkthrough() -> None:
+    print("=== The Session facade (primary API) ===")
+    session = Session({"R": ("A",)})
+    selfjoin = session.view("selfjoin", QUERY_TEXT)
+    count = session.view("count", "Sum(R(x))")
+
+    selfjoin.on_change(lambda changes: print(f"  selfjoin changed by {changes[()]:+d}"))
+
+    for update in [insert("R", "c"), insert("R", "c"), insert("R", "d"), delete("R", "d")]:
+        print(f"applying {update!r}:")
+        session.apply(update)
+        print(f"  results: {session.results()}")
+
+    snapshot = session.snapshot()
+    restored = Session.restore(snapshot)
+    print(
+        f"snapshot/restore round-trip: selfjoin={restored['selfjoin'].result()}, "
+        f"count={restored['count'].result()}\n"
+    )
+
+
+def engine_walkthrough() -> None:
+    print("=== The low-level engines ===")
     schema = {"R": ("A",)}
-    query = parse("Sum(R(x) * R(y) * (x = y))")
+    query = parse(QUERY_TEXT)
 
     # --- 1. Direct evaluation on a stored database --------------------------------
     db = Database(schema)
@@ -66,6 +93,11 @@ def main() -> None:
     print("\nGenerated trigger code (excerpt):")
     source = recursive.generated_source()
     print("\n".join(source.splitlines()[:20]))
+
+
+def main() -> None:
+    session_walkthrough()
+    engine_walkthrough()
 
 
 if __name__ == "__main__":

@@ -1,62 +1,84 @@
 """A streaming revenue dashboard over a TPC-H-flavoured sales schema.
 
-Two SQL aggregates — revenue per customer nation and order count per customer —
-are translated to AGCA, compiled to triggers, and maintained over a live stream
-of customers, orders, line items and order cancellations.  The dashboard never
-re-runs the joins: every update touches a constant number of map entries per
-maintained value.
+Four SQL aggregates — revenue per customer nation, revenue per customer,
+order count per customer and total revenue — are registered as views on one
+:class:`repro.Session` and maintained over a live stream of customers,
+orders, line items and order cancellations.  The dashboard never re-runs the
+joins: every update touches a constant number of map entries per maintained
+value, and because the views overlap, their compiled hierarchies *share*
+materialized maps (one shared map instead of one per view), which the
+sharing report at the end quantifies.  A change subscription streams
+per-nation revenue deltas as they happen.
 
 Run with:  python examples/sales_dashboard.py
 """
 
-from repro import RecursiveIVM, sql_to_agca
+from repro import Session
 from repro.analysis.reporting import Table
 from repro.workloads.schemas import SALES_SCHEMA
 from repro.workloads.tpch_like import SalesStreamGenerator
 
-REVENUE_SQL = (
-    "SELECT c.nation, SUM(l.price * l.qty) FROM Customer c, Orders o, Lineitem l "
-    "WHERE c.ck = o.ck AND o.ok = l.ok2 GROUP BY c.nation"
-)
-ORDER_COUNT_SQL = (
-    "SELECT c.ck, SUM(1) FROM Customer c, Orders o WHERE c.ck = o.ck GROUP BY c.ck"
-)
+DASHBOARD_SQL = {
+    "revenue": (
+        "SELECT c.nation, SUM(l.price * l.qty) FROM Customer c, Orders o, Lineitem l "
+        "WHERE c.ck = o.ck AND o.ok = l.ok2 GROUP BY c.nation"
+    ),
+    "revenue_by_customer": (
+        "SELECT c.ck, SUM(l.price * l.qty) FROM Customer c, Orders o, Lineitem l "
+        "WHERE c.ck = o.ck AND o.ok = l.ok2 GROUP BY c.ck"
+    ),
+    "orders": (
+        "SELECT c.ck, SUM(1) FROM Customer c, Orders o WHERE c.ck = o.ck GROUP BY c.ck"
+    ),
+    "total_revenue": (
+        "SELECT SUM(l.price * l.qty) FROM Customer c, Orders o, Lineitem l "
+        "WHERE c.ck = o.ck AND o.ok = l.ok2"
+    ),
+}
 
 
 def main() -> None:
-    revenue_query = sql_to_agca(REVENUE_SQL, SALES_SCHEMA)
-    order_count_query = sql_to_agca(ORDER_COUNT_SQL, SALES_SCHEMA)
+    session = Session(SALES_SCHEMA)
+    for name, sql in DASHBOARD_SQL.items():
+        session.view(name, sql)
 
-    revenue_view = RecursiveIVM(revenue_query, SALES_SCHEMA, backend="generated", map_name="revenue")
-    orders_view = RecursiveIVM(order_count_query, SALES_SCHEMA, backend="generated", map_name="orders")
+    # Change-data-capture: count per-nation revenue change events as they stream.
+    change_events = []
+    session["revenue"].on_change(lambda changes: change_events.append(len(changes)))
 
     generator = SalesStreamGenerator(customers=24, seed=42, order_cancel_fraction=0.2)
     stream = generator.generate(orders=400)
 
     checkpoint_every = len(stream) // 4
     for index, update in enumerate(stream, start=1):
-        revenue_view.apply(update)
-        orders_view.apply(update)
+        session.apply(update)
         if index % checkpoint_every == 0:
             print(f"\n=== after {index} updates ({update!r} was the last one) ===")
             table = Table(["nation", "revenue"], title="Revenue per nation")
-            for (nation,), value in sorted(revenue_view.result().items()):
+            for (nation,), value in sorted(session["revenue"].result().items()):
                 table.add_row(nation, value)
             print(table.render())
+            print(f"total revenue: {session['total_revenue'].result()}")
 
-    busiest = sorted(orders_view.result().items(), key=lambda item: -item[1])[:5]
+    busiest = sorted(session["orders"].result().items(), key=lambda item: -item[1])[:5]
     table = Table(["customer", "orders"], title="\nBusiest customers")
     for (customer,), count in busiest:
         table.add_row(customer, count)
     print(table.render())
 
+    report = session.sharing_report()
     print(
-        f"\nMaintained {revenue_view.total_map_entries()} revenue-view entries and "
-        f"{orders_view.total_map_entries()} order-count entries across "
-        f"{len(revenue_view.program.maps)} + {len(orders_view.program.maps)} materialized maps."
+        f"\nOne session, {report['views']} views, {report['maps']} materialized maps "
+        f"({report['maps_deduplicated']} definitions and "
+        f"{report['statements_deduplicated']} trigger statements deduplicated by sharing), "
+        f"{session.total_map_entries()} stored entries."
+    )
+    print(
+        f"The revenue view fired {len(change_events)} change events "
+        f"({sum(change_events)} per-nation deltas) over {len(stream)} updates."
     )
     print("The compiled revenue program:")
-    print(revenue_view.explain())
+    print(session.explain())
 
 
 if __name__ == "__main__":

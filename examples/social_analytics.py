@@ -12,8 +12,7 @@ Run with:  python examples/social_analytics.py
 import random
 
 from repro import (
-    NaiveReevaluation,
-    RecursiveIVM,
+    Session,
     UpdateEvent,
     degree,
     delta,
@@ -45,9 +44,12 @@ def show_symbolic_deltas() -> None:
 
 
 def run_churn_stream(members: int = 40, steps: int = 300, seed: int = 3) -> None:
-    query = parse(QUERY_TEXT)
-    incremental = RecursiveIVM(query, SCHEMA, backend="generated")
-    reference = NaiveReevaluation(query, SCHEMA)
+    # One session, two views of the same query on different backends: the
+    # paper's recursive scheme serves the analytics, naive re-evaluation
+    # cross-checks it on every update.
+    session = Session(SCHEMA)
+    incremental = session.view("same_nation", QUERY_TEXT)
+    reference = session.view("same_nation_check", QUERY_TEXT, backend="naive")
 
     rng = random.Random(seed)
     population = {}
@@ -61,8 +63,7 @@ def run_churn_stream(members: int = 40, steps: int = 300, seed: int = 3) -> None
             population[next_cid] = nation
             update = insert("C", next_cid, nation)
             next_cid += 1
-        incremental.apply(update)
-        reference.apply(update)
+        session.apply(update)
 
     assert incremental.result() == reference.result()
     by_nation = {}
@@ -76,11 +77,11 @@ def run_churn_stream(members: int = 40, steps: int = 300, seed: int = 3) -> None
             f"  {nation:<8} {len(members_of_nation):>3} customers; "
             f"maintained same-nation count for customer {sample}: {maintained}"
         )
-    spent = incremental.statistics.seconds_per_update() * 1e6
+    spent = session.statistics.seconds_per_update() * 1e6
     spent_reference = reference.statistics.seconds_per_update() * 1e6
     print(
-        f"\nPer-update time: recursive {spent:.1f} µs vs naive re-evaluation "
-        f"{spent_reference:.1f} µs on this stream."
+        f"\nPer-update time: the whole session (incl. the naive check) {spent:.1f} µs, "
+        f"of which naive re-evaluation alone {spent_reference:.1f} µs on this stream."
     )
 
 

@@ -1,9 +1,15 @@
 """repro — reproduction of "Incremental Query Evaluation in a Ring of Databases".
 
-Public API re-exports live here; see README.md for a quickstart.
+The primary public API is the multi-view :class:`Session` facade (one
+database, many materialized views, shared maps, change subscriptions); the
+engine classes (:class:`RecursiveIVM`, :class:`ClassicalIVM`,
+:class:`NaiveReevaluation`) remain available as the single-query low-level
+layer.  See README.md for a quickstart.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from repro.session import MapCatalog, MaterializedView, Session
 
 from repro.gmr import GMR, PGMR, Database, Record, Update, delete, insert
 from repro.core import (
@@ -31,16 +37,21 @@ from repro.core import (
 from repro.compiler import Compiler, TriggerRuntime, compile_query, generate_python
 from repro.ivm import (
     ClassicalIVM,
+    EngineStatistics,
     NaiveReevaluation,
     RecursiveIVM,
     cross_validate,
     measure_engines,
+    result_as_mapping,
     results_agree,
 )
 from repro.sql import sql_to_agca
 
 __all__ = [
     "__version__",
+    "Session",
+    "MaterializedView",
+    "MapCatalog",
     "GMR",
     "PGMR",
     "Database",
@@ -74,8 +85,10 @@ __all__ = [
     "RecursiveIVM",
     "ClassicalIVM",
     "NaiveReevaluation",
+    "EngineStatistics",
     "cross_validate",
     "measure_engines",
+    "result_as_mapping",
     "results_agree",
     "sql_to_agca",
 ]

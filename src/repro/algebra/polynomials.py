@@ -12,7 +12,7 @@ being maintained.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Sequence, Tuple, Union
+from typing import Any, Iterable, Sequence, Tuple, Union
 
 from repro.algebra.semirings import INTEGER_RING, Semiring
 

@@ -38,6 +38,13 @@ Three properties of the generated module matter for the paper's cost claims:
   equivalent to applying its updates one at a time (single-tuple updates over
   a ring commute).
 
+In addition, the generated functions thread an optional change-collection
+hook (``_CH``): a mapping from *watched* map names to accumulator dicts into
+which every fold also ring-adds its increments.  This powers the
+change-data-capture of ``on_change`` subscriptions (engine- and session-level)
+at zero cost when no subscriber is attached — the hook is ``None`` and every
+guard short-circuits.
+
 The generated module is also useful practically: it is considerably faster
 than interpreting trigger statements through the AGCA evaluator (see
 ``benchmarks/bench_update_cost_vs_size.py`` and
@@ -46,7 +53,7 @@ than interpreting trigger statements through the AGCA evaluator (see
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.algebra.semirings import FLOAT_FIELD, INTEGER_RING, Semiring
 from repro.compiler.indexes import IndexSpecs, SliceIndexes, compute_index_specs
@@ -71,7 +78,10 @@ from repro.core.simplify import order_for_safety
 _PYTHON_OPS = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
 
 #: Internal identifiers the name allocator must never hand out to AGCA variables.
-_RESERVED_NAMES = ("maps", "values", "values_list", "relation", "sign", "updates", "_new", "_fkey")
+_RESERVED_NAMES = (
+    "maps", "values", "values_list", "relation", "sign", "updates",
+    "_new", "_fkey", "_chm", "_CH", "_IDX",
+)
 
 
 class _NameAllocator:
@@ -241,10 +251,16 @@ class GeneratedTriggers:
         sign: int,
         values: Tuple[Any, ...],
         indexes: Optional[SliceIndexes] = None,
+        changes: Optional[Dict[str, Dict[Tuple[Any, ...], Any]]] = None,
     ) -> None:
-        """Run the generated trigger for one update event against the given maps."""
+        """Run the generated trigger for one update event against the given maps.
+
+        ``changes`` optionally maps watched map names to accumulators that
+        receive the per-key deltas this update causes in those maps (the
+        change-data-capture hook used by ``on_change`` subscriptions).
+        """
         data = self._index_data(maps, indexes)
-        self._apply_update(maps, relation, sign, tuple(values), data)
+        self._apply_update(maps, relation, sign, tuple(values), data, changes)
         self._note_own_counts(maps, data)
 
     def apply_batch(
@@ -252,16 +268,18 @@ class GeneratedTriggers:
         maps: Dict[str, Dict[Tuple[Any, ...], Any]],
         updates: Iterable[Any],
         indexes: Optional[SliceIndexes] = None,
+        changes: Optional[Dict[str, Dict[Tuple[Any, ...], Any]]] = None,
     ) -> None:
         """Apply a batch of updates, grouped by ``(relation, sign)``.
 
         Equivalent to applying the updates one at a time (single-tuple updates
         over a ring commute, so the per-group reordering is unobservable in
         the final map state), but dispatches once per group and hoists map
-        lookups out of the per-tuple loop.
+        lookups out of the per-tuple loop.  ``changes`` collects per-key deltas
+        of watched maps across the whole batch, as in :meth:`apply`.
         """
         data = self._index_data(maps, indexes)
-        self._apply_batch(maps, updates, data)
+        self._apply_batch(maps, updates, data, changes)
         self._note_own_counts(maps, data)
 
     def _index_data(self, maps, indexes: Optional[SliceIndexes]):
@@ -377,12 +395,12 @@ def generate_python(program: TriggerProgram, ring: Semiring = INTEGER_RING) -> G
     writer.emit("")
     writer.emit(f"_INDEX_SPECS = {specs!r}")
     writer.emit("")
-    writer.emit("def apply_update(maps, relation, sign, values, _IDX=None):")
+    writer.emit("def apply_update(maps, relation, sign, values, _IDX=None, _CH=None):")
     writer.emit("    _trigger = TRIGGERS.get((relation, sign))")
     writer.emit("    if _trigger is not None:")
-    writer.emit("        _trigger(maps, values, _IDX)")
+    writer.emit("        _trigger(maps, values, _IDX, _CH)")
     writer.emit("")
-    writer.emit("def apply_batch(maps, updates, _IDX=None):")
+    writer.emit("def apply_batch(maps, updates, _IDX=None, _CH=None):")
     writer.emit("    _groups = {}")
     writer.emit("    for _update in updates:")
     writer.emit("        _event = (_update.relation, _update.sign)")
@@ -394,7 +412,7 @@ def generate_python(program: TriggerProgram, ring: Semiring = INTEGER_RING) -> G
     writer.emit("    for _event, _values_list in _groups.items():")
     writer.emit("        _trigger = BATCH_TRIGGERS.get(_event)")
     writer.emit("        if _trigger is not None:")
-    writer.emit("            _trigger(maps, _values_list, _IDX)")
+    writer.emit("            _trigger(maps, _values_list, _IDX, _CH)")
     writer.emit("")
     context.emit_constant_definitions()
     source = "\n".join(writer.lines) + "\n"
@@ -434,14 +452,20 @@ def _emit_fold(context: _EmitContext) -> None:
     writer = context.writer
     zero = context.zero_literal()
     new_value = context.folded_add("_table.get(_key, " + zero + ")", "_delta")
+    change_value = context.folded_add("_chm.get(_key, " + zero + ")", "_delta")
     if context.native:
         is_zero = "_new == 0"
     else:
         is_zero = "_is_zero(_new)"
-    writer.emit("def _fold(_table, _acc, _name, _specs, _IDX):")
+    writer.emit("def _fold(_table, _acc, _name, _specs, _IDX, _CH=None):")
     writer.emit("    if not _acc:")
     writer.emit("        return")
     writer.emit('    _STATS["entries"] += len(_acc)')
+    writer.emit("    if _CH is not None:")
+    writer.emit("        _chm = _CH.get(_name)")
+    writer.emit("        if _chm is not None:")
+    writer.emit("            for _key, _delta in _acc.items():")
+    writer.emit(f"                _chm[_key] = {change_value}")
     writer.emit("    if _IDX is None or _specs is None:")
     writer.emit("        for _key, _delta in _acc.items():")
     writer.emit(f"            _new = {new_value}")
@@ -475,7 +499,7 @@ def _spec_literal(context: _EmitContext, map_name: str) -> str:
 def _generate_trigger(context: _EmitContext, trigger: Trigger) -> None:
     writer = context.writer
     names = _NameAllocator()
-    writer.emit(f"def {trigger.event_name}(maps, values, _IDX=None):")
+    writer.emit(f"def {trigger.event_name}(maps, values, _IDX=None, _CH=None):")
     writer.block()
     writer.emit(f'_STATS["statements"] += {len(trigger.statements)}')
     if trigger.argument_names:
@@ -499,7 +523,7 @@ def _generate_batch_trigger(context: _EmitContext, trigger: Trigger) -> None:
                 names.reserve(local)
                 table_locals[name] = local
                 touched.append(name)
-    writer.emit(f"def batch_{trigger.event_name}(maps, values_list, _IDX=None):")
+    writer.emit(f"def batch_{trigger.event_name}(maps, values_list, _IDX=None, _CH=None):")
     writer.block()
     writer.emit(f'_STATS["statements"] += {len(trigger.statements)} * len(values_list)')
     for name in touched:
@@ -558,7 +582,7 @@ def _generate_trigger_body(
         else:
             writer.emit(
                 f"_fold({table_ref(statement.target)}, {accumulator}, {statement.target!r}, "
-                f"{_spec_literal(context, statement.target)}, _IDX)"
+                f"{_spec_literal(context, statement.target)}, _IDX, _CH)"
             )
 
 
@@ -579,6 +603,11 @@ def _emit_scalar_fold(
         # Build the key tuple once for the read and the write.
         writer.emit(f"_fkey = {key_expression}")
         key_expression = "_fkey"
+    writer.emit("if _CH is not None:")
+    writer.emit(f"    _chm = _CH.get({statement.target!r})")
+    writer.emit("    if _chm is not None:")
+    change_read = f"_chm.get({key_expression}, {context.zero_literal()})"
+    writer.emit(f"        _chm[{key_expression}] = {context.folded_add(change_read, accumulator)}")
     writer.emit(f"_new = {context.folded_add(f'{table}.get({key_expression}, {context.zero_literal()})', accumulator)}")
     writer.emit('_STATS["entries"] += 1')
     if context.native:

@@ -27,14 +27,16 @@ supported by the direct evaluator, just not by this compiler).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.ast import (
     Add,
     AggSum,
+    Assign,
     Expr,
     MapRef,
     Rel,
+    Var,
     is_zero_literal,
     mul,
     walk,
@@ -318,3 +320,65 @@ def compile_query(
 ) -> TriggerProgram:
     """Convenience wrapper around :class:`Compiler`."""
     return Compiler(schema).compile(query, name=name, group_vars=group_vars)
+
+
+# ---------------------------------------------------------------------------
+# Cross-program structural identity (used by the multi-view map catalog)
+# ---------------------------------------------------------------------------
+
+
+def ordered_variables(expr: Expr) -> List[str]:
+    """All variable names of an expression in first-appearance (walk) order.
+
+    Unlike :func:`repro.core.variables.all_variables` (a set), the order is a
+    deterministic function of the expression structure, which makes it usable
+    for alpha-renaming into a canonical naming.
+    """
+    seen: List[str] = []
+    seen_set = set()
+
+    def note(name: str) -> None:
+        if name not in seen_set:
+            seen_set.add(name)
+            seen.append(name)
+
+    for node in walk(expr):
+        if isinstance(node, Rel):
+            for column in node.columns:
+                note(column)
+        elif isinstance(node, MapRef):
+            for key in node.key_vars:
+                note(key)
+        elif isinstance(node, AggSum):
+            for group_var in node.group_vars:
+                note(group_var)
+        elif isinstance(node, Var):
+            note(node.name)
+        elif isinstance(node, Assign):
+            note(node.var)
+    return seen
+
+
+def canonical_map_key(definition: MapDefinition) -> Tuple[Expr, Tuple[str, ...]]:
+    """The alpha-renamed identity of a map definition.
+
+    Key variables are renamed positionally to ``k0, k1, ...`` and every other
+    variable to ``v0, v1, ...`` in first-appearance order, so two map
+    definitions that differ only in variable naming produce the same key.
+    This is the cross-view generalization of the per-query deduplication the
+    compiler already performs in :meth:`Compiler._materialize_component`: the
+    multi-view :class:`repro.session.MapCatalog` uses it to share one
+    materialized map (and its triggers and slice indexes) between views whose
+    hierarchies contain structurally identical subviews.
+    """
+    renaming: Dict[str, str] = {
+        name: f"k{index}" for index, name in enumerate(definition.key_vars)
+    }
+    fresh = 0
+    for name in ordered_variables(definition.definition):
+        if name not in renaming:
+            renaming[name] = f"v{fresh}"
+            fresh += 1
+    canonical_expr = rename_variables(definition.definition, renaming)
+    canonical_keys = tuple(f"k{index}" for index in range(len(definition.key_vars)))
+    return canonical_expr, canonical_keys

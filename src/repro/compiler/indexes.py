@@ -26,7 +26,7 @@ sync inside their apply loops, so the two can even be mixed over one runtime.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, Mapping, Optional, Set, Tuple
 
 from repro.compiler.triggers import TriggerProgram
 from repro.core.ast import Assign, MapRef

@@ -8,7 +8,7 @@ its children, grandchildren, and so on — the view hierarchy of Section 1.1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Tuple
 
 from repro.core.ast import AggSum, Expr, relations_mentioned

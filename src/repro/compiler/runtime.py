@@ -21,6 +21,14 @@ which groups the batch by ``(relation, sign)`` and resolves each trigger once
 per group instead of once per tuple.  Single-tuple updates over a ring
 commute, so the per-group reordering leaves the final map state identical to
 one-at-a-time application.
+
+Both entry points accept an optional ``changes`` argument — a mapping from
+*watched* map names to accumulator dicts — used for change-data-capture: every
+increment folded into a watched map is also ring-added into its accumulator,
+so after the call each accumulator holds exactly the per-key delta the
+update (or batch) caused in that map.  This is how ``on_change`` subscriptions
+of :class:`repro.ivm.base.IVMEngine` and :class:`repro.session.Session` views
+observe result deltas without diffing map states.
 """
 
 from __future__ import annotations
@@ -58,13 +66,17 @@ class TriggerRuntime:
 
     # -- initialization -----------------------------------------------------------
 
-    def bootstrap(self, db: Database) -> None:
-        """Populate every map by evaluating its definition over an existing database.
+    def bootstrap(self, db: Database, names: Optional[Iterable[str]] = None) -> None:
+        """Populate maps by evaluating their definitions over an existing database.
 
         This is the "initial values" step of the paper; engines that start
-        from the empty database can skip it.
+        from the empty database can skip it.  ``names`` restricts the work to
+        a subset of maps (used when a new view joins an already-running
+        shared hierarchy); by default every map is (re)computed.
         """
-        for name, definition in self.program.maps.items():
+        targets = tuple(names) if names is not None else tuple(self.program.maps)
+        for name in targets:
+            definition = self.program.maps[name]
             query = AggSum(definition.key_vars, make_safe(definition.definition))
             result = evaluate(query, db)
             table: MapTable = {}
@@ -77,16 +89,22 @@ class TriggerRuntime:
 
     # -- update processing -----------------------------------------------------------
 
-    def apply(self, update: Update) -> None:
-        """Apply one single-tuple update to the whole view hierarchy."""
+    def apply(self, update: Update, changes: Optional[Dict[str, MapTable]] = None) -> None:
+        """Apply one single-tuple update to the whole view hierarchy.
+
+        ``changes`` optionally maps watched map names to accumulators that
+        receive the per-key deltas this update causes in those maps.
+        """
         self.statistics.updates_processed += 1
         trigger = self.program.trigger_for(update.relation, update.sign)
         if trigger is None:
             return
         self._check_arity(trigger, update)
-        self._apply_trigger(trigger, update.values)
+        self._apply_trigger(trigger, update.values, changes)
 
-    def apply_batch(self, updates: Iterable[Update]) -> None:
+    def apply_batch(
+        self, updates: Iterable[Update], changes: Optional[Dict[str, MapTable]] = None
+    ) -> None:
         """Apply a batch of single-tuple updates, grouped by ``(relation, sign)``.
 
         Each trigger is resolved once per group; every tuple's statements are
@@ -108,7 +126,7 @@ class TriggerRuntime:
             if trigger is None:
                 continue
             for values in values_list:
-                self._apply_trigger(trigger, values)
+                self._apply_trigger(trigger, values, changes)
 
     def _check_arity(self, trigger: Trigger, update: Update) -> None:
         if len(trigger.argument_names) != len(update.values):
@@ -116,7 +134,12 @@ class TriggerRuntime:
                 f"update {update!r} does not match the arity of relation {update.relation!r}"
             )
 
-    def _apply_trigger(self, trigger: Trigger, values: Tuple[Any, ...]) -> None:
+    def _apply_trigger(
+        self,
+        trigger: Trigger,
+        values: Tuple[Any, ...],
+        changes: Optional[Dict[str, MapTable]] = None,
+    ) -> None:
         bindings = Record.from_values(trigger.argument_names, values)
 
         # Evaluate every statement against the pre-update state ...
@@ -132,8 +155,11 @@ class TriggerRuntime:
         indexes = self.indexes
         for statement, increments in pending:
             table = self.maps[statement.target]
+            collector = None if changes is None else changes.get(statement.target)
             for record, value in increments.items():
                 key = record.values_for(statement.target_keys)
+                if collector is not None:
+                    collector[key] = self.ring.add(collector.get(key, self.ring.zero), value)
                 new_value = self.ring.add(table.get(key, self.ring.zero), value)
                 self.statistics.entries_updated += 1
                 if self.ring.is_zero(new_value):

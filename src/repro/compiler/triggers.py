@@ -11,8 +11,8 @@ what makes per-value maintenance work constant.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.core.ast import AggSum, Expr, MapRef, walk
 from repro.compiler.maps import MapDefinition

@@ -25,7 +25,7 @@ Expressions support Python operator overloading (``+``, ``-``, ``*``, unary
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Tuple, Union
 
 #: Comparison operator symbols accepted by :class:`Compare`.

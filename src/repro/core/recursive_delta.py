@@ -16,7 +16,6 @@ plus the polynomial instance used by Figure 1 of the paper.
 
 from __future__ import annotations
 
-from itertools import product as cartesian_product
 from typing import Any, Dict, Generic, Iterable, List, Protocol, Sequence, Tuple, TypeVar
 
 from repro.algebra.polynomials import Polynomial

@@ -20,19 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.ast import (
-    Add,
-    AggSum,
-    Assign,
-    Compare,
-    Const,
-    Expr,
-    MapRef,
-    Mul,
-    Neg,
-    Rel,
-    Var,
-)
+from repro.core.ast import AggSum, Assign, Compare, Const, Expr, MapRef, Mul, Neg, Rel, Var
 from repro.core.normalization import (
     Monomial,
     combine_like_terms,

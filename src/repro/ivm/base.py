@@ -20,10 +20,16 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.algebra.semirings import INTEGER_RING
 from repro.core.ast import AggSum, Expr
-from repro.gmr.database import Database, Update
+from repro.gmr.database import Update
+
+#: A change-data-capture payload: group-key tuple -> (non-zero) ring delta.
+Changes = Dict[Tuple[Any, ...], Any]
+#: Signature of an ``on_change`` subscriber.
+ChangeCallback = Callable[[Changes], None]
 
 
 @dataclass
@@ -46,10 +52,54 @@ class IVMEngine(ABC):
     #: Short identifier used in benchmark tables.
     name: str = "engine"
 
+    #: Coefficient structure; subclasses overwrite this in ``__init__``.
+    ring = INTEGER_RING
+
     def __init__(self, query: Expr, schema: Mapping[str, Sequence[str]]):
         self.query = query if isinstance(query, AggSum) else AggSum((), query)
         self.schema = {relation: tuple(columns) for relation, columns in schema.items()}
         self.statistics = EngineStatistics()
+        self._change_callbacks: List[ChangeCallback] = []
+        #: Per-key result deltas collected during ``_apply``/``_apply_batch``
+        #: when at least one subscriber is attached, ``None`` otherwise.
+        self._pending_changes: Optional[Changes] = None
+
+    # -- change-data-capture ---------------------------------------------------
+
+    def on_change(self, callback: ChangeCallback) -> ChangeCallback:
+        """Subscribe to result deltas.
+
+        ``callback`` is invoked once per :meth:`apply` / :meth:`apply_batch`
+        call that changed the result, with a mapping from group-key tuples to
+        the (non-zero) ring delta of each changed aggregate value; for
+        ungrouped queries the key is the empty tuple.  Callbacks run outside
+        the timed section and must not mutate the engine.  Returns the
+        callback so the method can be used as a decorator.
+        """
+        self._change_callbacks.append(callback)
+        return callback
+
+    def remove_on_change(self, callback: ChangeCallback) -> None:
+        """Unsubscribe a previously registered callback."""
+        self._change_callbacks.remove(callback)
+
+    def _dispatch_changes(self) -> None:
+        """Filter zero deltas out of the pending changes and notify subscribers."""
+        pending, self._pending_changes = self._pending_changes, None
+        if not pending:
+            return
+        changes = {key: value for key, value in pending.items() if not self.ring.is_zero(value)}
+        if not changes:
+            return
+        for callback in self._change_callbacks:
+            # Each subscriber gets its own copy: a callback that drains its
+            # payload must not corrupt what sibling subscribers receive.
+            callback(dict(changes))
+
+    def _record_change(self, key: Tuple[Any, ...], value: Any) -> None:
+        """Ring-add one delta into the pending changes (collection enabled)."""
+        pending = self._pending_changes
+        pending[key] = self.ring.add(pending.get(key, self.ring.zero), value)
 
     # -- the engine-specific parts ------------------------------------------------
 
@@ -76,10 +126,14 @@ class IVMEngine(ABC):
 
     def apply(self, update: Update) -> None:
         """Apply one single-tuple update, recording wall-clock time."""
+        if self._change_callbacks:
+            self._pending_changes = {}
         started = time.perf_counter()
         self._apply(update)
         self.statistics.seconds_in_updates += time.perf_counter() - started
         self.statistics.updates_processed += 1
+        if self._pending_changes is not None:
+            self._dispatch_changes()
 
     def apply_batch(self, updates: Iterable[Update]) -> None:
         """Apply a batch of single-tuple updates as one timed unit.
@@ -92,10 +146,14 @@ class IVMEngine(ABC):
         batch's updates are not observable.
         """
         updates = updates if isinstance(updates, (list, tuple)) else list(updates)
+        if self._change_callbacks:
+            self._pending_changes = {}
         started = time.perf_counter()
         self._apply_batch(updates)
         self.statistics.seconds_in_updates += time.perf_counter() - started
         self.statistics.updates_processed += len(updates)
+        if self._pending_changes is not None:
+            self._dispatch_changes()
 
     def apply_all(self, updates: Iterable[Update]) -> None:
         for update in updates:

@@ -69,6 +69,8 @@ class ClassicalIVM(IVMEngine):
                 # that do not bind every group-by variable.
                 continue
             key = tuple(self._group_value(name, record, bindings) for name in group_vars)
+            if self._pending_changes is not None:
+                self._record_change(key, value)
             new_value = self.ring.add(self._materialized.get(key, self.ring.zero), value)
             if self.ring.is_zero(new_value):
                 self._materialized.pop(key, None)

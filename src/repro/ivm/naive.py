@@ -32,15 +32,45 @@ class NaiveReevaluation(IVMEngine):
         self.db = db.copy()
         self._result = self._evaluate_full()
 
+    def on_change(self, callback):
+        """Subscribe to result deltas (requires a coefficient *ring*).
+
+        This engine captures changes by diffing the recomputed result against
+        the previous one, which needs subtraction; refusing the subscription
+        up front beats a ``TypeError`` halfway through a later update.
+        """
+        if not self.ring.is_ring:
+            raise TypeError(
+                f"change capture on the naive engine diffs results with subtraction, "
+                f"but {self.ring.name!r} is a proper semiring without additive inverses"
+            )
+        return super().on_change(callback)
+
     def _apply(self, update: Update) -> None:
         self.db.apply(update)
+        previous = self._result
         self._result = self._evaluate_full()
+        if self._pending_changes is not None:
+            self._diff_into_pending(previous, self._result)
 
     def _apply_batch(self, updates) -> None:
         """Apply the whole batch to the database, then re-evaluate once."""
         for update in updates:
             self.db.apply(update)
+        previous = self._result
         self._result = self._evaluate_full()
+        if self._pending_changes is not None:
+            self._diff_into_pending(previous, self._result)
+
+    def _diff_into_pending(self, previous, current) -> None:
+        """Change capture by diffing: the engine recomputes anyway, so the delta
+        is ``current - previous`` over the union of keys (requires a ring)."""
+        zero = self.ring.zero
+        for key in previous.keys() | current.keys():
+            before = previous.get(key, zero)
+            after = current.get(key, zero)
+            if before != after:
+                self._record_change(key, self.ring.sub(after, before))
 
     def result(self) -> Any:
         if not self.query.group_vars:

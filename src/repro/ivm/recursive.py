@@ -64,6 +64,17 @@ class RecursiveIVM(IVMEngine):
 
     # -- engine interface -----------------------------------------------------------------
 
+    def _change_hook(self):
+        """The runtime/codegen change-collection argument for this engine.
+
+        ``None`` unless an ``on_change`` subscriber is attached; otherwise the
+        result map is watched and its per-key deltas land directly in the
+        engine's pending-change accumulator.
+        """
+        if self._pending_changes is None:
+            return None
+        return {self.program.result_map: self._pending_changes}
+
     def _apply(self, update: Update) -> None:
         if self._generated is not None:
             self._generated.apply(
@@ -72,10 +83,11 @@ class RecursiveIVM(IVMEngine):
                 update.sign,
                 update.values,
                 indexes=self.runtime.indexes,
+                changes=self._change_hook(),
             )
             self._absorb_generated_statistics(1)
         else:
-            self.runtime.apply(update)
+            self.runtime.apply(update, changes=self._change_hook())
 
     def _apply_batch(self, updates) -> None:
         """Batched application: one dispatch per ``(relation, sign)`` group.
@@ -85,10 +97,13 @@ class RecursiveIVM(IVMEngine):
         per-tuple loop.
         """
         if self._generated is not None:
-            self._generated.apply_batch(self.runtime.maps, updates, indexes=self.runtime.indexes)
+            self._generated.apply_batch(
+                self.runtime.maps, updates, indexes=self.runtime.indexes,
+                changes=self._change_hook(),
+            )
             self._absorb_generated_statistics(len(updates))
         else:
-            self.runtime.apply_batch(updates)
+            self.runtime.apply_batch(updates, changes=self._change_hook())
 
     def _absorb_generated_statistics(self, update_count: int) -> None:
         """Fold the generated module's work counters into the runtime statistics."""

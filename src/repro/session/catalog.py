@@ -1,0 +1,245 @@
+"""Cross-view deduplication of materialized maps (the shared map catalog).
+
+The compiler already deduplicates structurally identical maps *within* one
+query (``Compiler._materialize_component`` canonicalizes each component's
+variable naming before materializing it).  The :class:`MapCatalog` lifts the
+same idea across queries: every map definition of every compiled view is
+keyed by its alpha-renamed identity
+(:func:`repro.compiler.compile.canonical_map_key`), and when two views'
+hierarchies contain the same subview the catalog keeps a single map — its
+triggers run once per update and its slice indexes are maintained once,
+instead of once per view.
+
+A view's *result* map participates too: registering the same query twice (a
+common dashboard pattern) makes the second view a zero-cost alias of the
+first, and a view whose whole query equals an auxiliary map of another view
+simply reads that map.
+
+The catalog accumulates the merged map set and trigger statements of all
+absorbed views and can emit them as one combined
+:class:`~repro.compiler.triggers.TriggerProgram`, executable by the ordinary
+:class:`~repro.compiler.runtime.TriggerRuntime` or the generated backend —
+the sharing is invisible to the execution layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.compiler.compile import canonical_map_key
+from repro.compiler.maps import MapDefinition
+from repro.compiler.triggers import Statement, Trigger, TriggerProgram
+from repro.core.ast import Add, AggSum, Assign, Compare, Expr, MapRef, Mul, Neg
+from repro.core.delta import UpdateEvent
+
+
+def rename_map_references(expr: Expr, renaming: Dict[str, str]) -> Expr:
+    """Rewrite map-reference *names* throughout an expression (keys unchanged)."""
+    if isinstance(expr, MapRef):
+        new_name = renaming.get(expr.name, expr.name)
+        return expr if new_name == expr.name else MapRef(new_name, expr.key_vars)
+    if isinstance(expr, Add):
+        return Add(tuple(rename_map_references(term, renaming) for term in expr.terms))
+    if isinstance(expr, Mul):
+        return Mul(tuple(rename_map_references(factor, renaming) for factor in expr.factors))
+    if isinstance(expr, Neg):
+        return Neg(rename_map_references(expr.expr, renaming))
+    if isinstance(expr, AggSum):
+        return AggSum(expr.group_vars, rename_map_references(expr.expr, renaming))
+    if isinstance(expr, Compare):
+        return Compare(
+            rename_map_references(expr.left, renaming),
+            expr.op,
+            rename_map_references(expr.right, renaming),
+        )
+    if isinstance(expr, Assign):
+        return Assign(expr.var, rename_map_references(expr.expr, renaming))
+    # Const, Var, Rel carry no map references.
+    return expr
+
+
+class MapCatalog:
+    """A deduplicating registry of materialized maps across compiled views.
+
+    Views are added with :meth:`absorb`; the current union program is
+    produced by :meth:`program`.  ``maps_deduplicated`` /
+    ``statements_deduplicated`` count how much maintenance work sharing
+    eliminated (each deduplicated statement would have run on every matching
+    update of every additional view).
+    """
+
+    def __init__(self, schema):
+        self.schema: Dict[str, Tuple[str, ...]] = {
+            name: tuple(columns) for name, columns in schema.items()
+        }
+        #: Shared map name -> definition (the union hierarchy).
+        self.maps: Dict[str, MapDefinition] = {}
+        #: Canonical (definition, keys) -> shared map name.
+        self._registry: Dict[Tuple[Expr, Tuple[str, ...]], str] = {}
+        #: Merged per-event statements, in absorption order.
+        self._statements: Dict[Tuple[str, int], List[Statement]] = {}
+        #: View name -> the shared map holding its result.
+        self.result_maps: Dict[str, str] = {}
+        #: How many map definitions were answered by an existing shared map.
+        self.maps_deduplicated = 0
+        #: How many trigger statements were dropped because their target map
+        #: is already maintained.
+        self.statements_deduplicated = 0
+
+    # -- transactional support -------------------------------------------------
+
+    def checkpoint(self):
+        """An opaque snapshot of the catalog's state (see :meth:`rollback`).
+
+        Registration into a running group is two steps — absorb into the
+        catalog, then rebuild the execution artifacts — and the second can
+        fail (e.g. the generated backend rejecting the coefficient ring).  The
+        group snapshots the catalog first and rolls back on failure, so a
+        failed registration never leaves orphaned maps that a later view
+        could silently deduplicate onto.
+        """
+        return (
+            dict(self._registry),
+            dict(self.maps),
+            {event: list(statements) for event, statements in self._statements.items()},
+            dict(self.result_maps),
+            self.maps_deduplicated,
+            self.statements_deduplicated,
+        )
+
+    def rollback(self, state) -> None:
+        """Restore the state captured by :meth:`checkpoint`."""
+        (
+            self._registry,
+            self.maps,
+            self._statements,
+            self.result_maps,
+            self.maps_deduplicated,
+            self.statements_deduplicated,
+        ) = (
+            dict(state[0]),
+            dict(state[1]),
+            {event: list(statements) for event, statements in state[2].items()},
+            dict(state[3]),
+            state[4],
+            state[5],
+        )
+
+    # -- registration ---------------------------------------------------------
+
+    def absorb(self, view_name: str, program: TriggerProgram) -> Tuple[str, Tuple[str, ...]]:
+        """Merge one compiled single-view program into the catalog.
+
+        Returns ``(result_map_name, newly_added_map_names)``; the result map
+        name differs from ``view_name`` exactly when the view's whole query
+        was deduplicated onto an existing shared map.
+        """
+        if view_name in self.result_maps:
+            raise ValueError(f"view {view_name!r} is already registered in this catalog")
+
+        # Stage the whole merge first, so a rejected registration leaves the
+        # catalog untouched (an orphaned registry entry would silently serve
+        # wrong results to any later view that deduplicates onto it).
+        renaming: Dict[str, str] = {}
+        added_maps: Dict[str, MapDefinition] = {}
+        added_registry: Dict[Tuple[Expr, Tuple[str, ...]], str] = {}
+        deduplicated = 0
+        ordered = sorted(program.maps.items(), key=lambda item: (item[1].level, item[0]))
+        for name, definition in ordered:
+            identity = canonical_map_key(definition)
+            shared = self._registry.get(identity) or added_registry.get(identity)
+            if shared is None:
+                if name in self.maps or name in added_maps:
+                    raise ValueError(
+                        f"map name {name!r} collides with a map of a previously "
+                        f"registered view; choose a different view name"
+                    )
+                added_registry[identity] = name
+                added_maps[name] = definition
+                renaming[name] = name
+            else:
+                deduplicated += 1
+                renaming[name] = shared
+
+        # Nothing below can fail: commit the staged maps, then the statements.
+        self._registry.update(added_registry)
+        self.maps.update(added_maps)
+        self.maps_deduplicated += deduplicated
+        new_names = list(added_maps)
+        new_set = set(new_names)
+        for (relation, sign), trigger in program.triggers.items():
+            bucket = self._statements.setdefault((relation, sign), [])
+            for statement in trigger.statements:
+                target = renaming[statement.target]
+                if target not in new_set:
+                    # The shared map is already maintained by the statements of
+                    # the view that first materialized it.
+                    self.statements_deduplicated += 1
+                    continue
+                bucket.append(
+                    Statement(
+                        target=target,
+                        target_keys=statement.target_keys,
+                        rhs=rename_map_references(statement.rhs, renaming),
+                    )
+                )
+
+        result_map = renaming[program.result_map]
+        self.result_maps[view_name] = result_map
+        return result_map, tuple(new_names)
+
+    # -- the combined program ------------------------------------------------
+
+    def program(self) -> TriggerProgram:
+        """The union of all absorbed views as one executable trigger program.
+
+        ``result_map`` is the first registered view's result map — the
+        combined program serves many views, so callers read each view's map
+        directly rather than through ``TriggerRuntime.result()``.
+        """
+        if not self.result_maps:
+            raise ValueError("the catalog has no registered views")
+        triggers: Dict[Tuple[str, int], Trigger] = {}
+        for (relation, sign), statements in self._statements.items():
+            ordered = tuple(
+                sorted(statements, key=lambda statement: self.maps[statement.target].level)
+            )
+            argument_names = UpdateEvent.symbolic(
+                sign, relation, len(self.schema[relation])
+            ).argument_names
+            triggers[(relation, sign)] = Trigger(
+                relation=relation,
+                sign=sign,
+                argument_names=argument_names,
+                statements=ordered,
+            )
+        anchor = next(iter(self.result_maps.values()))
+        return TriggerProgram(
+            result_map=anchor,
+            maps=dict(self.maps),
+            triggers=triggers,
+            schema=dict(self.schema),
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    def view_count(self) -> int:
+        return len(self.result_maps)
+
+    def map_count(self) -> int:
+        return len(self.maps)
+
+    def sharing_report(self) -> Dict[str, int]:
+        """Counters summarizing how much maintenance work sharing removed."""
+        return {
+            "views": len(self.result_maps),
+            "maps": len(self.maps),
+            "maps_deduplicated": self.maps_deduplicated,
+            "statements_deduplicated": self.statements_deduplicated,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MapCatalog(views={len(self.result_maps)}, maps={len(self.maps)}, "
+            f"deduplicated={self.maps_deduplicated})"
+        )

@@ -1,0 +1,521 @@
+"""The multi-view :class:`Session` facade: one database, many materialized views.
+
+This is the library's primary public API for the realistic serving scenario
+of the paper: a single update stream feeds many continuously maintained
+aggregate views.
+
+* Relations are declared once, on the session.
+* :meth:`Session.view` registers a query (SQL text, AGCA text, or an AGCA
+  ``Expr``) under a name and returns a
+  :class:`~repro.session.views.MaterializedView` handle.
+* :meth:`Session.insert` / :meth:`Session.delete` / :meth:`Session.apply_batch`
+  drive *all* registered views at once.
+
+Views on the compiled backends (``"generated"``, the default, and
+``"interpreted"``) share one map hierarchy per backend through a
+:class:`~repro.session.catalog.MapCatalog`: structurally identical map
+definitions produced by different views are maintained once per update, not
+once per view.  Views on the baseline backends (``"classical"``, ``"naive"``)
+get a standalone engine each — useful for cross-checking and measurement,
+exactly like the engines' standalone APIs.
+
+Sessions also support change-data-capture (``view.on_change(callback)``
+delivers per-update result deltas) and persistence
+(:meth:`Session.snapshot` / :meth:`Session.restore` serialize and revive the
+whole materializer state).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.algebra.semirings import BUILTIN_SEMIRINGS, INTEGER_RING, Semiring
+from repro.compiler.codegen import GeneratedTriggers, generate_python
+from repro.compiler.compile import compile_query
+from repro.compiler.cost import RuntimeStatistics
+from repro.compiler.runtime import TriggerRuntime
+from repro.core.ast import AggSum, Expr
+from repro.core.parser import parse, to_string
+from repro.gmr.database import Database, Update
+from repro.gmr.records import Record
+from repro.gmr.relation import GMR
+from repro.ivm.base import EngineStatistics
+from repro.ivm.classical import ClassicalIVM
+from repro.ivm.naive import NaiveReevaluation
+from repro.session.catalog import MapCatalog
+from repro.session.views import (
+    ALL_BACKENDS,
+    COMPILED_BACKENDS,
+    MaterializedView,
+)
+from repro.sql.frontend import is_sql, sql_to_agca
+
+#: Snapshot format tag; bump when the layout changes.
+SNAPSHOT_FORMAT = "repro-session/1"
+
+
+class _CompiledGroup:
+    """All views of one compiled backend flavor, sharing maps and triggers.
+
+    The group owns a :class:`MapCatalog` and one executable artifact built
+    from the catalog's combined program: a :class:`TriggerRuntime` (and, for
+    the generated flavor, a :class:`GeneratedTriggers` module over the same
+    map environment).  Registration rebuilds the artifacts; map *contents*
+    are carried over, so registering a view never disturbs already-maintained
+    state.
+    """
+
+    def __init__(self, schema: Mapping[str, Sequence[str]], ring: Semiring, backend: str):
+        self.backend = backend
+        self.ring = ring
+        self.catalog = MapCatalog(schema)
+        self.runtime: Optional[TriggerRuntime] = None
+        self.generated: Optional[GeneratedTriggers] = None
+        #: Persistent across rebuilds (a rebuild replaces the runtime object).
+        self.statistics = RuntimeStatistics()
+        #: Watched result-map name -> views with at least one subscriber.
+        self.watched: Dict[str, List[MaterializedView]] = {}
+
+    # -- registration -----------------------------------------------------------
+
+    def register(
+        self,
+        view_name: str,
+        query: AggSum,
+        bootstrap_source: Optional[Callable[[], Database]],
+    ) -> str:
+        """Compile ``query``, absorb it into the shared catalog, rebuild artifacts.
+
+        ``bootstrap_source`` lazily produces the session's replayed update
+        history when the view arrives mid-stream: newly materialized maps are
+        initialized from it, so the late view is immediately consistent with
+        the views registered before any updates flowed.  It is only invoked
+        when the registration actually materializes new maps — a view that
+        fully deduplicates onto existing maps (a duplicate dashboard panel)
+        never pays for the replay.
+
+        Registration is transactional: if rebuilding the execution artifacts
+        fails (code generation rejecting the ring, a bootstrap error), the
+        catalog and the runtime are restored to their pre-registration state
+        and the view name stays available.
+        """
+        program = compile_query(query, self.catalog.schema, name=view_name)
+        state = self.catalog.checkpoint()
+        previous_runtime, previous_generated = self.runtime, self.generated
+        result_map, new_maps = self.catalog.absorb(view_name, program)
+        try:
+            self._rebuild(new_maps, bootstrap_source)
+        except BaseException:
+            self.catalog.rollback(state)
+            self.runtime, self.generated = previous_runtime, previous_generated
+            raise
+        return result_map
+
+    def _rebuild(
+        self,
+        new_maps: Tuple[str, ...],
+        bootstrap_source: Optional[Callable[[], Database]],
+    ) -> None:
+        combined = self.catalog.program()
+        previous = self.runtime.maps if self.runtime is not None else {}
+        runtime = TriggerRuntime(combined, ring=self.ring)
+        runtime.statistics = self.statistics
+        for name in combined.maps:
+            if name in previous:
+                runtime.maps[name] = previous[name]
+        if bootstrap_source is not None and new_maps:
+            runtime.bootstrap(bootstrap_source(), names=new_maps)
+        else:
+            runtime.indexes.rebuild(runtime.maps)
+        self.runtime = runtime
+        self.generated = (
+            generate_python(combined, ring=self.ring) if self.backend == "generated" else None
+        )
+
+    # -- update processing ---------------------------------------------------------
+
+    def changes_accumulator(self) -> Optional[Dict[str, Dict[Tuple[Any, ...], Any]]]:
+        """Fresh per-watched-map accumulators, or ``None`` when nobody subscribed."""
+        if not self.watched:
+            return None
+        return {name: {} for name in self.watched}
+
+    def apply(self, update: Update, changes=None) -> None:
+        if self.generated is not None:
+            self.generated.apply(
+                self.runtime.maps,
+                update.relation,
+                update.sign,
+                update.values,
+                indexes=self.runtime.indexes,
+                changes=changes,
+            )
+            self._absorb_generated_statistics(1)
+        else:
+            self.runtime.apply(update, changes=changes)
+
+    def apply_batch(self, updates: Sequence[Update], changes=None) -> None:
+        if self.generated is not None:
+            self.generated.apply_batch(
+                self.runtime.maps, updates, indexes=self.runtime.indexes, changes=changes
+            )
+            self._absorb_generated_statistics(len(updates))
+        else:
+            self.runtime.apply_batch(updates, changes=changes)
+
+    def _absorb_generated_statistics(self, update_count: int) -> None:
+        statements, entries = self.generated.drain_statistics()
+        self.statistics.updates_processed += update_count
+        self.statistics.statements_executed += statements
+        self.statistics.entries_updated += entries
+
+    # -- introspection ------------------------------------------------------------
+
+    def total_map_entries(self) -> int:
+        return self.runtime.total_map_entries() if self.runtime is not None else 0
+
+    def map_sizes(self) -> Dict[str, int]:
+        return self.runtime.map_sizes() if self.runtime is not None else {}
+
+
+class Session:
+    """One update stream, many materialized views, shared maps.
+
+    Parameters
+    ----------
+    schema:
+        Relation name -> ordered column names, declared once for all views.
+    ring:
+        Coefficient structure for multiplicities and aggregates (default ℤ).
+    track_history:
+        When true (the default) the session keeps the applied update log,
+        which is what allows registering additional views *after* updates
+        have flowed (their maps are bootstrapped from the replayed history)
+        and makes snapshots self-contained.  Disable for long-running
+        fixed-view deployments where the log's memory is unwanted.
+    """
+
+    def __init__(
+        self,
+        schema: Mapping[str, Sequence[str]],
+        ring: Semiring = INTEGER_RING,
+        track_history: bool = True,
+    ):
+        self.schema: Dict[str, Tuple[str, ...]] = {
+            name: tuple(columns) for name, columns in schema.items()
+        }
+        self.ring = ring
+        self.statistics = EngineStatistics()
+        self._views: Dict[str, MaterializedView] = {}
+        self._groups: Dict[str, _CompiledGroup] = {}
+        self._engine_views: List[MaterializedView] = []
+        self._history: Optional[List[Update]] = [] if track_history else None
+        self._updates_applied = 0
+
+    # -- view registration -----------------------------------------------------
+
+    def view(
+        self,
+        name: str,
+        query,
+        backend: str = "generated",
+        group_vars: Optional[Sequence[str]] = None,
+    ) -> MaterializedView:
+        """Register a continuously maintained query and return its handle.
+
+        ``query`` may be SQL text (the subset of :mod:`repro.sql`), AGCA text
+        (``"Sum(R(x) * x)"`` / ``"AggSum([a], ...)"``) or an AGCA ``Expr``.
+        ``backend`` selects where maintenance runs: ``"generated"`` (default)
+        and ``"interpreted"`` share maps with the session's other compiled
+        views; ``"classical"`` and ``"naive"`` get a standalone baseline
+        engine.  Registering after updates have been applied requires
+        ``track_history=True`` — the new view is bootstrapped from the
+        replayed history.
+        """
+        if not isinstance(name, str) or not name:
+            raise ValueError("view name must be a non-empty string")
+        if name in self._views:
+            raise ValueError(f"view {name!r} is already registered")
+        if backend not in ALL_BACKENDS:
+            raise ValueError(f"backend must be one of {ALL_BACKENDS}, got {backend!r}")
+        query_expr = self._as_query(query, group_vars)
+
+        view = MaterializedView(self, name, query_expr, backend)
+        bootstrap_source = self._replayed_database if self._updates_applied else None
+        if backend in COMPILED_BACKENDS:
+            group = self._groups.get(backend)
+            if group is None:
+                # Commit the new group only after a successful registration, so
+                # a failed first view does not leave an empty group behind.
+                group = _CompiledGroup(self.schema, self.ring, backend)
+            view._group = group
+            view._map_name = group.register(name, query_expr, bootstrap_source)
+            self._groups[backend] = group
+        else:
+            engine_class = ClassicalIVM if backend == "classical" else NaiveReevaluation
+            engine = engine_class(query_expr, self.schema, ring=self.ring)
+            if bootstrap_source is not None:
+                engine.bootstrap(bootstrap_source())
+            view._engine = engine
+            self._engine_views.append(view)
+        self._views[name] = view
+        return view
+
+    def _as_query(self, query, group_vars: Optional[Sequence[str]]) -> AggSum:
+        if isinstance(query, str):
+            expr = sql_to_agca(query, self.schema) if is_sql(query) else parse(query)
+        elif isinstance(query, Expr):
+            expr = query
+        else:
+            raise TypeError(
+                f"query must be SQL text, AGCA text or an AGCA expression, got {type(query).__name__}"
+            )
+        if not isinstance(expr, AggSum):
+            return AggSum(tuple(group_vars or ()), expr)
+        if group_vars is not None and tuple(group_vars) != expr.group_vars:
+            raise ValueError("group_vars argument conflicts with the query's group variables")
+        return expr
+
+    def _replayed_database(self) -> Database:
+        if self._history is None:
+            raise RuntimeError(
+                "cannot register a view after updates on a session created with "
+                "track_history=False (the new view's maps cannot be bootstrapped)"
+            )
+        db = Database(schema=self.schema, ring=self.ring)
+        db.apply_all(self._history)
+        return db
+
+    # -- view access -------------------------------------------------------------
+
+    @property
+    def views(self) -> Dict[str, MaterializedView]:
+        """A copy of the registered views, keyed by name (registration order)."""
+        return dict(self._views)
+
+    def __getitem__(self, name: str) -> MaterializedView:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise KeyError(f"unknown view {name!r}; registered: {sorted(self._views)}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._views
+
+    def results(self) -> Dict[str, Any]:
+        """Every view's current result, keyed by view name."""
+        return {name: view.result() for name, view in self._views.items()}
+
+    # -- update processing ----------------------------------------------------------
+
+    def insert(self, relation: str, *values: Any) -> None:
+        """Insert one tuple; every registered view is maintained."""
+        self.apply(Update(1, relation, values))
+
+    def delete(self, relation: str, *values: Any) -> None:
+        """Delete one tuple; every registered view is maintained."""
+        self.apply(Update(-1, relation, values))
+
+    def apply(self, update: Update) -> None:
+        """Apply one single-tuple :class:`Update` to all views."""
+        started = time.perf_counter()
+        notifications = []
+        for group in self._groups.values():
+            changes = group.changes_accumulator()
+            group.apply(update, changes)
+            if changes:
+                notifications.append((group, changes))
+        for view in self._engine_views:
+            view._engine.apply(update)
+        self._note_applied([update], started)
+        self._dispatch(notifications)
+
+    def apply_batch(self, updates: Iterable[Update]) -> None:
+        """Apply a batch of updates to all views as one unit.
+
+        Equivalent to applying the updates one at a time (ring updates
+        commute) with per-batch amortized costs; ``on_change`` subscribers
+        receive one consolidated delta per view for the whole batch.
+        """
+        updates = updates if isinstance(updates, (list, tuple)) else list(updates)
+        started = time.perf_counter()
+        notifications = []
+        for group in self._groups.values():
+            changes = group.changes_accumulator()
+            group.apply_batch(updates, changes)
+            if changes:
+                notifications.append((group, changes))
+        for view in self._engine_views:
+            view._engine.apply_batch(updates)
+        self._note_applied(updates, started)
+        self._dispatch(notifications)
+
+    def apply_all(self, updates: Iterable[Update]) -> None:
+        """Apply a stream of updates one at a time."""
+        for update in updates:
+            self.apply(update)
+
+    def _note_applied(self, updates: Sequence[Update], started: float) -> None:
+        if self._history is not None:
+            self._history.extend(updates)
+        self._updates_applied += len(updates)
+        self.statistics.updates_processed += len(updates)
+        self.statistics.seconds_in_updates += time.perf_counter() - started
+
+    def _dispatch(self, notifications) -> None:
+        """Deliver collected per-map deltas to the subscribed views' callbacks."""
+        ring = self.ring
+        for group, changes in notifications:
+            for map_name, accumulated in changes.items():
+                filtered = {
+                    key: value for key, value in accumulated.items() if not ring.is_zero(value)
+                }
+                if not filtered:
+                    continue
+                for view in group.watched.get(map_name, ()):
+                    for callback in view._callbacks:
+                        # Each subscriber gets its own copy: a callback that
+                        # drains its payload must not corrupt its siblings'.
+                        callback(dict(filtered))
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def updates_applied(self) -> int:
+        return self._updates_applied
+
+    def total_map_entries(self) -> int:
+        """Stored entries across all compiled views' shared hierarchies."""
+        return sum(group.total_map_entries() for group in self._groups.values())
+
+    def map_sizes(self) -> Dict[str, int]:
+        """Entry counts per shared map across all compiled groups."""
+        sizes: Dict[str, int] = {}
+        for group in self._groups.values():
+            sizes.update(group.map_sizes())
+        return sizes
+
+    def sharing_report(self) -> Dict[str, int]:
+        """Aggregated :meth:`MapCatalog.sharing_report` over all compiled groups."""
+        totals = {"views": 0, "maps": 0, "maps_deduplicated": 0, "statements_deduplicated": 0}
+        for group in self._groups.values():
+            for key, value in group.catalog.sharing_report().items():
+                totals[key] += value
+        totals["views"] += len(self._engine_views)
+        return totals
+
+    def explain(self) -> str:
+        """The combined map hierarchies and triggers of the compiled groups."""
+        sections = []
+        for backend, group in self._groups.items():
+            sections.append(f"== backend {backend!r} ==\n{group.catalog.program().explain()}")
+        for view in self._engine_views:
+            sections.append(f"== view {view.name!r} on engine backend {view.backend!r} ==")
+        return "\n".join(sections) if sections else "(no views registered)"
+
+    # -- persistence -----------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serialize the whole materializer state as plain Python data.
+
+        The snapshot contains the schema, the ring *name*, every view's query
+        (as AGCA text), the shared map tables of the compiled groups, the
+        base databases of the engine-backed views, and (when history tracking
+        is on) the update log.  It is JSON-serializable whenever the data
+        values and ring values are.  Subscriptions (``on_change`` callbacks)
+        are not part of the state and must be re-attached after
+        :meth:`restore`.
+        """
+        views = [
+            {"name": view.name, "backend": view.backend, "query": to_string(view.query)}
+            for view in self._views.values()
+        ]
+        groups = {
+            backend: {
+                name: [[list(key), value] for key, value in table.items()]
+                for name, table in group.runtime.maps.items()
+            }
+            for backend, group in self._groups.items()
+            if group.runtime is not None
+        }
+        engines: Dict[str, Dict[str, list]] = {}
+        for view in self._engine_views:
+            db = view._engine.db
+            engines[view.name] = {
+                relation: [
+                    [list(record.values_for(db.columns(relation))), multiplicity]
+                    for record, multiplicity in gmr.items()
+                ]
+                for relation, gmr in db
+            }
+        snapshot: Dict[str, Any] = {
+            "format": SNAPSHOT_FORMAT,
+            "ring": self.ring.name,
+            "schema": {relation: list(columns) for relation, columns in self.schema.items()},
+            "updates_applied": self._updates_applied,
+            "views": views,
+            "maps": groups,
+            "engine_databases": engines,
+        }
+        if self._history is not None:
+            snapshot["history"] = [
+                [update.sign, update.relation, list(update.values)] for update in self._history
+            ]
+        return snapshot
+
+    @classmethod
+    def restore(cls, snapshot: Mapping[str, Any], ring: Optional[Semiring] = None) -> "Session":
+        """Revive a session from :meth:`snapshot` output.
+
+        The coefficient ring is looked up by name among the built-in
+        structures; pass ``ring=`` explicitly for custom structures (the
+        snapshot only records the name).
+        """
+        if snapshot.get("format") != SNAPSHOT_FORMAT:
+            raise ValueError(f"unsupported session snapshot format: {snapshot.get('format')!r}")
+        if ring is None:
+            ring = BUILTIN_SEMIRINGS.get(snapshot["ring"])
+            if ring is None:
+                raise ValueError(
+                    f"snapshot uses non-built-in ring {snapshot['ring']!r}; "
+                    f"pass the ring instance explicitly"
+                )
+        schema = {relation: tuple(columns) for relation, columns in snapshot["schema"].items()}
+        session = cls(schema, ring=ring, track_history="history" in snapshot)
+        for spec in snapshot["views"]:
+            session.view(spec["name"], parse(spec["query"]), backend=spec["backend"])
+
+        for backend, tables in snapshot["maps"].items():
+            group = session._groups[backend]
+            for name, entries in tables.items():
+                group.runtime.maps[name] = {tuple(key): value for key, value in entries}
+            group.runtime.indexes.rebuild(group.runtime.maps)
+        for view_name, relations in snapshot["engine_databases"].items():
+            engine = session._views[view_name]._engine
+            db = Database(schema=schema, ring=ring)
+            for relation, rows in relations.items():
+                columns = db.columns(relation)
+                contents = {
+                    Record.from_values(columns, tuple(values)): multiplicity
+                    for values, multiplicity in rows
+                }
+                db.set_relation(relation, GMR(contents, ring=ring))
+            engine.bootstrap(db)
+
+        session._updates_applied = snapshot["updates_applied"]
+        session.statistics.updates_processed = snapshot["updates_applied"]
+        if "history" in snapshot:
+            session._history = [
+                Update(sign, relation, tuple(values))
+                for sign, relation, values in snapshot["history"]
+            ]
+        return session
+
+    # -- dunder --------------------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"Session(relations={len(self.schema)}, views={len(self._views)}, "
+            f"updates={self._updates_applied}, entries={self.total_map_entries()})"
+        )

@@ -1,0 +1,132 @@
+"""Materialized-view handles returned by :meth:`repro.session.Session.view`.
+
+A :class:`MaterializedView` is a thin, stable facade over wherever the view's
+state actually lives: a shared map inside the session's compiled trigger
+runtime (``backend="generated"`` / ``"interpreted"``) or a standalone baseline
+engine (``backend="classical"`` / ``"naive"``).  Callers read results and
+subscribe to change-data-capture without knowing which.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.ast import AggSum
+from repro.ivm.base import ChangeCallback, EngineStatistics, IVMEngine, result_as_mapping
+
+#: Backends whose views are compiled into the session's shared map catalog.
+COMPILED_BACKENDS = ("generated", "interpreted")
+#: Backends backed by a standalone per-view engine.
+ENGINE_BACKENDS = ("classical", "naive")
+#: Everything :meth:`Session.view` accepts.
+ALL_BACKENDS = COMPILED_BACKENDS + ENGINE_BACKENDS
+
+
+class MaterializedView:
+    """One continuously maintained query result inside a :class:`Session`.
+
+    Attributes
+    ----------
+    name:
+        The view's unique name within its session.
+    query:
+        The AGCA ``AggSum`` the view maintains.
+    backend:
+        One of :data:`ALL_BACKENDS`.
+    """
+
+    def __init__(self, session, name: str, query: AggSum, backend: str):
+        self._session = session
+        self.name = name
+        self.query = query
+        self.backend = backend
+        # Exactly one of the two storage bindings is set by the session:
+        self._engine: Optional[IVMEngine] = None
+        self._group = None  # _CompiledGroup
+        self._map_name: Optional[str] = None
+        self._callbacks: List[ChangeCallback] = []
+
+    # -- results ---------------------------------------------------------------
+
+    @property
+    def group_vars(self) -> Tuple[str, ...]:
+        return self.query.group_vars
+
+    def result(self) -> Any:
+        """The current result: a scalar for ungrouped queries, else a dict."""
+        if self._engine is not None:
+            return self._engine.result()
+        table = self._group.runtime.maps[self._map_name]
+        if not self.group_vars:
+            return table.get((), self._session.ring.zero)
+        return dict(table)
+
+    def result_mapping(self) -> Dict[Tuple[Any, ...], Any]:
+        """The result as a ``{group-key tuple: value}`` mapping (scalars become ``{(): v}``)."""
+        return result_as_mapping(self.result())
+
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def statistics(self) -> EngineStatistics:
+        """Update counters for this view.
+
+        Views on an engine backend report their own engine's statistics;
+        compiled views are driven together through the shared runtime, so they
+        report the session-level statistics (their individual cost is not
+        separable — that inseparability is the point of map sharing).
+        """
+        if self._engine is not None:
+            return self._engine.statistics
+        return self._session.statistics
+
+    @property
+    def definition(self):
+        """The map definition holding this view's result (compiled backends only)."""
+        if self._group is None:
+            return None
+        return self._group.catalog.maps[self._map_name]
+
+    @property
+    def shares_storage(self) -> bool:
+        """True when this view's result map is an alias of another view's map."""
+        return self._map_name is not None and self._map_name != self.name
+
+    # -- change-data-capture -------------------------------------------------------
+
+    def on_change(self, callback: ChangeCallback) -> ChangeCallback:
+        """Subscribe to this view's result deltas.
+
+        ``callback(changes)`` fires once per ``Session.insert`` / ``delete`` /
+        ``apply`` / ``apply_batch`` call that changed this view's result, with
+        a mapping from group-key tuples to non-zero ring deltas (the empty
+        tuple keys ungrouped results).  Replaying the deltas over an earlier
+        :meth:`result_mapping` (ring-adding values, dropping keys that reach
+        zero) reconstructs the current result exactly.  Returns the callback,
+        so the method can be used as a decorator.
+        """
+        if self._engine is not None:
+            return self._engine.on_change(callback)
+        if not self._callbacks:
+            self._group.watched.setdefault(self._map_name, []).append(self)
+        self._callbacks.append(callback)
+        return callback
+
+    def remove_on_change(self, callback: ChangeCallback) -> None:
+        """Unsubscribe a previously registered callback."""
+        if self._engine is not None:
+            self._engine.remove_on_change(callback)
+            return
+        self._callbacks.remove(callback)
+        if not self._callbacks:
+            watchers = self._group.watched.get(self._map_name, [])
+            if self in watchers:
+                watchers.remove(self)
+            if not watchers:
+                self._group.watched.pop(self._map_name, None)
+
+    # -- dunder ---------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        shared = " (shared result map)" if self.shares_storage else ""
+        return f"<MaterializedView {self.name!r} backend={self.backend!r}{shared}>"

@@ -1,5 +1,5 @@
 """SQL(-subset) frontend: aggregate SELECT queries translated to AGCA (Section 5)."""
 
-from repro.sql.frontend import SQLQuery, sql_to_agca, translate
+from repro.sql.frontend import SQLQuery, is_sql, sql_to_agca, translate
 
-__all__ = ["SQLQuery", "sql_to_agca", "translate"]
+__all__ = ["SQLQuery", "is_sql", "sql_to_agca", "translate"]

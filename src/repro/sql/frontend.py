@@ -23,7 +23,7 @@ TPC-H-flavoured workloads and the test suite — not a full SQL implementation.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.ast import AggSum, Compare, Const, Expr, Mul, Rel, Var, mul
@@ -31,6 +31,19 @@ from repro.core.errors import ParseError
 
 _COMPARISON_PATTERN = re.compile(r"(!=|<=|>=|=|<|>)")
 _NUMBER_PATTERN = re.compile(r"^-?\d+(\.\d+)?$")
+_SQL_PATTERN = re.compile(r"^\s*select\b", re.IGNORECASE)
+
+
+def is_sql(text: str) -> bool:
+    """Cheap dialect sniff: does this query text look like SQL (vs AGCA)?
+
+    Used by :meth:`repro.session.Session.view` to route string queries: SQL
+    text goes through :func:`sql_to_agca`, everything else through the AGCA
+    parser.  A leading ``SELECT`` is the discriminator — AGCA text always
+    starts with an operator or atom (``Sum(...)``, ``AggSum([...], ...)``,
+    ``R(...)``, ...).
+    """
+    return bool(_SQL_PATTERN.match(text))
 
 
 @dataclass

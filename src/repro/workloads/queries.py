@@ -10,7 +10,7 @@ experiment index in DESIGN.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Tuple
 
 from repro.core.ast import AggSum, Expr
 from repro.core.parser import parse

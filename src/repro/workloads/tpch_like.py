@@ -14,8 +14,8 @@ value aggregation, deletions).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.gmr.database import Update, delete, insert
 from repro.workloads.schemas import SALES_SCHEMA

@@ -8,7 +8,7 @@ import pytest
 from hypothesis import strategies as st
 
 from repro.core.ast import AggSum, Compare, Const, Mul, Rel, Var
-from repro.gmr.database import Database, Update, delete, insert
+from repro.gmr.database import Database, delete, insert
 from repro.gmr.records import Record
 from repro.gmr.relation import GMR
 

@@ -2,7 +2,7 @@
 
 import pytest
 from fractions import Fraction
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.algebra.polynomials import Polynomial, square_polynomial

@@ -5,7 +5,7 @@ from hypothesis import strategies as st
 
 from repro.algebra.monoid_ring import MonoidRing
 from repro.algebra.properties import check_homomorphism, check_ideal, check_semiring_laws
-from repro.algebra.quotient import MutilatedMonoidRing, is_downward_closed, without_zero
+from repro.algebra.quotient import is_downward_closed, without_zero
 from repro.algebra.semirings import INTEGER_RING
 from repro.algebra.structures import FunctionMonoid, Monoid
 

@@ -9,7 +9,7 @@ from repro.core.ast import Rel
 from repro.core.errors import CompilationError
 from repro.core.parser import parse
 from repro.workloads.queries import CANONICAL_QUERIES
-from repro.workloads.schemas import CUSTOMER_SCHEMA, RST_SCHEMA, UNARY_SCHEMA
+from repro.workloads.schemas import UNARY_SCHEMA
 from repro.workloads.streams import StreamGenerator
 
 
@@ -20,11 +20,11 @@ def fresh_maps(program):
 def test_generated_module_shape():
     program = compile_query(parse("Sum(R(x) * R(y) * (x = y))"), UNARY_SCHEMA, name="q")
     generated = generate_python(program)
-    assert "def on_insert_R(maps, values, _IDX=None):" in generated.source
-    assert "def on_delete_R(maps, values, _IDX=None):" in generated.source
-    assert "def apply_update(maps, relation, sign, values, _IDX=None):" in generated.source
-    assert "def apply_batch(maps, updates, _IDX=None):" in generated.source
-    assert "def batch_on_insert_R(maps, values_list, _IDX=None):" in generated.source
+    assert "def on_insert_R(maps, values, _IDX=None, _CH=None):" in generated.source
+    assert "def on_delete_R(maps, values, _IDX=None, _CH=None):" in generated.source
+    assert "def apply_update(maps, relation, sign, values, _IDX=None, _CH=None):" in generated.source
+    assert "def apply_batch(maps, updates, _IDX=None, _CH=None):" in generated.source
+    assert "def batch_on_insert_R(maps, values_list, _IDX=None, _CH=None):" in generated.source
     assert set(generated.trigger_function_names()) == {"on_insert_R", "on_delete_R"}
     # The generated code never mentions joins, relations or the evaluator.
     assert "evaluate" not in generated.source
@@ -209,3 +209,19 @@ def test_generated_backend_reports_work_counters():
     assert rhs.updates_processed == lhs.updates_processed
     assert rhs.statements_executed == lhs.statements_executed
     assert rhs.entries_updated == lhs.entries_updated
+
+
+def test_reserved_runtime_identifiers_survive_as_query_variables():
+    """AGCA variables named like generated-code internals (_CH, _IDX, maps, ...)
+    must be renamed by the allocator, not shadow the runtime parameters."""
+    from repro.gmr.database import insert
+
+    schema = {"R": ("A", "B"), "S": ("C", "D")}
+    for variable in ("_CH", "_IDX", "maps", "values"):
+        query = parse(f"AggSum([{variable}], R({variable}, y) * S({variable}, z) * y * z)")
+        program = compile_query(query, schema, name="q")
+        generated = generate_python(program)
+        maps = fresh_maps(program)
+        generated.apply(maps, "S", 1, (1, 3))
+        generated.apply(maps, "R", 1, (1, 2))
+        assert maps["q"] == {(1,): 6}, variable

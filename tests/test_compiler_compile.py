@@ -3,7 +3,7 @@
 import pytest
 
 from repro.compiler.compile import Compiler, compile_query
-from repro.core.ast import AggSum, MapRef, Rel, walk
+from repro.core.ast import Rel, walk
 from repro.core.errors import CompilationError, SchemaError, UnsafeQueryError
 from repro.core.parser import parse
 from repro.workloads.schemas import CUSTOMER_SCHEMA, RST_SCHEMA, UNARY_SCHEMA

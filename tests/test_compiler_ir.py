@@ -2,7 +2,7 @@
 
 from repro.compiler.compile import compile_query
 from repro.compiler.maps import MapDefinition
-from repro.compiler.triggers import Statement, Trigger, TriggerProgram
+from repro.compiler.triggers import Statement, Trigger
 from repro.core.ast import MapRef, Mul, Var
 from repro.core.parser import parse
 from repro.workloads.schemas import CUSTOMER_SCHEMA, UNARY_SCHEMA

@@ -6,7 +6,7 @@ from repro.compiler.compile import compile_query
 from repro.compiler.runtime import TriggerRuntime
 from repro.core.parser import parse
 from repro.core.semantics import evaluate
-from repro.gmr.database import Database, delete, insert
+from repro.gmr.database import delete, insert
 from repro.gmr.records import EMPTY_RECORD
 from repro.workloads.schemas import CUSTOMER_SCHEMA, UNARY_SCHEMA
 

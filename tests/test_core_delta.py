@@ -11,7 +11,7 @@ from repro.core.parser import parse, to_string
 from repro.core.semantics import evaluate
 from repro.core.simplify import simplify
 from repro.gmr.database import Database, delete, insert
-from repro.gmr.records import EMPTY_RECORD, Record
+from repro.gmr.records import EMPTY_RECORD
 from tests.conftest import simple_unary_queries, unary_update_streams
 
 

@@ -1,6 +1,6 @@
 """Tests for monomial factorization into variable-connected components (Example 1.3)."""
 
-from repro.core.ast import Compare, Rel, Var
+from repro.core.ast import Compare, Rel
 from repro.core.delta import UpdateEvent, delta
 from repro.core.factorization import (
     Component,

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings
 
-from repro.core.ast import Add, AggSum, Const, Mul, Neg, Rel, Var
+from repro.core.ast import Add, AggSum, Const, Neg, Rel, Var
 from repro.core.normalization import (
     Monomial,
     combine_like_terms,

@@ -2,7 +2,7 @@
 
 from hypothesis import given, settings
 
-from repro.core.ast import Assign, Compare, Const, MapRef, Mul, Rel, Var
+from repro.core.ast import Assign, Compare, Const, MapRef, Rel, Var
 from repro.core.delta import UpdateEvent, delta
 from repro.core.parser import parse, to_string
 from repro.core.semantics import evaluate
@@ -16,7 +16,7 @@ from repro.core.simplify import (
 )
 from repro.core.normalization import Monomial
 from repro.gmr.database import Database
-from repro.gmr.records import EMPTY_RECORD, Record
+from repro.gmr.records import Record
 from tests.conftest import simple_unary_queries, unary_update_streams
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.ast import AggSum, Assign, Compare, Const, MapRef, Mul, Rel, Var
+from repro.core.ast import Assign, Compare, Const, MapRef, Rel, Var
 from repro.core.errors import UnsafeQueryError
 from repro.core.parser import parse
 from repro.core.variables import (

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 from repro.gmr.parametrized import PGMR
 from repro.gmr.records import EMPTY_RECORD, Record
 from repro.gmr.relation import GMR
-from tests.conftest import gmrs, records
+from tests.conftest import gmrs
 
 PROBES = [
     EMPTY_RECORD,

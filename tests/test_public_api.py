@@ -9,8 +9,29 @@ def test_version_and_all_exports_resolve():
         assert hasattr(repro, name), name
 
 
-def test_readme_quickstart_flow():
-    """The exact flow shown in the README quickstart."""
+def test_readme_session_quickstart_flow():
+    """The exact flow shown in the README "Session API" quickstart."""
+    session = repro.Session({"R": ("A", "B")})
+    total = session.view("total", "Sum(R(a, b) * b)")
+    per_a = session.view("per_a", "AggSum([a], R(a, b) * b)")
+
+    deltas = []
+    per_a.on_change(lambda changes: deltas.append(changes))
+
+    session.insert("R", 1, 10)
+    session.insert("R", 2, 5)
+    session.insert("R", 1, 3)
+    session.delete("R", 2, 5)
+    assert total.result() == 13
+    assert per_a.result() == {(1,): 13}
+    assert deltas == [{(1,): 10}, {(2,): 5}, {(1,): 3}, {(2,): -5}]
+
+    restored = repro.Session.restore(session.snapshot())
+    assert restored["total"].result() == 13
+
+
+def test_readme_engine_quickstart_flow():
+    """The exact flow shown in the README low-level engine quickstart."""
     schema = {"R": ("A",)}
     query = repro.parse("Sum(R(x) * R(y) * (x = y))")
 
@@ -22,6 +43,32 @@ def test_readme_quickstart_flow():
 
     engine.apply(repro.delete("R", "d"))
     assert engine.result() == 4
+
+
+def test_result_as_mapping_through_top_level_namespace():
+    assert repro.result_as_mapping(5) == {(): 5}
+    assert repro.result_as_mapping(0) == {}
+    assert repro.result_as_mapping({(1,): 2, (3,): 0}) == {(1,): 2}
+
+
+def test_engine_statistics_through_top_level_namespace():
+    statistics = repro.EngineStatistics()
+    assert statistics.updates_processed == 0
+    assert statistics.seconds_per_update() == 0.0
+
+    engine = repro.RecursiveIVM(repro.parse("Sum(R(x))"), {"R": ("A",)})
+    engine.apply(repro.insert("R", 1))
+    assert isinstance(engine.statistics, repro.EngineStatistics)
+    assert engine.statistics.updates_processed == 1
+    assert engine.statistics.seconds_per_update() >= 0.0
+
+
+def test_session_facade_exports():
+    assert repro.Session is not None
+    session = repro.Session({"R": ("A",)})
+    view = session.view("q", "Sum(R(x))")
+    assert isinstance(view, repro.MaterializedView)
+    assert isinstance(session._groups["generated"].catalog, repro.MapCatalog)
 
 
 def test_sql_frontend_through_top_level_namespace():

@@ -1,0 +1,501 @@
+"""Tests of the multi-view Session facade.
+
+Covers: agreement of a multi-view session with standalone single-query
+engines on randomized mixed insert/delete streams (for every backend), map
+sharing across views, change-data-capture subscriptions (replaying deltas
+reconstructs results), snapshot/restore, late view registration, and the
+query-input conveniences (SQL text, AGCA text, expressions).
+"""
+
+import random
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.core.parser import parse
+from repro.gmr.database import insert
+from repro.ivm.base import result_as_mapping
+from repro.ivm.classical import ClassicalIVM
+from repro.ivm.naive import NaiveReevaluation
+from repro.ivm.recursive import RecursiveIVM
+from repro.session import ALL_BACKENDS, MapCatalog, Session
+from repro.workloads.streams import StreamGenerator
+
+RS_SCHEMA = {"R": ("A", "B"), "S": ("C", "D")}
+
+STANDALONE_ENGINES = {
+    "generated": lambda query, schema: RecursiveIVM(query, schema, backend="generated"),
+    "interpreted": lambda query, schema: RecursiveIVM(query, schema, backend="interpreted"),
+    "classical": lambda query, schema: ClassicalIVM(query, schema),
+    "naive": lambda query, schema: NaiveReevaluation(query, schema),
+}
+
+#: A multi-view workload sharing the S-side subquery across three views.
+MULTIVIEW_QUERIES = {
+    "per_a": "AggSum([a], R(a, b) * S(b, d) * d)",
+    "total": "Sum(R(a, b) * S(b, d) * d)",
+    "per_a_again": "AggSum([a], R(a, b) * S(b, d) * d)",
+}
+
+
+def make_stream(length=200, seed=5, schema=RS_SCHEMA):
+    return StreamGenerator(
+        schema, seed=seed, default_domain_size=5, delete_fraction=0.3
+    ).generate(length)
+
+
+# ---------------------------------------------------------------------------
+# Basic facade behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_session_single_view_matches_engine():
+    session = Session({"R": ("A",)})
+    view = session.view("q", "Sum(R(x) * R(y) * (x = y))")
+    session.insert("R", "c")
+    session.insert("R", "c")
+    session.insert("R", "d")
+    assert view.result() == 5
+    session.delete("R", "d")
+    assert view.result() == 4
+    assert view.result_mapping() == {(): 4}
+    assert session.updates_applied == 4
+    assert session.statistics.updates_processed == 4
+
+
+def test_view_accepts_expr_text_and_sql():
+    schema = {"C": ("cid", "nation")}
+    expected = {(1,): 2, (2,): 2, (3,): 1}
+    text = "AggSum([c], C(c, n) * C(c2, n2) * (n = n2))"
+    sql = (
+        "SELECT C1.cid, SUM(1) FROM C C1, C C2 "
+        "WHERE C1.nation = C2.nation GROUP BY C1.cid"
+    )
+    session = Session(schema)
+    views = [
+        session.view("from_expr", parse(text)),
+        session.view("from_text", text),
+        session.view("from_sql", sql),
+    ]
+    for update in [insert("C", 1, "FR"), insert("C", 2, "FR"), insert("C", 3, "JP")]:
+        session.apply(update)
+    for view in views:
+        assert view.result() == expected
+
+
+def test_view_registration_errors():
+    session = Session({"R": ("A",)})
+    session.view("q", "Sum(R(x))")
+    with pytest.raises(ValueError):
+        session.view("q", "Sum(R(x))")  # duplicate name
+    with pytest.raises(ValueError):
+        session.view("other", "Sum(R(x))", backend="vectorized")  # unknown backend
+    with pytest.raises(ValueError):
+        session.view("", "Sum(R(x))")  # empty name
+    with pytest.raises(TypeError):
+        session.view("typed", 42)
+    with pytest.raises(ParseError):
+        session.view("bad_sql", "SELECT broken")
+    assert "q" in session
+    with pytest.raises(KeyError):
+        session["missing"]
+
+
+def test_results_and_views_accessors():
+    session = Session(RS_SCHEMA)
+    session.view("a", "Sum(R(a, b) * b)")
+    session.view("b", "Sum(S(c, d) * d)", backend="naive")
+    session.insert("R", 1, 10)
+    session.insert("S", 2, 5)
+    assert session.results() == {"a": 10, "b": 5}
+    assert set(session.views) == {"a", "b"}
+    assert session["a"].backend == "generated"
+
+
+# ---------------------------------------------------------------------------
+# The satellite property test: session vs standalone engines, every backend
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_multiview_session_agrees_with_standalone_engines(seed):
+    """One Session carrying a view per backend (plus shared compiled views)
+    must agree with standalone single-query engines fed the same randomized
+    mixed insert/delete stream, at every checkpoint."""
+    rng = random.Random(seed)
+    queries = {name: parse(text) for name, text in MULTIVIEW_QUERIES.items()}
+
+    session = Session(RS_SCHEMA)
+    views = {}
+    references = {}
+    for query_name, query in queries.items():
+        for backend in ALL_BACKENDS:
+            view_name = f"{query_name}_{backend}"
+            views[view_name] = session.view(view_name, query, backend=backend)
+            references[view_name] = STANDALONE_ENGINES[backend](query, RS_SCHEMA)
+
+    stream = make_stream(length=150, seed=seed * 31 + 1)
+    checkpoint = rng.randrange(10, 60)
+    for position, update in enumerate(stream, start=1):
+        session.apply(update)
+        for reference in references.values():
+            reference.apply(update)
+        if position % checkpoint == 0 or position == len(stream):
+            for view_name, view in views.items():
+                assert result_as_mapping(view.result()) == result_as_mapping(
+                    references[view_name].result()
+                ), f"{view_name} diverged after {position} updates"
+
+
+def test_multiview_session_batch_path_agrees(seed=3):
+    queries = {name: parse(text) for name, text in MULTIVIEW_QUERIES.items()}
+    session = Session(RS_SCHEMA)
+    batched = Session(RS_SCHEMA)
+    for query_name, query in queries.items():
+        for backend in ALL_BACKENDS:
+            session.view(f"{query_name}_{backend}", query, backend=backend)
+            batched.view(f"{query_name}_{backend}", query, backend=backend)
+    stream = make_stream(length=160, seed=seed)
+    session.apply_all(stream)
+    for batch in stream.batches(40):
+        batched.apply_batch(batch)
+    for name, view in session.views.items():
+        assert result_as_mapping(view.result()) == result_as_mapping(
+            batched[name].result()
+        ), name
+
+
+# ---------------------------------------------------------------------------
+# Map sharing
+# ---------------------------------------------------------------------------
+
+
+def test_identical_views_share_result_map():
+    session = Session(RS_SCHEMA)
+    first = session.view("first", "AggSum([a], R(a, b) * S(b, d) * d)")
+    duplicate = session.view("dup", "AggSum([a], R(a, b) * S(b, d) * d)")
+    assert not first.shares_storage
+    assert duplicate.shares_storage
+    report = session.sharing_report()
+    assert report["maps_deduplicated"] > 0
+    session.insert("R", 1, 2)
+    session.insert("S", 2, 7)
+    assert first.result() == duplicate.result() == {(1,): 7}
+
+
+def test_alpha_renamed_views_share_maps():
+    """Variable names must not defeat sharing (canonical alpha-renaming)."""
+    session = Session(RS_SCHEMA)
+    session.view("v1", "AggSum([a], R(a, b) * S(b, d) * d)")
+    before = session.sharing_report()["maps"]
+    session.view("v2", "AggSum([x], R(x, y) * S(y, z) * z)")
+    report = session.sharing_report()
+    assert report["maps"] == before  # nothing new materialized
+    assert session["v2"].shares_storage
+    session.insert("R", 4, 2)
+    session.insert("S", 2, 9)
+    assert session["v1"].result() == session["v2"].result() == {(4,): 9}
+
+
+def test_shared_views_use_fewer_maps_than_independent_engines():
+    queries = [parse(text) for text in MULTIVIEW_QUERIES.values()]
+    session = Session(RS_SCHEMA)
+    for index, query in enumerate(queries):
+        session.view(f"v{index}", query)
+    stream = make_stream(length=120, seed=11)
+    session.apply_all(stream)
+
+    engines = [RecursiveIVM(query, RS_SCHEMA, backend="generated") for query in queries]
+    for engine in engines:
+        engine.apply_all(stream)
+    independent_entries = sum(engine.total_map_entries() for engine in engines)
+    assert session.total_map_entries() < independent_entries
+    for index, engine in enumerate(engines):
+        assert result_as_mapping(session[f"v{index}"].result()) == result_as_mapping(
+            engine.result()
+        )
+
+
+def test_failed_registration_leaves_catalog_untouched():
+    """A rejected view must not orphan registry entries: a later view that
+    would deduplicate onto them has to get a correctly maintained map."""
+    session = Session(RS_SCHEMA)
+    session.view("a_m1", "AggSum([x], S(x, y) * y)")
+    # "a" would compile auxiliary maps named "a_m1", colliding with the view above.
+    with pytest.raises(ValueError):
+        session.view("a", "AggSum([x], R(x, y) * R(x, z) * y * z)")
+    retry = session.view("c", "AggSum([x], R(x, y) * R(x, z) * y * z)")
+    session.insert("R", 1, 2)
+    assert retry.result() == {(1,): 4}
+
+
+def test_duplicate_registration_skips_history_replay():
+    """Alias views are free: registering a duplicate after many updates must
+    not rebuild the replayed bootstrap database."""
+    session = Session(RS_SCHEMA)
+    session.view("orig", "AggSum([a], R(a, b) * S(b, d) * d)")
+    for index in range(50):
+        session.insert("R", index, index % 7)
+    calls = []
+    original = session._replayed_database
+
+    def counting_replay():
+        calls.append(1)
+        return original()
+
+    session._replayed_database = counting_replay
+    duplicate = session.view("dup", "AggSum([a], R(a, b) * S(b, d) * d)")
+    assert duplicate.shares_storage and calls == []
+    session.view("brand_new", "Sum(S(c, d) * d)")
+    assert calls == [1]  # a genuinely new map does bootstrap from history
+
+
+def test_failed_artifact_rebuild_rolls_back_the_catalog():
+    """When code generation rejects the ring *after* the catalog absorbed the
+    view, the registration must be rolled back completely: the name stays
+    usable, no empty group lingers, and later dedup targets stay maintained."""
+    from repro.algebra.semirings import BOOLEAN_SEMIRING
+    from repro.core.errors import CompilationError
+
+    session = Session({"R": ("A",)}, ring=BOOLEAN_SEMIRING)
+    session.view("v1", "Sum(R(x))", backend="interpreted")
+    session.insert("R", 1)
+    with pytest.raises(CompilationError):
+        session.view("v2", "Sum(R(x) * R(y) * (x = y))")  # generated backend, no ring
+    assert "generated" not in session._groups
+    retry = session.view("v2", "Sum(R(x) * R(y) * (x = y))", backend="interpreted")
+    alias = session.view("v3", "Sum(R(x) * R(y) * (x = y))", backend="interpreted")
+    session.insert("R", 2)
+    assert retry.result() is True
+    assert alias.shares_storage and alias.result() is True
+
+
+def test_naive_change_capture_refused_for_proper_semirings():
+    """Naive CDC diffs with subtraction; a proper semiring must be refused at
+    subscribe time, not fail halfway through a later update."""
+    from repro.algebra.semirings import BOOLEAN_SEMIRING
+
+    session = Session({"R": ("A",)}, ring=BOOLEAN_SEMIRING)
+    view = session.view("a", "Sum(R(x))", backend="naive")
+    with pytest.raises(TypeError):
+        view.on_change(lambda changes: None)
+    session.insert("R", 1)  # the engine keeps working normally
+    assert view.result() is True
+    assert session.updates_applied == 1
+
+
+def test_map_catalog_reports_and_rejects_duplicates():
+    from repro.compiler.compile import compile_query
+
+    catalog = MapCatalog(RS_SCHEMA)
+    program = compile_query(parse("Sum(R(a, b) * S(b, d) * d)"), RS_SCHEMA, name="v")
+    result_map, new_maps = catalog.absorb("v", program)
+    assert result_map == "v" and "v" in new_maps
+    with pytest.raises(ValueError):
+        catalog.absorb("v", program)
+    assert catalog.sharing_report()["views"] == 1
+    assert catalog.program().result_map == "v"
+
+
+# ---------------------------------------------------------------------------
+# Change-data-capture
+# ---------------------------------------------------------------------------
+
+
+def replay(changes_log, ring_zero=0):
+    accumulated = {}
+    for changes in changes_log:
+        for key, value in changes.items():
+            accumulated[key] = accumulated.get(key, ring_zero) + value
+    return {key: value for key, value in accumulated.items() if value != ring_zero}
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_on_change_deltas_replay_to_result(backend):
+    session = Session(RS_SCHEMA)
+    view = session.view("q", "AggSum([a], R(a, b) * S(b, d) * d)", backend=backend)
+    log = []
+    view.on_change(lambda changes: log.append(dict(changes)))
+    stream = make_stream(length=120, seed=23)
+    session.apply_all(stream)
+    assert replay(log) == view.result_mapping()
+    assert log, "the stream must have produced at least one change event"
+    for changes in log:
+        assert all(value != 0 for value in changes.values()), "deltas must be non-zero"
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_on_change_batch_delivers_one_consolidated_event(backend):
+    session = Session(RS_SCHEMA)
+    view = session.view("q", "Sum(R(a, b) * S(b, d) * d)", backend=backend)
+    events = []
+    view.on_change(lambda changes: events.append(dict(changes)))
+    session.apply_batch([insert("R", 1, 2), insert("S", 2, 10), insert("R", 3, 2)])
+    assert len(events) == 1
+    assert replay(events) == view.result_mapping()
+
+
+def test_on_change_not_fired_for_no_op_updates():
+    session = Session(RS_SCHEMA)
+    view = session.view("q", "Sum(R(a, b) * S(b, d) * d)")
+    events = []
+    view.on_change(lambda changes: events.append(changes))
+    session.insert("R", 1, 2)  # no matching S tuple: the result stays 0
+    assert events == []
+    session.insert("S", 2, 5)
+    assert len(events) == 1 and view.result() == 5
+
+
+def test_on_change_unsubscribe_and_shared_map_isolation():
+    session = Session(RS_SCHEMA)
+    first = session.view("first", "Sum(R(a, b) * b)")
+    duplicate = session.view("dup", "Sum(R(a, b) * b)")  # alias of the same map
+    first_events, dup_events = [], []
+    callback = first.on_change(lambda changes: first_events.append(changes))
+    duplicate.on_change(lambda changes: dup_events.append(changes))
+    session.insert("R", 1, 10)
+    assert len(first_events) == 1 and len(dup_events) == 1
+    first.remove_on_change(callback)
+    session.insert("R", 2, 20)
+    assert len(first_events) == 1 and len(dup_events) == 2
+
+
+def test_each_subscriber_gets_an_independent_changes_payload():
+    """A callback that drains its payload must not corrupt its siblings'."""
+    session = Session(RS_SCHEMA)
+    first = session.view("first", "Sum(R(a, b) * b)")
+    duplicate = session.view("dup", "Sum(R(a, b) * b)")  # alias of the same map
+    second_log = []
+    first.on_change(lambda changes: changes.clear())  # destructive consumer
+    duplicate.on_change(lambda changes: second_log.append(changes))
+    session.insert("R", 1, 10)
+    assert second_log == [{(): 10}]
+
+    # Same guarantee at the engine level.
+    engine = RecursiveIVM(parse("Sum(R(a, b) * b)"), RS_SCHEMA)
+    log = []
+    engine.on_change(lambda changes: changes.clear())
+    engine.on_change(lambda changes: log.append(changes))
+    engine.apply(insert("R", 1, 10))
+    assert log == [{(): 10}]
+
+
+def test_engine_level_on_change_matches_session_level():
+    """The low-level engines expose the same subscription API."""
+    query = parse("AggSum([a], R(a, b) * b)")
+    schema = {"R": ("A", "B")}
+    stream = make_stream(length=80, seed=9, schema=schema)
+    for factory in STANDALONE_ENGINES.values():
+        engine = factory(query, schema)
+        log = []
+        engine.on_change(lambda changes, log=log: log.append(dict(changes)))
+        engine.apply_all(stream)
+        assert replay(log) == result_as_mapping(engine.result()), engine.name
+
+
+# ---------------------------------------------------------------------------
+# Snapshot / restore
+# ---------------------------------------------------------------------------
+
+
+def test_snapshot_restore_round_trip_all_backends():
+    session = Session(RS_SCHEMA)
+    for backend in ALL_BACKENDS:
+        session.view(backend, "AggSum([a], R(a, b) * S(b, d) * d)", backend=backend)
+    stream = make_stream(length=100, seed=17)
+    session.apply_all(stream)
+
+    snapshot = session.snapshot()
+    restored = Session.restore(snapshot)
+    for backend in ALL_BACKENDS:
+        assert restored[backend].result() == session[backend].result(), backend
+
+    # The restored session keeps maintaining correctly.
+    more = make_stream(length=60, seed=18)
+    session.apply_all(more)
+    restored.apply_all(more)
+    for backend in ALL_BACKENDS:
+        assert restored[backend].result() == session[backend].result(), backend
+
+
+def test_snapshot_is_json_serializable_for_integer_ring():
+    import json
+
+    session = Session({"R": ("A",)})
+    session.view("q", "Sum(R(x) * R(y) * (x = y))")
+    session.view("qn", "Sum(R(x))", backend="naive")
+    for update in make_stream(length=50, seed=3, schema={"R": ("A",)}):
+        session.apply(update)
+    decoded = json.loads(json.dumps(session.snapshot()))
+    restored = Session.restore(decoded)
+    assert restored["q"].result() == session["q"].result()
+    assert restored["qn"].result() == session["qn"].result()
+
+
+def test_restore_rejects_unknown_format_and_ring():
+    session = Session({"R": ("A",)})
+    session.view("q", "Sum(R(x))")
+    snapshot = session.snapshot()
+    with pytest.raises(ValueError):
+        Session.restore({**snapshot, "format": "bogus/9"})
+    with pytest.raises(ValueError):
+        Session.restore({**snapshot, "ring": "martian"})
+
+
+def test_snapshot_plus_replayed_deltas_reproduce_final_result():
+    """The acceptance-criteria flow: snapshot mid-stream, subscribe, replay."""
+    session = Session(RS_SCHEMA)
+    view = session.view("q", "AggSum([a], R(a, b) * S(b, d) * d)")
+    stream = list(make_stream(length=140, seed=29))
+    for update in stream[:70]:
+        session.apply(update)
+    snapshot = session.snapshot()
+    deltas = []
+    view.on_change(lambda changes: deltas.append(dict(changes)))
+    for update in stream[70:]:
+        session.apply(update)
+
+    baseline = Session.restore(snapshot)["q"].result_mapping()
+    for changes in deltas:
+        for key, value in changes.items():
+            new_value = baseline.get(key, 0) + value
+            if new_value == 0:
+                baseline.pop(key, None)
+            else:
+                baseline[key] = new_value
+    assert baseline == view.result_mapping()
+
+
+# ---------------------------------------------------------------------------
+# Late registration
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_view_registered_mid_stream_is_bootstrapped(backend):
+    stream = list(make_stream(length=120, seed=37))
+    session = Session(RS_SCHEMA)
+    early = session.view("early", "AggSum([a], R(a, b) * S(b, d) * d)")
+    for update in stream[:60]:
+        session.apply(update)
+    late = session.view("late", "AggSum([a], R(a, b) * S(b, d) * d)", backend=backend)
+    assert late.result_mapping() == early.result_mapping()
+    for update in stream[60:]:
+        session.apply(update)
+    assert late.result_mapping() == early.result_mapping()
+
+
+def test_late_registration_requires_history():
+    session = Session({"R": ("A",)}, track_history=False)
+    session.view("q", "Sum(R(x))")
+    session.insert("R", 1)
+    with pytest.raises(RuntimeError):
+        session.view("late", "Sum(R(x) * x)")  # new maps -> needs the history
+    # A duplicate of an existing view needs no bootstrap, so it stays legal.
+    alias = session.view("alias", "Sum(R(x))")
+    assert alias.shares_storage and alias.result() == 1
+    # Before any update it is fine.
+    fresh = Session({"R": ("A",)}, track_history=False)
+    fresh.view("ok", "Sum(R(x))")
+    fresh.insert("R", 1)
+    assert fresh["ok"].result() == 1

@@ -5,7 +5,7 @@ import pytest
 from repro.gmr.database import Database
 from repro.workloads.queries import CANONICAL_QUERIES, CanonicalQuery, chain_count_query, query_by_name
 from repro.workloads.schemas import RST_SCHEMA, SALES_SCHEMA, UNARY_SCHEMA, chain_schema
-from repro.workloads.streams import StreamGenerator, UpdateStream, apply_stream, interleave
+from repro.workloads.streams import StreamGenerator, apply_stream, interleave
 from repro.workloads.tpch_like import NATIONS, SalesStreamGenerator
 
 
