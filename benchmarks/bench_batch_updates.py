@@ -33,8 +33,10 @@ from repro.ivm.recursive import RecursiveIVM
 from repro.workloads.schemas import UNARY_SCHEMA
 from repro.workloads.streams import StreamGenerator
 
+from conftest import SMOKE, smoke_scaled
+
 BATCH_SIZE = 100
-STREAM_LENGTH = 20_000
+STREAM_LENGTH = smoke_scaled(20_000, 2_000)
 
 QUERIES = {
     "count": parse("Sum(R(x))"),
@@ -106,6 +108,13 @@ def test_batched_at_least_twice_per_tuple_throughput(query_name):
         for _ in range(3)
     )
     speedup = per_tuple / batched
+    if SMOKE:
+        # The smoke configuration exists to catch breakage, not to measure:
+        # short streams are fixed-cost dominated and shared CI runners are
+        # noisy, so no throughput ratio is asserted here.  The 2x bar is
+        # checked at the full stream length.
+        assert batched > 0
+        return
     assert speedup >= 2.0, (
         f"batched application of {query_name!r} is only {speedup:.2f}x the "
         f"per-tuple loop (expected >= 2x at batch size {BATCH_SIZE})"

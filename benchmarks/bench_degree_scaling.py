@@ -13,8 +13,10 @@ from repro.ivm.recursive import RecursiveIVM
 from repro.workloads.queries import chain_count_query
 from repro.workloads.streams import StreamGenerator
 
-DEGREES = [1, 2, 3, 4]
-WARM_SIZE = 400
+from conftest import smoke_scaled
+
+DEGREES = smoke_scaled([1, 2, 3, 4], [1, 2])
+WARM_SIZE = smoke_scaled(400, 60)
 DOMAIN = 8
 
 

@@ -17,9 +17,11 @@ from repro.ivm.classical import ClassicalIVM
 from repro.workloads.schemas import RST_SCHEMA
 from repro.workloads.streams import StreamGenerator
 
+from conftest import smoke_scaled
+
 QUERY = parse("Sum(R(a, b) * S(c, d) * T(e, f) * (b = c) * (d = e) * a * f)")
 PROGRAM = compile_query(QUERY, RST_SCHEMA, name="q")
-DOMAINS = [50, 100, 200]
+DOMAINS = smoke_scaled([50, 100, 200], [50])
 
 
 def populate(runtime_or_engine, domain_size, inserts):

@@ -34,6 +34,8 @@ from repro.sql.frontend import sql_to_agca
 from repro.workloads.schemas import SALES_SCHEMA
 from repro.workloads.tpch_like import SalesStreamGenerator
 
+from conftest import smoke_scaled
+
 #: The dashboard: overlapping aggregates over one sales stream.  The last two
 #: entries are duplicate panels — a common dashboard pattern that a Session
 #: serves for free (the duplicate view aliases the existing result map).
@@ -63,7 +65,7 @@ DASHBOARD = {
     ),
 }
 
-ORDERS = 3_000
+ORDERS = smoke_scaled(3_000, 400)
 SMOKE_ORDERS = 400
 
 

@@ -15,8 +15,13 @@ from repro.ivm.recursive import RecursiveIVM
 from repro.workloads.queries import query_by_name
 from repro.workloads.tpch_like import SalesStreamGenerator
 
+from conftest import smoke_scaled
+
 REVENUE = query_by_name("revenue_per_nation")
-ORDERS = {"recursive": 300, "recursive-interpreted": 300, "classical": 120, "naive": 12}
+ORDERS = smoke_scaled(
+    {"recursive": 300, "recursive-interpreted": 300, "classical": 120, "naive": 12},
+    {"recursive": 60, "recursive-interpreted": 60, "classical": 30, "naive": 6},
+)
 
 ENGINE_FACTORIES = {
     "recursive": lambda: RecursiveIVM(REVENUE.expr, REVENUE.schema, backend="generated"),

@@ -29,13 +29,15 @@ from repro.ivm.recursive import RecursiveIVM
 from repro.workloads.schemas import UNARY_SCHEMA
 from repro.workloads.streams import StreamGenerator
 
+from conftest import smoke_scaled
+
 QUERY = parse("Sum(R(x) * R(y) * (x = y))")
-SIZES = [100, 400, 1600]
-MEASURED_UPDATES = 20
+SIZES = smoke_scaled([100, 400, 1600], [100])
+MEASURED_UPDATES = smoke_scaled(20, 5)
 
 CHAIN_SCHEMA = {"R": ("A", "B"), "S": ("C", "D"), "T": ("E", "F")}
 CHAIN_QUERY = parse("Sum(R(a, b) * S(c, d) * T(e, f) * (b = c) * (d = e) * a * f)")
-CHAIN_SIZES = [100, 400, 1600, 6400]
+CHAIN_SIZES = smoke_scaled([100, 400, 1600, 6400], [100])
 
 ENGINES = {
     "recursive": lambda: RecursiveIVM(QUERY, UNARY_SCHEMA, backend="generated"),

@@ -9,9 +9,22 @@ printed to stdout and also regenerated offline by
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.workloads.streams import StreamGenerator
+
+#: Smoke mode (set REPRO_BENCH_SMOKE=1): every benchmark shrinks to its
+#: smallest configuration.  CI runs the whole directory this way so that
+#: compile-time breakage in benchmark code is caught pre-merge without paying
+#: for full-size measurements.
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+
+def smoke_scaled(full, smoke):
+    """Pick the full-size or the smoke-size configuration of a benchmark."""
+    return smoke if SMOKE else full
 
 
 def build_engine_with_warmup(engine_factory, query, schema, warmup_size, seed=0):

@@ -249,6 +249,15 @@ def experiment_e8(sizes=(100, 1000, 5000)) -> None:
     print(table.render())
 
 
+def experiment_e11() -> None:
+    _header("E11 nested aggregates: materialization hierarchy vs re-evaluation")
+    import bench_nested_aggregates
+
+    # The offline run uses the benchmark's smoke configuration — the full
+    # 10k-update measurement lives in bench_nested_aggregates.py itself.
+    bench_nested_aggregates.main(smoke=True)
+
+
 EXPERIMENTS = {
     "E1": experiment_e1,
     "E2": experiment_e2,
@@ -258,6 +267,7 @@ EXPERIMENTS = {
     "E6": experiment_e6,
     "E7": experiment_e7,
     "E8": experiment_e8,
+    "E11": experiment_e11,
 }
 
 

@@ -18,11 +18,12 @@ from repro.compiler.cost import CountingSemiring, OperationCounter, RuntimeStati
 from repro.compiler.indexes import IndexedMaps, SliceIndexes, compute_index_specs
 from repro.compiler.maps import MapDefinition
 from repro.compiler.runtime import TriggerRuntime
-from repro.compiler.triggers import Statement, Trigger, TriggerProgram
+from repro.compiler.triggers import RecomputeStatement, Statement, Trigger, TriggerProgram
 
 __all__ = [
     "Compiler",
     "compile_query",
+    "RecomputeStatement",
     "GeneratedTriggers",
     "generate_python",
     "CountingSemiring",

@@ -80,7 +80,7 @@ _PYTHON_OPS = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="
 #: Internal identifiers the name allocator must never hand out to AGCA variables.
 _RESERVED_NAMES = (
     "maps", "values", "values_list", "relation", "sign", "updates",
-    "_new", "_fkey", "_chm", "_CH", "_IDX",
+    "_new", "_fkey", "_chm", "_CH", "_IDX", "_TRK", "_sk", "_key", "_old",
 )
 
 
@@ -155,6 +155,11 @@ class _EmitContext:
         if self.native:
             return f"{left} + {right}"
         return f"_add({left}, {right})"
+
+    def folded_sub(self, left: str, right: str) -> str:
+        if self.native:
+            return f"{left} - {right}"
+        return f"_sub({left}, {right})"
 
     def nonzero_guard(self, expression: str) -> str:
         if self.native:
@@ -364,6 +369,7 @@ def generate_python(program: TriggerProgram, ring: Semiring = INTEGER_RING) -> G
     if not native:
         writer.emit("_ZERO = _RING.zero")
         writer.emit("_add = _RING.add")
+        writer.emit("_sub = _RING.sub")
         writer.emit("_mul = _RING.mul")
         writer.emit("_neg = _RING.neg")
         writer.emit("_coerce = _RING.coerce")
@@ -371,6 +377,8 @@ def generate_python(program: TriggerProgram, ring: Semiring = INTEGER_RING) -> G
     writer.emit("")
     _emit_index_helpers(writer)
     _emit_fold(context)
+    if any(trigger.recomputes for trigger in program.triggers.values()):
+        _emit_recompute_apply(context)
 
     dispatch_entries = []
     batch_entries = []
@@ -455,9 +463,11 @@ def _emit_fold(context: _EmitContext) -> None:
     change_value = context.folded_add("_chm.get(_key, " + zero + ")", "_delta")
     if context.native:
         is_zero = "_new == 0"
+        delta_nonzero = "_delta != 0"
     else:
         is_zero = "_is_zero(_new)"
-    writer.emit("def _fold(_table, _acc, _name, _specs, _IDX, _CH=None):")
+        delta_nonzero = "not _is_zero(_delta)"
+    writer.emit("def _fold(_table, _acc, _name, _specs, _IDX, _CH=None, _trk=None):")
     writer.emit("    if not _acc:")
     writer.emit("        return")
     writer.emit('    _STATS["entries"] += len(_acc)')
@@ -466,6 +476,10 @@ def _emit_fold(context: _EmitContext) -> None:
     writer.emit("        if _chm is not None:")
     writer.emit("            for _key, _delta in _acc.items():")
     writer.emit(f"                _chm[_key] = {change_value}")
+    writer.emit("    if _trk is not None:")
+    writer.emit("        for _key, _delta in _acc.items():")
+    writer.emit(f"            if {delta_nonzero}:")
+    writer.emit("                _trk.add(_key)")
     writer.emit("    if _IDX is None or _specs is None:")
     writer.emit("        for _key, _delta in _acc.items():")
     writer.emit(f"            _new = {new_value}")
@@ -486,6 +500,44 @@ def _emit_fold(context: _EmitContext) -> None:
     writer.emit("")
 
 
+def _emit_recompute_apply(context: _EmitContext) -> None:
+    """The per-entry diff fold used by recompute statements.
+
+    ``_new`` is the freshly re-evaluated value of one target entry; the helper
+    compares it with the stored value and, when they differ, maintains the
+    table, the slice indexes, the change-capture accumulator (with the
+    *difference*, so subscribers see deltas) and the tracked-change set read
+    by shallower recomputes of the same event.
+    """
+    writer = context.writer
+    zero = context.zero_literal()
+    delta = context.folded_sub("_new", "_old")
+    change_value = context.folded_add("_chm.get(_key, " + zero + ")", delta)
+    if context.native:
+        is_zero = "_new == 0"
+    else:
+        is_zero = "_is_zero(_new)"
+    writer.emit("def _rapply(_table, _key, _new, _name, _specs, _IDX, _CH, _trk):")
+    writer.emit(f"    _old = _table.get(_key, {zero})")
+    writer.emit("    if _new == _old:")
+    writer.emit("        return")
+    writer.emit('    _STATS["entries"] += 1')
+    writer.emit("    if _CH is not None:")
+    writer.emit("        _chm = _CH.get(_name)")
+    writer.emit("        if _chm is not None:")
+    writer.emit(f"            _chm[_key] = {change_value}")
+    writer.emit("    if _trk is not None:")
+    writer.emit("        _trk.add(_key)")
+    writer.emit(f"    if {is_zero}:")
+    writer.emit("        if _table.pop(_key, None) is not None and _IDX is not None and _specs is not None:")
+    writer.emit("            _index_discard(_IDX, _specs, _name, _key)")
+    writer.emit("    else:")
+    writer.emit("        if _key not in _table and _IDX is not None and _specs is not None:")
+    writer.emit("            _index_add(_IDX, _specs, _name, _key)")
+    writer.emit("        _table[_key] = _new")
+    writer.emit("")
+
+
 # ---------------------------------------------------------------------------
 # Trigger / statement generation
 # ---------------------------------------------------------------------------
@@ -496,46 +548,83 @@ def _spec_literal(context: _EmitContext, map_name: str) -> str:
     return repr(positions) if positions else "None"
 
 
+def _tracked_source_maps(trigger: Trigger) -> Tuple[str, ...]:
+    """Maps whose per-event changed keys the trigger's recomputes consume."""
+    names: Dict[str, None] = {}
+    for recompute in trigger.recomputes:
+        for source, _positions in recompute.source_projections or ():
+            names[source] = None
+    return tuple(names)
+
+
 def _generate_trigger(context: _EmitContext, trigger: Trigger) -> None:
     writer = context.writer
     names = _NameAllocator()
+    counter = [0]
+    tracked_maps = _tracked_source_maps(trigger)
     writer.emit(f"def {trigger.event_name}(maps, values, _IDX=None, _CH=None):")
     writer.block()
-    writer.emit(f'_STATS["statements"] += {len(trigger.statements)}')
+    writer.emit(f'_STATS["statements"] += {len(trigger.statements) + len(trigger.recomputes)}')
     if trigger.argument_names:
         unpack = ", ".join(names(argument) for argument in trigger.argument_names)
         trailing = "," if len(trigger.argument_names) == 1 else ""
         writer.emit(f"{unpack}{trailing} = values")
-    _generate_trigger_body(context, trigger, names, lambda name: f"maps[{name!r}]")
+    if tracked_maps:
+        writer.emit(f"_TRK = {{_n: set() for _n in {tracked_maps!r}}}")
+    table_ref = lambda name: f"maps[{name!r}]"  # noqa: E731
+    _generate_trigger_body(context, trigger, names, table_ref, tracked_maps, counter)
+    _generate_recomputes(context, trigger, names, table_ref, tracked_maps, counter)
     writer.dedent()
 
 
 def _generate_batch_trigger(context: _EmitContext, trigger: Trigger) -> None:
-    """A per-group trigger: table lookups hoisted, one dispatch per batch group."""
+    """A per-group trigger: table lookups hoisted, one dispatch per batch group.
+
+    Recompute statements run once per batch group, after every tuple's
+    ordinary statements have been folded — re-deriving an entry is a sync to
+    the current source state, so deferring it to the end of the group yields
+    the same final state as per-tuple recomputation (ordinary statements
+    never read a map that the same trigger recomputes).
+    """
     writer = context.writer
     names = _NameAllocator()
+    counter = [0]
+    tracked_maps = _tracked_source_maps(trigger)
     table_locals: Dict[str, str] = {}
     touched: List[str] = []
+    reads: List[str] = []
     for statement in trigger.statements:
-        for name in (statement.target,) + statement.maps_read():
-            if name not in table_locals:
-                local = f"_tbl{len(table_locals)}"
-                names.reserve(local)
-                table_locals[name] = local
-                touched.append(name)
+        reads.extend((statement.target,) + statement.maps_read())
+    for recompute in trigger.recomputes:
+        reads.extend((recompute.target,) + recompute.maps_read())
+    for name in reads:
+        if name not in table_locals:
+            local = f"_tbl{len(table_locals)}"
+            names.reserve(local)
+            table_locals[name] = local
+            touched.append(name)
     writer.emit(f"def batch_{trigger.event_name}(maps, values_list, _IDX=None, _CH=None):")
     writer.block()
-    writer.emit(f'_STATS["statements"] += {len(trigger.statements)} * len(values_list)')
+    writer.emit(
+        f'_STATS["statements"] += {len(trigger.statements)} * len(values_list)'
+        + (f" + {len(trigger.recomputes)}" if trigger.recomputes else "")
+    )
     for name in touched:
         writer.emit(f"{table_locals[name]} = maps[{name!r}]")
-    if trigger.argument_names:
-        unpack = ", ".join(names(argument) for argument in trigger.argument_names)
-        writer.emit(f"for ({unpack},) in values_list:")
-    else:
-        writer.emit("for values in values_list:")
-    writer.block()
-    _generate_trigger_body(context, trigger, names, lambda name: table_locals[name])
-    writer.dedent(2)
+    if tracked_maps:
+        writer.emit(f"_TRK = {{_n: set() for _n in {tracked_maps!r}}}")
+    table_ref = lambda name: table_locals[name]  # noqa: E731
+    if trigger.statements:
+        if trigger.argument_names:
+            unpack = ", ".join(names(argument) for argument in trigger.argument_names)
+            writer.emit(f"for ({unpack},) in values_list:")
+        else:
+            writer.emit("for values in values_list:")
+        writer.block()
+        _generate_trigger_body(context, trigger, names, table_ref, tracked_maps, counter)
+        writer.dedent()
+    _generate_recomputes(context, trigger, names, table_ref, tracked_maps, counter)
+    writer.dedent()
 
 
 def _generate_trigger_body(
@@ -543,6 +632,8 @@ def _generate_trigger_body(
     trigger: Trigger,
     names: _NameAllocator,
     table_ref,
+    tracked_maps: Tuple[str, ...] = (),
+    counter: Optional[List[int]] = None,
 ) -> None:
     """Emit statement evaluation into accumulators, then the fold steps.
 
@@ -553,14 +644,17 @@ def _generate_trigger_body(
     A statement whose target keys are all bound to trigger arguments produces
     exactly one key per update, so its accumulator degenerates to a scalar and
     its fold inlines to a single guarded table update (skipped when the target
-    map carries slice indexes, where the shared ``_fold`` handles maintenance).
+    map carries slice indexes or feeds a tracked recompute, where the shared
+    ``_fold`` handles maintenance).
     """
     writer = context.writer
-    counter = [0]
+    if counter is None:
+        counter = [0]
     argument_set = set(trigger.argument_names)
     scalar_flags = [
         set(statement.target_keys) <= argument_set
         and context.specs.get(statement.target) is None
+        and statement.target not in tracked_maps
         for statement in trigger.statements
     ]
     for index, statement in enumerate(trigger.statements):
@@ -580,9 +674,71 @@ def _generate_trigger_body(
             environment = {argument: names(argument) for argument in trigger.argument_names}
             _emit_scalar_fold(context, statement, environment, accumulator, table_ref)
         else:
+            trk = f", _TRK[{statement.target!r}]" if statement.target in tracked_maps else ""
             writer.emit(
                 f"_fold({table_ref(statement.target)}, {accumulator}, {statement.target!r}, "
-                f"{_spec_literal(context, statement.target)}, _IDX, _CH)"
+                f"{_spec_literal(context, statement.target)}, _IDX, _CH{trk})"
+            )
+
+
+def _generate_recomputes(
+    context: _EmitContext,
+    trigger: Trigger,
+    names: _NameAllocator,
+    table_ref,
+    tracked_maps: Tuple[str, ...],
+    counter: List[int],
+) -> None:
+    """Emit the re-evaluation loops over affected groups (nested aggregates).
+
+    Runs after every ordinary fold, so source maps hold post-update values
+    while each target still holds its pre-update value; recomputes are
+    ordered inner-hierarchy-first, and a recompute whose target feeds a
+    shallower one records its changed keys into ``_TRK`` like any source.
+    """
+    writer = context.writer
+    zero = context.zero_literal()
+    for rindex, recompute in enumerate(trigger.recomputes):
+        target_table = table_ref(recompute.target)
+        spec = _spec_literal(context, recompute.target)
+        trk_expr = f"_TRK[{recompute.target!r}]" if recompute.target in tracked_maps else "None"
+        statement = Statement(recompute.target, recompute.target_keys, recompute.body)
+        accumulator = f"_racc{rindex}"
+        names.reserve(accumulator)
+        if recompute.tracked:
+            affected = f"_raff{rindex}"
+            names.reserve(affected)
+            writer.emit(f"{affected} = set()")
+            for source, positions in recompute.source_projections:
+                projection = "(" + ", ".join(f"_sk[{p}]" for p in positions) + ",)"
+                writer.emit(f"for _sk in _TRK[{source!r}]:")
+                writer.emit(f"    {affected}.add({projection})")
+            group_key = f"_gk{rindex}"
+            names.reserve(group_key)
+            writer.emit(f"for {group_key} in {affected}:")
+            writer.block()
+            key_locals = [names(key) for key in recompute.target_keys]
+            unpack = ", ".join(key_locals) + ("," if len(key_locals) == 1 else "")
+            writer.emit(f"{unpack} = {group_key}")
+            writer.emit(f"{accumulator} = {zero}")
+            _generate_statement(
+                context, statement, recompute.target_keys, accumulator, names, counter,
+                table_ref, scalar=True,
+            )
+            writer.emit(
+                f"_rapply({target_table}, {group_key}, {accumulator}, "
+                f"{recompute.target!r}, {spec}, _IDX, _CH, {trk_expr})"
+            )
+            writer.dedent()
+        else:
+            writer.emit(f"{accumulator} = {{}}")
+            _generate_statement(
+                context, statement, (), accumulator, names, counter, table_ref, scalar=False,
+            )
+            writer.emit(f"for _key in set({accumulator}) | set({target_table}):")
+            writer.emit(
+                f"    _rapply({target_table}, _key, {accumulator}.get(_key, {zero}), "
+                f"{recompute.target!r}, {spec}, _IDX, _CH, {trk_expr})"
             )
 
 
@@ -634,7 +790,9 @@ def _generate_statement(
     for monomial in to_polynomial(statement.rhs):
         base_indent = writer.indent
         environment = {argument: names(argument) for argument in argument_names}
-        factors = order_for_safety(monomial.factors, bound_vars=argument_names)
+        factors = order_for_safety(
+            monomial.factors, bound_vars=argument_names, eager_assignments=True
+        )
         coefficient = monomial.coefficient
         value_terms: List[str] = []
         for factor in factors:
@@ -691,7 +849,7 @@ def _generate_factor(
 
     if isinstance(factor, Assign):
         target = factor.var
-        source = _value_expression(factor.expr, environment)
+        source = _value_expression(factor.expr, environment, context, table_ref)
         if target in environment:
             writer.emit(f"if {environment[target]} == {source}:")
             writer.block()
@@ -702,8 +860,8 @@ def _generate_factor(
         return coefficient
 
     if isinstance(factor, Compare):
-        left = _value_expression(factor.left, environment)
-        right = _value_expression(factor.right, environment)
+        left = _value_expression(factor.left, environment, context, table_ref)
+        right = _value_expression(factor.right, environment, context, table_ref)
         writer.emit(f"if {left} {_PYTHON_OPS[factor.op]} {right}:")
         writer.block()
         return coefficient
@@ -777,12 +935,20 @@ def _generate_factor(
 # ---------------------------------------------------------------------------
 
 
-def _value_expression(expr: Expr, environment: Dict[str, str]) -> str:
+def _value_expression(
+    expr: Expr,
+    environment: Dict[str, str],
+    context: Optional[_EmitContext] = None,
+    table_ref=None,
+) -> str:
     """A Python expression computing a data value from bound locals.
 
     Data-level arithmetic (inside conditions and assignments) is native Python
     in every coefficient structure — it mirrors ``evaluate_value`` in the
-    interpreted semantics, which also computes data values natively.
+    interpreted semantics, which also computes data values natively.  A map
+    reference in value position (an extracted nested aggregate consulted by a
+    condition) is a scalar lookup with the ring zero as the default — the
+    value its aggregate would have produced on an empty slice.
     """
     if isinstance(expr, Const):
         return repr(expr.value)
@@ -790,13 +956,25 @@ def _value_expression(expr: Expr, environment: Dict[str, str]) -> str:
         if expr.name not in environment:
             raise CompilationError(f"variable {expr.name!r} is not bound in generated code")
         return environment[expr.name]
+    if isinstance(expr, MapRef):
+        if context is None or table_ref is None:
+            raise CompilationError(
+                f"map reference {expr.name!r} in a value position without map access"
+            )
+        key = _key_tuple(expr.key_vars, environment)
+        return f"{table_ref(expr.name)}.get({key}, {context.zero_literal()})"
     if isinstance(expr, Neg):
-        return f"-({_value_expression(expr.expr, environment)})"
+        return f"-({_value_expression(expr.expr, environment, context, table_ref)})"
     if isinstance(expr, Add):
-        inner = " + ".join(_value_expression(term, environment) for term in expr.terms)
+        inner = " + ".join(
+            _value_expression(term, environment, context, table_ref) for term in expr.terms
+        )
         return f"({inner})"
     if isinstance(expr, Mul):
-        inner = " * ".join(_value_expression(factor, environment) for factor in expr.factors)
+        inner = " * ".join(
+            _value_expression(factor, environment, context, table_ref)
+            for factor in expr.factors
+        )
         return f"({inner})"
     raise CompilationError(f"cannot generate a value expression for {expr!r}")
 

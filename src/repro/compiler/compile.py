@@ -3,25 +3,38 @@
 Given an aggregate query ``AggSum(group_vars, body)`` over declared base
 relations, the compiler produces a :class:`~repro.compiler.triggers.TriggerProgram`:
 
-1. the query itself becomes the level-0 map;
-2. for every map ``M`` and every event kind ``±R(~u)`` the delta of ``M``'s
-   definition is taken symbolically (Section 6), simplified, and expanded into
-   monomials;
-3. each monomial is factorized into variable-connected components
-   (Example 1.3); components containing base relations are materialized as
-   child maps (deduplicated structurally) and replaced by map references, the
-   rest is kept inline as arithmetic over the update values;
-4. the per-monomial products are summed into one increment statement
-   ``M[keys] += rhs``;
-5. steps 2–4 recurse on the newly created maps.  Termination is guaranteed by
-   Theorem 6.4: the degree of each child map's definition is strictly smaller
-   than its parent's, and a definition of degree 0 contains no relation atoms,
-   so it creates no triggers and no children.
+1. every *nested* aggregate (an ``AggSum`` appearing inside the body — as a
+   factor, a condition operand, or an assignment source) is extracted into an
+   auxiliary map one level below its parent, keyed by its group-by variables
+   plus its correlation variables, and replaced by a map reference; this is
+   the materialization hierarchy of the paper's closure theorem (AGCA is
+   closed under deltas even for nested aggregates);
+2. the query itself becomes the level-0 map;
+3. for every map ``M`` and every event kind ``±R(~u)``:
 
-The compiler supports the class of queries for which the paper proves the
-constant-work result: non-nested aggregate queries with simple conditions.
-Nested aggregates are rejected with a :class:`CompilationError` (they are
-supported by the direct evaluator, just not by this compiler).
+   * when ``R`` cannot change any map that ``M``'s definition *reads*, the
+     delta of the definition is taken symbolically (Section 6), simplified,
+     expanded into monomials, factorized into variable-connected components
+     (Example 1.3) — relation-bearing components are materialized as child
+     maps, deduplicated structurally — and summed into one increment
+     statement ``M[keys] += rhs``;
+   * when ``R`` *can* change a map that ``M`` reads (a nested aggregate below
+     it), no closed-form increment exists — the delta of a condition
+     ``x < M'[k]`` is not linear in ``M'`` — and the compiler emits a
+     :class:`~repro.compiler.triggers.RecomputeStatement` instead: after the
+     inner hierarchy's own triggers have fired, the affected groups of ``M``
+     are re-evaluated from materialized maps only (every base-relation atom
+     of the definition is replaced by a *base-copy* map, itself maintained by
+     ordinary triggers) and the differences are folded in;
+
+4. steps 3 recurses on the newly created maps.  Termination is guaranteed by
+   Theorem 6.4 for the closed-form part (child degrees strictly decrease) and
+   by the finite nesting depth for the recompute part (each recompute's
+   sources lie strictly deeper in the hierarchy).
+
+Conditions may therefore contain aggregates of base relations, but not bare
+relation atoms (``R(x) > 0`` must be written ``Sum(R(x)) > 0``); map
+references never appear in user queries.
 """
 
 from __future__ import annotations
@@ -33,15 +46,18 @@ from repro.core.ast import (
     Add,
     AggSum,
     Assign,
+    Compare,
     Expr,
     MapRef,
+    Mul,
+    Neg,
     Rel,
     Var,
     is_zero_literal,
+    map_references,
     mul,
     walk,
 )
-from repro.core.degree import has_only_simple_conditions
 from repro.core.delta import UpdateEvent, delta
 from repro.core.errors import CompilationError, SchemaError
 from repro.core.factorization import Component, connected_components
@@ -54,8 +70,13 @@ from repro.core.normalization import (
 )
 from repro.core.simplify import make_safe, order_for_safety, rename_variables, simplify
 from repro.core.variables import all_variables, check_safety
-from repro.compiler.maps import MapDefinition
-from repro.compiler.triggers import Statement, Trigger, TriggerProgram
+from repro.compiler.maps import MapDefinition, dependency_depths
+from repro.compiler.triggers import (
+    RecomputeStatement,
+    Statement,
+    Trigger,
+    TriggerProgram,
+)
 
 
 class Compiler:
@@ -85,14 +106,22 @@ class Compiler:
         self._maps: Dict[str, MapDefinition] = {}
         self._registry: Dict[Tuple[Expr, Tuple[str, ...]], str] = {}
         self._statements: Dict[Tuple[str, int], List[Statement]] = defaultdict(list)
+        self._recomputes: Dict[Tuple[str, int], List[RecomputeStatement]] = defaultdict(list)
+        self._base_copies: Dict[str, str] = {}
+        self._trigger_relations_cache: Dict[str, frozenset] = {}
         self._counter = 0
         self._base_name = name
 
-        result_body = make_safe(simplify(body, needed_vars=set(keys) | all_variables(body)))
+        worklist: List[MapDefinition] = []
+        simplified = simplify(body, needed_vars=set(keys) | all_variables(body))
+        extracted = self._extract_nested(simplified, frozenset(keys), level=1, worklist=worklist)
+        result_body = make_safe(
+            simplify(extracted, needed_vars=set(keys) | all_variables(extracted))
+        )
         result_map = MapDefinition(name=name, key_vars=tuple(keys), definition=result_body, level=0)
         self._maps[name] = result_map
+        worklist.append(result_map)
 
-        worklist: List[MapDefinition] = [result_map]
         while worklist:
             self._process_map(worklist.pop(0), worklist)
 
@@ -119,11 +148,6 @@ class Compiler:
 
     def _validate(self, body: Expr, keys: Tuple[str, ...]) -> None:
         for node in walk(body):
-            if isinstance(node, AggSum):
-                raise CompilationError(
-                    "nested aggregates are not supported by the trigger compiler "
-                    "(use the direct evaluator for such queries)"
-                )
             if isinstance(node, MapRef):
                 raise CompilationError("user queries must not contain map references")
             if isinstance(node, Rel):
@@ -135,18 +159,172 @@ class Compiler:
                         f"relation atom {node.name}{node.columns} does not match declared "
                         f"arity {len(declared)}"
                     )
-        if not has_only_simple_conditions(body):
-            raise CompilationError(
-                "conditions containing relation atoms (nested aggregates) are not supported "
-                "by the trigger compiler"
-            )
+            if isinstance(node, Compare):
+                self._validate_value_operand(node.left)
+                self._validate_value_operand(node.right)
+            if isinstance(node, Assign):
+                self._validate_value_operand(node.expr)
         check_safety(AggSum(keys, body))
+
+    @staticmethod
+    def _validate_value_operand(operand: Expr) -> None:
+        """Condition operands may aggregate relations, never read them bare.
+
+        ``x < Sum(R(y) * y)`` compiles (the aggregate is materialized);
+        ``x < R(y)`` does not denote a value and is rejected up front.
+        """
+        stack = [operand]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, AggSum):
+                continue  # relations below an aggregate are materialized away
+            if isinstance(node, Rel):
+                raise CompilationError(
+                    "condition operands and assignment sources must not contain bare "
+                    f"relation atoms (wrap {node.name}{node.columns} in Sum(...))"
+                )
+            stack.extend(node.children())
+
+    # -- nested-aggregate extraction (the materialization hierarchy) -------------------
+
+    def _extract_nested(
+        self,
+        expr: Expr,
+        outer_keys: frozenset,
+        level: int,
+        worklist: List[MapDefinition],
+    ) -> Expr:
+        """Replace every nested ``AggSum`` in ``expr`` by a materialized map reference.
+
+        Correlation follows the product's sideways binding discipline: an
+        inner aggregate sees the enclosing map's key variables plus whatever
+        the factors to its *left* produce, so any of its variables shared with
+        that context become key variables of the extracted map.  (Place nested
+        aggregates after the factors that bind their correlated variables —
+        the order the SQL frontend emits.)
+        """
+        rewritten: List[Monomial] = []
+        for monomial in to_polynomial(expr):
+            bound = set(outer_keys)
+            factors: List[Expr] = []
+            for factor in monomial.factors:
+                factors.append(
+                    self._extract_in_factor(factor, frozenset(bound), level, worklist)
+                )
+                bound.update(_produced_variables(factor))
+            rewritten.append(Monomial(monomial.coefficient, tuple(factors)))
+        return from_polynomial(rewritten)
+
+    def _extract_in_factor(
+        self, factor: Expr, context: frozenset, level: int, worklist: List[MapDefinition]
+    ) -> Expr:
+        if isinstance(factor, AggSum):
+            return self._materialize_aggregate(factor, context, level, worklist)
+        if isinstance(factor, Compare):
+            left = self._extract_in_value(factor.left, context, level, worklist)
+            right = self._extract_in_value(factor.right, context, level, worklist)
+            if left is factor.left and right is factor.right:
+                return factor
+            return Compare(left, factor.op, right)
+        if isinstance(factor, Assign):
+            source = self._extract_in_value(factor.expr, context, level, worklist)
+            return factor if source is factor.expr else Assign(factor.var, source)
+        return factor
+
+    def _extract_in_value(
+        self, expr: Expr, context: frozenset, level: int, worklist: List[MapDefinition]
+    ) -> Expr:
+        """Extract aggregates from a value-position expression (condition operand)."""
+        if isinstance(expr, AggSum):
+            return self._materialize_aggregate(expr, context, level, worklist)
+        if isinstance(expr, Neg):
+            inner = self._extract_in_value(expr.expr, context, level, worklist)
+            return expr if inner is expr.expr else Neg(inner)
+        if isinstance(expr, Add):
+            terms = tuple(
+                self._extract_in_value(term, context, level, worklist) for term in expr.terms
+            )
+            return expr if terms == expr.terms else Add(terms)
+        if isinstance(expr, Mul):
+            factors = tuple(
+                self._extract_in_value(factor, context, level, worklist)
+                for factor in expr.factors
+            )
+            return expr if factors == expr.factors else Mul(factors)
+        return expr
+
+    def _materialize_aggregate(
+        self,
+        aggregate: AggSum,
+        context: frozenset,
+        level: int,
+        worklist: List[MapDefinition],
+    ) -> MapRef:
+        """Materialize one nested aggregate as a (possibly shared) auxiliary map.
+
+        The map is keyed by the aggregate's group-by variables plus its
+        correlation variables (variables shared with the enclosing context —
+        a correlated subquery stores one aggregate value per correlation
+        binding).  In factor position the returned reference behaves like a
+        relation whose multiplicities are the stored values; in value
+        position it is read as a scalar, with absent entries reading as zero
+        — exactly the value the aggregate would have produced.
+        """
+        inner_context = context | frozenset(aggregate.group_vars)
+        inner_body = self._extract_nested(aggregate.expr, inner_context, level + 1, worklist)
+        inner_body = simplify(inner_body)
+
+        ordered_vars = ordered_variables(inner_body)
+        for group_var in aggregate.group_vars:
+            if group_var not in ordered_vars:
+                ordered_vars.append(group_var)
+        key_set = (frozenset(ordered_vars) & context) | frozenset(aggregate.group_vars)
+        original_keys = tuple(name for name in ordered_vars if name in key_set)
+
+        renaming = {name: f"k{index}" for index, name in enumerate(original_keys)}
+        fresh = 0
+        for name in ordered_vars:
+            if name not in renaming:
+                renaming[name] = f"v{fresh}"
+                fresh += 1
+        canonical_expr = make_safe(rename_variables(inner_body, renaming))
+        canonical_keys = tuple(f"k{index}" for index in range(len(original_keys)))
+
+        registry_key = (canonical_expr, canonical_keys)
+        map_name = self._registry.get(registry_key)
+        if map_name is None:
+            self._counter += 1
+            map_name = f"{self._base_name}_m{self._counter}"
+            definition = MapDefinition(
+                name=map_name,
+                key_vars=canonical_keys,
+                definition=canonical_expr,
+                level=level,
+            )
+            self._registry[registry_key] = map_name
+            self._maps[map_name] = definition
+            worklist.append(definition)
+        return MapRef(map_name, original_keys)
 
     # -- per-map trigger generation ---------------------------------------------------
 
     def _process_map(self, definition: MapDefinition, worklist: List[MapDefinition]) -> None:
+        source_maps = tuple(
+            dict.fromkeys(ref.name for ref in map_references(definition.definition))
+        )
+        recompute_relations = set()
+        for source in source_maps:
+            recompute_relations |= self._map_trigger_relations(source)
+        closed_relations = set(definition.relations) - recompute_relations
+
+        if recompute_relations:
+            recompute = self._build_recompute(definition, worklist)
+            for relation in sorted(recompute_relations):
+                for sign in (1, -1):
+                    self._recomputes[(relation, sign)].append(recompute)
+
         keys = set(definition.key_vars)
-        for relation in sorted(definition.relations):
+        for relation in sorted(closed_relations):
             arity = len(self.schema[relation])
             for sign in (1, -1):
                 event = UpdateEvent.symbolic(sign, relation, arity)
@@ -177,6 +355,118 @@ class Compiler:
                 )
                 self._statements[(relation, sign)].append(statement)
 
+    # -- recompute-based maintenance (maps reading other maps) --------------------------
+
+    def _map_trigger_relations(self, name: str) -> frozenset:
+        """All base relations whose updates can change the contents of map ``name``."""
+        cached = self._trigger_relations_cache.get(name)
+        if cached is None:
+            definition = self._maps[name]
+            relations = set(definition.relations)
+            for ref in map_references(definition.definition):
+                relations |= self._map_trigger_relations(ref.name)
+            cached = frozenset(relations)
+            self._trigger_relations_cache[name] = cached
+        return cached
+
+    def _build_recompute(
+        self, definition: MapDefinition, worklist: List[MapDefinition]
+    ) -> RecomputeStatement:
+        body = make_safe(self._replace_relations(definition.definition, definition, worklist))
+        return RecomputeStatement(
+            target=definition.name,
+            target_keys=definition.key_vars,
+            body=body,
+            depth=self._recompute_depth(definition.name),
+            source_projections=self._source_projections(body, definition.key_vars),
+        )
+
+    def _replace_relations(
+        self, expr: Expr, parent: MapDefinition, worklist: List[MapDefinition]
+    ) -> Expr:
+        """Swap every base-relation atom for a reference to its base-copy map.
+
+        The resulting re-evaluation body reads materialized maps only, so a
+        recompute never needs the base relations the runtime does not store.
+        """
+        if isinstance(expr, Rel):
+            return MapRef(self._base_copy(expr.name, parent, worklist), expr.columns)
+        if isinstance(expr, Add):
+            return Add(tuple(self._replace_relations(t, parent, worklist) for t in expr.terms))
+        if isinstance(expr, Mul):
+            return Mul(tuple(self._replace_relations(f, parent, worklist) for f in expr.factors))
+        if isinstance(expr, Neg):
+            return Neg(self._replace_relations(expr.expr, parent, worklist))
+        if isinstance(expr, AggSum):
+            return AggSum(expr.group_vars, self._replace_relations(expr.expr, parent, worklist))
+        if isinstance(expr, Compare):
+            return Compare(
+                self._replace_relations(expr.left, parent, worklist),
+                expr.op,
+                self._replace_relations(expr.right, parent, worklist),
+            )
+        if isinstance(expr, Assign):
+            return Assign(expr.var, self._replace_relations(expr.expr, parent, worklist))
+        return expr
+
+    def _base_copy(
+        self, relation: str, parent: MapDefinition, worklist: List[MapDefinition]
+    ) -> str:
+        """The name of the materialized copy of one base relation (created on demand).
+
+        The copy is keyed by all columns and holds the relation's
+        multiplicities; it is an ordinary leaf of the hierarchy, maintained by
+        the closed-form trigger ``B[~u] += ±1``.
+        """
+        name = self._base_copies.get(relation)
+        if name is not None:
+            return name
+        columns = tuple(f"k{index}" for index in range(len(self.schema[relation])))
+        canonical_expr: Expr = Rel(relation, columns)
+        registry_key = (canonical_expr, columns)
+        name = self._registry.get(registry_key)
+        if name is None:
+            self._counter += 1
+            name = f"{self._base_name}_m{self._counter}"
+            definition = MapDefinition(
+                name=name,
+                key_vars=columns,
+                definition=canonical_expr,
+                level=parent.level + 1,
+            )
+            self._registry[registry_key] = name
+            self._maps[name] = definition
+            worklist.append(definition)
+        self._base_copies[relation] = name
+        return name
+
+    def _recompute_depth(self, name: str) -> int:
+        """Nesting depth of a map's sources; orders recomputes within one event."""
+        return dependency_depths(self._maps)[name]
+
+    @staticmethod
+    def _source_projections(
+        body: Expr, target_keys: Tuple[str, ...]
+    ) -> Optional[Tuple[Tuple[str, Tuple[int, ...]], ...]]:
+        """Per-source key positions of the target keys, or ``None`` for full mode.
+
+        When every source map's key tuple contains all of the target's group
+        variables, a changed source entry pins the one group it can affect —
+        the recompute visits only those groups (tracked mode).  A source
+        lacking a group variable (e.g. a scalar global aggregate) can affect
+        every group, so the target is re-derived in full.
+        """
+        if not target_keys:
+            return None
+        projections: Dict[Tuple[str, Tuple[int, ...]], None] = {}
+        for ref in map_references(body):
+            try:
+                positions = tuple(ref.key_vars.index(key) for key in target_keys)
+            except ValueError:
+                return None
+            projections[(ref.name, positions)] = None
+        return tuple(projections)
+
     def _compile_monomial(
         self,
         monomial: Monomial,
@@ -198,7 +488,7 @@ class Compiler:
                 rhs_factors.extend(deferred)
             else:
                 rhs_factors.extend(component.factors)
-        ordered = order_for_safety(rhs_factors, bound_vars=event_args)
+        ordered = order_for_safety(rhs_factors, bound_vars=event_args, eager_assignments=True)
         return Monomial(monomial.coefficient, tuple(ordered)).to_expr()
 
     def _materialize_component(
@@ -295,21 +585,42 @@ class Compiler:
 
     def _assemble_triggers(self) -> Dict[Tuple[str, int], Trigger]:
         triggers: Dict[Tuple[str, int], Trigger] = {}
-        for (relation, sign), statements in self._statements.items():
+        for event in sorted(set(self._statements) | set(self._recomputes)):
+            relation, sign = event
             # Parents before children: within one event all reads use the
             # pre-update state (the runtime snapshots reads), so this ordering
             # is presentational — it mirrors Equation (1)'s increasing-j order.
             ordered = tuple(
-                sorted(statements, key=lambda statement: self._maps[statement.target].level)
+                sorted(
+                    self._statements.get(event, ()),
+                    key=lambda statement: self._maps[statement.target].level,
+                )
+            )
+            # Recomputes run after the fold, inner hierarchies first, so each
+            # one reads post-update sources and pre-update target values.
+            recomputes = tuple(
+                sorted(self._recomputes.get(event, ()), key=lambda statement: statement.depth)
             )
             argument_names = UpdateEvent.symbolic(sign, relation, len(self.schema[relation])).argument_names
-            triggers[(relation, sign)] = Trigger(
+            triggers[event] = Trigger(
                 relation=relation,
                 sign=sign,
                 argument_names=argument_names,
                 statements=ordered,
+                recomputes=recomputes,
             )
         return triggers
+
+
+def _produced_variables(factor: Expr) -> frozenset:
+    """Variables a monomial factor binds for the factors to its right."""
+    if isinstance(factor, Rel):
+        return frozenset(factor.columns)
+    if isinstance(factor, MapRef):
+        return frozenset(factor.key_vars)
+    if isinstance(factor, Assign):
+        return frozenset({factor.var})
+    return frozenset()
 
 
 def compile_query(

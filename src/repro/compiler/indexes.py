@@ -51,23 +51,51 @@ def compute_index_specs(program: TriggerProgram) -> IndexSpecs:
     ``(map, positions)`` signature.
     """
     specs: Dict[str, Set[Positions]] = {}
+
+    def replay(factors, initially_bound) -> None:
+        bound = set(initially_bound)
+        for factor in factors:
+            if isinstance(factor, Assign):
+                bound.add(factor.var)
+            elif isinstance(factor, MapRef):
+                positions = tuple(
+                    index
+                    for index, key_var in enumerate(factor.key_vars)
+                    if key_var in bound
+                )
+                if positions and len(positions) < len(factor.key_vars):
+                    specs.setdefault(factor.name, set()).add(positions)
+                bound.update(factor.key_vars)
+
     for trigger in program.triggers.values():
         for statement in trigger.statements:
             for monomial in to_polynomial(statement.rhs):
-                bound = set(trigger.argument_names)
-                ordered = order_for_safety(monomial.factors, bound_vars=trigger.argument_names)
-                for factor in ordered:
-                    if isinstance(factor, Assign):
-                        bound.add(factor.var)
-                    elif isinstance(factor, MapRef):
-                        positions = tuple(
-                            index
-                            for index, key_var in enumerate(factor.key_vars)
-                            if key_var in bound
-                        )
-                        if positions and len(positions) < len(factor.key_vars):
-                            specs.setdefault(factor.name, set()).add(positions)
-                        bound.update(factor.key_vars)
+                replay(
+                    order_for_safety(
+                        monomial.factors,
+                        bound_vars=trigger.argument_names,
+                        eager_assignments=True,
+                    ),
+                    trigger.argument_names,
+                )
+        for recompute in trigger.recomputes:
+            # A tracked recompute re-evaluates its body per affected group, so
+            # the target keys are bound; a full recompute starts from nothing.
+            # The body is replayed both in its stored (make-safe) order — the
+            # interpreted evaluator's order — and in the generator's
+            # safety-reordered (eager-assignment) order, so both backends
+            # find their slices.
+            initially_bound = recompute.target_keys if recompute.tracked else ()
+            for monomial in to_polynomial(recompute.body):
+                replay(monomial.factors, initially_bound)
+                replay(
+                    order_for_safety(
+                        monomial.factors,
+                        bound_vars=initially_bound,
+                        eager_assignments=True,
+                    ),
+                    initially_bound,
+                )
     return {name: tuple(sorted(positions)) for name, positions in sorted(specs.items())}
 
 

@@ -9,9 +9,9 @@ its children, grandchildren, and so on — the view hierarchy of Section 1.1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Tuple
+from typing import Dict, FrozenSet, Mapping, Tuple
 
-from repro.core.ast import AggSum, Expr, relations_mentioned
+from repro.core.ast import AggSum, Expr, map_references, relations_mentioned
 from repro.core.degree import degree
 
 
@@ -64,3 +64,27 @@ class MapDefinition:
 
     def __repr__(self) -> str:
         return f"MapDefinition({self.describe()})"
+
+
+def dependency_depths(maps: Mapping[str, "MapDefinition"]) -> Dict[str, int]:
+    """Map-reference dependency depth of every map in a hierarchy.
+
+    A map whose definition reads no other map has depth 0; otherwise its depth
+    is one more than its deepest source.  This is the single ordering notion
+    shared by the runtime's bootstrap (sources evaluated first), the map
+    catalog's absorb (sources renamed before their readers), and the
+    compiler's recompute ordering (inner hierarchies refreshed first).
+    """
+    depths: Dict[str, int] = {}
+
+    def depth(name: str) -> int:
+        cached = depths.get(name)
+        if cached is None:
+            sources = map_references(maps[name].definition)
+            cached = 1 + max((depth(ref.name) for ref in sources), default=-1)
+            depths[name] = cached
+        return cached
+
+    for name in maps:
+        depth(name)
+    return depths

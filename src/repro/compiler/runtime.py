@@ -38,10 +38,11 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 from repro.algebra.semirings import INTEGER_RING, Semiring
 from repro.compiler.cost import RuntimeStatistics
 from repro.compiler.indexes import IndexedMaps, SliceIndexes, compute_index_specs
-from repro.compiler.triggers import Trigger, TriggerProgram
+from repro.compiler.maps import dependency_depths
+from repro.compiler.triggers import RecomputeStatement, Trigger, TriggerProgram
+from repro.core.ast import AggSum
 from repro.core.semantics import evaluate
 from repro.core.simplify import make_safe
-from repro.core.ast import AggSum
 from repro.gmr.database import Database, Update
 from repro.gmr.records import Record
 
@@ -72,18 +73,30 @@ class TriggerRuntime:
         This is the "initial values" step of the paper; engines that start
         from the empty database can skip it.  ``names`` restricts the work to
         a subset of maps (used when a new view joins an already-running
-        shared hierarchy); by default every map is (re)computed.
+        shared hierarchy); by default every map is (re)computed.  Maps are
+        evaluated sources-first: a definition that reads other maps (an
+        extracted nested aggregate, a base-relation copy) sees their freshly
+        computed contents.
         """
         targets = tuple(names) if names is not None else tuple(self.program.maps)
-        for name in targets:
+        depths = dependency_depths(self.program.maps)
+        # Evaluate against a *plain dict* environment: the slice indexes are
+        # only rebuilt after the loop, and the evaluator prefers an attached
+        # index bucket when one exists — mid-bootstrap those buckets are
+        # stale/empty and a partially-bound read through them would silently
+        # come back empty.  The plain view shares the table objects, so maps
+        # populated earlier in the loop are visible to later definitions.
+        plain: Dict[str, MapTable] = dict(self.maps)
+        for name in sorted(targets, key=lambda name: (depths[name], name)):
             definition = self.program.maps[name]
             query = AggSum(definition.key_vars, make_safe(definition.definition))
-            result = evaluate(query, db)
+            result = evaluate(query, db, maps=plain)
             table: MapTable = {}
             for record, value in result.items():
                 key = record.values_for(definition.key_vars)
                 if not self.ring.is_zero(value):
                     table[key] = value
+            plain[name] = table
             self.maps[name] = table
         self.indexes.rebuild(self.maps)
 
@@ -142,6 +155,16 @@ class TriggerRuntime:
     ) -> None:
         bindings = Record.from_values(trigger.argument_names, values)
 
+        # Maps whose per-event changed keys the recompute statements need for
+        # their affected-group analysis (tracked mode).
+        tracked_sources: Optional[Dict[str, set]] = None
+        if trigger.recomputes:
+            tracked_sources = {}
+            for recompute in trigger.recomputes:
+                if recompute.source_projections:
+                    for source, _positions in recompute.source_projections:
+                        tracked_sources.setdefault(source, set())
+
         # Evaluate every statement against the pre-update state ...
         pending = []
         for statement in trigger.statements:
@@ -156,10 +179,13 @@ class TriggerRuntime:
         for statement, increments in pending:
             table = self.maps[statement.target]
             collector = None if changes is None else changes.get(statement.target)
+            touched = None if tracked_sources is None else tracked_sources.get(statement.target)
             for record, value in increments.items():
                 key = record.values_for(statement.target_keys)
                 if collector is not None:
                     collector[key] = self.ring.add(collector.get(key, self.ring.zero), value)
+                if touched is not None and not self.ring.is_zero(value):
+                    touched.add(key)
                 new_value = self.ring.add(table.get(key, self.ring.zero), value)
                 self.statistics.entries_updated += 1
                 if self.ring.is_zero(new_value):
@@ -169,6 +195,70 @@ class TriggerRuntime:
                     if key not in table:
                         indexes.add(statement.target, key)
                     table[key] = new_value
+
+        # Finally re-derive the nested-aggregate readers, inner maps first;
+        # each recompute sees the post-update sources and the pre-update target.
+        for recompute in trigger.recomputes:
+            self._run_recompute(recompute, changes, tracked_sources)
+
+    def _run_recompute(
+        self,
+        recompute: RecomputeStatement,
+        changes: Optional[Dict[str, MapTable]],
+        tracked_sources: Dict[str, set],
+    ) -> None:
+        """Execute one recompute statement: re-evaluate affected groups, fold diffs."""
+        self.statistics.statements_executed += 1
+        ring = self.ring
+        table = self.maps[recompute.target]
+        new_values: Dict[Tuple[Any, ...], Any] = {}
+        affected: Iterable[Tuple[Any, ...]]
+        if recompute.tracked:
+            groups = set()
+            for source, positions in recompute.source_projections:
+                for key in tracked_sources.get(source, ()):
+                    groups.add(tuple(key[position] for position in positions))
+            for group in groups:
+                group_bindings = Record.from_values(recompute.target_keys, group)
+                result = evaluate(
+                    recompute.as_aggregate(), self._environment, group_bindings, maps=self.maps
+                )
+                value = ring.zero
+                for _record, part in result.items():
+                    value = ring.add(value, part)
+                new_values[group] = value
+            affected = groups
+        else:
+            result = evaluate(recompute.as_aggregate(), self._environment, maps=self.maps)
+            for record, value in result.items():
+                key = record.values_for(recompute.target_keys)
+                if key in new_values:
+                    new_values[key] = ring.add(new_values[key], value)
+                else:
+                    new_values[key] = value
+            affected = set(new_values) | set(table)
+
+        indexes = self.indexes
+        collector = None if changes is None else changes.get(recompute.target)
+        touched = None if tracked_sources is None else tracked_sources.get(recompute.target)
+        for key in affected:
+            new_value = new_values.get(key, ring.zero)
+            old_value = table.get(key, ring.zero)
+            if new_value == old_value:
+                continue
+            self.statistics.entries_updated += 1
+            if collector is not None:
+                delta = ring.sub(new_value, old_value)
+                collector[key] = ring.add(collector.get(key, ring.zero), delta)
+            if touched is not None:
+                touched.add(key)
+            if ring.is_zero(new_value):
+                if table.pop(key, None) is not None:
+                    indexes.discard(recompute.target, key)
+            else:
+                if key not in table:
+                    indexes.add(recompute.target, key)
+                table[key] = new_value
 
     def apply_all(self, updates: Iterable[Update]) -> None:
         for update in updates:

@@ -51,13 +51,78 @@ class Statement:
 
 
 @dataclass(frozen=True)
+class RecomputeStatement:
+    """``target[affected keys] := re-evaluation of body`` (the nested-aggregate rule).
+
+    A map whose definition reads other materialized maps (extracted nested
+    aggregates) cannot always be maintained by a closed-form increment: the
+    delta of a condition ``x < M[k]`` is not linear in ``M``.  For update
+    events that change one of those source maps, the compiler emits a
+    recompute statement instead: after the event's ordinary statements have
+    been applied (so every source map holds its *post-update* value, while
+    ``target`` still holds its pre-update value), the target's definition is
+    re-evaluated over the affected groups and the difference folded in.
+
+    ``body`` is the definition with every base-relation atom replaced by a
+    reference to a materialized base-copy map, so re-evaluation reads only
+    maps — the runtime never stores base relations.
+
+    ``source_projections`` drives the affected-group analysis: when not
+    ``None`` it maps every source map to the positions of the target keys
+    inside that source's key tuple, and the affected groups are exactly the
+    projections of the source entries that changed during this event (the
+    tracked mode — O(changed groups) per update, e.g. HAVING queries).  When
+    ``None`` a changed source cannot be pinned to particular groups (e.g. a
+    scalar global aggregate feeding every group) and the target is re-derived
+    over all its groups from the source maps (still never from base data).
+    ``depth`` orders recomputes within one event: inner hierarchies first.
+    """
+
+    target: str
+    target_keys: Tuple[str, ...]
+    body: Expr
+    depth: int = 0
+    source_projections: Optional[Tuple[Tuple[str, Tuple[int, ...]], ...]] = None
+
+    def as_aggregate(self) -> AggSum:
+        return AggSum(self.target_keys, self.body)
+
+    def maps_read(self) -> Tuple[str, ...]:
+        """Names of the source maps the re-evaluation body reads."""
+        names = []
+        for node in walk(self.body):
+            if isinstance(node, MapRef) and node.name not in names:
+                names.append(node.name)
+        return tuple(names)
+
+    @property
+    def tracked(self) -> bool:
+        return self.source_projections is not None
+
+    def describe(self) -> str:
+        keys = ", ".join(self.target_keys)
+        mode = "tracked" if self.tracked else "full"
+        return f"{self.target}[{keys}] := recompute[{mode}] {self.body}"
+
+    def __repr__(self) -> str:
+        return f"RecomputeStatement({self.describe()})"
+
+
+@dataclass(frozen=True)
 class Trigger:
-    """All statements to execute for one update event kind ``±R(args)``."""
+    """All statements to execute for one update event kind ``±R(args)``.
+
+    ``statements`` are evaluated against the pre-update map state and folded
+    in afterwards (Equation (1) snapshot semantics); ``recomputes`` — present
+    only for programs with nested aggregates — run after that fold, in
+    ``depth`` order, each reading the now-current source maps.
+    """
 
     relation: str
     sign: int
     argument_names: Tuple[str, ...]
     statements: Tuple[Statement, ...]
+    recomputes: Tuple[RecomputeStatement, ...] = ()
 
     @property
     def event_name(self) -> str:
@@ -67,11 +132,16 @@ class Trigger:
     def describe(self) -> str:
         sign = "+" if self.sign == 1 else "-"
         header = f"ON {sign}{self.relation}({', '.join(self.argument_names)}):"
-        body = "\n".join(f"  {statement.describe()}" for statement in self.statements)
+        lines = [f"  {statement.describe()}" for statement in self.statements]
+        lines.extend(f"  {recompute.describe()}" for recompute in self.recomputes)
+        body = "\n".join(lines)
         return f"{header}\n{body}" if body else f"{header}\n  (no-op)"
 
     def __repr__(self) -> str:
-        return f"Trigger({self.event_name}, {len(self.statements)} statements)"
+        return (
+            f"Trigger({self.event_name}, {len(self.statements)} statements, "
+            f"{len(self.recomputes)} recomputes)"
+        )
 
 
 @dataclass
@@ -100,7 +170,10 @@ class TriggerProgram:
         return tuple(sorted(others, key=lambda definition: (definition.level, definition.name)))
 
     def statement_count(self) -> int:
-        return sum(len(trigger.statements) for trigger in self.triggers.values())
+        return sum(
+            len(trigger.statements) + len(trigger.recomputes)
+            for trigger in self.triggers.values()
+        )
 
     def explain(self) -> str:
         """A human-readable listing of the whole program (maps + triggers)."""

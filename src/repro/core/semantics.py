@@ -126,6 +126,20 @@ def evaluate_value(
         if expr.name not in bindings:
             raise UnboundVariableError(expr.name)
         return bindings[expr.name]
+    if isinstance(expr, MapRef):
+        # A map reference in value position (condition operand, assignment
+        # source) is a scalar read of one stored aggregate: all key variables
+        # must be bound, an absent entry reads as the ring zero.  This is how
+        # compiled nested aggregates — materialized as auxiliary maps — are
+        # consulted inside conditions.
+        if maps is None or expr.name not in maps:
+            raise SchemaError(f"map {expr.name!r} is not available in the evaluation environment")
+        key = []
+        for key_var in expr.key_vars:
+            if key_var not in bindings:
+                raise UnboundVariableError(key_var)
+            key.append(bindings[key_var])
+        return maps[expr.name].get(tuple(key), db.ring.zero)
     if isinstance(expr, Neg):
         inner = evaluate_value(expr.expr, db, bindings, maps)
         return -inner
@@ -248,6 +262,7 @@ def _evaluate_map_reference(
     if maps is None or expr.name not in maps:
         raise SchemaError(f"map {expr.name!r} is not available in the evaluation environment")
     table = maps[expr.name]
+    repeated = len(set(expr.key_vars)) != len(expr.key_vars)
     bound_positions = tuple(
         position for position, key_var in enumerate(expr.key_vars) if key_var in bindings
     )
@@ -274,6 +289,11 @@ def _evaluate_map_reference(
     for key, value in candidates:
         if ring.is_zero(value):
             continue
+        if repeated and not _repeated_keys_agree(expr.key_vars, key):
+            # A repeated key variable (like a repeated column in a relation
+            # atom) acts as an equality filter; Record.from_values would
+            # silently keep only the last value otherwise.
+            continue
         record = Record.from_values(expr.key_vars, key)
         if bindings.join(record) is None:
             continue
@@ -282,6 +302,18 @@ def _evaluate_map_reference(
         else:
             accumulator[record] = value
     return GMR(accumulator, ring=ring)
+
+
+def _repeated_keys_agree(key_vars, key) -> bool:
+    """True when positions sharing a key variable hold equal values."""
+    seen: Dict[str, Any] = {}
+    for variable, value in zip(key_vars, key):
+        if variable in seen:
+            if seen[variable] != value:
+                return False
+        else:
+            seen[variable] = value
+    return True
 
 
 def _evaluate_product(

@@ -267,6 +267,21 @@ def simplify_monomial(
                 continue
             substitutable = isinstance(source, (Const, Var))
             if substitutable:
+                existing = substitution.get(variable)
+                if existing is not None:
+                    # The variable was already bound by an *eliminated*
+                    # assignment (it is in the substitution but not in
+                    # ``bound``): a second assignment is an equality
+                    # constraint between the two sources, e.g. the
+                    # ``(x := u0) * (x := u1)`` pair produced by the delta of
+                    # a repeated-column atom ``R(x, x)`` — dropping it would
+                    # lose the u0 = u1 filter.
+                    if existing == source:
+                        continue
+                    if isinstance(existing, Const) and isinstance(source, Const):
+                        return None  # two different constants: statically empty
+                    output.append(Compare(existing, "=", source))
+                    continue
                 substitution[variable] = source
             must_keep = (
                 keep_everything
@@ -305,7 +320,11 @@ def _equality_to_assignment(factor: Compare, bound: Iterable[str]) -> Expr:
 # ---------------------------------------------------------------------------
 
 
-def order_for_safety(factors: Sequence[Expr], bound_vars: Iterable[str] = ()) -> Tuple[Expr, ...]:
+def order_for_safety(
+    factors: Sequence[Expr],
+    bound_vars: Iterable[str] = (),
+    eager_assignments: bool = False,
+) -> Tuple[Expr, ...]:
     """Reorder monomial factors so that binding producers precede consumers.
 
     A greedy schedule: repeatedly emit the first remaining factor that is safe
@@ -314,12 +333,36 @@ def order_for_safety(factors: Sequence[Expr], bound_vars: Iterable[str] = ()) ->
     safe are appended at the end in their original order (the evaluator will
     report the unbound variable, which is the correct diagnostic for a
     genuinely unsafe query).
+
+    With ``eager_assignments`` (used when ordering trigger-statement bodies),
+    an equality whose one unbound side is computable from the current bindings
+    is converted *before* any relation or map factor is emitted: the
+    assignment binds its variable for free, and a map reference evaluated
+    afterwards sees one more bound key position — an indexed slice (or a
+    single lookup) instead of a scan followed by an equality filter.  Map
+    *definitions* keep the conservative order (structure-preserving, so
+    symmetric delta components still canonicalize identically and share one
+    map).
     """
     remaining = list(factors)
     bound = set(bound_vars)
     ordered: List[Expr] = []
     while remaining:
         progressed = False
+        if eager_assignments:
+            for index, factor in enumerate(remaining):
+                if isinstance(factor, Compare) and factor.op == "=":
+                    converted = _equality_to_assignment(factor, bound)
+                    if isinstance(converted, Assign):
+                        needed, produced = binding_analysis(converted, bound)
+                        if not needed:
+                            ordered.append(converted)
+                            bound.update(produced)
+                            del remaining[index]
+                            progressed = True
+                            break
+            if progressed:
+                continue
         for index, factor in enumerate(remaining):
             needed, produced = binding_analysis(factor, bound)
             if not needed:

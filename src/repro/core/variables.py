@@ -72,13 +72,10 @@ def binding_analysis(expr: Expr, bound: Iterable[str] = ()) -> Tuple[FrozenSet[s
         return EMPTY, frozenset(expr.key_vars)
 
     if isinstance(expr, Assign):
-        needed, _ = binding_analysis(expr.expr, bound)
-        return needed, frozenset({expr.var})
+        return _value_needed(expr.expr, bound), frozenset({expr.var})
 
     if isinstance(expr, Compare):
-        left_needed, _ = binding_analysis(expr.left, bound)
-        right_needed, _ = binding_analysis(expr.right, bound)
-        return left_needed | right_needed, EMPTY
+        return _value_needed(expr.left, bound) | _value_needed(expr.right, bound), EMPTY
 
     if isinstance(expr, Neg):
         return binding_analysis(expr.expr, bound)
@@ -113,6 +110,31 @@ def binding_analysis(expr: Expr, bound: Iterable[str] = ()) -> Tuple[FrozenSet[s
         return inner_needed | missing_groups, group_vars
 
     raise TypeError(f"unknown AGCA expression node: {expr!r}")
+
+
+def _value_needed(expr: Expr, bound: FrozenSet[str]) -> FrozenSet[str]:
+    """Variables required to evaluate an expression in *value* position.
+
+    Condition operands and assignment sources are evaluated to a single data
+    value, so a map reference there is a scalar lookup — its key variables
+    must already be bound (unlike in factor position, where the reference
+    produces bindings for them).
+    """
+    if isinstance(expr, Const):
+        return EMPTY
+    if isinstance(expr, Var):
+        return frozenset({expr.name}) - bound
+    if isinstance(expr, MapRef):
+        return frozenset(expr.key_vars) - bound
+    if isinstance(expr, (Neg, Add, Mul)):
+        needed = set()
+        for child in expr.children():
+            needed.update(_value_needed(child, bound))
+        return frozenset(needed)
+    # Aggregates (and anything else evaluable to a gmr) fall back to the
+    # relational analysis: they bind their own variables internally.
+    needed, _ = binding_analysis(expr, bound)
+    return needed
 
 
 def needed_variables(expr: Expr, bound: Iterable[str] = ()) -> FrozenSet[str]:

@@ -27,8 +27,13 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.compiler.compile import canonical_map_key
-from repro.compiler.maps import MapDefinition
-from repro.compiler.triggers import Statement, Trigger, TriggerProgram
+from repro.compiler.maps import MapDefinition, dependency_depths
+from repro.compiler.triggers import (
+    RecomputeStatement,
+    Statement,
+    Trigger,
+    TriggerProgram,
+)
 from repro.core.ast import Add, AggSum, Assign, Compare, Expr, MapRef, Mul, Neg
 from repro.core.delta import UpdateEvent
 
@@ -78,6 +83,8 @@ class MapCatalog:
         self._registry: Dict[Tuple[Expr, Tuple[str, ...]], str] = {}
         #: Merged per-event statements, in absorption order.
         self._statements: Dict[Tuple[str, int], List[Statement]] = {}
+        #: Merged per-event recompute statements (nested-aggregate readers).
+        self._recomputes: Dict[Tuple[str, int], List[RecomputeStatement]] = {}
         #: View name -> the shared map holding its result.
         self.result_maps: Dict[str, str] = {}
         #: How many map definitions were answered by an existing shared map.
@@ -105,6 +112,7 @@ class MapCatalog:
             dict(self.result_maps),
             self.maps_deduplicated,
             self.statements_deduplicated,
+            {event: list(statements) for event, statements in self._recomputes.items()},
         )
 
     def rollback(self, state) -> None:
@@ -116,6 +124,7 @@ class MapCatalog:
             self.result_maps,
             self.maps_deduplicated,
             self.statements_deduplicated,
+            self._recomputes,
         ) = (
             dict(state[0]),
             dict(state[1]),
@@ -123,6 +132,7 @@ class MapCatalog:
             dict(state[3]),
             state[4],
             state[5],
+            {event: list(statements) for event, statements in state[6].items()},
         )
 
     # -- registration ---------------------------------------------------------
@@ -140,12 +150,29 @@ class MapCatalog:
         # Stage the whole merge first, so a rejected registration leaves the
         # catalog untouched (an orphaned registry entry would silently serve
         # wrong results to any later view that deduplicates onto it).
+        #
+        # Maps are merged sources-first (a definition may reference other maps
+        # of the same program — extracted nested aggregates, base-relation
+        # copies); rewriting those references to their shared names *before*
+        # computing the canonical identity is what lets two views' nested
+        # hierarchies deduplicate level by level.
         renaming: Dict[str, str] = {}
         added_maps: Dict[str, MapDefinition] = {}
         added_registry: Dict[Tuple[Expr, Tuple[str, ...]], str] = {}
         deduplicated = 0
-        ordered = sorted(program.maps.items(), key=lambda item: (item[1].level, item[0]))
+        depths = dependency_depths(program.maps)
+        ordered = sorted(
+            program.maps.items(), key=lambda item: (depths[item[0]], item[1].level, item[0])
+        )
         for name, definition in ordered:
+            rewritten = rename_map_references(definition.definition, renaming)
+            if rewritten is not definition.definition:
+                definition = MapDefinition(
+                    name=definition.name,
+                    key_vars=definition.key_vars,
+                    definition=rewritten,
+                    level=definition.level,
+                )
             identity = canonical_map_key(definition)
             shared = self._registry.get(identity) or added_registry.get(identity)
             if shared is None:
@@ -183,6 +210,27 @@ class MapCatalog:
                         rhs=rename_map_references(statement.rhs, renaming),
                     )
                 )
+            recompute_bucket = self._recomputes.setdefault((relation, sign), [])
+            for recompute in trigger.recomputes:
+                target = renaming[recompute.target]
+                if target not in new_set:
+                    self.statements_deduplicated += 1
+                    continue
+                projections = recompute.source_projections
+                if projections is not None:
+                    projections = tuple(
+                        (renaming.get(source, source), positions)
+                        for source, positions in projections
+                    )
+                recompute_bucket.append(
+                    RecomputeStatement(
+                        target=target,
+                        target_keys=recompute.target_keys,
+                        body=rename_map_references(recompute.body, renaming),
+                        depth=recompute.depth,
+                        source_projections=projections,
+                    )
+                )
 
         result_map = renaming[program.result_map]
         self.result_maps[view_name] = result_map
@@ -200,18 +248,29 @@ class MapCatalog:
         if not self.result_maps:
             raise ValueError("the catalog has no registered views")
         triggers: Dict[Tuple[str, int], Trigger] = {}
-        for (relation, sign), statements in self._statements.items():
+        for event in sorted(
+            {event for event in self._statements if self._statements[event]}
+            | {event for event in self._recomputes if self._recomputes[event]}
+        ):
+            relation, sign = event
             ordered = tuple(
-                sorted(statements, key=lambda statement: self.maps[statement.target].level)
+                sorted(
+                    self._statements.get(event, ()),
+                    key=lambda statement: self.maps[statement.target].level,
+                )
+            )
+            recomputes = tuple(
+                sorted(self._recomputes.get(event, ()), key=lambda statement: statement.depth)
             )
             argument_names = UpdateEvent.symbolic(
                 sign, relation, len(self.schema[relation])
             ).argument_names
-            triggers[(relation, sign)] = Trigger(
+            triggers[event] = Trigger(
                 relation=relation,
                 sign=sign,
                 argument_names=argument_names,
                 statements=ordered,
+                recomputes=recomputes,
             )
         anchor = next(iter(self.result_maps.values()))
         return TriggerProgram(

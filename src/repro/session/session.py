@@ -36,6 +36,7 @@ from repro.compiler.compile import compile_query
 from repro.compiler.cost import RuntimeStatistics
 from repro.compiler.runtime import TriggerRuntime
 from repro.core.ast import AggSum, Expr
+from repro.core.errors import SchemaError
 from repro.core.parser import parse, to_string
 from repro.gmr.database import Database, Update
 from repro.gmr.records import Record
@@ -310,15 +311,43 @@ class Session:
     # -- update processing ----------------------------------------------------------
 
     def insert(self, relation: str, *values: Any) -> None:
-        """Insert one tuple; every registered view is maintained."""
+        """Insert one tuple; every registered view is maintained.
+
+        Values are passed as separate arguments: ``session.insert("R", 1, 2)``.
+        """
         self.apply(Update(1, relation, values))
 
     def delete(self, relation: str, *values: Any) -> None:
         """Delete one tuple; every registered view is maintained."""
         self.apply(Update(-1, relation, values))
 
+    def _validate_update(self, update: Update) -> None:
+        """Reject updates that do not match the declared schema.
+
+        Catching a wrong arity here — e.g. ``insert("R", (1, 2))`` passing one
+        tuple instead of splat values — turns an opaque unpacking crash deep
+        inside generated trigger code into a :class:`SchemaError` that names
+        the relation and the expected columns.
+        """
+        declared = self.schema.get(update.relation)
+        if declared is None:
+            raise SchemaError(
+                f"relation {update.relation!r} is not declared in the session schema "
+                f"(declared: {sorted(self.schema)})"
+            )
+        if len(update.values) != len(declared):
+            values = update.values
+            hint = ""
+            if len(values) == 1 and isinstance(values[0], (tuple, list)):
+                hint = "; pass values as separate arguments, not as one tuple"
+            raise SchemaError(
+                f"relation {update.relation!r} expects {len(declared)} values "
+                f"{tuple(declared)}, got {len(values)}: {values!r}{hint}"
+            )
+
     def apply(self, update: Update) -> None:
         """Apply one single-tuple :class:`Update` to all views."""
+        self._validate_update(update)
         started = time.perf_counter()
         notifications = []
         for group in self._groups.values():
@@ -339,6 +368,10 @@ class Session:
         receive one consolidated delta per view for the whole batch.
         """
         updates = updates if isinstance(updates, (list, tuple)) else list(updates)
+        # Validate the whole batch up front so a malformed update cannot leave
+        # some views advanced and others not.
+        for update in updates:
+            self._validate_update(update)
         started = time.perf_counter()
         notifications = []
         for group in self._groups.values():

@@ -6,32 +6,156 @@ The supported shape is the one the paper translates:
     FROM   R1 a1, R2 a2, ...
     WHERE  c1 AND c2 AND ...
     GROUP BY g1, ..., gm
+    HAVING  h1 AND h2 AND ...
 
 which becomes
 
-    AggSum((g1, ..., gm),  R1(~x1) * R2(~x2) * ... * c1 * c2 * ... * t)
+    AggSum((g1, ..., gm),  R1(~x1) * R2(~x2) * ... * c1 * c2 * ... * h1 * ... * t)
 
 Column references may be qualified (``a1.col``) or unqualified when
-unambiguous; conditions are comparisons between column references, constants
-and simple arithmetic; the SUM argument is an arithmetic expression over
-column references and constants.
+unambiguous; conditions are comparisons between column references, constants,
+simple arithmetic and *scalar subqueries* — ``WHERE b < (SELECT SUM(x) FROM
+S)``, possibly correlated with the outer query through qualified references
+(``WHERE s.g = r.g`` inside the subquery) — which translate to nested
+aggregates, the query class the trigger compiler materializes as a map
+hierarchy.  ``HAVING`` conditions compare per-group aggregates (``SUM(...)``,
+``COUNT(*)``) over the same FROM/WHERE context.  The SUM argument is an
+arithmetic expression over column references and constants; ``-`` and ``+``
+associate to the left, as in SQL (``a - b - c`` is ``(a - b) - c``).
 
 This is intentionally a *subset* parser — enough for the paper's examples, the
-TPC-H-flavoured workloads and the test suite — not a full SQL implementation.
+TPC-H-flavoured workloads and the test suite — not a full SQL implementation:
+one aggregate per SELECT, subqueries only as scalar comparison operands (no
+GROUP BY inside a subquery), conjunctive conditions only.
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.ast import AggSum, Compare, Const, Expr, Mul, Rel, Var, mul
 from repro.core.errors import ParseError
+from repro.core.simplify import rename_variables
+from repro.core.variables import all_variables
 
-_COMPARISON_PATTERN = re.compile(r"(!=|<=|>=|=|<|>)")
+_COMPARISON_OPERATORS = ("!=", "<=", ">=", "=", "<", ">")
 _NUMBER_PATTERN = re.compile(r"^-?\d+(\.\d+)?$")
 _SQL_PATTERN = re.compile(r"^\s*select\b", re.IGNORECASE)
+_AGGREGATE_PATTERN = re.compile(r"^(sum|count)\s*\((.*)\)$", re.IGNORECASE | re.DOTALL)
+
+
+def _scan_top_level(text: str):
+    """Yield ``(index, character)`` for positions outside parentheses and quotes."""
+    depth = 0
+    in_quote = False
+    for index, character in enumerate(text):
+        if in_quote:
+            if character == "'":
+                in_quote = False
+            continue
+        if character == "'":
+            in_quote = True
+        elif character == "(":
+            depth += 1
+        elif character == ")":
+            depth -= 1
+        elif depth == 0:
+            yield index, character
+
+
+def _split_last_top_level(text: str, operators: str) -> Optional[Tuple[int, str]]:
+    """The last top-level binary occurrence of any of ``operators`` (SQL's
+    left-associativity: ``a - b - c`` splits into ``(a - b) - c``).
+
+    An operator directly after another operator or an opening parenthesis is a
+    sign, not a binary operator, and is skipped.
+    """
+    top_level = _top_level_positions(text)
+    best: Optional[Tuple[int, str]] = None
+    previous = ""
+    for index, character in enumerate(text):
+        if character.isspace():
+            continue
+        if (
+            character in operators
+            and index in top_level
+            and index > 0
+            and previous not in ("", "+", "-", "*", "/", "(", ",")
+        ):
+            best = (index, character)
+        previous = character
+    return best
+
+
+def _top_level_positions(text: str) -> Dict[int, str]:
+    return dict(_scan_top_level(text))
+
+
+def _split_comparison(text: str) -> Tuple[str, str, str]:
+    """Split a condition at its first top-level comparison operator."""
+    positions = _top_level_positions(text)
+    for index in sorted(positions):
+        for operator in _COMPARISON_OPERATORS:
+            if text.startswith(operator, index):
+                if all(index + offset in positions for offset in range(len(operator))):
+                    # "<" must not match the head of "<=", nor "=" the tail of
+                    # ">="/"!="/"<=".
+                    if operator in ("<", ">") and text.startswith((operator + "="), index):
+                        continue
+                    if operator == "=" and index > 0 and text[index - 1] in "<>!":
+                        continue
+                    left = text[:index].strip()
+                    right = text[index + len(operator):].strip()
+                    if not left or not right:
+                        break
+                    return left, operator, right
+    raise ParseError(f"unsupported condition (no comparison operator): {text!r}")
+
+
+def _split_top_level_and(text: str) -> List[str]:
+    """Split a WHERE/HAVING clause at top-level ``AND`` keywords."""
+    positions = _top_level_positions(text)
+    lowered = text.lower()
+    pieces: List[str] = []
+    start = 0
+    index = 0
+    while index < len(text):
+        if (
+            index in positions
+            and lowered.startswith("and", index)
+            and (index == 0 or lowered[index - 1].isspace())
+            and (index + 3 >= len(text) or lowered[index + 3].isspace())
+        ):
+            pieces.append(text[start:index].strip())
+            start = index + 3
+            index = start
+            continue
+        index += 1
+    pieces.append(text[start:].strip())
+    return [piece for piece in pieces if piece]
+
+
+def _strips_to_parenthesized(text: str) -> bool:
+    """True when ``text`` is one balanced ``( ... )`` group."""
+    if not (text.startswith("(") and text.endswith(")")):
+        return False
+    depth = 0
+    for index, character in enumerate(text):
+        if character == "(":
+            depth += 1
+        elif character == ")":
+            depth -= 1
+            if depth == 0:
+                return index == len(text) - 1
+    return False
+
+
+def _is_scalar_subquery(text: str) -> bool:
+    return _strips_to_parenthesized(text) and bool(
+        re.match(r"^\(\s*select\b", text, re.IGNORECASE)
+    )
 
 
 def is_sql(text: str) -> bool:
@@ -55,6 +179,7 @@ class SQLQuery:
     tables: List[Tuple[str, str]]  # (relation name, alias)
     conditions: List[str]
     group_by: List[str]
+    having: List[str] = field(default_factory=list)
     text: str = ""
 
     def aliases(self) -> Dict[str, str]:
@@ -67,7 +192,8 @@ def parse_sql(text: str) -> SQLQuery:
     pattern = re.compile(
         r"^select\s+(?P<select>.+?)\s+from\s+(?P<from>.+?)"
         r"(?:\s+where\s+(?P<where>.+?))?"
-        r"(?:\s+group\s+by\s+(?P<group>.+?))?$",
+        r"(?:\s+group\s+by\s+(?P<group>.+?))?"
+        r"(?:\s+having\s+(?P<having>.+?))?$",
         re.IGNORECASE,
     )
     match = pattern.match(squashed)
@@ -101,11 +227,15 @@ def parse_sql(text: str) -> SQLQuery:
 
     conditions: List[str] = []
     if match.group("where"):
-        conditions = [part.strip() for part in re.split(r"\s+and\s+", match.group("where"), flags=re.IGNORECASE)]
+        conditions = _split_top_level_and(match.group("where"))
 
     group_by: List[str] = []
     if match.group("group"):
         group_by = [part.strip() for part in match.group("group").split(",")]
+
+    having: List[str] = []
+    if match.group("having"):
+        having = _split_top_level_and(match.group("having"))
 
     return SQLQuery(
         select_groups=select_groups,
@@ -113,18 +243,37 @@ def parse_sql(text: str) -> SQLQuery:
         tables=tables,
         conditions=conditions,
         group_by=group_by,
+        having=having,
         text=text,
     )
 
 
 class _Translator:
-    """Carries the alias/column environment while building the AGCA expression."""
+    """Carries the alias/column environment while building the AGCA expression.
 
-    def __init__(self, query: SQLQuery, schema: Mapping[str, Sequence[str]]):
+    A translator may have a ``parent`` (the enclosing query of a scalar
+    subquery): column references that do not resolve against the subquery's
+    own tables fall back to the parent, which is what makes a subquery
+    *correlated* — the shared outer variable becomes a key of the materialized
+    nested aggregate.  ``prefix`` keeps the subquery's own variables distinct
+    from the outer query's, so same-named columns never correlate by accident.
+    """
+
+    def __init__(
+        self,
+        query: SQLQuery,
+        schema: Mapping[str, Sequence[str]],
+        parent: Optional["_Translator"] = None,
+        prefix: str = "",
+    ):
         self.query = query
         self.schema = {name: tuple(columns) for name, columns in schema.items()}
+        self.parent = parent
+        self.prefix = prefix
         self.variable_of: Dict[Tuple[str, str], str] = {}
         self.column_owners: Dict[str, List[str]] = {}
+        self._subquery_count = 0
+        self._having_count = 0
         for relation, alias in query.tables:
             if relation not in self.schema:
                 raise ParseError(f"relation {relation!r} is not declared in the schema")
@@ -134,14 +283,16 @@ class _Translator:
 
     def _make_variable(self, alias: str, column: str) -> str:
         if len(self.query.tables) == 1:
-            return column
-        return f"{alias}_{column}"
+            return f"{self.prefix}{column}"
+        return f"{self.prefix}{alias}_{column}"
 
     # -- reference resolution ---------------------------------------------------------
 
     def resolve(self, reference: str) -> Expr:
-        """Turn a SQL scalar reference (column, constant, arithmetic) into AGCA."""
+        """Turn a SQL scalar reference (column, constant, arithmetic, subquery) into AGCA."""
         reference = reference.strip()
+        if _is_scalar_subquery(reference):
+            return self._translate_subquery(reference)
         arithmetic = self._try_arithmetic(reference)
         if arithmetic is not None:
             return arithmetic
@@ -156,35 +307,57 @@ class _Translator:
         if "." in reference:
             alias, column = reference.split(".", 1)
             key = (alias, column)
-            if key not in self.variable_of:
-                raise ParseError(f"unknown column reference {reference!r}")
-            return self.variable_of[key]
+            if key in self.variable_of:
+                return self.variable_of[key]
+            if self.parent is not None:
+                return self.parent.resolve_column(reference)
+            raise ParseError(f"unknown column reference {reference!r}")
         owners = self.column_owners.get(reference, [])
         if not owners:
+            if self.parent is not None:
+                return self.parent.resolve_column(reference)
             raise ParseError(f"unknown column {reference!r}")
         if len(owners) > 1:
             raise ParseError(f"ambiguous column {reference!r}; qualify it with a table alias")
         return self.variable_of[(owners[0], reference)]
 
     def _try_arithmetic(self, reference: str) -> Optional[Expr]:
-        for operator in ("+", "-", "*"):
-            depth = 0
-            for index, character in enumerate(reference):
-                if character == "(":
-                    depth += 1
-                elif character == ")":
-                    depth -= 1
-                elif character == operator and depth == 0 and index > 0:
-                    left = self.resolve(reference[:index])
-                    right = self.resolve(reference[index + 1 :])
-                    if operator == "+":
-                        return left + right
-                    if operator == "-":
-                        return left - right
-                    return Mul((left, right))
-        if reference.startswith("(") and reference.endswith(")"):
+        # Additive operators bind loosest and associate to the left, so the
+        # split happens at the *last* top-level occurrence (a - b - c parses
+        # as (a - b) - c); multiplication is tried only when no top-level
+        # additive operator exists.
+        split = _split_last_top_level(reference, "+-")
+        if split is None:
+            split = _split_last_top_level(reference, "*")
+        if split is not None:
+            index, operator = split
+            left = self.resolve(reference[:index])
+            right = self.resolve(reference[index + 1 :])
+            if operator == "+":
+                return left + right
+            if operator == "-":
+                return left - right
+            return Mul((left, right))
+        if _strips_to_parenthesized(reference):
             return self.resolve(reference[1:-1])
         return None
+
+    def _translate_subquery(self, reference: str) -> AggSum:
+        """A scalar subquery operand: ``(SELECT SUM(...) FROM ... [WHERE ...])``."""
+        self._subquery_count += 1
+        inner = parse_sql(reference[1:-1])
+        if inner.select_groups or inner.group_by or inner.having:
+            raise ParseError(
+                f"subqueries must be scalar aggregates without grouping: {reference!r}"
+            )
+        prefix = f"{self.prefix}__s{self._subquery_count}_"
+        translator = _Translator(inner, self.schema, parent=self, prefix=prefix)
+        factors: List[Expr] = list(translator.relation_atoms())
+        factors.extend(translator.condition_atoms())
+        value = translator.aggregate_value()
+        if value is not None:
+            factors.append(value)
+        return AggSum((), mul(*factors))
 
     # -- clause translation -----------------------------------------------------------------
 
@@ -198,16 +371,15 @@ class _Translator:
     def condition_atoms(self) -> List[Expr]:
         atoms: List[Expr] = []
         for condition in self.query.conditions:
-            pieces = _COMPARISON_PATTERN.split(condition, maxsplit=1)
-            if len(pieces) != 3:
-                raise ParseError(f"unsupported WHERE condition: {condition!r}")
-            left, operator, right = (piece.strip() for piece in pieces)
+            left, operator, right = _split_comparison(condition)
             atoms.append(Compare(self.resolve(left), operator, self.resolve(right)))
         return atoms
 
     def aggregate_value(self) -> Optional[Expr]:
-        aggregate = self.query.aggregate.strip()
-        match = re.match(r"^(sum|count)\s*\((.*)\)$", aggregate, re.IGNORECASE)
+        return self._aggregate_expr(self.query.aggregate)
+
+    def _aggregate_expr(self, aggregate: str) -> Optional[Expr]:
+        match = _AGGREGATE_PATTERN.match(aggregate.strip())
         if match is None:
             raise ParseError(f"unsupported aggregate: {aggregate!r}")
         kind, argument = match.group(1).lower(), match.group(2).strip()
@@ -223,6 +395,47 @@ class _Translator:
         columns = self.query.group_by or self.query.select_groups
         return tuple(self.resolve_column(column) for column in columns)
 
+    # -- HAVING -----------------------------------------------------------------------------
+
+    def having_atoms(self) -> List[Expr]:
+        """HAVING conditions as nested per-group aggregates.
+
+        Each aggregate operand re-aggregates the query's own FROM/WHERE
+        context: the group-by variables keep their outer names (that is the
+        correlation — the nested map is keyed by group), every other variable
+        is renamed fresh so the inner aggregation ranges over the whole group
+        rather than the outer row.
+        """
+        atoms: List[Expr] = []
+        group_vars = frozenset(self.group_variables())
+        for condition in self.query.having:
+            left, operator, right = _split_comparison(condition)
+            atoms.append(
+                Compare(
+                    self._resolve_having_operand(left, group_vars),
+                    operator,
+                    self._resolve_having_operand(right, group_vars),
+                )
+            )
+        return atoms
+
+    def _resolve_having_operand(self, operand: str, group_vars: frozenset) -> Expr:
+        if not _AGGREGATE_PATTERN.match(operand.strip()):
+            return self.resolve(operand)
+        factors: List[Expr] = list(self.relation_atoms())
+        factors.extend(self.condition_atoms())
+        value = self._aggregate_expr(operand)
+        if value is not None:
+            factors.append(value)
+        aggregate = AggSum((), mul(*factors))
+        self._having_count += 1
+        renaming = {
+            name: f"{self.prefix}__h{self._having_count}_{name}"
+            for name in all_variables(aggregate)
+            if name not in group_vars
+        }
+        return rename_variables(aggregate, renaming)
+
 
 def sql_to_agca(text: str, schema: Mapping[str, Sequence[str]]) -> AggSum:
     """Translate a SQL aggregate query into an AGCA ``AggSum`` expression."""
@@ -234,6 +447,7 @@ def translate(query: SQLQuery, schema: Mapping[str, Sequence[str]]) -> AggSum:
     translator = _Translator(query, schema)
     factors: List[Expr] = list(translator.relation_atoms())
     factors.extend(translator.condition_atoms())
+    factors.extend(translator.having_atoms())
     value = translator.aggregate_value()
     if value is not None:
         factors.append(value)

@@ -112,9 +112,26 @@ def test_inequality_join_defers_boundary_condition():
     assert program.maps[map_name].arity == 2
 
 
-def test_nested_aggregates_are_rejected():
+def test_nested_aggregates_compile_into_a_hierarchy():
+    """The closure theorem in action: the inner aggregate becomes an auxiliary
+    map and the outer map is maintained by a recompute statement."""
+    program = compile_query(parse("Sum(R(x) * (Sum(R(y)) > 2))"), UNARY_SCHEMA)
+    auxiliary = program.auxiliary_maps()
+    assert len(auxiliary) >= 1
+    assert all(definition.level >= 1 for definition in auxiliary)
+    trigger = program.trigger_for("R", 1)
+    assert trigger.recomputes, "nested readers must be maintained by recompute"
+    [recompute] = trigger.recomputes
+    assert recompute.target == program.result_map
+    # The re-evaluation body reads materialized maps only, never base relations.
+    from repro.core.ast import relation_atoms
+
+    assert not relation_atoms(recompute.body)
+
+
+def test_bare_relations_in_condition_operands_are_rejected():
     with pytest.raises(CompilationError):
-        compile_query(parse("Sum(R(x) * (Sum(R(y)) > 2))"), UNARY_SCHEMA)
+        compile_query(parse("Sum(R(x) * (R(y) > 2))"), UNARY_SCHEMA)
 
 
 def test_map_references_in_user_queries_are_rejected():

@@ -1,0 +1,255 @@
+"""Unit tests for the nested-aggregate materialization hierarchy.
+
+The trigger compiler extracts inner aggregates into auxiliary maps, replaces
+base relations in re-evaluation bodies with materialized base copies, and
+maintains nested readers with recompute statements — tracked (per affected
+group) when every source map is keyed by the target's group variables, full
+otherwise.
+"""
+
+import random
+
+import pytest
+
+from repro.compiler.compile import compile_query
+from repro.compiler.runtime import TriggerRuntime
+from repro.core.ast import MapRef, relation_atoms, walk
+from repro.core.errors import CompilationError
+from repro.core.parser import parse
+from repro.gmr.database import Database, delete, insert
+from repro.ivm.naive import NaiveReevaluation
+from repro.ivm.recursive import RecursiveIVM
+
+GROUPED_SCHEMA = {"R": ("G", "X")}
+TWO_RELATIONS = {"R": ("G", "X"), "S": ("G", "Y")}
+
+#: Per-group sales strictly below the global total (the paper-style query).
+GLOBAL_TOTAL = "AggSum([g], R(g, x) * (x < Sum(R(g2, x2) * x2)) * x)"
+#: HAVING-style: per-group total where the group has more than two rows.
+HAVING_STYLE = "AggSum([g], AggSum([g], R(g, x) * x) * (Sum(R(g, y)) > 2))"
+#: Correlated subquery against a second relation.
+CORRELATED = "AggSum([g], R(g, x) * (x < Sum(S(g, y) * y)) * x)"
+
+
+def mixed_stream(schema, count, seed, groups=4, domain=7):
+    rng = random.Random(seed)
+    relations = sorted(schema)
+    live, updates = [], []
+    for _ in range(count):
+        if live and rng.random() < 0.35:
+            updates.append(delete(*live.pop(rng.randrange(len(live)))))
+        else:
+            relation = rng.choice(relations)
+            row = (relation, rng.randrange(groups)) + tuple(
+                rng.randrange(domain) for _ in range(len(schema[relation]) - 1)
+            )
+            live.append(row)
+            updates.append(insert(*row))
+    return updates
+
+
+# ---------------------------------------------------------------------------
+# Hierarchy structure
+# ---------------------------------------------------------------------------
+
+
+def test_inner_aggregate_becomes_auxiliary_map():
+    program = compile_query(parse(GLOBAL_TOTAL), GROUPED_SCHEMA, name="q")
+    levels = {definition.level for definition in program.maps.values()}
+    assert levels == {0, 1}
+    # The inner Sum and the base copy of R are both materialized.
+    assert len(program.maps) == 3
+    result = program.result_definition
+    assert any(isinstance(node, MapRef) for node in walk(result.definition))
+
+
+def test_recompute_body_reads_maps_only():
+    program = compile_query(parse(GLOBAL_TOTAL), GROUPED_SCHEMA, name="q")
+    for trigger in program.triggers.values():
+        for recompute in trigger.recomputes:
+            assert not relation_atoms(recompute.body)
+            assert recompute.maps_read()
+
+
+def test_scalar_inner_aggregate_forces_full_recompute():
+    program = compile_query(parse(GLOBAL_TOTAL), GROUPED_SCHEMA, name="q")
+    [recompute] = program.trigger_for("R", 1).recomputes
+    assert not recompute.tracked  # the global total can affect every group
+
+
+def test_group_keyed_sources_enable_tracked_recompute():
+    program = compile_query(parse(HAVING_STYLE), GROUPED_SCHEMA, name="q")
+    [recompute] = program.trigger_for("R", 1).recomputes
+    assert recompute.tracked
+    assert {source for source, _ in recompute.source_projections} == set(
+        definition.name for definition in program.auxiliary_maps()
+    )
+
+
+def test_correlated_subquery_keeps_closed_form_for_outer_relation():
+    """Updates to R (which never changes the inner map over S) stay closed-form;
+    updates to S trigger the recompute."""
+    program = compile_query(parse(CORRELATED), TWO_RELATIONS, name="q")
+    r_trigger = program.trigger_for("R", 1)
+    assert not r_trigger.recomputes
+    assert any(statement.target == "q" for statement in r_trigger.statements)
+    s_trigger = program.trigger_for("S", 1)
+    assert any(recompute.target == "q" for recompute in s_trigger.recomputes)
+    [recompute] = s_trigger.recomputes
+    assert recompute.tracked
+
+
+def test_identical_inner_aggregates_are_deduplicated():
+    text = "AggSum([g], R(g, x) * (x < Sum(R(a, b) * b)) * (0 - x < Sum(R(c, d) * d)))"
+    program = compile_query(parse(text), GROUPED_SCHEMA, name="q")
+    inner = [
+        definition
+        for definition in program.auxiliary_maps()
+        if relation_atoms(definition.definition) and definition.arity == 0
+    ]
+    assert len(inner) == 1, "structurally identical inner aggregates must share one map"
+
+
+def test_multi_level_nesting_orders_recomputes_by_depth():
+    text = (
+        "AggSum([g], R(g, x) * (x < Sum(R(g2, x2) * x2 * (x2 < Sum(R(g3, x3) * x3)))))"
+    )
+    program = compile_query(parse(text), GROUPED_SCHEMA, name="q")
+    trigger = program.trigger_for("R", 1)
+    assert len(trigger.recomputes) >= 2
+    depths = [recompute.depth for recompute in trigger.recomputes]
+    assert depths == sorted(depths), "inner hierarchies must recompute first"
+
+
+def test_bare_relation_in_operand_rejected():
+    with pytest.raises(CompilationError):
+        compile_query(parse("Sum(R(g, x) * (x < R(g, y)))"), GROUPED_SCHEMA)
+
+
+# ---------------------------------------------------------------------------
+# Execution equivalence (interpreted, generated, batch, bootstrap)
+# ---------------------------------------------------------------------------
+
+NESTED_QUERIES = [
+    (GLOBAL_TOTAL, GROUPED_SCHEMA),
+    (HAVING_STYLE, GROUPED_SCHEMA),
+    (CORRELATED, TWO_RELATIONS),
+    ("Sum(R(g, x) * (x < Sum(R(g2, x2) * x2)) * x)", GROUPED_SCHEMA),
+    (
+        "AggSum([g], R(g, x) * (x < Sum(R(g2, x2) * x2 * (x2 < Sum(R(g3, x3) * x3)))))",
+        GROUPED_SCHEMA,
+    ),
+]
+
+
+@pytest.mark.parametrize("text,schema", NESTED_QUERIES, ids=[t for t, _ in NESTED_QUERIES])
+@pytest.mark.parametrize("backend", ["interpreted", "generated"])
+def test_nested_hierarchy_matches_naive(text, schema, backend):
+    query = parse(text)
+    # The doubly-nested query makes the naive reference cubic per check —
+    # keep its cross-checked stream short.
+    count = 80 if "x3" in text else 250
+    engine = RecursiveIVM(query, schema, backend=backend)
+    reference = NaiveReevaluation(query, schema)
+    for position, update in enumerate(mixed_stream(schema, count, seed=13)):
+        engine.apply(update)
+        reference.apply(update)
+        if position % 17 == 0 or position == count - 1:
+            assert engine.result() == reference.result(), (position, update)
+
+
+@pytest.mark.parametrize("text,schema", NESTED_QUERIES[:3], ids=[t for t, _ in NESTED_QUERIES[:3]])
+def test_nested_batches_match_sequential(text, schema):
+    query = parse(text)
+    stream = mixed_stream(schema, 220, seed=29)
+    reference = NaiveReevaluation(query, schema)
+    reference.apply_all(stream)
+    rng = random.Random(31)
+    for backend in ("interpreted", "generated"):
+        engine = RecursiveIVM(query, schema, backend=backend)
+        position = 0
+        while position < len(stream):
+            size = rng.randint(1, 30)
+            engine.apply_batch(stream[position : position + size])
+            position += size
+        assert engine.result() == reference.result(), backend
+
+
+@pytest.mark.parametrize("text,schema", NESTED_QUERIES[:3], ids=[t for t, _ in NESTED_QUERIES[:3]])
+def test_nested_bootstrap_from_populated_database(text, schema):
+    query = parse(text)
+    db = Database(schema=schema)
+    for update in mixed_stream(schema, 120, seed=41):
+        db.apply(update)
+    reference = NaiveReevaluation(query, schema)
+    reference.bootstrap(db)
+    for backend in ("interpreted", "generated"):
+        engine = RecursiveIVM(query, schema, backend=backend)
+        engine.bootstrap(db)
+        assert engine.result() == reference.result(), backend
+        follow_up = mixed_stream(schema, 80, seed=43)
+        clone = NaiveReevaluation(query, schema)
+        clone.bootstrap(db)
+        for update in follow_up:
+            engine.apply(update)
+            clone.apply(update)
+        assert engine.result() == clone.result(), backend
+
+
+def test_nested_change_capture_replays_to_result():
+    query = parse(HAVING_STYLE)
+    for backend in ("interpreted", "generated"):
+        engine = RecursiveIVM(query, GROUPED_SCHEMA, backend=backend)
+        state = {}
+
+        def replay(changes, state=state):
+            for key, value in changes.items():
+                total = state.get(key, 0) + value
+                if total == 0:
+                    state.pop(key, None)
+                else:
+                    state[key] = total
+
+        engine.on_change(replay)
+        for update in mixed_stream(GROUPED_SCHEMA, 200, seed=47):
+            engine.apply(update)
+        expected = {key: value for key, value in engine.runtime.result_map_contents().items()}
+        assert state == expected, backend
+
+
+def test_interpreted_runtime_statistics_count_recomputes():
+    program = compile_query(parse(GLOBAL_TOTAL), GROUPED_SCHEMA, name="q")
+    runtime = TriggerRuntime(program)
+    runtime.apply(insert("R", 1, 2))
+    assert runtime.statistics.statements_executed >= 3  # two folds + one recompute
+
+
+def test_bootstrap_with_partially_bound_nested_reads():
+    """Regression: mid-bootstrap evaluation must not consult the stale slice
+    indexes — a map whose definition slice-reads an earlier map used to
+    bootstrap empty."""
+    schema = {"R": ("G", "X"), "S": ("G", "S", "Y")}
+    query = parse("AggSum([g], R(g, x) * AggSum([g, s], S(g, s, y) * y))")
+    db = Database(schema=schema)
+    for row in [("R", 1, 10), ("R", 1, 20), ("R", 2, 5),
+                ("S", 1, 7, 3), ("S", 1, 8, 4), ("S", 2, 7, 5)]:
+        db.apply(insert(*row))
+    reference = NaiveReevaluation(query, schema)
+    reference.bootstrap(db)
+    assert reference.result() == {(1,): 14, (2,): 5}
+    for backend in ("interpreted", "generated"):
+        engine = RecursiveIVM(query, schema, backend=backend)
+        engine.bootstrap(db)
+        assert engine.result() == reference.result(), backend
+
+
+def test_closed_form_statements_bind_keys_before_nested_map_reads():
+    """Trigger-argument equalities become assignments *before* the map read,
+    so the generated code slices the nested map through the index instead of
+    scanning it with a post-hoc filter."""
+    schema = {"R": ("G", "X"), "S": ("G", "S", "Y")}
+    query = parse("AggSum([g], R(g, x) * AggSum([g, s], S(g, s, y) * y))")
+    engine = RecursiveIVM(query, schema, backend="generated")
+    r_trigger = engine.generated_source().split("def on_insert_R")[1].split("def ")[0]
+    assert ".items()" not in r_trigger
+    assert "_IDX[" in r_trigger

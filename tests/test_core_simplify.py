@@ -169,3 +169,35 @@ def test_simplified_deltas_preserve_semantics(query, updates):
     tidy = simplify(raw, bound_vars=event.argument_names, needed_vars=set(event.argument_names))
     bindings = Record.from_values(event.argument_names, (1,))
     assert evaluate(raw, db, bindings) == evaluate(tidy, db, bindings)
+
+
+def test_repeated_assignment_to_eliminated_variable_keeps_equality():
+    """Regression: ``(x := u0) * (x := u1)`` with ``x`` eliminated must keep the
+    ``u0 = u1`` filter — it is the delta of a repeated-column atom ``R(x, x)``."""
+    from repro.core.ast import Assign, Compare, Mul, Var
+    from repro.core.normalization import Monomial
+    from repro.core.simplify import simplify_monomial
+
+    monomial = Monomial(
+        1, (Assign("x", Var("u0")), Assign("x", Var("u1")), Var("x"))
+    )
+    result = simplify_monomial(monomial, bound_vars=("u0", "u1"), needed_vars=("u0", "u1"))
+    comparisons = [f for f in result.factors if isinstance(f, Compare)]
+    assert comparisons and comparisons[0].op == "="
+
+
+def test_repeated_column_atom_compiles_with_equality_guard():
+    from repro.compiler.compile import compile_query
+    from repro.core.parser import parse
+    from repro.compiler.runtime import TriggerRuntime
+    from repro.gmr.database import insert
+    from repro.ivm.naive import NaiveReevaluation
+
+    schema = {"R": ("A", "B")}
+    query = parse("Sum(R(x, x) * x)")
+    runtime = TriggerRuntime(compile_query(query, schema, name="q"))
+    naive = NaiveReevaluation(query, schema)
+    for update in [insert("R", 2, 2), insert("R", 0, 1), insert("R", 3, 3)]:
+        runtime.apply(update)
+        naive.apply(update)
+    assert runtime.result() == naive.result() == 5

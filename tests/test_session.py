@@ -499,3 +499,91 @@ def test_late_registration_requires_history():
     fresh.view("ok", "Sum(R(x))")
     fresh.insert("R", 1)
     assert fresh["ok"].result() == 1
+
+
+# ---------------------------------------------------------------------------
+# Schema validation of updates (arity bugfix)
+# ---------------------------------------------------------------------------
+
+
+def test_insert_with_tuple_instead_of_splat_raises_schema_error():
+    from repro.core.errors import SchemaError
+
+    session = Session({"R": ("A", "B")})
+    session.view("total", "Sum(R(a, b) * b)")
+    with pytest.raises(SchemaError) as excinfo:
+        session.insert("R", (1, 2))
+    message = str(excinfo.value)
+    assert "'R'" in message and "2" in message
+    assert "separate arguments" in message
+
+
+def test_update_validation_names_relation_and_arity():
+    from repro.core.errors import SchemaError
+    from repro.gmr.database import Update
+
+    session = Session({"R": ("A", "B")})
+    session.view("total", "Sum(R(a, b) * b)")
+    with pytest.raises(SchemaError, match="expects 2 values"):
+        session.delete("R", 1)
+    with pytest.raises(SchemaError, match="not declared"):
+        session.insert("Q", 1, 2)
+    with pytest.raises(SchemaError):
+        session.apply(Update(1, "R", (1, 2, 3)))
+    # A malformed batch is rejected before any view advances.
+    with pytest.raises(SchemaError):
+        session.apply_batch([Update(1, "R", (1, 2)), Update(1, "R", (1,))])
+    assert session.updates_applied == 0
+    assert session["total"].result() == 0
+
+
+# ---------------------------------------------------------------------------
+# Nested-aggregate views through the session (shared hierarchies)
+# ---------------------------------------------------------------------------
+
+NESTED_SQL = (
+    "SELECT store, SUM(amount) FROM Sales "
+    "WHERE amount < (SELECT SUM(amount) FROM Sales) GROUP BY store"
+)
+
+
+def test_nested_views_deduplicate_across_views():
+    schema = {"Sales": ("store", "amount")}
+    session = Session(schema)
+    session.view("below_total", NESTED_SQL)
+    session.view("below_total_panel", NESTED_SQL)
+    report = session.sharing_report()
+    # The duplicate panel aliases the result map *and* the auxiliary maps of
+    # the nested hierarchy (inner aggregate + base copy).
+    assert report["maps_deduplicated"] >= 3
+    assert session["below_total_panel"].shares_storage
+
+
+def test_nested_view_maintains_and_bootstraps_late():
+    schema = {"Sales": ("store", "amount")}
+    session = Session(schema)
+    view = session.view("below_total", NESTED_SQL)
+    reference = NaiveReevaluation(parse_sql_query(NESTED_SQL, schema), schema)
+    rng = random.Random(37)
+    live = []
+    for _ in range(160):
+        if live and rng.random() < 0.3:
+            from repro.gmr.database import Update
+
+            row = live.pop(rng.randrange(len(live)))
+            update = Update(-1, "Sales", row)
+        else:
+            row = (rng.randrange(4), rng.randrange(9))
+            live.append(row)
+            update = insert("Sales", *row)
+        session.apply(update)
+        reference.apply(update)
+    assert result_as_mapping(view.result()) == result_as_mapping(reference.result())
+    late = session.view("late_copy", NESTED_SQL, backend="interpreted")
+    assert result_as_mapping(late.result()) == result_as_mapping(reference.result())
+
+
+def parse_sql_query(sql, schema):
+    from repro.sql.frontend import sql_to_agca
+
+    return sql_to_agca(sql, schema)

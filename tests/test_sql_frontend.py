@@ -119,3 +119,139 @@ def test_to_string_of_translation_is_parseable():
         CUSTOMER_SCHEMA,
     )
     assert parse(to_string(query)) == query
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic associativity (regression: SUM(a - b - c) parsed right-associative)
+# ---------------------------------------------------------------------------
+
+
+def _scalar_sum(sql, rows):
+    """Evaluate a single-relation SUM over the given R(a, b, c) rows."""
+    from repro.gmr.database import Database, insert
+
+    schema = {"R": ("a", "b", "c")}
+    db = Database(schema=schema)
+    for row in rows:
+        db.apply(insert("R", *row))
+    query = sql_to_agca(sql, schema)
+    return evaluate(query, db)[EMPTY_RECORD]
+
+
+def test_chained_subtraction_is_left_associative():
+    # 10 - 3 - 2 must be 5, not 10 - (3 - 2) = 9.
+    assert _scalar_sum("SELECT SUM(a - b - c) FROM R", [(10, 3, 2)]) == 5
+
+
+def test_mixed_additive_operators_are_left_associative():
+    assert _scalar_sum("SELECT SUM(a - b + c) FROM R", [(10, 3, 2)]) == 9
+    assert _scalar_sum("SELECT SUM(a + b - c) FROM R", [(10, 3, 2)]) == 11
+
+
+def test_multiplication_binds_tighter_than_addition():
+    assert _scalar_sum("SELECT SUM(a + b * c) FROM R", [(10, 3, 2)]) == 16
+    assert _scalar_sum("SELECT SUM(a - b * c) FROM R", [(10, 3, 2)]) == 4
+    assert _scalar_sum("SELECT SUM((a - b) * c) FROM R", [(10, 3, 2)]) == 14
+    assert _scalar_sum("SELECT SUM(a * b - c) FROM R", [(10, 3, 2)]) == 28
+
+
+# ---------------------------------------------------------------------------
+# Scalar subqueries in WHERE and the HAVING clause (nested aggregates)
+# ---------------------------------------------------------------------------
+
+
+def test_parse_sql_having_clause():
+    parsed = parse_sql(
+        "SELECT a, SUM(b) FROM R GROUP BY a HAVING SUM(c) >= 10 AND COUNT(*) > 1"
+    )
+    assert parsed.having == ["SUM(c) >= 10", "COUNT(*) > 1"]
+
+
+def test_parse_sql_keeps_subquery_conditions_whole():
+    parsed = parse_sql(
+        "SELECT SUM(a) FROM R WHERE b < (SELECT SUM(x) FROM S WHERE x > 1 AND x < 9) AND c > 0"
+    )
+    assert len(parsed.conditions) == 2
+    assert "SELECT" in parsed.conditions[0].upper()
+
+
+def test_uncorrelated_subquery_translates_to_nested_aggregate():
+    schema = {"R": ("a", "b"), "S": ("g", "x")}
+    query = sql_to_agca("SELECT SUM(b) FROM R WHERE b < (SELECT SUM(x) FROM S)", schema)
+    text = to_string(query)
+    assert "Sum(" in text and "S(" in text
+    # The subquery's variables are kept distinct from the outer query's.
+    assert "__s1_" in text
+
+
+def test_correlated_subquery_shares_the_outer_variable():
+    schema = {"R": ("a", "b"), "S": ("g", "x")}
+    query = sql_to_agca(
+        "SELECT r.a, SUM(r.b) FROM R r "
+        "WHERE r.b < (SELECT SUM(s.x) FROM S s WHERE s.g = r.a) GROUP BY r.a",
+        schema,
+    )
+    text = to_string(query)
+    assert "= a)" in text.replace("r_", ""), text
+
+
+def test_having_aggregate_ranges_over_the_group(customers_db):
+    # Nations have 2 (FRANCE), 1 (GERMANY) and 3 (JAPAN) customers.
+    keep = sql_to_agca(
+        "SELECT nation, COUNT(*) FROM C GROUP BY nation HAVING COUNT(*) > 1",
+        CUSTOMER_SCHEMA,
+    )
+    assert len(evaluate(keep, customers_db).support()) == 2
+    only_japan = sql_to_agca(
+        "SELECT nation, COUNT(*) FROM C GROUP BY nation HAVING COUNT(*) > 2",
+        CUSTOMER_SCHEMA,
+    )
+    [record] = evaluate(only_japan, customers_db).support()
+    assert record["nation"] == "JAPAN"
+    drop = sql_to_agca(
+        "SELECT nation, COUNT(*) FROM C GROUP BY nation HAVING COUNT(*) > 3",
+        CUSTOMER_SCHEMA,
+    )
+    assert evaluate(drop, customers_db).is_zero()
+
+
+def test_subquery_and_having_queries_compile_and_maintain():
+    """The new SQL surface runs end to end on the compiled backends."""
+    import random
+
+    from repro.gmr.database import delete, insert
+    from repro.ivm.naive import NaiveReevaluation
+    from repro.ivm.recursive import RecursiveIVM
+
+    schema = {"Sales": ("store", "amount")}
+    sqls = [
+        "SELECT store, SUM(amount) FROM Sales "
+        "WHERE amount < (SELECT SUM(amount) FROM Sales) GROUP BY store",
+        "SELECT store, SUM(amount) FROM Sales GROUP BY store HAVING COUNT(*) > 2",
+    ]
+    rng = random.Random(23)
+    for sql in sqls:
+        query = sql_to_agca(sql, schema)
+        engine = RecursiveIVM(query, schema, backend="generated")
+        reference = NaiveReevaluation(query, schema)
+        live = []
+        for position in range(180):
+            if live and rng.random() < 0.3:
+                update = delete(*live.pop(rng.randrange(len(live))))
+            else:
+                row = ("Sales", rng.randrange(4), rng.randrange(8))
+                live.append(row)
+                update = insert(*row)
+            engine.apply(update)
+            reference.apply(update)
+            if position % 19 == 0 or position == 179:
+                assert engine.result() == reference.result(), (sql, position)
+
+
+def test_subquery_error_cases():
+    schema = {"R": ("a", "b"), "S": ("g", "x")}
+    with pytest.raises(ParseError):
+        # Grouped subqueries are not scalar.
+        sql_to_agca(
+            "SELECT SUM(b) FROM R WHERE b < (SELECT g, SUM(x) FROM S GROUP BY g)", schema
+        )
