@@ -1,4 +1,4 @@
-"""Regenerate the offline experiment tables (E1–E8) and print them.
+"""Regenerate the offline experiment tables (E1–E11) and print them.
 
 This is the offline companion of the pytest-benchmark files under
 ``benchmarks/`` (see the README's "Tests and benchmarks" section): it
@@ -7,10 +7,18 @@ paper's worked examples land — in one run.  Run with:
 
     PYTHONPATH=src python benchmarks/run_experiments.py            # everything
     PYTHONPATH=src python benchmarks/run_experiments.py E2 E4      # a subset
+
+``--json out.json`` additionally writes a machine-readable record of the run
+(per-experiment wall time plus whatever numbers the experiment returns) —
+this is what CI uploads as the perf-trajectory artifact, so speedups are
+comparable across commits.  ``REPRO_BENCH_SMOKE=1`` shrinks the measured
+experiments to their smoke configurations.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 import time
 
@@ -249,6 +257,29 @@ def experiment_e8(sizes=(100, 1000, 5000)) -> None:
     print(table.render())
 
 
+def experiment_e9():
+    _header("E9  Batch triggers (relation-valued deltas) vs grouped per-tuple replay")
+    import bench_batch_updates
+
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    length = 4_000 if smoke else 20_000
+    speedups = bench_batch_updates.measure_batch_trigger_speedups(stream_length=length)
+    table = Table(["backend", "query", "replay (s)", "batch (s)", "speedup"])
+    for backend, per_query in speedups.items():
+        for query_name, row in per_query.items():
+            table.add_row(
+                backend, query_name, row["replay_s"], row["batch_s"],
+                f"{row['speedup']:.2f}x" + ("*" if row["asserted"] else ""),
+            )
+    print(table.render())
+    print(f"(* asserted >= 2x at batch size {bench_batch_updates.DELTA_BATCH_SIZE})")
+    return {
+        "batch_size": bench_batch_updates.DELTA_BATCH_SIZE,
+        "stream_length": length,
+        "speedups": speedups,
+    }
+
+
 def experiment_e11() -> None:
     _header("E11 nested aggregates: materialization hierarchy vs re-evaluation")
     import bench_nested_aggregates
@@ -267,14 +298,43 @@ EXPERIMENTS = {
     "E6": experiment_e6,
     "E7": experiment_e7,
     "E8": experiment_e8,
+    "E9": experiment_e9,
     "E11": experiment_e11,
 }
 
 
 def main(argv) -> None:
-    selected = [name.upper() for name in argv] or list(EXPERIMENTS)
-    for name in selected:
-        EXPERIMENTS[name]()
+    json_path = None
+    selected_names = []
+    arguments = list(argv)
+    while arguments:
+        argument = arguments.pop(0)
+        if argument == "--json":
+            if not arguments:
+                raise SystemExit("--json requires an output path")
+            json_path = arguments.pop(0)
+        else:
+            selected_names.append(argument.upper())
+    selected = selected_names or list(EXPERIMENTS)
+    record = {
+        "smoke": bool(os.environ.get("REPRO_BENCH_SMOKE")),
+        "experiments": {},
+    }
+    try:
+        for name in selected:
+            started = time.perf_counter()
+            payload = EXPERIMENTS[name]()
+            entry = {"seconds": time.perf_counter() - started}
+            if payload is not None:
+                entry["results"] = payload
+            record["experiments"][name] = entry
+    finally:
+        # Dump whatever completed even if a later experiment raised, so the
+        # perf-trajectory artifact keeps its partial measurements.
+        if json_path is not None:
+            with open(json_path, "w") as handle:
+                json.dump(record, handle, indent=2, sort_keys=True)
+            print(f"\nwrote machine-readable results to {json_path}")
 
 
 if __name__ == "__main__":

@@ -4,11 +4,14 @@ Four SQL aggregates — revenue per customer nation, revenue per customer,
 order count per customer and total revenue — are registered as views on one
 :class:`repro.Session` and maintained over a live stream of customers,
 orders, line items and order cancellations.  The dashboard never re-runs the
-joins: every update touches a constant number of map entries per maintained
-value, and because the views overlap, their compiled hierarchies *share*
-materialized maps (one shared map instead of one per view), which the
-sharing report at the end quantifies.  A change subscription streams
-per-nation revenue deltas as they happen.
+joins, and the stream is fed in **batches** through ``Session.apply_batch``:
+each batch is pre-aggregated into per-relation delta maps and folded by the
+compiled batch triggers once per ``(relation, sign)`` group — with
+insert/delete pairs (an order placed and cancelled within one batch)
+cancelled before any trigger runs.  Because the views overlap, their
+compiled hierarchies *share* materialized maps, which the sharing report at
+the end quantifies.  A change subscription streams one consolidated
+per-nation revenue delta per batch.
 
 Run with:  python examples/sales_dashboard.py
 """
@@ -49,11 +52,16 @@ def main() -> None:
     generator = SalesStreamGenerator(customers=24, seed=42, order_cancel_fraction=0.2)
     stream = generator.generate(orders=400)
 
-    checkpoint_every = len(stream) // 4
-    for index, update in enumerate(stream, start=1):
-        session.apply(update)
-        if index % checkpoint_every == 0:
-            print(f"\n=== after {index} updates ({update!r} was the last one) ===")
+    # Feed the stream in batches: one pre-aggregated delta map per relation
+    # per batch, one fold per distinct key — and a checkpoint per quarter.
+    batch_size = 50
+    checkpoint_every = (len(stream) // 4 // batch_size) * batch_size or batch_size
+    applied = 0
+    for batch in stream.batches(batch_size):
+        session.apply_batch(batch)
+        applied += len(batch)
+        if applied % checkpoint_every == 0:
+            print(f"\n=== after {applied} updates (batches of {batch_size}) ===")
             table = Table(["nation", "revenue"], title="Revenue per nation")
             for (nation,), value in sorted(session["revenue"].result().items()):
                 table.add_row(nation, value)
@@ -75,7 +83,8 @@ def main() -> None:
     )
     print(
         f"The revenue view fired {len(change_events)} change events "
-        f"({sum(change_events)} per-nation deltas) over {len(stream)} updates."
+        f"({sum(change_events)} per-nation deltas) over {len(stream)} updates "
+        f"fed in batches of {batch_size} — one consolidated delta per batch."
     )
     print("The compiled revenue program:")
     print(session.explain())

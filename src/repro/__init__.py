@@ -11,7 +11,7 @@ __version__ = "1.1.0"
 
 from repro.session import MapCatalog, MaterializedView, Session
 
-from repro.gmr import GMR, PGMR, Database, Record, Update, delete, insert
+from repro.gmr import GMR, PGMR, Database, Record, Update, coalesce_updates, delete, insert
 from repro.core import (
     AggSum,
     Assign,
@@ -59,6 +59,7 @@ __all__ = [
     "Update",
     "insert",
     "delete",
+    "coalesce_updates",
     "AggSum",
     "Assign",
     "Compare",

@@ -30,13 +30,17 @@ Three properties of the generated module matter for the paper's cost claims:
   entries are inserted and removed.
 
 * **A batch-update path.**  ``apply_batch`` groups a batch of single-tuple
-  updates by ``(relation, sign)`` and runs each group through a specialized
-  batched trigger that hoists the per-statement map-table lookups out of the
-  per-tuple loop and dispatches once per group instead of once per tuple.
-  Each tuple's statements are still evaluated against the pre-update state in
-  Equation (1) order and its increments folded in one pass, so a batch is
-  equivalent to applying its updates one at a time (single-tuple updates over
-  a ring commute).
+  updates by ``(relation, sign)``, pre-aggregates each group into a delta map
+  ``∆R : values → multiplicity``, and dispatches it to a generated *batch
+  trigger* compiled from the relation-valued delta of each map's definition
+  (``repro.core.delta.BatchUpdateEvent``): every statement is one fold over
+  the delta map joined against the existing maps, applied with one
+  read-modify-write per distinct target key, and recompute statements run
+  once per group.  Statements that are pure key projections of ``∆R`` (the
+  base-copy shape) skip expression evaluation entirely.  The pre-batch-trigger
+  path — grouped per-tuple replay with hoisted table lookups — is kept as
+  ``apply_batch_replay``, the reference baseline the batch benchmark compares
+  against and the fallback for events without a batch trigger.
 
 In addition, the generated functions thread an optional change-collection
 hook (``_CH``): a mapping from *watched* map names to accumulator dicts into
@@ -57,7 +61,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.algebra.semirings import FLOAT_FIELD, INTEGER_RING, Semiring
 from repro.compiler.indexes import IndexSpecs, SliceIndexes, compute_index_specs
-from repro.compiler.triggers import Statement, Trigger, TriggerProgram
+from repro.compiler.triggers import BatchTrigger, Statement, Trigger, TriggerProgram
 from repro.core.ast import (
     Add,
     AggSum,
@@ -81,6 +85,7 @@ _PYTHON_OPS = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="
 _RESERVED_NAMES = (
     "maps", "values", "values_list", "relation", "sign", "updates",
     "_new", "_fkey", "_chm", "_CH", "_IDX", "_TRK", "_sk", "_key", "_old",
+    "_delta", "_dk", "_dv", "_vals",
 )
 
 
@@ -243,6 +248,7 @@ class GeneratedTriggers:
         self._stats: Dict[str, int] = self._namespace["_STATS"]
         self._apply_update = self._namespace["apply_update"]
         self._apply_batch = self._namespace["apply_batch"]
+        self._apply_batch_replay = self._namespace["apply_batch_replay"]
         self._own_indexes: Optional[SliceIndexes] = None
         self._own_maps: Optional[Dict[str, Dict[Tuple[Any, ...], Any]]] = None
         self._own_counts: Dict[str, int] = {}
@@ -275,16 +281,36 @@ class GeneratedTriggers:
         indexes: Optional[SliceIndexes] = None,
         changes: Optional[Dict[str, Dict[Tuple[Any, ...], Any]]] = None,
     ) -> None:
-        """Apply a batch of updates, grouped by ``(relation, sign)``.
+        """Apply a batch of updates through the generated batch triggers.
 
-        Equivalent to applying the updates one at a time (single-tuple updates
-        over a ring commute, so the per-group reordering is unobservable in
-        the final map state), but dispatches once per group and hoists map
-        lookups out of the per-tuple loop.  ``changes`` collects per-key deltas
-        of watched maps across the whole batch, as in :meth:`apply`.
+        The batch is grouped by ``(relation, sign)``, each group is
+        pre-aggregated into a delta map, and the group's batch trigger folds
+        it once — one read-modify-write per distinct target key.  Equivalent
+        to applying the updates one at a time (the batch statements include
+        the delta's higher-order interaction terms); events without a batch
+        trigger fall back to grouped per-tuple replay.  ``changes`` collects
+        per-key deltas of watched maps across the whole batch, as in
+        :meth:`apply`.
         """
         data = self._index_data(maps, indexes)
         self._apply_batch(maps, updates, data, changes)
+        self._note_own_counts(maps, data)
+
+    def apply_batch_replay(
+        self,
+        maps: Dict[str, Dict[Tuple[Any, ...], Any]],
+        updates: Iterable[Any],
+        indexes: Optional[SliceIndexes] = None,
+        changes: Optional[Dict[str, Dict[Tuple[Any, ...], Any]]] = None,
+    ) -> None:
+        """Apply a batch by grouped per-tuple replay (the pre-batch-trigger path).
+
+        One full trigger execution per tuple with dispatch and table lookups
+        amortized per ``(relation, sign)`` group — the reference baseline the
+        batch-update benchmark compares the batch triggers against.
+        """
+        data = self._index_data(maps, indexes)
+        self._apply_batch_replay(maps, updates, data, changes)
         self._note_own_counts(maps, data)
 
     def _index_data(self, maps, indexes: Optional[SliceIndexes]):
@@ -368,6 +394,7 @@ def generate_python(program: TriggerProgram, ring: Semiring = INTEGER_RING) -> G
     writer.emit("_NO_KEYS = ()")
     if not native:
         writer.emit("_ZERO = _RING.zero")
+        writer.emit("_ONE = _RING.one")
         writer.emit("_add = _RING.add")
         writer.emit("_sub = _RING.sub")
         writer.emit("_mul = _RING.mul")
@@ -381,18 +408,31 @@ def generate_python(program: TriggerProgram, ring: Semiring = INTEGER_RING) -> G
         _emit_recompute_apply(context)
 
     dispatch_entries = []
+    replay_entries = []
     batch_entries = []
     ordered_triggers = sorted(program.triggers.items(), key=lambda item: (item[0][0], -item[0][1]))
     for (relation, sign), trigger in ordered_triggers:
         dispatch_entries.append(f"    ({relation!r}, {sign}): {trigger.event_name},")
-        batch_entries.append(f"    ({relation!r}, {sign}): batch_{trigger.event_name},")
+        replay_entries.append(f"    ({relation!r}, {sign}): replay_{trigger.event_name},")
         _generate_trigger(context, trigger)
         writer.emit("")
-        _generate_batch_trigger(context, trigger)
+        _generate_replay_trigger(context, trigger)
+        writer.emit("")
+    ordered_batch = sorted(
+        program.batch_triggers.items(), key=lambda item: (item[0][0], -item[0][1])
+    )
+    for (relation, sign), batch_trigger in ordered_batch:
+        batch_entries.append(f"    ({relation!r}, {sign}): batch_{batch_trigger.event_name},")
+        _generate_batch_delta_trigger(context, batch_trigger)
         writer.emit("")
 
     writer.emit("TRIGGERS = {")
     for entry in dispatch_entries:
+        writer.emit(entry)
+    writer.emit("}")
+    writer.emit("")
+    writer.emit("REPLAY_TRIGGERS = {")
+    for entry in replay_entries:
         writer.emit(entry)
     writer.emit("}")
     writer.emit("")
@@ -408,7 +448,7 @@ def generate_python(program: TriggerProgram, ring: Semiring = INTEGER_RING) -> G
     writer.emit("    if _trigger is not None:")
     writer.emit("        _trigger(maps, values, _IDX, _CH)")
     writer.emit("")
-    writer.emit("def apply_batch(maps, updates, _IDX=None, _CH=None):")
+    writer.emit("def _group_by_event(updates):")
     writer.emit("    _groups = {}")
     writer.emit("    for _update in updates:")
     writer.emit("        _event = (_update.relation, _update.sign)")
@@ -417,8 +457,43 @@ def generate_python(program: TriggerProgram, ring: Semiring = INTEGER_RING) -> G
     writer.emit("            _groups[_event] = [_update.values]")
     writer.emit("        else:")
     writer.emit("            _group.append(_update.values)")
-    writer.emit("    for _event, _values_list in _groups.items():")
-    writer.emit("        _trigger = BATCH_TRIGGERS.get(_event)")
+    writer.emit("    return _groups")
+    writer.emit("")
+    writer.emit("def apply_batch(maps, updates, _IDX=None, _CH=None):")
+    writer.emit("    # Pre-aggregate straight into per-event delta maps; only events")
+    writer.emit("    # without a batch trigger keep a values list for replay.")
+    writer.emit("    _groups = {}")
+    writer.emit("    _replays = {}")
+    writer.emit("    for _update in updates:")
+    writer.emit("        _event = (_update.relation, _update.sign)")
+    writer.emit("        if _event in BATCH_TRIGGERS:")
+    writer.emit("            _delta = _groups.get(_event)")
+    writer.emit("            if _delta is None:")
+    writer.emit("                _delta = _groups[_event] = {}")
+    writer.emit("            _vals = _update.values")
+    if native:
+        writer.emit("            _delta[_vals] = _delta.get(_vals, 0) + 1")
+    else:
+        writer.emit("            _delta[_vals] = _add(_delta.get(_vals, _ZERO), _ONE)")
+    writer.emit("        else:")
+    writer.emit("            _group = _replays.get(_event)")
+    writer.emit("            if _group is None:")
+    writer.emit("                _replays[_event] = [_update.values]")
+    writer.emit("            else:")
+    writer.emit("                _group.append(_update.values)")
+    writer.emit("    for _event, _delta in _groups.items():")
+    if not native:
+        writer.emit("        _delta = {_k: _v for _k, _v in _delta.items() if not _is_zero(_v)}")
+    writer.emit("        if _delta:")
+    writer.emit("            BATCH_TRIGGERS[_event](maps, _delta, _IDX, _CH)")
+    writer.emit("    for _event, _values_list in _replays.items():")
+    writer.emit("        _trigger = REPLAY_TRIGGERS.get(_event)")
+    writer.emit("        if _trigger is not None:")
+    writer.emit("            _trigger(maps, _values_list, _IDX, _CH)")
+    writer.emit("")
+    writer.emit("def apply_batch_replay(maps, updates, _IDX=None, _CH=None):")
+    writer.emit("    for _event, _values_list in _group_by_event(updates).items():")
+    writer.emit("        _trigger = REPLAY_TRIGGERS.get(_event)")
     writer.emit("        if _trigger is not None:")
     writer.emit("            _trigger(maps, _values_list, _IDX, _CH)")
     writer.emit("")
@@ -577,19 +652,10 @@ def _generate_trigger(context: _EmitContext, trigger: Trigger) -> None:
     writer.dedent()
 
 
-def _generate_batch_trigger(context: _EmitContext, trigger: Trigger) -> None:
-    """A per-group trigger: table lookups hoisted, one dispatch per batch group.
-
-    Recompute statements run once per batch group, after every tuple's
-    ordinary statements have been folded — re-deriving an entry is a sync to
-    the current source state, so deferring it to the end of the group yields
-    the same final state as per-tuple recomputation (ordinary statements
-    never read a map that the same trigger recomputes).
-    """
-    writer = context.writer
-    names = _NameAllocator()
-    counter = [0]
-    tracked_maps = _tracked_source_maps(trigger)
+def _collect_table_locals(
+    trigger, names: _NameAllocator, skip: Tuple[str, ...] = ()
+) -> Tuple[Dict[str, str], List[str]]:
+    """Hoisted map-table locals for every map a trigger's statements touch."""
     table_locals: Dict[str, str] = {}
     touched: List[str] = []
     reads: List[str] = []
@@ -598,12 +664,34 @@ def _generate_batch_trigger(context: _EmitContext, trigger: Trigger) -> None:
     for recompute in trigger.recomputes:
         reads.extend((recompute.target,) + recompute.maps_read())
     for name in reads:
+        if name in skip:
+            continue
         if name not in table_locals:
             local = f"_tbl{len(table_locals)}"
             names.reserve(local)
             table_locals[name] = local
             touched.append(name)
-    writer.emit(f"def batch_{trigger.event_name}(maps, values_list, _IDX=None, _CH=None):")
+    return table_locals, touched
+
+
+def _generate_replay_trigger(context: _EmitContext, trigger: Trigger) -> None:
+    """A per-group replay trigger: table lookups hoisted, one dispatch per group.
+
+    This is the pre-batch-trigger path (one full trigger execution per tuple,
+    amortizing only dispatch and table lookups); it remains the reference
+    baseline for the batch benchmark and the fallback for events without a
+    compiled batch trigger.  Recompute statements run once per batch group,
+    after every tuple's ordinary statements have been folded — re-deriving an
+    entry is a sync to the current source state, so deferring it to the end
+    of the group yields the same final state as per-tuple recomputation
+    (ordinary statements never read a map that the same trigger recomputes).
+    """
+    writer = context.writer
+    names = _NameAllocator()
+    counter = [0]
+    tracked_maps = _tracked_source_maps(trigger)
+    table_locals, touched = _collect_table_locals(trigger, names)
+    writer.emit(f"def replay_{trigger.event_name}(maps, values_list, _IDX=None, _CH=None):")
     writer.block()
     writer.emit(
         f'_STATS["statements"] += {len(trigger.statements)} * len(values_list)'
@@ -623,6 +711,39 @@ def _generate_batch_trigger(context: _EmitContext, trigger: Trigger) -> None:
         writer.block()
         _generate_trigger_body(context, trigger, names, table_ref, tracked_maps, counter)
         writer.dedent()
+    _generate_recomputes(context, trigger, names, table_ref, tracked_maps, counter)
+    writer.dedent()
+
+
+def _generate_batch_delta_trigger(context: _EmitContext, trigger: BatchTrigger) -> None:
+    """A relation-valued batch trigger: one fold over the delta map per statement.
+
+    ``_delta`` is the pre-aggregated batch ``values → multiplicity``.  The
+    statement bodies were compiled from the delta with respect to the whole
+    delta relation, so a single evaluation per group — accumulators keyed by
+    target key, folded once per distinct key — produces exactly the state
+    per-tuple replay would, including the within-batch interaction terms.
+    Recomputes run once per group after the folds, as in replay mode.
+    """
+    writer = context.writer
+    names = _NameAllocator()
+    counter = [0]
+    tracked_maps = _tracked_source_maps(trigger)
+    table_locals, touched = _collect_table_locals(trigger, names, skip=(trigger.delta_map,))
+    writer.emit(f"def batch_{trigger.event_name}(maps, _delta, _IDX=None, _CH=None):")
+    writer.block()
+    writer.emit(
+        f'_STATS["statements"] += {len(trigger.statements) + len(trigger.recomputes)}'
+    )
+    for name in touched:
+        writer.emit(f"{table_locals[name]} = maps[{name!r}]")
+    if tracked_maps:
+        writer.emit(f"_TRK = {{_n: set() for _n in {tracked_maps!r}}}")
+
+    def table_ref(name: str) -> str:
+        return "_delta" if name == trigger.delta_map else table_locals[name]
+
+    _generate_trigger_body(context, trigger, names, table_ref, tracked_maps, counter)
     _generate_recomputes(context, trigger, names, table_ref, tracked_maps, counter)
     writer.dedent()
 
@@ -664,6 +785,14 @@ def _generate_trigger_body(
             writer.emit(f"{accumulator} = {context.zero_literal()}")
         else:
             writer.emit(f"{accumulator} = {{}}")
+        if getattr(statement, "projection", None) is not None:
+            # Key-projection fast path (batch statements only): the rhs is a
+            # pure projection of the pre-aggregated delta map, so fill the
+            # accumulator in one tight loop without expression machinery.
+            _emit_projection_accumulation(
+                context, statement, accumulator, table_ref, scalar=scalar_flags[index]
+            )
+            continue
         _generate_statement(
             context, statement, trigger.argument_names, accumulator, names, counter,
             table_ref, scalar=scalar_flags[index],
@@ -740,6 +869,61 @@ def _generate_recomputes(
                 f"    _rapply({target_table}, _key, {accumulator}.get(_key, {zero}), "
                 f"{recompute.target!r}, {spec}, _IDX, _CH, {trk_expr})"
             )
+
+
+def _emit_projection_accumulation(
+    context: _EmitContext,
+    statement,
+    accumulator: str,
+    table_ref,
+    scalar: bool,
+) -> None:
+    """One tight loop over the delta map for a pure key-projection statement.
+
+    ``statement`` is a :class:`~repro.compiler.triggers.BatchStatement` whose
+    right-hand side is ``coefficient · ∆R(k…)``: each delta entry contributes
+    ``coefficient * multiplicity`` at the projection of its key onto the
+    target keys (a marginal when some delta key positions are dropped, the
+    total when all are — the scalar case).
+    """
+    writer = context.writer
+    delta_table = table_ref(statement.delta_map)
+    coefficient = statement.coefficient
+    identity = statement.delta_arity is not None and statement.projection == tuple(
+        range(statement.delta_arity)
+    )
+    if scalar and context.native and coefficient in (1, -1):
+        # The whole-batch total at native speed (the Sum(R(...)) shape).
+        total = f"sum({delta_table}.values())"
+        writer.emit(f"{accumulator} = {total if coefficient == 1 else '-' + total}")
+        return
+    if not scalar and identity and context.native and coefficient == 1:
+        # A verbatim copy of the pre-aggregated batch (the base-copy shape);
+        # the delta map is per-group scratch, never reused after the trigger.
+        writer.emit(f"{accumulator} = dict({delta_table})")
+        return
+    value = context.value_product(coefficient, ["_dv"])
+    writer.emit(f"for _dk, _dv in {delta_table}.items():")
+    writer.block()
+    if scalar:
+        writer.emit(f"{accumulator} = {context.folded_add(accumulator, value)}")
+        writer.dedent()
+        return
+    if not statement.projection:
+        key_expression = "()"
+    elif identity:
+        key_expression = "_dk"
+    else:
+        parts = ", ".join(f"_dk[{position}]" for position in statement.projection)
+        writer.emit(f"_fkey = ({parts},)")
+        key_expression = "_fkey"
+    writer.emit(
+        f"{accumulator}[{key_expression}] = "
+        + context.folded_add(
+            f"{accumulator}.get({key_expression}, {context.zero_literal()})", value
+        )
+    )
+    writer.dedent()
 
 
 def _emit_scalar_fold(

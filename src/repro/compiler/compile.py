@@ -58,7 +58,7 @@ from repro.core.ast import (
     mul,
     walk,
 )
-from repro.core.delta import UpdateEvent, delta
+from repro.core.delta import BatchUpdateEvent, UpdateEvent, delta, delta_map_name, is_delta_map
 from repro.core.errors import CompilationError, SchemaError
 from repro.core.factorization import Component, connected_components
 from repro.core.normalization import (
@@ -72,6 +72,8 @@ from repro.core.simplify import make_safe, order_for_safety, rename_variables, s
 from repro.core.variables import all_variables, check_safety
 from repro.compiler.maps import MapDefinition, dependency_depths
 from repro.compiler.triggers import (
+    BatchStatement,
+    BatchTrigger,
     RecomputeStatement,
     Statement,
     Trigger,
@@ -102,10 +104,15 @@ class Compiler:
         """
         body, keys = self._normalize_query(query, group_vars)
         self._validate(body, keys)
+        if is_delta_map(name):
+            raise CompilationError(
+                f"map name {name!r} uses the reserved delta-map prefix"
+            )
 
         self._maps: Dict[str, MapDefinition] = {}
         self._registry: Dict[Tuple[Expr, Tuple[str, ...]], str] = {}
         self._statements: Dict[Tuple[str, int], List[Statement]] = defaultdict(list)
+        self._batch_statements: Dict[Tuple[str, int], List[BatchStatement]] = defaultdict(list)
         self._recomputes: Dict[Tuple[str, int], List[RecomputeStatement]] = defaultdict(list)
         self._base_copies: Dict[str, str] = {}
         self._trigger_relations_cache: Dict[str, frozenset] = {}
@@ -125,12 +132,13 @@ class Compiler:
         while worklist:
             self._process_map(worklist.pop(0), worklist)
 
-        triggers = self._assemble_triggers()
+        triggers, batch_triggers = self._assemble_triggers()
         return TriggerProgram(
             result_map=name,
             maps=dict(self._maps),
             triggers=triggers,
             schema=dict(self.schema),
+            batch_triggers=batch_triggers,
         )
 
     # -- query validation ----------------------------------------------------------
@@ -354,6 +362,119 @@ class Compiler:
                     rhs=rhs,
                 )
                 self._statements[(relation, sign)].append(statement)
+                self._compile_batch_statement(definition, relation, arity, sign, worklist)
+
+    # -- batch (relation-valued) trigger statements -------------------------------------
+
+    def _compile_batch_statement(
+        self,
+        definition: MapDefinition,
+        relation: str,
+        arity: int,
+        sign: int,
+        worklist: List[MapDefinition],
+    ) -> None:
+        """Compile one ``target += fold(∆R)`` statement for a closed-form event.
+
+        The delta is taken with respect to the *relation-valued* update
+        ``±∆R`` (:class:`~repro.core.delta.BatchUpdateEvent`): matching atoms
+        become references to the delta map, whose key variables stay free, so
+        the statement is a fold over the pre-aggregated batch joined against
+        the same materialized child maps the per-tuple statements use (the
+        component registry deduplicates them structurally).  Higher-degree
+        monomials in ``∆R`` — the product rule's ``∆α·∆β`` — carry the
+        within-batch interactions that per-tuple replay realizes sequentially.
+        """
+        event = BatchUpdateEvent(sign, relation, arity)
+        raw_delta = delta(definition.definition, event)
+        if is_zero_literal(raw_delta):
+            return
+        keys = set(definition.key_vars)
+        simplified = simplify(raw_delta, bound_vars=keys, needed_vars=keys)
+        if is_zero_literal(simplified):
+            return
+        rhs_terms: List[Expr] = []
+        for monomial in monomials_of(simplified):
+            compiled = self._compile_batch_monomial(monomial, definition, event, worklist)
+            if compiled is not None:
+                # Alpha-rename the monomial's free variables canonically so the
+                # symmetric terms of a self-join delta (∆R·M over x vs over y)
+                # become structurally equal and combine into one scaled fold.
+                rhs_terms.append(_canonicalize_free_variables(compiled, keys))
+        if not rhs_terms:
+            return
+        rhs = rhs_terms[0] if len(rhs_terms) == 1 else Add(tuple(rhs_terms))
+        rhs = from_polynomial(combine_like_terms(to_polynomial(rhs)))
+        projection, coefficient = _delta_projection(rhs, event.delta_map, definition.key_vars)
+        self._batch_statements[(relation, sign)].append(
+            BatchStatement(
+                target=definition.name,
+                target_keys=definition.key_vars,
+                rhs=rhs,
+                delta_map=event.delta_map,
+                projection=projection,
+                coefficient=coefficient,
+                delta_arity=arity,
+            )
+        )
+
+    def _compile_batch_monomial(
+        self,
+        monomial: Monomial,
+        parent: MapDefinition,
+        event: BatchUpdateEvent,
+        worklist: List[MapDefinition],
+    ) -> Optional[Expr]:
+        """Materialize one batch-delta monomial's relation-bearing components.
+
+        The separator — the variable set across which components must not be
+        merged — is the parent's key variables plus every variable a delta-map
+        reference binds: at execution time those are bound by iterating the
+        (small) delta map, exactly as the per-tuple separator's update
+        arguments are bound by the event.  Because all of a delta reference's
+        variables lie in the separator, delta references always form singleton
+        components and are never swallowed into a materialized child map.
+        """
+        if monomial.is_zero():
+            return None
+        delta_vars = set()
+        for factor in monomial.factors:
+            if isinstance(factor, MapRef) and factor.name == event.delta_map:
+                delta_vars.update(factor.key_vars)
+        separator = frozenset(parent.key_vars) | frozenset(delta_vars)
+        components = connected_components(monomial.factors, separator)
+        rhs_factors: List[Expr] = []
+        for component in components:
+            if component.has_relations:
+                map_reference, deferred = self._materialize_component(
+                    component, separator, parent, worklist
+                )
+                rhs_factors.append(map_reference)
+                rhs_factors.extend(deferred)
+            else:
+                rhs_factors.extend(component.factors)
+        # The delta references drive the fold: list them first so both
+        # executors iterate the (small) batch rather than a materialized map.
+        # The safety ordering then runs over the whole monomial with eager
+        # assignment conversion, so an equality between two delta key
+        # variables (a within-batch self-join) becomes an assignment after
+        # the first reference and turns the second into a hash lookup
+        # instead of a nested scan — in the stored (interpreted) order, not
+        # just in the generated code.
+        driving = [
+            factor
+            for factor in rhs_factors
+            if isinstance(factor, MapRef) and factor.name == event.delta_map
+        ]
+        rest = [
+            factor
+            for factor in rhs_factors
+            if not (isinstance(factor, MapRef) and factor.name == event.delta_map)
+        ]
+        ordered = order_for_safety(
+            driving + rest, bound_vars=(), eager_assignments=True
+        )
+        return Monomial(monomial.coefficient, tuple(ordered)).to_expr()
 
     # -- recompute-based maintenance (maps reading other maps) --------------------------
 
@@ -583,8 +704,11 @@ class Compiler:
 
     # -- trigger assembly ------------------------------------------------------------
 
-    def _assemble_triggers(self) -> Dict[Tuple[str, int], Trigger]:
+    def _assemble_triggers(
+        self,
+    ) -> Tuple[Dict[Tuple[str, int], Trigger], Dict[Tuple[str, int], BatchTrigger]]:
         triggers: Dict[Tuple[str, int], Trigger] = {}
+        batch_triggers: Dict[Tuple[str, int], BatchTrigger] = {}
         for event in sorted(set(self._statements) | set(self._recomputes)):
             relation, sign = event
             # Parents before children: within one event all reads use the
@@ -609,7 +733,96 @@ class Compiler:
                 statements=ordered,
                 recomputes=recomputes,
             )
-        return triggers
+            batch_trigger = build_batch_trigger(
+                relation, sign, self._batch_statements.get(event, ()), recomputes, self._maps
+            )
+            if batch_trigger is not None:
+                batch_triggers[event] = batch_trigger
+        return triggers, batch_triggers
+
+
+def build_batch_trigger(
+    relation: str,
+    sign: int,
+    batch_statements,
+    recomputes: Tuple[RecomputeStatement, ...],
+    maps: Mapping[str, MapDefinition],
+) -> Optional[BatchTrigger]:
+    """Assemble one event's :class:`BatchTrigger`, or ``None`` for a no-op event.
+
+    Statements are ordered parents-before-children (presentational, as for
+    per-tuple triggers); shared between the single-query compiler and the
+    multi-view :class:`repro.session.MapCatalog` so both build identical
+    batch triggers for the same statement set.
+    """
+    ordered = tuple(
+        sorted(batch_statements, key=lambda statement: maps[statement.target].level)
+    )
+    if not ordered and not recomputes:
+        return None
+    return BatchTrigger(
+        relation=relation,
+        sign=sign,
+        delta_map=delta_map_name(relation),
+        statements=ordered,
+        recomputes=recomputes,
+    )
+
+
+def _canonicalize_free_variables(expr: Expr, fixed: "set[str] | frozenset") -> Expr:
+    """Rename every variable outside ``fixed`` to ``__b0, __b1, ...`` in walk order."""
+    renaming: Dict[str, str] = {}
+    fresh = 0
+    for name in ordered_variables(expr):
+        if name in fixed or name in renaming:
+            continue
+        renaming[name] = f"__b{fresh}"
+        fresh += 1
+    return rename_variables(expr, renaming)
+
+
+def _delta_projection(
+    rhs: Expr, delta_map: str, target_keys: Tuple[str, ...]
+) -> Tuple[Optional[Tuple[int, ...]], Any]:
+    """The key-projection analysis behind the pre-aggregated fast fold.
+
+    Returns ``(positions, coefficient)`` when ``rhs`` is exactly one monomial
+    ``coefficient · ∆R(k…)`` over the delta map with pairwise-distinct key
+    variables and every target key among them — the statement is then a pure
+    projection of the pre-aggregated batch onto the target map, executable
+    without evaluating any expression.  ``(None, 1)`` otherwise.
+    """
+    monomials = to_polynomial(rhs)
+    if len(monomials) != 1:
+        return None, 1
+    monomial = monomials[0]
+    if not monomial.factors or not isinstance(monomial.coefficient, (int, float)):
+        return None, 1
+    reference = monomial.factors[0]
+    if not isinstance(reference, MapRef) or reference.name != delta_map:
+        return None, 1
+    if len(set(reference.key_vars)) != len(reference.key_vars):
+        return None, 1
+    # Delta key positions by variable, extended through pure-rename assignments
+    # (``k0 := v0`` with ``v0`` a delta key variable — the base-copy shape).
+    positions_by_variable: Dict[str, int] = {
+        key_var: position for position, key_var in enumerate(reference.key_vars)
+    }
+    for factor in monomial.factors[1:]:
+        if (
+            isinstance(factor, Assign)
+            and isinstance(factor.expr, Var)
+            and factor.expr.name in positions_by_variable
+            and factor.var not in positions_by_variable
+        ):
+            positions_by_variable[factor.var] = positions_by_variable[factor.expr.name]
+            continue
+        return None, 1
+    try:
+        positions = tuple(positions_by_variable[key] for key in target_keys)
+    except KeyError:
+        return None, 1
+    return positions, monomial.coefficient
 
 
 def _produced_variables(factor: Expr) -> frozenset:

@@ -30,6 +30,7 @@ from typing import Any, Dict, Iterable, Mapping, Optional, Set, Tuple
 
 from repro.compiler.triggers import TriggerProgram
 from repro.core.ast import Assign, MapRef
+from repro.core.delta import is_delta_map
 from repro.core.normalization import to_polynomial
 from repro.core.simplify import order_for_safety
 
@@ -63,7 +64,13 @@ def compute_index_specs(program: TriggerProgram) -> IndexSpecs:
                     for index, key_var in enumerate(factor.key_vars)
                     if key_var in bound
                 )
-                if positions and len(positions) < len(factor.key_vars):
+                # Delta maps are transient per-batch tables: they bind their
+                # key variables by iteration but are never worth indexing.
+                if (
+                    positions
+                    and len(positions) < len(factor.key_vars)
+                    and not is_delta_map(factor.name)
+                ):
                     specs.setdefault(factor.name, set()).add(positions)
                 bound.update(factor.key_vars)
 
@@ -95,6 +102,19 @@ def compute_index_specs(program: TriggerProgram) -> IndexSpecs:
                         eager_assignments=True,
                     ),
                     initially_bound,
+                )
+    for batch_trigger in program.batch_triggers.values():
+        # Batch statements start from no bound variables — the delta-map
+        # references bind the batch keys by iteration; replayed in both the
+        # stored order and the generator's reordering, as for recomputes.
+        for statement in batch_trigger.statements:
+            for monomial in to_polynomial(statement.rhs):
+                replay(monomial.factors, ())
+                replay(
+                    order_for_safety(
+                        monomial.factors, bound_vars=(), eager_assignments=True
+                    ),
+                    (),
                 )
     return {name: tuple(sorted(positions)) for name, positions in sorted(specs.items())}
 

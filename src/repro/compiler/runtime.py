@@ -16,11 +16,19 @@ so the AGCA evaluator (and the generated backend, which shares the same
 environment inside :class:`~repro.ivm.recursive.RecursiveIVM`) slices maps by
 bound prefix instead of scanning them.
 
-Batches of updates can be applied with :meth:`TriggerRuntime.apply_batch`,
-which groups the batch by ``(relation, sign)`` and resolves each trigger once
-per group instead of once per tuple.  Single-tuple updates over a ring
-commute, so the per-group reordering leaves the final map state identical to
-one-at-a-time application.
+Batches of updates are applied with :meth:`TriggerRuntime.apply_batch`, which
+executes the program's *batch triggers*: the batch is grouped by
+``(relation, sign)``, each group is pre-aggregated into a delta map
+``∆R : key → multiplicity`` (duplicate tuples add up), and every batch
+statement — the relation-valued delta of its target's definition — is
+evaluated once per group with the delta map bound in the environment, then
+folded with one read-modify-write per distinct target key.  Recompute
+statements run once per group over the union of affected groups.  Because the
+statements include the delta's higher-order terms in ``∆R``, the final state
+equals one-at-a-time application exactly; the PR-1-era grouped per-tuple
+replay is kept as :meth:`TriggerRuntime.apply_batch_replay` — the reference
+semantics the property tests compare against, and the fallback for events
+without a compiled batch trigger.
 
 Both entry points accept an optional ``changes`` argument — a mapping from
 *watched* map names to accumulator dicts — used for change-data-capture: every
@@ -39,7 +47,12 @@ from repro.algebra.semirings import INTEGER_RING, Semiring
 from repro.compiler.cost import RuntimeStatistics
 from repro.compiler.indexes import IndexedMaps, SliceIndexes, compute_index_specs
 from repro.compiler.maps import dependency_depths
-from repro.compiler.triggers import RecomputeStatement, Trigger, TriggerProgram
+from repro.compiler.triggers import (
+    BatchTrigger,
+    RecomputeStatement,
+    Trigger,
+    TriggerProgram,
+)
 from repro.core.ast import AggSum
 from repro.core.semantics import evaluate
 from repro.core.simplify import make_safe
@@ -118,28 +131,75 @@ class TriggerRuntime:
     def apply_batch(
         self, updates: Iterable[Update], changes: Optional[Dict[str, MapTable]] = None
     ) -> None:
-        """Apply a batch of single-tuple updates, grouped by ``(relation, sign)``.
+        """Apply a batch of updates through the compiled batch triggers.
 
-        Each trigger is resolved once per group; every tuple's statements are
-        still evaluated against the pre-update state (Equation (1) order) and
-        its increments folded in one pass, so the final map state is the same
-        as applying the batch one update at a time — ring updates commute.
+        The batch is grouped by ``(relation, sign)`` and each group is
+        pre-aggregated into a delta map ``∆R : values → multiplicity``; the
+        group's batch trigger then runs once — every statement evaluated
+        against the pre-group state, increments folded per distinct key, and
+        recomputes re-derived once over the union of affected groups.  The
+        final map state equals one-at-a-time application (the batch
+        statements carry the delta's higher-order interaction terms).  Events
+        without a batch trigger fall back to grouped per-tuple replay.
         """
-        # Validate the whole batch before touching any map, so a malformed
-        # update cannot leave the hierarchy partially advanced mid-batch.
-        groups: Dict[Tuple[str, int], List[Tuple[Any, ...]]] = {}
-        for update in updates:
-            trigger = self.program.trigger_for(update.relation, update.sign)
-            if trigger is not None:
-                self._check_arity(trigger, update)
-            groups.setdefault((update.relation, update.sign), []).append(update.values)
-        for (relation, sign), values_list in groups.items():
+        ring = self.ring
+        for (relation, sign), values_list in self._validated_groups(updates).items():
+            self.statistics.updates_processed += len(values_list)
+            batch_trigger = self.program.batch_trigger_for(relation, sign)
+            if batch_trigger is not None:
+                delta_table: MapTable = {}
+                for values in values_list:
+                    delta_table[values] = ring.add(
+                        delta_table.get(values, ring.zero), ring.one
+                    )
+                delta_table = {
+                    key: value
+                    for key, value in delta_table.items()
+                    if not ring.is_zero(value)
+                }
+                if delta_table:
+                    self._apply_batch_trigger(batch_trigger, delta_table, changes)
+                continue
+            trigger = self.program.trigger_for(relation, sign)
+            if trigger is None:
+                continue
+            for values in values_list:
+                self._apply_trigger(trigger, values, changes)
+
+    def apply_batch_replay(
+        self, updates: Iterable[Update], changes: Optional[Dict[str, MapTable]] = None
+    ) -> None:
+        """Grouped per-tuple replay of a batch (the pre-batch-trigger path).
+
+        Each trigger is resolved once per ``(relation, sign)`` group and every
+        tuple's statements are evaluated and folded one tuple at a time.  This
+        is the reference semantics batch triggers are checked against and the
+        baseline the batch-update benchmark compares with.
+        """
+        for (relation, sign), values_list in self._validated_groups(updates).items():
             self.statistics.updates_processed += len(values_list)
             trigger = self.program.trigger_for(relation, sign)
             if trigger is None:
                 continue
             for values in values_list:
                 self._apply_trigger(trigger, values, changes)
+
+    def _validated_groups(
+        self, updates: Iterable[Update]
+    ) -> Dict[Tuple[str, int], List[Tuple[Any, ...]]]:
+        """Group a batch by ``(relation, sign)``, arity-checking every update first.
+
+        Validation of the whole batch happens before any map is touched, so a
+        malformed update cannot leave the hierarchy partially advanced
+        mid-batch; shared by the batch-trigger and replay entry points.
+        """
+        groups: Dict[Tuple[str, int], List[Tuple[Any, ...]]] = {}
+        for update in updates:
+            trigger = self.program.trigger_for(update.relation, update.sign)
+            if trigger is not None:
+                self._check_arity(trigger, update)
+            groups.setdefault((update.relation, update.sign), []).append(update.values)
+        return groups
 
     def _check_arity(self, trigger: Trigger, update: Update) -> None:
         if len(trigger.argument_names) != len(update.values):
@@ -157,49 +217,117 @@ class TriggerRuntime:
 
         # Maps whose per-event changed keys the recompute statements need for
         # their affected-group analysis (tracked mode).
-        tracked_sources: Optional[Dict[str, set]] = None
-        if trigger.recomputes:
-            tracked_sources = {}
-            for recompute in trigger.recomputes:
-                if recompute.source_projections:
-                    for source, _positions in recompute.source_projections:
-                        tracked_sources.setdefault(source, set())
+        tracked_sources = self._tracked_sources_for(trigger.recomputes)
 
         # Evaluate every statement against the pre-update state ...
         pending = []
         for statement in trigger.statements:
             self.statistics.statements_executed += 1
-            increments = evaluate(
+            result = evaluate(
                 statement.as_aggregate(), self._environment, bindings, maps=self.maps
             )
+            increments = {
+                record.values_for(statement.target_keys): value
+                for record, value in result.items()
+            }
             pending.append((statement, increments))
 
         # ... then apply all increments, keeping the slice indexes in sync.
-        indexes = self.indexes
         for statement, increments in pending:
-            table = self.maps[statement.target]
-            collector = None if changes is None else changes.get(statement.target)
-            touched = None if tracked_sources is None else tracked_sources.get(statement.target)
-            for record, value in increments.items():
-                key = record.values_for(statement.target_keys)
-                if collector is not None:
-                    collector[key] = self.ring.add(collector.get(key, self.ring.zero), value)
-                if touched is not None and not self.ring.is_zero(value):
-                    touched.add(key)
-                new_value = self.ring.add(table.get(key, self.ring.zero), value)
-                self.statistics.entries_updated += 1
-                if self.ring.is_zero(new_value):
-                    if table.pop(key, None) is not None:
-                        indexes.discard(statement.target, key)
-                else:
-                    if key not in table:
-                        indexes.add(statement.target, key)
-                    table[key] = new_value
+            self._fold_increments(statement.target, increments, changes, tracked_sources)
 
         # Finally re-derive the nested-aggregate readers, inner maps first;
         # each recompute sees the post-update sources and the pre-update target.
         for recompute in trigger.recomputes:
             self._run_recompute(recompute, changes, tracked_sources)
+
+    def _tracked_sources_for(
+        self, recomputes: Tuple[RecomputeStatement, ...]
+    ) -> Optional[Dict[str, set]]:
+        """Fresh per-event changed-key sets for the recomputes' tracked sources."""
+        if not recomputes:
+            return None
+        tracked_sources: Dict[str, set] = {}
+        for recompute in recomputes:
+            if recompute.source_projections:
+                for source, _positions in recompute.source_projections:
+                    tracked_sources.setdefault(source, set())
+        return tracked_sources
+
+    def _apply_batch_trigger(
+        self,
+        batch_trigger: BatchTrigger,
+        delta_table: MapTable,
+        changes: Optional[Dict[str, MapTable]] = None,
+    ) -> None:
+        """Run one batch trigger over a pre-aggregated delta map.
+
+        Statements are evaluated against the pre-group state with the delta
+        map temporarily overlaid into the map environment (under its reserved
+        name, so the evaluator reads it like any other map); a statement with
+        a key projection skips evaluation entirely and folds the delta map
+        straight onto the target's keys.  All increments are folded after all
+        evaluations — the batch form of the snapshot semantics — and the
+        recomputes re-derive once per group.
+        """
+        ring = self.ring
+        tracked_sources = self._tracked_sources_for(batch_trigger.recomputes)
+        pending = []
+        self.maps[batch_trigger.delta_map] = delta_table
+        try:
+            for statement in batch_trigger.statements:
+                self.statistics.statements_executed += 1
+                increments: MapTable = {}
+                if statement.projection is not None:
+                    coefficient = ring.coerce(statement.coefficient)
+                    for key, multiplicity in delta_table.items():
+                        target_key = tuple(key[position] for position in statement.projection)
+                        value = ring.mul(coefficient, multiplicity)
+                        existing = increments.get(target_key)
+                        increments[target_key] = (
+                            value if existing is None else ring.add(existing, value)
+                        )
+                else:
+                    result = evaluate(
+                        statement.as_aggregate(), self._environment, maps=self.maps
+                    )
+                    for record, value in result.items():
+                        increments[record.values_for(statement.target_keys)] = value
+                pending.append((statement, increments))
+        finally:
+            self.maps.pop(batch_trigger.delta_map, None)
+        for statement, increments in pending:
+            self._fold_increments(statement.target, increments, changes, tracked_sources)
+        for recompute in batch_trigger.recomputes:
+            self._run_recompute(recompute, changes, tracked_sources)
+
+    def _fold_increments(
+        self,
+        target: str,
+        increments: MapTable,
+        changes: Optional[Dict[str, MapTable]],
+        tracked_sources: Optional[Dict[str, set]],
+    ) -> None:
+        """Fold per-key increments into one map, maintaining indexes/CDC/tracking."""
+        ring = self.ring
+        table = self.maps[target]
+        indexes = self.indexes
+        collector = None if changes is None else changes.get(target)
+        touched = None if tracked_sources is None else tracked_sources.get(target)
+        for key, value in increments.items():
+            if collector is not None:
+                collector[key] = ring.add(collector.get(key, ring.zero), value)
+            if touched is not None and not ring.is_zero(value):
+                touched.add(key)
+            new_value = ring.add(table.get(key, ring.zero), value)
+            self.statistics.entries_updated += 1
+            if ring.is_zero(new_value):
+                if table.pop(key, None) is not None:
+                    indexes.discard(target, key)
+            else:
+                if key not in table:
+                    indexes.add(target, key)
+                table[key] = new_value
 
     def _run_recompute(
         self,

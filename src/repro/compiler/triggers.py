@@ -11,8 +11,8 @@ what makes per-value maintenance work constant.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.ast import AggSum, Expr, MapRef, walk
 from repro.compiler.maps import MapDefinition
@@ -48,6 +48,59 @@ class Statement:
 
     def __repr__(self) -> str:
         return f"Statement({self.describe()})"
+
+
+@dataclass(frozen=True)
+class BatchStatement:
+    """``target[target_keys] += Σ rhs`` folded over a whole delta map ``∆R``.
+
+    The right-hand side is the relation-valued delta of the target's
+    definition: an AGCA expression whose atoms are references to materialized
+    maps *and* to the transient delta map holding the pre-aggregated batch
+    (``∆R : key → multiplicity``).  Evaluating ``AggSum(target_keys, rhs)``
+    with the delta map bound in the environment yields, per distinct target
+    key, the exact increment the whole batch causes — including the
+    second-order interaction terms between tuples of the batch (the product
+    rule's ``∆α·∆β``), which is what makes one evaluation per batch equal to
+    per-tuple replay.
+
+    ``projection``/``coefficient`` record the *key-projection analysis*: when
+    the right-hand side is exactly ``coefficient · ∆R(k…)`` with distinct key
+    variables and every target key drawn from them, ``projection`` holds the
+    position of each target key inside the delta key tuple and executors can
+    fold the pre-aggregated batch straight onto the target map — one
+    read-modify-write per distinct key, no expression evaluation at all (the
+    base-copy and single-atom aggregate statements, the hottest shapes).
+    """
+
+    target: str
+    target_keys: Tuple[str, ...]
+    rhs: Expr
+    delta_map: str
+    projection: Optional[Tuple[int, ...]] = None
+    coefficient: Any = 1
+    #: Key-tuple arity of the delta map (the relation's arity); lets the
+    #: executors recognize an identity projection without re-walking the rhs.
+    delta_arity: Optional[int] = None
+
+    def as_aggregate(self) -> AggSum:
+        return AggSum(self.target_keys, self.rhs)
+
+    def maps_read(self) -> Tuple[str, ...]:
+        """Names of the maps referenced by the right-hand side (incl. the delta map)."""
+        names = []
+        for node in walk(self.rhs):
+            if isinstance(node, MapRef) and node.name not in names:
+                names.append(node.name)
+        return tuple(names)
+
+    def describe(self) -> str:
+        keys = ", ".join(self.target_keys)
+        mode = f" [project {self.projection}]" if self.projection is not None else ""
+        return f"{self.target}[{keys}] += fold({self.delta_map}){mode} {self.rhs}"
+
+    def __repr__(self) -> str:
+        return f"BatchStatement({self.describe()})"
 
 
 @dataclass(frozen=True)
@@ -144,17 +197,71 @@ class Trigger:
         )
 
 
+@dataclass(frozen=True)
+class BatchTrigger:
+    """All work for one batch group ``±∆R``: statements folded once per batch.
+
+    ``statements`` are evaluated against the pre-batch map state with the
+    pre-aggregated delta map bound under ``delta_map``, then folded — the
+    batch generalization of Equation (1) snapshot semantics.  ``recomputes``
+    run once per batch after the fold, over the union of affected groups,
+    instead of once per tuple.
+    """
+
+    relation: str
+    sign: int
+    delta_map: str
+    statements: Tuple[BatchStatement, ...]
+    recomputes: Tuple[RecomputeStatement, ...] = ()
+
+    #: Batch triggers take a delta map, not positional tuple arguments; the
+    #: empty tuple lets codegen treat them uniformly with per-tuple triggers.
+    @property
+    def argument_names(self) -> Tuple[str, ...]:
+        return ()
+
+    @property
+    def event_name(self) -> str:
+        sign = "insert" if self.sign == 1 else "delete"
+        return f"on_{sign}_{self.relation}"
+
+    def describe(self) -> str:
+        sign = "+" if self.sign == 1 else "-"
+        header = f"ON BATCH {sign}{self.relation} AS {self.delta_map}:"
+        lines = [f"  {statement.describe()}" for statement in self.statements]
+        lines.extend(f"  {recompute.describe()}" for recompute in self.recomputes)
+        body = "\n".join(lines)
+        return f"{header}\n{body}" if body else f"{header}\n  (no-op)"
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchTrigger({self.event_name}, {len(self.statements)} statements, "
+            f"{len(self.recomputes)} recomputes)"
+        )
+
+
 @dataclass
 class TriggerProgram:
-    """A compiled query: the map hierarchy plus one trigger per event kind."""
+    """A compiled query: the map hierarchy plus one trigger per event kind.
+
+    ``triggers`` hold the per-tuple programs (the paper's single-tuple
+    ``±R(~u)`` events); ``batch_triggers`` hold, for the same events, the
+    relation-valued variants whose parameter is a whole delta map.  Programs
+    without batch triggers (hand-built ones) still execute — the runtimes
+    fall back to grouped per-tuple replay for events lacking one.
+    """
 
     result_map: str
     maps: Dict[str, MapDefinition]
     triggers: Dict[Tuple[str, int], Trigger]
     schema: Dict[str, Tuple[str, ...]]
+    batch_triggers: Dict[Tuple[str, int], BatchTrigger] = field(default_factory=dict)
 
     def trigger_for(self, relation: str, sign: int) -> Optional[Trigger]:
         return self.triggers.get((relation, sign))
+
+    def batch_trigger_for(self, relation: str, sign: int) -> Optional[BatchTrigger]:
+        return self.batch_triggers.get((relation, sign))
 
     @property
     def result_definition(self) -> MapDefinition:
@@ -183,6 +290,10 @@ class TriggerProgram:
         lines.append("TRIGGERS:")
         for key in sorted(self.triggers, key=lambda pair: (pair[0], -pair[1])):
             lines.append(self.triggers[key].describe())
+        if self.batch_triggers:
+            lines.append("BATCH TRIGGERS:")
+            for key in sorted(self.batch_triggers, key=lambda pair: (pair[0], -pair[1])):
+                lines.append(self.batch_triggers[key].describe())
         return "\n".join(lines)
 
     def __repr__(self) -> str:

@@ -10,6 +10,17 @@ AGCA is closed under deltas, so the operator can be applied repeatedly
 (:func:`nth_delta`); by Theorem 6.4 every application reduces the degree of a
 query with simple conditions by one, so the ``deg(q)``-th delta no longer
 depends on the database.
+
+Deltas are also defined with respect to a *relation-valued* update: the paper
+takes ``∆_{∆R} q`` for an arbitrary gmr ``∆R`` added to relation ``R``, not
+just a single tuple.  :class:`BatchUpdateEvent` represents such an update
+symbolically — the delta of a matching relation atom is a reference to the
+*delta map* ``∆R : key → multiplicity`` instead of a product of assignments —
+and the ordinary rules (in particular the product rule's ``∆α·∆β`` term, which
+captures the interaction between distinct tuples of one batch) yield the exact
+batch delta.  The delta map itself has delta zero, so one application of
+:func:`delta` produces the full polynomial in ``∆R``.  This is what the
+compiler's batch triggers are built from.
 """
 
 from __future__ import annotations
@@ -36,6 +47,21 @@ from repro.core.ast import (
 )
 from repro.core.errors import DeltaError
 from repro.gmr.database import Update
+
+#: Name prefix of the transient per-relation delta maps batch triggers read.
+#: The prefix is reserved: compiled map hierarchies never use it, the slice
+#: indexes never index it, and the runtimes overlay/remove it per batch group.
+DELTA_MAP_PREFIX = "__delta__"
+
+
+def delta_map_name(relation: str) -> str:
+    """The reserved name of the delta map ``∆R`` for one base relation."""
+    return DELTA_MAP_PREFIX + relation
+
+
+def is_delta_map(name: str) -> bool:
+    """True for the transient delta-map names produced by :func:`delta_map_name`."""
+    return name.startswith(DELTA_MAP_PREFIX)
 
 
 @dataclass(frozen=True)
@@ -90,7 +116,40 @@ class UpdateEvent:
         return f"{sign}{self.relation}({inner})"
 
 
-def delta(expr: Expr, event: UpdateEvent) -> Expr:
+@dataclass(frozen=True)
+class BatchUpdateEvent:
+    """A relation-valued update event ``±∆R`` (a whole batch as one delta map).
+
+    The update adds ``sign · ∆R`` to relation ``relation``, where ``∆R`` is a
+    finite map from key tuples to multiplicities (the pre-aggregated batch:
+    duplicate tuples add up).  Under :func:`delta`, a matching relation atom
+    becomes a :class:`~repro.core.ast.MapRef` to the delta map — its key
+    variables stay free, so the compiled statement iterates the batch — and
+    every other rule applies unchanged.
+    """
+
+    sign: int
+    relation: str
+    arity: int
+
+    def __post_init__(self):
+        if self.sign not in (1, -1):
+            raise ValueError("update sign must be +1 or -1")
+
+    @property
+    def is_insert(self) -> bool:
+        return self.sign == 1
+
+    @property
+    def delta_map(self) -> str:
+        return delta_map_name(self.relation)
+
+    def __repr__(self) -> str:
+        sign = "+" if self.is_insert else "-"
+        return f"{sign}Δ{self.relation}/{self.arity}"
+
+
+def delta(expr: Expr, event: "UpdateEvent | BatchUpdateEvent") -> Expr:
     """The delta query ``∆_u expr`` for the given update event (the rules of §6)."""
     if isinstance(expr, (Const, Var, MapRef)):
         return ZERO
@@ -133,9 +192,17 @@ def delta(expr: Expr, event: UpdateEvent) -> Expr:
     raise TypeError(f"unknown AGCA expression node: {expr!r}")
 
 
-def _delta_relation(expr: Rel, event: UpdateEvent) -> Expr:
+def _delta_relation(expr: Rel, event: "UpdateEvent | BatchUpdateEvent") -> Expr:
     if expr.name != event.relation:
         return ZERO
+    if isinstance(event, BatchUpdateEvent):
+        if len(expr.columns) != event.arity:
+            raise DeltaError(
+                f"update arity mismatch: event {event!r} applied to atom "
+                f"{expr.name}{expr.columns}"
+            )
+        reference = MapRef(event.delta_map, expr.columns)
+        return reference if event.sign == 1 else Neg(reference)
     if len(expr.columns) != len(event.args):
         raise DeltaError(
             f"update arity mismatch: event {event!r} applied to atom {expr.name}{expr.columns}"

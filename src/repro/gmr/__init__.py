@@ -17,6 +17,9 @@
 from repro.gmr.records import Record
 from repro.gmr.relation import GMR
 from repro.gmr.parametrized import PGMR
-from repro.gmr.database import Database, Update, insert, delete
+from repro.gmr.database import Database, Update, coalesce_updates, insert, delete
 
-__all__ = ["Record", "GMR", "PGMR", "Database", "Update", "insert", "delete"]
+__all__ = [
+    "Record", "GMR", "PGMR", "Database", "Update", "insert", "delete",
+    "coalesce_updates",
+]

@@ -65,6 +65,35 @@ def delete(relation: str, *values: Any) -> Update:
     return Update(DELETE, relation, values)
 
 
+def coalesce_updates(updates: Iterable[Update]) -> "list[Update]":
+    """Cancel insert/delete pairs of the same tuple within one batch.
+
+    Returns an equivalent batch in which every ``(relation, values)`` pair
+    appears with only its *net* sign and multiplicity — an insert and a
+    delete of the same tuple annihilate.  Over a ring, applying the
+    coalesced batch yields exactly the state of applying the original one
+    (``D + u - u = D``), so net-zero churn (upserts, rollbacks, rapid
+    add/remove cycles) costs no trigger work at all.  First-seen order of
+    the surviving tuples is preserved.
+    """
+    updates = updates if isinstance(updates, list) else list(updates)
+    net: Dict[Tuple[str, Tuple[Any, ...]], int] = {}
+    for update in updates:
+        key = (update.relation, update.values)
+        net[key] = net.get(key, 0) + update.sign
+    if sum(abs(count) for count in net.values()) == len(updates):
+        # Nothing cancelled: hand the original batch back without rebuilding
+        # it (the executors re-aggregate per event anyway).
+        return updates
+    coalesced: "list[Update]" = []
+    for (relation, values), count in net.items():
+        if count == 0:
+            continue
+        sign = INSERT if count > 0 else DELETE
+        coalesced.extend(Update(sign, relation, values) for _ in range(abs(count)))
+    return coalesced
+
+
 class Database:
     """A named collection of gmrs with declared column orders.
 

@@ -145,11 +145,20 @@ class IVMEngine(ABC):
         per group instead of once per tuple.  Intermediate results between the
         batch's updates are not observable.
         """
+        self._drive_batch(updates, self._apply_batch)
+
+    def _drive_batch(self, updates: Iterable[Update], runner) -> None:
+        """The shared batch driver: change collection, timing, stats, dispatch.
+
+        ``runner`` receives the materialized update list; alternative batch
+        entry points (the recursive engine's replay path) route through this
+        so the CDC/timing protocol lives in one place.
+        """
         updates = updates if isinstance(updates, (list, tuple)) else list(updates)
         if self._change_callbacks:
             self._pending_changes = {}
         started = time.perf_counter()
-        self._apply_batch(updates)
+        runner(updates)
         self.statistics.seconds_in_updates += time.perf_counter() - started
         self.statistics.updates_processed += len(updates)
         if self._pending_changes is not None:

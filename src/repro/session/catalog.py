@@ -26,9 +26,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.compiler.compile import canonical_map_key
+from repro.compiler.compile import build_batch_trigger, canonical_map_key
 from repro.compiler.maps import MapDefinition, dependency_depths
 from repro.compiler.triggers import (
+    BatchStatement,
+    BatchTrigger,
     RecomputeStatement,
     Statement,
     Trigger,
@@ -83,6 +85,8 @@ class MapCatalog:
         self._registry: Dict[Tuple[Expr, Tuple[str, ...]], str] = {}
         #: Merged per-event statements, in absorption order.
         self._statements: Dict[Tuple[str, int], List[Statement]] = {}
+        #: Merged per-event batch (relation-valued) statements.
+        self._batch_statements: Dict[Tuple[str, int], List[BatchStatement]] = {}
         #: Merged per-event recompute statements (nested-aggregate readers).
         self._recomputes: Dict[Tuple[str, int], List[RecomputeStatement]] = {}
         #: View name -> the shared map holding its result.
@@ -113,6 +117,7 @@ class MapCatalog:
             self.maps_deduplicated,
             self.statements_deduplicated,
             {event: list(statements) for event, statements in self._recomputes.items()},
+            {event: list(statements) for event, statements in self._batch_statements.items()},
         )
 
     def rollback(self, state) -> None:
@@ -125,6 +130,7 @@ class MapCatalog:
             self.maps_deduplicated,
             self.statements_deduplicated,
             self._recomputes,
+            self._batch_statements,
         ) = (
             dict(state[0]),
             dict(state[1]),
@@ -133,6 +139,7 @@ class MapCatalog:
             state[4],
             state[5],
             {event: list(statements) for event, statements in state[6].items()},
+            {event: list(statements) for event, statements in state[7].items()},
         )
 
     # -- registration ---------------------------------------------------------
@@ -210,6 +217,25 @@ class MapCatalog:
                         rhs=rename_map_references(statement.rhs, renaming),
                     )
                 )
+            batch_bucket = self._batch_statements.setdefault((relation, sign), [])
+            batch_trigger = program.batch_triggers.get((relation, sign))
+            for statement in () if batch_trigger is None else batch_trigger.statements:
+                target = renaming[statement.target]
+                if target not in new_set:
+                    # Mirrors the per-tuple dedup above; not double-counted in
+                    # ``statements_deduplicated`` (one logical statement).
+                    continue
+                batch_bucket.append(
+                    BatchStatement(
+                        target=target,
+                        target_keys=statement.target_keys,
+                        rhs=rename_map_references(statement.rhs, renaming),
+                        delta_map=statement.delta_map,
+                        projection=statement.projection,
+                        coefficient=statement.coefficient,
+                        delta_arity=statement.delta_arity,
+                    )
+                )
             recompute_bucket = self._recomputes.setdefault((relation, sign), [])
             for recompute in trigger.recomputes:
                 target = renaming[recompute.target]
@@ -248,6 +274,7 @@ class MapCatalog:
         if not self.result_maps:
             raise ValueError("the catalog has no registered views")
         triggers: Dict[Tuple[str, int], Trigger] = {}
+        batch_triggers: Dict[Tuple[str, int], BatchTrigger] = {}
         for event in sorted(
             {event for event in self._statements if self._statements[event]}
             | {event for event in self._recomputes if self._recomputes[event]}
@@ -272,12 +299,18 @@ class MapCatalog:
                 statements=ordered,
                 recomputes=recomputes,
             )
+            batch_trigger = build_batch_trigger(
+                relation, sign, self._batch_statements.get(event, ()), recomputes, self.maps
+            )
+            if batch_trigger is not None:
+                batch_triggers[event] = batch_trigger
         anchor = next(iter(self.result_maps.values()))
         return TriggerProgram(
             result_map=anchor,
             maps=dict(self.maps),
             triggers=triggers,
             schema=dict(self.schema),
+            batch_triggers=batch_triggers,
         )
 
     # -- introspection ---------------------------------------------------------

@@ -38,7 +38,7 @@ from repro.compiler.runtime import TriggerRuntime
 from repro.core.ast import AggSum, Expr
 from repro.core.errors import SchemaError
 from repro.core.parser import parse, to_string
-from repro.gmr.database import Database, Update
+from repro.gmr.database import Database, Update, coalesce_updates
 from repro.gmr.records import Record
 from repro.gmr.relation import GMR
 from repro.ivm.base import EngineStatistics
@@ -366,6 +366,13 @@ class Session:
         Equivalent to applying the updates one at a time (ring updates
         commute) with per-batch amortized costs; ``on_change`` subscribers
         receive one consolidated delta per view for the whole batch.
+
+        Insert/delete pairs of the same tuple are cancelled *before* any
+        trigger runs (:func:`repro.gmr.database.coalesce_updates`): over a
+        ring a net-zero pair cannot change any view, so upsert-style churn
+        costs nothing.  The compiled views then execute their batch triggers
+        — one pre-aggregated delta map per ``(relation, sign)`` group, one
+        fold per distinct key — shared across all views of a backend.
         """
         updates = updates if isinstance(updates, (list, tuple)) else list(updates)
         # Validate the whole batch up front so a malformed update cannot leave
@@ -373,14 +380,16 @@ class Session:
         for update in updates:
             self._validate_update(update)
         started = time.perf_counter()
+        effective = coalesce_updates(updates)
         notifications = []
-        for group in self._groups.values():
-            changes = group.changes_accumulator()
-            group.apply_batch(updates, changes)
-            if changes:
-                notifications.append((group, changes))
-        for view in self._engine_views:
-            view._engine.apply_batch(updates)
+        if effective:
+            for group in self._groups.values():
+                changes = group.changes_accumulator()
+                group.apply_batch(effective, changes)
+                if changes:
+                    notifications.append((group, changes))
+            for view in self._engine_views:
+                view._engine.apply_batch(effective)
         self._note_applied(updates, started)
         self._dispatch(notifications)
 

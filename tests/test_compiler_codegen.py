@@ -24,7 +24,9 @@ def test_generated_module_shape():
     assert "def on_delete_R(maps, values, _IDX=None, _CH=None):" in generated.source
     assert "def apply_update(maps, relation, sign, values, _IDX=None, _CH=None):" in generated.source
     assert "def apply_batch(maps, updates, _IDX=None, _CH=None):" in generated.source
-    assert "def batch_on_insert_R(maps, values_list, _IDX=None, _CH=None):" in generated.source
+    assert "def apply_batch_replay(maps, updates, _IDX=None, _CH=None):" in generated.source
+    assert "def replay_on_insert_R(maps, values_list, _IDX=None, _CH=None):" in generated.source
+    assert "def batch_on_insert_R(maps, _delta, _IDX=None, _CH=None):" in generated.source
     assert set(generated.trigger_function_names()) == {"on_insert_R", "on_delete_R"}
     # The generated code never mentions joins, relations or the evaluator.
     assert "evaluate" not in generated.source
