@@ -1,4 +1,4 @@
-"""Regenerate the offline experiment tables (E1–E11) and print them.
+"""Regenerate the offline experiment tables (E1–E12) and print them.
 
 This is the offline companion of the pytest-benchmark files under
 ``benchmarks/`` (see the README's "Tests and benchmarks" section): it
@@ -280,6 +280,37 @@ def experiment_e9():
     }
 
 
+def experiment_e12():
+    _header("E12 sharded map tables: batch-fold throughput across shard counts")
+    import bench_sharded
+
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    fold_record = bench_sharded.measure_fold_throughput(batches=8 if smoke else 60)
+    table = Table(["shards", "fold (s)", "keys/s", "vs N=1"])
+    base = fold_record["per_shards"][1]["seconds"]
+    for shards, row in fold_record["per_shards"].items():
+        table.add_row(
+            shards, f"{row['seconds']:.4f}", f"{row['keys_per_s']:.0f}",
+            f"{base / row['seconds']:.2f}x",
+        )
+    print(table.render())
+    if fold_record["asserted"]:
+        print(f"(asserted >= {bench_sharded.FOLD_SPEEDUP_BAR}x at N={bench_sharded.ASSERTED_SHARDS})")
+    else:
+        print(
+            f"(>= {bench_sharded.FOLD_SPEEDUP_BAR}x at N={bench_sharded.ASSERTED_SHARDS} "
+            "not asserted: needs a free-threaded interpreter with enough cores)"
+        )
+    apply_record = bench_sharded.measure_batch_apply(
+        stream_length=4_000 if smoke else 20_000, repeats=1 if smoke else 3
+    )
+    return {
+        "batch_size": bench_sharded.BATCH_SIZE,
+        "fold": fold_record,
+        "apply_batch_seconds": apply_record,
+    }
+
+
 def experiment_e11() -> None:
     _header("E11 nested aggregates: materialization hierarchy vs re-evaluation")
     import bench_nested_aggregates
@@ -300,6 +331,7 @@ EXPERIMENTS = {
     "E8": experiment_e8,
     "E9": experiment_e9,
     "E11": experiment_e11,
+    "E12": experiment_e12,
 }
 
 

@@ -34,7 +34,13 @@ from repro.core import (
     to_string,
 )
 
-from repro.compiler import Compiler, TriggerRuntime, compile_query, generate_python
+from repro.compiler import (
+    Compiler,
+    ShardedMapTable,
+    TriggerRuntime,
+    compile_query,
+    generate_python,
+)
 from repro.ivm import (
     ClassicalIVM,
     EngineStatistics,
@@ -80,6 +86,7 @@ __all__ = [
     "simplify",
     "to_string",
     "Compiler",
+    "ShardedMapTable",
     "TriggerRuntime",
     "compile_query",
     "generate_python",

@@ -128,10 +128,23 @@ class Semiring:
         return self.product(value for _ in range(exponent))
 
     def from_int(self, n: int) -> Any:
-        """The image of the integer ``n`` under the canonical map ℤ → A (or ℕ → A)."""
+        """The image of the integer ``n`` under the canonical map ℤ → A (or ℕ → A).
+
+        Computed by binary doubling — O(log n) additions — so net batch
+        multiplicities (``Update.count``) map into the structure in constant
+        practical time even for very large counts.
+        """
         if n < 0:
             return self.neg(self.from_int(-n))
-        return self.sum(self.one for _ in range(n))
+        result = self.zero
+        addend = self.one
+        while n:
+            if n & 1:
+                result = self.add(result, addend)
+            n >>= 1
+            if n:
+                addend = self.add(addend, addend)
+        return result
 
     def __repr__(self) -> str:
         kind = "ring" if self.is_ring else "semiring"

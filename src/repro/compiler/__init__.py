@@ -9,6 +9,8 @@
   (the paper's NC⁰C target, retargeted);
 * :mod:`repro.compiler.indexes` — secondary hash indexes for partially-bound
   map slices (keeps per-update cost proportional to matching entries);
+* :mod:`repro.compiler.sharding` — hash-partitioned map tables and the
+  parallel per-shard batch folds;
 * :mod:`repro.compiler.cost` — operation counting for the constant-work claims.
 """
 
@@ -18,9 +20,13 @@ from repro.compiler.cost import CountingSemiring, OperationCounter, RuntimeStati
 from repro.compiler.indexes import IndexedMaps, SliceIndexes, compute_index_specs
 from repro.compiler.maps import MapDefinition
 from repro.compiler.runtime import TriggerRuntime
+from repro.compiler.sharding import ShardedMapTable, partition_map, shard_of
 from repro.compiler.triggers import RecomputeStatement, Statement, Trigger, TriggerProgram
 
 __all__ = [
+    "ShardedMapTable",
+    "partition_map",
+    "shard_of",
     "Compiler",
     "compile_query",
     "RecomputeStatement",

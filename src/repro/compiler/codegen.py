@@ -42,6 +42,14 @@ Three properties of the generated module matter for the paper's cost claims:
   ``apply_batch_replay``, the reference baseline the batch benchmark compares
   against and the fallback for events without a batch trigger.
 
+* **Sharded folds.**  The shared ``_fold`` helper detects hash-partitioned
+  tables (:class:`~repro.compiler.sharding.ShardedMapTable`) and delegates to
+  a per-shard fold (``_fold_sharded``, injected at module construction):
+  increments split by target-key hash, shard dicts folded concurrently,
+  slice-index maintenance journalled by the workers.  Plain-dict map
+  environments never reach the branch, so unsharded sessions keep the exact
+  in-line fold loops.
+
 In addition, the generated functions thread an optional change-collection
 hook (``_CH``): a mapping from *watched* map names to accumulator dicts into
 which every fold also ring-adds its increments.  This powers the
@@ -61,6 +69,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.algebra.semirings import FLOAT_FIELD, INTEGER_RING, Semiring
 from repro.compiler.indexes import IndexSpecs, SliceIndexes, compute_index_specs
+from repro.compiler.sharding import ShardedMapTable, make_generated_fold_sharded
 from repro.compiler.triggers import BatchTrigger, Statement, Trigger, TriggerProgram
 from repro.core.ast import (
     Add,
@@ -243,7 +252,14 @@ class GeneratedTriggers:
             for name, all_positions in self.index_specs.items()
             for positions in all_positions
         }
-        self._namespace: Dict[str, Any] = {"_RING": ring}
+        self._namespace: Dict[str, Any] = {
+            "_RING": ring,
+            # Sharded map tables (repro.compiler.sharding): the generated
+            # _fold delegates to _fold_sharded when its target table is
+            # hash-partitioned; plain-dict environments never hit the branch.
+            "_SHARDED": ShardedMapTable,
+            "_fold_sharded": make_generated_fold_sharded(ring),
+        }
         exec(compile(source, f"<generated triggers for {program.result_map}>", "exec"), self._namespace)
         self._stats: Dict[str, int] = self._namespace["_STATS"]
         self._apply_update = self._namespace["apply_update"]
@@ -401,6 +417,7 @@ def generate_python(program: TriggerProgram, ring: Semiring = INTEGER_RING) -> G
         writer.emit("_neg = _RING.neg")
         writer.emit("_coerce = _RING.coerce")
         writer.emit("_is_zero = _RING.is_zero")
+        writer.emit("_from_int = _RING.from_int")
     writer.emit("")
     _emit_index_helpers(writer)
     _emit_fold(context)
@@ -449,14 +466,19 @@ def generate_python(program: TriggerProgram, ring: Semiring = INTEGER_RING) -> G
     writer.emit("        _trigger(maps, values, _IDX, _CH)")
     writer.emit("")
     writer.emit("def _group_by_event(updates):")
+    writer.emit("    # Net multiplicities (Update.count > 1, the coalesced compact")
+    writer.emit("    # form) expand back into repeats here: replay triggers run one")
+    writer.emit("    # full trigger execution per logical tuple.")
     writer.emit("    _groups = {}")
     writer.emit("    for _update in updates:")
     writer.emit("        _event = (_update.relation, _update.sign)")
     writer.emit("        _group = _groups.get(_event)")
     writer.emit("        if _group is None:")
-    writer.emit("            _groups[_event] = [_update.values]")
-    writer.emit("        else:")
+    writer.emit("            _group = _groups[_event] = []")
+    writer.emit("        if _update.count == 1:")
     writer.emit("            _group.append(_update.values)")
+    writer.emit("        else:")
+    writer.emit("            _group.extend((_update.values,) * _update.count)")
     writer.emit("    return _groups")
     writer.emit("")
     writer.emit("def apply_batch(maps, updates, _IDX=None, _CH=None):")
@@ -472,15 +494,21 @@ def generate_python(program: TriggerProgram, ring: Semiring = INTEGER_RING) -> G
     writer.emit("                _delta = _groups[_event] = {}")
     writer.emit("            _vals = _update.values")
     if native:
-        writer.emit("            _delta[_vals] = _delta.get(_vals, 0) + 1")
+        writer.emit("            _delta[_vals] = _delta.get(_vals, 0) + _update.count")
     else:
-        writer.emit("            _delta[_vals] = _add(_delta.get(_vals, _ZERO), _ONE)")
+        writer.emit("            _count = _update.count")
+        writer.emit(
+            "            _delta[_vals] = _add(_delta.get(_vals, _ZERO), "
+            "_ONE if _count == 1 else _from_int(_count))"
+        )
     writer.emit("        else:")
     writer.emit("            _group = _replays.get(_event)")
     writer.emit("            if _group is None:")
-    writer.emit("                _replays[_event] = [_update.values]")
-    writer.emit("            else:")
+    writer.emit("                _group = _replays[_event] = []")
+    writer.emit("            if _update.count == 1:")
     writer.emit("                _group.append(_update.values)")
+    writer.emit("            else:")
+    writer.emit("                _group.extend((_update.values,) * _update.count)")
     writer.emit("    for _event, _delta in _groups.items():")
     if not native:
         writer.emit("        _delta = {_k: _v for _k, _v in _delta.items() if not _is_zero(_v)}")
@@ -555,6 +583,11 @@ def _emit_fold(context: _EmitContext) -> None:
     writer.emit("        for _key, _delta in _acc.items():")
     writer.emit(f"            if {delta_nonzero}:")
     writer.emit("                _trk.add(_key)")
+    writer.emit("    if type(_table) is _SHARDED:")
+    writer.emit("        # Hash-partitioned table: per-shard folds (parallel when")
+    writer.emit("        # large), index maintenance journalled by the workers.")
+    writer.emit("        _fold_sharded(_table, _acc, _name, _specs, _IDX)")
+    writer.emit("        return")
     writer.emit("    if _IDX is None or _specs is None:")
     writer.emit("        for _key, _delta in _acc.items():")
     writer.emit(f"            _new = {new_value}")

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Mapping, Optional, Set, Tuple
 
+from repro.compiler.sharding import apply_index_journal
 from repro.compiler.triggers import TriggerProgram
 from repro.core.ast import Assign, MapRef
 from repro.core.delta import is_delta_map
@@ -165,6 +166,21 @@ class SliceIndexes:
                 entry.discard(key)
                 if not entry:
                     del bucket[prefix]
+
+    def apply_journal(self, name: str, added: Iterable[Tuple[Any, ...]],
+                      removed: Iterable[Tuple[Any, ...]]) -> None:
+        """Replay a shard fold's inserted/removed keys (serial, post-join).
+
+        The sharded batch folds of :mod:`repro.compiler.sharding` run one
+        worker per key-hash shard, but these indexes bucket keys by bound
+        *prefix* — two shards' keys can land in one bucket, so the workers
+        must not mutate them concurrently.  Each worker therefore journals
+        the keys it inserted into / removed from its shard dict, and the
+        coordinator replays the journals here after the workers join.
+        Delegates to the one raw implementation shared with the generated
+        trigger modules (:func:`repro.compiler.sharding.apply_index_journal`).
+        """
+        apply_index_journal(self.data, self.specs.get(name, ()), name, added, removed)
 
     def rebuild(self, maps: Mapping[str, Mapping[Tuple[Any, ...], Any]]) -> None:
         """Re-derive every index from the current map contents (post-bootstrap)."""

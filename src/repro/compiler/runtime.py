@@ -30,6 +30,16 @@ replay is kept as :meth:`TriggerRuntime.apply_batch_replay` — the reference
 semantics the property tests compare against, and the fallback for events
 without a compiled batch trigger.
 
+With ``shards=N`` (N > 1) the map tables are hash-partitioned
+(:class:`~repro.compiler.sharding.ShardedMapTable`) and every batch fold
+splits its increments by target-key hash, folding the shards concurrently on
+a thread pool — folds into different keys are independent, so the partition
+gives each worker a disjoint slice of the table.  CDC and tracked-source
+accumulation run serially before the workers (they depend only on the
+increment map), and slice-index maintenance is journalled by the workers and
+replayed after the join.  ``shards=1`` (the default) keeps plain dict tables
+and exactly the unsharded code path.
+
 Both entry points accept an optional ``changes`` argument — a mapping from
 *watched* map names to accumulator dicts — used for change-data-capture: every
 increment folded into a watched map is also ring-added into its accumulator,
@@ -47,6 +57,13 @@ from repro.algebra.semirings import INTEGER_RING, Semiring
 from repro.compiler.cost import RuntimeStatistics
 from repro.compiler.indexes import IndexedMaps, SliceIndexes, compute_index_specs
 from repro.compiler.maps import dependency_depths
+from repro.compiler.sharding import (
+    ShardedMapTable,
+    fold_sharded_table,
+    make_inline_shard_fold,
+    make_shard_fold,
+    resolve_shard_count,
+)
 from repro.compiler.triggers import (
     BatchTrigger,
     RecomputeStatement,
@@ -65,18 +82,84 @@ MapTable = Dict[Tuple[Any, ...], Any]
 class TriggerRuntime:
     """Executes a compiled :class:`TriggerProgram` over a stream of updates."""
 
-    def __init__(self, program: TriggerProgram, ring: Semiring = INTEGER_RING):
+    def __init__(
+        self,
+        program: TriggerProgram,
+        ring: Semiring = INTEGER_RING,
+        shards: Optional[int] = None,
+    ):
         self.program = program
         self.ring = ring
+        #: Hash-partition count of the map tables; 1 (the default) keeps the
+        #: plain-dict tables and exactly the pre-sharding code path.
+        self.shards = resolve_shard_count(shards)
         self.index_specs = compute_index_specs(program)
         self.indexes = SliceIndexes(self.index_specs)
         self.maps: Dict[str, MapTable] = IndexedMaps(
-            {name: {} for name in program.maps}, indexes=self.indexes
+            {name: self.make_table() for name in program.maps}, indexes=self.indexes
         )
         self.statistics = RuntimeStatistics()
+        if self.shards > 1:
+            self._shard_fold = make_shard_fold(ring)
+            self._shard_fold_inline = make_inline_shard_fold(ring)
         # The evaluator needs a Database only for its coefficient structure and
         # declared schema; compiled right-hand sides never read base relations.
         self._environment = Database(schema=program.schema, ring=ring)
+
+    def make_table(self, contents: Optional[MapTable] = None) -> MapTable:
+        """A fresh map table honoring the runtime's shard configuration.
+
+        Plain dict at ``shards=1``; a :class:`ShardedMapTable` otherwise
+        (``contents``, when given, are re-partitioned by key hash — this is
+        how snapshot restore re-shards under a different shard count).
+        """
+        if self.shards == 1:
+            return dict(contents) if contents else {}
+        return ShardedMapTable(self.shards, contents)
+
+    def backup_tables(self, names: Optional[Iterable[str]] = None) -> Dict[str, MapTable]:
+        """Plain-dict copies of map tables (sharded tables merged).
+
+        ``names`` restricts the copy to a subset — the transactional batch
+        path backs up only the maps its events can write.  Cost is
+        O(entries of the copied tables).
+        """
+        targets = self.maps if names is None else names
+        return {
+            name: (
+                table.copy() if type(table) is ShardedMapTable else dict(table)
+            )
+            for name, table in ((name, self.maps[name]) for name in targets)
+        }
+
+    def restore_tables(self, backup: Dict[str, MapTable]) -> None:
+        """Reinstall backed-up table contents and rebuild the slice indexes.
+
+        Only the maps present in ``backup`` are replaced (a partial backup
+        covers exactly the maps that could have been written).
+        """
+        for name, contents in backup.items():
+            self.maps[name] = self.make_table(contents)
+        self.indexes.rebuild(self.maps)
+
+    def writable_maps_for(self, updates: Iterable[Update]) -> set:
+        """The map names the given updates' triggers can write.
+
+        The union of statement and recompute targets over every
+        ``(relation, sign)`` event in the batch, across both the per-tuple
+        and the batch triggers — a superset of what any execution path
+        (batch fold, replay fallback) mutates.  Reads never mutate, so
+        backing these up suffices for exact rollback.
+        """
+        program = self.program
+        touched: set = set()
+        for event in {(update.relation, update.sign) for update in updates}:
+            for trigger in (program.triggers.get(event), program.batch_triggers.get(event)):
+                if trigger is None:
+                    continue
+                touched.update(statement.target for statement in trigger.statements)
+                touched.update(recompute.target for recompute in trigger.recomputes)
+        return touched
 
     # -- initialization -----------------------------------------------------------
 
@@ -110,7 +193,7 @@ class TriggerRuntime:
                 if not self.ring.is_zero(value):
                     table[key] = value
             plain[name] = table
-            self.maps[name] = table
+            self.maps[name] = self.make_table(table) if self.shards > 1 else table
         self.indexes.rebuild(self.maps)
 
     # -- update processing -----------------------------------------------------------
@@ -121,12 +204,13 @@ class TriggerRuntime:
         ``changes`` optionally maps watched map names to accumulators that
         receive the per-key deltas this update causes in those maps.
         """
-        self.statistics.updates_processed += 1
+        self.statistics.updates_processed += update.count
         trigger = self.program.trigger_for(update.relation, update.sign)
         if trigger is None:
             return
         self._check_arity(trigger, update)
-        self._apply_trigger(trigger, update.values, changes)
+        for _ in range(update.count):
+            self._apply_trigger(trigger, update.values, changes)
 
     def apply_batch(
         self, updates: Iterable[Update], changes: Optional[Dict[str, MapTable]] = None
@@ -143,14 +227,15 @@ class TriggerRuntime:
         without a batch trigger fall back to grouped per-tuple replay.
         """
         ring = self.ring
-        for (relation, sign), values_list in self._validated_groups(updates).items():
-            self.statistics.updates_processed += len(values_list)
+        for (relation, sign), group in self._validated_groups(updates).items():
+            self.statistics.updates_processed += sum(update.count for update in group)
             batch_trigger = self.program.batch_trigger_for(relation, sign)
             if batch_trigger is not None:
                 delta_table: MapTable = {}
-                for values in values_list:
-                    delta_table[values] = ring.add(
-                        delta_table.get(values, ring.zero), ring.one
+                for update in group:
+                    delta_table[update.values] = ring.add(
+                        delta_table.get(update.values, ring.zero),
+                        ring.one if update.count == 1 else ring.from_int(update.count),
                     )
                 delta_table = {
                     key: value
@@ -163,8 +248,9 @@ class TriggerRuntime:
             trigger = self.program.trigger_for(relation, sign)
             if trigger is None:
                 continue
-            for values in values_list:
-                self._apply_trigger(trigger, values, changes)
+            for update in group:
+                for _ in range(update.count):
+                    self._apply_trigger(trigger, update.values, changes)
 
     def apply_batch_replay(
         self, updates: Iterable[Update], changes: Optional[Dict[str, MapTable]] = None
@@ -176,29 +262,32 @@ class TriggerRuntime:
         is the reference semantics batch triggers are checked against and the
         baseline the batch-update benchmark compares with.
         """
-        for (relation, sign), values_list in self._validated_groups(updates).items():
-            self.statistics.updates_processed += len(values_list)
+        for (relation, sign), group in self._validated_groups(updates).items():
+            self.statistics.updates_processed += sum(update.count for update in group)
             trigger = self.program.trigger_for(relation, sign)
             if trigger is None:
                 continue
-            for values in values_list:
-                self._apply_trigger(trigger, values, changes)
+            for update in group:
+                for _ in range(update.count):
+                    self._apply_trigger(trigger, update.values, changes)
 
     def _validated_groups(
         self, updates: Iterable[Update]
-    ) -> Dict[Tuple[str, int], List[Tuple[Any, ...]]]:
+    ) -> Dict[Tuple[str, int], List[Update]]:
         """Group a batch by ``(relation, sign)``, arity-checking every update first.
 
         Validation of the whole batch happens before any map is touched, so a
         malformed update cannot leave the hierarchy partially advanced
-        mid-batch; shared by the batch-trigger and replay entry points.
+        mid-batch; shared by the batch-trigger and replay entry points.  The
+        grouped updates keep their net multiplicities (``Update.count``, the
+        compact form :func:`repro.gmr.database.coalesce_updates` emits).
         """
-        groups: Dict[Tuple[str, int], List[Tuple[Any, ...]]] = {}
+        groups: Dict[Tuple[str, int], List[Update]] = {}
         for update in updates:
             trigger = self.program.trigger_for(update.relation, update.sign)
             if trigger is not None:
                 self._check_arity(trigger, update)
-            groups.setdefault((update.relation, update.sign), []).append(update.values)
+            groups.setdefault((update.relation, update.sign), []).append(update)
         return groups
 
     def _check_arity(self, trigger: Trigger, update: Update) -> None:
@@ -311,6 +400,11 @@ class TriggerRuntime:
         """Fold per-key increments into one map, maintaining indexes/CDC/tracking."""
         ring = self.ring
         table = self.maps[target]
+        if type(table) is ShardedMapTable:
+            self._fold_increments_sharded(
+                table, target, increments, changes, tracked_sources
+            )
+            return
         indexes = self.indexes
         collector = None if changes is None else changes.get(target)
         touched = None if tracked_sources is None else tracked_sources.get(target)
@@ -328,6 +422,47 @@ class TriggerRuntime:
                 if key not in table:
                     indexes.add(target, key)
                 table[key] = new_value
+
+    def _fold_increments_sharded(
+        self,
+        table: "ShardedMapTable",
+        target: str,
+        increments: MapTable,
+        changes: Optional[Dict[str, MapTable]],
+        tracked_sources: Optional[Dict[str, set]],
+    ) -> None:
+        """The sharded fold: split increments by key hash, fold shards concurrently.
+
+        Change-data-capture and tracked-source accumulation depend only on
+        the increment map, so they are folded serially up front — sharded and
+        unsharded sessions emit identical ``on_change`` payloads.  The slice
+        indexes are bucketed by bound *prefix* (which does not respect the
+        key-hash partition), so each worker journals its inserted/removed
+        keys and the journal replays into the shared index after the join.
+        """
+        if not increments:
+            return
+        ring = self.ring
+        collector = None if changes is None else changes.get(target)
+        touched = None if tracked_sources is None else tracked_sources.get(target)
+        if collector is not None:
+            for key, value in increments.items():
+                collector[key] = ring.add(collector.get(key, ring.zero), value)
+        if touched is not None:
+            for key, value in increments.items():
+                if not ring.is_zero(value):
+                    touched.add(key)
+        self.statistics.entries_updated += len(increments)
+        journal = self.indexes.specs.get(target) is not None
+        indexes = self.indexes
+        fold_sharded_table(
+            table,
+            increments,
+            journal,
+            self._shard_fold,
+            self._shard_fold_inline,
+            lambda added, removed: indexes.apply_journal(target, added, removed),
+        )
 
     def _run_recompute(
         self,

@@ -1,0 +1,494 @@
+"""Sharded map tables and parallel batch folds (DBToaster-style partitioning).
+
+Koch's compiled triggers make every batch update a set of per-key folds:
+PR 4's relation-valued batch deltas touch each distinct target key exactly
+once, and two folds into *different* keys never read each other's state.
+That independence is what this module exploits — the map tables are
+hash-partitioned by key into ``N`` shards, a pre-aggregated increment map is
+split by target-key hash, and the per-shard folds run concurrently on a
+thread pool, each worker owning its shard's dict outright (write isolation is
+structural, not lock-based: a key's shard is a pure function of its hash, so
+no two workers ever touch the same dict).
+
+Three pieces:
+
+* :class:`ShardedMapTable` — a ``MutableMapping`` over ``N`` plain per-shard
+  dicts.  Reads route through one extra hash; the fold path bypasses the
+  facade entirely and works on the shard dicts directly.  ``shards=1``
+  sessions never construct one — the runtime keeps plain dicts and today's
+  exact code path.
+* :func:`make_shard_fold` — a ring-specialized fold worker: one read-modify-
+  write per increment key against its shard dict, journalling inserted and
+  removed keys so the (shared, prefix-bucketed) slice indexes of
+  :mod:`repro.compiler.indexes` can be maintained serially after the join.
+  Index buckets are keyed by *bound prefixes*, which do not respect the
+  key-hash partition — two shards' keys can share a bucket — so index
+  mutation inside the workers would race; the journal keeps maintenance
+  race-free without putting a union on every read.
+* :class:`ShardExecutor` — a lazily created thread pool shared per worker
+  count.  On free-threaded builds the per-shard folds run truly in parallel;
+  on GIL builds they interleave but stay correct (and
+  ``REPRO_SHARD_PARALLEL=0`` forces in-line serial execution of the shard
+  jobs, which is also what small increment maps get automatically).
+
+Change-data-capture and tracked-source accumulation are *not* sharded: both
+are pure functions of the increment map (not of table state), so the callers
+fold them serially before dispatching the shard jobs — sharded and unsharded
+sessions therefore produce byte-identical ``on_change`` payloads.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.algebra.semirings import FLOAT_FIELD, INTEGER_RING, Semiring
+
+MapTable = Dict[Tuple[Any, ...], Any]
+
+#: Increment maps smaller than this are folded in line (per-key shard lookup)
+#: instead of being partitioned and dispatched — job overhead would dominate.
+MIN_PARALLEL_KEYS = 64
+
+
+def default_shard_count() -> int:
+    """The process-wide default shard count (the ``REPRO_SHARDS`` knob)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_SHARDS", "1")))
+    except ValueError:
+        return 1
+
+
+def resolve_shard_count(shards: Optional[int]) -> int:
+    """Normalize a ``shards=`` argument: ``None`` defers to ``REPRO_SHARDS``."""
+    if shards is None:
+        return default_shard_count()
+    shards = int(shards)
+    if shards < 1:
+        raise ValueError(f"shard count must be a positive integer, got {shards}")
+    return shards
+
+
+def shard_of(key: Tuple[Any, ...], shard_count: int) -> int:
+    """The shard owning ``key`` — a pure function of the key's hash."""
+    return hash(key) % shard_count
+
+
+def partition_map(mapping: Mapping[Tuple[Any, ...], Any], shard_count: int) -> List[MapTable]:
+    """Split a pre-aggregated delta/increment map by target-key hash.
+
+    Returns one dict per shard (possibly empty); the union of the parts is
+    the input and the parts are pairwise disjoint.
+    """
+    parts: List[MapTable] = [{} for _ in range(shard_count)]
+    for key, value in mapping.items():
+        parts[hash(key) % shard_count][key] = value
+    return parts
+
+
+class ShardedMapTable:
+    """A map table hash-partitioned into ``N`` plain per-shard dicts.
+
+    Implements the mapping protocol the evaluator, the generated trigger
+    code, and the session's snapshot/result paths rely on (``get`` /
+    ``[key]`` / ``pop`` / ``items`` / iteration / ``len``), so it is a
+    drop-in replacement for the plain dict tables — at the cost of one extra
+    hash per facade access.  The batch fold path never pays that cost: it
+    partitions its increments once and works on ``self.shards`` directly.
+    """
+
+    __slots__ = ("shards", "shard_count")
+
+    def __init__(
+        self,
+        shard_count: int,
+        contents: Optional[Mapping[Tuple[Any, ...], Any]] = None,
+    ):
+        if shard_count < 1:
+            raise ValueError(f"shard count must be a positive integer, got {shard_count}")
+        self.shard_count = shard_count
+        self.shards: List[MapTable] = [{} for _ in range(shard_count)]
+        if contents:
+            shards = self.shards
+            for key, value in contents.items():
+                shards[hash(key) % shard_count][key] = value
+
+    # -- mapping protocol -----------------------------------------------------
+
+    def __getitem__(self, key: Tuple[Any, ...]) -> Any:
+        return self.shards[hash(key) % self.shard_count][key]
+
+    def __setitem__(self, key: Tuple[Any, ...], value: Any) -> None:
+        self.shards[hash(key) % self.shard_count][key] = value
+
+    def __delitem__(self, key: Tuple[Any, ...]) -> None:
+        del self.shards[hash(key) % self.shard_count][key]
+
+    def __contains__(self, key: object) -> bool:
+        return key in self.shards[hash(key) % self.shard_count]
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        for shard in self.shards:
+            yield from shard
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def __bool__(self) -> bool:
+        return any(self.shards)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ShardedMapTable):
+            return dict(self.items()) == dict(other.items())
+        if isinstance(other, dict):
+            return dict(self.items()) == other
+        return NotImplemented
+
+    def get(self, key: Tuple[Any, ...], default: Any = None) -> Any:
+        return self.shards[hash(key) % self.shard_count].get(key, default)
+
+    _MISSING = object()
+
+    def pop(self, key: Tuple[Any, ...], default: Any = _MISSING) -> Any:
+        shard = self.shards[hash(key) % self.shard_count]
+        if default is ShardedMapTable._MISSING:
+            return shard.pop(key)
+        return shard.pop(key, default)
+
+    def setdefault(self, key: Tuple[Any, ...], default: Any = None) -> Any:
+        return self.shards[hash(key) % self.shard_count].setdefault(key, default)
+
+    def items(self) -> "_ShardView":
+        return _ShardView(self.shards, dict.items)
+
+    def keys(self) -> "_ShardView":
+        return _ShardView(self.shards, dict.keys)
+
+    def values(self) -> "_ShardView":
+        return _ShardView(self.shards, dict.values)
+
+    def update(self, other: Mapping[Tuple[Any, ...], Any] = (), **kwargs) -> None:
+        items = other.items() if hasattr(other, "items") else other
+        for key, value in items:
+            self[key] = value
+        for key, value in kwargs.items():
+            self[key] = value
+
+    def clear(self) -> None:
+        for shard in self.shards:
+            shard.clear()
+
+    def copy(self) -> MapTable:
+        """A merged plain-dict copy of the whole table (snapshot/backup path)."""
+        merged: MapTable = {}
+        for shard in self.shards:
+            merged.update(shard)
+        return merged
+
+    # -- the fold path --------------------------------------------------------
+
+    def partition(self, mapping: Mapping[Tuple[Any, ...], Any]) -> List[MapTable]:
+        """Split an increment map into per-shard parts aligned with ``self.shards``."""
+        return partition_map(mapping, self.shard_count)
+
+    def __repr__(self) -> str:
+        return f"ShardedMapTable(shards={self.shard_count}, entries={len(self)})"
+
+
+class _ShardView:
+    """A re-iterable, sized view over all shards (the dict-view analogue).
+
+    Unlike a generator, iterating twice works and ``len()`` is defined — the
+    contract callers of ``dict.items()``/``keys()``/``values()`` rely on.
+    Live like dict views: it reads the shard dicts at iteration time.
+    """
+
+    __slots__ = ("_shards", "_select")
+
+    def __init__(self, shards: List[MapTable], select):
+        self._shards = shards
+        self._select = select
+
+    def __iter__(self):
+        for shard in self._shards:
+            yield from self._select(shard)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, item: object) -> bool:
+        return any(item in self._select(shard) for shard in self._shards)
+
+
+# ---------------------------------------------------------------------------
+# Ring-specialized per-shard fold workers
+# ---------------------------------------------------------------------------
+#
+# Workers return ``(added_keys, removed_keys, error)`` and never raise: a
+# ring/arithmetic failure mid-fold is captured and handed back alongside the
+# journal built so far (each key's mutation happens strictly after the
+# operations that can fail, so the journal always matches the shard's actual
+# contents).  The orchestrator applies every worker's journal before
+# propagating the first error — the slice indexes therefore stay consistent
+# with the tables even on a failed fold, exactly like the unsharded per-key
+# fold loop.
+
+
+def _fold_shard_native(shard: MapTable, part: MapTable, journal: bool):
+    """Fold one shard's increments with native ``+``/``0`` arithmetic."""
+    added: Optional[List[Tuple[Any, ...]]] = [] if journal else None
+    removed: Optional[List[Tuple[Any, ...]]] = [] if journal else None
+    try:
+        for key, delta in part.items():
+            new = shard.get(key, 0) + delta
+            if new == 0:
+                if shard.pop(key, None) is not None and removed is not None:
+                    removed.append(key)
+            else:
+                if added is not None and key not in shard:
+                    added.append(key)
+                shard[key] = new
+    except Exception as exc:  # the `new` computation failed; key not mutated
+        return added, removed, exc
+    return added, removed, None
+
+
+def make_shard_fold(ring: Semiring) -> Callable[[MapTable, MapTable, bool], tuple]:
+    """A fold worker specialized to ``ring`` (native fast path for ℤ and ℝ)."""
+    if ring is INTEGER_RING or ring is FLOAT_FIELD:
+        return _fold_shard_native
+    add, zero, is_zero = ring.add, ring.zero, ring.is_zero
+
+    def fold_shard(shard: MapTable, part: MapTable, journal: bool):
+        added: Optional[List[Tuple[Any, ...]]] = [] if journal else None
+        removed: Optional[List[Tuple[Any, ...]]] = [] if journal else None
+        try:
+            for key, delta in part.items():
+                new = add(shard.get(key, zero), delta)
+                if is_zero(new):
+                    if shard.pop(key, None) is not None and removed is not None:
+                        removed.append(key)
+                else:
+                    if added is not None and key not in shard:
+                        added.append(key)
+                    shard[key] = new
+        except Exception as exc:
+            return added, removed, exc
+        return added, removed, None
+
+    return fold_shard
+
+
+def make_inline_shard_fold(ring: Semiring):
+    """A serial whole-increment-map fold over a sharded table's shard dicts.
+
+    Routes each key to its shard in one pass — the small-batch/single-tuple
+    path where partitioning into per-shard jobs would cost more than it
+    saves.  Same ``(added, removed, error)`` contract as
+    :func:`make_shard_fold`.
+    """
+    if ring is INTEGER_RING or ring is FLOAT_FIELD:
+
+        def fold_inline_native(shards, count, acc, journal: bool):
+            added: Optional[List[Tuple[Any, ...]]] = [] if journal else None
+            removed: Optional[List[Tuple[Any, ...]]] = [] if journal else None
+            try:
+                for key, delta in acc.items():
+                    shard = shards[hash(key) % count]
+                    new = shard.get(key, 0) + delta
+                    if new == 0:
+                        if shard.pop(key, None) is not None and removed is not None:
+                            removed.append(key)
+                    else:
+                        if added is not None and key not in shard:
+                            added.append(key)
+                        shard[key] = new
+            except Exception as exc:
+                return added, removed, exc
+            return added, removed, None
+
+        return fold_inline_native
+
+    add, zero, is_zero = ring.add, ring.zero, ring.is_zero
+
+    def fold_inline(shards, count, acc, journal: bool):
+        added: Optional[List[Tuple[Any, ...]]] = [] if journal else None
+        removed: Optional[List[Tuple[Any, ...]]] = [] if journal else None
+        try:
+            for key, delta in acc.items():
+                shard = shards[hash(key) % count]
+                new = add(shard.get(key, zero), delta)
+                if is_zero(new):
+                    if shard.pop(key, None) is not None and removed is not None:
+                        removed.append(key)
+                else:
+                    if added is not None and key not in shard:
+                        added.append(key)
+                    shard[key] = new
+        except Exception as exc:
+            return added, removed, exc
+        return added, removed, None
+
+    return fold_inline
+
+
+def apply_index_journal(index_data, specs, name: str, added, removed) -> None:
+    """Replay a shard fold's inserted/removed keys into raw slice-index storage.
+
+    ``index_data`` is the ``(map, positions) -> {prefix -> keys}`` dict of
+    :class:`repro.compiler.indexes.SliceIndexes` (``.data``), which the
+    generated trigger modules address directly; ``specs`` are the map's
+    bound-position signatures.  Runs serially after the shard workers join.
+    """
+    for positions in specs:
+        bucket = index_data[(name, positions)]
+        for key in added:
+            prefix = tuple(key[index] for index in positions)
+            entry = bucket.get(prefix)
+            if entry is None:
+                bucket[prefix] = {key}
+            else:
+                entry.add(key)
+        for key in removed:
+            prefix = tuple(key[index] for index in positions)
+            entry = bucket.get(prefix)
+            if entry is not None:
+                entry.discard(key)
+                if not entry:
+                    del bucket[prefix]
+
+
+# ---------------------------------------------------------------------------
+# The parallel executor
+# ---------------------------------------------------------------------------
+
+
+def parallel_enabled() -> bool:
+    """False when ``REPRO_SHARD_PARALLEL=0`` forces in-line shard execution."""
+    return os.environ.get("REPRO_SHARD_PARALLEL", "1") != "0"
+
+
+def gil_disabled() -> bool:
+    """True on free-threaded builds, where shard folds run truly in parallel."""
+    checker = getattr(sys, "_is_gil_enabled", None)
+    return checker is not None and not checker()
+
+
+def parallel_fold_capable(workers: int) -> bool:
+    """Whether this interpreter/host can *speed up* folds with ``workers`` threads.
+
+    Correctness never depends on this — it only gates throughput assertions:
+    per-shard dict folds are pure Python, so they need a free-threaded build
+    and at least ``workers`` cores to scale.
+    """
+    return gil_disabled() and (os.cpu_count() or 1) >= workers
+
+
+class ShardExecutor:
+    """Runs per-shard fold jobs, in parallel when it can pay off.
+
+    The thread pool is created lazily (lock-guarded) on the first multi-job
+    run and reused for the life of the process; single jobs (and every job
+    when ``REPRO_SHARD_PARALLEL=0``) run in line on the calling thread.
+    Jobs must not raise — fold workers return their error as part of the
+    result — so ``run`` always waits for and returns every job's result.
+    """
+
+    __slots__ = ("workers", "_pool", "_lock")
+
+    def __init__(self, workers: int):
+        self.workers = max(1, workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+
+    def run(self, fn: Callable, jobs: Iterable[tuple]) -> List[Any]:
+        jobs = list(jobs)
+        if len(jobs) <= 1 or not parallel_enabled():
+            return [fn(*job) for job in jobs]
+        if self._pool is None:
+            with self._lock:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.workers, thread_name_prefix="repro-shard"
+                    )
+        futures = [self._pool.submit(fn, *job) for job in jobs]
+        return [future.result() for future in futures]
+
+
+_EXECUTORS: Dict[int, ShardExecutor] = {}
+_EXECUTORS_LOCK = threading.Lock()
+
+
+def get_executor(workers: int) -> ShardExecutor:
+    """The process-wide executor for a given worker count (shared across runtimes)."""
+    executor = _EXECUTORS.get(workers)
+    if executor is None:
+        with _EXECUTORS_LOCK:
+            executor = _EXECUTORS.get(workers)
+            if executor is None:
+                executor = _EXECUTORS[workers] = ShardExecutor(workers)
+    return executor
+
+
+def fold_sharded_table(
+    table: ShardedMapTable,
+    acc: Mapping[Tuple[Any, ...], Any],
+    journal: bool,
+    fold_shard: Callable,
+    fold_inline: Callable,
+    sink: Callable[[Iterable, Iterable], None],
+) -> None:
+    """The one sharded-fold orchestration, shared by both backends.
+
+    Folds ``acc`` into ``table`` — in line below :data:`MIN_PARALLEL_KEYS`,
+    per-shard on the executor otherwise.  Every worker's journal is handed
+    to ``sink`` (the backend's slice-index maintenance) *before* the first
+    captured error is re-raised, so a failed fold leaves the indexes
+    consistent with whatever the shards actually contain — the same
+    guarantee as the unsharded per-key fold loop.
+    """
+    error: Optional[BaseException] = None
+    if len(acc) < MIN_PARALLEL_KEYS:
+        # In-line fold, routed per key: partition/dispatch overhead would
+        # dominate for small increment maps (and for every single-tuple
+        # trigger on a sharded session).
+        added, removed, error = fold_inline(table.shards, table.shard_count, acc, journal)
+        if journal and (added or removed):
+            sink(added, removed)
+    else:
+        parts = table.partition(acc)
+        jobs = [
+            (shard, part, journal) for shard, part in zip(table.shards, parts) if part
+        ]
+        for added, removed, exc in get_executor(table.shard_count).run(fold_shard, jobs):
+            if journal and (added or removed):
+                sink(added, removed)
+            if exc is not None and error is None:
+                error = exc
+    if error is not None:
+        raise error
+
+
+def make_generated_fold_sharded(ring: Semiring):
+    """The ``_fold_sharded`` helper injected into generated trigger modules.
+
+    The generated ``_fold`` delegates here when its target table is a
+    :class:`ShardedMapTable` (after handling CDC and tracked-source
+    accumulation serially); index maintenance is journalled by the workers
+    and replayed into the raw ``_IDX`` storage after the join.
+    """
+    fold_shard = make_shard_fold(ring)
+    fold_inline = make_inline_shard_fold(ring)
+
+    def _fold_sharded(table, acc, name, specs, idx) -> None:
+        journal = idx is not None and specs is not None
+
+        def sink(added, removed):
+            apply_index_journal(idx, specs, name, added, removed)
+
+        fold_sharded_table(table, acc, journal, fold_shard, fold_inline, sink)
+
+    return _fold_sharded

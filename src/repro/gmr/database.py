@@ -22,19 +22,26 @@ DELETE = -1
 
 @dataclass(frozen=True)
 class Update:
-    """A single-tuple update event ``±R(t)``.
+    """A single-tuple update event ``±R(t)``, optionally with a net multiplicity.
 
     ``sign`` is +1 for an insertion and -1 for a deletion; ``values`` are the
-    tuple's data values in the relation's declared column order.
+    tuple's data values in the relation's declared column order.  ``count``
+    (default 1) is a positive net multiplicity: ``Update(1, "R", t, count=3)``
+    denotes three insertions of the same tuple in one event — the compact
+    form :func:`coalesce_updates` emits, which the batch delta-map builders
+    fold in O(1) instead of round-tripping ``count`` identical objects.
     """
 
     sign: int
     relation: str
     values: Tuple[Any, ...]
+    count: int = 1
 
     def __post_init__(self):
         if self.sign not in (INSERT, DELETE):
             raise ValueError("update sign must be +1 (insert) or -1 (delete)")
+        if not isinstance(self.count, int) or self.count < 1:
+            raise ValueError(f"update count must be a positive integer, got {self.count!r}")
         object.__setattr__(self, "values", tuple(self.values))
 
     @property
@@ -47,12 +54,13 @@ class Update:
 
     def inverted(self) -> "Update":
         """The update that undoes this one."""
-        return Update(-self.sign, self.relation, self.values)
+        return Update(-self.sign, self.relation, self.values, count=self.count)
 
     def __repr__(self) -> str:
         sign = "+" if self.is_insert else "-"
         inner = ", ".join(repr(value) for value in self.values)
-        return f"{sign}{self.relation}({inner})"
+        suffix = f" x{self.count}" if self.count != 1 else ""
+        return f"{sign}{self.relation}({inner}){suffix}"
 
 
 def insert(relation: str, *values: Any) -> Update:
@@ -66,12 +74,15 @@ def delete(relation: str, *values: Any) -> Update:
 
 
 def coalesce_updates(updates: Iterable[Update]) -> "list[Update]":
-    """Cancel insert/delete pairs of the same tuple within one batch.
+    """Net out duplicate and opposing updates of the same tuple within one batch.
 
-    Returns an equivalent batch in which every ``(relation, values)`` pair
-    appears with only its *net* sign and multiplicity — an insert and a
-    delete of the same tuple annihilate.  Over a ring, applying the
-    coalesced batch yields exactly the state of applying the original one
+    Returns an equivalent *compact* batch: every ``(relation, values)`` pair
+    appears at most once, as a single :class:`Update` carrying its net sign
+    and multiplicity (``count``) — an insert and a delete of the same tuple
+    annihilate, and 10k inserts of one tuple become one update with
+    ``count=10000`` instead of 10k objects that the delta-map builders would
+    only re-aggregate again.  Over a ring, applying the coalesced batch
+    yields exactly the state of applying the original one
     (``D + u - u = D``), so net-zero churn (upserts, rollbacks, rapid
     add/remove cycles) costs no trigger work at all.  First-seen order of
     the surviving tuples is preserved.
@@ -80,17 +91,17 @@ def coalesce_updates(updates: Iterable[Update]) -> "list[Update]":
     net: Dict[Tuple[str, Tuple[Any, ...]], int] = {}
     for update in updates:
         key = (update.relation, update.values)
-        net[key] = net.get(key, 0) + update.sign
-    if sum(abs(count) for count in net.values()) == len(updates):
-        # Nothing cancelled: hand the original batch back without rebuilding
-        # it (the executors re-aggregate per event anyway).
+        net[key] = net.get(key, 0) + update.sign * update.count
+    if len(net) == len(updates):
+        # Every update already touches a distinct tuple: nothing coalesces,
+        # hand the original batch back without rebuilding it.
         return updates
     coalesced: "list[Update]" = []
     for (relation, values), count in net.items():
         if count == 0:
             continue
         sign = INSERT if count > 0 else DELETE
-        coalesced.extend(Update(sign, relation, values) for _ in range(abs(count)))
+        coalesced.append(Update(sign, relation, values, count=abs(count)))
     return coalesced
 
 
@@ -203,9 +214,13 @@ class Database:
         return Record.from_values(columns, update.values)
 
     def delta_gmr(self, update: Update) -> GMR:
-        """The gmr ``±{t}`` that the update adds to its relation."""
+        """The gmr ``±count·{t}`` that the update adds to its relation."""
         record = self.record_for(update)
-        return GMR.singleton(record, multiplicity=self.ring.from_int(update.sign), ring=self.ring)
+        return GMR.singleton(
+            record,
+            multiplicity=self.ring.from_int(update.sign * update.count),
+            ring=self.ring,
+        )
 
     def apply(self, update: Update) -> None:
         """Apply a single-tuple update in place: ``R += ±{t}``."""

@@ -110,22 +110,50 @@ class IVMEngine(ABC):
     def _apply_batch(self, updates: Sequence[Update]) -> None:
         """Process one batch (timed by :meth:`apply_batch`).
 
-        The default applies the batch one update at a time; engines override
-        this when they can amortize work across the batch (the recursive
-        engine's generated backend dispatches once per ``(relation, sign)``
-        group, naive re-evaluation recomputes the result once per batch).
+        The default applies the batch one update at a time, expanding net
+        multiplicities (``Update.count``, the compact coalesced form) back
+        into repeated single-tuple applications; engines override this when
+        they can amortize work across the batch (the recursive engine's
+        generated backend dispatches once per ``(relation, sign)`` group,
+        naive re-evaluation recomputes the result once per batch).
         """
         for update in updates:
-            self._apply(update)
+            if update.count == 1:
+                self._apply(update)
+            else:
+                single = Update(update.sign, update.relation, update.values)
+                for _ in range(update.count):
+                    self._apply(single)
 
     @abstractmethod
     def result(self) -> Any:
         """The current query result: a scalar for ungrouped queries, else a dict."""
 
+    # -- transactional support -----------------------------------------------------
+
+    def state_backup(self) -> Any:
+        """An opaque, cheap copy of the engine's materialized state.
+
+        :meth:`repro.session.Session.apply_batch` captures one per engine
+        before driving a batch and calls :meth:`state_restore` if any view's
+        trigger raises mid-batch, so a poisoned batch cannot leave some views
+        advanced and others not.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support state backup")
+
+    def state_restore(self, backup: Any) -> None:
+        """Restore the state captured by :meth:`state_backup`."""
+        raise NotImplementedError(f"{type(self).__name__} does not support state restore")
+
     # -- shared driver --------------------------------------------------------------
 
     def apply(self, update: Update) -> None:
         """Apply one single-tuple update, recording wall-clock time."""
+        if update.count != 1:
+            # Net multiplicities route through the batch path, which knows
+            # how to fold (or expand) the count.
+            self.apply_batch([update])
+            return
         if self._change_callbacks:
             self._pending_changes = {}
         started = time.perf_counter()
@@ -160,7 +188,8 @@ class IVMEngine(ABC):
         started = time.perf_counter()
         runner(updates)
         self.statistics.seconds_in_updates += time.perf_counter() - started
-        self.statistics.updates_processed += len(updates)
+        # Net multiplicities count as the tuples they stand for.
+        self.statistics.updates_processed += sum(update.count for update in updates)
         if self._pending_changes is not None:
             self._dispatch_changes()
 

@@ -32,6 +32,15 @@ class NaiveReevaluation(IVMEngine):
         self.db = db.copy()
         self._result = self._evaluate_full()
 
+    def state_backup(self):
+        return self.db.copy(), dict(self._result)
+
+    def state_restore(self, backup) -> None:
+        db, result = backup
+        self.db = db.copy()
+        self._result = dict(result)
+        self._pending_changes = None
+
     def on_change(self, callback):
         """Subscribe to result deltas (requires a coefficient *ring*).
 

@@ -40,6 +40,7 @@ class RecursiveIVM(IVMEngine):
         ring: Semiring = INTEGER_RING,
         backend: str = "interpreted",
         map_name: str = "q",
+        shards: Optional[int] = None,
     ):
         super().__init__(query, schema)
         if backend not in ("interpreted", "generated"):
@@ -47,7 +48,10 @@ class RecursiveIVM(IVMEngine):
         self.ring = ring
         self.backend = backend
         self.program: TriggerProgram = compile_query(self.query, self.schema, name=map_name)
-        self.runtime = TriggerRuntime(self.program, ring=ring)
+        # shards > 1 hash-partitions the map tables so batch folds run per
+        # shard (repro.compiler.sharding); the default (None -> REPRO_SHARDS
+        # -> 1) keeps plain dict tables and the pre-sharding code path.
+        self.runtime = TriggerRuntime(self.program, ring=ring, shards=shards)
         self._generated: Optional[GeneratedTriggers] = None
         if backend == "generated":
             # The generated module's arithmetic is specialized to the ring
@@ -61,6 +65,14 @@ class RecursiveIVM(IVMEngine):
     def bootstrap(self, db: Database) -> None:
         """Compute initial values of every map from an already-populated database."""
         self.runtime.bootstrap(db)
+
+    def state_backup(self):
+        """Plain-dict copies of every map table (sharded tables are merged)."""
+        return self.runtime.backup_tables()
+
+    def state_restore(self, backup) -> None:
+        self.runtime.restore_tables(backup)
+        self._pending_changes = None
 
     # -- engine interface -----------------------------------------------------------------
 
@@ -102,7 +114,7 @@ class RecursiveIVM(IVMEngine):
                 self.runtime.maps, updates, indexes=self.runtime.indexes,
                 changes=self._change_hook(),
             )
-            self._absorb_generated_statistics(len(updates))
+            self._absorb_generated_statistics(sum(update.count for update in updates))
         else:
             self.runtime.apply_batch(updates, changes=self._change_hook())
 
@@ -122,7 +134,7 @@ class RecursiveIVM(IVMEngine):
                 self.runtime.maps, updates, indexes=self.runtime.indexes,
                 changes=self._change_hook(),
             )
-            self._absorb_generated_statistics(len(updates))
+            self._absorb_generated_statistics(sum(update.count for update in updates))
         else:
             self.runtime.apply_batch_replay(updates, changes=self._change_hook())
 

@@ -35,6 +35,7 @@ from repro.compiler.codegen import GeneratedTriggers, generate_python
 from repro.compiler.compile import compile_query
 from repro.compiler.cost import RuntimeStatistics
 from repro.compiler.runtime import TriggerRuntime
+from repro.compiler.sharding import resolve_shard_count
 from repro.core.ast import AggSum, Expr
 from repro.core.errors import SchemaError
 from repro.core.parser import parse, to_string
@@ -52,8 +53,11 @@ from repro.session.views import (
 )
 from repro.sql.frontend import is_sql, sql_to_agca
 
-#: Snapshot format tag; bump when the layout changes.
-SNAPSHOT_FORMAT = "repro-session/1"
+#: Snapshot format tag; bump when the layout changes.  Version 2 adds the
+#: shard count and per-update net multiplicities in the history log;
+#: :meth:`Session.restore` still accepts version-1 snapshots.
+SNAPSHOT_FORMAT = "repro-session/2"
+_ACCEPTED_SNAPSHOT_FORMATS = ("repro-session/1", SNAPSHOT_FORMAT)
 
 
 class _CompiledGroup:
@@ -67,9 +71,16 @@ class _CompiledGroup:
     state.
     """
 
-    def __init__(self, schema: Mapping[str, Sequence[str]], ring: Semiring, backend: str):
+    def __init__(
+        self,
+        schema: Mapping[str, Sequence[str]],
+        ring: Semiring,
+        backend: str,
+        shards: int = 1,
+    ):
         self.backend = backend
         self.ring = ring
+        self.shards = shards
         self.catalog = MapCatalog(schema)
         self.runtime: Optional[TriggerRuntime] = None
         self.generated: Optional[GeneratedTriggers] = None
@@ -120,7 +131,7 @@ class _CompiledGroup:
     ) -> None:
         combined = self.catalog.program()
         previous = self.runtime.maps if self.runtime is not None else {}
-        runtime = TriggerRuntime(combined, ring=self.ring)
+        runtime = TriggerRuntime(combined, ring=self.ring, shards=self.shards)
         runtime.statistics = self.statistics
         for name in combined.maps:
             if name in previous:
@@ -161,9 +172,45 @@ class _CompiledGroup:
             self.generated.apply_batch(
                 self.runtime.maps, updates, indexes=self.runtime.indexes, changes=changes
             )
-            self._absorb_generated_statistics(len(updates))
+            self._absorb_generated_statistics(sum(update.count for update in updates))
         else:
             self.runtime.apply_batch(updates, changes=changes)
+
+    # -- transactional support ----------------------------------------------------
+
+    def backup_tables(self, updates: Optional[Sequence[Update]] = None):
+        """Copies of the map tables a batch could write (all tables if ``None``).
+
+        Restricting the capture to the batch's writable maps keeps the
+        transactional overhead proportional to the state *at risk*, not the
+        whole hierarchy.  The work counters ride along so a rolled-back
+        batch's partial work does not leak into the statistics (the
+        generated module's pending counters are drained on restore for the
+        same reason).
+        """
+        if self.runtime is None:
+            return {}, ()
+        names = None if updates is None else self.runtime.writable_maps_for(updates)
+        counters = (
+            self.statistics.updates_processed,
+            self.statistics.statements_executed,
+            self.statistics.entries_updated,
+        )
+        return self.runtime.backup_tables(names), counters
+
+    def restore_tables(self, backup) -> None:
+        """Reinstall backed-up tables/counters and rebuild the slice indexes."""
+        if self.runtime is None:
+            return
+        tables, counters = backup
+        self.runtime.restore_tables(tables)
+        (
+            self.statistics.updates_processed,
+            self.statistics.statements_executed,
+            self.statistics.entries_updated,
+        ) = counters
+        if self.generated is not None:
+            self.generated.drain_statistics()
 
     def _absorb_generated_statistics(self, update_count: int) -> None:
         statements, entries = self.generated.drain_statistics()
@@ -194,7 +241,17 @@ class Session:
         which is what allows registering additional views *after* updates
         have flowed (their maps are bootstrapped from the replayed history)
         and makes snapshots self-contained.  Disable for long-running
-        fixed-view deployments where the log's memory is unwanted.
+        fixed-view deployments where the log's memory is unwanted.  The log
+        stores the *effective* (coalesced) batches — replay-equivalent to
+        the submitted updates, without the cancelled churn.
+    shards:
+        Hash-partition count of the compiled views' map tables
+        (:mod:`repro.compiler.sharding`).  With ``shards=N`` (N > 1) the
+        batch folds split per shard and run on a thread pool; ``None``
+        defers to the ``REPRO_SHARDS`` environment variable, and the
+        default of 1 keeps plain dict tables and exactly the unsharded
+        code path.  Results and ``on_change`` payloads are identical for
+        every shard count.
     """
 
     def __init__(
@@ -202,11 +259,13 @@ class Session:
         schema: Mapping[str, Sequence[str]],
         ring: Semiring = INTEGER_RING,
         track_history: bool = True,
+        shards: Optional[int] = None,
     ):
         self.schema: Dict[str, Tuple[str, ...]] = {
             name: tuple(columns) for name, columns in schema.items()
         }
         self.ring = ring
+        self.shards = resolve_shard_count(shards)
         self.statistics = EngineStatistics()
         self._views: Dict[str, MaterializedView] = {}
         self._groups: Dict[str, _CompiledGroup] = {}
@@ -249,7 +308,7 @@ class Session:
             if group is None:
                 # Commit the new group only after a successful registration, so
                 # a failed first view does not leave an empty group behind.
-                group = _CompiledGroup(self.schema, self.ring, backend)
+                group = _CompiledGroup(self.schema, self.ring, backend, shards=self.shards)
             view._group = group
             view._map_name = group.register(name, query_expr, bootstrap_source)
             self._groups[backend] = group
@@ -346,7 +405,22 @@ class Session:
             )
 
     def apply(self, update: Update) -> None:
-        """Apply one single-tuple :class:`Update` to all views."""
+        """Apply one single-tuple :class:`Update` to all views.
+
+        Unlike :meth:`apply_batch`, the single-update fast path is *not*
+        transactional across views: it skips the pre-batch table snapshot
+        (which would cost O(touched map entries) on every streamed tuple),
+        so an exception raised by one view's trigger propagates with the
+        earlier views already advanced.  Wrap risky updates as
+        ``apply_batch([update])`` when the all-or-nothing contract matters
+        more than the per-update constant.
+        """
+        if update.count != 1:
+            # A net-multiplicity update (e.g. replayed from a coalesced
+            # history) is a one-element batch: the batch path folds the
+            # count through the delta maps.
+            self.apply_batch([update])
+            return
         self._validate_update(update)
         started = time.perf_counter()
         notifications = []
@@ -368,11 +442,21 @@ class Session:
         receive one consolidated delta per view for the whole batch.
 
         Insert/delete pairs of the same tuple are cancelled *before* any
-        trigger runs (:func:`repro.gmr.database.coalesce_updates`): over a
-        ring a net-zero pair cannot change any view, so upsert-style churn
-        costs nothing.  The compiled views then execute their batch triggers
-        — one pre-aggregated delta map per ``(relation, sign)`` group, one
-        fold per distinct key — shared across all views of a backend.
+        trigger runs (:func:`repro.gmr.database.coalesce_updates`), and
+        duplicate tuples collapse into one update carrying the net
+        multiplicity: over a ring a net-zero pair cannot change any view, so
+        upsert-style churn costs nothing.  The compiled views then execute
+        their batch triggers — one pre-aggregated delta map per
+        ``(relation, sign)`` group, one fold per distinct key — shared
+        across all views of a backend.
+
+        The batch is transactional across views: every view's tables are
+        snapshotted before any trigger runs, and an exception raised
+        mid-batch (e.g. a ring arithmetic error on one view) rolls all views
+        back to the pre-batch state before propagating — a poisoned batch
+        can never leave some views advanced and others not.  Nothing is
+        appended to the history and no ``on_change`` callback fires for a
+        rolled-back batch.
         """
         updates = updates if isinstance(updates, (list, tuple)) else list(updates)
         # Validate the whole batch up front so a malformed update cannot leave
@@ -383,26 +467,60 @@ class Session:
         effective = coalesce_updates(updates)
         notifications = []
         if effective:
-            for group in self._groups.values():
-                changes = group.changes_accumulator()
-                group.apply_batch(effective, changes)
-                if changes:
-                    notifications.append((group, changes))
-            for view in self._engine_views:
-                view._engine.apply_batch(effective)
-        self._note_applied(updates, started)
+            rollback = self._capture_rollback_state(effective)
+            try:
+                for group in self._groups.values():
+                    changes = group.changes_accumulator()
+                    group.apply_batch(effective, changes)
+                    if changes:
+                        notifications.append((group, changes))
+                for view in self._engine_views:
+                    view._engine.apply_batch(effective)
+            except BaseException:
+                self._restore_rollback_state(rollback)
+                raise
+        self._note_applied(effective, started, submitted=len(updates))
         self._dispatch(notifications)
+
+    def _capture_rollback_state(self, updates: Sequence[Update]):
+        """Pre-batch table/engine snapshots for the all-or-nothing batch contract.
+
+        Compiled groups copy only the maps the batch's events can write
+        (O(entries of those maps)); engine views copy their (shallow,
+        immutable-gmr) database plus materialized result.
+        """
+        return (
+            [(group, group.backup_tables(updates)) for group in self._groups.values()],
+            [(view, view._engine.state_backup()) for view in self._engine_views],
+        )
+
+    def _restore_rollback_state(self, rollback) -> None:
+        group_backups, engine_backups = rollback
+        for group, backup in group_backups:
+            group.restore_tables(backup)
+        for view, backup in engine_backups:
+            view._engine.state_restore(backup)
 
     def apply_all(self, updates: Iterable[Update]) -> None:
         """Apply a stream of updates one at a time."""
         for update in updates:
             self.apply(update)
 
-    def _note_applied(self, updates: Sequence[Update], started: float) -> None:
+    def _note_applied(
+        self, updates: Sequence[Update], started: float, submitted: Optional[int] = None
+    ) -> None:
+        """Record an applied batch: ``updates`` is the *effective* (coalesced) form.
+
+        The history therefore never replays cancelled churn —
+        ``_replayed_database()`` (late-view bootstrap) and snapshots see the
+        net batch, which is state-equivalent to the submitted one.  The
+        counters keep counting submitted updates.
+        """
         if self._history is not None:
             self._history.extend(updates)
-        self._updates_applied += len(updates)
-        self.statistics.updates_processed += len(updates)
+        count = len(updates) if submitted is None else submitted
+        self._updates_applied += count
+        self.statistics.updates_processed += count
         self.statistics.seconds_in_updates += time.perf_counter() - started
 
     def _dispatch(self, notifications) -> None:
@@ -496,25 +614,35 @@ class Session:
             "ring": self.ring.name,
             "schema": {relation: list(columns) for relation, columns in self.schema.items()},
             "updates_applied": self._updates_applied,
+            "shards": self.shards,
             "views": views,
             "maps": groups,
             "engine_databases": engines,
         }
         if self._history is not None:
             snapshot["history"] = [
-                [update.sign, update.relation, list(update.values)] for update in self._history
+                [update.sign, update.relation, list(update.values), update.count]
+                for update in self._history
             ]
         return snapshot
 
     @classmethod
-    def restore(cls, snapshot: Mapping[str, Any], ring: Optional[Semiring] = None) -> "Session":
+    def restore(
+        cls,
+        snapshot: Mapping[str, Any],
+        ring: Optional[Semiring] = None,
+        shards: Optional[int] = None,
+    ) -> "Session":
         """Revive a session from :meth:`snapshot` output.
 
         The coefficient ring is looked up by name among the built-in
         structures; pass ``ring=`` explicitly for custom structures (the
-        snapshot only records the name).
+        snapshot only records the name).  ``shards`` overrides the recorded
+        shard count — the restored tables are re-partitioned by key hash, so
+        a snapshot taken at one shard count can be revived at any other
+        (including back to the unsharded plain-dict layout at 1).
         """
-        if snapshot.get("format") != SNAPSHOT_FORMAT:
+        if snapshot.get("format") not in _ACCEPTED_SNAPSHOT_FORMATS:
             raise ValueError(f"unsupported session snapshot format: {snapshot.get('format')!r}")
         if ring is None:
             ring = BUILTIN_SEMIRINGS.get(snapshot["ring"])
@@ -523,15 +651,19 @@ class Session:
                     f"snapshot uses non-built-in ring {snapshot['ring']!r}; "
                     f"pass the ring instance explicitly"
                 )
+        if shards is None:
+            shards = snapshot.get("shards", 1)
         schema = {relation: tuple(columns) for relation, columns in snapshot["schema"].items()}
-        session = cls(schema, ring=ring, track_history="history" in snapshot)
+        session = cls(schema, ring=ring, track_history="history" in snapshot, shards=shards)
         for spec in snapshot["views"]:
             session.view(spec["name"], parse(spec["query"]), backend=spec["backend"])
 
         for backend, tables in snapshot["maps"].items():
             group = session._groups[backend]
             for name, entries in tables.items():
-                group.runtime.maps[name] = {tuple(key): value for key, value in entries}
+                group.runtime.maps[name] = group.runtime.make_table(
+                    {tuple(key): value for key, value in entries}
+                )
             group.runtime.indexes.rebuild(group.runtime.maps)
         for view_name, relations in snapshot["engine_databases"].items():
             engine = session._views[view_name]._engine
@@ -548,9 +680,11 @@ class Session:
         session._updates_applied = snapshot["updates_applied"]
         session.statistics.updates_processed = snapshot["updates_applied"]
         if "history" in snapshot:
+            # Version-1 rows are [sign, relation, values]; version 2 appends
+            # the net multiplicity.
             session._history = [
-                Update(sign, relation, tuple(values))
-                for sign, relation, values in snapshot["history"]
+                Update(row[0], row[1], tuple(row[2]), count=row[3] if len(row) > 3 else 1)
+                for row in snapshot["history"]
             ]
         return session
 

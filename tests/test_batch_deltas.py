@@ -249,8 +249,23 @@ def test_coalesce_updates_cancels_pairs_and_keeps_net_multiplicity():
         delete("R", 3),
     ]
     coalesced = coalesce_updates(batch)
-    assert coalesced == [insert("R", 2), insert("R", 2), delete("R", 3)]
+    # Compact form: one update per surviving tuple, net multiplicity in count.
+    assert coalesced == [Update(1, "R", (2,), count=2), delete("R", 3)]
     assert coalesce_updates([insert("R", 1), delete("R", 1)]) == []
+
+
+def test_coalesce_updates_compacts_duplicates_without_object_churn():
+    """10k inserts of one tuple must become a single count-carrying update."""
+    batch = [insert("R", 7) for _ in range(10_000)]
+    coalesced = coalesce_updates(batch)
+    assert coalesced == [Update(1, "R", (7,), count=10_000)]
+    # An already-compact batch is handed back as-is (no rebuild).
+    distinct = [insert("R", 1), delete("R", 2)]
+    assert coalesce_updates(distinct) is distinct
+    # Count-carrying inputs net correctly against singles.
+    assert coalesce_updates(
+        [Update(1, "R", (5,), count=3), delete("R", 5), delete("R", 5)]
+    ) == [Update(1, "R", (5,), count=1)]
 
 
 def test_session_apply_batch_cancels_before_triggers_run():

@@ -587,3 +587,134 @@ def parse_sql_query(sql, schema):
     from repro.sql.frontend import sql_to_agca
 
     return sql_to_agca(sql, schema)
+
+
+# ---------------------------------------------------------------------------
+# Transactional batches: a poisoned batch rolls every view back (PR 5)
+# ---------------------------------------------------------------------------
+
+
+def _poisonable_session(shards=1):
+    """Views across compiled and engine backends; 'weighted' chokes on strings."""
+    schema = {"R": ("A",), "W": ("K", "V")}
+    session = Session(schema, shards=shards)
+    session.view("count", "Sum(R(x))", backend="generated")
+    session.view("weighted", "AggSum([k], W(k, v) * v)", backend="generated")
+    session.view("count_i", "Sum(R(x))", backend="interpreted")
+    session.view("count_c", "Sum(R(x))", backend="classical")
+    session.view("count_n", "Sum(R(x))", backend="naive")
+    return session
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+def test_poisoned_batch_leaves_all_views_unchanged(shards):
+    """Regression: an exception mid-batch (ring arithmetic on one view) used to
+    leave already-advanced groups inconsistent with the rest."""
+    from repro.gmr.database import Update
+
+    session = _poisonable_session(shards)
+    good = [insert("R", value % 3) for value in range(10)] + [
+        insert("W", "k1", 5),
+        insert("W", "k2", 7),
+    ]
+    session.apply_batch(good)
+    before_results = session.results()
+    before_history = list(session._history)
+    before_applied = session.updates_applied
+    before_stats = {
+        backend: (
+            group.statistics.updates_processed,
+            group.statistics.statements_executed,
+            group.statistics.entries_updated,
+        )
+        for backend, group in session._groups.items()
+    }
+    payloads = []
+    session["count"].on_change(lambda changes: payloads.append(changes))
+
+    # 'x' * 3 inside the weighted view's fold raises TypeError after the pure
+    # R-counts have already advanced some views.
+    poisoned = [insert("R", 0), insert("W", "k1", "x"), insert("R", 1)]
+    with pytest.raises(TypeError):
+        session.apply_batch(poisoned)
+
+    assert session.results() == before_results
+    assert session._history == before_history
+    assert session.updates_applied == before_applied
+    assert payloads == []  # no CDC for a rolled-back batch
+    # Work counters roll back too: a cancelled batch's partial work must not
+    # leak into the statistics (including the generated module's pending ones).
+    for backend, group in session._groups.items():
+        assert (
+            group.statistics.updates_processed,
+            group.statistics.statements_executed,
+            group.statistics.entries_updated,
+        ) == before_stats[backend], backend
+    # The session keeps working afterwards, indexes intact.
+    session.apply_batch([insert("R", 0), Update(-1, "R", (0,)), insert("W", "k1", 2)])
+    assert session["weighted"].result() == {("k1",): 7, ("k2",): 7}
+    assert payloads == []  # the follow-up batch nets zero on R
+    session.insert("R", 9)
+    assert payloads == [{(): 1}]
+
+
+def test_poisoned_single_update_on_engine_is_isolated():
+    """Engine-backend state restores byte-for-byte after a failed batch."""
+    schema = {"W": ("K", "V")}
+    session = Session(schema)
+    view = session.view("w", "AggSum([k], W(k, v) * v)", backend="classical")
+    session.apply_batch([insert("W", "a", 1), insert("W", "b", 2)])
+    before = view.result()
+    with pytest.raises((TypeError, ValueError)):
+        session.apply_batch([insert("W", "a", 1), insert("W", "c", "boom")])
+    assert view.result() == before
+    assert session._views["w"]._engine.db.size("W") == 2
+
+
+# ---------------------------------------------------------------------------
+# History stores the effective (coalesced) batch (PR 5)
+# ---------------------------------------------------------------------------
+
+
+def test_history_stores_effective_batch_not_churn():
+    """Regression: _note_applied used to append the raw uncoalesced updates, so
+    replays (late views, snapshots) re-executed cancelled churn."""
+    from repro.gmr.database import Update
+
+    session = Session({"R": ("A",)})
+    session.view("q", "Sum(R(x))")
+    churn = [insert("R", 1), Update(-1, "R", (1,))] * 500 + [insert("R", 2)] * 100
+    session.apply_batch(churn)
+    # The log holds the net batch: one compact update instead of 1100.
+    assert session._history == [Update(1, "R", (2,), count=100)]
+    # Counters still reflect the submitted updates.
+    assert session.updates_applied == 1100
+    # Late registration replays the effective history correctly.
+    late = session.view("late", "Sum(R(x))", backend="interpreted")
+    assert late.result() == 100
+
+
+@pytest.mark.parametrize("backend", ["generated", "interpreted", "classical", "naive"])
+def test_replay_equivalence_after_coalesced_history(backend):
+    """snapshot -> restore (which replays nothing but trusts the maps) and a
+    history-driven rebuild both agree with the live session."""
+    from repro.gmr.database import Update
+
+    rng = random.Random(11)
+    session = Session({"R": ("A", "B")})
+    view = session.view("q", "AggSum([a], R(a, b) * b)", backend=backend)
+    for _ in range(8):
+        batch = []
+        for _ in range(rng.randint(1, 40)):
+            values = (rng.randint(0, 3), rng.randint(0, 4))
+            batch.append(Update(1 if rng.random() < 0.6 else -1, "R", values))
+        session.apply_batch(batch)
+    restored = Session.restore(session.snapshot())
+    assert restored.results() == session.results()
+    # Rebuild a fresh session purely from the stored history.
+    replayed = Session({"R": ("A", "B")})
+    replayed_view = replayed.view("q", "AggSum([a], R(a, b) * b)", backend=backend)
+    replayed.apply_batch(session._history)
+    assert result_as_mapping(replayed_view.result()) == result_as_mapping(view.result())
+    # And the restored session's own history replays to the same state.
+    assert restored._history == session._history

@@ -1,0 +1,340 @@
+"""Sharded map tables and parallel batch folds (PR 5).
+
+The contract under test: for every shard count N, a sharded session/engine is
+*indistinguishable* from the unsharded one — same view results, same
+``on_change`` payloads, same replay/bootstrap behavior — and ``shards=1``
+keeps plain dict tables (the pre-sharding code path).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.compiler.sharding import (
+    MIN_PARALLEL_KEYS,
+    ShardedMapTable,
+    partition_map,
+    resolve_shard_count,
+    shard_of,
+)
+from repro.gmr.database import Update, insert
+from repro.ivm.recursive import RecursiveIVM
+from repro.session.session import Session
+from repro.workloads.schemas import UNARY_SCHEMA
+
+GROUPED_SCHEMA = {"R": ("A",), "S": ("A", "B")}
+
+SHARD_COUNTS = (2, 3, 8)
+COMPILED_BACKENDS = ("generated", "interpreted")
+
+
+# ---------------------------------------------------------------------------
+# The partitioner and the table facade
+# ---------------------------------------------------------------------------
+
+
+def test_shard_of_is_stable_and_in_range():
+    for key in [(), (1,), ("a", 2), (None, "x", 3.5)]:
+        for count in (1, 2, 7):
+            shard = shard_of(key, count)
+            assert 0 <= shard < count
+            assert shard == shard_of(key, count)  # pure function of the key
+
+
+def test_partition_map_is_a_disjoint_cover():
+    mapping = {(i, i % 3): i for i in range(100)}
+    parts = partition_map(mapping, 4)
+    assert len(parts) == 4
+    merged = {}
+    for index, part in enumerate(parts):
+        for key in part:
+            assert shard_of(key, 4) == index
+        merged.update(part)
+    assert merged == mapping
+
+
+def test_sharded_map_table_mapping_protocol():
+    table = ShardedMapTable(3, {(i,): i * 10 for i in range(20)})
+    assert len(table) == 20
+    assert table[(4,)] == 40
+    assert table.get((4,)) == 40
+    assert table.get((99,), "default") == "default"
+    assert (4,) in table and (99,) not in table
+    table[(99,)] = 1
+    assert table.pop((99,)) == 1
+    assert table.pop((99,), None) is None
+    with pytest.raises(KeyError):
+        table.pop((99,))
+    assert dict(table.items()) == {(i,): i * 10 for i in range(20)}
+    assert dict(table) == {(i,): i * 10 for i in range(20)}
+    assert set(table) == {(i,) for i in range(20)}
+    assert sorted(table.values()) == sorted(i * 10 for i in range(20))
+    assert table == {(i,): i * 10 for i in range(20)}
+    assert table == ShardedMapTable(5, dict(table.items()))  # layout-independent
+    assert table.copy() == dict(table.items())
+    # The shards really partition the key space.
+    for index, shard in enumerate(table.shards):
+        for key in shard:
+            assert shard_of(key, 3) == index
+    table.clear()
+    assert len(table) == 0 and not table
+
+
+def test_resolve_shard_count_env_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SHARDS", raising=False)
+    assert resolve_shard_count(None) == 1
+    monkeypatch.setenv("REPRO_SHARDS", "4")
+    assert resolve_shard_count(None) == 4
+    assert resolve_shard_count(2) == 2  # explicit argument wins
+    with pytest.raises(ValueError):
+        resolve_shard_count(0)
+
+
+def test_shards_1_keeps_plain_dict_tables():
+    session = Session(UNARY_SCHEMA, shards=1)
+    session.view("q", "Sum(R(x))", backend="generated")
+    runtime = session._groups["generated"].runtime
+    assert all(type(table) is dict for table in runtime.maps.values())
+    sharded = Session(UNARY_SCHEMA, shards=2)
+    sharded.view("q", "Sum(R(x))", backend="generated")
+    runtime = sharded._groups["generated"].runtime
+    assert all(type(table) is ShardedMapTable for table in runtime.maps.values())
+
+
+def test_repro_shards_env_knob(monkeypatch):
+    monkeypatch.setenv("REPRO_SHARDS", "3")
+    session = Session(UNARY_SCHEMA)
+    assert session.shards == 3
+    session.view("q", "Sum(R(x) * R(y) * (x = y))", backend="generated")
+    session.apply_batch([insert("R", value % 5) for value in range(100)])
+    unsharded = Session(UNARY_SCHEMA, shards=1)
+    unsharded.view("q", "Sum(R(x) * R(y) * (x = y))", backend="generated")
+    unsharded.apply_batch([insert("R", value % 5) for value in range(100)])
+    assert session["q"].result() == unsharded["q"].result()
+
+
+# ---------------------------------------------------------------------------
+# Engine-level equivalence (RecursiveIVM shards=N)
+# ---------------------------------------------------------------------------
+
+
+def _mixed_trace(rng, relations, length, domain):
+    updates = []
+    for _ in range(length):
+        relation, arity = relations[rng.randrange(len(relations))]
+        sign = 1 if rng.random() < 0.65 else -1
+        values = tuple(rng.randint(0, domain) for _ in range(arity))
+        updates.append(Update(sign, relation, values))
+    return updates
+
+
+@pytest.mark.parametrize("backend", COMPILED_BACKENDS)
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_sharded_engine_matches_unsharded(backend, shards):
+    from repro.core.parser import parse
+
+    query = parse("AggSum([a], S(a, b) * b)")
+    rng = random.Random(shards * 17 + len(backend))
+    base = RecursiveIVM(query, GROUPED_SCHEMA, backend=backend)
+    sharded = RecursiveIVM(query, GROUPED_SCHEMA, backend=backend, shards=shards)
+    for _ in range(6):
+        batch = _mixed_trace(rng, [("S", 2)], rng.choice([5, 80, 300]), 60)
+        base.apply_batch(batch)
+        sharded.apply_batch(batch)
+        assert sharded.result() == base.result()
+    # Per-tuple application on sharded tables also agrees.
+    for update in _mixed_trace(rng, [("S", 2)], 40, 60):
+        base.apply(update)
+        sharded.apply(update)
+    assert sharded.result() == base.result()
+
+
+@pytest.mark.parametrize("shards", (2, 4))
+def test_sharded_bootstrap_matches_unsharded(shards):
+    from repro.core.parser import parse
+    from repro.gmr.database import Database
+
+    query = parse("Sum(R(x) * R(y) * (x = y))")
+    db = Database(schema=UNARY_SCHEMA)
+    db.load("R", [(value % 7,) for value in range(50)])
+    base = RecursiveIVM(query, UNARY_SCHEMA, backend="generated")
+    sharded = RecursiveIVM(query, UNARY_SCHEMA, backend="generated", shards=shards)
+    base.bootstrap(db)
+    sharded.bootstrap(db)
+    assert sharded.result() == base.result()
+    for table in sharded.runtime.maps.values():
+        assert type(table) is ShardedMapTable
+    batch = [insert("R", value % 7) for value in range(200)]
+    base.apply_batch(batch)
+    sharded.apply_batch(batch)
+    assert sharded.result() == base.result()
+
+
+# ---------------------------------------------------------------------------
+# The randomized session property: state- and CDC-equivalence at every N
+# ---------------------------------------------------------------------------
+
+
+VIEWS = {
+    "selfjoin": "Sum(R(x) * R(y) * (x = y))",
+    "gsum": "AggSum([a], S(a, b) * b)",
+    "count": "Sum(S(a, b))",
+}
+
+
+def _build_session(shards, backend):
+    session = Session(GROUPED_SCHEMA, shards=shards)
+    views, cdc = {}, {name: [] for name in VIEWS}
+    for name, query in VIEWS.items():
+        views[name] = session.view(name, query, backend=backend)
+        views[name].on_change(
+            lambda changes, _name=name: cdc[_name].append(sorted(changes.items()))
+        )
+    return session, cdc
+
+
+def _random_batch(rng, size, domain):
+    batch = []
+    for _ in range(size):
+        if rng.random() < 0.4:
+            batch.append(
+                Update(1 if rng.random() < 0.7 else -1, "R", (rng.randint(0, domain),))
+            )
+        else:
+            batch.append(
+                Update(
+                    1 if rng.random() < 0.7 else -1,
+                    "S",
+                    (rng.randint(0, domain), rng.randint(0, 9)),
+                )
+            )
+    return batch
+
+
+@pytest.mark.parametrize("backend", COMPILED_BACKENDS)
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_sharded_session_state_and_cdc_equivalent(backend, shards):
+    """The acceptance property: a sharded session is indistinguishable from the
+    unsharded one on mixed single/batch traces — results *and* CDC streams —
+    including batches large enough to cross the parallel-fold threshold."""
+    rng = random.Random(1000 * shards + len(backend))
+    base, base_cdc = _build_session(1, backend)
+    sharded, sharded_cdc = _build_session(shards, backend)
+    for step in range(12):
+        if rng.random() < 0.3:
+            update = _random_batch(rng, 1, 40)[0]
+            base.apply(update)
+            sharded.apply(update)
+        else:
+            # Occasionally exceed MIN_PARALLEL_KEYS so the thread-pool path runs.
+            size = rng.choice([3, 40, MIN_PARALLEL_KEYS * 4])
+            batch = _random_batch(rng, size, 40)
+            base.apply_batch(batch)
+            sharded.apply_batch(batch)
+        assert sharded.results() == base.results(), (backend, shards, step)
+        assert sharded_cdc == base_cdc, (backend, shards, step)
+
+
+@pytest.mark.parametrize("backend", COMPILED_BACKENDS)
+def test_snapshot_restore_across_shard_counts(backend):
+    """snapshot() at one shard count restores at any other, mid-trace, and the
+    restored session keeps producing unsharded-identical results."""
+    rng = random.Random(42)
+    base, _ = _build_session(1, backend)
+    sharded, _ = _build_session(3, backend)
+    for _ in range(4):
+        batch = _random_batch(rng, 50, 30)
+        base.apply_batch(batch)
+        sharded.apply_batch(batch)
+    snapshot = sharded.snapshot()
+    assert snapshot["shards"] == 3
+    for new_count in (1, 2, 8):
+        restored = Session.restore(snapshot, shards=new_count)
+        assert restored.shards == new_count
+        assert restored.results() == base.results()
+        # The revived session must keep maintaining correctly at the new count.
+        tail = _random_batch(random.Random(new_count), 80, 30)
+        restored.apply_batch(tail)
+        continued, _ = _build_session(1, backend)
+        for update in base._history:
+            continued.apply(update)
+        continued.apply_batch(tail)
+        assert restored.results() == continued.results()
+    # Without an override the recorded count is used.
+    assert Session.restore(snapshot).shards == 3
+
+
+def test_late_view_registration_on_sharded_session():
+    """A view registered after updates flowed bootstraps from the replayed
+    history into sharded tables and is immediately consistent."""
+    session = Session(GROUPED_SCHEMA, shards=4)
+    session.view("count", "Sum(S(a, b))", backend="generated")
+    session.apply_batch(
+        [Update(1, "S", (value % 11, value % 5)) for value in range(150)]
+    )
+    late = session.view("gsum", "AggSum([a], S(a, b) * b)", backend="generated")
+    reference = Session(GROUPED_SCHEMA, shards=1)
+    ref_view = reference.view("gsum", "AggSum([a], S(a, b) * b)", backend="generated")
+    reference.apply_batch(
+        [Update(1, "S", (value % 11, value % 5)) for value in range(150)]
+    )
+    assert late.result() == ref_view.result()
+    for table in session._groups["generated"].runtime.maps.values():
+        assert type(table) is ShardedMapTable
+
+
+# ---------------------------------------------------------------------------
+# Failure path: a failed fold must leave the slice indexes consistent
+# ---------------------------------------------------------------------------
+
+
+class _FragileRing:
+    """A duck-typed coefficient structure whose add chokes on 'boom'."""
+
+    zero = 0
+
+    @staticmethod
+    def add(left, right):
+        if right == "boom":
+            raise RuntimeError("poisoned delta")
+        return left + right
+
+    @staticmethod
+    def is_zero(value):
+        return value == 0
+
+
+@pytest.mark.parametrize("size", [10, MIN_PARALLEL_KEYS * 4])
+def test_failed_fold_applies_completed_journals(size):
+    """Workers hand their journals back even when one raises: after a failed
+    fold (inline or parallel), the slice indexes must exactly match the
+    tables' actual contents — the unsharded per-key loop's guarantee."""
+    from repro.compiler.indexes import SliceIndexes
+    from repro.compiler.sharding import (
+        fold_sharded_table,
+        make_inline_shard_fold,
+        make_shard_fold,
+    )
+
+    ring = _FragileRing()
+    table = ShardedMapTable(4, {(i, i): 1 for i in range(5)})
+    indexes = SliceIndexes({"m": [(0,)]})
+    indexes.rebuild({"m": table})
+    acc = {(i, i): 1 for i in range(size)}
+    acc[(3, 3)] = "boom"
+    with pytest.raises(RuntimeError):
+        fold_sharded_table(
+            table,
+            acc,
+            True,
+            make_shard_fold(ring),
+            make_inline_shard_fold(ring),
+            lambda added, removed: indexes.apply_journal("m", added, removed),
+        )
+    indexed = set()
+    for bucket in indexes.data.values():
+        for keys in bucket.values():
+            indexed.update(keys)
+    assert indexed == set(table), "slice indexes diverged from table contents"
