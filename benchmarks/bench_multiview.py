@@ -39,6 +39,10 @@ from conftest import smoke_scaled
 #: The dashboard: overlapping aggregates over one sales stream.  The last two
 #: entries are duplicate panels — a common dashboard pattern that a Session
 #: serves for free (the duplicate view aliases the existing result map).
+#: They are deliberately spelled with the FROM order *reversed*: the compiled
+#: map definitions then commute factor-for-factor with the originals, which
+#: alpha-renaming alone cannot unify — deduplicating them exercises the
+#: catalog's AC-canonical identity (``repro.compiler.normal_form``).
 DASHBOARD = {
     "revenue_by_nation": (
         "SELECT c.nation, SUM(l.price * l.qty) FROM Customer c, Orders o, Lineitem l "
@@ -56,11 +60,11 @@ DASHBOARD = {
         "WHERE c.ck = o.ck AND o.ok = l.ok2"
     ),
     "revenue_by_nation_panel": (
-        "SELECT c.nation, SUM(l.price * l.qty) FROM Customer c, Orders o, Lineitem l "
+        "SELECT c.nation, SUM(l.price * l.qty) FROM Lineitem l, Orders o, Customer c "
         "WHERE c.ck = o.ck AND o.ok = l.ok2 GROUP BY c.nation"
     ),
     "total_revenue_panel": (
-        "SELECT SUM(l.price * l.qty) FROM Customer c, Orders o, Lineitem l "
+        "SELECT SUM(l.price * l.qty) FROM Lineitem l, Orders o, Customer c "
         "WHERE c.ck = o.ck AND o.ok = l.ok2"
     ),
 }
@@ -99,9 +103,39 @@ def run_independent(stream):
     return engines, elapsed
 
 
+def catalog_dedup_comparison():
+    """Dashboard map/statement counts: AC-canonical vs alpha-renaming dedup.
+
+    Absorbs every dashboard view into two fresh :class:`MapCatalog`\\ s — one
+    with the AC-canonical identity the Session uses (``ac_dedup=True``) and
+    one restricted to alpha-renaming — and returns
+    ``{"ac" | "alpha": (maps, statements)}``.
+    """
+    from repro.compiler.compile import compile_query
+    from repro.session.catalog import MapCatalog
+
+    counts = {}
+    for label, ac_dedup in (("alpha", False), ("ac", True)):
+        catalog = MapCatalog(SALES_SCHEMA, ac_dedup=ac_dedup)
+        for name, query in dashboard_queries().items():
+            program = compile_query(query, SALES_SCHEMA, name=name)
+            catalog.absorb(name, program)
+        counts[label] = (len(catalog.maps), catalog.program().statement_count())
+    return counts
+
+
 # ---------------------------------------------------------------------------
 # pytest entry points
 # ---------------------------------------------------------------------------
+
+
+def test_ac_dedup_reduces_maps_vs_alpha_renaming():
+    """The commuted panels only deduplicate under the AC-canonical identity."""
+    counts = catalog_dedup_comparison()
+    ac_maps, ac_statements = counts["ac"]
+    alpha_maps, alpha_statements = counts["alpha"]
+    assert ac_maps < alpha_maps
+    assert ac_statements < alpha_statements
 
 
 def test_session_matches_independent_engines_and_shares_maps():
@@ -188,6 +222,15 @@ def main(argv):
         f"{independent_entries - session_entries} fewer stored entries"
     )
     assert session_entries < independent_entries
+
+    counts = catalog_dedup_comparison()
+    (ac_maps, ac_statements), (alpha_maps, alpha_statements) = counts["ac"], counts["alpha"]
+    print(
+        f"AC-canonical dedup: {ac_maps} maps / {ac_statements} statements vs "
+        f"{alpha_maps} maps / {alpha_statements} statements under alpha-renaming only "
+        f"(the commuted panels unify only up to commutativity)"
+    )
+    assert ac_maps < alpha_maps
 
     # Change-data-capture invariant: snapshot + replayed deltas == final result.
     test_on_change_deltas_replayed_over_snapshot_reproduce_result()

@@ -1,5 +1,13 @@
-"""Reporting helpers: plain-text/markdown tables and experiment summaries."""
+"""Reporting helpers: tables, experiment summaries, and the trigger-IR lint."""
 
+from repro.analysis.ir_lint import LintFinding, lint_program
 from repro.analysis.reporting import Table, format_markdown, format_table, scaling_exponent
 
-__all__ = ["Table", "format_table", "format_markdown", "scaling_exponent"]
+__all__ = [
+    "LintFinding",
+    "lint_program",
+    "Table",
+    "format_table",
+    "format_markdown",
+    "scaling_exponent",
+]

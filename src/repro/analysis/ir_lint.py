@@ -1,0 +1,302 @@
+"""Trigger-IR lint: the non-failing companion of the static verifier.
+
+Where :mod:`repro.compiler.verify` enforces invariants (a violation is a
+compile error), this module *reports* on the quality of a compiled program:
+
+* **dead maps** — auxiliary maps that statements write but nothing ever
+  reads (not a statement right-hand side, not a recompute body, not another
+  map's definition, not a view result): pure maintenance overhead;
+* **scan-class statements** — statements whose static cost class
+  (:func:`repro.compiler.cost.statement_cost_class`) degenerates to a whole
+  map scan or a full-group recompute, the shapes that break the paper's
+  constant-work-per-update claim;
+* **unnormalized right-hand sides** — statements that the ring normal form
+  (:mod:`repro.compiler.normal_form`) would rewrite, i.e. programs compiled
+  with ``normalize=False`` or hand-built IR with mergeable terms;
+* **serial-forced folds** — statements the shard-race detector routed onto
+  the serial fold path, shown so a surprising parallelism loss is traceable
+  to the pair of statements that caused it.
+
+The module doubles as the ``repro-lint`` console entry point: it compiles
+every canonical workload query and the example-program views, runs the
+verifier and the lint rules over each, and prints one report —
+the CI pipeline uploads that report as a build artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import Table
+from repro.compiler.compile import compile_query
+from repro.compiler.cost import statement_cost_class
+from repro.compiler.indexes import compute_index_specs, iter_partial_reads
+from repro.compiler.normal_form import is_normalized
+from repro.compiler.triggers import TriggerProgram
+from repro.compiler.verify import IRVerificationError, iter_violations
+from repro.core.ast import MapRef, walk
+
+#: Cost classes that visit a whole table (or every group) per update.
+_SCAN_CLASSES = ("O(map scan)", "O(|Δ| × map scan)", "O(all groups)")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One advisory finding: a rule identifier, a message, and IR context."""
+
+    kind: str
+    message: str
+    context: str = ""
+
+    def describe(self) -> str:
+        text = f"[{self.kind}] {self.message}"
+        if self.context:
+            text += f"\n    in: {self.context}"
+        return text
+
+
+def _statement_lists(program: TriggerProgram):
+    """Every (statement list, argument names) pair of the program's triggers."""
+    for trigger in program.triggers.values():
+        yield trigger.statements, trigger.argument_names
+        yield trigger.recomputes, ()
+    for batch_trigger in program.batch_triggers.values():
+        yield batch_trigger.statements, ()
+        yield batch_trigger.recomputes, ()
+
+
+def lint_program(
+    program: TriggerProgram,
+    result_maps: Optional[Iterable[str]] = None,
+) -> List[LintFinding]:
+    """Advisory findings for one compiled program.
+
+    ``result_maps`` names the maps read from outside the program (view
+    results); it defaults to the program's own ``result_map``.  Multi-view
+    catalogs pass the result map of every registered view.
+    """
+    findings: List[LintFinding] = []
+    keep = set(result_maps) if result_maps is not None else {program.result_map}
+
+    # -- dead maps: written (or merely defined) but never read --------------
+    read_maps = set()
+    for statements, _arguments in _statement_lists(program):
+        for statement in statements:
+            read_maps.update(statement.maps_read())
+    for definition in program.maps.values():
+        for node in walk(definition.definition):
+            if isinstance(node, MapRef):
+                read_maps.add(node.name)
+    for name in sorted(program.maps):
+        if name not in read_maps and name not in keep:
+            findings.append(
+                LintFinding(
+                    "dead-map",
+                    f"map {name!r} is maintained but never read "
+                    "(not a view result, not a statement or definition source)",
+                    program.maps[name].describe(),
+                )
+            )
+
+    # -- scan-class statements ---------------------------------------------
+    try:
+        specs = compute_index_specs(program)
+    except TypeError:
+        specs = {}
+    for statements, arguments in _statement_lists(program):
+        for statement in statements:
+            try:
+                cost = statement_cost_class(statement, specs, arguments)
+            except TypeError:
+                continue
+            if cost in _SCAN_CLASSES:
+                findings.append(
+                    LintFinding(
+                        "scan",
+                        f"statement costs {cost} per update — outside the "
+                        "constant-work guarantee",
+                        statement.describe(),
+                    )
+                )
+
+    # -- unindexed slice reads (when handed a runtime's actual specs) -------
+    try:
+        for statement, name, positions in iter_partial_reads(program):
+            if tuple(positions) not in tuple(map(tuple, specs.get(name, ()))):
+                findings.append(
+                    LintFinding(
+                        "unindexed-slice",
+                        f"partially-bound read of {name!r} at positions "
+                        f"{tuple(positions)} is not index-backed",
+                        statement.describe(),
+                    )
+                )
+    except TypeError:
+        pass
+
+    # -- unnormalized right-hand sides --------------------------------------
+    for statements, arguments in _statement_lists(program):
+        for statement in statements:
+            rhs = getattr(statement, "rhs", None)
+            if rhs is None:  # recomputes keep their make-safe body spelling
+                continue
+            if not is_normalized(rhs, arguments):
+                findings.append(
+                    LintFinding(
+                        "unnormalized",
+                        "right-hand side is not in ring normal form "
+                        "(recompile with normalize=True to merge/cancel terms)",
+                        statement.describe(),
+                    )
+                )
+
+    # -- serial-forced folds -------------------------------------------------
+    for statements, _arguments in _statement_lists(program):
+        for statement in statements:
+            if getattr(statement, "serial_fold", False):
+                findings.append(
+                    LintFinding(
+                        "serial-fold",
+                        f"shard-race detector pinned the fold of "
+                        f"{statement.target!r} to the serial path",
+                        statement.describe(),
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# The repro-lint entry point
+# ---------------------------------------------------------------------------
+
+#: Views defined by the example programs (mirrored from ``examples/*.py`` so
+#: the installed console script does not depend on the scripts' location).
+_EXAMPLE_VIEWS: Tuple[Tuple[str, str], ...] = (
+    ("quickstart_selfjoin", "Sum(R(x) * R(y) * (x = y))"),
+    ("social_same_nation", "AggSum([c], C(c, n) * C(c2, n2) * (n = n2))"),
+    (
+        "sales_revenue",
+        "SELECT c.nation, SUM(l.price * l.qty) FROM Customer c, Orders o, Lineitem l "
+        "WHERE c.ck = o.ck AND o.ok = l.ok2 GROUP BY c.nation",
+    ),
+    (
+        "sales_revenue_by_customer",
+        "SELECT c.ck, SUM(l.price * l.qty) FROM Customer c, Orders o, Lineitem l "
+        "WHERE c.ck = o.ck AND o.ok = l.ok2 GROUP BY c.ck",
+    ),
+    (
+        "sales_orders",
+        "SELECT c.ck, SUM(1) FROM Customer c, Orders o WHERE c.ck = o.ck GROUP BY c.ck",
+    ),
+    (
+        "sales_total_revenue",
+        "SELECT SUM(l.price * l.qty) FROM Customer c, Orders o, Lineitem l "
+        "WHERE c.ck = o.ck AND o.ok = l.ok2",
+    ),
+)
+
+_EXAMPLE_SCHEMAS: Dict[str, Mapping[str, Tuple[str, ...]]] = {
+    "quickstart_selfjoin": {"R": ("A",)},
+    "social_same_nation": {"C": ("cid", "nation")},
+}
+
+
+def _lint_targets():
+    """Yield ``(name, aggregate, schema)`` for every query the report covers."""
+    from repro.sql.frontend import is_sql, sql_to_agca
+    from repro.workloads.queries import CANONICAL_QUERIES, chain_count_query
+    from repro.workloads.schemas import SALES_SCHEMA
+
+    for query in CANONICAL_QUERIES:
+        yield query.name, query.aggregate, query.schema
+    chain = chain_count_query(3)
+    yield chain.name, chain.aggregate, chain.schema
+    for name, text in _EXAMPLE_VIEWS:
+        schema = _EXAMPLE_SCHEMAS.get(name, SALES_SCHEMA)
+        aggregate = sql_to_agca(text, schema) if is_sql(text) else None
+        if aggregate is None:
+            from repro.core.parser import parse
+
+            parsed = parse(text)
+            from repro.core.ast import AggSum
+
+            aggregate = parsed if isinstance(parsed, AggSum) else AggSum((), parsed)
+        yield name, aggregate, schema
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Compile, verify, and lint the workload and example queries; print a report.
+
+    Exit status 0 when every program passes the verifier (lint findings are
+    advisory), 1 when any program fails verification or compilation.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static verification and lint report over the compiled "
+        "trigger programs of the canonical workload queries and example views.",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="also write the report to FILE",
+    )
+    options = parser.parse_args(argv)
+
+    lines: List[str] = []
+    table = Table(
+        headers=["query", "maps", "statements", "verified", "findings", "serial folds"],
+        title="Trigger-IR verification & lint report",
+    )
+    details: List[str] = []
+    failed = 0
+    for name, aggregate, schema in _lint_targets():
+        try:
+            program = compile_query(aggregate, schema, name=name)
+        except IRVerificationError as error:
+            failed += 1
+            table.add_row(name, "-", "-", "FAIL", len(error.violations), "-")
+            details.append(f"== {name}: VERIFICATION FAILED ==\n{error}")
+            continue
+        except Exception as error:  # compilation crash: report, keep linting
+            failed += 1
+            table.add_row(name, "-", "-", "ERROR", "-", "-")
+            details.append(f"== {name}: COMPILATION ERROR ==\n{error!r}")
+            continue
+        violations = iter_violations(program)
+        findings = lint_program(program)
+        serial = sum(1 for finding in findings if finding.kind == "serial-fold")
+        verified = "ok" if not violations else "FAIL"
+        if violations:
+            failed += 1
+        table.add_row(
+            name,
+            len(program.maps),
+            program.statement_count(),
+            verified,
+            len(findings),
+            serial,
+        )
+        if violations or findings:
+            section = [f"== {name} =="]
+            section.extend(violation.describe() for violation in violations)
+            section.extend(finding.describe() for finding in findings)
+            details.append("\n".join(section))
+
+    lines.append(table.render())
+    if details:
+        lines.append("")
+        lines.extend(details)
+    report = "\n".join(lines)
+    print(report)
+    if options.output:
+        with open(options.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

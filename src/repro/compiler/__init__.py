@@ -11,17 +11,41 @@
   map slices (keeps per-update cost proportional to matching entries);
 * :mod:`repro.compiler.sharding` — hash-partitioned map tables and the
   parallel per-shard batch folds;
-* :mod:`repro.compiler.cost` — operation counting for the constant-work claims.
+* :mod:`repro.compiler.cost` — operation counting for the constant-work claims;
+* :mod:`repro.compiler.normal_form` — ring normal form and AC-canonical
+  identities for compiled statements and map definitions;
+* :mod:`repro.compiler.verify` — the static trigger-IR verifier and the
+  shard-race detector.
 """
 
 from repro.compiler.compile import Compiler, compile_query
 from repro.compiler.codegen import GeneratedTriggers, generate_python
-from repro.compiler.cost import CountingSemiring, OperationCounter, RuntimeStatistics
+from repro.compiler.cost import (
+    CountingSemiring,
+    OperationCounter,
+    RuntimeStatistics,
+    statement_cost_class,
+)
 from repro.compiler.indexes import IndexedMaps, SliceIndexes, compute_index_specs
 from repro.compiler.maps import MapDefinition
+from repro.compiler.normal_form import (
+    ac_canonical_identity,
+    ac_canonical_map_key,
+    is_normalized,
+    normalize_rhs,
+    normalizes_to_zero,
+)
 from repro.compiler.runtime import TriggerRuntime
 from repro.compiler.sharding import ShardedMapTable, partition_map, shard_of
 from repro.compiler.triggers import RecomputeStatement, Statement, Trigger, TriggerProgram
+from repro.compiler.verify import (
+    IRVerificationError,
+    Violation,
+    detect_shard_races,
+    iter_violations,
+    mark_serial_folds,
+    verify_program,
+)
 
 __all__ = [
     "ShardedMapTable",
@@ -43,4 +67,16 @@ __all__ = [
     "Statement",
     "Trigger",
     "TriggerProgram",
+    "statement_cost_class",
+    "ac_canonical_identity",
+    "ac_canonical_map_key",
+    "is_normalized",
+    "normalize_rhs",
+    "normalizes_to_zero",
+    "IRVerificationError",
+    "Violation",
+    "detect_shard_races",
+    "iter_violations",
+    "mark_serial_folds",
+    "verify_program",
 ]

@@ -570,7 +570,7 @@ def _emit_fold(context: _EmitContext) -> None:
     else:
         is_zero = "_is_zero(_new)"
         delta_nonzero = "not _is_zero(_delta)"
-    writer.emit("def _fold(_table, _acc, _name, _specs, _IDX, _CH=None, _trk=None):")
+    writer.emit("def _fold(_table, _acc, _name, _specs, _IDX, _CH=None, _trk=None, _serial=False):")
     writer.emit("    if not _acc:")
     writer.emit("        return")
     writer.emit('    _STATS["entries"] += len(_acc)')
@@ -585,8 +585,9 @@ def _emit_fold(context: _EmitContext) -> None:
     writer.emit("                _trk.add(_key)")
     writer.emit("    if type(_table) is _SHARDED:")
     writer.emit("        # Hash-partitioned table: per-shard folds (parallel when")
-    writer.emit("        # large), index maintenance journalled by the workers.")
-    writer.emit("        _fold_sharded(_table, _acc, _name, _specs, _IDX)")
+    writer.emit("        # large, unless the shard-race detector forced this")
+    writer.emit("        # statement serial), index maintenance journalled by the workers.")
+    writer.emit("        _fold_sharded(_table, _acc, _name, _specs, _IDX, _serial)")
     writer.emit("        return")
     writer.emit("    if _IDX is None or _specs is None:")
     writer.emit("        for _key, _delta in _acc.items():")
@@ -837,9 +838,10 @@ def _generate_trigger_body(
             _emit_scalar_fold(context, statement, environment, accumulator, table_ref)
         else:
             trk = f", _TRK[{statement.target!r}]" if statement.target in tracked_maps else ""
+            serial = ", _serial=True" if getattr(statement, "serial_fold", False) else ""
             writer.emit(
                 f"_fold({table_ref(statement.target)}, {accumulator}, {statement.target!r}, "
-                f"{_spec_literal(context, statement.target)}, _IDX, _CH{trk})"
+                f"{_spec_literal(context, statement.target)}, _IDX, _CH{trk}{serial})"
             )
 
 

@@ -71,6 +71,7 @@ from repro.core.normalization import (
 from repro.core.simplify import make_safe, order_for_safety, rename_variables, simplify
 from repro.core.variables import all_variables, check_safety
 from repro.compiler.maps import MapDefinition, dependency_depths
+from repro.compiler.normal_form import ac_canonical_identity, normalize_rhs
 from repro.compiler.triggers import (
     BatchStatement,
     BatchTrigger,
@@ -79,6 +80,7 @@ from repro.compiler.triggers import (
     Trigger,
     TriggerProgram,
 )
+from repro.compiler.verify import mark_serial_folds, verify_program
 
 
 class Compiler:
@@ -96,11 +98,23 @@ class Compiler:
         query: Expr,
         name: str = "q",
         group_vars: Optional[Sequence[str]] = None,
+        verify: bool = True,
+        normalize: bool = True,
     ) -> TriggerProgram:
         """Compile a query into a trigger program.
 
         ``query`` may be an ``AggSum`` (its group variables are used) or a bare
         body combined with explicit ``group_vars``.
+
+        With ``normalize`` (the default) statement right-hand sides are
+        brought into ring normal form (:mod:`repro.compiler.normal_form`) —
+        AC-sorted, like terms merged, cancelling statements dropped — and map
+        deduplication keys are AC-canonical, so commuted spellings of one
+        product share their materialized maps.  Only valid over commutative
+        rings; pass ``normalize=False`` when compiling for a non-commutative
+        coefficient structure.  With ``verify`` (the default) the finished
+        program is checked against the trigger-IR invariants
+        (:func:`repro.compiler.verify.verify_program`) before being returned.
         """
         body, keys = self._normalize_query(query, group_vars)
         self._validate(body, keys)
@@ -118,6 +132,7 @@ class Compiler:
         self._trigger_relations_cache: Dict[str, frozenset] = {}
         self._counter = 0
         self._base_name = name
+        self._normalize = normalize
 
         worklist: List[MapDefinition] = []
         simplified = simplify(body, needed_vars=set(keys) | all_variables(body))
@@ -133,13 +148,17 @@ class Compiler:
             self._process_map(worklist.pop(0), worklist)
 
         triggers, batch_triggers = self._assemble_triggers()
-        return TriggerProgram(
+        program = TriggerProgram(
             result_map=name,
             maps=dict(self._maps),
             triggers=triggers,
             schema=dict(self.schema),
             batch_triggers=batch_triggers,
         )
+        mark_serial_folds(program)
+        if verify:
+            verify_program(program)
+        return program
 
     # -- query validation ----------------------------------------------------------
 
@@ -298,7 +317,7 @@ class Compiler:
         canonical_expr = make_safe(rename_variables(inner_body, renaming))
         canonical_keys = tuple(f"k{index}" for index in range(len(original_keys)))
 
-        registry_key = (canonical_expr, canonical_keys)
+        registry_key = self._registry_key(canonical_expr, canonical_keys)
         map_name = self._registry.get(registry_key)
         if map_name is None:
             self._counter += 1
@@ -355,7 +374,12 @@ class Compiler:
                 # Identical monomials can emerge only after component materialization
                 # (e.g. the two symmetric terms of a self-join delta); combine them so
                 # the trigger performs one lookup scaled by 2 instead of two lookups.
-                rhs = from_polynomial(combine_like_terms(to_polynomial(rhs)))
+                # The ring normal form additionally recognizes monomials equal
+                # modulo commutativity and can cancel the whole statement.
+                rhs = self._normal_form(rhs, event_args)
+                if is_zero_literal(rhs):
+                    self._compile_batch_statement(definition, relation, arity, sign, worklist)
+                    continue
                 statement = Statement(
                     target=definition.name,
                     target_keys=definition.key_vars,
@@ -363,6 +387,26 @@ class Compiler:
                 )
                 self._statements[(relation, sign)].append(statement)
                 self._compile_batch_statement(definition, relation, arity, sign, worklist)
+
+    def _normal_form(self, rhs: Expr, bound_vars) -> Expr:
+        """Statement-RHS cleanup: ring normal form, or plain like-term merging."""
+        if self._normalize:
+            return normalize_rhs(rhs, bound_vars=bound_vars)
+        return from_polynomial(combine_like_terms(to_polynomial(rhs)))
+
+    def _registry_key(
+        self, canonical_expr: Expr, canonical_keys: Tuple[str, ...]
+    ) -> Tuple[Expr, Tuple[str, ...]]:
+        """The structural-sharing key for one candidate child map.
+
+        Under normalization the key is AC-canonical
+        (:func:`repro.compiler.normal_form.ac_canonical_identity`), so
+        commuted spellings of one component share a single materialized map;
+        the *stored* definition keeps its safety-ordered spelling either way.
+        """
+        if self._normalize:
+            return ac_canonical_identity(canonical_expr, canonical_keys)
+        return canonical_expr, canonical_keys
 
     # -- batch (relation-valued) trigger statements -------------------------------------
 
@@ -404,7 +448,12 @@ class Compiler:
         if not rhs_terms:
             return
         rhs = rhs_terms[0] if len(rhs_terms) == 1 else Add(tuple(rhs_terms))
-        rhs = from_polynomial(combine_like_terms(to_polynomial(rhs)))
+        # Batch statements start with nothing bound — the delta references
+        # drive the fold; the delta-first factor rank of the normal form
+        # keeps them in the leading position the projection analysis needs.
+        rhs = self._normal_form(rhs, ())
+        if is_zero_literal(rhs):
+            return
         projection, coefficient = _delta_projection(rhs, event.delta_map, definition.key_vars)
         self._batch_statements[(relation, sign)].append(
             BatchStatement(
@@ -544,7 +593,7 @@ class Compiler:
             return name
         columns = tuple(f"k{index}" for index in range(len(self.schema[relation])))
         canonical_expr: Expr = Rel(relation, columns)
-        registry_key = (canonical_expr, columns)
+        registry_key = self._registry_key(canonical_expr, columns)
         name = self._registry.get(registry_key)
         if name is None:
             self._counter += 1
@@ -657,7 +706,7 @@ class Compiler:
         canonical_keys = tuple(f"k{index}" for index in range(len(child_keys_original)))
         canonical_expr = mul(*canonical_factors)
 
-        registry_key = (canonical_expr, canonical_keys)
+        registry_key = self._registry_key(canonical_expr, canonical_keys)
         map_name = self._registry.get(registry_key)
         if map_name is None:
             self._counter += 1
@@ -841,9 +890,13 @@ def compile_query(
     schema: Mapping[str, Sequence[str]],
     name: str = "q",
     group_vars: Optional[Sequence[str]] = None,
+    verify: bool = True,
+    normalize: bool = True,
 ) -> TriggerProgram:
     """Convenience wrapper around :class:`Compiler`."""
-    return Compiler(schema).compile(query, name=name, group_vars=group_vars)
+    return Compiler(schema).compile(
+        query, name=name, group_vars=group_vars, verify=verify, normalize=normalize
+    )
 
 
 # ---------------------------------------------------------------------------

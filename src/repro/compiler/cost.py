@@ -12,9 +12,13 @@ entry updates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable, Mapping, Optional, Sequence, Tuple
 
 from repro.algebra.semirings import INTEGER_RING, Semiring
+from repro.core.ast import Assign, Expr, MapRef
+from repro.core.delta import is_delta_map
+from repro.core.normalization import to_polynomial
+from repro.core.simplify import order_for_safety
 
 
 @dataclass
@@ -88,6 +92,79 @@ class CountingSemiring(Semiring):
             name=inner.name,
             commutative=inner.commutative,
         )
+
+
+# ---------------------------------------------------------------------------
+# Static per-statement cost classes
+# ---------------------------------------------------------------------------
+
+#: Read classes, worst one wins: full-key lookups only, an index-backed
+#: partial slice, or an unindexed scan of a whole map.
+_LOOKUP, _SLICE, _SCAN = 0, 1, 2
+
+
+def _monomial_read_class(
+    factors: Iterable[Expr],
+    initially_bound: Iterable[str],
+    specs: Mapping[str, Tuple[Tuple[int, ...], ...]],
+) -> int:
+    """Replay one monomial's binding discipline and grade its map reads."""
+    bound = set(initially_bound)
+    worst = _LOOKUP
+    for factor in factors:
+        if isinstance(factor, Assign):
+            bound.add(factor.var)
+        elif isinstance(factor, MapRef):
+            if is_delta_map(factor.name):
+                # The delta map is the iteration driver, already priced into
+                # the |Δ| factor of the batch cost classes.
+                bound.update(factor.key_vars)
+                continue
+            positions = tuple(
+                index for index, key_var in enumerate(factor.key_vars) if key_var in bound
+            )
+            if len(positions) == len(factor.key_vars):
+                pass  # full-key lookup, O(1)
+            elif positions and positions in specs.get(factor.name, ()):
+                worst = max(worst, _SLICE)
+            else:
+                worst = max(worst, _SCAN)
+            bound.update(factor.key_vars)
+    return worst
+
+
+def statement_cost_class(
+    statement,
+    specs: Optional[Mapping[str, Tuple[Tuple[int, ...], ...]]] = None,
+    argument_names: Sequence[str] = (),
+) -> str:
+    """The static per-update cost class of one compiled trigger statement.
+
+    ``specs`` are the program's slice-index signatures
+    (:func:`repro.compiler.indexes.compute_index_specs`) — a partially-bound
+    read covered by a signature costs one indexed slice, an uncovered one a
+    whole-map scan.  Statement kinds are recognized structurally so the
+    function prices :class:`~repro.compiler.triggers.Statement`,
+    ``BatchStatement`` and ``RecomputeStatement`` alike.
+    """
+    specs = specs or {}
+    if hasattr(statement, "tracked"):
+        return "O(changed groups)" if statement.tracked else "O(all groups)"
+    if hasattr(statement, "projection"):
+        if statement.projection is not None:
+            return "O(|Δ| keys)"
+        worst = _LOOKUP
+        for monomial in to_polynomial(statement.rhs):
+            ordered = order_for_safety(monomial.factors, bound_vars=(), eager_assignments=True)
+            worst = max(worst, _monomial_read_class(ordered, (), specs))
+        return ("O(|Δ| keys)", "O(|Δ| × indexed slice)", "O(|Δ| × map scan)")[worst]
+    worst = _LOOKUP
+    for monomial in to_polynomial(statement.rhs):
+        ordered = order_for_safety(
+            monomial.factors, bound_vars=argument_names, eager_assignments=True
+        )
+        worst = max(worst, _monomial_read_class(ordered, argument_names, specs))
+    return ("O(1)", "O(indexed slice)", "O(map scan)")[worst]
 
 
 @dataclass

@@ -41,20 +41,24 @@ Positions = Tuple[int, ...]
 IndexSpecs = Dict[str, Tuple[Positions, ...]]
 
 
-def compute_index_specs(program: TriggerProgram) -> IndexSpecs:
-    """The bound-position signatures every trigger statement slices each map with.
+def iter_partial_reads(program: TriggerProgram):
+    """Yield ``(statement, map_name, positions)`` for every partially-bound read.
 
     The analysis replays exactly the binding discipline of the code generator
     (and of the interpreted evaluator, which evaluates the same
     safety-ordered monomials left to right): trigger arguments start out
     bound, assignments bind their target, and a map reference binds its free
     key variables for the factors to its right.  A map reference whose key
-    variables are *partially* bound at that point contributes one
-    ``(map, positions)`` signature.
-    """
-    specs: Dict[str, Set[Positions]] = {}
+    variables are *partially* bound at that point is reported once per
+    occurrence, tagged with the statement (or recompute) performing it.
 
-    def replay(factors, initially_bound) -> None:
+    This is the single source of truth shared by :func:`compute_index_specs`
+    (which turns the reads into index signatures) and the static verifier
+    (:mod:`repro.compiler.verify`, which checks that a runtime's specs cover
+    every read).
+    """
+
+    def replay(statement, factors, initially_bound):
         bound = set(initially_bound)
         for factor in factors:
             if isinstance(factor, Assign):
@@ -72,13 +76,14 @@ def compute_index_specs(program: TriggerProgram) -> IndexSpecs:
                     and len(positions) < len(factor.key_vars)
                     and not is_delta_map(factor.name)
                 ):
-                    specs.setdefault(factor.name, set()).add(positions)
+                    yield statement, factor.name, positions
                 bound.update(factor.key_vars)
 
     for trigger in program.triggers.values():
         for statement in trigger.statements:
             for monomial in to_polynomial(statement.rhs):
-                replay(
+                yield from replay(
+                    statement,
                     order_for_safety(
                         monomial.factors,
                         bound_vars=trigger.argument_names,
@@ -95,8 +100,9 @@ def compute_index_specs(program: TriggerProgram) -> IndexSpecs:
             # find their slices.
             initially_bound = recompute.target_keys if recompute.tracked else ()
             for monomial in to_polynomial(recompute.body):
-                replay(monomial.factors, initially_bound)
-                replay(
+                yield from replay(recompute, monomial.factors, initially_bound)
+                yield from replay(
+                    recompute,
                     order_for_safety(
                         monomial.factors,
                         bound_vars=initially_bound,
@@ -110,13 +116,25 @@ def compute_index_specs(program: TriggerProgram) -> IndexSpecs:
         # stored order and the generator's reordering, as for recomputes.
         for statement in batch_trigger.statements:
             for monomial in to_polynomial(statement.rhs):
-                replay(monomial.factors, ())
-                replay(
+                yield from replay(statement, monomial.factors, ())
+                yield from replay(
+                    statement,
                     order_for_safety(
                         monomial.factors, bound_vars=(), eager_assignments=True
                     ),
                     (),
                 )
+
+
+def compute_index_specs(program: TriggerProgram) -> IndexSpecs:
+    """The bound-position signatures every trigger statement slices each map with.
+
+    One ``(map, positions)`` signature per distinct partially-bound read shape
+    reported by :func:`iter_partial_reads`.
+    """
+    specs: Dict[str, Set[Positions]] = {}
+    for _statement, name, positions in iter_partial_reads(program):
+        specs.setdefault(name, set()).add(positions)
     return {name: tuple(sorted(positions)) for name, positions in sorted(specs.items())}
 
 

@@ -74,14 +74,26 @@ def dependency_depths(maps: Mapping[str, "MapDefinition"]) -> Dict[str, int]:
     shared by the runtime's bootstrap (sources evaluated first), the map
     catalog's absorb (sources renamed before their readers), and the
     compiler's recompute ordering (inner hierarchies refreshed first).
+
+    Map references outside ``maps`` (delta maps, hand-built IR mistakes — the
+    static verifier reports the latter) contribute no depth; a reference
+    cycle raises :class:`ValueError` instead of exhausting the stack, naming
+    the map on the cycle.
     """
     depths: Dict[str, int] = {}
+    in_progress: set = set()
 
     def depth(name: str) -> int:
         cached = depths.get(name)
         if cached is None:
-            sources = map_references(maps[name].definition)
+            if name in in_progress:
+                raise ValueError(f"map dependency cycle through {name!r}")
+            in_progress.add(name)
+            sources = [
+                ref for ref in map_references(maps[name].definition) if ref.name in maps
+            ]
             cached = 1 + max((depth(ref.name) for ref in sources), default=-1)
+            in_progress.discard(name)
             depths[name] = cached
         return cached
 

@@ -1,0 +1,308 @@
+"""Ring-normal-form canonicalization of compiled trigger statements.
+
+AGCA lives in a commutative ring of databases, so a statement right-hand
+side has a *normal form* under associativity and commutativity: expand to a
+polynomial, sort every monomial's factors by a total structural order, merge
+monomials with equal factor multisets by adding coefficients, and sort the
+monomial list.  Two right-hand sides that differ only by ring axioms (factor
+order, term order, ``+dR`` against ``-dR``) then become literally equal —
+or literally zero, in which case the statement can be dropped.
+
+Two distinct services are built on that order:
+
+* :func:`normalize_rhs` — the *operational* normal form for statement
+  right-hand sides.  After the AC sort, every monomial is re-ordered by
+  :func:`repro.core.simplify.order_for_safety` so the stored factor order
+  remains evaluable left-to-right (products pass bindings sideways); the AC
+  sort only decides which of the safety-equivalent orders is canonical.
+  Factors ranked as *drivers* (delta-map references, then relations/maps)
+  sort first, so batch statements keep their delta reference in the leading
+  position the key-projection analysis expects.
+
+* :func:`ac_canonical_map_key` — the *identity* used for map deduplication.
+  It extends :func:`repro.compiler.compile.canonical_map_key` (which only
+  alpha-renames) with AC sorting: the definition body is recursively sorted
+  with a name-blind structural key, alpha-renamed (key variables
+  positionally to ``k0, k1, ...``, everything else to ``v0, v1, ...`` in
+  walk order), then re-sorted and re-renamed until the naming is stable.
+  Two definitions equal modulo commutativity *and* variable naming collapse
+  onto one key.  The construction is sound (keys are equal only when the
+  renamed definitions are literally identical, hence denote the same
+  function of their positional keys) but not complete: pathological
+  symmetric definitions may fail to merge, costing only a missed sharing
+  opportunity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Tuple
+
+from repro.core.ast import (
+    Add,
+    AggSum,
+    Assign,
+    Compare,
+    Const,
+    Expr,
+    MapRef,
+    Mul,
+    Neg,
+    Rel,
+    Var,
+)
+from repro.core.delta import is_delta_map
+from repro.core.normalization import combine_sorted, to_polynomial, from_polynomial
+from repro.core.simplify import order_for_safety, rename_variables, reorder_monomials_for_safety
+
+SortKey = Tuple
+
+
+# ---------------------------------------------------------------------------
+# Structural total orders
+# ---------------------------------------------------------------------------
+
+
+def _factor_rank(factor: Expr) -> int:
+    """Coarse factor classes: drivers first, then binders, then filters.
+
+    Delta-map references rank before everything else so that the normal form
+    of a batch statement keeps ``∆R`` in the leading position —
+    ``order_for_safety`` emits the first safe factor and map references are
+    always safe, which preserves the key-projection fast path.
+    """
+    if isinstance(factor, MapRef):
+        return 0 if is_delta_map(factor.name) else 1
+    if isinstance(factor, Rel):
+        return 1
+    if isinstance(factor, AggSum):
+        return 2
+    if isinstance(factor, Assign):
+        return 3
+    if isinstance(factor, Compare):
+        return 4
+    return 5
+
+
+def _structure_key(expr: Expr) -> SortKey:
+    """A name-sensitive total order on expressions (tag first, then contents)."""
+    if isinstance(expr, Const):
+        return ("const", type(expr.value).__name__, repr(expr.value))
+    if isinstance(expr, Var):
+        return ("var", expr.name)
+    if isinstance(expr, Rel):
+        return ("rel", expr.name, expr.columns)
+    if isinstance(expr, MapRef):
+        return ("map", expr.name, expr.key_vars)
+    if isinstance(expr, Assign):
+        return ("assign", expr.var, _structure_key(expr.expr))
+    if isinstance(expr, Compare):
+        return ("cmp", expr.op, _structure_key(expr.left), _structure_key(expr.right))
+    if isinstance(expr, AggSum):
+        return ("agg", expr.group_vars, _structure_key(expr.expr))
+    if isinstance(expr, Neg):
+        return ("neg", _structure_key(expr.expr))
+    if isinstance(expr, Add):
+        return ("add", tuple(_structure_key(term) for term in expr.terms))
+    if isinstance(expr, Mul):
+        return ("mul", tuple(_structure_key(factor) for factor in expr.factors))
+    raise TypeError(f"unknown AGCA expression node: {expr!r}")
+
+
+def factor_sort_key(factor: Expr) -> SortKey:
+    """The canonical factor order: rank class, then full structural order."""
+    return (_factor_rank(factor), _structure_key(factor))
+
+
+def _skeleton_key(expr: Expr) -> SortKey:
+    """A name-*blind* structural order: variables are numbered by first occurrence.
+
+    Used as the first sorting pass of the canonical-identity construction,
+    where the variable names are arbitrary and about to be rewritten — two
+    alpha-equivalent factors must sort identically before the renaming runs.
+    """
+    numbering = {}
+
+    def number(name: str) -> int:
+        if name not in numbering:
+            numbering[name] = len(numbering)
+        return numbering[name]
+
+    def key(expr: Expr) -> SortKey:
+        if isinstance(expr, Const):
+            return ("const", type(expr.value).__name__, repr(expr.value))
+        if isinstance(expr, Var):
+            return ("var", number(expr.name))
+        if isinstance(expr, Rel):
+            return ("rel", expr.name, tuple(number(column) for column in expr.columns))
+        if isinstance(expr, MapRef):
+            return ("map", expr.name, tuple(number(key_var) for key_var in expr.key_vars))
+        if isinstance(expr, Assign):
+            return ("assign", number(expr.var), key(expr.expr))
+        if isinstance(expr, Compare):
+            return ("cmp", expr.op, key(expr.left), key(expr.right))
+        if isinstance(expr, AggSum):
+            return ("agg", tuple(number(name) for name in expr.group_vars), key(expr.expr))
+        if isinstance(expr, Neg):
+            return ("neg", key(expr.expr))
+        if isinstance(expr, Add):
+            return ("add", tuple(key(term) for term in expr.terms))
+        if isinstance(expr, Mul):
+            return ("mul", tuple(key(factor) for factor in expr.factors))
+        raise TypeError(f"unknown AGCA expression node: {expr!r}")
+
+    return key(expr)
+
+
+def _skeleton_factor_key(factor: Expr) -> SortKey:
+    return (_factor_rank(factor), _skeleton_key(factor))
+
+
+# ---------------------------------------------------------------------------
+# The operational normal form (statement right-hand sides)
+# ---------------------------------------------------------------------------
+
+
+def normalize_rhs(expr: Expr, bound_vars: Iterable[str] = ()) -> Expr:
+    """AC-normalize a statement right-hand side, preserving evaluability.
+
+    Expands to a polynomial, sorts factors and monomials by
+    :func:`factor_sort_key`, merges like terms (cancelling ``+dR``/``-dR``
+    pairs whatever their original factor order), then re-orders every
+    surviving monomial with ``order_for_safety(..., eager_assignments=True)``
+    under ``bound_vars`` (the trigger arguments) so the stored order stays a
+    valid left-to-right evaluation plan.  Returns the literal constant 0
+    when everything cancels.
+    """
+    combined = combine_sorted(to_polynomial(expr), factor_sort_key)
+    safe = reorder_monomials_for_safety(combined, bound_vars, eager_assignments=True)
+    return from_polynomial(safe)
+
+
+def normalizes_to_zero(expr: Expr, bound_vars: Iterable[str] = ()) -> bool:
+    """True when the AC normal form of ``expr`` is identically zero."""
+    return not combine_sorted(to_polynomial(expr), factor_sort_key)
+
+
+def is_normalized(expr: Expr, bound_vars: Iterable[str] = ()) -> bool:
+    """True when ``expr`` is already in the operational AC normal form.
+
+    Non-polynomial expressions (e.g. right-hand sides carrying non-numeric
+    constants in factor position) count as normalized — there is no normal
+    form to compare against.
+    """
+    try:
+        return normalize_rhs(expr, bound_vars) == expr
+    except TypeError:
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Canonical map identity (AC + alpha)
+# ---------------------------------------------------------------------------
+
+
+def _ac_sorted(expr: Expr, key_fn: Callable[[Expr], SortKey]) -> Expr:
+    """Recursively sort the operands of every ``Mul``/``Add`` by ``key_fn``.
+
+    Operand keys are computed on the recursively sorted children, so inner
+    commutations cannot leak into the outer order.  Comparison operands and
+    assignment sources are recursed into but never reordered (subtraction in
+    conditions is not commutative).
+    """
+    if isinstance(expr, Mul):
+        factors = tuple(_ac_sorted(factor, key_fn) for factor in expr.factors)
+        return Mul(tuple(sorted(factors, key=key_fn)))
+    if isinstance(expr, Add):
+        terms = tuple(_ac_sorted(term, key_fn) for term in expr.terms)
+        return Add(tuple(sorted(terms, key=key_fn)))
+    if isinstance(expr, Neg):
+        return Neg(_ac_sorted(expr.expr, key_fn))
+    if isinstance(expr, AggSum):
+        return AggSum(expr.group_vars, _ac_sorted(expr.expr, key_fn))
+    if isinstance(expr, Assign):
+        return Assign(expr.var, _ac_sorted(expr.expr, key_fn))
+    if isinstance(expr, Compare):
+        return Compare(_ac_sorted(expr.left, key_fn), expr.op, _ac_sorted(expr.right, key_fn))
+    return expr
+
+
+def _ordered_variables(expr: Expr) -> List[str]:
+    """Every variable name in pre-order walk order (first occurrence only)."""
+    seen: List[str] = []
+
+    def note(name: str) -> None:
+        if name not in seen:
+            seen.append(name)
+
+    def visit(expr: Expr) -> None:
+        if isinstance(expr, Var):
+            note(expr.name)
+        elif isinstance(expr, Rel):
+            for column in expr.columns:
+                note(column)
+        elif isinstance(expr, MapRef):
+            for key_var in expr.key_vars:
+                note(key_var)
+        elif isinstance(expr, Assign):
+            note(expr.var)
+            visit(expr.expr)
+        elif isinstance(expr, AggSum):
+            for name in expr.group_vars:
+                note(name)
+            visit(expr.expr)
+        else:
+            for child in expr.children():
+                visit(child)
+
+    visit(expr)
+    return seen
+
+
+def _positional_rename(expr: Expr, key_vars: Tuple[str, ...]) -> Tuple[Expr, Tuple[str, ...]]:
+    """Rename key variables positionally to ``k0...``, the rest to ``v0...``.
+
+    The renaming is injective and applied simultaneously
+    (:func:`repro.core.simplify.rename_variables`), so it is capture-free
+    even when the source names overlap the target alphabet.
+    """
+    renaming = {name: f"k{position}" for position, name in enumerate(key_vars)}
+    counter = 0
+    for name in _ordered_variables(expr):
+        if name not in renaming:
+            renaming[name] = f"v{counter}"
+            counter += 1
+    canonical_keys = tuple(f"k{position}" for position in range(len(key_vars)))
+    return rename_variables(expr, renaming), canonical_keys
+
+
+def ac_canonical_identity(expr: Expr, key_vars: Iterable[str]) -> Tuple[Expr, Tuple[str, ...]]:
+    """The AC + alpha canonical identity of a map body with the given keys.
+
+    Name-blind sort, positional rename, then two name-sensitive
+    sort-and-rename rounds to let the fresh names settle into a stable
+    order.  Equal results guarantee the definitions denote the same function
+    of their positional key tuples.
+    """
+    key_vars = tuple(key_vars)
+    canonical = _ac_sorted(expr, _skeleton_factor_key)
+    canonical, keys = _positional_rename(canonical, key_vars)
+    for _ in range(2):
+        canonical = _ac_sorted(canonical, factor_sort_key)
+        canonical, keys = _positional_rename(canonical, keys)
+    return _ac_sorted(canonical, factor_sort_key), keys
+
+
+def ac_canonical_map_key(definition) -> Tuple[Expr, Tuple[str, ...]]:
+    """The AC-canonical registry key of a :class:`MapDefinition`."""
+    return ac_canonical_identity(definition.definition, definition.key_vars)
+
+
+__all__ = [
+    "factor_sort_key",
+    "normalize_rhs",
+    "normalizes_to_zero",
+    "is_normalized",
+    "ac_canonical_identity",
+    "ac_canonical_map_key",
+    "order_for_safety",
+]

@@ -323,7 +323,13 @@ class TriggerRuntime:
 
         # ... then apply all increments, keeping the slice indexes in sync.
         for statement, increments in pending:
-            self._fold_increments(statement.target, increments, changes, tracked_sources)
+            self._fold_increments(
+                statement.target,
+                increments,
+                changes,
+                tracked_sources,
+                serial=statement.serial_fold,
+            )
 
         # Finally re-derive the nested-aggregate readers, inner maps first;
         # each recompute sees the post-update sources and the pre-update target.
@@ -386,7 +392,13 @@ class TriggerRuntime:
         finally:
             self.maps.pop(batch_trigger.delta_map, None)
         for statement, increments in pending:
-            self._fold_increments(statement.target, increments, changes, tracked_sources)
+            self._fold_increments(
+                statement.target,
+                increments,
+                changes,
+                tracked_sources,
+                serial=statement.serial_fold,
+            )
         for recompute in batch_trigger.recomputes:
             self._run_recompute(recompute, changes, tracked_sources)
 
@@ -396,13 +408,20 @@ class TriggerRuntime:
         increments: MapTable,
         changes: Optional[Dict[str, MapTable]],
         tracked_sources: Optional[Dict[str, set]],
+        serial: bool = False,
     ) -> None:
-        """Fold per-key increments into one map, maintaining indexes/CDC/tracking."""
+        """Fold per-key increments into one map, maintaining indexes/CDC/tracking.
+
+        ``serial`` is the shard-race detector's verdict
+        (:attr:`~repro.compiler.triggers.Statement.serial_fold`): a flagged
+        statement's fold must stay on the inline path even for large
+        increment maps over a sharded table.
+        """
         ring = self.ring
         table = self.maps[target]
         if type(table) is ShardedMapTable:
             self._fold_increments_sharded(
-                table, target, increments, changes, tracked_sources
+                table, target, increments, changes, tracked_sources, serial
             )
             return
         indexes = self.indexes
@@ -430,6 +449,7 @@ class TriggerRuntime:
         increments: MapTable,
         changes: Optional[Dict[str, MapTable]],
         tracked_sources: Optional[Dict[str, set]],
+        serial: bool = False,
     ) -> None:
         """The sharded fold: split increments by key hash, fold shards concurrently.
 
@@ -462,6 +482,7 @@ class TriggerRuntime:
             self._shard_fold,
             self._shard_fold_inline,
             lambda added, removed: indexes.apply_journal(target, added, removed),
+            force_inline=serial,
         )
 
     def _run_recompute(

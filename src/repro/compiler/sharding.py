@@ -440,18 +440,22 @@ def fold_sharded_table(
     fold_shard: Callable,
     fold_inline: Callable,
     sink: Callable[[Iterable, Iterable], None],
+    force_inline: bool = False,
 ) -> None:
     """The one sharded-fold orchestration, shared by both backends.
 
     Folds ``acc`` into ``table`` — in line below :data:`MIN_PARALLEL_KEYS`,
-    per-shard on the executor otherwise.  Every worker's journal is handed
-    to ``sink`` (the backend's slice-index maintenance) *before* the first
-    captured error is re-raised, so a failed fold leaves the indexes
-    consistent with whatever the shards actually contain — the same
-    guarantee as the unsharded per-key fold loop.
+    per-shard on the executor otherwise.  ``force_inline`` pins the fold to
+    the inline path regardless of size: the shard-race detector
+    (:func:`repro.compiler.verify.mark_serial_folds`) sets it for statements
+    whose target another statement of the same dispatch touches.  Every
+    worker's journal is handed to ``sink`` (the backend's slice-index
+    maintenance) *before* the first captured error is re-raised, so a failed
+    fold leaves the indexes consistent with whatever the shards actually
+    contain — the same guarantee as the unsharded per-key fold loop.
     """
     error: Optional[BaseException] = None
-    if len(acc) < MIN_PARALLEL_KEYS:
+    if force_inline or len(acc) < MIN_PARALLEL_KEYS:
         # In-line fold, routed per key: partition/dispatch overhead would
         # dominate for small increment maps (and for every single-tuple
         # trigger on a sharded session).
@@ -483,12 +487,14 @@ def make_generated_fold_sharded(ring: Semiring):
     fold_shard = make_shard_fold(ring)
     fold_inline = make_inline_shard_fold(ring)
 
-    def _fold_sharded(table, acc, name, specs, idx) -> None:
+    def _fold_sharded(table, acc, name, specs, idx, serial=False) -> None:
         journal = idx is not None and specs is not None
 
         def sink(added, removed):
             apply_index_journal(idx, specs, name, added, removed)
 
-        fold_sharded_table(table, acc, journal, fold_shard, fold_inline, sink)
+        fold_sharded_table(
+            table, acc, journal, fold_shard, fold_inline, sink, force_inline=serial
+        )
 
     return _fold_sharded

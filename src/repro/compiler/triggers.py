@@ -18,6 +18,14 @@ from repro.core.ast import AggSum, Expr, MapRef, walk
 from repro.compiler.maps import MapDefinition
 
 
+def _suffix(annotate, statement) -> str:
+    """An annotation suffix for a describe() line (empty without an annotator)."""
+    if annotate is None:
+        return ""
+    text = annotate(statement)
+    return f"  {text}" if text else ""
+
+
 @dataclass(frozen=True)
 class Statement:
     """``target[target_keys] += rhs`` (for every key combination produced by ``rhs``).
@@ -30,6 +38,10 @@ class Statement:
     target: str
     target_keys: Tuple[str, ...]
     rhs: Expr
+    #: Set by the shard-race detector (:mod:`repro.compiler.verify`): this
+    #: statement's fold writes a map another statement of the same dispatch
+    #: reads, so it must never run on the parallel per-shard fold path.
+    serial_fold: bool = False
 
     def as_aggregate(self) -> AggSum:
         return AggSum(self.target_keys, self.rhs)
@@ -44,7 +56,8 @@ class Statement:
 
     def describe(self) -> str:
         keys = ", ".join(self.target_keys)
-        return f"{self.target}[{keys}] += {self.rhs}"
+        serial = " [serial fold]" if self.serial_fold else ""
+        return f"{self.target}[{keys}] += {self.rhs}{serial}"
 
     def __repr__(self) -> str:
         return f"Statement({self.describe()})"
@@ -82,6 +95,9 @@ class BatchStatement:
     #: Key-tuple arity of the delta map (the relation's arity); lets the
     #: executors recognize an identity projection without re-walking the rhs.
     delta_arity: Optional[int] = None
+    #: Set by the shard-race detector (:mod:`repro.compiler.verify`); see
+    #: :attr:`Statement.serial_fold`.
+    serial_fold: bool = False
 
     def as_aggregate(self) -> AggSum:
         return AggSum(self.target_keys, self.rhs)
@@ -94,10 +110,30 @@ class BatchStatement:
                 names.append(node.name)
         return tuple(names)
 
+    def projection_class(self) -> str:
+        """The key-projection classification of this statement.
+
+        ``"copy"`` — identity projection, the whole pre-aggregated batch is
+        folded verbatim; ``"total"`` — nullary projection, the batch's total
+        multiplicity feeds one scalar entry; ``"marginal"`` — a proper key
+        subset, the batch is marginalized onto the target keys; ``"general"``
+        — no pure projection, the right-hand side must be evaluated.
+        """
+        if self.projection is None:
+            return "general"
+        if self.delta_arity is not None and self.projection == tuple(range(self.delta_arity)):
+            return "copy"
+        if self.projection == ():
+            return "total"
+        return "marginal"
+
     def describe(self) -> str:
         keys = ", ".join(self.target_keys)
-        mode = f" [project {self.projection}]" if self.projection is not None else ""
-        return f"{self.target}[{keys}] += fold({self.delta_map}){mode} {self.rhs}"
+        mode = ""
+        if self.projection is not None:
+            mode = f" [project:{self.projection_class()} {self.projection}]"
+        serial = " [serial fold]" if self.serial_fold else ""
+        return f"{self.target}[{keys}] += fold(Δ={self.delta_map}){mode}{serial} {self.rhs}"
 
     def __repr__(self) -> str:
         return f"BatchStatement({self.describe()})"
@@ -182,11 +218,18 @@ class Trigger:
         sign = "insert" if self.sign == 1 else "delete"
         return f"on_{sign}_{self.relation}"
 
-    def describe(self) -> str:
+    def describe(self, annotate=None) -> str:
+        """The trigger as text; ``annotate`` maps a statement to a suffix string."""
         sign = "+" if self.sign == 1 else "-"
         header = f"ON {sign}{self.relation}({', '.join(self.argument_names)}):"
-        lines = [f"  {statement.describe()}" for statement in self.statements]
-        lines.extend(f"  {recompute.describe()}" for recompute in self.recomputes)
+        lines = [
+            f"  {statement.describe()}{_suffix(annotate, statement)}"
+            for statement in self.statements
+        ]
+        lines.extend(
+            f"  {recompute.describe()}{_suffix(annotate, recompute)}"
+            for recompute in self.recomputes
+        )
         body = "\n".join(lines)
         return f"{header}\n{body}" if body else f"{header}\n  (no-op)"
 
@@ -225,11 +268,18 @@ class BatchTrigger:
         sign = "insert" if self.sign == 1 else "delete"
         return f"on_{sign}_{self.relation}"
 
-    def describe(self) -> str:
+    def describe(self, annotate=None) -> str:
+        """The trigger as text; ``annotate`` maps a statement to a suffix string."""
         sign = "+" if self.sign == 1 else "-"
         header = f"ON BATCH {sign}{self.relation} AS {self.delta_map}:"
-        lines = [f"  {statement.describe()}" for statement in self.statements]
-        lines.extend(f"  {recompute.describe()}" for recompute in self.recomputes)
+        lines = [
+            f"  {statement.describe()}{_suffix(annotate, statement)}"
+            for statement in self.statements
+        ]
+        lines.extend(
+            f"  {recompute.describe()}{_suffix(annotate, recompute)}"
+            for recompute in self.recomputes
+        )
         body = "\n".join(lines)
         return f"{header}\n{body}" if body else f"{header}\n  (no-op)"
 
@@ -282,18 +332,51 @@ class TriggerProgram:
             for trigger in self.triggers.values()
         )
 
-    def explain(self) -> str:
-        """A human-readable listing of the whole program (maps + triggers)."""
+    def explain(self, costs: bool = True) -> str:
+        """A human-readable listing of the whole program (maps + triggers).
+
+        With ``costs`` (the default) every statement line carries its static
+        per-update cost class (:func:`repro.compiler.cost.statement_cost_class`)
+        derived from the program's slice-index signatures.  Cost annotation is
+        best-effort: programs whose statements fall outside the static
+        analysis (hand-built IR with exotic right-hand sides) print without
+        annotations instead of failing.
+        """
+        annotator = None
+        if costs:
+            # Imported here: the indexes module imports this one at module level.
+            from repro.compiler.cost import statement_cost_class
+            from repro.compiler.indexes import compute_index_specs
+
+            try:
+                specs = compute_index_specs(self)
+            except Exception:
+                specs = None
+            if specs is not None:
+
+                def annotator(statement, argument_names):
+                    try:
+                        return f"-- {statement_cost_class(statement, specs, argument_names)}"
+                    except Exception:
+                        return ""
+
         lines = ["MAPS:"]
         for definition in sorted(self.maps.values(), key=lambda d: (d.level, d.name)):
             lines.append(f"  [level {definition.level}] {definition.describe()}")
         lines.append("TRIGGERS:")
         for key in sorted(self.triggers, key=lambda pair: (pair[0], -pair[1])):
-            lines.append(self.triggers[key].describe())
+            trigger = self.triggers[key]
+            annotate = None
+            if annotator is not None:
+                annotate = lambda s, args=trigger.argument_names: annotator(s, args)  # noqa: E731
+            lines.append(trigger.describe(annotate=annotate))
         if self.batch_triggers:
             lines.append("BATCH TRIGGERS:")
             for key in sorted(self.batch_triggers, key=lambda pair: (pair[0], -pair[1])):
-                lines.append(self.batch_triggers[key].describe())
+                annotate = None
+                if annotator is not None:
+                    annotate = lambda s: annotator(s, ())  # noqa: E731
+                lines.append(self.batch_triggers[key].describe(annotate=annotate))
         return "\n".join(lines)
 
     def __repr__(self) -> str:

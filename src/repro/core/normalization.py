@@ -119,6 +119,25 @@ def combine_like_terms(monomials: Sequence[Monomial]) -> List[Monomial]:
     ]
 
 
+def combine_sorted(monomials: Sequence[Monomial], factor_key) -> List[Monomial]:
+    """AC-normal combination under a total factor order.
+
+    Sorts every monomial's factors by ``factor_key``, merges like terms
+    (which now recognizes products equal modulo commutativity, so a
+    ``+dR``/``-dR`` pair cancels whatever order its factors arrived in), and
+    sorts the surviving monomials by their factor keys.  The result is the
+    ring-normal form of the input polynomial: order-insensitive, duplicate
+    free, and empty exactly when the polynomial is identically zero.
+    """
+    sorted_monomials = [
+        Monomial(monomial.coefficient, tuple(sorted(monomial.factors, key=factor_key)))
+        for monomial in monomials
+    ]
+    combined = combine_like_terms(sorted_monomials)
+    combined.sort(key=lambda monomial: tuple(factor_key(factor) for factor in monomial.factors))
+    return combined
+
+
 def from_polynomial(monomials: Sequence[Monomial]) -> Expr:
     """Rebuild an expression from a list of monomials."""
     expressions = [monomial.to_expr() for monomial in monomials if not monomial.is_zero()]

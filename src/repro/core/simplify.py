@@ -350,17 +350,22 @@ def order_for_safety(
     while remaining:
         progressed = False
         if eager_assignments:
+            # Assignments (pre-existing or converted from a stuck equality)
+            # bind their variable for free; emitting every safe one before any
+            # relation or map factor maximizes the bound key positions of the
+            # reads that follow, whatever order the factors arrived in.
             for index, factor in enumerate(remaining):
+                converted = factor
                 if isinstance(factor, Compare) and factor.op == "=":
                     converted = _equality_to_assignment(factor, bound)
-                    if isinstance(converted, Assign):
-                        needed, produced = binding_analysis(converted, bound)
-                        if not needed:
-                            ordered.append(converted)
-                            bound.update(produced)
-                            del remaining[index]
-                            progressed = True
-                            break
+                if isinstance(converted, Assign):
+                    needed, produced = binding_analysis(converted, bound)
+                    if not needed:
+                        ordered.append(converted)
+                        bound.update(produced)
+                        del remaining[index]
+                        progressed = True
+                        break
             if progressed:
                 continue
         for index, factor in enumerate(remaining):
@@ -391,6 +396,27 @@ def order_for_safety(
     return tuple(ordered)
 
 
+def reorder_monomials_for_safety(
+    monomials: Sequence[Monomial],
+    bound_vars: Iterable[str] = (),
+    eager_assignments: bool = False,
+) -> List[Monomial]:
+    """Apply :func:`order_for_safety` to every monomial of a polynomial.
+
+    Shared by :func:`make_safe` and the compiler's AC canonicalizer
+    (:mod:`repro.compiler.normal_form`), which sorts factors into a canonical
+    order first and then needs each monomial restored to an evaluable
+    left-to-right plan.
+    """
+    return [
+        Monomial(
+            monomial.coefficient,
+            order_for_safety(monomial.factors, bound_vars, eager_assignments),
+        )
+        for monomial in monomials
+    ]
+
+
 # ---------------------------------------------------------------------------
 # Whole-expression entry points
 # ---------------------------------------------------------------------------
@@ -418,11 +444,7 @@ def simplify(
 
 def make_safe(expr: Expr, bound_vars: Iterable[str] = ()) -> Expr:
     """Reorder every monomial of ``expr`` for safe left-to-right evaluation."""
-    monomials = to_polynomial(expr)
-    reordered = [
-        Monomial(monomial.coefficient, order_for_safety(monomial.factors, bound_vars))
-        for monomial in monomials
-    ]
+    reordered = reorder_monomials_for_safety(to_polynomial(expr), bound_vars)
     return from_polynomial(combine_like_terms(reordered))
 
 

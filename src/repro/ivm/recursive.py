@@ -41,13 +41,21 @@ class RecursiveIVM(IVMEngine):
         backend: str = "interpreted",
         map_name: str = "q",
         shards: Optional[int] = None,
+        normalize: Optional[bool] = None,
+        verify: bool = True,
     ):
         super().__init__(query, schema)
         if backend not in ("interpreted", "generated"):
             raise ValueError("backend must be 'interpreted' or 'generated'")
         self.ring = ring
         self.backend = backend
-        self.program: TriggerProgram = compile_query(self.query, self.schema, name=map_name)
+        # Ring normal form reorders products — an equivalence only over
+        # commutative coefficient structures, so it defaults off for others.
+        if normalize is None:
+            normalize = ring.commutative
+        self.program: TriggerProgram = compile_query(
+            self.query, self.schema, name=map_name, verify=verify, normalize=normalize
+        )
         # shards > 1 hash-partitions the map tables so batch folds run per
         # shard (repro.compiler.sharding); the default (None -> REPRO_SHARDS
         # -> 1) keeps plain dict tables and the pre-sharding code path.

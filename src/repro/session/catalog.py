@@ -4,11 +4,13 @@ The compiler already deduplicates structurally identical maps *within* one
 query (``Compiler._materialize_component`` canonicalizes each component's
 variable naming before materializing it).  The :class:`MapCatalog` lifts the
 same idea across queries: every map definition of every compiled view is
-keyed by its alpha-renamed identity
-(:func:`repro.compiler.compile.canonical_map_key`), and when two views'
-hierarchies contain the same subview the catalog keeps a single map — its
-triggers run once per update and its slice indexes are maintained once,
-instead of once per view.
+keyed by its canonical identity — by default the AC-normal form
+(:func:`repro.compiler.normal_form.ac_canonical_map_key`, which also merges
+commuted spellings of one product), falling back to the alpha-renaming-only
+:func:`repro.compiler.compile.canonical_map_key` for non-commutative rings —
+and when two views' hierarchies contain the same subview the catalog keeps a
+single map: its triggers run once per update and its slice indexes are
+maintained once, instead of once per view.
 
 A view's *result* map participates too: registering the same query twice (a
 common dashboard pattern) makes the second view a zero-cost alias of the
@@ -28,6 +30,8 @@ from typing import Dict, List, Tuple
 
 from repro.compiler.compile import build_batch_trigger, canonical_map_key
 from repro.compiler.maps import MapDefinition, dependency_depths
+from repro.compiler.normal_form import ac_canonical_map_key
+from repro.compiler.verify import mark_serial_folds
 from repro.compiler.triggers import (
     BatchStatement,
     BatchTrigger,
@@ -73,12 +77,21 @@ class MapCatalog:
     ``statements_deduplicated`` count how much maintenance work sharing
     eliminated (each deduplicated statement would have run on every matching
     update of every additional view).
+
+    With ``ac_dedup`` (the default) the identity key is the ring-normal-form
+    canonicalization :func:`repro.compiler.normal_form.ac_canonical_map_key`,
+    which also merges definitions equal modulo commutativity — two views
+    spelling one join in different factor orders share their maps.  Pass
+    ``ac_dedup=False`` for the plain alpha-renaming identity (required for
+    non-commutative coefficient rings, where reordering a product is not an
+    equivalence).
     """
 
-    def __init__(self, schema):
+    def __init__(self, schema, ac_dedup: bool = True):
         self.schema: Dict[str, Tuple[str, ...]] = {
             name: tuple(columns) for name, columns in schema.items()
         }
+        self._identity = ac_canonical_map_key if ac_dedup else canonical_map_key
         #: Shared map name -> definition (the union hierarchy).
         self.maps: Dict[str, MapDefinition] = {}
         #: Canonical (definition, keys) -> shared map name.
@@ -180,7 +193,7 @@ class MapCatalog:
                     definition=rewritten,
                     level=definition.level,
                 )
-            identity = canonical_map_key(definition)
+            identity = self._identity(definition)
             shared = self._registry.get(identity) or added_registry.get(identity)
             if shared is None:
                 if name in self.maps or name in added_maps:
@@ -305,13 +318,16 @@ class MapCatalog:
             if batch_trigger is not None:
                 batch_triggers[event] = batch_trigger
         anchor = next(iter(self.result_maps.values()))
-        return TriggerProgram(
+        combined = TriggerProgram(
             result_map=anchor,
             maps=dict(self.maps),
             triggers=triggers,
             schema=dict(self.schema),
             batch_triggers=batch_triggers,
         )
+        # Merging statement lists across views can create write-read pairs no
+        # single view had, so the shard-race analysis re-runs on the union.
+        return mark_serial_folds(combined)
 
     # -- introspection ---------------------------------------------------------
 

@@ -81,7 +81,9 @@ class _CompiledGroup:
         self.backend = backend
         self.ring = ring
         self.shards = shards
-        self.catalog = MapCatalog(schema)
+        # AC canonicalization reorders products, which is only an equivalence
+        # over commutative coefficient structures.
+        self.catalog = MapCatalog(schema, ac_dedup=ring.commutative)
         self.runtime: Optional[TriggerRuntime] = None
         self.generated: Optional[GeneratedTriggers] = None
         #: Persistent across rebuilds (a rebuild replaces the runtime object).
@@ -112,7 +114,9 @@ class _CompiledGroup:
         catalog and the runtime are restored to their pre-registration state
         and the view name stays available.
         """
-        program = compile_query(query, self.catalog.schema, name=view_name)
+        program = compile_query(
+            query, self.catalog.schema, name=view_name, normalize=self.ring.commutative
+        )
         state = self.catalog.checkpoint()
         previous_runtime, previous_generated = self.runtime, self.generated
         result_map, new_maps = self.catalog.absorb(view_name, program)
