@@ -1,4 +1,4 @@
-"""Regenerate the offline experiment tables (E1–E12) and print them.
+"""Regenerate the offline experiment tables (E1–E13) and print them.
 
 This is the offline companion of the pytest-benchmark files under
 ``benchmarks/`` (see the README's "Tests and benchmarks" section): it
@@ -320,6 +320,38 @@ def experiment_e11() -> None:
     bench_nested_aggregates.main(smoke=True)
 
 
+def experiment_e13():
+    _header("E13 streaming ingestion: concurrent producers, coalescing queue, soak")
+    import bench_ingest
+
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    record = bench_ingest.measure_ingest_throughput(
+        length=8_000 if smoke else None, repeats=1 if smoke else 3
+    )
+    table = Table(["side", "seconds", "updates/s"])
+    table.add_row("synchronous baseline", f"{record['baseline_s']:.3f}",
+                  f"{record['baseline_updates_per_s']:.0f}")
+    table.add_row("ingestion pipeline", f"{record['pipeline_s']:.3f}",
+                  f"{record['pipeline_updates_per_s']:.0f}")
+    print(table.render())
+    stats = record["stats"]
+    print(
+        f"speedup {record['speedup']:.2f}x; coalesced "
+        f"{stats['coalesced_updates']}/{stats['submitted_updates']} submitted updates "
+        f"into {stats['flushed_updates']} flushed across {stats['flushes']} flushes"
+    )
+    soak = bench_ingest.run_soak(duration_s=0.75 if smoke else 3.0)
+    soak_stats = soak["stats"]
+    print(
+        f"soak ({soak['duration_s']}s, {soak['producers']} producers): "
+        f"{soak_stats['submitted_updates']} submitted, {soak_stats['flushes']} flushes, "
+        f"{soak_stats['quarantined_batches']} quarantined, "
+        f"max staleness {soak_stats['max_flush_staleness_ms']:.1f}ms "
+        f"(bound {soak['staleness_bound_ms']:.0f}ms)"
+    )
+    return {"throughput": record, "soak": soak}
+
+
 EXPERIMENTS = {
     "E1": experiment_e1,
     "E2": experiment_e2,
@@ -332,6 +364,7 @@ EXPERIMENTS = {
     "E9": experiment_e9,
     "E11": experiment_e11,
     "E12": experiment_e12,
+    "E13": experiment_e13,
 }
 
 

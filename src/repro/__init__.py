@@ -34,6 +34,15 @@ from repro.core import (
     to_string,
 )
 
+from repro.ingest import (
+    BackpressureError,
+    BackpressurePolicy,
+    DeadLetterBatch,
+    IngestClosedError,
+    IngestPipeline,
+    IngestQueue,
+    IngestStats,
+)
 from repro.compiler import (
     Compiler,
     ShardedMapTable,
@@ -66,6 +75,13 @@ __all__ = [
     "insert",
     "delete",
     "coalesce_updates",
+    "IngestPipeline",
+    "IngestQueue",
+    "IngestStats",
+    "BackpressurePolicy",
+    "BackpressureError",
+    "IngestClosedError",
+    "DeadLetterBatch",
     "AggSum",
     "Assign",
     "Compare",

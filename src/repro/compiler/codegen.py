@@ -408,6 +408,11 @@ def generate_python(program: TriggerProgram, ring: Semiring = INTEGER_RING) -> G
     writer.emit("")
     writer.emit('_STATS = {"statements": 0, "entries": 0}')
     writer.emit("_NO_KEYS = ()")
+    writer.emit("# Cleared per-group delta-map scratch dicts, reused across apply_batch")
+    writer.emit("# calls so a streaming flush loop does not rebuild one dict per group")
+    writer.emit("# per flush.  Safe: batch triggers never retain their _delta argument")
+    writer.emit("# (the base-copy fast path takes dict(_delta)).")
+    writer.emit("_DELTA_POOL = []")
     if not native:
         writer.emit("_ZERO = _RING.zero")
         writer.emit("_ONE = _RING.one")
@@ -491,7 +496,10 @@ def generate_python(program: TriggerProgram, ring: Semiring = INTEGER_RING) -> G
     writer.emit("        if _event in BATCH_TRIGGERS:")
     writer.emit("            _delta = _groups.get(_event)")
     writer.emit("            if _delta is None:")
-    writer.emit("                _delta = _groups[_event] = {}")
+    writer.emit(
+        "                _delta = _groups[_event] = "
+        "_DELTA_POOL.pop() if _DELTA_POOL else {}"
+    )
     writer.emit("            _vals = _update.values")
     if native:
         writer.emit("            _delta[_vals] = _delta.get(_vals, 0) + _update.count")
@@ -511,9 +519,17 @@ def generate_python(program: TriggerProgram, ring: Semiring = INTEGER_RING) -> G
     writer.emit("                _group.extend((_update.values,) * _update.count)")
     writer.emit("    for _event, _delta in _groups.items():")
     if not native:
-        writer.emit("        _delta = {_k: _v for _k, _v in _delta.items() if not _is_zero(_v)}")
+        # Drop ring-zero entries in place so the pooled buffer identity
+        # survives filtering (within one same-sign group ℤ/float counts can
+        # never cancel, but a finite ring's from_int can wrap to zero).
+        writer.emit("        _dead = [_k for _k, _v in _delta.items() if _is_zero(_v)]")
+        writer.emit("        for _k in _dead:")
+        writer.emit("            del _delta[_k]")
     writer.emit("        if _delta:")
     writer.emit("            BATCH_TRIGGERS[_event](maps, _delta, _IDX, _CH)")
+    writer.emit("        _delta.clear()")
+    writer.emit("        if len(_DELTA_POOL) < 8:")
+    writer.emit("            _DELTA_POOL.append(_delta)")
     writer.emit("    for _event, _values_list in _replays.items():")
     writer.emit("        _trigger = REPLAY_TRIGGERS.get(_event)")
     writer.emit("        if _trigger is not None:")

@@ -71,6 +71,7 @@ from repro.compiler.triggers import (
     TriggerProgram,
 )
 from repro.core.ast import AggSum
+from repro.core.delta import build_delta_table
 from repro.core.semantics import evaluate
 from repro.core.simplify import make_safe
 from repro.gmr.database import Database, Update
@@ -99,6 +100,10 @@ class TriggerRuntime:
             {name: self.make_table() for name in program.maps}, indexes=self.indexes
         )
         self.statistics = RuntimeStatistics()
+        #: Cleared per-group delta-map scratch dicts, reused across batches so
+        #: a streaming flush loop does not rebuild (and re-grow) one dict per
+        #: ``(relation, sign)`` group per flush (ROADMAP "hot-loop constants").
+        self._delta_buffers: List[MapTable] = []
         if self.shards > 1:
             self._shard_fold = make_shard_fold(ring)
             self._shard_fold_inline = make_inline_shard_fold(ring)
@@ -226,24 +231,16 @@ class TriggerRuntime:
         statements carry the delta's higher-order interaction terms).  Events
         without a batch trigger fall back to grouped per-tuple replay.
         """
-        ring = self.ring
         for (relation, sign), group in self._validated_groups(updates).items():
             self.statistics.updates_processed += sum(update.count for update in group)
             batch_trigger = self.program.batch_trigger_for(relation, sign)
             if batch_trigger is not None:
-                delta_table: MapTable = {}
-                for update in group:
-                    delta_table[update.values] = ring.add(
-                        delta_table.get(update.values, ring.zero),
-                        ring.one if update.count == 1 else ring.from_int(update.count),
-                    )
-                delta_table = {
-                    key: value
-                    for key, value in delta_table.items()
-                    if not ring.is_zero(value)
-                }
+                delta_table = build_delta_table(
+                    group, self.ring, table=self._acquire_delta_buffer()
+                )
                 if delta_table:
                     self._apply_batch_trigger(batch_trigger, delta_table, changes)
+                self._release_delta_buffer(delta_table)
                 continue
             trigger = self.program.trigger_for(relation, sign)
             if trigger is None:
@@ -251,6 +248,27 @@ class TriggerRuntime:
             for update in group:
                 for _ in range(update.count):
                     self._apply_trigger(trigger, update.values, changes)
+
+    #: Upper bound on pooled delta buffers — one per concurrently live
+    #: ``(relation, sign)`` group is plenty; anything beyond is leaked churn.
+    _DELTA_POOL_LIMIT = 8
+
+    def _acquire_delta_buffer(self) -> MapTable:
+        """A cleared scratch dict for one batch group's delta map."""
+        return self._delta_buffers.pop() if self._delta_buffers else {}
+
+    def _release_delta_buffer(self, table: MapTable) -> None:
+        """Return a delta buffer to the pool once its batch trigger finished.
+
+        Safe because nothing retains the table past
+        :meth:`_apply_batch_trigger`: the overlay under the reserved delta-map
+        name is popped in its ``finally`` and every increment/CDC structure is
+        a fresh dict.  On an exception the buffer is simply not released —
+        dropping it is always correct.
+        """
+        if len(self._delta_buffers) < self._DELTA_POOL_LIMIT:
+            table.clear()
+            self._delta_buffers.append(table)
 
     def apply_batch_replay(
         self, updates: Iterable[Update], changes: Optional[Dict[str, MapTable]] = None

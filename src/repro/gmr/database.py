@@ -73,6 +73,47 @@ def delete(relation: str, *values: Any) -> Update:
     return Update(DELETE, relation, values)
 
 
+#: A signed net-multiplicity accumulator: ``(relation, values) -> net count``.
+#: This is the online form of :func:`coalesce_updates` — the ingestion queue
+#: ring-adds every submitted update into one of these on enqueue, so pending
+#: state stays O(distinct keys) no matter how many updates were submitted.
+NetAccumulator = Dict[Tuple[str, Tuple[Any, ...]], int]
+
+
+def accumulate_update(net: NetAccumulator, update: Update) -> int:
+    """Ring-add one update into a net accumulator, dropping net-zero entries.
+
+    Returns the entry's new net count (0 means the update cancelled pending
+    work and the key was removed).  A key is *never* left in the accumulator
+    with net 0: :func:`updates_from_net` relies on this to never see — let
+    alone emit — a ``count=0`` update, and the ingestion queue relies on it
+    to keep its pending-key watermark honest under insert/delete churn.
+    """
+    key = (update.relation, update.values)
+    count = net.get(key, 0) + update.sign * update.count
+    if count == 0:
+        net.pop(key, None)
+    else:
+        net[key] = count
+    return count
+
+
+def updates_from_net(net: NetAccumulator) -> "list[Update]":
+    """The compact batch a net accumulator denotes (first-seen key order).
+
+    One :class:`Update` per surviving key, carrying the net sign and
+    multiplicity.  Net-zero entries cannot occur when the accumulator was
+    built through :func:`accumulate_update`; entries that slipped in through
+    direct mutation are dropped here as a second line of defense (``count=0``
+    is not even representable on :class:`Update`).
+    """
+    return [
+        Update(INSERT if count > 0 else DELETE, relation, values, count=abs(count))
+        for (relation, values), count in net.items()
+        if count != 0
+    ]
+
+
 def coalesce_updates(updates: Iterable[Update]) -> "list[Update]":
     """Net out duplicate and opposing updates of the same tuple within one batch.
 
@@ -86,23 +127,23 @@ def coalesce_updates(updates: Iterable[Update]) -> "list[Update]":
     (``D + u - u = D``), so net-zero churn (upserts, rollbacks, rapid
     add/remove cycles) costs no trigger work at all.  First-seen order of
     the surviving tuples is preserved.
+
+    This is the one-shot form of the incremental primitives
+    :func:`accumulate_update` / :func:`updates_from_net`, which the streaming
+    ingestion queue (:mod:`repro.ingest`) applies per enqueue.
     """
     updates = updates if isinstance(updates, list) else list(updates)
-    net: Dict[Tuple[str, Tuple[Any, ...]], int] = {}
+    net: NetAccumulator = {}
+    distinct = True
     for update in updates:
-        key = (update.relation, update.values)
-        net[key] = net.get(key, 0) + update.sign * update.count
-    if len(net) == len(updates):
+        if accumulate_update(net, update) == update.sign * update.count:
+            continue
+        distinct = False
+    if distinct and len(net) == len(updates):
         # Every update already touches a distinct tuple: nothing coalesces,
         # hand the original batch back without rebuilding it.
         return updates
-    coalesced: "list[Update]" = []
-    for (relation, values), count in net.items():
-        if count == 0:
-            continue
-        sign = INSERT if count > 0 else DELETE
-        coalesced.append(Update(sign, relation, values, count=abs(count)))
-    return coalesced
+    return updates_from_net(net)
 
 
 class Database:

@@ -1,0 +1,76 @@
+"""Backpressure policy of the streaming ingestion queue.
+
+Backpressure is explicit and key-based: the queue measures its depth in
+*distinct pending keys* (online coalescing keeps it O(distinct keys) no
+matter how many updates were submitted), and when that depth reaches the
+policy's high-water mark, producers submitting *new* keys are stalled until
+the flusher catches up.  Updates that merge into an already-pending key pass
+through even at the high-water mark — they cannot grow the queue, and
+absorbing them is exactly the work the queue exists to do under pressure.
+
+Two modes:
+
+``"block"`` (default)
+    ``submit()`` blocks on a condition until the flusher drains below the
+    high-water mark (optionally bounded by ``timeout_s``, after which
+    :class:`BackpressureError` is raised).
+``"error"``
+    ``submit()`` raises :class:`BackpressureError` immediately — the
+    *nowait* contract for producers that would rather shed load or retry on
+    their own schedule.  ``submit(..., nowait=True)`` forces this behavior
+    per call regardless of the configured mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: The blocking and the fail-fast producer-side behaviors.
+BACKPRESSURE_MODES = ("block", "error")
+
+
+class BackpressureError(RuntimeError):
+    """Raised when a submit cannot proceed: the queue is at its high-water
+    mark and the policy (or a ``nowait=True`` call) forbids blocking, or a
+    blocking submit exceeded the policy's ``timeout_s``."""
+
+
+class IngestClosedError(RuntimeError):
+    """Raised by ``submit`` once the pipeline (or queue) has been closed —
+    including for producers that were blocked on backpressure when the
+    close happened."""
+
+
+@dataclass(frozen=True)
+class BackpressurePolicy:
+    """When and how producers stall.
+
+    Parameters
+    ----------
+    high_water:
+        Distinct-pending-key count at which submits of new keys stall.
+        The pipeline defaults this to ``4 * max_pending`` — comfortably above
+        the flush watermark, so backpressure only engages when the flusher
+        genuinely falls behind the producers.
+    mode:
+        ``"block"`` or ``"error"`` (see module docstring).
+    timeout_s:
+        Upper bound on one blocking stall; ``None`` waits indefinitely.
+    """
+
+    high_water: int
+    mode: str = "block"
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.high_water, int) or self.high_water < 1:
+            raise ValueError(f"high_water must be a positive integer, got {self.high_water!r}")
+        if self.mode not in BACKPRESSURE_MODES:
+            raise ValueError(f"mode must be one of {BACKPRESSURE_MODES}, got {self.mode!r}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive or None, got {self.timeout_s!r}")
+
+    @property
+    def blocks(self) -> bool:
+        return self.mode == "block"

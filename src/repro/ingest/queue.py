@@ -1,0 +1,245 @@
+"""The producer-facing ingestion queue: online coalescing + backpressure.
+
+An :class:`IngestQueue` is a thread-safe signed delta accumulator.  Every
+submitted :class:`~repro.gmr.database.Update` (including the compact
+``Update.count`` form) is ring-added into a per-``(relation, values)`` net
+multiplicity on enqueue — the incremental form of
+:func:`repro.gmr.database.coalesce_updates` — so the pending state is
+O(distinct keys), not O(submitted updates): ten million upserts of one hot
+row occupy one entry, and an insert/delete pair annihilates on arrival
+without ever reaching a trigger.
+
+The queue knows nothing about sessions or flush scheduling.  A drainer (the
+:class:`~repro.ingest.flusher.IngestPipeline`) calls :meth:`drain` to take
+the pending state as a compact batch (``updates_from_net``) and signals
+waiting producers; the ``wake`` event handed to the constructor is set
+whenever the queue becomes non-empty (starting the staleness clock) or
+crosses ``watermark_keys`` (the size watermark), which is what wakes the
+flusher thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Iterable, List, Optional
+
+from repro.gmr.database import NetAccumulator, Update, accumulate_update, updates_from_net
+from repro.ingest.backpressure import BackpressureError, BackpressurePolicy, IngestClosedError
+from repro.ingest.stats import IngestStats
+
+
+class IngestQueue:
+    """Thread-safe coalescing buffer between producers and the flusher.
+
+    Parameters
+    ----------
+    backpressure:
+        Optional :class:`BackpressurePolicy`; ``None`` never stalls.
+    watermark_keys:
+        Pending-key count at which ``wake`` is set (the flusher's size
+        watermark).  ``None`` sets ``wake`` only on the empty→non-empty
+        transition.
+    wake:
+        Optional :class:`threading.Event` the queue sets to wake its drainer.
+    stats:
+        Shared :class:`IngestStats`; a private instance is created if omitted.
+    validate:
+        Optional callable run against every update *before* it is accepted
+        (the pipeline passes the session's schema validation, so a malformed
+        update fails at the submitting producer instead of poisoning a
+        whole flush).
+    """
+
+    def __init__(
+        self,
+        backpressure: Optional[BackpressurePolicy] = None,
+        watermark_keys: Optional[int] = None,
+        wake: Optional[threading.Event] = None,
+        stats: Optional[IngestStats] = None,
+        validate: Optional[Callable[[Update], None]] = None,
+    ):
+        self.backpressure = backpressure
+        self.watermark_keys = watermark_keys
+        self.stats = stats if stats is not None else IngestStats()
+        self._validate = validate
+        self._wake = wake
+        self._net: NetAccumulator = {}
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        #: ``time.perf_counter()`` of the empty→non-empty transition (the
+        #: staleness clock); ``None`` while empty.
+        self._since: Optional[float] = None
+        self._closed = False
+
+    # -- producer side ---------------------------------------------------------
+
+    def submit(self, update: Update, nowait: bool = False) -> int:
+        """Coalesce one update into the pending state; returns the new depth.
+
+        Blocks (or raises :class:`BackpressureError` under ``nowait=True`` /
+        an ``"error"``-mode policy) when the update would add a new key past
+        the high-water mark.  Raises :class:`IngestClosedError` after
+        :meth:`close` — including for producers that were blocked when the
+        close happened.
+        """
+        if self._validate is not None:
+            self._validate(update)
+        with self._lock:
+            return self._submit_locked(update, nowait)
+
+    def submit_many(self, updates: Iterable[Update], nowait: bool = False) -> int:
+        """Submit a sequence under one lock acquisition; returns the new depth.
+
+        The per-update semantics (validation, coalescing, backpressure)
+        match :meth:`submit` exactly, but the coalescing loop is inlined and
+        the stats are recorded once for the whole chunk — this is the
+        producer hot path, and per-update lock traffic is what it exists
+        to avoid.
+        """
+        updates = updates if isinstance(updates, (list, tuple)) else list(updates)
+        if self._validate is not None:
+            for update in updates:
+                self._validate(update)
+        tuples = coalesced_tuples = cancelled = 0
+        with self._lock:
+            if self._closed:
+                raise IngestClosedError("ingestion queue is closed")
+            net = self._net
+            policy = self.backpressure
+            high_water = None if policy is None else policy.high_water
+            watermark = self.watermark_keys
+            wake = self._wake
+            try:
+                for update in updates:
+                    key = (update.relation, update.values)
+                    existing = net.get(key)
+                    if existing is None and high_water is not None and len(net) >= high_water:
+                        self._stall(policy, nowait)
+                        existing = net.get(key)  # the flusher drained meanwhile
+                    count = update.count
+                    tuples += count
+                    if existing is None:
+                        net[key] = update.sign * count  # count >= 1: never zero
+                        if len(net) == 1:
+                            self._since = time.perf_counter()
+                            if wake is not None:
+                                wake.set()
+                        if watermark is not None and len(net) >= watermark and wake is not None:
+                            wake.set()
+                    else:
+                        coalesced_tuples += count
+                        remaining = existing + update.sign * count
+                        if remaining == 0:
+                            del net[key]
+                            cancelled += 1
+                            if not net:
+                                self._since = None
+                        else:
+                            net[key] = remaining
+            finally:
+                self.stats.record_submit_many(len(updates), tuples, coalesced_tuples, cancelled)
+            return len(net)
+
+    def _submit_locked(self, update: Update, nowait: bool) -> int:
+        if self._closed:
+            raise IngestClosedError("ingestion queue is closed")
+        net = self._net
+        key = (update.relation, update.values)
+        is_new_key = key not in net
+        policy = self.backpressure
+        if is_new_key and policy is not None and len(net) >= policy.high_water:
+            self._stall(policy, nowait)
+            is_new_key = key not in net  # the flusher drained while we waited
+        before = len(net)
+        accumulate_update(net, update)
+        depth = len(net)
+        if depth < before:
+            self.stats.record_cancelled_key()
+            if depth == 0:
+                self._since = None
+        self.stats.record_submit(update.count, new_key=depth > before)
+        if depth > before:
+            if before == 0:
+                self._since = time.perf_counter()
+                if self._wake is not None:
+                    self._wake.set()
+            if (
+                self.watermark_keys is not None
+                and depth >= self.watermark_keys
+                and self._wake is not None
+            ):
+                self._wake.set()
+        return depth
+
+    def _stall(self, policy: BackpressurePolicy, nowait: bool) -> None:
+        """Wait at the high-water mark (or raise, per mode/nowait/timeout)."""
+        if nowait or not policy.blocks:
+            raise BackpressureError(
+                f"ingestion queue is at its high-water mark "
+                f"({len(self._net)} >= {policy.high_water} pending keys)"
+            )
+        if self._wake is not None:
+            self._wake.set()  # make sure the flusher is coming
+        deadline = None if policy.timeout_s is None else time.monotonic() + policy.timeout_s
+        started = time.perf_counter()
+        try:
+            while len(self._net) >= policy.high_water and not self._closed:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise BackpressureError(
+                        f"blocked submit exceeded timeout_s={policy.timeout_s} at the "
+                        f"high-water mark ({policy.high_water} pending keys)"
+                    )
+                self._not_full.wait(remaining)
+            if self._closed:
+                raise IngestClosedError("ingestion queue closed while a submit was blocked")
+        finally:
+            self.stats.record_stall(time.perf_counter() - started)
+
+    # -- drainer side ----------------------------------------------------------
+
+    def drain(self) -> List[Update]:
+        """Take the whole pending state as a compact batch and reset.
+
+        The batch has at most one :class:`Update` per ``(relation, values)``
+        key (net sign and multiplicity, first-seen order) and contains no
+        net-zero entries — it is exactly what ``coalesce_updates`` would have
+        produced over everything submitted since the previous drain, so the
+        flusher hands it to ``Session.apply_batch(..., coalesced=True)``.
+        Wakes every producer blocked on backpressure.
+        """
+        with self._lock:
+            batch = updates_from_net(self._net)
+            self._net.clear()
+            self._since = None
+            self._not_full.notify_all()
+        return batch
+
+    def close(self) -> None:
+        """Reject further submits and wake any producer blocked on backpressure."""
+        with self._lock:
+            self._closed = True
+            self._not_full.notify_all()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def pending_keys(self) -> int:
+        """Distinct keys currently pending (the queue-depth gauge)."""
+        return len(self._net)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def oldest_age_s(self) -> float:
+        """Seconds since the oldest pending work arrived (0.0 while empty)."""
+        since = self._since
+        return 0.0 if since is None else time.perf_counter() - since
+
+    def __len__(self) -> int:
+        return len(self._net)
+
+    def __repr__(self) -> str:
+        return f"IngestQueue(pending_keys={len(self._net)}, closed={self._closed})"

@@ -438,7 +438,7 @@ class Session:
         self._note_applied([update], started)
         self._dispatch(notifications)
 
-    def apply_batch(self, updates: Iterable[Update]) -> None:
+    def apply_batch(self, updates: Iterable[Update], *, coalesced: bool = False) -> None:
         """Apply a batch of updates to all views as one unit.
 
         Equivalent to applying the updates one at a time (ring updates
@@ -452,7 +452,16 @@ class Session:
         upsert-style churn costs nothing.  The compiled views then execute
         their batch triggers — one pre-aggregated delta map per
         ``(relation, sign)`` group, one fold per distinct key — shared
-        across all views of a backend.
+        across all views of a backend.  ``coalesced=True`` declares the batch
+        already compact (at most one update per ``(relation, values)`` pair,
+        net multiplicities in ``Update.count``) and skips the cancellation
+        pass — the streaming ingestion flusher uses this, its queue having
+        coalesced online at enqueue time.
+
+        An *empty or fully-cancelled* batch short-circuits here: no rollback
+        snapshot is captured, no trigger runs, nothing is appended to the
+        history, and no ``on_change`` callback fires — only the submitted
+        counters advance.
 
         The batch is transactional across views: every view's tables are
         snapshotted before any trigger runs, and an exception raised
@@ -468,21 +477,25 @@ class Session:
         for update in updates:
             self._validate_update(update)
         started = time.perf_counter()
-        effective = coalesce_updates(updates)
+        effective = updates if coalesced else coalesce_updates(updates)
+        if not effective:
+            # Nothing survives cancellation: count the submitted churn, touch
+            # nothing else (no history entry, no snapshot delta, no CDC).
+            self._note_applied((), started, submitted=len(updates))
+            return
         notifications = []
-        if effective:
-            rollback = self._capture_rollback_state(effective)
-            try:
-                for group in self._groups.values():
-                    changes = group.changes_accumulator()
-                    group.apply_batch(effective, changes)
-                    if changes:
-                        notifications.append((group, changes))
-                for view in self._engine_views:
-                    view._engine.apply_batch(effective)
-            except BaseException:
-                self._restore_rollback_state(rollback)
-                raise
+        rollback = self._capture_rollback_state(effective)
+        try:
+            for group in self._groups.values():
+                changes = group.changes_accumulator()
+                group.apply_batch(effective, changes)
+                if changes:
+                    notifications.append((group, changes))
+            for view in self._engine_views:
+                view._engine.apply_batch(effective)
+        except BaseException:
+            self._restore_rollback_state(rollback)
+            raise
         self._note_applied(effective, started, submitted=len(updates))
         self._dispatch(notifications)
 
@@ -509,6 +522,26 @@ class Session:
         """Apply a stream of updates one at a time."""
         for update in updates:
             self.apply(update)
+
+    def ingest(self, **kwargs) -> "Any":
+        """A streaming :class:`~repro.ingest.IngestPipeline` over this session.
+
+        Producers on any thread ``submit()`` updates; the pipeline coalesces
+        them online and flushes pre-aggregated batches through
+        :meth:`apply_batch` on a size/latency watermark, with backpressure and
+        per-flush dead-letter quarantine.  Keyword arguments are forwarded to
+        :class:`~repro.ingest.IngestPipeline` (``max_pending``,
+        ``max_staleness_ms``, ``backpressure``, ...).  While a pipeline is
+        running it owns the session's write path — do not call ``insert`` /
+        ``apply_batch`` directly until it is closed.  Use as a context
+        manager for a final flush on exit::
+
+            with session.ingest(max_staleness_ms=20) as pipe:
+                pipe.insert("R", 1)
+        """
+        from repro.ingest import IngestPipeline
+
+        return IngestPipeline(self, **kwargs)
 
     def _note_applied(
         self, updates: Sequence[Update], started: float, submitted: Optional[int] = None

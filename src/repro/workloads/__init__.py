@@ -13,7 +13,7 @@ from repro.workloads.schemas import (
     SALES_SCHEMA,
     UNARY_SCHEMA,
 )
-from repro.workloads.streams import StreamGenerator, UpdateStream
+from repro.workloads.streams import StreamGenerator, UpdateStream, producer_streams
 from repro.workloads.queries import CANONICAL_QUERIES, CanonicalQuery, query_by_name
 from repro.workloads.tpch_like import SalesStreamGenerator
 
@@ -24,6 +24,7 @@ __all__ = [
     "SALES_SCHEMA",
     "StreamGenerator",
     "UpdateStream",
+    "producer_streams",
     "CANONICAL_QUERIES",
     "CanonicalQuery",
     "query_by_name",

@@ -57,6 +57,29 @@ class UpdateStream:
     def delete_count(self) -> int:
         return sum(1 for update in self.updates if update.is_delete)
 
+    def partition(self, parts: int) -> List["UpdateStream"]:
+        """Split round-robin into ``parts`` producer streams.
+
+        Update ``i`` goes to partition ``i % parts``, so hot keys are spread
+        across all producers (the contended case a concurrent ingestion queue
+        has to absorb) while each partition preserves the original relative
+        order of its own updates.  ``interleave()`` of the partitions
+        reconstructs the original stream.
+        """
+        if parts <= 0:
+            raise ValueError("number of partitions must be positive")
+        buckets: List[List[Update]] = [[] for _ in range(parts)]
+        for index, update in enumerate(self.updates):
+            buckets[index % parts].append(update)
+        return [
+            UpdateStream(
+                bucket,
+                f"{self.description} (producer {rank}/{parts})",
+                dict(self.parameters),
+            )
+            for rank, bucket in enumerate(buckets)
+        ]
+
 
 class StreamGenerator:
     """Generates random insert/delete streams over a declared schema.
@@ -166,6 +189,39 @@ class StreamGenerator:
     def live_tuples(self, relation: str) -> List[Tuple[Any, ...]]:
         """Tuples currently present according to the generated stream so far."""
         return list(self._live[relation])
+
+
+def producer_streams(
+    schema: Mapping[str, Sequence[str]],
+    producers: int,
+    length: int,
+    seed: int = 0,
+    domain_size: int = 16,
+    delete_fraction: float = 0.3,
+    zipf_s: Optional[float] = 1.2,
+) -> List[UpdateStream]:
+    """Duplicate-heavy per-producer streams for the ingestion subsystem.
+
+    Generates one random stream over a deliberately *small* skewed key domain
+    — the regime where online coalescing pays: most updates hit a key that is
+    already pending, and insert/delete churn frequently cancels before any
+    flush — then round-robin-partitions it across ``producers``.  Used by
+    ``benchmarks/bench_ingest.py`` and the concurrency tests; applying all
+    partitions (in any interleaving) is state-equivalent to applying the
+    original stream serially.
+    """
+    generator = StreamGenerator(
+        schema,
+        seed=seed,
+        delete_fraction=delete_fraction,
+        default_domain_size=domain_size,
+        zipf_s=zipf_s,
+    )
+    stream = generator.generate(
+        length,
+        description=f"hot-key stream (domain={domain_size}, zipf_s={zipf_s})",
+    )
+    return stream.partition(producers)
 
 
 def apply_stream(db, stream: Iterable[Update]) -> None:

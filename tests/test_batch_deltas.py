@@ -294,6 +294,53 @@ def test_session_apply_batch_cancellation_preserves_results_and_cdc():
     assert payloads == [{(): 2}]
 
 
+def test_coalesce_updates_never_emits_count_zero():
+    """Regression (PR 7): random signed churn must never surface a compact
+    update with ``count=0`` — net-zero keys are dropped, not emitted."""
+    import random
+
+    rng = random.Random(23)
+    for _ in range(50):
+        batch = [
+            Update(rng.choice([1, -1]), "R", (rng.randrange(4),), count=rng.randrange(1, 4))
+            for _ in range(rng.randrange(0, 30))
+        ]
+        coalesced = coalesce_updates(batch)
+        assert all(update.count >= 1 for update in coalesced)
+        net = {}
+        for update in batch:
+            key = update.values
+            net[key] = net.get(key, 0) + update.sign * update.count
+        expected = {key: count for key, count in net.items() if count != 0}
+        observed = {u.values: u.sign * u.count for u in coalesced}
+        assert observed == expected
+
+
+def test_fully_cancelled_batch_touches_nothing_but_counters():
+    """Regression (PR 7): an empty or fully-cancelled batch short-circuits
+    ``Session.apply_batch`` — no history entry, no snapshot delta, no CDC —
+    while the submitted-update counters still advance."""
+    session = Session(UNARY_SCHEMA, track_history=True)
+    view = session.view("q", "Sum(R(x))", backend="generated")
+    payloads = []
+    view.on_change(lambda changes: payloads.append(changes))
+    session.apply_batch([insert("R", "a")])
+    history_before = list(session._history)
+    snapshot_before = session.snapshot()
+    counted_before = session.updates_applied
+    session.apply_batch([insert("R", "b"), delete("R", "b"), insert("R", "c"), delete("R", "c")])
+    session.apply_batch([])
+    assert list(session._history) == history_before
+    # The snapshot is unchanged except for the submitted-update counter,
+    # which deliberately keeps counting cancelled churn.
+    snapshot_after = session.snapshot()
+    assert snapshot_after.pop("updates_applied") == snapshot_before.pop("updates_applied") + 4
+    assert snapshot_after == snapshot_before
+    assert payloads == [{(): 1}]  # only the first (real) batch notified
+    assert session.updates_applied == counted_before + 4
+    assert view.result() == 1
+
+
 def test_reserved_delta_prefix_is_rejected_as_a_program_name():
     from repro.core.errors import CompilationError
 

@@ -14,6 +14,12 @@ EXPECTED_SNIPPETS = {
     "polynomial_memoization.py": ["Figure 1", "Random walk", "additions performed"],
     "social_analytics.py": ["Second delta", "customers remain", "Per-update time"],
     "sales_dashboard.py": ["Revenue per nation", "Busiest customers", "compiled revenue program"],
+    "streaming_ingest.py": [
+        "revenue per region",
+        "Dead-letter quarantine",
+        "pipeline still live",
+        "next flush applied cleanly",
+    ],
 }
 
 

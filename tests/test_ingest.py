@@ -1,0 +1,611 @@
+"""Tests of the streaming ingestion subsystem (src/repro/ingest/).
+
+Covers: online coalescing in the queue (duplicates, cancellation, compact
+count-carrying updates), watermark flushing (size and latency, plus the
+deterministic inline ``flush()``), backpressure (block / error / nowait /
+timeout / close-while-blocked, and the merge-at-high-water exemption),
+dead-letter quarantine with transactional rollback, cross-batch CDC windows
+(payload equivalence at every window size), stats accounting, the
+``Session.ingest`` entry point, and a randomized multi-threaded equivalence
+property: concurrent producers through the pipeline leave the views in
+exactly the state of applying the stream serially.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.gmr.database import (
+    Update,
+    accumulate_update,
+    delete,
+    insert,
+    updates_from_net,
+)
+from repro.ingest import (
+    BackpressureError,
+    BackpressurePolicy,
+    IngestClosedError,
+    IngestPipeline,
+    IngestQueue,
+)
+from repro.session import Session
+from repro.workloads.streams import producer_streams
+
+SCHEMA = {"R": ("a", "b")}
+
+
+def make_session(schema=SCHEMA, **kwargs):
+    session = Session(schema, **kwargs)
+    session.view("total", "AggSum([], R(a, b) * b)")
+    session.view("by_a", "AggSum([a], R(a, b) * b)")
+    return session
+
+
+def manual_pipeline(session, **kwargs):
+    """A pipeline that only flushes when the test says so (no timer, huge
+    size watermark) — the deterministic configuration."""
+    kwargs.setdefault("max_pending", 1_000_000)
+    kwargs.setdefault("max_staleness_ms", None)
+    return session.ingest(**kwargs)
+
+
+def wait_until(predicate, timeout=5.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+# ---------------------------------------------------------------------------
+# Coalescing primitives
+# ---------------------------------------------------------------------------
+
+
+def test_accumulate_update_nets_signed_counts():
+    net = {}
+    accumulate_update(net, insert("R", 1))
+    accumulate_update(net, Update(1, "R", (1,), count=4))
+    accumulate_update(net, delete("R", 2))
+    assert net == {("R", (1,)): 5, ("R", (2,)): -1}
+    # Hitting net zero removes the key entirely — never a count=0 entry.
+    accumulate_update(net, Update(-1, "R", (1,), count=5))
+    assert ("R", (1,)) not in net
+    compact = updates_from_net(net)
+    assert compact == [delete("R", 2)]
+    assert all(update.count >= 1 for update in compact)
+
+
+def test_queue_coalesces_online():
+    queue = IngestQueue()
+    for _ in range(100):
+        queue.submit(insert("R", 1, 10))
+    assert queue.pending_keys == 1
+    queue.submit(delete("R", 1, 10))
+    assert queue.pending_keys == 1
+    queue.submit(insert("R", 2, 5))
+    queue.submit(delete("R", 2, 5))  # annihilates in place
+    assert queue.pending_keys == 1
+    [update] = queue.drain()
+    assert update == Update(1, "R", (1, 10), count=99)
+    assert queue.pending_keys == 0
+    assert queue.drain() == []
+
+
+def test_queue_submit_many_matches_one_at_a_time():
+    updates = [
+        insert("R", 1, 1),
+        insert("R", 1, 1),
+        delete("R", 2, 2),
+        Update(1, "R", (3, 3), count=7),
+        delete("R", 1, 1),
+        delete("R", 1, 1),  # key (1,1) nets to zero
+    ]
+    one_at_a_time = IngestQueue()
+    for update in updates:
+        one_at_a_time.submit(update)
+    bulk = IngestQueue()
+    bulk.submit_many(updates)
+    assert sorted(map(repr, bulk.drain())) == sorted(map(repr, one_at_a_time.drain()))
+    assert bulk.stats.submitted_updates == one_at_a_time.stats.submitted_updates == 12
+    assert bulk.stats.coalesced_updates == one_at_a_time.stats.coalesced_updates
+    assert bulk.stats.cancelled_keys == one_at_a_time.stats.cancelled_keys == 1
+
+
+def test_queue_staleness_clock():
+    queue = IngestQueue()
+    assert queue.oldest_age_s() == 0.0
+    queue.submit(insert("R", 1, 1))
+    time.sleep(0.02)
+    assert queue.oldest_age_s() >= 0.015
+    # Cancelling the only pending key resets the clock.
+    queue.submit(delete("R", 1, 1))
+    assert queue.oldest_age_s() == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Backpressure
+# ---------------------------------------------------------------------------
+
+
+def test_backpressure_error_mode_and_nowait():
+    queue = IngestQueue(backpressure=BackpressurePolicy(high_water=2, mode="error"))
+    queue.submit(insert("R", 1, 1))
+    queue.submit(insert("R", 2, 2))
+    with pytest.raises(BackpressureError):
+        queue.submit(insert("R", 3, 3))
+    blocking = IngestQueue(backpressure=BackpressurePolicy(high_water=2, mode="block"))
+    blocking.submit(insert("R", 1, 1))
+    blocking.submit(insert("R", 2, 2))
+    with pytest.raises(BackpressureError):
+        blocking.submit(insert("R", 3, 3), nowait=True)
+
+
+def test_backpressure_allows_merging_into_pending_keys_at_high_water():
+    queue = IngestQueue(backpressure=BackpressurePolicy(high_water=2, mode="error"))
+    queue.submit(insert("R", 1, 1))
+    queue.submit(insert("R", 2, 2))
+    # Same key: merges without growing the queue, so it must pass.
+    queue.submit(insert("R", 1, 1))
+    queue.submit(delete("R", 2, 2))  # cancels — frees a slot
+    queue.submit(insert("R", 4, 4))
+    assert queue.pending_keys == 2
+    assert queue.stats.backpressure_stalls == 0
+
+
+def test_backpressure_block_mode_unblocks_on_drain():
+    queue = IngestQueue(backpressure=BackpressurePolicy(high_water=2, mode="block"))
+    queue.submit(insert("R", 1, 1))
+    queue.submit(insert("R", 2, 2))
+    unblocked = threading.Event()
+
+    def producer():
+        queue.submit(insert("R", 3, 3))
+        unblocked.set()
+
+    thread = threading.Thread(target=producer, daemon=True)
+    thread.start()
+    assert not unblocked.wait(0.1), "producer should be stalled at high water"
+    assert queue.drain()  # wakes the producer
+    assert unblocked.wait(2.0), "producer should proceed after the drain"
+    thread.join(timeout=2.0)
+    assert queue.pending_keys == 1
+    assert queue.stats.backpressure_stalls == 1
+    assert queue.stats.backpressure_wait_s > 0
+
+
+def test_backpressure_block_mode_times_out():
+    queue = IngestQueue(
+        backpressure=BackpressurePolicy(high_water=1, mode="block", timeout_s=0.05)
+    )
+    queue.submit(insert("R", 1, 1))
+    started = time.perf_counter()
+    with pytest.raises(BackpressureError):
+        queue.submit(insert("R", 2, 2))
+    assert time.perf_counter() - started >= 0.04
+
+
+def test_close_wakes_blocked_producer_with_closed_error():
+    queue = IngestQueue(backpressure=BackpressurePolicy(high_water=1, mode="block"))
+    queue.submit(insert("R", 1, 1))
+    outcome = []
+
+    def producer():
+        try:
+            queue.submit(insert("R", 2, 2))
+            outcome.append("submitted")
+        except IngestClosedError:
+            outcome.append("closed")
+
+    thread = threading.Thread(target=producer, daemon=True)
+    thread.start()
+    assert wait_until(lambda: queue.stats.backpressure_stalls == 0 and thread.is_alive())
+    time.sleep(0.05)  # let the producer reach the wait
+    queue.close()
+    thread.join(timeout=2.0)
+    assert outcome == ["closed"]
+    with pytest.raises(IngestClosedError):
+        queue.submit(insert("R", 9, 9))
+
+
+def test_backpressure_policy_validation():
+    with pytest.raises(ValueError):
+        BackpressurePolicy(high_water=0)
+    with pytest.raises(ValueError):
+        BackpressurePolicy(high_water=10, mode="drop")
+    with pytest.raises(ValueError):
+        BackpressurePolicy(high_water=10, timeout_s=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Watermark flushing
+# ---------------------------------------------------------------------------
+
+
+def test_manual_flush_applies_coalesced_state():
+    session = make_session()
+    with manual_pipeline(session) as pipe:
+        assert isinstance(pipe, IngestPipeline)  # Session.ingest forwards here
+        for _ in range(50):
+            pipe.insert("R", 1, 10)
+        pipe.insert("R", 2, 3)
+        pipe.delete("R", 2, 3)
+        assert session["total"].result() == 0  # nothing flushed yet
+        flushed = pipe.flush()
+        assert flushed == 1  # one surviving key
+        assert session["total"].result() == 500
+        assert session["by_a"].result_mapping() == {(1,): 500}
+    assert session["total"].result() == 500
+
+
+def test_size_watermark_triggers_background_flush():
+    session = make_session()
+    pipe = session.ingest(max_pending=4, max_staleness_ms=None)
+    try:
+        for a in range(4):
+            pipe.insert("R", a, 1)
+        assert wait_until(lambda: pipe.queue_depth == 0)
+        assert session["total"].result() == 4
+        assert pipe.stats.flushes >= 1
+    finally:
+        pipe.close()
+
+
+def test_latency_watermark_triggers_background_flush():
+    session = make_session()
+    pipe = session.ingest(max_pending=1_000_000, max_staleness_ms=15.0)
+    try:
+        pipe.insert("R", 1, 1)
+        assert wait_until(lambda: session["total"].result() == 1)
+        # The flush happened because of staleness, not size.
+        assert pipe.stats.flushes >= 1
+        snapshot = pipe.stats_snapshot()
+        assert snapshot["max_flush_staleness_ms"] >= 10.0
+    finally:
+        pipe.close()
+
+
+def test_close_flushes_remaining_and_rejects_submits():
+    session = make_session()
+    pipe = manual_pipeline(session)
+    pipe.insert("R", 1, 7)
+    pipe.close(flush=True)
+    assert session["total"].result() == 7
+    with pytest.raises(IngestClosedError):
+        pipe.insert("R", 2, 2)
+    pipe.close()  # idempotent
+
+
+def test_close_without_flush_drops_pending():
+    session = make_session()
+    pipe = manual_pipeline(session)
+    pipe.insert("R", 1, 7)
+    pipe.close(flush=False)
+    assert session["total"].result() == 0
+
+
+def test_context_manager_flushes_on_clean_exit_only():
+    session = make_session()
+    with session.ingest(max_pending=1_000_000, max_staleness_ms=None) as pipe:
+        pipe.insert("R", 1, 5)
+    assert session["total"].result() == 5
+    session2 = make_session()
+    with pytest.raises(RuntimeError, match="boom"):
+        with session2.ingest(max_pending=1_000_000, max_staleness_ms=None) as pipe:
+            pipe.insert("R", 1, 5)
+            raise RuntimeError("boom")
+    # The aborted context did not flush the half-produced state.
+    assert session2["total"].result() == 0
+
+
+# ---------------------------------------------------------------------------
+# Dead-letter quarantine
+# ---------------------------------------------------------------------------
+
+
+def make_poisonable_session():
+    session = Session({"W": ("k", "v")})
+    session.view("w_sum", "AggSum([k], W(k, v) * v)")
+    return session
+
+
+def test_poisoned_flush_is_quarantined_and_pipeline_survives():
+    session = make_poisonable_session()
+    pipe = manual_pipeline(session)
+    try:
+        pipe.insert("W", "k1", 10)
+        pipe.flush()
+        assert session["w_sum"].result_mapping() == {("k1",): 10}
+        # A non-numeric value poisons the numeric fold mid-batch.
+        pipe.insert("W", "k2", "not-a-number")
+        pipe.insert("W", "k3", 5)
+        flushed = pipe.flush()
+        assert flushed == 2  # the batch was handed over, then rolled back
+        # Transactional rollback: the pre-flush state survived intact,
+        # including the healthy k3 update that shared the poisoned flush.
+        assert session["w_sum"].result_mapping() == {("k1",): 10}
+        [dead] = pipe.dead_letters
+        assert isinstance(dead.error, TypeError)
+        assert len(dead.updates) == 2
+        assert pipe.stats.quarantined_batches == 1
+        assert pipe.stats.quarantined_updates == 2
+        # The pipeline keeps serving subsequent flushes.
+        pipe.insert("W", "k4", 4)
+        pipe.flush()
+        assert session["w_sum"].result_mapping() == {("k1",): 10, ("k4",): 4}
+        assert pipe.stats.quarantined_batches == 1
+    finally:
+        pipe.close()
+
+
+def test_quarantine_limit_keeps_most_recent():
+    session = make_poisonable_session()
+    pipe = manual_pipeline(session, quarantine_limit=2)
+    try:
+        for index in range(4):
+            pipe.insert("W", f"k{index}", "poison")
+            pipe.flush()
+        assert pipe.stats.quarantined_batches == 4
+        assert len(pipe.dead_letters) == 2
+        kept = [dead.flush_index for dead in pipe.dead_letters]
+        assert kept == [2, 3]
+    finally:
+        pipe.close()
+
+
+def test_quarantined_flush_produces_no_cdc():
+    session = make_poisonable_session()
+    payloads = []
+    session["w_sum"].on_change(payloads.append)
+    pipe = manual_pipeline(session)
+    try:
+        pipe.insert("W", "k1", "poison")
+        pipe.flush()
+        assert payloads == []
+        pipe.insert("W", "k2", 2)
+        pipe.flush()
+        assert payloads == [{("k2",): 2}]
+    finally:
+        pipe.close()
+
+
+# ---------------------------------------------------------------------------
+# Cross-batch CDC windows
+# ---------------------------------------------------------------------------
+
+
+def test_window_emits_net_delta_every_n_flushes():
+    session = make_session()
+    pipe = manual_pipeline(session)
+    try:
+        payloads = []
+        pipe.subscribe("by_a", payloads.append, every_flushes=3)
+        pipe.insert("R", 1, 10)
+        pipe.flush()
+        pipe.insert("R", 1, 5)
+        pipe.flush()
+        assert payloads == []  # window still open after two flushes
+        pipe.insert("R", 2, 7)
+        pipe.flush()
+        assert payloads == [{(1,): 15, (2,): 7}]
+        # Changes cancelling *across* flushes inside a window never surface.
+        pipe.insert("R", 3, 1)
+        pipe.flush()
+        pipe.delete("R", 3, 1)
+        pipe.flush()
+        pipe.insert("R", 1, 1)
+        pipe.flush()
+        assert payloads[-1] == {(1,): 1}
+        assert pipe.stats.cdc_windows_emitted == 2
+        assert pipe.stats.cdc_flushes_coalesced == 4
+    finally:
+        pipe.close()
+
+
+def test_window_counts_only_flushes_that_touched_the_view():
+    session = make_session()
+    session.view("only_a5", "AggSum([], R(a, b) * (a = 5) * b)")
+    pipe = manual_pipeline(session)
+    try:
+        payloads = []
+        pipe.subscribe("only_a5", payloads.append, every_flushes=2)
+        pipe.insert("R", 1, 1)  # does not change only_a5
+        pipe.flush()
+        pipe.insert("R", 5, 10)
+        pipe.flush()
+        assert payloads == []  # only one flush delivered a delta so far
+        pipe.insert("R", 5, 10)
+        pipe.flush()
+        assert payloads == [{(): 20}]
+    finally:
+        pipe.close()
+
+
+def test_window_time_bound_emits_without_more_flushes():
+    session = make_session()
+    pipe = session.ingest(max_pending=1_000_000, max_staleness_ms=None)
+    try:
+        payloads = []
+        pipe.subscribe("total", payloads.append, every_flushes=100, every_ms=30.0)
+        pipe.insert("R", 1, 2)
+        pipe.flush()
+        assert payloads == []
+        assert wait_until(lambda: payloads == [{(): 2}])
+    finally:
+        pipe.close()
+
+
+def test_close_force_emits_residual_window():
+    session = make_session()
+    pipe = manual_pipeline(session)
+    payloads = []
+    pipe.subscribe("total", payloads.append, every_flushes=10)
+    pipe.insert("R", 1, 2)
+    pipe.flush()
+    assert payloads == []
+    pipe.close(flush=True)
+    assert payloads == [{(): 2}]
+
+
+def test_subscription_cancel_stops_delivery():
+    session = make_session()
+    pipe = manual_pipeline(session)
+    try:
+        payloads = []
+        subscription = pipe.subscribe("total", payloads.append)
+        pipe.insert("R", 1, 2)
+        pipe.flush()
+        assert payloads == [{(): 2}]
+        subscription.cancel()
+        pipe.insert("R", 1, 2)
+        pipe.flush()
+        assert payloads == [{(): 2}]
+        subscription.cancel()  # idempotent
+    finally:
+        pipe.close()
+
+
+def test_window_payloads_equivalent_at_every_window_size():
+    """The net view change over a run is invariant under the window size."""
+    streams = producer_streams(SCHEMA, producers=1, length=400, seed=3, domain_size=6)
+    [stream] = streams
+    reference = None
+    for window in (1, 2, 3, 5):
+        session = make_session()
+        ring = session.ring
+        net = {}
+
+        def absorb(payload, net=net, ring=ring):
+            for key, value in payload.items():
+                existing = net.get(key)
+                net[key] = value if existing is None else ring.add(existing, value)
+
+        pipe = manual_pipeline(session)
+        pipe.subscribe("by_a", absorb, every_flushes=window)
+        for batch in stream.batches(40):
+            pipe.submit_many(batch)
+            pipe.flush()
+        pipe.close(flush=True)
+        net = {key: value for key, value in net.items() if not ring.is_zero(value)}
+        assert net == session["by_a"].result_mapping(), f"window={window}"
+        if reference is None:
+            reference = net
+        else:
+            assert net == reference, f"window={window}"
+
+
+# ---------------------------------------------------------------------------
+# Concurrency: producers vs flusher
+# ---------------------------------------------------------------------------
+
+
+def test_threaded_producers_match_serial_application():
+    """Randomized property: any interleaving of producer threads through the
+    pipeline ends in exactly the serially-applied state."""
+    rng = random.Random(17)
+    for round_index in range(3):
+        producers = rng.choice([2, 3, 4])
+        partitions = producer_streams(
+            SCHEMA,
+            producers=producers,
+            length=rng.choice([300, 800]),
+            seed=rng.randrange(10_000),
+            domain_size=rng.choice([4, 12]),
+        )
+        serial = make_session()
+        for partition in partitions:
+            serial.apply_batch(list(partition))
+        concurrent = make_session()
+        pipe = concurrent.ingest(
+            max_pending=rng.choice([8, 64]), max_staleness_ms=rng.choice([5.0, None])
+        )
+        threads = [
+            threading.Thread(
+                target=lambda p=partition: [
+                    pipe.submit_many(batch) for batch in p.batches(rng.choice([7, 50]))
+                ],
+                daemon=True,
+            )
+            for partition in partitions
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        pipe.close(flush=True)
+        assert not pipe.dead_letters
+        assert concurrent.results() == serial.results(), f"round={round_index}"
+        snapshot = pipe.stats_snapshot()
+        assert snapshot["queue_depth"] == 0
+        assert snapshot["submitted_updates"] == sum(len(p) for p in partitions)
+
+
+def test_producers_blocked_by_backpressure_still_complete():
+    session = make_session()
+    pipe = session.ingest(
+        max_pending=4,
+        max_staleness_ms=5.0,
+        backpressure=BackpressurePolicy(high_water=8, mode="block"),
+    )
+    partitions = producer_streams(SCHEMA, producers=3, length=600, seed=11, domain_size=64)
+    threads = [
+        threading.Thread(
+            target=lambda p=partition: [pipe.submit(update) for update in p],
+            daemon=True,
+        )
+        for partition in partitions
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+    pipe.close(flush=True)
+    serial = make_session()
+    for partition in partitions:
+        serial.apply_batch(list(partition))
+    assert session.results() == serial.results()
+
+
+# ---------------------------------------------------------------------------
+# Stats accounting
+# ---------------------------------------------------------------------------
+
+
+def test_stats_snapshot_accounts_for_the_run():
+    session = make_session()
+    pipe = manual_pipeline(session)
+    try:
+        pipe.insert("R", 1, 1)
+        pipe.insert("R", 1, 1)  # coalesces
+        pipe.insert("R", 2, 2)
+        pipe.delete("R", 2, 2)  # cancels
+        pipe.flush()
+        snapshot = pipe.stats_snapshot()
+        assert snapshot["submitted_updates"] == 4
+        assert snapshot["coalesced_updates"] == 2
+        assert snapshot["cancelled_keys"] == 1
+        assert snapshot["flushes"] == 1
+        assert snapshot["flushed_updates"] == 1
+        assert snapshot["flushed_tuples"] == 2
+        assert snapshot["queue_depth"] == 0
+        assert snapshot["flush_latency"]["max_ms"] >= snapshot["flush_latency"]["p50_ms"] > 0
+    finally:
+        pipe.close()
+
+
+def test_pipeline_validates_on_submit_not_at_flush():
+    session = make_session()
+    pipe = manual_pipeline(session)
+    try:
+        with pytest.raises(Exception):
+            pipe.insert("R", 1)  # wrong arity fails at the producer
+        assert pipe.queue_depth == 0
+        with pytest.raises(Exception):
+            pipe.submit(insert("S", 1, 2))  # unknown relation
+    finally:
+        pipe.close()
