@@ -301,12 +301,29 @@ def experiment_e12():
             f"(>= {bench_sharded.FOLD_SPEEDUP_BAR}x at N={bench_sharded.ASSERTED_SHARDS} "
             "not asserted: needs a free-threaded interpreter with enough cores)"
         )
+    backend_record = bench_sharded.measure_backend_fold_throughput(batches=8 if smoke else 60)
+    backend_table = Table(["backend", "fold (s)", "keys/s"])
+    for label, row in backend_record["per_backend"].items():
+        backend_table.add_row(label, f"{row['seconds']:.4f}", f"{row['keys_per_s']:.0f}")
+    print(backend_table.render())
+    print(
+        f"process vs thread at N={backend_record['shards']}: "
+        f"{backend_record['process_vs_thread']:.2f}x"
+        + (
+            f" (asserted >= {bench_sharded.PROCESS_SPEEDUP_BAR}x)"
+            if backend_record["asserted"]
+            else " (not asserted: needs enough cores)"
+        )
+    )
+    if backend_record["asserted"]:
+        assert backend_record["process_vs_thread"] >= bench_sharded.PROCESS_SPEEDUP_BAR
     apply_record = bench_sharded.measure_batch_apply(
         stream_length=4_000 if smoke else 20_000, repeats=1 if smoke else 3
     )
     return {
         "batch_size": bench_sharded.BATCH_SIZE,
         "fold": fold_record,
+        "backends": backend_record,
         "apply_batch_seconds": apply_record,
     }
 

@@ -13,6 +13,13 @@ compiled hierarchies *share* materialized maps, which the sharing report at
 the end quantifies.  A change subscription streams one consolidated
 per-nation revenue delta per batch.
 
+The map tables are hash-partitioned into four shards and folded on the
+partition tier's **process backend** (``shards=4, shard_backend="process"``):
+long-lived worker processes each own a warm mirror of their shard and fold
+only the delta part shipped to them — real parallelism even on GIL builds,
+with state and CDC identical to the unsharded session.  The session is used
+as a context manager so the workers shut down deterministically at the end.
+
 Run with:  python examples/sales_dashboard.py
 """
 
@@ -41,7 +48,11 @@ DASHBOARD_SQL = {
 
 
 def main() -> None:
-    session = Session(SALES_SCHEMA)
+    with Session(SALES_SCHEMA, shards=4, shard_backend="process") as session:
+        run_dashboard(session)
+
+
+def run_dashboard(session: Session) -> None:
     for name, sql in DASHBOARD_SQL.items():
         session.view(name, sql)
 

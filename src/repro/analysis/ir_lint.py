@@ -227,11 +227,21 @@ def _lint_targets():
         yield name, aggregate, schema
 
 
+#: ``--fail-on`` choices: the CLI name → the :class:`LintFinding` kind it gates.
+_FAIL_ON_KINDS = {
+    "dead-maps": "dead-map",
+    "serial-folds": "serial-fold",
+    "scan": "scan",
+}
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Compile, verify, and lint the workload and example queries; print a report.
 
     Exit status 0 when every program passes the verifier (lint findings are
-    advisory), 1 when any program fails verification or compilation.
+    advisory unless promoted with ``--fail-on``), 1 when any program fails
+    verification or compilation — or produces a finding of a kind named by
+    ``--fail-on``.
     """
     parser = argparse.ArgumentParser(
         prog="repro-lint",
@@ -244,7 +254,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="also write the report to FILE",
     )
+    parser.add_argument(
+        "--fail-on",
+        action="append",
+        choices=sorted(_FAIL_ON_KINDS),
+        default=None,
+        metavar="{dead-maps,serial-folds,scan}",
+        help="promote a finding kind to a hard failure (exit 1); repeatable",
+    )
     options = parser.parse_args(argv)
+    fatal_kinds = {_FAIL_ON_KINDS[choice] for choice in (options.fail_on or ())}
 
     lines: List[str] = []
     table = Table(
@@ -272,6 +291,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         verified = "ok" if not violations else "FAIL"
         if violations:
             failed += 1
+        fatal = [finding for finding in findings if finding.kind in fatal_kinds]
+        if fatal and not violations:
+            failed += 1
+        if fatal:
+            details.append(
+                f"== {name}: FATAL (--fail-on) ==\n"
+                + "\n".join(finding.describe() for finding in fatal)
+            )
         table.add_row(
             name,
             len(program.maps),

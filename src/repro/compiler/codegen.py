@@ -69,6 +69,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.algebra.semirings import FLOAT_FIELD, INTEGER_RING, Semiring
 from repro.compiler.indexes import IndexSpecs, SliceIndexes, compute_index_specs
+from repro.compiler.partition.backends import generated_rmap_groups
 from repro.compiler.sharding import ShardedMapTable, make_generated_fold_sharded
 from repro.compiler.triggers import BatchTrigger, Statement, Trigger, TriggerProgram
 from repro.core.ast import (
@@ -94,7 +95,7 @@ _PYTHON_OPS = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="
 _RESERVED_NAMES = (
     "maps", "values", "values_list", "relation", "sign", "updates",
     "_new", "_fkey", "_chm", "_CH", "_IDX", "_TRK", "_sk", "_key", "_old",
-    "_delta", "_dk", "_dv", "_vals",
+    "_delta", "_dk", "_dv", "_vals", "_rval", "_rmap_groups",
 )
 
 
@@ -259,6 +260,10 @@ class GeneratedTriggers:
             # hash-partitioned; plain-dict environments never hit the branch.
             "_SHARDED": ShardedMapTable,
             "_fold_sharded": make_generated_fold_sharded(ring),
+            # Recompute fan-out over the partition tier: tracked
+            # nested-aggregate groups are re-evaluated through the target
+            # table's shard backend when one is attached (serially otherwise).
+            "_rmap_groups": generated_rmap_groups,
         }
         exec(compile(source, f"<generated triggers for {program.result_map}>", "exec"), self._namespace)
         self._stats: Dict[str, int] = self._namespace["_STATS"]
@@ -894,8 +899,15 @@ def _generate_recomputes(
                 writer.emit(f"for _sk in _TRK[{source!r}]:")
                 writer.emit(f"    {affected}.add({projection})")
             group_key = f"_gk{rindex}"
+            body = f"_rbody{rindex}"
             names.reserve(group_key)
-            writer.emit(f"for {group_key} in {affected}:")
+            names.reserve(body)
+            # The per-group re-evaluation as a nested function: evaluation is
+            # read-only (the body never consults its own target), so
+            # _rmap_groups may fan the calls out over the target table's shard
+            # backend; every diff is applied serially afterwards — identical
+            # state and CDC at any backend.
+            writer.emit(f"def {body}({group_key}):")
             writer.block()
             key_locals = [names(key) for key in recompute.target_keys]
             unpack = ", ".join(key_locals) + ("," if len(key_locals) == 1 else "")
@@ -905,11 +917,15 @@ def _generate_recomputes(
                 context, statement, recompute.target_keys, accumulator, names, counter,
                 table_ref, scalar=True,
             )
+            writer.emit(f"return {accumulator}")
+            writer.dedent()
             writer.emit(
-                f"_rapply({target_table}, {group_key}, {accumulator}, "
+                f"for {group_key}, _rval in _rmap_groups({target_table}, {affected}, {body}):"
+            )
+            writer.emit(
+                f"    _rapply({target_table}, {group_key}, _rval, "
                 f"{recompute.target!r}, {spec}, _IDX, _CH, {trk_expr})"
             )
-            writer.dedent()
         else:
             writer.emit(f"{accumulator} = {{}}")
             _generate_statement(

@@ -138,6 +138,26 @@ def compute_index_specs(program: TriggerProgram) -> IndexSpecs:
     return {name: tuple(sorted(positions)) for name, positions in sorted(specs.items())}
 
 
+def journal_to_wire(
+    added: Iterable[Tuple[Any, ...]], removed: Iterable[Tuple[Any, ...]]
+) -> Tuple[list, list]:
+    """Encode a shard fold's index journal for the worker→coordinator wire.
+
+    The partition tier's process workers (:mod:`repro.compiler.partition`)
+    journal the keys they inserted/removed exactly like the thread workers,
+    but the journal crosses a process boundary — so it travels as plain
+    lists-of-lists, the shape any serializer (pickle today, msgpack/JSON on a
+    socket tomorrow) round-trips without custom hooks.
+    """
+    return [list(key) for key in added], [list(key) for key in removed]
+
+
+def journal_from_wire(payload: Tuple[list, list]):
+    """Decode a wire journal back into the tuple keys the indexes store."""
+    added, removed = payload
+    return [tuple(key) for key in added], [tuple(key) for key in removed]
+
+
 class SliceIndexes:
     """Secondary hash indexes: ``(map, positions) -> {bound prefix -> set of keys}``.
 

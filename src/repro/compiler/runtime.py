@@ -57,6 +57,7 @@ from repro.algebra.semirings import INTEGER_RING, Semiring
 from repro.compiler.cost import RuntimeStatistics
 from repro.compiler.indexes import IndexedMaps, SliceIndexes, compute_index_specs
 from repro.compiler.maps import dependency_depths
+from repro.compiler.partition.backends import ShardBackend, make_shard_backend
 from repro.compiler.sharding import (
     ShardedMapTable,
     fold_sharded_table,
@@ -88,12 +89,22 @@ class TriggerRuntime:
         program: TriggerProgram,
         ring: Semiring = INTEGER_RING,
         shards: Optional[int] = None,
+        shard_backend=None,
     ):
         self.program = program
         self.ring = ring
         #: Hash-partition count of the map tables; 1 (the default) keeps the
         #: plain-dict tables and exactly the pre-sharding code path.
         self.shards = resolve_shard_count(shards)
+        #: The partition tier's execution backend (``None`` when unsharded):
+        #: either a ready :class:`~repro.compiler.partition.backends.ShardBackend`
+        #: handed in by the owner (a :class:`~repro.session.Session` shares one
+        #: backend — and its worker processes — across runtime rebuilds) or
+        #: built here from a backend name / the ``REPRO_SHARD_BACKEND`` env.
+        if isinstance(shard_backend, ShardBackend):
+            self.shard_backend: Optional[ShardBackend] = shard_backend
+        else:
+            self.shard_backend = make_shard_backend(shard_backend, self.shards, ring)
         self.index_specs = compute_index_specs(program)
         self.indexes = SliceIndexes(self.index_specs)
         self.maps: Dict[str, MapTable] = IndexedMaps(
@@ -120,7 +131,9 @@ class TriggerRuntime:
         """
         if self.shards == 1:
             return dict(contents) if contents else {}
-        return ShardedMapTable(self.shards, contents)
+        table = ShardedMapTable(self.shards, contents)
+        table.backend = self.shard_backend
+        return table
 
     def backup_tables(self, names: Optional[Iterable[str]] = None) -> Dict[str, MapTable]:
         """Plain-dict copies of map tables (sharded tables merged).
@@ -501,6 +514,7 @@ class TriggerRuntime:
             self._shard_fold_inline,
             lambda added, removed: indexes.apply_journal(target, added, removed),
             force_inline=serial,
+            name=target,
         )
 
     def _run_recompute(
@@ -520,7 +534,8 @@ class TriggerRuntime:
             for source, positions in recompute.source_projections:
                 for key in tracked_sources.get(source, ()):
                     groups.add(tuple(key[position] for position in positions))
-            for group in groups:
+
+            def evaluate_group(group):
                 group_bindings = Record.from_values(recompute.target_keys, group)
                 result = evaluate(
                     recompute.as_aggregate(), self._environment, group_bindings, maps=self.maps
@@ -528,8 +543,21 @@ class TriggerRuntime:
                 value = ring.zero
                 for _record, part in result.items():
                     value = ring.add(value, part)
-                new_values[group] = value
-            affected = groups
+                return value
+
+            # Affected groups are per-group independent (they only read source
+            # maps, never the target), so large sets fan out over the shard
+            # backend — the same tier the batch folds dispatch through.  All
+            # values are computed before any diff is applied either way, so
+            # the fold below sees identical state at every backend.
+            group_list = list(groups)
+            backend = self.shard_backend
+            if backend is not None and len(group_list) >= backend.min_parallel_groups:
+                values = backend.map_groups(evaluate_group, group_list)
+            else:
+                values = [evaluate_group(group) for group in group_list]
+            new_values = dict(zip(group_list, values))
+            affected = group_list
         else:
             result = evaluate(recompute.as_aggregate(), self._environment, maps=self.maps)
             for record, value in result.items():

@@ -100,7 +100,7 @@ class ShardedMapTable:
     partitions its increments once and works on ``self.shards`` directly.
     """
 
-    __slots__ = ("shards", "shard_count")
+    __slots__ = ("shards", "shard_count", "versions", "backend")
 
     def __init__(
         self,
@@ -111,6 +111,16 @@ class ShardedMapTable:
             raise ValueError(f"shard count must be a positive integer, got {shard_count}")
         self.shard_count = shard_count
         self.shards: List[MapTable] = [{} for _ in range(shard_count)]
+        #: Per-shard mutation counters, bumped by every *facade* write.  The
+        #: process shard backend uses them to detect that a worker's mirror of
+        #: a shard went stale (recompute applies, restores, scalar folds all
+        #: write through the facade); the fold path mutates the shard dicts
+        #: directly and keeps both sides in lockstep without bumps.
+        self.versions: List[int] = [0] * shard_count
+        #: The owning :class:`~repro.compiler.partition.backends.ShardBackend`
+        #: (set by the runtime's ``make_table``); ``None`` keeps the legacy
+        #: thread-pool fold path.
+        self.backend = None
         if contents:
             shards = self.shards
             for key, value in contents.items():
@@ -122,10 +132,14 @@ class ShardedMapTable:
         return self.shards[hash(key) % self.shard_count][key]
 
     def __setitem__(self, key: Tuple[Any, ...], value: Any) -> None:
-        self.shards[hash(key) % self.shard_count][key] = value
+        index = hash(key) % self.shard_count
+        self.versions[index] += 1
+        self.shards[index][key] = value
 
     def __delitem__(self, key: Tuple[Any, ...]) -> None:
-        del self.shards[hash(key) % self.shard_count][key]
+        index = hash(key) % self.shard_count
+        self.versions[index] += 1
+        del self.shards[index][key]
 
     def __contains__(self, key: object) -> bool:
         return key in self.shards[hash(key) % self.shard_count]
@@ -153,13 +167,18 @@ class ShardedMapTable:
     _MISSING = object()
 
     def pop(self, key: Tuple[Any, ...], default: Any = _MISSING) -> Any:
-        shard = self.shards[hash(key) % self.shard_count]
+        index = hash(key) % self.shard_count
+        shard = self.shards[index]
+        if key in shard:
+            self.versions[index] += 1
         if default is ShardedMapTable._MISSING:
             return shard.pop(key)
         return shard.pop(key, default)
 
     def setdefault(self, key: Tuple[Any, ...], default: Any = None) -> Any:
-        return self.shards[hash(key) % self.shard_count].setdefault(key, default)
+        index = hash(key) % self.shard_count
+        self.versions[index] += 1
+        return self.shards[index].setdefault(key, default)
 
     def items(self) -> "_ShardView":
         return _ShardView(self.shards, dict.items)
@@ -178,8 +197,10 @@ class ShardedMapTable:
             self[key] = value
 
     def clear(self) -> None:
-        for shard in self.shards:
-            shard.clear()
+        for index, shard in enumerate(self.shards):
+            if shard:
+                self.versions[index] += 1
+                shard.clear()
 
     def copy(self) -> MapTable:
         """A merged plain-dict copy of the whole table (snapshot/backup path)."""
@@ -433,7 +454,7 @@ def get_executor(workers: int) -> ShardExecutor:
     return executor
 
 
-def fold_sharded_table(
+def fold_shards_threaded(
     table: ShardedMapTable,
     acc: Mapping[Tuple[Any, ...], Any],
     journal: bool,
@@ -441,21 +462,24 @@ def fold_sharded_table(
     fold_inline: Callable,
     sink: Callable[[Iterable, Iterable], None],
     force_inline: bool = False,
+    min_parallel_keys: Optional[int] = None,
 ) -> None:
-    """The one sharded-fold orchestration, shared by both backends.
+    """The coordinator-side fold orchestration over the shared thread pool.
 
-    Folds ``acc`` into ``table`` — in line below :data:`MIN_PARALLEL_KEYS`,
-    per-shard on the executor otherwise.  ``force_inline`` pins the fold to
-    the inline path regardless of size: the shard-race detector
-    (:func:`repro.compiler.verify.mark_serial_folds`) sets it for statements
-    whose target another statement of the same dispatch touches.  Every
-    worker's journal is handed to ``sink`` (the backend's slice-index
-    maintenance) *before* the first captured error is re-raised, so a failed
-    fold leaves the indexes consistent with whatever the shards actually
-    contain — the same guarantee as the unsharded per-key fold loop.
+    Folds ``acc`` into ``table`` — in line below ``min_parallel_keys``
+    (default :data:`MIN_PARALLEL_KEYS`), per-shard on the executor otherwise.
+    ``force_inline`` pins the fold to the inline path regardless of size: the
+    shard-race detector (:func:`repro.compiler.verify.mark_serial_folds`)
+    sets it for statements whose target another statement of the same
+    dispatch touches.  Every worker's journal is handed to ``sink`` (the
+    backend's slice-index maintenance) *before* the first captured error is
+    re-raised, so a failed fold leaves the indexes consistent with whatever
+    the shards actually contain — the same guarantee as the unsharded
+    per-key fold loop.
     """
+    threshold = MIN_PARALLEL_KEYS if min_parallel_keys is None else min_parallel_keys
     error: Optional[BaseException] = None
-    if force_inline or len(acc) < MIN_PARALLEL_KEYS:
+    if force_inline or len(acc) < threshold:
         # In-line fold, routed per key: partition/dispatch overhead would
         # dominate for small increment maps (and for every single-tuple
         # trigger on a sharded session).
@@ -476,6 +500,39 @@ def fold_sharded_table(
         raise error
 
 
+def fold_sharded_table(
+    table: ShardedMapTable,
+    acc: Mapping[Tuple[Any, ...], Any],
+    journal: bool,
+    fold_shard: Callable,
+    fold_inline: Callable,
+    sink: Callable[[Iterable, Iterable], None],
+    force_inline: bool = False,
+    name: Optional[str] = None,
+) -> None:
+    """The one sharded-fold entry point, shared by both compiled executors.
+
+    Dispatches through the table's attached
+    :class:`~repro.compiler.partition.backends.ShardBackend` when one is set
+    (the partition tier: inline / thread / process placement of the per-shard
+    jobs); tables without a backend — standalone runtimes, pre-tier
+    callers — keep the thread-pool orchestration of
+    :func:`fold_shards_threaded` verbatim.  ``name`` is the map's name in the
+    hierarchy; backends that keep off-process shard state use it to address
+    their mirrors.
+    """
+    backend = table.backend
+    if backend is not None:
+        backend.fold_table(
+            table, acc, journal, fold_shard, fold_inline, sink,
+            force_inline=force_inline, name=name,
+        )
+        return
+    fold_shards_threaded(
+        table, acc, journal, fold_shard, fold_inline, sink, force_inline=force_inline
+    )
+
+
 def make_generated_fold_sharded(ring: Semiring):
     """The ``_fold_sharded`` helper injected into generated trigger modules.
 
@@ -494,7 +551,8 @@ def make_generated_fold_sharded(ring: Semiring):
             apply_index_journal(idx, specs, name, added, removed)
 
         fold_sharded_table(
-            table, acc, journal, fold_shard, fold_inline, sink, force_inline=serial
+            table, acc, journal, fold_shard, fold_inline, sink,
+            force_inline=serial, name=name,
         )
 
     return _fold_sharded

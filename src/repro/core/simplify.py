@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.ast import AggSum, Assign, Compare, Const, Expr, MapRef, Mul, Neg, Rel, Var
+from repro.core.delta import is_delta_map
 from repro.core.normalization import (
     Monomial,
     combine_like_terms,
@@ -320,6 +321,38 @@ def _equality_to_assignment(factor: Compare, bound: Iterable[str]) -> Expr:
 # ---------------------------------------------------------------------------
 
 
+def _read_cost_rank(factor: Expr, bound: "set[str]") -> int:
+    """The per-evaluation cost class of one safe factor under ``bound``.
+
+    Used by the cost-aware (eager) schedule of :func:`order_for_safety` to
+    pick the cheapest safe factor instead of the first one.  Classes, cheap
+    to expensive:
+
+    0. non-read factors — conditions, values, assignments: O(1) and prune;
+    1. fully-bound map/relation reads (single lookup) and *delta-map* reads
+       (the per-batch tables that drive iteration — scanning them is the
+       intended O(|Δ|), and they must stay ahead of same-class reads so the
+       batch fold's key-projection fast path keeps seeing ``∆R`` first);
+    2. partially-bound reads (an indexed slice: O(matching entries));
+    3. unbound reads (a full O(|M|) table scan — the class the repro-lint
+       ``scan`` finding reports when no cheaper order exists).
+    """
+    while isinstance(factor, Neg):
+        factor = factor.expr
+    if isinstance(factor, MapRef):
+        key_vars: Tuple[str, ...] = factor.key_vars
+        if is_delta_map(factor.name):
+            return 1
+    elif isinstance(factor, Rel):
+        key_vars = factor.columns
+    else:
+        return 0
+    unbound = sum(1 for var in key_vars if var not in bound)
+    if unbound == 0:
+        return 1
+    return 2 if unbound < len(key_vars) else 3
+
+
 def order_for_safety(
     factors: Sequence[Expr],
     bound_vars: Iterable[str] = (),
@@ -327,8 +360,8 @@ def order_for_safety(
 ) -> Tuple[Expr, ...]:
     """Reorder monomial factors so that binding producers precede consumers.
 
-    A greedy schedule: repeatedly emit the first remaining factor that is safe
-    under the currently bound variables, converting stuck equalities into
+    A greedy schedule: repeatedly emit a remaining factor that is safe under
+    the currently bound variables, converting stuck equalities into
     assignments when that unblocks progress.  Factors that can never become
     safe are appended at the end in their original order (the evaluator will
     report the unbound variable, which is the correct diagnostic for a
@@ -339,10 +372,14 @@ def order_for_safety(
     is converted *before* any relation or map factor is emitted: the
     assignment binds its variable for free, and a map reference evaluated
     afterwards sees one more bound key position — an indexed slice (or a
-    single lookup) instead of a scan followed by an equality filter.  Map
-    *definitions* keep the conservative order (structure-preserving, so
-    symmetric delta components still canonicalize identically and share one
-    map).
+    single lookup) instead of a scan followed by an equality filter.  The
+    eager schedule is additionally *cost-aware*: among the safe factors it
+    emits the cheapest read class first (:func:`_read_cost_rank`, ties by
+    original position), so a slice-bound read runs before a read that would
+    scan its whole table — and the scan, evaluated after the slice bound its
+    key variables, usually collapses into a lookup.  Map *definitions* keep
+    the conservative first-safe order (structure-preserving, so symmetric
+    delta components still canonicalize identically and share one map).
     """
     remaining = list(factors)
     bound = set(bound_vars)
@@ -368,14 +405,26 @@ def order_for_safety(
                         break
             if progressed:
                 continue
+        best: Optional[int] = None
+        best_rank = 0
         for index, factor in enumerate(remaining):
-            needed, produced = binding_analysis(factor, bound)
-            if not needed:
-                ordered.append(factor)
-                bound.update(produced)
-                del remaining[index]
-                progressed = True
+            needed, _produced = binding_analysis(factor, bound)
+            if needed:
+                continue
+            if not eager_assignments:
+                best = index
                 break
+            rank = _read_cost_rank(factor, bound)
+            if best is None or rank < best_rank:
+                best, best_rank = index, rank
+                if rank == 0:
+                    break
+        if best is not None:
+            factor = remaining.pop(best)
+            _needed, produced = binding_analysis(factor, bound)
+            ordered.append(factor)
+            bound.update(produced)
+            progressed = True
         if progressed:
             continue
         # Try to unblock by turning an equality into an assignment.

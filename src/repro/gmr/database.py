@@ -63,6 +63,28 @@ class Update:
         return f"{sign}{self.relation}({inner}){suffix}"
 
 
+def serialize_update(update: Update) -> list:
+    """The plain-data row form of one update: ``[sign, relation, values, count]``.
+
+    This is the session snapshot's history-row format (JSON-serializable
+    whenever the values are), reused verbatim by the ingestion tier's durable
+    dead letters so a failed batch survives the process and can be retried
+    after a restore.
+    """
+    return [update.sign, update.relation, list(update.values), update.count]
+
+
+def deserialize_update(row: Sequence[Any]) -> Update:
+    """Revive an update from :func:`serialize_update` output.
+
+    Accepts the three-element version-1 snapshot rows (no ``count``) as well
+    as the current four-element form.
+    """
+    sign, relation, values = row[0], row[1], tuple(row[2])
+    count = row[3] if len(row) > 3 else 1
+    return Update(sign, relation, values, count=count)
+
+
 def insert(relation: str, *values: Any) -> Update:
     """Convenience constructor: ``insert('R', 1, 2)`` is ``+R(1, 2)``."""
     return Update(INSERT, relation, values)

@@ -27,7 +27,7 @@ from repro.ingest.backpressure import (
     BackpressurePolicy,
     IngestClosedError,
 )
-from repro.ingest.flusher import DeadLetterBatch, IngestPipeline
+from repro.ingest.flusher import DeadLetterBatch, IngestPipeline, QuarantinedError
 from repro.ingest.queue import IngestQueue
 from repro.ingest.stats import IngestStats
 
@@ -40,4 +40,5 @@ __all__ = [
     "IngestPipeline",
     "IngestQueue",
     "IngestStats",
+    "QuarantinedError",
 ]

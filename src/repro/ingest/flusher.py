@@ -38,12 +38,20 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.gmr.database import DELETE, INSERT, Update
-from repro.ingest.backpressure import BackpressurePolicy
+from repro.gmr.database import DELETE, INSERT, Update, deserialize_update, serialize_update
+from repro.ingest.backpressure import BackpressurePolicy, IngestClosedError
 from repro.ingest.queue import IngestQueue
 from repro.ingest.stats import IngestStats
 
 ChangeCallback = Callable[[Dict[Tuple[Any, ...], Any]], None]
+
+
+class QuarantinedError(RuntimeError):
+    """Stand-in for a dead letter's original exception after a round-trip.
+
+    Exceptions do not reliably serialize, so :meth:`DeadLetterBatch.to_snapshot`
+    stores the type name and message; revival wraps them in this class.
+    """
 
 
 @dataclass(frozen=True)
@@ -59,6 +67,36 @@ class DeadLetterBatch:
     flush_index: int
     #: ``time.time()`` of the quarantine.
     timestamp: float = field(compare=False)
+
+    def to_snapshot(self) -> Dict[str, Any]:
+        """Plain-data form of the dead letter (JSON-serializable payloads).
+
+        The updates travel in the session snapshot's update-row format
+        (:func:`repro.gmr.database.serialize_update`), so a quarantined batch
+        can be persisted next to a ``Session.snapshot()`` and retried after a
+        restore.  The exception is captured as its type name and message.
+        """
+        return {
+            "updates": [serialize_update(update) for update in self.updates],
+            "error": str(self.error),
+            "error_type": type(self.error).__name__,
+            "flush_index": self.flush_index,
+            "timestamp": self.timestamp,
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, Any]) -> "DeadLetterBatch":
+        """Revive a dead letter from :meth:`to_snapshot` output.
+
+        The original exception object is gone; ``error`` becomes a
+        :class:`QuarantinedError` carrying the recorded type and message.
+        """
+        return cls(
+            updates=tuple(deserialize_update(row) for row in snapshot["updates"]),
+            error=QuarantinedError(f"{snapshot['error_type']}: {snapshot['error']}"),
+            flush_index=snapshot["flush_index"],
+            timestamp=snapshot["timestamp"],
+        )
 
     def __repr__(self) -> str:
         return (
@@ -305,6 +343,53 @@ class IngestPipeline:
                     self._flush_once()
                 else:
                     self._advance_windows()
+
+    def retry(self, dead: DeadLetterBatch) -> int:
+        """Re-apply a quarantined batch on the calling thread.
+
+        ``dead`` may be a live entry of :attr:`dead_letters` or one revived
+        with :meth:`DeadLetterBatch.from_snapshot` after a restore.  On
+        success the batch counts as a regular flush, any matching quarantine
+        entry is dropped, and the number of compact updates applied is
+        returned.  On failure the batch is re-quarantined under the fresh
+        error (the views were rolled back as usual) and 0 is returned —
+        retrying a still-poisoned batch is not fatal, same as the flush path.
+        """
+        if self._closed:
+            raise IngestClosedError("cannot retry a dead letter on a closed pipeline")
+        batch = list(dead.updates)
+        if not batch:
+            return 0
+        with self._flush_lock:
+            started = time.perf_counter()
+            try:
+                self.session.apply_batch(batch, coalesced=True)
+            except Exception as error:  # noqa: BLE001 - quarantine is the contract
+                self._dead_letters.append(
+                    DeadLetterBatch(
+                        updates=tuple(batch),
+                        error=error,
+                        flush_index=self._flush_index,
+                        timestamp=time.time(),
+                    )
+                )
+                self.stats.record_quarantine(sum(update.count for update in batch))
+                applied = 0
+            else:
+                self.stats.record_flush(
+                    updates=len(batch),
+                    tuples=sum(update.count for update in batch),
+                    latency_s=time.perf_counter() - started,
+                    staleness_ms=0.0,
+                )
+                applied = len(batch)
+            try:
+                self._dead_letters.remove(dead)
+            except ValueError:
+                pass  # revived from a snapshot, or already discarded
+            self._flush_index += 1
+            self._advance_windows()
+            return applied
 
     # -- CDC windows -----------------------------------------------------------
 

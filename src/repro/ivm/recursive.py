@@ -41,6 +41,7 @@ class RecursiveIVM(IVMEngine):
         backend: str = "interpreted",
         map_name: str = "q",
         shards: Optional[int] = None,
+        shard_backend: Optional[str] = None,
         normalize: Optional[bool] = None,
         verify: bool = True,
     ):
@@ -59,7 +60,11 @@ class RecursiveIVM(IVMEngine):
         # shards > 1 hash-partitions the map tables so batch folds run per
         # shard (repro.compiler.sharding); the default (None -> REPRO_SHARDS
         # -> 1) keeps plain dict tables and the pre-sharding code path.
-        self.runtime = TriggerRuntime(self.program, ring=ring, shards=shards)
+        # shard_backend picks the partition tier's execution backend
+        # ("inline"/"thread"/"process", None -> REPRO_SHARD_BACKEND).
+        self.runtime = TriggerRuntime(
+            self.program, ring=ring, shards=shards, shard_backend=shard_backend
+        )
         self._generated: Optional[GeneratedTriggers] = None
         if backend == "generated":
             # The generated module's arithmetic is specialized to the ring
@@ -81,6 +86,11 @@ class RecursiveIVM(IVMEngine):
     def state_restore(self, backup) -> None:
         self.runtime.restore_tables(backup)
         self._pending_changes = None
+
+    def close(self) -> None:
+        """Shut the partition-tier backend down (stops process workers)."""
+        if self.runtime.shard_backend is not None:
+            self.runtime.shard_backend.close()
 
     # -- engine interface -----------------------------------------------------------------
 

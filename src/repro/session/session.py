@@ -34,12 +34,19 @@ from repro.algebra.semirings import BUILTIN_SEMIRINGS, INTEGER_RING, Semiring
 from repro.compiler.codegen import GeneratedTriggers, generate_python
 from repro.compiler.compile import compile_query
 from repro.compiler.cost import RuntimeStatistics
+from repro.compiler.partition.backends import make_shard_backend, resolve_shard_backend
 from repro.compiler.runtime import TriggerRuntime
 from repro.compiler.sharding import resolve_shard_count
 from repro.core.ast import AggSum, Expr
 from repro.core.errors import SchemaError
 from repro.core.parser import parse, to_string
-from repro.gmr.database import Database, Update, coalesce_updates
+from repro.gmr.database import (
+    Database,
+    Update,
+    coalesce_updates,
+    deserialize_update,
+    serialize_update,
+)
 from repro.gmr.records import Record
 from repro.gmr.relation import GMR
 from repro.ivm.base import EngineStatistics
@@ -77,10 +84,17 @@ class _CompiledGroup:
         ring: Semiring,
         backend: str,
         shards: int = 1,
+        shard_backend: Optional[str] = None,
     ):
         self.backend = backend
         self.ring = ring
         self.shards = shards
+        #: The partition tier's execution backend, constructed once per group
+        #: and shared across runtime rebuilds — a late view registration must
+        #: not respawn the process backend's workers (their mirrors are keyed
+        #: by map name and table identity, both of which rebuilds preserve).
+        self.shard_backend_name = resolve_shard_backend(shard_backend)
+        self.shard_backend = make_shard_backend(self.shard_backend_name, shards, ring)
         # AC canonicalization reorders products, which is only an equivalence
         # over commutative coefficient structures.
         self.catalog = MapCatalog(schema, ac_dedup=ring.commutative)
@@ -135,7 +149,9 @@ class _CompiledGroup:
     ) -> None:
         combined = self.catalog.program()
         previous = self.runtime.maps if self.runtime is not None else {}
-        runtime = TriggerRuntime(combined, ring=self.ring, shards=self.shards)
+        runtime = TriggerRuntime(
+            combined, ring=self.ring, shards=self.shards, shard_backend=self.shard_backend
+        )
         runtime.statistics = self.statistics
         for name in combined.maps:
             if name in previous:
@@ -230,6 +246,13 @@ class _CompiledGroup:
     def map_sizes(self) -> Dict[str, int]:
         return self.runtime.map_sizes() if self.runtime is not None else {}
 
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the partition-tier backend down (stops process workers)."""
+        if self.shard_backend is not None:
+            self.shard_backend.close()
+
 
 class Session:
     """One update stream, many materialized views, shared maps.
@@ -256,6 +279,16 @@ class Session:
         default of 1 keeps plain dict tables and exactly the unsharded
         code path.  Results and ``on_change`` payloads are identical for
         every shard count.
+    shard_backend:
+        Execution backend of the partition tier
+        (:mod:`repro.compiler.partition`): ``"inline"``, ``"thread"`` or
+        ``"process"``.  ``None`` defers to ``REPRO_SHARD_BACKEND`` (default
+        ``"thread"``).  Only meaningful with ``shards > 1``; the
+        ``"process"`` backend spawns one long-lived worker per shard that
+        keeps a warm mirror of its shard's tables, so folds run with real
+        parallelism even on GIL builds.  State and CDC are identical across
+        backends.  Call :meth:`close` (or use the session as a context
+        manager) to shut process workers down deterministically.
     """
 
     def __init__(
@@ -264,12 +297,14 @@ class Session:
         ring: Semiring = INTEGER_RING,
         track_history: bool = True,
         shards: Optional[int] = None,
+        shard_backend: Optional[str] = None,
     ):
         self.schema: Dict[str, Tuple[str, ...]] = {
             name: tuple(columns) for name, columns in schema.items()
         }
         self.ring = ring
         self.shards = resolve_shard_count(shards)
+        self.shard_backend = resolve_shard_backend(shard_backend)
         self.statistics = EngineStatistics()
         self._views: Dict[str, MaterializedView] = {}
         self._groups: Dict[str, _CompiledGroup] = {}
@@ -312,7 +347,13 @@ class Session:
             if group is None:
                 # Commit the new group only after a successful registration, so
                 # a failed first view does not leave an empty group behind.
-                group = _CompiledGroup(self.schema, self.ring, backend, shards=self.shards)
+                group = _CompiledGroup(
+                    self.schema,
+                    self.ring,
+                    backend,
+                    shards=self.shards,
+                    shard_backend=self.shard_backend,
+                )
             view._group = group
             view._map_name = group.register(name, query_expr, bootstrap_source)
             self._groups[backend] = group
@@ -652,15 +693,13 @@ class Session:
             "schema": {relation: list(columns) for relation, columns in self.schema.items()},
             "updates_applied": self._updates_applied,
             "shards": self.shards,
+            "shard_backend": self.shard_backend,
             "views": views,
             "maps": groups,
             "engine_databases": engines,
         }
         if self._history is not None:
-            snapshot["history"] = [
-                [update.sign, update.relation, list(update.values), update.count]
-                for update in self._history
-            ]
+            snapshot["history"] = [serialize_update(update) for update in self._history]
         return snapshot
 
     @classmethod
@@ -669,6 +708,7 @@ class Session:
         snapshot: Mapping[str, Any],
         ring: Optional[Semiring] = None,
         shards: Optional[int] = None,
+        shard_backend: Optional[str] = None,
     ) -> "Session":
         """Revive a session from :meth:`snapshot` output.
 
@@ -677,7 +717,11 @@ class Session:
         snapshot only records the name).  ``shards`` overrides the recorded
         shard count — the restored tables are re-partitioned by key hash, so
         a snapshot taken at one shard count can be revived at any other
-        (including back to the unsharded plain-dict layout at 1).
+        (including back to the unsharded plain-dict layout at 1).  Likewise
+        ``shard_backend`` overrides the recorded partition-tier backend: a
+        snapshot taken under ``"thread"`` can be revived under ``"process"``
+        (and vice versa) — the state travels in the same backend-agnostic
+        serialization either way.
         """
         if snapshot.get("format") not in _ACCEPTED_SNAPSHOT_FORMATS:
             raise ValueError(f"unsupported session snapshot format: {snapshot.get('format')!r}")
@@ -690,8 +734,16 @@ class Session:
                 )
         if shards is None:
             shards = snapshot.get("shards", 1)
+        if shard_backend is None:
+            shard_backend = snapshot.get("shard_backend")
         schema = {relation: tuple(columns) for relation, columns in snapshot["schema"].items()}
-        session = cls(schema, ring=ring, track_history="history" in snapshot, shards=shards)
+        session = cls(
+            schema,
+            ring=ring,
+            track_history="history" in snapshot,
+            shards=shards,
+            shard_backend=shard_backend,
+        )
         for spec in snapshot["views"]:
             session.view(spec["name"], parse(spec["query"]), backend=spec["backend"])
 
@@ -718,12 +770,26 @@ class Session:
         session.statistics.updates_processed = snapshot["updates_applied"]
         if "history" in snapshot:
             # Version-1 rows are [sign, relation, values]; version 2 appends
-            # the net multiplicity.
-            session._history = [
-                Update(row[0], row[1], tuple(row[2]), count=row[3] if len(row) > 3 else 1)
-                for row in snapshot["history"]
-            ]
+            # the net multiplicity (deserialize_update accepts both).
+            session._history = [deserialize_update(row) for row in snapshot["history"]]
         return session
+
+    # -- lifecycle -----------------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release partition-tier resources (process-backend workers).
+
+        Idempotent; the session remains usable afterwards — the next batch
+        that needs workers respawns them lazily from the current state.
+        """
+        for group in self._groups.values():
+            group.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- dunder --------------------------------------------------------------------------------
 

@@ -286,6 +286,239 @@ def test_late_view_registration_on_sharded_session():
 
 
 # ---------------------------------------------------------------------------
+# The partition tier: backend equivalence (inline / thread / process)
+# ---------------------------------------------------------------------------
+
+
+SHARD_BACKENDS = ("inline", "thread", "process")
+
+#: A nested-aggregate view whose S-trigger carries a *tracked* recompute, so
+#: traces through it exercise the backend's ``map_groups`` fan-out.
+NESTED_SCHEMA = {"R": ("G", "X"), "S": ("G", "Y")}
+NESTED_QUERY = "AggSum([g], R(g, x) * (x < Sum(S(g, y) * y)) * x)"
+
+
+def _force_dispatch(session):
+    """Lower the partition tier's thresholds so small test batches fan out."""
+    for group in session._groups.values():
+        if group.shard_backend is not None:
+            group.shard_backend.min_parallel_keys = 4
+            group.shard_backend.min_parallel_groups = 2
+    return session
+
+
+def _build_backend_session(shards, executor, shard_backend):
+    session = Session(GROUPED_SCHEMA, shards=shards, shard_backend=shard_backend)
+    cdc = {name: [] for name in VIEWS}
+    for name, query in VIEWS.items():
+        view = session.view(name, query, backend=executor)
+        view.on_change(lambda changes, _name=name: cdc[_name].append(sorted(changes.items())))
+    return _force_dispatch(session), cdc
+
+
+@pytest.mark.parametrize("executor", COMPILED_BACKENDS)
+@pytest.mark.parametrize("shard_backend", SHARD_BACKENDS)
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_every_backend_matches_unsharded_state_and_cdc(shards, shard_backend, executor):
+    """The PR-8 acceptance property: every (N, backend, executor) combination
+    is byte-identical to the unsharded session — results and CDC streams —
+    with dispatch thresholds lowered so the real worker paths run."""
+    rng = random.Random(7000 + 100 * shards + len(shard_backend) + len(executor))
+    base, base_cdc = _build_session(1, executor)
+    sharded, sharded_cdc = _build_backend_session(shards, executor, shard_backend)
+    try:
+        for step in range(6):
+            if rng.random() < 0.25:
+                update = _random_batch(rng, 1, 40)[0]
+                base.apply(update)
+                sharded.apply(update)
+            else:
+                batch = _random_batch(rng, rng.choice([3, 40, 120]), 40)
+                base.apply_batch(batch)
+                sharded.apply_batch(batch)
+            assert sharded.results() == base.results(), (shards, shard_backend, executor, step)
+            assert sharded_cdc == base_cdc, (shards, shard_backend, executor, step)
+    finally:
+        sharded.close()
+
+
+@pytest.mark.parametrize("executor", COMPILED_BACKENDS)
+@pytest.mark.parametrize("shard_backend", SHARD_BACKENDS)
+def test_tracked_recomputes_dispatch_per_backend(shard_backend, executor):
+    """Nested-aggregate maintenance (tracked recomputes) must agree with the
+    unsharded engine when the affected-group loop fans out over each backend."""
+    rng = random.Random(31 + len(shard_backend) + len(executor))
+    base = Session(NESTED_SCHEMA, shards=1)
+    base.view("nested", NESTED_QUERY, backend=executor)
+    sharded = Session(NESTED_SCHEMA, shards=4, shard_backend=shard_backend)
+    sharded.view("nested", NESTED_QUERY, backend=executor)
+    _force_dispatch(sharded)
+    try:
+        for step in range(5):
+            batch = []
+            for _ in range(rng.choice([8, 60])):
+                relation = "R" if rng.random() < 0.5 else "S"
+                batch.append(
+                    Update(
+                        1 if rng.random() < 0.7 else -1,
+                        relation,
+                        (rng.randint(0, 12), rng.randint(0, 20)),
+                    )
+                )
+            base.apply_batch(batch)
+            sharded.apply_batch(batch)
+            assert sharded.results() == base.results(), (shard_backend, executor, step)
+    finally:
+        sharded.close()
+
+
+@pytest.mark.parametrize("executor", COMPILED_BACKENDS)
+def test_snapshot_restore_across_backends_and_shard_counts(executor):
+    """A snapshot taken under one (N, backend) revives under any other —
+    including process→thread→inline — and keeps maintaining correctly."""
+    rng = random.Random(99)
+    origin, _ = _build_backend_session(3, executor, "process")
+    base, _ = _build_session(1, executor)
+    try:
+        for _ in range(3):
+            batch = _random_batch(rng, 60, 30)
+            origin.apply_batch(batch)
+            base.apply_batch(batch)
+        snapshot = origin.snapshot()
+        assert snapshot["shards"] == 3
+        assert snapshot["shard_backend"] == "process"
+    finally:
+        origin.close()
+    for new_count, new_backend in ((1, None), (2, "inline"), (4, "thread"), (2, "process")):
+        restored = Session.restore(snapshot, shards=new_count, shard_backend=new_backend)
+        _force_dispatch(restored)
+        try:
+            assert restored.shards == new_count
+            if new_backend is not None and new_count > 1:
+                assert restored.shard_backend == new_backend
+            assert restored.results() == base.results()
+            tail = _random_batch(random.Random(new_count), 80, 30)
+            restored.apply_batch(tail)
+            continued, _ = _build_session(1, executor)
+            for update in base._history:
+                continued.apply(update)
+            continued.apply_batch(tail)
+            assert restored.results() == continued.results()
+        finally:
+            restored.close()
+    # Without an override the recorded backend is used.
+    assert Session.restore(snapshot).shard_backend == "process"
+
+
+def test_process_backend_transactional_rollback():
+    """A poisoned batch through the process backend rolls back exactly like
+    the unsharded path, and the workers resync from the restored tables."""
+    session = Session(GROUPED_SCHEMA, shards=4, shard_backend="process")
+    session.view("gsum", "AggSum([a], S(a, b) * b)", backend="generated")
+    _force_dispatch(session)
+    try:
+        session.apply_batch([Update(1, "S", (value % 9, value % 5)) for value in range(120)])
+        before = session["gsum"].result_mapping()
+        poisoned = [Update(1, "S", (value % 9, value % 5)) for value in range(40)]
+        poisoned.append(Update(1, "S", (1, "boom")))
+        with pytest.raises(Exception):
+            session.apply_batch(poisoned)
+        assert session["gsum"].result_mapping() == before
+        # The backend keeps serving correct folds after the rollback.
+        session.apply_batch([Update(1, "S", (value % 9, value % 5)) for value in range(80)])
+        reference = Session(GROUPED_SCHEMA, shards=1)
+        reference.view("gsum", "AggSum([a], S(a, b) * b)", backend="generated")
+        reference.apply_batch([Update(1, "S", (value % 9, value % 5)) for value in range(120)])
+        reference.apply_batch([Update(1, "S", (value % 9, value % 5)) for value in range(80)])
+        assert session["gsum"].result_mapping() == reference["gsum"].result_mapping()
+    finally:
+        session.close()
+
+
+def test_process_backend_ingest_pipeline():
+    """The streaming ingestion flusher drives the process backend correctly."""
+    session = Session(GROUPED_SCHEMA, shards=4, shard_backend="process")
+    session.view("gsum", "AggSum([a], S(a, b) * b)", backend="generated")
+    _force_dispatch(session)
+    reference = Session(GROUPED_SCHEMA, shards=1)
+    reference.view("gsum", "AggSum([a], S(a, b) * b)", backend="generated")
+    rng = random.Random(5)
+    updates = [
+        Update(
+            1 if rng.random() < 0.75 else -1,
+            "S",
+            (rng.randint(0, 25), rng.randint(0, 9)),
+        )
+        for _ in range(400)
+    ]
+    try:
+        with session.ingest(max_pending=1_000_000, max_staleness_ms=None) as pipe:
+            for index, update in enumerate(updates):
+                pipe.submit(update)
+                if index % 150 == 149:
+                    pipe.flush()
+        reference.apply_all(updates)
+        assert session["gsum"].result_mapping() == reference["gsum"].result_mapping()
+    finally:
+        session.close()
+
+
+def test_backend_env_knob(monkeypatch):
+    from repro.compiler.partition.backends import (
+        InlineShardBackend,
+        ProcessShardBackend,
+        ThreadShardBackend,
+        default_shard_backend,
+    )
+
+    monkeypatch.delenv("REPRO_SHARD_BACKEND", raising=False)
+    assert default_shard_backend() == "thread"
+    monkeypatch.setenv("REPRO_SHARD_BACKEND", "inline")
+    assert default_shard_backend() == "inline"
+    session = Session(GROUPED_SCHEMA, shards=2)
+    session.view("count", "Sum(S(a, b))", backend="generated")
+    assert isinstance(session._groups["generated"].shard_backend, InlineShardBackend)
+    monkeypatch.setenv("REPRO_SHARD_BACKEND", "process")
+    explicit = Session(GROUPED_SCHEMA, shards=2, shard_backend="thread")
+    explicit.view("count", "Sum(S(a, b))", backend="generated")
+    assert isinstance(explicit._groups["generated"].shard_backend, ThreadShardBackend)
+    implicit = Session(GROUPED_SCHEMA, shards=2)
+    implicit.view("count", "Sum(S(a, b))", backend="generated")
+    assert isinstance(implicit._groups["generated"].shard_backend, ProcessShardBackend)
+    implicit.close()
+    with pytest.raises(ValueError):
+        Session(GROUPED_SCHEMA, shards=2, shard_backend="bogus")
+
+
+def test_worker_death_raises_clean_error():
+    """A killed worker surfaces as a RuntimeError, not a hang or corruption."""
+    from repro.compiler.partition.backends import ProcessShardBackend
+    from repro.algebra.semirings import INTEGER_RING
+    from repro.compiler.indexes import SliceIndexes
+    from repro.compiler.sharding import make_inline_shard_fold, make_shard_fold
+
+    backend = ProcessShardBackend(2, INTEGER_RING, min_parallel_keys=1)
+    table = ShardedMapTable(2, {(i,): 1 for i in range(10)})
+    table.backend = backend
+    indexes = SliceIndexes()
+    sink = lambda added, removed: indexes  # noqa: E731 - journal ignored here
+    fold = make_shard_fold(INTEGER_RING)
+    inline = make_inline_shard_fold(INTEGER_RING)
+    try:
+        backend.fold_table(table, {(i,): 1 for i in range(10)}, False, fold, inline, None, name="m")
+        assert table == {(i,): 2 for i in range(10)}
+        for process, _conn in backend._workers:
+            process.terminate()
+            process.join()
+        with pytest.raises(RuntimeError, match="worker"):
+            backend.fold_table(
+                table, {(i,): 1 for i in range(10)}, False, fold, inline, None, name="m"
+            )
+    finally:
+        backend.close()
+
+
+# ---------------------------------------------------------------------------
 # Failure path: a failed fold must leave the slice indexes consistent
 # ---------------------------------------------------------------------------
 

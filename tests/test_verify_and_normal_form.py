@@ -267,9 +267,54 @@ class TestLint:
         }
         assert classes == {"O(1)"}
 
+    def test_cost_aware_order_avoids_map_scans_on_sales_by_customer(self):
+        # Regression for the cost-unaware safety order: the Lineitem triggers
+        # of this three-way join used to evaluate m2[c_ck] (a whole-map scan,
+        # c_ck unbound) before m3[c_ck, __d_Lineitem_0] (an indexed slice
+        # that *binds* c_ck).  The cost-aware schedule flips them, so no
+        # statement of the program may cost a map scan.
+        from repro.sql.frontend import sql_to_agca
+        from repro.workloads.schemas import SALES_SCHEMA
+
+        aggregate = sql_to_agca(
+            "SELECT c.ck, SUM(l.price * l.qty) FROM Customer c, Orders o, Lineitem l "
+            "WHERE c.ck = o.ck AND o.ok = l.ok2 GROUP BY c.ck",
+            SALES_SCHEMA,
+        )
+        program = compile_query(aggregate, SALES_SCHEMA, name="sales_revenue_by_customer")
+        specs = compute_index_specs(program)
+        classes = {
+            statement.describe(): statement_cost_class(statement, specs, trigger.argument_names)
+            for trigger in program.triggers.values()
+            for statement in trigger.statements
+        }
+        scans = {text for text, cls in classes.items() if "map scan" in cls}
+        assert not scans, scans
+        batch_classes = {
+            statement.describe(): statement_cost_class(statement, specs, ())
+            for trigger in program.batch_triggers.values()
+            for statement in trigger.statements
+        }
+        batch_scans = {text for text, cls in batch_classes.items() if "map scan" in cls}
+        assert not batch_scans, batch_scans
+
     def test_lint_main_smoke(self, tmp_path, capsys):
         report_path = tmp_path / "report.txt"
         assert lint_main(["--output", str(report_path)]) == 0
         out = capsys.readouterr().out
         assert "Trigger-IR verification & lint report" in out
         assert report_path.read_text().strip() == out.strip()
+
+    def test_lint_fail_on_promotes_findings(self, capsys):
+        # serial-fold findings exist by design (self-joins race), so gating
+        # them must flip the exit status; dead-maps and scan are clean after
+        # the cost-aware safety order, so gating those stays green.
+        assert lint_main(["--fail-on", "serial-folds"]) == 1
+        out = capsys.readouterr().out
+        assert "FATAL (--fail-on)" in out
+        assert lint_main(["--fail-on", "dead-maps", "--fail-on", "scan"]) == 0
+        capsys.readouterr()
+
+    def test_lint_fail_on_rejects_unknown_kind(self):
+        with pytest.raises(SystemExit):
+            lint_main(["--fail-on", "bogus"])
