@@ -369,6 +369,65 @@ def experiment_e13():
     return {"throughput": record, "soak": soak}
 
 
+def experiment_e14():
+    _header("E14 specialized hot-loop folds + cost-adaptive shard dispatch")
+    import bench_batch_updates
+
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    length = 4_000 if smoke else 20_000
+    speedups = bench_batch_updates.measure_specialization_speedups(stream_length=length)
+    table = Table(["backend", "query", "generic (s)", "specialized (s)", "speedup"])
+    for backend, per_query in speedups.items():
+        for query_name, row in per_query.items():
+            table.add_row(
+                backend, query_name, f"{row['generic_s']:.4f}",
+                f"{row['specialized_s']:.4f}", f"{row['speedup']:.2f}x",
+            )
+    print(table.render())
+    floor = bench_batch_updates.SPECIALIZATION_FLOOR
+    if smoke:
+        print(f"(smoke run: >= {floor}x floor not asserted)")
+    else:
+        worst = min(
+            row["speedup"] for per_query in speedups.values() for row in per_query.values()
+        )
+        print(f"(asserted >= {floor}x at batch size "
+              f"{bench_batch_updates.DELTA_BATCH_SIZE}; worst {worst:.2f}x)")
+        assert worst >= floor
+
+    # A small adaptive-dispatch sample rides along: fold a sharded stream with
+    # the cost model active and record where the dispatcher sent the batches.
+    from repro.compiler.partition.dispatch import AdaptiveDispatch
+    from repro.ivm.recursive import RecursiveIVM
+    from repro.workloads.streams import StreamGenerator
+
+    query, schema, domain = bench_batch_updates.SPECIALIZED_QUERIES["group_count"]
+    policy = AdaptiveDispatch()
+    engine = RecursiveIVM(query, schema, backend="generated",
+                          shards=4, shard_backend="thread")
+    backend = engine.runtime.shard_backend
+    backend.dispatch = policy
+    backend.adaptive = policy.adaptive
+    try:
+        stream = StreamGenerator(schema, seed=1, default_domain_size=domain).generate(length)
+        bench_batch_updates.run_batched(
+            engine, stream, bench_batch_updates.DELTA_BATCH_SIZE
+        )
+        dispatch_snapshot = policy.snapshot()
+    finally:
+        engine.close()
+    decisions = dispatch_snapshot.get("decisions", {})
+    print("adaptive dispatch decisions (thread backend, 4 shards): "
+          + ", ".join(f"{mode}={count}" for mode, count in sorted(decisions.items())))
+    return {
+        "batch_size": bench_batch_updates.DELTA_BATCH_SIZE,
+        "stream_length": length,
+        "floor": floor,
+        "speedups": speedups,
+        "dispatch": dispatch_snapshot,
+    }
+
+
 EXPERIMENTS = {
     "E1": experiment_e1,
     "E2": experiment_e2,
@@ -382,6 +441,7 @@ EXPERIMENTS = {
     "E11": experiment_e11,
     "E12": experiment_e12,
     "E13": experiment_e13,
+    "E14": experiment_e14,
 }
 
 

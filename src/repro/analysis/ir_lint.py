@@ -15,7 +15,15 @@ compile error), this module *reports* on the quality of a compiled program:
   with ``normalize=False`` or hand-built IR with mergeable terms;
 * **serial-forced folds** — statements the shard-race detector routed onto
   the serial fold path, shown so a surprising parallelism loss is traceable
-  to the pair of statements that caused it.
+  to the pair of statements that caused it;
+* **generic bare counts** — bare-count batch statements whose event cannot
+  take the fused-total hot path (sibling statements or recomputes force the
+  delta table), so a shape the specializer exists for still pays the generic
+  grouping loop; ``--fail-on generic-bare-count`` promotes these.
+
+The report also shows each program's batch-statement specialization classes
+(:func:`repro.compiler.cost.batch_specialization_class`), the same labels
+``explain()`` prints per statement.
 
 The module doubles as the ``repro-lint`` console entry point: it compiles
 every canonical workload query and the example-program views, runs the
@@ -32,7 +40,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import Table
 from repro.compiler.compile import compile_query
-from repro.compiler.cost import statement_cost_class
+from repro.compiler.cost import batch_specialization_class, statement_cost_class
 from repro.compiler.indexes import compute_index_specs, iter_partial_reads
 from repro.compiler.normal_form import is_normalized
 from repro.compiler.triggers import TriggerProgram
@@ -165,7 +173,37 @@ def lint_program(
                         statement.describe(),
                     )
                 )
+
+    # -- bare counts stuck on the generic batch path -------------------------
+    for batch_trigger in program.batch_triggers.values():
+        for statement in batch_trigger.statements:
+            if batch_specialization_class(statement, batch_trigger) == "generic-bare-count":
+                findings.append(
+                    LintFinding(
+                        "generic-bare-count",
+                        f"bare-count fold of {statement.target!r} rides the generic "
+                        "delta-table path (sibling statements or recomputes in the "
+                        "same event block the fused-total specialization)",
+                        statement.describe(),
+                    )
+                )
     return findings
+
+
+def specialization_summary(program: TriggerProgram) -> str:
+    """Compact tally of the batch statements' specialization classes.
+
+    The report column, e.g. ``"fused-total:2, generic:1"``; ``"-"`` for a
+    program with no batch triggers.
+    """
+    counts: Dict[str, int] = {}
+    for batch_trigger in program.batch_triggers.values():
+        for statement in batch_trigger.statements:
+            kind = batch_specialization_class(statement, batch_trigger)
+            counts[kind] = counts.get(kind, 0) + 1
+    if not counts:
+        return "-"
+    return ", ".join(f"{kind}:{count}" for kind, count in sorted(counts.items()))
 
 
 # ---------------------------------------------------------------------------
@@ -232,6 +270,7 @@ _FAIL_ON_KINDS = {
     "dead-maps": "dead-map",
     "serial-folds": "serial-fold",
     "scan": "scan",
+    "generic-bare-count": "generic-bare-count",
 }
 
 
@@ -259,7 +298,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="append",
         choices=sorted(_FAIL_ON_KINDS),
         default=None,
-        metavar="{dead-maps,serial-folds,scan}",
+        metavar="{dead-maps,serial-folds,scan,generic-bare-count}",
         help="promote a finding kind to a hard failure (exit 1); repeatable",
     )
     options = parser.parse_args(argv)
@@ -267,7 +306,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     lines: List[str] = []
     table = Table(
-        headers=["query", "maps", "statements", "verified", "findings", "serial folds"],
+        headers=["query", "maps", "statements", "verified", "findings",
+                 "serial folds", "specialization"],
         title="Trigger-IR verification & lint report",
     )
     details: List[str] = []
@@ -277,12 +317,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             program = compile_query(aggregate, schema, name=name)
         except IRVerificationError as error:
             failed += 1
-            table.add_row(name, "-", "-", "FAIL", len(error.violations), "-")
+            table.add_row(name, "-", "-", "FAIL", len(error.violations), "-", "-")
             details.append(f"== {name}: VERIFICATION FAILED ==\n{error}")
             continue
         except Exception as error:  # compilation crash: report, keep linting
             failed += 1
-            table.add_row(name, "-", "-", "ERROR", "-", "-")
+            table.add_row(name, "-", "-", "ERROR", "-", "-", "-")
             details.append(f"== {name}: COMPILATION ERROR ==\n{error!r}")
             continue
         violations = iter_violations(program)
@@ -306,6 +346,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             verified,
             len(findings),
             serial,
+            specialization_summary(program),
         )
         if violations or findings:
             section = [f"== {name} =="]

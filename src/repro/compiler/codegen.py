@@ -65,13 +65,20 @@ than interpreting trigger statements through the AGCA evaluator (see
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.algebra.semirings import FLOAT_FIELD, INTEGER_RING, Semiring
+from repro.compiler.cost import (
+    MAX_SPECIALIZED_EVENTS,
+    specialization_enabled,
+    trigger_specialization,
+)
 from repro.compiler.indexes import IndexSpecs, SliceIndexes, compute_index_specs
 from repro.compiler.partition.backends import generated_rmap_groups
 from repro.compiler.sharding import ShardedMapTable, make_generated_fold_sharded
 from repro.compiler.triggers import BatchTrigger, Statement, Trigger, TriggerProgram
+from repro.core.delta import DELTA_POOL_LIMIT
 from repro.core.ast import (
     Add,
     AggSum,
@@ -95,7 +102,7 @@ _PYTHON_OPS = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="
 _RESERVED_NAMES = (
     "maps", "values", "values_list", "relation", "sign", "updates",
     "_new", "_fkey", "_chm", "_CH", "_IDX", "_TRK", "_sk", "_key", "_old",
-    "_delta", "_dk", "_dv", "_vals", "_rval", "_rmap_groups",
+    "_delta", "_dk", "_dv", "_vals", "_rval", "_rmap_groups", "_total",
 )
 
 
@@ -264,6 +271,9 @@ class GeneratedTriggers:
             # nested-aggregate groups are re-evaluated through the target
             # table's shard backend when one is attached (serially otherwise).
             "_rmap_groups": generated_rmap_groups,
+            # The specialized apply_batch groups the whole batch with one
+            # C-level Counter.update over (relation, sign, values) triples.
+            "_Counter": Counter,
         }
         exec(compile(source, f"<generated triggers for {program.result_map}>", "exec"), self._namespace)
         self._stats: Dict[str, int] = self._namespace["_STATS"]
@@ -301,7 +311,7 @@ class GeneratedTriggers:
         updates: Iterable[Any],
         indexes: Optional[SliceIndexes] = None,
         changes: Optional[Dict[str, Dict[Tuple[Any, ...], Any]]] = None,
-    ) -> None:
+    ) -> Optional[int]:
         """Apply a batch of updates through the generated batch triggers.
 
         The batch is grouped by ``(relation, sign)``, each group is
@@ -312,10 +322,15 @@ class GeneratedTriggers:
         trigger fall back to grouped per-tuple replay.  ``changes`` collects
         per-key deltas of watched maps across the whole batch, as in
         :meth:`apply`.
+
+        Returns the batch's logical tuple count (``sum(update.count)``) when
+        the specialized batch path computed it anyway, ``None`` from the
+        generic loop — callers needing the count then sum it themselves.
         """
         data = self._index_data(maps, indexes)
-        self._apply_batch(maps, updates, data, changes)
+        count = self._apply_batch(maps, updates, data, changes)
         self._note_own_counts(maps, data)
+        return count
 
     def apply_batch_replay(
         self,
@@ -387,9 +402,34 @@ class GeneratedTriggers:
     def trigger_function_names(self) -> List[str]:
         return [name for name in self._namespace if name.startswith("on_")]
 
+    @property
+    def specializations(self) -> Dict[Tuple[str, int], str]:
+        """Per-event specialization classes of the emitted batch path.
 
-def generate_python(program: TriggerProgram, ring: Semiring = INTEGER_RING) -> GeneratedTriggers:
+        ``(relation, sign) -> "total" | "counter"`` for every batch trigger
+        when the module was generated with specialization on; empty when the
+        generic grouping loop was emitted instead.
+        """
+        return dict(self._namespace.get("_SPECIALIZED", {}))
+
+
+def generate_python(
+    program: TriggerProgram,
+    ring: Semiring = INTEGER_RING,
+    specialize: Optional[bool] = None,
+) -> GeneratedTriggers:
     """Generate a Python module implementing the program's triggers over ``ring``.
+
+    ``specialize`` controls the hot-loop batch specialization (``None``
+    defers to ``REPRO_SPECIALIZE``, default on): over the integer ring the
+    emitted ``apply_batch`` unrolls into one statically-addressed slice per
+    trigger event — all-total events (every statement a bare-count fold) sum
+    their net tuple count with a C-level filtered comprehension and dispatch
+    a fused ``total_batch_*`` function with no delta table at all, the rest
+    count their value tuples with a C-level ``Counter.update``.  Programs
+    wider than :data:`~repro.compiler.cost.MAX_SPECIALIZED_EVENTS` events
+    keep the generic single-pass grouping loop (one filtered pass per event
+    would walk the batch too often).
 
     Raises
     ------
@@ -405,6 +445,11 @@ def generate_python(program: TriggerProgram, ring: Semiring = INTEGER_RING) -> G
             f"multiply increments by -1 (use the interpreted backend instead)"
         )
     native = ring is INTEGER_RING or ring is FLOAT_FIELD
+    # Specialization is an int-multiplicity optimization: Counter counting
+    # and fused integer totals are exact over ℤ; other rings (including the
+    # float field, whose accumulation order the generic path fixes) keep the
+    # generic grouping loop.
+    specialized = ring is INTEGER_RING and specialization_enabled(specialize)
     specs = compute_index_specs(program)
 
     writer = _Writer()
@@ -448,10 +493,47 @@ def generate_python(program: TriggerProgram, ring: Semiring = INTEGER_RING) -> G
     ordered_batch = sorted(
         program.batch_triggers.items(), key=lambda item: (item[0][0], -item[0][1])
     )
+    replay_only = [
+        (event, trigger)
+        for event, trigger in ordered_triggers
+        if event not in program.batch_triggers
+    ]
+    if specialized and len(ordered_batch) + len(replay_only) > MAX_SPECIALIZED_EVENTS:
+        specialized = False
+    total_entries = []
+    specialized_entries = []
+    batch_plan = []
     for (relation, sign), batch_trigger in ordered_batch:
         batch_entries.append(f"    ({relation!r}, {sign}): batch_{batch_trigger.event_name},")
         _generate_batch_delta_trigger(context, batch_trigger)
         writer.emit("")
+        if specialized:
+            # An event fuses to pure integer accumulation only when every
+            # statement is a bare-count fold onto an unindexed scalar entry
+            # (nullary target keys can't carry slice indexes, but stay
+            # defensive) and nothing needs the delta table afterwards.
+            fusable = trigger_specialization(batch_trigger) == "total" and all(
+                context.specs.get(statement.target) is None
+                for statement in batch_trigger.statements
+            )
+            if fusable:
+                total_entries.append(
+                    f"    ({relation!r}, {sign}): total_batch_{batch_trigger.event_name},"
+                )
+                specialized_entries.append(f"    ({relation!r}, {sign}): 'total',")
+                _generate_total_batch_trigger(context, batch_trigger)
+                writer.emit("")
+                batch_plan.append(
+                    ("total", (relation, sign), f"total_batch_{batch_trigger.event_name}")
+                )
+            else:
+                specialized_entries.append(f"    ({relation!r}, {sign}): 'counter',")
+                batch_plan.append(
+                    ("counter", (relation, sign), f"batch_{batch_trigger.event_name}")
+                )
+    if specialized:
+        for event, trigger in replay_only:
+            batch_plan.append(("replay", event, f"replay_{trigger.event_name}"))
 
     writer.emit("TRIGGERS = {")
     for entry in dispatch_entries:
@@ -465,6 +547,16 @@ def generate_python(program: TriggerProgram, ring: Semiring = INTEGER_RING) -> G
     writer.emit("")
     writer.emit("BATCH_TRIGGERS = {")
     for entry in batch_entries:
+        writer.emit(entry)
+    writer.emit("}")
+    writer.emit("")
+    writer.emit("TOTAL_TRIGGERS = {")
+    for entry in total_entries:
+        writer.emit(entry)
+    writer.emit("}")
+    writer.emit("")
+    writer.emit("_SPECIALIZED = {")
+    for entry in specialized_entries:
         writer.emit(entry)
     writer.emit("}")
     writer.emit("")
@@ -491,6 +583,28 @@ def generate_python(program: TriggerProgram, ring: Semiring = INTEGER_RING) -> G
     writer.emit("            _group.extend((_update.values,) * _update.count)")
     writer.emit("    return _groups")
     writer.emit("")
+    if specialized:
+        _emit_specialized_apply_batch(writer, batch_plan)
+    else:
+        _emit_generic_apply_batch(writer, native)
+    writer.emit("def apply_batch_replay(maps, updates, _IDX=None, _CH=None):")
+    writer.emit("    for _event, _values_list in _group_by_event(updates).items():")
+    writer.emit("        _trigger = REPLAY_TRIGGERS.get(_event)")
+    writer.emit("        if _trigger is not None:")
+    writer.emit("            _trigger(maps, _values_list, _IDX, _CH)")
+    writer.emit("")
+    context.emit_constant_definitions()
+    source = "\n".join(writer.lines) + "\n"
+    return GeneratedTriggers(program, source, ring=ring, index_specs=specs)
+
+
+# ---------------------------------------------------------------------------
+# Module-level runtime helpers (emitted once per generated module)
+# ---------------------------------------------------------------------------
+
+
+def _emit_generic_apply_batch(writer: _Writer, native: bool) -> None:
+    """The generic grouping loop: one Python-level fold per update tuple."""
     writer.emit("def apply_batch(maps, updates, _IDX=None, _CH=None):")
     writer.emit("    # Pre-aggregate straight into per-event delta maps; only events")
     writer.emit("    # without a batch trigger keep a values list for replay.")
@@ -533,27 +647,72 @@ def generate_python(program: TriggerProgram, ring: Semiring = INTEGER_RING) -> G
     writer.emit("        if _delta:")
     writer.emit("            BATCH_TRIGGERS[_event](maps, _delta, _IDX, _CH)")
     writer.emit("        _delta.clear()")
-    writer.emit("        if len(_DELTA_POOL) < 8:")
+    writer.emit(f"        if len(_DELTA_POOL) < {DELTA_POOL_LIMIT}:")
     writer.emit("            _DELTA_POOL.append(_delta)")
     writer.emit("    for _event, _values_list in _replays.items():")
     writer.emit("        _trigger = REPLAY_TRIGGERS.get(_event)")
     writer.emit("        if _trigger is not None:")
     writer.emit("            _trigger(maps, _values_list, _IDX, _CH)")
     writer.emit("")
-    writer.emit("def apply_batch_replay(maps, updates, _IDX=None, _CH=None):")
-    writer.emit("    for _event, _values_list in _group_by_event(updates).items():")
-    writer.emit("        _trigger = REPLAY_TRIGGERS.get(_event)")
-    writer.emit("        if _trigger is not None:")
-    writer.emit("            _trigger(maps, _values_list, _IDX, _CH)")
+
+
+def _emit_specialized_apply_batch(writer: _Writer, batch_plan) -> None:
+    """The ℤ-specialized batch loop: one statically-unrolled slice per event.
+
+    ``batch_plan`` lists every trigger event of the program with its
+    specialization kind and dispatch function, so the emitted ``apply_batch``
+    carries no per-update Python loop at all: each event slices the batch
+    with one C-level filtered comprehension — a fused total sums net tuple
+    counts, a counter event counts value tuples through ``Counter.update``,
+    a replay-only event collects its values list.  Compact updates
+    (``count > 1``) cost a fix-up pass only when actually present.  Events
+    execute in static plan order rather than the generic loop's first-seen
+    batch order, which cannot be observed: each event's fold is exact
+    against the state it sees, so the final state and the CDC net deltas are
+    the same under any event order.
+    """
+    writer.emit("def apply_batch(maps, updates, _IDX=None, _CH=None):")
+    writer.emit("    if type(updates) is not list:")
+    writer.emit("        updates = list(updates)")
+    writer.emit("    if not updates:")
+    writer.emit("        return 0")
+    writer.emit("    # Returned so the engine layer reuses the tuple count for its")
+    writer.emit("    # statistics instead of walking the batch again.")
+    writer.emit("    _n = sum([_u.count for _u in updates])")
+    if any(kind != "total" for kind, _, _ in batch_plan):
+        # Fused totals sum ``count`` directly and never need the flag.
+        writer.emit("    _compact = _n != len(updates)")
+    for kind, (relation, sign), function in batch_plan:
+        cond = f"_u.sign == {sign} and _u.relation == {relation!r}"
+        if kind == "total":
+            writer.emit(f"    _t = sum([_u.count for _u in updates if {cond}])")
+            writer.emit("    if _t:")
+            writer.emit(f"        {function}(maps, _t, _IDX, _CH)")
+        elif kind == "counter":
+            writer.emit("    _d = _Counter()")
+            writer.emit(f"    _d.update([_u.values for _u in updates if {cond}])")
+            writer.emit("    if _compact:")
+            writer.emit("        for _u in updates:")
+            writer.emit(f"            if {cond} and _u.count != 1:")
+            writer.emit("                _d[_u.values] += _u.count - 1")
+            writer.emit("    if _d:")
+            writer.emit(f"        {function}(maps, _d, _IDX, _CH)")
+        else:  # replay-only event: expand to a per-tuple values list
+            writer.emit("    if _compact:")
+            writer.emit("        _lst = []")
+            writer.emit("        for _u in updates:")
+            writer.emit(f"            if {cond}:")
+            writer.emit("                _c = _u.count")
+            writer.emit("                if _c == 1:")
+            writer.emit("                    _lst.append(_u.values)")
+            writer.emit("                else:")
+            writer.emit("                    _lst.extend((_u.values,) * _c)")
+            writer.emit("    else:")
+            writer.emit(f"        _lst = [_u.values for _u in updates if {cond}]")
+            writer.emit("    if _lst:")
+            writer.emit(f"        {function}(maps, _lst, _IDX, _CH)")
+    writer.emit("    return _n")
     writer.emit("")
-    context.emit_constant_definitions()
-    source = "\n".join(writer.lines) + "\n"
-    return GeneratedTriggers(program, source, ring=ring, index_specs=specs)
-
-
-# ---------------------------------------------------------------------------
-# Module-level runtime helpers (emitted once per generated module)
-# ---------------------------------------------------------------------------
 
 
 def _emit_index_helpers(writer: _Writer) -> None:
@@ -800,6 +959,34 @@ def _generate_batch_delta_trigger(context: _EmitContext, trigger: BatchTrigger) 
 
     _generate_trigger_body(context, trigger, names, table_ref, tracked_maps, counter)
     _generate_recomputes(context, trigger, names, table_ref, tracked_maps, counter)
+    writer.dedent()
+
+
+def _generate_total_batch_trigger(context: _EmitContext, trigger: BatchTrigger) -> None:
+    """The fused variant of an all-total batch trigger.
+
+    Every statement of the trigger is a bare-count fold (``projection_class()
+    == "total"``: the right-hand side is exactly ``coefficient · ∆R(k…)``
+    summed over all keys), so the specialized ``apply_batch`` never builds the
+    event's delta table — it passes the batch's net tuple count ``_total``
+    and each statement becomes one multiplication plus one scalar fold.
+    """
+    writer = context.writer
+    writer.emit(f"def total_batch_{trigger.event_name}(maps, _total, _IDX=None, _CH=None):")
+    writer.block()
+    writer.emit(f'_STATS["statements"] += {len(trigger.statements)}')
+    for index, statement in enumerate(trigger.statements):
+        accumulator = f"_acc{index}"
+        coefficient = statement.coefficient
+        if coefficient == 1:
+            writer.emit(f"{accumulator} = _total")
+        elif coefficient == -1:
+            writer.emit(f"{accumulator} = -_total")
+        else:
+            writer.emit(f"{accumulator} = {coefficient!r} * _total")
+    table_ref = lambda name: f"maps[{name!r}]"  # noqa: E731
+    for index, statement in enumerate(trigger.statements):
+        _emit_scalar_fold(context, statement, {}, f"_acc{index}", table_ref)
     writer.dedent()
 
 

@@ -11,6 +11,7 @@ entry updates.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Optional, Sequence, Tuple
 
@@ -165,6 +166,79 @@ def statement_cost_class(
         )
         worst = max(worst, _monomial_read_class(ordered, argument_names, specs))
     return ("O(1)", "O(indexed slice)", "O(map scan)")[worst]
+
+
+# ---------------------------------------------------------------------------
+# Batch-trigger specialization classes
+# ---------------------------------------------------------------------------
+
+#: Environment knob for the hot-loop trigger specialization (default on;
+#: set ``REPRO_SPECIALIZE=0`` to pin both compiled executors to the generic
+#: grouping/fold path, e.g. for A/B benchmarking).
+SPECIALIZE_ENV = "REPRO_SPECIALIZE"
+
+#: The specialized executors unroll ``apply_batch`` into one C-level filtered
+#: pass per statically-known trigger event; each pass walks the whole batch,
+#: so past this many events the generic single-pass grouping loop wins and
+#: both executors fall back to it.  Shared by codegen and ``TriggerRuntime``
+#: so the two hot paths flip at the same program width.
+MAX_SPECIALIZED_EVENTS = 4
+
+
+def specialization_enabled(value: Optional[bool] = None) -> bool:
+    """Resolve a ``specialize`` argument against the ``REPRO_SPECIALIZE`` env.
+
+    An explicit ``True``/``False`` wins; ``None`` defers to the environment,
+    which defaults to enabled.
+    """
+    if value is not None:
+        return bool(value)
+    return os.environ.get(SPECIALIZE_ENV, "1") != "0"
+
+
+def trigger_specialization(batch_trigger) -> str:
+    """The specialization class of one compiled batch trigger.
+
+    ``"total"`` — every statement is a bare-count fold (nullary projection:
+    the batch's total multiplicity feeds one scalar entry each) and there are
+    no recomputes, so the executor can skip building a delta table entirely
+    and accumulate a single integer per event.  ``"counter"`` — the trigger
+    still needs a per-key delta table, but it can be built with the
+    :class:`collections.Counter` C fast path instead of a Python-level
+    accumulation loop.  Recognized structurally (duck-typed) so hand-built IR
+    prices the same as compiled programs.
+    """
+    statements = getattr(batch_trigger, "statements", ())
+    recomputes = getattr(batch_trigger, "recomputes", ())
+    if statements and not recomputes:
+        if all(
+            getattr(statement, "projection_class", lambda: "general")() == "total"
+            for statement in statements
+        ):
+            return "total"
+    return "counter"
+
+
+def batch_specialization_class(statement, trigger=None) -> str:
+    """The specialization class of one batch statement, for explain/lint.
+
+    ``"fused-total"`` — a bare-count statement inside an all-total trigger:
+    the whole event fuses to integer accumulation, no delta dict at all.
+    ``"generic-bare-count"`` — a bare-count statement whose event *cannot*
+    fully fuse (sibling statements or recomputes force the delta table), the
+    shape ``repro-lint --fail-on generic-bare-count`` promotes to an error.
+    ``"fused-copy"`` / ``"fused-marginal"`` — projection fast paths that fold
+    the Counter-built delta table without expression evaluation.
+    ``"generic"`` — the right-hand side must be evaluated per distinct key.
+    """
+    projection = getattr(statement, "projection_class", lambda: "general")()
+    if projection == "general":
+        return "generic"
+    if projection == "total":
+        if trigger is not None and trigger_specialization(trigger) == "total":
+            return "fused-total"
+        return "generic-bare-count"
+    return f"fused-{projection}"
 
 
 @dataclass

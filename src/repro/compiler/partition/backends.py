@@ -44,10 +44,12 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
+import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.algebra.semirings import BUILTIN_SEMIRINGS, Semiring
 from repro.compiler.indexes import journal_from_wire
+from repro.compiler.partition.dispatch import make_dispatch_policy
 from repro.compiler.sharding import (
     MIN_PARALLEL_KEYS,
     ShardedMapTable,
@@ -95,12 +97,15 @@ def process_fold_capable(workers: int) -> bool:
 
 
 def make_shard_backend(
-    name: Optional[str], shards: int, ring: Semiring
+    name: Optional[str], shards: int, ring: Semiring, dispatch=None
 ) -> Optional["ShardBackend"]:
     """Construct the backend for a shard configuration (``None`` at shards=1).
 
     Unsharded sessions keep plain dict tables and the pre-sharding code
-    path — there is no tier to configure.
+    path — there is no tier to configure.  ``dispatch`` picks the mode-
+    selection policy (``"static"``/``"adaptive"``, a ready
+    :class:`~repro.compiler.partition.dispatch.DispatchPolicy`, or ``None``
+    for the ``REPRO_SHARD_DISPATCH`` default).
     """
     resolved = resolve_shard_backend(name)
     if shards <= 1:
@@ -110,7 +115,7 @@ def make_shard_backend(
         "thread": ThreadShardBackend,
         "process": ProcessShardBackend,
     }[resolved]
-    return cls(shards, ring)
+    return cls(shards, ring, dispatch=dispatch)
 
 
 class ShardBackend:
@@ -131,6 +136,7 @@ class ShardBackend:
         shards: int,
         ring: Semiring,
         min_parallel_keys: Optional[int] = None,
+        dispatch=None,
     ):
         self.shards = max(1, int(shards))
         self.ring = ring
@@ -138,6 +144,20 @@ class ShardBackend:
             MIN_PARALLEL_KEYS if min_parallel_keys is None else int(min_parallel_keys)
         )
         self.min_parallel_groups = MIN_PARALLEL_GROUPS
+        #: The mode-selection policy.  Static keeps the threshold gates above
+        #: verbatim; adaptive lets the policy pick per batch from measured
+        #: cost and the thresholds become irrelevant.  Either way every mode
+        #: runs the same fold code, so results are byte-identical.
+        self.dispatch = make_dispatch_policy(dispatch)
+        self.adaptive = self.dispatch.adaptive
+
+    def wants_groups(self, count: int) -> bool:
+        """Whether a recompute fan-out of ``count`` groups should route
+        through :meth:`map_groups` (where the dispatch policy decides) rather
+        than be evaluated serially in place by the caller."""
+        if self.adaptive:
+            return count >= 2
+        return count >= self.min_parallel_groups
 
     # -- the fold path ------------------------------------------------------
 
@@ -189,6 +209,7 @@ class InlineShardBackend(ShardBackend):
         self, table, acc, journal, fold_shard, fold_inline, sink,
         force_inline=False, name=None,
     ) -> None:
+        self.dispatch.record("forced-inline" if force_inline else "inline")
         added, removed, error = fold_inline(table.shards, table.shard_count, acc, journal)
         if journal and (added or removed):
             sink(added, removed)
@@ -205,6 +226,25 @@ class ThreadShardBackend(ShardBackend):
         self, table, acc, journal, fold_shard, fold_inline, sink,
         force_inline=False, name=None,
     ) -> None:
+        if force_inline:
+            self.dispatch.record("forced-inline")
+        elif not self.adaptive:
+            # The PR 8 static gate, verbatim (fold_shards_threaded inlines
+            # below the threshold itself) — recorded, never changed.
+            self.dispatch.record(
+                "thread" if len(acc) >= self.min_parallel_keys else "inline"
+            )
+        else:
+            modes = ("inline", "thread") if parallel_enabled() else ("inline",)
+            mode = self.dispatch.choose(name, len(acc), modes)
+            self.dispatch.record(mode)
+            started = time.perf_counter()
+            fold_shards_threaded(
+                table, acc, journal, fold_shard, fold_inline, sink,
+                force_inline=(mode == "inline"), min_parallel_keys=0,
+            )
+            self.dispatch.observe(name, mode, len(acc), time.perf_counter() - started)
+            return
         fold_shards_threaded(
             table, acc, journal, fold_shard, fold_inline, sink,
             force_inline=force_inline, min_parallel_keys=self.min_parallel_keys,
@@ -212,8 +252,25 @@ class ThreadShardBackend(ShardBackend):
 
     def map_groups(self, fn, groups):
         groups = list(groups)
-        if len(groups) < max(2, self.min_parallel_groups) or not parallel_enabled():
-            return [fn(group) for group in groups]
+        if not self.adaptive:
+            if len(groups) < max(2, self.min_parallel_groups) or not parallel_enabled():
+                return [fn(group) for group in groups]
+            return self._map_groups_threaded(fn, groups)
+        if len(groups) < 2 or not parallel_enabled():
+            modes = ("inline",)
+        else:
+            modes = ("inline", "thread")
+        mode = self.dispatch.choose("·groups", len(groups), modes)
+        self.dispatch.record(mode)
+        started = time.perf_counter()
+        if mode == "thread":
+            results = self._map_groups_threaded(fn, groups)
+        else:
+            results = [fn(group) for group in groups]
+        self.dispatch.observe("·groups", mode, len(groups), time.perf_counter() - started)
+        return results
+
+    def _map_groups_threaded(self, fn, groups: List[Any]) -> List[Any]:
         workers = self.shards
         # Strided chunks: one job per worker, reassembled in group order.
         chunks = [(start, groups[start::workers]) for start in range(workers)]
@@ -253,8 +310,8 @@ class ProcessShardBackend(ThreadShardBackend):
 
     name = "process"
 
-    def __init__(self, shards, ring, min_parallel_keys=None):
-        super().__init__(shards, ring, min_parallel_keys)
+    def __init__(self, shards, ring, min_parallel_keys=None, dispatch=None):
+        super().__init__(shards, ring, min_parallel_keys, dispatch=dispatch)
         self._workers: Optional[List[Tuple[Any, Any]]] = None  # (process, conn)
         self._synced: Dict[str, Tuple[ShardedMapTable, List[int]]] = {}
         self._lock = threading.Lock()
@@ -349,6 +406,28 @@ class ProcessShardBackend(ThreadShardBackend):
         self, table, acc, journal, fold_shard, fold_inline, sink,
         force_inline=False, name=None,
     ) -> None:
+        if self.adaptive and not force_inline:
+            # Worker dispatch needs an addressable mirror: a named map whose
+            # facade shard count matches the worker pool.  Thread folds run
+            # on coordinator shards, so they (like inline) go stale-mark.
+            modes = ["inline"]
+            if parallel_enabled():
+                modes.append("thread")
+                if name is not None and table.shard_count == self.shards:
+                    modes.append("process")
+            mode = self.dispatch.choose(name, len(acc), tuple(modes))
+            self.dispatch.record(mode)
+            started = time.perf_counter()
+            if mode == "process":
+                self._fold_on_workers(table, name, acc, journal, sink)
+            else:
+                fold_shards_threaded(
+                    table, acc, journal, fold_shard, fold_inline, sink,
+                    force_inline=(mode == "inline"), min_parallel_keys=0,
+                )
+                self._mark_dirty(name, table, acc)
+            self.dispatch.observe(name, mode, len(acc), time.perf_counter() - started)
+            return
         if (
             force_inline
             or name is None
@@ -356,6 +435,7 @@ class ProcessShardBackend(ThreadShardBackend):
             or not parallel_enabled()
             or table.shard_count != self.shards
         ):
+            self.dispatch.record("forced-inline" if force_inline else "inline")
             added, removed, error = fold_inline(
                 table.shards, table.shard_count, acc, journal
             )
@@ -365,6 +445,7 @@ class ProcessShardBackend(ThreadShardBackend):
             if error is not None:
                 raise error
             return
+        self.dispatch.record("process")
         self._fold_on_workers(table, name, acc, journal, sink)
 
     def _fold_on_workers(self, table, name, acc, journal, sink) -> None:
@@ -442,7 +523,7 @@ def generated_rmap_groups(table, groups, fn) -> List[Tuple[Any, Any]]:
     """
     groups = list(groups)
     backend = getattr(table, "backend", None)
-    if backend is None or len(groups) < backend.min_parallel_groups:
+    if backend is None or not backend.wants_groups(len(groups)):
         return [(group, fn(group)) for group in groups]
     return list(zip(groups, backend.map_groups(fn, groups)))
 
@@ -456,6 +537,7 @@ __all__ = [
     "ThreadShardBackend",
     "default_shard_backend",
     "generated_rmap_groups",
+    "make_dispatch_policy",
     "make_shard_backend",
     "process_fold_capable",
     "resolve_shard_backend",

@@ -51,10 +51,16 @@ observe result deltas without diffing map states.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.algebra.semirings import INTEGER_RING, Semiring
-from repro.compiler.cost import RuntimeStatistics
+from repro.compiler.cost import (
+    MAX_SPECIALIZED_EVENTS,
+    RuntimeStatistics,
+    specialization_enabled,
+    trigger_specialization,
+)
 from repro.compiler.indexes import IndexedMaps, SliceIndexes, compute_index_specs
 from repro.compiler.maps import dependency_depths
 from repro.compiler.partition.backends import ShardBackend, make_shard_backend
@@ -72,7 +78,7 @@ from repro.compiler.triggers import (
     TriggerProgram,
 )
 from repro.core.ast import AggSum
-from repro.core.delta import build_delta_table
+from repro.core.delta import DELTA_POOL_LIMIT, build_delta_table
 from repro.core.semantics import evaluate
 from repro.core.simplify import make_safe
 from repro.gmr.database import Database, Update
@@ -90,9 +96,22 @@ class TriggerRuntime:
         ring: Semiring = INTEGER_RING,
         shards: Optional[int] = None,
         shard_backend=None,
+        specialize: Optional[bool] = None,
     ):
         self.program = program
         self.ring = ring
+        # Hot-loop batch specialization (the interpreted mirror of the
+        # codegen fast paths): Counter-counted delta tables and fused
+        # bare-count totals are an int-multiplicity optimization, so they
+        # gate on the integer ring; ``specialize=None`` defers to
+        # ``REPRO_SPECIALIZE`` (default on).
+        self._specialize = ring is INTEGER_RING and specialization_enabled(specialize)
+        self._specializations: Dict[Tuple[str, int], str] = {}
+        #: Lazily-built per-program batch plan: ``None`` until first use, a
+        #: ``_BatchPlan`` once built, ``False`` when the program is too wide
+        #: to specialize (one filtered pass per event would walk every batch
+        #: too often) — then ``apply_batch`` keeps the generic loop.
+        self._specialized_plan: Any = None
         #: Hash-partition count of the map tables; 1 (the default) keeps the
         #: plain-dict tables and exactly the pre-sharding code path.
         self.shards = resolve_shard_count(shards)
@@ -243,9 +262,25 @@ class TriggerRuntime:
         final map state equals one-at-a-time application (the batch
         statements carry the delta's higher-order interaction terms).  Events
         without a batch trigger fall back to grouped per-tuple replay.
+
+        Over the integer ring with specialization enabled (the default) the
+        grouping itself is specialized: the batch is sliced once per
+        statically-known trigger event with C-level filtered comprehensions
+        — fused totals never build a delta table, the rest count value
+        tuples through ``collections.Counter`` — instead of the generic
+        per-update Python loop.
         """
+        if self._specialize:
+            plan = self._batch_plan()
+            if plan:
+                if type(updates) is not list:
+                    updates = list(updates)
+                if updates:
+                    self._apply_batch_specialized(plan, updates, changes)
+                return
         for (relation, sign), group in self._validated_groups(updates).items():
-            self.statistics.updates_processed += sum(update.count for update in group)
+            tuple_count = sum(update.count for update in group)
+            self.statistics.updates_processed += tuple_count
             batch_trigger = self.program.batch_trigger_for(relation, sign)
             if batch_trigger is not None:
                 delta_table = build_delta_table(
@@ -262,9 +297,154 @@ class TriggerRuntime:
                 for _ in range(update.count):
                     self._apply_trigger(trigger, update.values, changes)
 
+    def _batch_plan(self):
+        """The cached specialized batch plan (``False`` when ineligible)."""
+        plan = self._specialized_plan
+        if plan is None:
+            plan = self._specialized_plan = _BatchPlan.build(self)
+        return plan
+
+    def _apply_batch_specialized(
+        self,
+        plan: "_BatchPlan",
+        updates: List[Update],
+        changes: Optional[Dict[str, MapTable]] = None,
+    ) -> None:
+        """Apply one batch through the statically-unrolled event plan.
+
+        Mirrors the generic path's observable behavior exactly: the whole
+        batch is arity-validated before any map is touched, the processed-
+        update count includes triggerless events, and every fold runs through
+        the shared increment machinery.  Events execute in static plan order
+        rather than first-seen batch order, which cannot be observed — each
+        event's fold is exact against the state it sees, so the final state
+        and the CDC net deltas agree under any event order.
+        """
+        counted = sum([update.count for update in updates])
+        compact = counted != len(updates)
+        for relation, sign, arity in plan.validations:
+            if sign is None:
+                lengths = {
+                    len(update.values) for update in updates if update.relation == relation
+                }
+            else:
+                lengths = {
+                    len(update.values)
+                    for update in updates
+                    if update.sign == sign and update.relation == relation
+                }
+            if not lengths <= {arity}:
+                self._raise_first_arity_error(updates)
+        self.statistics.updates_processed += counted
+        for relation, sign, verdict, batch_trigger in plan.batch_events:
+            if verdict == "total":
+                # Every statement is a bare-count fold: the event's net
+                # tuple count is the whole delta — no table.
+                total = sum(
+                    [
+                        update.count
+                        for update in updates
+                        if update.sign == sign and update.relation == relation
+                    ]
+                )
+                if total:
+                    self._apply_total_trigger(batch_trigger, total, changes)
+                continue
+            # Counter fast path: count the value tuples in C, then fix up
+            # compact updates (count > 1) only when present.  Counts are
+            # positive within one same-sign event, so no entry can land on
+            # zero.
+            delta_table: MapTable = Counter()
+            delta_table.update(
+                [
+                    update.values
+                    for update in updates
+                    if update.sign == sign and update.relation == relation
+                ]
+            )
+            if compact:
+                for update in updates:
+                    if (
+                        update.sign == sign
+                        and update.relation == relation
+                        and update.count != 1
+                    ):
+                        delta_table[update.values] += update.count - 1
+            if delta_table:
+                self._apply_batch_trigger(batch_trigger, delta_table, changes)
+        for relation, sign, trigger in plan.replay_events:
+            if compact:
+                values_list = []
+                for update in updates:
+                    if update.sign == sign and update.relation == relation:
+                        if update.count == 1:
+                            values_list.append(update.values)
+                        else:
+                            values_list.extend((update.values,) * update.count)
+            else:
+                values_list = [
+                    update.values
+                    for update in updates
+                    if update.sign == sign and update.relation == relation
+                ]
+            for values in values_list:
+                self._apply_trigger(trigger, values, changes)
+
+    def _raise_first_arity_error(self, updates: List[Update]) -> None:
+        """Re-raise the exact error the generic validation pass would have."""
+        for update in updates:
+            trigger = self.program.trigger_for(update.relation, update.sign)
+            if trigger is not None:
+                self._check_arity(trigger, update)
+        raise AssertionError("arity mismatch detected but not reproduced")
+
+    def _specialization_for(
+        self, event: Tuple[str, int], batch_trigger: BatchTrigger
+    ) -> str:
+        """The cached specialization verdict for one batch event.
+
+        ``"total"`` demotes to ``"counter"`` when a target map carries slice
+        indexes (nullary-key targets never do, but stay defensive): the
+        shared fold must see a delta table to journal index maintenance.
+        """
+        verdict = self._specializations.get(event)
+        if verdict is None:
+            verdict = trigger_specialization(batch_trigger)
+            if verdict == "total" and any(
+                self.index_specs.get(statement.target)
+                for statement in batch_trigger.statements
+            ):
+                verdict = "counter"
+            self._specializations[event] = verdict
+        return verdict
+
+    def _apply_total_trigger(
+        self,
+        batch_trigger: BatchTrigger,
+        total: int,
+        changes: Optional[Dict[str, MapTable]] = None,
+    ) -> None:
+        """The fused fold of an all-total batch trigger (no delta table).
+
+        Mirrors :meth:`_apply_batch_trigger` for the bare-count shape: each
+        statement's whole-batch increment is ``coefficient * total`` at the
+        empty key, folded through the shared increment path so CDC, stats and
+        sharded-table handling stay identical to the generic route.
+        """
+        for statement in batch_trigger.statements:
+            self.statistics.statements_executed += 1
+            self._fold_increments(
+                statement.target,
+                {(): statement.coefficient * total},
+                changes,
+                None,
+                serial=statement.serial_fold,
+            )
+
     #: Upper bound on pooled delta buffers — one per concurrently live
     #: ``(relation, sign)`` group is plenty; anything beyond is leaked churn.
-    _DELTA_POOL_LIMIT = 8
+    #: Shared with the generated modules via :data:`repro.core.delta.DELTA_POOL_LIMIT`.
+    _DELTA_POOL_LIMIT = DELTA_POOL_LIMIT
 
     def _acquire_delta_buffer(self) -> MapTable:
         """A cleared scratch dict for one batch group's delta map."""
@@ -552,7 +732,7 @@ class TriggerRuntime:
             # the fold below sees identical state at every backend.
             group_list = list(groups)
             backend = self.shard_backend
-            if backend is not None and len(group_list) >= backend.min_parallel_groups:
+            if backend is not None and backend.wants_groups(len(group_list)):
                 values = backend.map_groups(evaluate_group, group_list)
             else:
                 values = [evaluate_group(group) for group in group_list]
@@ -629,3 +809,60 @@ class TriggerRuntime:
             f"TriggerRuntime(result={self.program.result_map!r}, "
             f"maps={len(self.maps)}, entries={self.total_map_entries()})"
         )
+
+
+class _BatchPlan:
+    """The statically-unrolled batch schedule of one specialized runtime.
+
+    Built once per program: every batch event with its specialization verdict
+    (``"total"`` / ``"counter"``), every replay-only event, and the arity
+    validations the generic grouping pass would have performed — collapsed to
+    one check per relation when both signs carry per-tuple triggers, so the
+    hot path validates with set-comprehension passes instead of a per-update
+    function call.
+    """
+
+    __slots__ = ("batch_events", "replay_events", "validations")
+
+    def __init__(self, batch_events, replay_events, validations):
+        self.batch_events = batch_events
+        self.replay_events = replay_events
+        self.validations = validations
+
+    def __bool__(self) -> bool:
+        return True
+
+    @staticmethod
+    def build(runtime: "TriggerRuntime"):
+        """The plan for ``runtime``'s program, or ``False`` when ineligible."""
+        program = runtime.program
+        order = lambda item: (item[0][0], -item[0][1])  # noqa: E731
+        batch_items = sorted(program.batch_triggers.items(), key=order)
+        replay_items = [
+            (event, trigger)
+            for event, trigger in sorted(program.triggers.items(), key=order)
+            if event not in program.batch_triggers
+        ]
+        if len(batch_items) + len(replay_items) > MAX_SPECIALIZED_EVENTS:
+            return False
+        batch_events = [
+            (relation, sign, runtime._specialization_for((relation, sign), batch_trigger), batch_trigger)
+            for (relation, sign), batch_trigger in batch_items
+        ]
+        replay_events = [
+            (relation, sign, trigger) for (relation, sign), trigger in replay_items
+        ]
+        arities = {
+            event: len(trigger.argument_names) for event, trigger in program.triggers.items()
+        }
+        validations = []
+        relation_covered = set()
+        for (relation, sign), arity in sorted(arities.items()):
+            if relation in relation_covered:
+                continue
+            if arities.get((relation, -sign)) == arity:
+                validations.append((relation, None, arity))
+                relation_covered.add(relation)
+            else:
+                validations.append((relation, sign, arity))
+        return _BatchPlan(batch_events, replay_events, validations)

@@ -371,12 +371,23 @@ class TriggerProgram:
                 annotate = lambda s, args=trigger.argument_names: annotator(s, args)  # noqa: E731
             lines.append(trigger.describe(annotate=annotate))
         if self.batch_triggers:
+            from repro.compiler.cost import batch_specialization_class
+
             lines.append("BATCH TRIGGERS:")
             for key in sorted(self.batch_triggers, key=lambda pair: (pair[0], -pair[1])):
-                annotate = None
-                if annotator is not None:
-                    annotate = lambda s: annotator(s, ())  # noqa: E731
-                lines.append(self.batch_triggers[key].describe(annotate=annotate))
+                batch_trigger = self.batch_triggers[key]
+
+                def annotate(s, _trigger=batch_trigger):
+                    parts = []
+                    if annotator is not None:
+                        parts.append(annotator(s, ()))
+                    # Recomputes have no projection analysis — only batch
+                    # statements carry a specialization class.
+                    if hasattr(s, "projection_class"):
+                        parts.append(f"[spec:{batch_specialization_class(s, _trigger)}]")
+                    return " ".join(part for part in parts if part)
+
+                lines.append(batch_trigger.describe(annotate=annotate))
         return "\n".join(lines)
 
     def __repr__(self) -> str:

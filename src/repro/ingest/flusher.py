@@ -307,6 +307,12 @@ class IngestPipeline:
                 latency_s=time.perf_counter() - started,
                 staleness_ms=staleness_ms,
             )
+            # Refresh the partition-tier dispatch report so the monitoring
+            # snapshot shows where this flush's folds actually ran (guarded:
+            # engine-level targets do not expose dispatch_statistics).
+            dispatch_statistics = getattr(self.session, "dispatch_statistics", None)
+            if dispatch_statistics is not None:
+                self.stats.record_dispatch(dispatch_statistics())
         self._flush_index += 1
         self._advance_windows()
         return len(batch)

@@ -78,6 +78,9 @@ class IngestStats:
         self.max_flush_staleness_ms = 0.0
         self._flush_latency_ms = deque(maxlen=LATENCY_WINDOW)
         self._flush_staleness_ms = deque(maxlen=LATENCY_WINDOW)
+        #: Latest partition-tier dispatch report (``Session.dispatch_statistics``
+        #: shape: group -> policy snapshot), refreshed after each flush.
+        self.shard_dispatch: Dict[str, Any] = {}
 
     # -- recording hooks (called by the queue / flusher / windows) -------------
 
@@ -113,6 +116,12 @@ class IngestStats:
             self._flush_staleness_ms.append(staleness_ms)
             if staleness_ms > self.max_flush_staleness_ms:
                 self.max_flush_staleness_ms = staleness_ms
+
+    def record_dispatch(self, report: Dict[str, Any]) -> None:
+        """Refresh the partition-tier dispatch report (latest wins — the
+        policies' tallies are cumulative, so overwriting loses nothing)."""
+        with self._lock:
+            self.shard_dispatch = report
 
     def record_quarantine(self, updates: int) -> None:
         with self._lock:
@@ -162,6 +171,7 @@ class IngestStats:
                 "cdc_windows_emitted": self.cdc_windows_emitted,
                 "cdc_flushes_coalesced": self.cdc_flushes_coalesced,
                 "max_flush_staleness_ms": self.max_flush_staleness_ms,
+                "shard_dispatch": dict(self.shard_dispatch),
             }
         record["flush_latency"] = {
             "p50_ms": percentile(latency, 0.50),

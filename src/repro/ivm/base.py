@@ -180,16 +180,20 @@ class IVMEngine(ABC):
 
         ``runner`` receives the materialized update list; alternative batch
         entry points (the recursive engine's replay path) route through this
-        so the CDC/timing protocol lives in one place.
+        so the CDC/timing protocol lives in one place.  A runner that already
+        knows the batch's logical tuple count returns it (the specialized
+        batch paths compute it anyway); ``None`` means count here.
         """
         updates = updates if isinstance(updates, (list, tuple)) else list(updates)
         if self._change_callbacks:
             self._pending_changes = {}
         started = time.perf_counter()
-        runner(updates)
+        counted = runner(updates)
         self.statistics.seconds_in_updates += time.perf_counter() - started
-        # Net multiplicities count as the tuples they stand for.
-        self.statistics.updates_processed += sum(update.count for update in updates)
+        if counted is None:
+            # Net multiplicities count as the tuples they stand for.
+            counted = sum([update.count for update in updates])
+        self.statistics.updates_processed += counted
         if self._pending_changes is not None:
             self._dispatch_changes()
 

@@ -44,6 +44,7 @@ class RecursiveIVM(IVMEngine):
         shard_backend: Optional[str] = None,
         normalize: Optional[bool] = None,
         verify: bool = True,
+        specialize: Optional[bool] = None,
     ):
         super().__init__(query, schema)
         if backend not in ("interpreted", "generated"):
@@ -62,8 +63,13 @@ class RecursiveIVM(IVMEngine):
         # -> 1) keeps plain dict tables and the pre-sharding code path.
         # shard_backend picks the partition tier's execution backend
         # ("inline"/"thread"/"process", None -> REPRO_SHARD_BACKEND).
+        # specialize controls the hot-loop batch fast paths (Counter-counted
+        # grouping + fused bare-count totals) on both compiled executors;
+        # None defers to REPRO_SPECIALIZE (default on), and non-integer rings
+        # keep the generic path regardless.
         self.runtime = TriggerRuntime(
-            self.program, ring=ring, shards=shards, shard_backend=shard_backend
+            self.program, ring=ring, shards=shards, shard_backend=shard_backend,
+            specialize=specialize,
         )
         self._generated: Optional[GeneratedTriggers] = None
         if backend == "generated":
@@ -71,7 +77,7 @@ class RecursiveIVM(IVMEngine):
             # (native +/*/0 for the built-in integer and float structures,
             # ring.add/ring.mul/ring.zero otherwise); proper semirings raise
             # CompilationError here rather than silently computing integers.
-            self._generated = generate_python(self.program, ring=ring)
+            self._generated = generate_python(self.program, ring=ring, specialize=specialize)
 
     # -- initialization from an existing database --------------------------------------
 
@@ -128,13 +134,16 @@ class RecursiveIVM(IVMEngine):
         number of distinct keys touched, not the number of tuples.
         """
         if self._generated is not None:
-            self._generated.apply_batch(
+            count = self._generated.apply_batch(
                 self.runtime.maps, updates, indexes=self.runtime.indexes,
                 changes=self._change_hook(),
             )
-            self._absorb_generated_statistics(sum(update.count for update in updates))
-        else:
-            self.runtime.apply_batch(updates, changes=self._change_hook())
+            if count is None:
+                count = sum([update.count for update in updates])
+            self._absorb_generated_statistics(count)
+            return count
+        self.runtime.apply_batch(updates, changes=self._change_hook())
+        return None
 
     def apply_batch_replay(self, updates) -> None:
         """Apply a batch by grouped per-tuple replay (the pre-batch-trigger path).

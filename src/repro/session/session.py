@@ -189,10 +189,12 @@ class _CompiledGroup:
 
     def apply_batch(self, updates: Sequence[Update], changes=None) -> None:
         if self.generated is not None:
-            self.generated.apply_batch(
+            count = self.generated.apply_batch(
                 self.runtime.maps, updates, indexes=self.runtime.indexes, changes=changes
             )
-            self._absorb_generated_statistics(sum(update.count for update in updates))
+            if count is None:
+                count = sum([update.count for update in updates])
+            self._absorb_generated_statistics(count)
         else:
             self.runtime.apply_batch(updates, changes=changes)
 
@@ -633,6 +635,25 @@ class Session:
         for group in self._groups.values():
             sizes.update(group.map_sizes())
         return sizes
+
+    def dispatch_statistics(self) -> Dict[str, Dict[str, Any]]:
+        """Per-compiled-group partition-tier dispatch decisions and cost models.
+
+        One entry per compiled group with a live shard backend, keyed by the
+        group's executor flavor; each value is the backend policy's
+        :meth:`~repro.compiler.partition.dispatch.DispatchPolicy.snapshot`
+        (policy name, decision tallies, and — for the adaptive policy — the
+        learned per-(statement group, mode) cost predictions).  Also mirrored
+        into ``self.statistics.extra["shard_dispatch"]`` so engine-level
+        consumers see it without a separate call.
+        """
+        report: Dict[str, Dict[str, Any]] = {}
+        for backend_name, group in self._groups.items():
+            shard_backend = group.shard_backend
+            if shard_backend is not None:
+                report[backend_name] = shard_backend.dispatch.snapshot()
+        self.statistics.extra["shard_dispatch"] = report
+        return report
 
     def sharing_report(self) -> Dict[str, int]:
         """Aggregated :meth:`MapCatalog.sharing_report` over all compiled groups."""

@@ -497,7 +497,10 @@ def test_worker_death_raises_clean_error():
     from repro.compiler.indexes import SliceIndexes
     from repro.compiler.sharding import make_inline_shard_fold, make_shard_fold
 
-    backend = ProcessShardBackend(2, INTEGER_RING, min_parallel_keys=1)
+    # Pin static dispatch: this test probes the process-worker machinery, so
+    # the fold must actually take the worker path regardless of the
+    # REPRO_SHARD_DISPATCH environment.
+    backend = ProcessShardBackend(2, INTEGER_RING, min_parallel_keys=1, dispatch="static")
     table = ShardedMapTable(2, {(i,): 1 for i in range(10)})
     table.backend = backend
     indexes = SliceIndexes()
@@ -516,6 +519,128 @@ def test_worker_death_raises_clean_error():
             )
     finally:
         backend.close()
+
+
+# ---------------------------------------------------------------------------
+# Cost-adaptive dispatch (PR 9): the knob, the model, and the equivalence
+# ---------------------------------------------------------------------------
+
+
+def test_dispatch_env_knob(monkeypatch):
+    from repro.algebra.semirings import INTEGER_RING
+    from repro.compiler.partition.backends import make_shard_backend
+    from repro.compiler.partition.dispatch import (
+        AdaptiveDispatch,
+        StaticDispatch,
+        default_dispatch,
+        make_dispatch_policy,
+        resolve_dispatch,
+    )
+
+    monkeypatch.delenv("REPRO_SHARD_DISPATCH", raising=False)
+    assert default_dispatch() == "static"
+    monkeypatch.setenv("REPRO_SHARD_DISPATCH", "adaptive")
+    assert default_dispatch() == "adaptive"
+    implicit = make_shard_backend("thread", 2, INTEGER_RING)
+    assert isinstance(implicit.dispatch, AdaptiveDispatch)
+    explicit = make_shard_backend("thread", 2, INTEGER_RING, dispatch="static")
+    assert isinstance(explicit.dispatch, StaticDispatch)
+    # A ready policy instance passes through, so a session can share one
+    # learned model across runtime rebuilds.
+    shared = AdaptiveDispatch()
+    assert make_dispatch_policy(shared) is shared
+    with pytest.raises(ValueError):
+        resolve_dispatch("bogus")
+
+
+def test_adaptive_choose_prices_then_tracks_cost():
+    """Cold modes are probed round-robin until priced; afterwards the cheapest
+    predicted mode wins, and the decayed fit re-learns a drifting host."""
+    from repro.compiler.partition.dispatch import AdaptiveDispatch
+
+    policy = AdaptiveDispatch(min_samples=2.0, explore_every=0)
+    modes = ("inline", "thread")
+    probed = [policy.choose("m", 100, modes) for _ in range(4)]
+    assert set(probed) == {"inline", "thread"}
+    for _ in range(4):
+        policy.observe("m", "inline", 100, 0.001)
+        policy.observe("m", "thread", 100, 0.010)
+    assert policy.choose("m", 100, modes) == "inline"
+    for _ in range(12):
+        policy.observe("m", "inline", 100, 0.010)
+        policy.observe("m", "thread", 100, 0.001)
+    assert policy.choose("m", 100, modes) == "thread"
+    snapshot = policy.snapshot()
+    assert snapshot["policy"] == "adaptive"
+    assert "m/inline" in snapshot["models"] and "m/thread" in snapshot["models"]
+
+
+def test_adaptive_choose_scales_with_batch_size():
+    """The fit is linear in the key count, so a mode with high fixed cost but
+    a flat slope wins the big batches while losing the small ones."""
+    from repro.compiler.partition.dispatch import AdaptiveDispatch
+
+    policy = AdaptiveDispatch(min_samples=1.0, explore_every=0)
+    modes = ("inline", "thread")
+    # inline: no fixed cost, 1us/key.  thread: 500us fixed, 0.1us/key.
+    for keys in (100, 2_000, 100, 2_000):
+        policy.observe("m", "inline", keys, keys * 1e-6)
+        policy.observe("m", "thread", keys, 5e-4 + keys * 1e-7)
+    assert policy.choose("m", 50, modes) == "inline"
+    assert policy.choose("m", 10_000, modes) == "thread"
+
+
+@pytest.mark.parametrize("executor", COMPILED_BACKENDS)
+@pytest.mark.parametrize("shard_backend", SHARD_BACKENDS)
+def test_adaptive_dispatch_equivalent_to_static(monkeypatch, shard_backend, executor):
+    """The PR-9 acceptance property: under ``REPRO_SHARD_DISPATCH=adaptive``
+    the PR-8 byte-identical guarantee still holds — same results and CDC
+    streams as the unsharded session — while the dispatcher records real
+    decisions into the session statistics."""
+    monkeypatch.setenv("REPRO_SHARD_DISPATCH", "adaptive")
+    rng = random.Random(9000 + 10 * len(shard_backend) + len(executor))
+    base, base_cdc = _build_session(1, executor)
+    sharded, sharded_cdc = _build_backend_session(4, executor, shard_backend)
+    try:
+        for step in range(6):
+            if rng.random() < 0.25:
+                update = _random_batch(rng, 1, 40)[0]
+                base.apply(update)
+                sharded.apply(update)
+            else:
+                batch = _random_batch(rng, rng.choice([3, 40, 120]), 40)
+                base.apply_batch(batch)
+                sharded.apply_batch(batch)
+            assert sharded.results() == base.results(), (shard_backend, executor, step)
+            assert sharded_cdc == base_cdc, (shard_backend, executor, step)
+        report = sharded.dispatch_statistics()
+        assert report[executor]["policy"] == "adaptive"
+        decisions = report[executor]["decisions"]
+        assert sum(decisions.values()) > 0
+        assert sharded.statistics.extra["shard_dispatch"] == report
+    finally:
+        sharded.close()
+
+
+def test_ingest_stats_surface_dispatch_decisions(monkeypatch):
+    """The streaming flusher refreshes the dispatch report after each flush,
+    so the monitoring snapshot shows where the folds actually ran."""
+    monkeypatch.setenv("REPRO_SHARD_DISPATCH", "adaptive")
+    session = Session(GROUPED_SCHEMA, shards=2, shard_backend="thread")
+    session.view("gsum", "AggSum([a], S(a, b) * b)", backend="generated")
+    _force_dispatch(session)
+    try:
+        with session.ingest(max_pending=1_000_000, max_staleness_ms=None) as pipe:
+            for value in range(300):
+                pipe.submit(Update(1, "S", (value % 13, value % 7)))
+                if value % 100 == 99:
+                    pipe.flush()
+            snapshot = pipe.stats.snapshot()
+        dispatch = snapshot["shard_dispatch"]
+        assert dispatch["generated"]["policy"] == "adaptive"
+        assert sum(dispatch["generated"]["decisions"].values()) > 0
+    finally:
+        session.close()
 
 
 # ---------------------------------------------------------------------------
