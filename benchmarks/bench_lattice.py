@@ -1,0 +1,192 @@
+"""E15 — lattice-aggregate (MIN) maintenance under deletion churn vs naive.
+
+The PR-10 acceptance scenario: a per-group MIN view over a proper semiring
+(min-plus — no additive inverse, so deletions cannot fold) maintained through
+the maintenance-strategy contract — integer base counters plus tracked
+per-affected-group recomputes — against naive full re-evaluation.  A
+deletion-heavy stream is the worst case for the contract: every deletion of a
+group's current minimum forces that group's re-derivation, yet the work stays
+proportional to the *affected group*, not the database.
+
+The asserted criterion: at 10k updates with deletion churn, the compiled
+incremental executors sustain at least **10x** the naive per-update
+throughput.  Naive cost grows with the live database, so it is measured on a
+sample against the fully warmed database both engines reached.
+
+Run standalone for a quick table::
+
+    PYTHONPATH=src python benchmarks/bench_lattice.py [--smoke]
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_lattice.py
+"""
+
+import sys
+import time
+
+import pytest
+
+from repro.algebra.semirings import MIN_PLUS, resolve_semiring
+from repro.core.parser import parse
+from repro.gmr.database import Database
+from repro.ivm.base import result_as_mapping
+from repro.ivm.naive import NaiveReevaluation
+from repro.ivm.recursive import RecursiveIVM
+from repro.workloads.streams import StreamGenerator
+
+from conftest import SMOKE, smoke_scaled
+
+SCHEMA = {"P": ("G", "S")}
+QUERY = parse("AggSum([g], P(g, s) * s)")
+
+#: The asserted stream length and the speedup floor of the E15 criterion.
+STREAM_LENGTH = smoke_scaled(10_000, 1_500)
+SPEEDUP_FLOOR = 10.0
+#: Deletion-heavy churn: ~40% of the steps delete a live tuple.
+DELETE_FRACTION = 0.4
+#: Group count / score domain: enough groups that recomputes stay local,
+#: enough scores per group that minima actually move under churn.
+GROUPS = 40
+SCORES = [float(value) for value in range(1, 100)]
+#: Naive re-evaluates the whole view per update; a sample suffices.
+NAIVE_SAMPLE = smoke_scaled(120, 30)
+
+
+def make_stream(length=STREAM_LENGTH, seed=5):
+    generator = StreamGenerator(
+        SCHEMA,
+        domains={"G": list(range(GROUPS)), "S": SCORES},
+        seed=seed,
+        delete_fraction=DELETE_FRACTION,
+    )
+    stream = generator.generate(length)
+    return generator, stream
+
+
+def direct_min(rows):
+    expected = {}
+    for group, score in rows:
+        value = MIN_PLUS.coerce(score)
+        expected[(group,)] = MIN_PLUS.add(expected.get((group,), MIN_PLUS.zero), value)
+    return {key: value for key, value in expected.items() if not MIN_PLUS.is_zero(value)}
+
+
+def measure_min_maintenance(stream_length=None, repeats=1):
+    """MIN under deletion churn: incremental per-update cost vs naive.
+
+    Returns the machine-readable record ``run_experiments.py --json`` exports:
+    per-engine seconds and updates/s over the full stream, naive sample
+    timings against the warmed database, and the per-backend speedups.
+    """
+    if stream_length is None:
+        stream_length = STREAM_LENGTH
+    generator, stream = make_stream(stream_length)
+    expected = direct_min(generator.live_tuples("P"))
+
+    record = {"stream_length": stream_length, "delete_fraction": DELETE_FRACTION,
+              "engines": {}}
+    for backend in ("generated", "interpreted"):
+        best = float("inf")
+        for _ in range(repeats):
+            engine = RecursiveIVM(QUERY, SCHEMA, ring=MIN_PLUS, backend=backend)
+            started = time.perf_counter()
+            engine.apply_all(stream)
+            best = min(best, time.perf_counter() - started)
+            assert result_as_mapping(engine.result(), MIN_PLUS) == expected, backend
+        record["engines"][backend] = {
+            "seconds": best,
+            "per_update_s": best / len(stream),
+            "updates_per_s": len(stream) / best,
+        }
+
+    # Naive re-evaluation priced against the same warmed database: bootstrap
+    # from the post-stream state, then time a churn sample at that size.
+    warm_db = Database(schema=SCHEMA, ring=MIN_PLUS)
+    warm_db.apply_all(stream.updates)
+    naive = NaiveReevaluation(QUERY, SCHEMA, ring=MIN_PLUS)
+    naive.bootstrap(warm_db)
+    sample = generator.generate(NAIVE_SAMPLE).updates
+    started = time.perf_counter()
+    for update in sample:
+        naive.apply(update)
+    naive_seconds = time.perf_counter() - started
+    record["naive"] = {
+        "sample_updates": len(sample),
+        "per_update_s": naive_seconds / len(sample),
+        "updates_per_s": len(sample) / naive_seconds,
+    }
+    for backend, row in record["engines"].items():
+        row["speedup_vs_naive"] = record["naive"]["per_update_s"] / row["per_update_s"]
+    return record
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("ring_name", ["min-plus", "max-plus", "top3"])
+def test_lattice_maintenance_matches_direct_evaluation(ring_name):
+    """Correctness guard riding along with the benchmark: the churn stream's
+    final state matches direct evaluation on both compiled executors."""
+    ring = resolve_semiring(ring_name)
+    generator, stream = make_stream(smoke_scaled(2_000, 600))
+    expected = {}
+    for group, score in generator.live_tuples("P"):
+        value = ring.coerce(score)
+        expected[(group,)] = ring.add(expected.get((group,), ring.zero), value)
+    expected = {key: value for key, value in expected.items() if not ring.is_zero(value)}
+    for backend in ("generated", "interpreted"):
+        engine = RecursiveIVM(QUERY, SCHEMA, ring=ring, backend=backend)
+        engine.apply_all(stream)
+        assert result_as_mapping(engine.result(), ring) == expected, backend
+
+
+def test_min_maintenance_beats_naive_by_10x():
+    """The E15 acceptance check: >= 10x naive per-update throughput at 10k
+    updates with deletion churn, on both compiled executors."""
+    if SMOKE:
+        pytest.skip("timing assertion disabled in smoke mode")
+    record = measure_min_maintenance()
+    for backend, row in record["engines"].items():
+        assert row["speedup_vs_naive"] >= SPEEDUP_FLOOR, (
+            f"MIN maintenance on the {backend} backend is only "
+            f"{row['speedup_vs_naive']:.1f}x naive re-evaluation "
+            f"(expected >= {SPEEDUP_FLOOR}x at {record['stream_length']} updates)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Standalone mode (CI smoke + quick local table)
+# ---------------------------------------------------------------------------
+
+
+def main(argv):
+    smoke = "--smoke" in argv or SMOKE
+    length = 1_500 if smoke else STREAM_LENGTH
+    record = measure_min_maintenance(stream_length=length)
+    print(
+        f"MIN (min-plus) under deletion churn: {record['stream_length']} updates, "
+        f"delete fraction {record['delete_fraction']}"
+    )
+    print(f"{'engine':24s} {'per-update':>12s} {'updates/s':>12s} {'vs naive':>10s}")
+    for backend, row in record["engines"].items():
+        print(
+            f"recursive-{backend:14s} {row['per_update_s'] * 1e6:10.1f}µs "
+            f"{row['updates_per_s']:10.0f}/s {row['speedup_vs_naive']:8.1f}x"
+        )
+    naive = record["naive"]
+    print(
+        f"{'naive (sample)':24s} {naive['per_update_s'] * 1e6:10.1f}µs "
+        f"{naive['updates_per_s']:10.0f}/s"
+    )
+    if not smoke:
+        worst = min(row["speedup_vs_naive"] for row in record["engines"].values())
+        print(f"worst incremental speedup: {worst:.1f}x (asserted >= {SPEEDUP_FLOOR}x)")
+        assert worst >= SPEEDUP_FLOOR
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

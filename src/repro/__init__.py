@@ -34,6 +34,7 @@ from repro.core import (
     to_string,
 )
 
+from repro.algebra.semirings import Semiring, resolve_semiring
 from repro.ingest import (
     BackpressureError,
     BackpressurePolicy,
@@ -115,4 +116,6 @@ __all__ = [
     "result_as_mapping",
     "results_agree",
     "sql_to_agca",
+    "Semiring",
+    "resolve_semiring",
 ]

@@ -15,6 +15,14 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Any, Callable, Optional
 
+#: Maintenance strategies a structure can declare for deletion handling
+#: (threaded from here through the trigger compiler to both executors).
+INVERTIBLE = "invertible"
+TRACKED_RECOMPUTE = "tracked-recompute"
+SUPPORT_STRUCTURE = "support-structure"
+
+MAINTENANCE_STRATEGIES = (INVERTIBLE, TRACKED_RECOMPUTE, SUPPORT_STRUCTURE)
+
 
 class Semiring:
     """A (semi)ring over plain Python values.
@@ -34,9 +42,37 @@ class Semiring:
         Human-readable name used in reprs and error messages.
     commutative:
         Whether multiplication commutes.
+    maintenance:
+        How deletions are maintained: :data:`INVERTIBLE` (negated delta
+        folds), :data:`TRACKED_RECOMPUTE` (per-affected-group re-derivation
+        from base maps), or :data:`SUPPORT_STRUCTURE` (a bounded best-k
+        sidecar per group, recompute only on exhaustion).  Defaults to
+        ``invertible`` when ``neg`` is given, ``support-structure`` when a
+        ``sort_key`` is given, and ``tracked-recompute`` otherwise.
+    sort_key:
+        For support-structure semirings: maps a per-row contribution to a
+        sortable key, *best contribution first* (smallest key wins).
+    support_capacity:
+        Number of distinct contributions the per-group support keeps.
+    support_needed:
+        Trusted multiplicity the support must retain for its fold to equal
+        the true group fold (1 for MIN/MAX, ``k`` for top-k).
     """
 
-    __slots__ = ("zero", "one", "_add", "_mul", "_neg", "_coerce", "name", "commutative")
+    __slots__ = (
+        "zero",
+        "one",
+        "_add",
+        "_mul",
+        "_neg",
+        "_coerce",
+        "name",
+        "commutative",
+        "maintenance",
+        "sort_key",
+        "support_capacity",
+        "support_needed",
+    )
 
     def __init__(
         self,
@@ -48,6 +84,10 @@ class Semiring:
         coerce: Optional[Callable[[Any], Any]] = None,
         name: str = "semiring",
         commutative: bool = True,
+        maintenance: Optional[str] = None,
+        sort_key: Optional[Callable[[Any], Any]] = None,
+        support_capacity: int = 8,
+        support_needed: int = 1,
     ):
         self.zero = zero
         self.one = one
@@ -57,6 +97,21 @@ class Semiring:
         self._coerce = coerce
         self.name = name
         self.commutative = commutative
+        if maintenance is None:
+            if neg is not None:
+                maintenance = INVERTIBLE
+            elif sort_key is not None:
+                maintenance = SUPPORT_STRUCTURE
+            else:
+                maintenance = TRACKED_RECOMPUTE
+        if maintenance not in MAINTENANCE_STRATEGIES:
+            raise ValueError(f"unknown maintenance strategy {maintenance!r}")
+        if maintenance == SUPPORT_STRUCTURE and sort_key is None:
+            raise ValueError("support-structure maintenance requires a sort_key")
+        self.maintenance = maintenance
+        self.sort_key = sort_key
+        self.support_capacity = support_capacity
+        self.support_needed = support_needed
 
     # -- ring interface ------------------------------------------------------
 
@@ -145,6 +200,13 @@ class Semiring:
             if n:
                 addend = self.add(addend, addend)
         return result
+
+    def __reduce__(self):
+        """Pickle by name: the operation lambdas are not picklable, and every
+        structure used by the runtime is resolvable via
+        :func:`resolve_semiring` (built-ins and the ``top{k}`` family) — this
+        is what lets sharded process backends and snapshots ship a ring."""
+        return (resolve_semiring, (self.name,))
 
     def __repr__(self) -> str:
         kind = "ring" if self.is_ring else "semiring"
@@ -252,6 +314,7 @@ class MinPlusSemiring(Semiring):
             neg=None,
             coerce=float,
             name="min-plus",
+            sort_key=lambda value: value,
         )
 
 
@@ -269,6 +332,7 @@ class MaxPlusSemiring(Semiring):
             neg=None,
             coerce=float,
             name="max-plus",
+            sort_key=lambda value: -value,
         )
 
 
@@ -294,3 +358,26 @@ BUILTIN_SEMIRINGS = {
         MAX_PLUS,
     )
 }
+
+
+def resolve_semiring(name: str) -> Semiring:
+    """Resolve a structure by name, including parametrized top-k semirings.
+
+    ``BUILTIN_SEMIRINGS`` covers the fixed structures; names of the form
+    ``top{k}`` / ``top{k}-min`` resolve to k-best tropical semirings built on
+    demand (used by snapshot restore, which records rings by name).
+    """
+    structure = BUILTIN_SEMIRINGS.get(name)
+    if structure is not None:
+        return structure
+    if name.startswith("top"):
+        from repro.algebra.lattices import top_k
+
+        spec = name[3:]
+        largest = True
+        if spec.endswith("-min"):
+            largest = False
+            spec = spec[: -len("-min")]
+        if spec.isdigit() and int(spec) > 0:
+            return top_k(int(spec), largest=largest)
+    raise KeyError(f"unknown semiring {name!r}")

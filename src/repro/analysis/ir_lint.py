@@ -19,7 +19,14 @@ compile error), this module *reports* on the quality of a compiled program:
 * **generic bare counts** — bare-count batch statements whose event cannot
   take the fused-total hot path (sibling statements or recomputes force the
   delta table), so a shape the specializer exists for still pays the generic
-  grouping loop; ``--fail-on generic-bare-count`` promotes these.
+  grouping loop; ``--fail-on generic-bare-count`` promotes these;
+* **untracked non-invertible maps** — maps of a semiring-compiled program
+  whose :class:`repro.compiler.triggers.MaintenancePlan` leaves them without
+  a deletion story: no declared strategy, a tracked-recompute map with no
+  recompute statement attached to any trigger, or a support-structure map
+  missing its support plan or base counter.  Deletions over such a map
+  silently corrupt the view, so CI promotes this kind with
+  ``--fail-on untracked-noninvertible``.
 
 The report also shows each program's batch-statement specialization classes
 (:func:`repro.compiler.cost.batch_specialization_class`), the same labels
@@ -88,6 +95,11 @@ def lint_program(
     """
     findings: List[LintFinding] = []
     keep = set(result_maps) if result_maps is not None else {program.result_map}
+    if program.maintenance is not None:
+        # Integer base counters are read outside the statement lists: tracked
+        # recomputes re-derive from them and the support tier bootstraps its
+        # sidecars by scanning them.  They are never dead.
+        keep.update(program.maintenance.counter_maps)
 
     # -- dead maps: written (or merely defined) but never read --------------
     read_maps = set()
@@ -187,6 +199,74 @@ def lint_program(
                         statement.describe(),
                     )
                 )
+
+    # -- untracked non-invertible maps ---------------------------------------
+    findings.extend(_maintenance_findings(program))
+    return findings
+
+
+def _maintenance_findings(program: TriggerProgram) -> List[LintFinding]:
+    """Maps a semiring maintenance plan leaves without a deletion story.
+
+    Ring-compiled programs (``program.maintenance is None``) maintain every
+    map with negated delta folds and pass trivially.  Under a semiring plan,
+    every map must either be a plain integer counter, or carry a strategy
+    whose supporting machinery actually exists in the program.
+    """
+    plan = program.maintenance
+    if plan is None:
+        return []
+    from repro.algebra.semirings import SUPPORT_STRUCTURE, TRACKED_RECOMPUTE
+
+    findings: List[LintFinding] = []
+    recompute_targets = set()
+    for trigger in program.triggers.values():
+        recompute_targets.update(recompute.target for recompute in trigger.recomputes)
+    for batch_trigger in program.batch_triggers.values():
+        recompute_targets.update(recompute.target for recompute in batch_trigger.recomputes)
+
+    for name in sorted(program.maps):
+        strategy = plan.strategy_for(name)
+        context = program.maps[name].describe()
+        if strategy is None:
+            findings.append(
+                LintFinding(
+                    "untracked-noninvertible",
+                    f"map {name!r} has no maintenance strategy under the "
+                    f"non-invertible ring {plan.ring_name!r} — deletions "
+                    "cannot fold and nothing recomputes it",
+                    context,
+                )
+            )
+        elif strategy == TRACKED_RECOMPUTE and name not in recompute_targets:
+            findings.append(
+                LintFinding(
+                    "untracked-noninvertible",
+                    f"map {name!r} is declared tracked-recompute but no "
+                    "trigger carries a recompute statement for it",
+                    context,
+                )
+            )
+        elif strategy == SUPPORT_STRUCTURE:
+            support = plan.supports.get(name)
+            if support is None:
+                findings.append(
+                    LintFinding(
+                        "untracked-noninvertible",
+                        f"map {name!r} is declared support-structure but the "
+                        "plan holds no support plan for it",
+                        context,
+                    )
+                )
+            elif support.relation not in plan.relation_counters:
+                findings.append(
+                    LintFinding(
+                        "untracked-noninvertible",
+                        f"support map {name!r} rebuilds from relation "
+                        f"{support.relation!r}, which has no base counter map",
+                        context,
+                    )
+                )
     return findings
 
 
@@ -243,26 +323,36 @@ _EXAMPLE_SCHEMAS: Dict[str, Mapping[str, Tuple[str, ...]]] = {
 
 
 def _lint_targets():
-    """Yield ``(name, aggregate, schema)`` for every query the report covers."""
+    """Yield ``(name, aggregate, schema, ring)`` for every query the report covers.
+
+    ``ring`` is ``None`` for the default ℤ compilation; the lattice targets
+    compile against their semiring so the ``untracked-noninvertible`` rule is
+    exercised on every run.
+    """
+    from repro.algebra.lattices import top_k
+    from repro.algebra.semirings import MIN_PLUS
+    from repro.core.parser import parse
     from repro.sql.frontend import is_sql, sql_to_agca
     from repro.workloads.queries import CANONICAL_QUERIES, chain_count_query
     from repro.workloads.schemas import SALES_SCHEMA
 
     for query in CANONICAL_QUERIES:
-        yield query.name, query.aggregate, query.schema
+        yield query.name, query.aggregate, query.schema, None
     chain = chain_count_query(3)
-    yield chain.name, chain.aggregate, chain.schema
+    yield chain.name, chain.aggregate, chain.schema, None
     for name, text in _EXAMPLE_VIEWS:
         schema = _EXAMPLE_SCHEMAS.get(name, SALES_SCHEMA)
         aggregate = sql_to_agca(text, schema) if is_sql(text) else None
         if aggregate is None:
-            from repro.core.parser import parse
-
-            parsed = parse(text)
             from repro.core.ast import AggSum
 
+            parsed = parse(text)
             aggregate = parsed if isinstance(parsed, AggSum) else AggSum((), parsed)
-        yield name, aggregate, schema
+        yield name, aggregate, schema, None
+    lattice_schema = {"P": ("community", "post", "score")}
+    lattice = parse("AggSum([c], P(c, p, s) * s)")
+    yield "social_min_score", lattice, lattice_schema, MIN_PLUS
+    yield "social_top3_posts", lattice, lattice_schema, top_k(3)
 
 
 #: ``--fail-on`` choices: the CLI name → the :class:`LintFinding` kind it gates.
@@ -271,6 +361,7 @@ _FAIL_ON_KINDS = {
     "serial-folds": "serial-fold",
     "scan": "scan",
     "generic-bare-count": "generic-bare-count",
+    "untracked-noninvertible": "untracked-noninvertible",
 }
 
 
@@ -298,7 +389,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="append",
         choices=sorted(_FAIL_ON_KINDS),
         default=None,
-        metavar="{dead-maps,serial-folds,scan,generic-bare-count}",
+        metavar="{dead-maps,serial-folds,scan,generic-bare-count,untracked-noninvertible}",
         help="promote a finding kind to a hard failure (exit 1); repeatable",
     )
     options = parser.parse_args(argv)
@@ -312,9 +403,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     details: List[str] = []
     failed = 0
-    for name, aggregate, schema in _lint_targets():
+    for name, aggregate, schema, ring in _lint_targets():
         try:
-            program = compile_query(aggregate, schema, name=name)
+            program = compile_query(aggregate, schema, name=name, ring=ring)
         except IRVerificationError as error:
             failed += 1
             table.add_row(name, "-", "-", "FAIL", len(error.violations), "-", "-")

@@ -19,8 +19,16 @@ Three properties of the generated module matter for the paper's cost claims:
   for every other *ring* the emitted code routes through ``ring.add`` /
   ``ring.mul`` / ``ring.zero`` so that e.g. ``Fraction`` or operation-counting
   coefficients compute exactly what the interpreted backend computes.
-  Structures without additive inverses (proper semirings) are rejected with a
-  :class:`CompilationError` — deletion triggers need ``-1``.
+  Structures without additive inverses (proper semirings) are compiled in
+  *maintenance mode*: the program must carry a
+  :class:`~repro.compiler.compile.MaintenancePlan` (``compile_query(...,
+  ring=...)``), whose ℤ-valued counter maps fold with native integer
+  arithmetic while ring-valued maps fold with the semiring's operations —
+  counter-map and delta-map reads inside ring statements pass through
+  ``ring.from_int``, change capture carries post-update values (differences
+  are undefined without subtraction), and deletions lower to counter updates
+  plus tracked/full recomputes exactly as in the interpreted runtime.  A
+  proper semiring without a plan still raises :class:`CompilationError`.
 
 * **Index-backed map slices.**  A map reference whose key variables are only
   partially bound at its point of use is compiled to a lookup in a secondary
@@ -102,7 +110,7 @@ _PYTHON_OPS = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="
 _RESERVED_NAMES = (
     "maps", "values", "values_list", "relation", "sign", "updates",
     "_new", "_fkey", "_chm", "_CH", "_IDX", "_TRK", "_sk", "_key", "_old",
-    "_delta", "_dk", "_dv", "_vals", "_rval", "_rmap_groups", "_total",
+    "_delta", "_dk", "_dv", "_vals", "_rval", "_rmap_groups", "_total", "_y",
 )
 
 
@@ -159,6 +167,14 @@ class _EmitContext:
     the ring-operation aliases bound in the module prologue.  ``specs`` are
     the index signatures of :func:`compute_index_specs`, consulted to decide
     whether a partially-bound map reference can use an index lookup.
+
+    In semiring maintenance mode the master (ring) context carries three
+    extras: ``counter_maps`` (the plan's ℤ-valued base-copy maps, folded with
+    native arithmetic through the companion ``int_context``), ``int_sources``
+    (maps whose stored values are integers — counter maps plus, inside a
+    batch trigger, its delta map — that ring statements must read through
+    ``ring.from_int``), and ``semiring`` (switches change capture to
+    post-update values).
     """
 
     def __init__(self, writer: _Writer, ring: Semiring, native: bool, specs: IndexSpecs):
@@ -166,7 +182,25 @@ class _EmitContext:
         self.ring = ring
         self.native = native
         self.specs = specs
+        self.semiring = False
+        self.counter_maps: frozenset = frozenset()
+        self.int_sources: frozenset = frozenset()
+        self.int_context: Optional["_EmitContext"] = None
         self._constants: Dict[str, str] = {}
+
+    # -- semiring-mode statement routing ------------------------------------
+
+    def for_target(self, map_name: str) -> "_EmitContext":
+        """The context whose arithmetic a statement targeting ``map_name`` uses."""
+        if self.int_context is not None and map_name in self.counter_maps:
+            return self.int_context
+        return self
+
+    def fold_name(self, map_name: str) -> str:
+        """The fold helper for a statement targeting ``map_name``."""
+        if self.int_context is not None and map_name in self.counter_maps:
+            return "_fold_int"
+        return "_fold"
 
     # -- ring-dependent fragments -------------------------------------------
 
@@ -217,6 +251,11 @@ class _EmitContext:
                 return f"-({product})"
             return f"{coefficient!r} * {product}"
         if not value_terms:
+            if self.semiring:
+                # A bare multiplicity: n identical tuples contribute
+                # one ⊕ ... ⊕ one = from_int(n), not coerce(n) (those
+                # differ for min-plus and friends).
+                return "_ONE" if coefficient == 1 else f"_from_int({coefficient!r})"
             return self.constant(coefficient)
         product = value_terms[0]
         for term in value_terms[1:]:
@@ -225,6 +264,8 @@ class _EmitContext:
             return product
         if coefficient == -1:
             return f"_neg({product})"
+        if self.semiring:
+            return f"_mul(_from_int({coefficient!r}), {product})"
         return f"_mul({self.constant(coefficient)}, {product})"
 
     def emit_constant_definitions(self) -> None:
@@ -267,6 +308,11 @@ class GeneratedTriggers:
             # hash-partitioned; plain-dict environments never hit the branch.
             "_SHARDED": ShardedMapTable,
             "_fold_sharded": make_generated_fold_sharded(ring),
+            # Counter maps of a semiring maintenance plan fold over ℤ on
+            # coordinator shards regardless of the session ring or the
+            # partition tier's backend (process workers fold with the
+            # session ring); unused by pure-ring modules.
+            "_fold_sharded_int": make_generated_fold_sharded(INTEGER_RING, local=True),
             # Recompute fan-out over the partition tier: tracked
             # nested-aggregate groups are re-evaluated through the target
             # table's shard backend when one is attached (serially otherwise).
@@ -402,6 +448,18 @@ class GeneratedTriggers:
     def trigger_function_names(self) -> List[str]:
         return [name for name in self._namespace if name.startswith("on_")]
 
+    def reset_compensation(self) -> None:
+        """Clear the Kahan compensation state of the fused float totals.
+
+        Called by the engine whenever tables are rewritten wholesale
+        (restore / re-bootstrap): the compensation terms describe rounding
+        error of sums that no longer exist.  A no-op for modules without the
+        float fused-total specialization.
+        """
+        compensation = self._namespace.get("_KC")
+        if compensation:
+            compensation.clear()
+
     @property
     def specializations(self) -> Dict[Tuple[str, int], str]:
         """Per-event specialization classes of the emitted batch path.
@@ -431,29 +489,91 @@ def generate_python(
     keep the generic single-pass grouping loop (one filtered pass per event
     would walk the batch too often).
 
+    Over the float field a restricted specialization applies: when *every*
+    trigger event of the program fuses to an all-total batch trigger (each
+    statement a bare-count fold onto a nullary key), the fused path is
+    emitted with Kahan-compensated accumulation — a per-target running
+    compensation term (``_KC``) recovers the low-order bits each ``+=``
+    drops, so long streams of fused totals track ``math.fsum`` accuracy at
+    straight accumulation speed.  Any non-total float event keeps the
+    generic grouping loop, whose accumulation order is fixed.
+
     Raises
     ------
     CompilationError
-        When ``ring`` is a proper semiring (no additive inverse): deletion
-        triggers multiply by ``-1``, which such structures cannot represent.
-        Use ``backend="interpreted"`` for insert-only semiring workloads.
+        When ``ring`` is a proper semiring (no additive inverse) and the
+        program carries no maintenance plan: deletion triggers multiply by
+        ``-1``, which such structures cannot represent.  Recompile with
+        ``compile_query(..., ring=ring)`` so the plan lowers deletions to
+        counter updates, recomputes and support structures.
     """
-    if not ring.is_ring:
-        raise CompilationError(
-            f"the generated backend requires a coefficient ring with additive "
-            f"inverses, but {ring.name!r} is a proper semiring; deletion triggers "
-            f"multiply increments by -1 (use the interpreted backend instead)"
-        )
+    semiring_mode = not ring.is_ring
+    if semiring_mode:
+        plan = program.maintenance
+        if plan is None:
+            raise CompilationError(
+                f"the generated backend requires a coefficient ring with additive "
+                f"inverses, but {ring.name!r} is a proper semiring and the program "
+                f"carries no maintenance plan; recompile the query with "
+                f"ring={ring.name!r} so deletions lower to counter updates and "
+                f"recomputes (or use the interpreted backend the same way)"
+            )
+        if plan.ring_name != ring.name:
+            raise CompilationError(
+                f"the program's maintenance plan was compiled for ring "
+                f"{plan.ring_name!r}; cannot generate {ring.name!r} triggers from it"
+            )
     native = ring is INTEGER_RING or ring is FLOAT_FIELD
     # Specialization is an int-multiplicity optimization: Counter counting
-    # and fused integer totals are exact over ℤ; other rings (including the
-    # float field, whose accumulation order the generic path fixes) keep the
-    # generic grouping loop.
+    # and fused integer totals are exact over ℤ; other rings keep the
+    # generic grouping loop — except the float field's all-total programs,
+    # which fuse with Kahan compensation (checked below once the batch
+    # triggers are known).
     specialized = ring is INTEGER_RING and specialization_enabled(specialize)
     specs = compute_index_specs(program)
 
     writer = _Writer()
     context = _EmitContext(writer, ring, native, specs)
+    if semiring_mode:
+        counter_maps = frozenset(program.maintenance.counter_maps)
+        context.semiring = True
+        context.counter_maps = counter_maps
+        context.int_sources = counter_maps
+        int_context = _EmitContext(writer, INTEGER_RING, True, specs)
+        int_context.semiring = True
+        int_context.counter_maps = counter_maps
+        context.int_context = int_context
+
+    ordered_triggers = sorted(program.triggers.items(), key=lambda item: (item[0][0], -item[0][1]))
+    ordered_batch = sorted(
+        program.batch_triggers.items(), key=lambda item: (item[0][0], -item[0][1])
+    )
+    replay_only = [
+        (event, trigger)
+        for event, trigger in ordered_triggers
+        if event not in program.batch_triggers
+    ]
+    # Float fused totals: specialize only when the whole program fuses —
+    # every event an all-total batch trigger — so the sole accumulation
+    # order in play is the Kahan-compensated scalar sum, which is strictly
+    # more accurate than the generic loop's left-to-right folds.
+    kahan = False
+    if ring is FLOAT_FIELD and specialization_enabled(specialize):
+        kahan = (
+            bool(ordered_batch)
+            and not replay_only
+            and len(ordered_batch) <= MAX_SPECIALIZED_EVENTS
+            and all(
+                trigger_specialization(batch_trigger) == "total"
+                and all(
+                    specs.get(statement.target) is None
+                    for statement in batch_trigger.statements
+                )
+                for _event, batch_trigger in ordered_batch
+            )
+        )
+        specialized = kahan
+
     writer.emit('"""Generated trigger code — see repro.compiler.codegen."""')
     writer.emit("")
     writer.emit('_STATS = {"statements": 0, "entries": 0}')
@@ -463,6 +583,10 @@ def generate_python(
     writer.emit("# per flush.  Safe: batch triggers never retain their _delta argument")
     writer.emit("# (the base-copy fast path takes dict(_delta)).")
     writer.emit("_DELTA_POOL = []")
+    if kahan:
+        writer.emit("# Per-target Kahan compensation for the fused float totals; cleared")
+        writer.emit("# by the engine when tables are rewritten wholesale (restore/bootstrap).")
+        writer.emit("_KC = {}")
     if not native:
         writer.emit("_ZERO = _RING.zero")
         writer.emit("_ONE = _RING.one")
@@ -476,13 +600,16 @@ def generate_python(
     writer.emit("")
     _emit_index_helpers(writer)
     _emit_fold(context)
+    if semiring_mode:
+        # The companion fold for ℤ-valued counter maps: native arithmetic,
+        # sharded dispatch pinned to coordinator shards (_fold_sharded_int).
+        _emit_fold(context.int_context, name="_fold_int", sharded="_fold_sharded_int")
     if any(trigger.recomputes for trigger in program.triggers.values()):
         _emit_recompute_apply(context)
 
     dispatch_entries = []
     replay_entries = []
     batch_entries = []
-    ordered_triggers = sorted(program.triggers.items(), key=lambda item: (item[0][0], -item[0][1]))
     for (relation, sign), trigger in ordered_triggers:
         dispatch_entries.append(f"    ({relation!r}, {sign}): {trigger.event_name},")
         replay_entries.append(f"    ({relation!r}, {sign}): replay_{trigger.event_name},")
@@ -490,14 +617,6 @@ def generate_python(
         writer.emit("")
         _generate_replay_trigger(context, trigger)
         writer.emit("")
-    ordered_batch = sorted(
-        program.batch_triggers.items(), key=lambda item: (item[0][0], -item[0][1])
-    )
-    replay_only = [
-        (event, trigger)
-        for event, trigger in ordered_triggers
-        if event not in program.batch_triggers
-    ]
     if specialized and len(ordered_batch) + len(replay_only) > MAX_SPECIALIZED_EVENTS:
         specialized = False
     total_entries = []
@@ -521,7 +640,7 @@ def generate_python(
                     f"    ({relation!r}, {sign}): total_batch_{batch_trigger.event_name},"
                 )
                 specialized_entries.append(f"    ({relation!r}, {sign}): 'total',")
-                _generate_total_batch_trigger(context, batch_trigger)
+                _generate_total_batch_trigger(context, batch_trigger, kahan=kahan)
                 writer.emit("")
                 batch_plan.append(
                     ("total", (relation, sign), f"total_batch_{batch_trigger.event_name}")
@@ -586,9 +705,16 @@ def generate_python(
     if specialized:
         _emit_specialized_apply_batch(writer, batch_plan)
     else:
-        _emit_generic_apply_batch(writer, native)
+        # Semiring maintenance builds ℤ-count delta maps (ring statements
+        # read them through _from_int), so the native pre-aggregation applies.
+        _emit_generic_apply_batch(writer, native or semiring_mode, semiring=semiring_mode)
     writer.emit("def apply_batch_replay(maps, updates, _IDX=None, _CH=None):")
-    writer.emit("    for _event, _values_list in _group_by_event(updates).items():")
+    if semiring_mode:
+        writer.emit("    # Insert groups replay before delete groups (see apply_batch).")
+        writer.emit("    _ordered = sorted(_group_by_event(updates).items(), key=lambda _g: -_g[0][1])")
+        writer.emit("    for _event, _values_list in _ordered:")
+    else:
+        writer.emit("    for _event, _values_list in _group_by_event(updates).items():")
     writer.emit("        _trigger = REPLAY_TRIGGERS.get(_event)")
     writer.emit("        if _trigger is not None:")
     writer.emit("            _trigger(maps, _values_list, _IDX, _CH)")
@@ -603,8 +729,16 @@ def generate_python(
 # ---------------------------------------------------------------------------
 
 
-def _emit_generic_apply_batch(writer: _Writer, native: bool) -> None:
-    """The generic grouping loop: one Python-level fold per update tuple."""
+def _emit_generic_apply_batch(writer: _Writer, native: bool, semiring: bool = False) -> None:
+    """The generic grouping loop: one Python-level fold per update tuple.
+
+    In semiring mode every insert event — batch fold or replay — processes
+    before any delete event: a batch may delete a row the same batch
+    inserts, and delete-event recomputes read the ℤ counter maps through
+    ``from_int``, which has no image for transiently negative counts.  Over
+    a ring the event order cannot be observed, so the first-seen order is
+    kept there.
+    """
     writer.emit("def apply_batch(maps, updates, _IDX=None, _CH=None):")
     writer.emit("    # Pre-aggregate straight into per-event delta maps; only events")
     writer.emit("    # without a batch trigger keep a values list for replay.")
@@ -636,23 +770,33 @@ def _emit_generic_apply_batch(writer: _Writer, native: bool) -> None:
     writer.emit("                _group.append(_update.values)")
     writer.emit("            else:")
     writer.emit("                _group.extend((_update.values,) * _update.count)")
-    writer.emit("    for _event, _delta in _groups.items():")
+    phase_indent = ""
+    if semiring:
+        writer.emit("    for _phase_sign in (1, -1):")
+        phase_indent = "    "
+    writer.emit(f"    {phase_indent}for _event, _delta in _groups.items():")
+    if semiring:
+        writer.emit(f"        {phase_indent}if _event[1] != _phase_sign:")
+        writer.emit(f"            {phase_indent}continue")
     if not native:
         # Drop ring-zero entries in place so the pooled buffer identity
         # survives filtering (within one same-sign group ℤ/float counts can
         # never cancel, but a finite ring's from_int can wrap to zero).
-        writer.emit("        _dead = [_k for _k, _v in _delta.items() if _is_zero(_v)]")
-        writer.emit("        for _k in _dead:")
-        writer.emit("            del _delta[_k]")
-    writer.emit("        if _delta:")
-    writer.emit("            BATCH_TRIGGERS[_event](maps, _delta, _IDX, _CH)")
-    writer.emit("        _delta.clear()")
-    writer.emit(f"        if len(_DELTA_POOL) < {DELTA_POOL_LIMIT}:")
-    writer.emit("            _DELTA_POOL.append(_delta)")
-    writer.emit("    for _event, _values_list in _replays.items():")
-    writer.emit("        _trigger = REPLAY_TRIGGERS.get(_event)")
-    writer.emit("        if _trigger is not None:")
-    writer.emit("            _trigger(maps, _values_list, _IDX, _CH)")
+        writer.emit(f"        {phase_indent}_dead = [_k for _k, _v in _delta.items() if _is_zero(_v)]")
+        writer.emit(f"        {phase_indent}for _k in _dead:")
+        writer.emit(f"            {phase_indent}del _delta[_k]")
+    writer.emit(f"        {phase_indent}if _delta:")
+    writer.emit(f"            {phase_indent}BATCH_TRIGGERS[_event](maps, _delta, _IDX, _CH)")
+    writer.emit(f"        {phase_indent}_delta.clear()")
+    writer.emit(f"        {phase_indent}if len(_DELTA_POOL) < {DELTA_POOL_LIMIT}:")
+    writer.emit(f"            {phase_indent}_DELTA_POOL.append(_delta)")
+    writer.emit(f"    {phase_indent}for _event, _values_list in _replays.items():")
+    if semiring:
+        writer.emit(f"        {phase_indent}if _event[1] != _phase_sign:")
+        writer.emit(f"            {phase_indent}continue")
+    writer.emit(f"        {phase_indent}_trigger = REPLAY_TRIGGERS.get(_event)")
+    writer.emit(f"        {phase_indent}if _trigger is not None:")
+    writer.emit(f"            {phase_indent}_trigger(maps, _values_list, _IDX, _CH)")
     writer.emit("")
 
 
@@ -738,19 +882,31 @@ def _emit_index_helpers(writer: _Writer) -> None:
     writer.emit("")
 
 
-def _emit_fold(context: _EmitContext) -> None:
-    """The shared fold step: apply one statement's accumulated increments."""
+def _emit_fold(
+    context: _EmitContext, name: str = "_fold", sharded: str = "_fold_sharded"
+) -> None:
+    """The shared fold step: apply one statement's accumulated increments.
+
+    In semiring mode the change-capture accumulator receives *post-update*
+    values (``old ⊕ delta``, read before the fold mutates the table — each
+    key folds exactly once per call, so that is the value the fold stores);
+    differences are undefined without subtraction, and the session layer's
+    subscribers treat ring zero as "key removed".
+    """
     writer = context.writer
     zero = context.zero_literal()
     new_value = context.folded_add("_table.get(_key, " + zero + ")", "_delta")
-    change_value = context.folded_add("_chm.get(_key, " + zero + ")", "_delta")
+    if context.semiring:
+        change_value = new_value
+    else:
+        change_value = context.folded_add("_chm.get(_key, " + zero + ")", "_delta")
     if context.native:
         is_zero = "_new == 0"
         delta_nonzero = "_delta != 0"
     else:
         is_zero = "_is_zero(_new)"
         delta_nonzero = "not _is_zero(_delta)"
-    writer.emit("def _fold(_table, _acc, _name, _specs, _IDX, _CH=None, _trk=None, _serial=False):")
+    writer.emit(f"def {name}(_table, _acc, _name, _specs, _IDX, _CH=None, _trk=None, _serial=False):")
     writer.emit("    if not _acc:")
     writer.emit("        return")
     writer.emit('    _STATS["entries"] += len(_acc)')
@@ -767,7 +923,7 @@ def _emit_fold(context: _EmitContext) -> None:
     writer.emit("        # Hash-partitioned table: per-shard folds (parallel when")
     writer.emit("        # large, unless the shard-race detector forced this")
     writer.emit("        # statement serial), index maintenance journalled by the workers.")
-    writer.emit("        _fold_sharded(_table, _acc, _name, _specs, _IDX, _serial)")
+    writer.emit(f"        {sharded}(_table, _acc, _name, _specs, _IDX, _serial)")
     writer.emit("        return")
     writer.emit("    if _IDX is None or _specs is None:")
     writer.emit("        for _key, _delta in _acc.items():")
@@ -800,8 +956,13 @@ def _emit_recompute_apply(context: _EmitContext) -> None:
     """
     writer = context.writer
     zero = context.zero_literal()
-    delta = context.folded_sub("_new", "_old")
-    change_value = context.folded_add("_chm.get(_key, " + zero + ")", delta)
+    if context.semiring:
+        # Post-update value CDC (recomputes target ring maps only); the zero
+        # is the "group removed" marker for subscribers.
+        change_value = "_new"
+    else:
+        delta = context.folded_sub("_new", "_old")
+        change_value = context.folded_add("_chm.get(_key, " + zero + ")", delta)
     if context.native:
         is_zero = "_new == 0"
     else:
@@ -957,12 +1118,22 @@ def _generate_batch_delta_trigger(context: _EmitContext, trigger: BatchTrigger) 
     def table_ref(name: str) -> str:
         return "_delta" if name == trigger.delta_map else table_locals[name]
 
-    _generate_trigger_body(context, trigger, names, table_ref, tracked_maps, counter)
-    _generate_recomputes(context, trigger, names, table_ref, tracked_maps, counter)
+    saved_int_sources = context.int_sources
+    if context.semiring:
+        # The pre-aggregated delta map holds ℤ counts even in semiring mode;
+        # ring statements reading it must pass through _from_int.
+        context.int_sources = saved_int_sources | {trigger.delta_map}
+    try:
+        _generate_trigger_body(context, trigger, names, table_ref, tracked_maps, counter)
+        _generate_recomputes(context, trigger, names, table_ref, tracked_maps, counter)
+    finally:
+        context.int_sources = saved_int_sources
     writer.dedent()
 
 
-def _generate_total_batch_trigger(context: _EmitContext, trigger: BatchTrigger) -> None:
+def _generate_total_batch_trigger(
+    context: _EmitContext, trigger: BatchTrigger, kahan: bool = False
+) -> None:
     """The fused variant of an all-total batch trigger.
 
     Every statement of the trigger is a bare-count fold (``projection_class()
@@ -970,6 +1141,11 @@ def _generate_total_batch_trigger(context: _EmitContext, trigger: BatchTrigger) 
     summed over all keys), so the specialized ``apply_batch`` never builds the
     event's delta table — it passes the batch's net tuple count ``_total``
     and each statement becomes one multiplication plus one scalar fold.
+
+    ``kahan`` (float-field programs only) replaces the plain scalar fold with
+    a Kahan-compensated one: ``_KC`` keeps each target's running compensation
+    term, recovering the low-order bits a bare ``+=`` drops so a long stream
+    of fused float totals tracks ``math.fsum`` accuracy.
     """
     writer = context.writer
     writer.emit(f"def total_batch_{trigger.event_name}(maps, _total, _IDX=None, _CH=None):")
@@ -985,8 +1161,28 @@ def _generate_total_batch_trigger(context: _EmitContext, trigger: BatchTrigger) 
         else:
             writer.emit(f"{accumulator} = {coefficient!r} * _total")
     table_ref = lambda name: f"maps[{name!r}]"  # noqa: E731
+    if not kahan:
+        for index, statement in enumerate(trigger.statements):
+            _emit_scalar_fold(context, statement, {}, f"_acc{index}", table_ref)
+        writer.dedent()
+        return
     for index, statement in enumerate(trigger.statements):
-        _emit_scalar_fold(context, statement, {}, f"_acc{index}", table_ref)
+        accumulator = f"_acc{index}"
+        target = statement.target
+        table = table_ref(target)
+        writer.emit("if _CH is not None:")
+        writer.emit(f"    _chm = _CH.get({target!r})")
+        writer.emit("    if _chm is not None:")
+        writer.emit(f"        _chm[()] = _chm.get((), 0.0) + {accumulator}")
+        writer.emit(f"_old = {table}.get((), 0.0)")
+        writer.emit(f"_y = {accumulator} - _KC.get({target!r}, 0.0)")
+        writer.emit("_new = _old + _y")
+        writer.emit(f"_KC[{target!r}] = (_new - _old) - _y")
+        writer.emit('_STATS["entries"] += 1')
+        writer.emit("if _new == 0.0:")
+        writer.emit(f"    {table}.pop((), None)")
+        writer.emit("else:")
+        writer.emit(f"    {table}[()] = _new")
     writer.dedent()
 
 
@@ -1014,17 +1210,22 @@ def _generate_trigger_body(
     if counter is None:
         counter = [0]
     argument_set = set(trigger.argument_names)
+    # The scalar fast path is disabled wholesale in semiring mode: its inline
+    # fold emits delta-style change capture, and semiring CDC carries
+    # post-update values (the shared _fold/_fold_int handle that uniformly).
     scalar_flags = [
         set(statement.target_keys) <= argument_set
         and context.specs.get(statement.target) is None
         and statement.target not in tracked_maps
+        and not context.semiring
         for statement in trigger.statements
     ]
     for index, statement in enumerate(trigger.statements):
+        statement_context = context.for_target(statement.target)
         accumulator = f"_acc{index}"
         names.reserve(accumulator)
         if scalar_flags[index]:
-            writer.emit(f"{accumulator} = {context.zero_literal()}")
+            writer.emit(f"{accumulator} = {statement_context.zero_literal()}")
         else:
             writer.emit(f"{accumulator} = {{}}")
         if getattr(statement, "projection", None) is not None:
@@ -1032,23 +1233,28 @@ def _generate_trigger_body(
             # pure projection of the pre-aggregated delta map, so fill the
             # accumulator in one tight loop without expression machinery.
             _emit_projection_accumulation(
-                context, statement, accumulator, table_ref, scalar=scalar_flags[index]
+                statement_context, statement, accumulator, table_ref,
+                scalar=scalar_flags[index],
             )
             continue
         _generate_statement(
-            context, statement, trigger.argument_names, accumulator, names, counter,
-            table_ref, scalar=scalar_flags[index],
+            statement_context, statement, trigger.argument_names, accumulator, names,
+            counter, table_ref, scalar=scalar_flags[index],
         )
     for index, statement in enumerate(trigger.statements):
         accumulator = f"_acc{index}"
         if scalar_flags[index]:
             environment = {argument: names(argument) for argument in trigger.argument_names}
-            _emit_scalar_fold(context, statement, environment, accumulator, table_ref)
+            _emit_scalar_fold(
+                context.for_target(statement.target), statement, environment,
+                accumulator, table_ref,
+            )
         else:
             trk = f", _TRK[{statement.target!r}]" if statement.target in tracked_maps else ""
             serial = ", _serial=True" if getattr(statement, "serial_fold", False) else ""
             writer.emit(
-                f"_fold({table_ref(statement.target)}, {accumulator}, {statement.target!r}, "
+                f"{context.fold_name(statement.target)}("
+                f"{table_ref(statement.target)}, {accumulator}, {statement.target!r}, "
                 f"{_spec_literal(context, statement.target)}, _IDX, _CH{trk}{serial})"
             )
 
@@ -1156,7 +1362,19 @@ def _emit_projection_accumulation(
         # the delta map is per-group scratch, never reused after the trigger.
         writer.emit(f"{accumulator} = dict({delta_table})")
         return
-    value = context.value_product(coefficient, ["_dv"])
+    if not context.native and statement.delta_map in context.int_sources:
+        # Ring-target projection over an ℤ-count delta: each entry contributes
+        # from_int(count) — the coefficient multiplies only when it is not the
+        # literal 1 (coerce(1) need not equal ring.one, e.g. min-plus).
+        term = "_from_int(_dv)"
+        if coefficient == 1:
+            value = term
+        elif coefficient == -1:
+            value = f"_neg({term})"
+        else:
+            value = f"_mul({context.constant(coefficient)}, {term})"
+    else:
+        value = context.value_product(coefficient, ["_dv"])
     writer.emit(f"for _dk, _dv in {delta_table}.items():")
     writer.block()
     if scalar:
@@ -1279,6 +1497,13 @@ def _generate_factor(
             raise CompilationError(f"non-numeric constant {value!r} as a multiplicity")
         if value == 0:
             return None
+        if context.semiring and not context.native:
+            # Keep explicit constants as coerced value terms so the
+            # coefficient stays a pure multiplicity (lifted via from_int
+            # by value_product); native folding would conflate the two
+            # lifts, which disagree outside genuine rings.
+            value_terms.append(context.constant(value))
+            return coefficient
         return coefficient * value
 
     if isinstance(factor, Var):
@@ -1308,18 +1533,29 @@ def _generate_factor(
         counter[0] += 1
         index = counter[0]
         value_name = f"_v{index}"
+        # An integer-valued source (counter map / batch delta) read from a
+        # ring statement: test the raw count, then map it into the ring.
+        int_source = not context.native and factor.name in context.int_sources
         bound_positions = tuple(
             position for position, key in enumerate(factor.key_vars) if key in environment
         )
         if len(bound_positions) == len(factor.key_vars):
             # Fully bound: one hash lookup.
             key_expression = _key_tuple(factor.key_vars, environment)
-            writer.emit(
-                f"{value_name} = {table_ref(factor.name)}.get({key_expression}, "
-                f"{context.zero_literal()})"
-            )
-            writer.emit(context.nonzero_guard(value_name))
-            writer.block()
+            if int_source:
+                writer.emit(
+                    f"{value_name} = {table_ref(factor.name)}.get({key_expression}, 0)"
+                )
+                writer.emit(f"if {value_name}:")
+                writer.block()
+                writer.emit(f"{value_name} = _from_int({value_name})")
+            else:
+                writer.emit(
+                    f"{value_name} = {table_ref(factor.name)}.get({key_expression}, "
+                    f"{context.zero_literal()})"
+                )
+                writer.emit(context.nonzero_guard(value_name))
+                writer.block()
         elif bound_positions and bound_positions in context.specs.get(factor.name, ()):
             # Partially bound: iterate only the matching keys via the slice index.
             key_name = f"_k{index}"
@@ -1332,6 +1568,8 @@ def _generate_factor(
             )
             writer.block()
             writer.emit(f"{value_name} = {table_ref(factor.name)}[{key_name}]")
+            if int_source:
+                writer.emit(f"{value_name} = _from_int({value_name})")
             for position, key in enumerate(factor.key_vars):
                 if position in bound_positions:
                     continue
@@ -1348,6 +1586,8 @@ def _generate_factor(
             key_name = f"_k{index}"
             writer.emit(f"for {key_name}, {value_name} in {table_ref(factor.name)}.items():")
             writer.block()
+            if int_source:
+                writer.emit(f"{value_name} = _from_int({value_name})")
             for position, key in enumerate(factor.key_vars):
                 if key in environment:
                     writer.emit(f"if {key_name}[{position}] == {environment[key]}:")

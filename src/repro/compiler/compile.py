@@ -47,6 +47,7 @@ from repro.core.ast import (
     AggSum,
     Assign,
     Compare,
+    Const,
     Expr,
     MapRef,
     Mul,
@@ -70,11 +71,14 @@ from repro.core.normalization import (
 )
 from repro.core.simplify import make_safe, order_for_safety, rename_variables, simplify
 from repro.core.variables import all_variables, check_safety
+from repro.algebra.lattices import direct_shape_plan
+from repro.algebra.semirings import SUPPORT_STRUCTURE, TRACKED_RECOMPUTE, Semiring
 from repro.compiler.maps import MapDefinition, dependency_depths
 from repro.compiler.normal_form import ac_canonical_identity, normalize_rhs
 from repro.compiler.triggers import (
     BatchStatement,
     BatchTrigger,
+    MaintenancePlan,
     RecomputeStatement,
     Statement,
     Trigger,
@@ -100,6 +104,7 @@ class Compiler:
         group_vars: Optional[Sequence[str]] = None,
         verify: bool = True,
         normalize: bool = True,
+        ring: Optional[Semiring] = None,
     ) -> TriggerProgram:
         """Compile a query into a trigger program.
 
@@ -115,6 +120,16 @@ class Compiler:
         coefficient structure.  With ``verify`` (the default) the finished
         program is checked against the trigger-IR invariants
         (:func:`repro.compiler.verify.verify_program`) before being returned.
+
+        ``ring`` selects the maintenance contract: ``None`` or a true ring
+        (additive inverses) compiles the classic invertible program — delete
+        events fold negated deltas.  A proper *semiring* (MIN/MAX, top-k,
+        boolean, natural) instead routes deletions through the declared
+        maintenance strategy: integer-valued base counter maps absorb both
+        signs, support-structure maps are maintained by the executors'
+        support tier, and everything else re-derives affected groups via
+        tracked :class:`RecomputeStatement`\\ s.  The resulting program
+        carries a :class:`~repro.compiler.triggers.MaintenancePlan`.
         """
         body, keys = self._normalize_query(query, group_vars)
         self._validate(body, keys)
@@ -123,6 +138,7 @@ class Compiler:
                 f"map name {name!r} uses the reserved delta-map prefix"
             )
 
+        semiring_mode = ring is not None and not ring.is_ring
         self._maps: Dict[str, MapDefinition] = {}
         self._registry: Dict[Tuple[Expr, Tuple[str, ...]], str] = {}
         self._statements: Dict[Tuple[str, int], List[Statement]] = defaultdict(list)
@@ -133,6 +149,9 @@ class Compiler:
         self._counter = 0
         self._base_name = name
         self._normalize = normalize
+        # Like-term merging rewrites m + m as 2·m — only sound when integer
+        # coefficients act ℤ-linearly, which idempotent semirings break.
+        self._combine_terms = not semiring_mode
 
         worklist: List[MapDefinition] = []
         simplified = simplify(body, needed_vars=set(keys) | all_variables(body))
@@ -147,6 +166,10 @@ class Compiler:
         while worklist:
             self._process_map(worklist.pop(0), worklist)
 
+        maintenance = None
+        if semiring_mode:
+            maintenance = self._apply_semiring_maintenance(ring)
+
         triggers, batch_triggers = self._assemble_triggers()
         program = TriggerProgram(
             result_map=name,
@@ -154,6 +177,7 @@ class Compiler:
             triggers=triggers,
             schema=dict(self.schema),
             batch_triggers=batch_triggers,
+            maintenance=maintenance,
         )
         mark_serial_folds(program)
         if verify:
@@ -388,8 +412,13 @@ class Compiler:
                 self._statements[(relation, sign)].append(statement)
                 self._compile_batch_statement(definition, relation, arity, sign, worklist)
 
+    #: Overridden per-compile; class default keeps hand-driven uses working.
+    _combine_terms = True
+
     def _normal_form(self, rhs: Expr, bound_vars) -> Expr:
         """Statement-RHS cleanup: ring normal form, or plain like-term merging."""
+        if not self._combine_terms:
+            return rhs
         if self._normalize:
             return normalize_rhs(rhs, bound_vars=bound_vars)
         return from_polynomial(combine_like_terms(to_polynomial(rhs)))
@@ -524,6 +553,174 @@ class Compiler:
             driving + rest, bound_vars=(), eager_assignments=True
         )
         return Monomial(monomial.coefficient, tuple(ordered)).to_expr()
+
+    # -- semiring maintenance routing ---------------------------------------------------
+
+    def _apply_semiring_maintenance(self, ring: Semiring) -> MaintenancePlan:
+        """Reroute deletion handling for a coefficient structure without inverses.
+
+        Insert-side folds are kept wherever the simplified delta is free of
+        negation (monotone joins fold correctly in any semiring).  Deletions
+        cannot fold, so per map either (a) the map has the *direct shape* and
+        the ring declares support-structure maintenance — the executors'
+        support tier keeps a bounded best-k sidecar per group and this pass
+        only has to drop the delete-side folds — or (b) a tracked
+        :class:`RecomputeStatement` re-derives the affected groups from
+        integer-valued base counter maps (which absorb both signs with plain
+        integer arithmetic).
+        """
+        read_elsewhere = self._maps_read_elsewhere()
+        strategies: Dict[str, str] = {}
+        supports: Dict[str, object] = {}
+        worklist: List[MapDefinition] = []
+        result = self._maps.get(self._base_name)
+        if result is not None and isinstance(result.definition, Rel):
+            # A bare relation count is integer-valued by construction; there
+            # is no ring-valued fold to maintain, and the base-copy registry
+            # would alias the result map itself.
+            raise CompilationError(
+                "the result of a semiring query must aggregate a value "
+                f"expression; a bare relation count cannot be maintained in {ring.name}"
+            )
+        ring_maps = [
+            name
+            for name, definition in self._maps.items()
+            if not isinstance(definition.definition, Rel)
+        ]
+        for name in ring_maps:
+            definition = self._maps[name]
+            plan = None
+            if (
+                ring.maintenance == SUPPORT_STRUCTURE
+                and name not in read_elsewhere
+                and self._insert_folds_safe(name)
+            ):
+                plan = direct_shape_plan(name, definition.key_vars, definition.definition)
+            if plan is not None:
+                strategies[name] = SUPPORT_STRUCTURE
+                supports[name] = plan
+                # The support rebuilds on exhaustion by scanning the base
+                # counter map, so make sure the relation has one.
+                self._base_copy(plan.relation, definition, worklist)
+                self._drop_folds(name, sign=-1)
+                continue
+            strategies[name] = TRACKED_RECOMPUTE
+            recompute = self._build_recompute(definition, worklist)
+            self._drop_folds(name, sign=-1)
+            for relation in sorted(self._map_trigger_relations(name)):
+                self._attach_recompute(relation, -1, recompute)
+            for relation in self._drop_unsafe_insert_folds(name):
+                self._attach_recompute(relation, 1, recompute)
+        while worklist:
+            self._process_map(worklist.pop(0), worklist)
+        counter_maps = tuple(
+            name
+            for name, definition in self._maps.items()
+            if isinstance(definition.definition, Rel)
+        )
+        for name in counter_maps:
+            strategies[name] = "counter"
+        return MaintenancePlan(
+            ring_name=ring.name,
+            strategies=strategies,
+            counter_maps=counter_maps,
+            supports=supports,
+            relation_counters=dict(self._base_copies),
+        )
+
+    def _maps_read_elsewhere(self) -> frozenset:
+        """Maps referenced by any definition, statement RHS, or recompute body."""
+        reads = set()
+        for definition in self._maps.values():
+            for ref in map_references(definition.definition):
+                reads.add(ref.name)
+        for statements in self._statements.values():
+            for statement in statements:
+                reads.update(statement.maps_read())
+        for statements in self._batch_statements.values():
+            for statement in statements:
+                reads.update(statement.maps_read())
+        for recomputes in self._recomputes.values():
+            for recompute in recomputes:
+                reads.update(recompute.maps_read())
+        return frozenset(reads)
+
+    def _insert_folds_safe(self, name: str) -> bool:
+        """True when none of the map's insert-side folds require negation."""
+        for (_, sign), statements in self._statements.items():
+            if sign != 1:
+                continue
+            for statement in statements:
+                if statement.target == name and _contains_negation(statement.rhs):
+                    return False
+        for (_, sign), statements in self._batch_statements.items():
+            if sign != 1:
+                continue
+            for statement in statements:
+                if statement.target == name and (
+                    _contains_negation(statement.rhs)
+                    or _is_negative_coefficient(statement.coefficient)
+                ):
+                    return False
+        return True
+
+    def _drop_folds(self, name: str, sign: int) -> None:
+        """Remove every fold statement targeting ``name`` for one event sign."""
+        for (relation, event_sign), statements in list(self._statements.items()):
+            if event_sign == sign:
+                self._statements[(relation, event_sign)] = [
+                    statement for statement in statements if statement.target != name
+                ]
+        for (relation, event_sign), statements in list(self._batch_statements.items()):
+            if event_sign == sign:
+                self._batch_statements[(relation, event_sign)] = [
+                    statement for statement in statements if statement.target != name
+                ]
+
+    def _drop_unsafe_insert_folds(self, name: str) -> List[str]:
+        """Drop negation-bearing insert folds of ``name``; the affected relations.
+
+        When one form (per-tuple or batch) of an event's fold is unsafe, both
+        forms are dropped — the recompute that replaces them runs in both
+        execution paths and must not double-count with a surviving fold.
+        """
+        unsafe = set()
+        for (relation, sign), statements in self._statements.items():
+            if sign == 1 and any(
+                statement.target == name and _contains_negation(statement.rhs)
+                for statement in statements
+            ):
+                unsafe.add(relation)
+        for (relation, sign), statements in self._batch_statements.items():
+            if sign == 1 and any(
+                statement.target == name
+                and (
+                    _contains_negation(statement.rhs)
+                    or _is_negative_coefficient(statement.coefficient)
+                )
+                for statement in statements
+            ):
+                unsafe.add(relation)
+        for relation in unsafe:
+            self._statements[(relation, 1)] = [
+                statement
+                for statement in self._statements[(relation, 1)]
+                if statement.target != name
+            ]
+            self._batch_statements[(relation, 1)] = [
+                statement
+                for statement in self._batch_statements[(relation, 1)]
+                if statement.target != name
+            ]
+        return sorted(unsafe)
+
+    def _attach_recompute(
+        self, relation: str, sign: int, recompute: RecomputeStatement
+    ) -> None:
+        """Register a recompute for one event unless the target already has one."""
+        existing = self._recomputes[(relation, sign)]
+        if not any(statement.target == recompute.target for statement in existing):
+            existing.append(recompute)
 
     # -- recompute-based maintenance (maps reading other maps) --------------------------
 
@@ -874,6 +1071,27 @@ def _delta_projection(
     return positions, monomial.coefficient
 
 
+def _contains_negation(expr: Expr) -> bool:
+    """True when a statement RHS uses the additive inverse.
+
+    ``Neg`` nodes and bare negative constant coefficients both require
+    ``ring.neg`` at execution time.  Comparison operands are data-level
+    expressions (a ``Const(-5)`` inside ``x < -5`` is a value, not a
+    coefficient), so the scan does not descend into them.
+    """
+    if isinstance(expr, Compare):
+        return False
+    if isinstance(expr, Neg):
+        return True
+    if isinstance(expr, Const):
+        return _is_negative_coefficient(expr.value)
+    return any(_contains_negation(child) for child in expr.children())
+
+
+def _is_negative_coefficient(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool) and value < 0
+
+
 def _produced_variables(factor: Expr) -> frozenset:
     """Variables a monomial factor binds for the factors to its right."""
     if isinstance(factor, Rel):
@@ -892,10 +1110,16 @@ def compile_query(
     group_vars: Optional[Sequence[str]] = None,
     verify: bool = True,
     normalize: bool = True,
+    ring: Optional[Semiring] = None,
 ) -> TriggerProgram:
     """Convenience wrapper around :class:`Compiler`."""
     return Compiler(schema).compile(
-        query, name=name, group_vars=group_vars, verify=verify, normalize=normalize
+        query,
+        name=name,
+        group_vars=group_vars,
+        verify=verify,
+        normalize=normalize,
+        ring=ring,
     )
 
 

@@ -54,7 +54,8 @@ from __future__ import annotations
 from collections import Counter
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.algebra.semirings import INTEGER_RING, Semiring
+from repro.algebra.lattices import SupportTier
+from repro.algebra.semirings import FLOAT_FIELD, INTEGER_RING, Semiring
 from repro.compiler.cost import (
     MAX_SPECIALIZED_EVENTS,
     RuntimeStatistics,
@@ -67,6 +68,7 @@ from repro.compiler.partition.backends import ShardBackend, make_shard_backend
 from repro.compiler.sharding import (
     ShardedMapTable,
     fold_sharded_table,
+    fold_shards_threaded,
     make_inline_shard_fold,
     make_shard_fold,
     resolve_shard_count,
@@ -86,6 +88,51 @@ from repro.gmr.records import Record
 
 MapTable = Dict[Tuple[Any, ...], Any]
 
+_MISSING = object()
+
+
+class _FromIntView:
+    """A read-only mapping adapter exposing a ℤ-valued counter map as its
+    ``from_int`` image in the session ring.
+
+    Recompute bodies re-derive group folds from the base-relation counter
+    maps; the ring evaluator must see ring values there, while the counter
+    itself keeps exact integer multiplicities.  The view shares the
+    underlying table (and therefore the slice-index buckets built over its
+    keys), converting values lazily on access.
+    """
+
+    __slots__ = ("_table", "_from_int")
+
+    def __init__(self, table: MapTable, ring: Semiring):
+        self._table = table
+        self._from_int = ring.from_int
+
+    def get(self, key, default=None):
+        value = self._table.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        return self._from_int(value)
+
+    def __getitem__(self, key):
+        return self._from_int(self._table[key])
+
+    def __contains__(self, key):
+        return key in self._table
+
+    def __iter__(self):
+        return iter(self._table)
+
+    def __len__(self):
+        return len(self._table)
+
+    def keys(self):
+        return self._table.keys()
+
+    def items(self):
+        from_int = self._from_int
+        return ((key, from_int(value)) for key, value in self._table.items())
+
 
 class TriggerRuntime:
     """Executes a compiled :class:`TriggerProgram` over a stream of updates."""
@@ -100,12 +147,43 @@ class TriggerRuntime:
     ):
         self.program = program
         self.ring = ring
+        #: Semiring maintenance mode: the ring has no additive inverse, so
+        #: the program must carry a :class:`~repro.compiler.triggers.MaintenancePlan`
+        #: (counter maps in ℤ, support sidecars, tracked recomputes) and CDC
+        #: switches from per-key deltas to per-key post-update values.
+        self._semiring = not ring.is_ring
+        if self._semiring and program.maintenance is None:
+            raise TypeError(
+                f"program {program.result_map!r} carries no maintenance plan; "
+                f"recompile the query with ring={ring.name!r} to run it over a semiring"
+            )
+        maintenance = program.maintenance if self._semiring else None
+        self._maintenance = maintenance
+        self._counter_maps = (
+            frozenset(maintenance.counter_maps) if maintenance is not None else frozenset()
+        )
+        self._support_tier: Optional[SupportTier] = None
+        self._support_relations: frozenset = frozenset()
+        if maintenance is not None and maintenance.supports:
+            self._support_tier = SupportTier(ring, maintenance.supports)
+            self._support_relations = frozenset(
+                plan.relation for plan in maintenance.supports.values()
+            )
         # Hot-loop batch specialization (the interpreted mirror of the
         # codegen fast paths): Counter-counted delta tables and fused
         # bare-count totals are an int-multiplicity optimization, so they
-        # gate on the integer ring; ``specialize=None`` defers to
-        # ``REPRO_SPECIALIZE`` (default on).
-        self._specialize = ring is INTEGER_RING and specialization_enabled(specialize)
+        # gate on the integer ring — plus the float field, whose only fast
+        # path is the Kahan-compensated fused total (order-preserving);
+        # ``specialize=None`` defers to ``REPRO_SPECIALIZE`` (default on).
+        self._specialize = (
+            ring is INTEGER_RING or ring is FLOAT_FIELD
+        ) and specialization_enabled(specialize)
+        #: Per-target Kahan compensation for the float fused-total path;
+        #: ``None`` outside the float field.  Carried across batches so a
+        #: long stream of totals keeps full compensated accuracy.
+        self._kahan: Optional[Dict[str, float]] = (
+            {} if ring is FLOAT_FIELD and self._specialize else None
+        )
         self._specializations: Dict[Tuple[str, int], str] = {}
         #: Lazily-built per-program batch plan: ``None`` until first use, a
         #: ``_BatchPlan`` once built, ``False`` when the program is too wide
@@ -137,9 +215,19 @@ class TriggerRuntime:
         if self.shards > 1:
             self._shard_fold = make_shard_fold(ring)
             self._shard_fold_inline = make_inline_shard_fold(ring)
+            # Counter maps fold in ℤ whatever the session ring is.
+            self._shard_fold_int = make_shard_fold(INTEGER_RING)
+            self._shard_fold_inline_int = make_inline_shard_fold(INTEGER_RING)
         # The evaluator needs a Database only for its coefficient structure and
         # declared schema; compiled right-hand sides never read base relations.
         self._environment = Database(schema=program.schema, ring=ring)
+        #: Counter statements (base-copy folds) evaluate in ℤ, not the ring.
+        self._count_env = (
+            Database(schema=program.schema, ring=INTEGER_RING) if self._semiring else None
+        )
+        #: Cached ring view of the map environment (counter tables wrapped in
+        #: :class:`_FromIntView`); invalidated whenever tables are replaced.
+        self._ring_view: Optional[IndexedMaps] = None
 
     def make_table(self, contents: Optional[MapTable] = None) -> MapTable:
         """A fresh map table honoring the runtime's shard configuration.
@@ -162,12 +250,17 @@ class TriggerRuntime:
         O(entries of the copied tables).
         """
         targets = self.maps if names is None else names
-        return {
+        backup = {
             name: (
                 table.copy() if type(table) is ShardedMapTable else dict(table)
             )
             for name, table in ((name, self.maps[name]) for name in targets)
         }
+        if self._support_tier is not None:
+            # The support sidecars ride the table backup under a reserved key
+            # (map names never collide with it — they are identifiers).
+            backup["__supports__"] = self._support_tier.backup()
+        return backup
 
     def restore_tables(self, backup: Dict[str, MapTable]) -> None:
         """Reinstall backed-up table contents and rebuild the slice indexes.
@@ -175,9 +268,25 @@ class TriggerRuntime:
         Only the maps present in ``backup`` are replaced (a partial backup
         covers exactly the maps that could have been written).
         """
+        supports = None
         for name, contents in backup.items():
+            if name == "__supports__":
+                supports = contents
+                continue
             self.maps[name] = self.make_table(contents)
         self.indexes.rebuild(self.maps)
+        self._ring_view = None
+        if self._support_tier is not None:
+            if supports is not None:
+                self._support_tier.restore(supports)
+            else:
+                # A backup taken before the tier existed (or from another
+                # backend): rebuild the sidecars from the restored counters.
+                self._support_tier.bootstrap(self._counter_rows)
+        if self._kahan is not None:
+            # Compensation terms refer to the replaced table values; dropping
+            # them is always sound (it only forgoes accumulated accuracy).
+            self._kahan.clear()
 
     def writable_maps_for(self, updates: Iterable[Update]) -> set:
         """The map names the given updates' triggers can write.
@@ -190,12 +299,18 @@ class TriggerRuntime:
         """
         program = self.program
         touched: set = set()
-        for event in {(update.relation, update.sign) for update in updates}:
+        events = {(update.relation, update.sign) for update in updates}
+        for event in events:
             for trigger in (program.triggers.get(event), program.batch_triggers.get(event)):
                 if trigger is None:
                     continue
                 touched.update(statement.target for statement in trigger.statements)
                 touched.update(recompute.target for recompute in trigger.recomputes)
+        if self._support_tier is not None:
+            relations = {relation for relation, _sign in events}
+            for name, plan in self._maintenance.supports.items():
+                if plan.relation in relations:
+                    touched.add(name)
         return touched
 
     # -- initialization -----------------------------------------------------------
@@ -222,16 +337,29 @@ class TriggerRuntime:
         plain: Dict[str, MapTable] = dict(self.maps)
         for name in sorted(targets, key=lambda name: (depths[name], name)):
             definition = self.program.maps[name]
-            query = AggSum(definition.key_vars, make_safe(definition.definition))
-            result = evaluate(query, db, maps=plain)
             table: MapTable = {}
-            for record, value in result.items():
-                key = record.values_for(definition.key_vars)
-                if not self.ring.is_zero(value):
-                    table[key] = value
+            if self._semiring and name in self._counter_maps:
+                # Counter maps are identity copies of a base relation, valued
+                # in ℤ — read the exact multiplicities straight off the
+                # database rather than evaluating under the session ring.
+                for values, count in db.counts(definition.definition.name).items():
+                    if count > 0:
+                        table[values] = count
+            else:
+                query = AggSum(definition.key_vars, make_safe(definition.definition))
+                result = evaluate(query, db, maps=plain)
+                for record, value in result.items():
+                    key = record.values_for(definition.key_vars)
+                    if not self.ring.is_zero(value):
+                        table[key] = value
             plain[name] = table
             self.maps[name] = self.make_table(table) if self.shards > 1 else table
         self.indexes.rebuild(self.maps)
+        self._ring_view = None
+        if self._support_tier is not None:
+            self._support_tier.bootstrap(self._counter_rows)
+        if self._kahan is not None:
+            self._kahan.clear()
 
     # -- update processing -----------------------------------------------------------
 
@@ -243,11 +371,18 @@ class TriggerRuntime:
         """
         self.statistics.updates_processed += update.count
         trigger = self.program.trigger_for(update.relation, update.sign)
-        if trigger is None:
-            return
-        self._check_arity(trigger, update)
-        for _ in range(update.count):
-            self._apply_trigger(trigger, update.values, changes)
+        if trigger is not None:
+            self._check_arity(trigger, update)
+            for _ in range(update.count):
+                self._apply_trigger(trigger, update.values, changes)
+        if self._support_tier is not None and update.relation in self._support_relations:
+            # Fed after the triggers: an exhausted support's rebuild must see
+            # the post-update counter map.
+            diffs = self._support_tier.collect(
+                ((update.relation, update.values, update.sign, update.count),),
+                self._counter_rows,
+            )
+            self._apply_support_changes(diffs, changes)
 
     def apply_batch(
         self, updates: Iterable[Update], changes: Optional[Dict[str, MapTable]] = None
@@ -278,13 +413,25 @@ class TriggerRuntime:
                 if updates:
                     self._apply_batch_specialized(plan, updates, changes)
                 return
-        for (relation, sign), group in self._validated_groups(updates).items():
+        # Under a semiring the delta tables count tuples in ℤ (counter folds
+        # consume them directly; ring statements see a ``from_int`` overlay).
+        delta_ring = INTEGER_RING if self._semiring else self.ring
+        groups = self._validated_groups(updates)
+        ordered = groups.items()
+        if self._semiring:
+            # Insert groups fold before delete groups: a batch may delete a
+            # row the same batch inserts, and a delete-event recompute reads
+            # the ℤ counter maps through ``from_int``, which has no image for
+            # transiently negative counts.  Over a ring the order cannot be
+            # observed, so the first-seen order is kept there.
+            ordered = sorted(groups.items(), key=lambda item: -item[0][1])
+        for (relation, sign), group in ordered:
             tuple_count = sum(update.count for update in group)
             self.statistics.updates_processed += tuple_count
             batch_trigger = self.program.batch_trigger_for(relation, sign)
             if batch_trigger is not None:
                 delta_table = build_delta_table(
-                    group, self.ring, table=self._acquire_delta_buffer()
+                    group, delta_ring, table=self._acquire_delta_buffer()
                 )
                 if delta_table:
                     self._apply_batch_trigger(batch_trigger, delta_table, changes)
@@ -296,6 +443,7 @@ class TriggerRuntime:
             for update in group:
                 for _ in range(update.count):
                     self._apply_trigger(trigger, update.values, changes)
+        self._feed_supports(groups, changes)
 
     def _batch_plan(self):
         """The cached specialized batch plan (``False`` when ineligible)."""
@@ -429,8 +577,19 @@ class TriggerRuntime:
         Mirrors :meth:`_apply_batch_trigger` for the bare-count shape: each
         statement's whole-batch increment is ``coefficient * total`` at the
         empty key, folded through the shared increment path so CDC, stats and
-        sharded-table handling stay identical to the generic route.
+        sharded-table handling stay identical to the generic route.  Over the
+        float field the fold is Kahan-compensated: the per-target running
+        compensation term recovers the low-order bits each ``+=`` drops, so a
+        long stream of fused totals tracks ``math.fsum`` accuracy at straight
+        accumulation speed.
         """
+        if self._kahan is not None:
+            for statement in batch_trigger.statements:
+                self.statistics.statements_executed += 1
+                self._fold_total_compensated(
+                    statement.target, statement.coefficient * total, changes
+                )
+            return
         for statement in batch_trigger.statements:
             self.statistics.statements_executed += 1
             self._fold_increments(
@@ -440,6 +599,33 @@ class TriggerRuntime:
                 None,
                 serial=statement.serial_fold,
             )
+
+    def _fold_total_compensated(
+        self,
+        target: str,
+        increment: float,
+        changes: Optional[Dict[str, MapTable]],
+    ) -> None:
+        """One Kahan-compensated fold into a nullary-key float total."""
+        table = self.maps[target]
+        key = ()
+        if changes is not None:
+            collector = changes.get(target)
+            if collector is not None:
+                collector[key] = collector.get(key, 0.0) + increment
+        compensation = self._kahan
+        old = table.get(key, 0.0)
+        adjusted = increment - compensation.get(target, 0.0)
+        new = old + adjusted
+        compensation[target] = (new - old) - adjusted
+        self.statistics.entries_updated += 1
+        if new == 0.0:
+            if table.pop(key, None) is not None:
+                self.indexes.discard(target, key)
+        else:
+            if key not in table:
+                self.indexes.add(target, key)
+            table[key] = new
 
     #: Upper bound on pooled delta buffers — one per concurrently live
     #: ``(relation, sign)`` group is plenty; anything beyond is leaked churn.
@@ -473,7 +659,13 @@ class TriggerRuntime:
         is the reference semantics batch triggers are checked against and the
         baseline the batch-update benchmark compares with.
         """
-        for (relation, sign), group in self._validated_groups(updates).items():
+        groups = self._validated_groups(updates)
+        ordered = groups.items()
+        if self._semiring:
+            # Insert groups replay before delete groups (see apply_batch):
+            # delete-event recomputes read counter maps through from_int.
+            ordered = sorted(groups.items(), key=lambda item: -item[0][1])
+        for (relation, sign), group in ordered:
             self.statistics.updates_processed += sum(update.count for update in group)
             trigger = self.program.trigger_for(relation, sign)
             if trigger is None:
@@ -481,6 +673,7 @@ class TriggerRuntime:
             for update in group:
                 for _ in range(update.count):
                     self._apply_trigger(trigger, update.values, changes)
+        self._feed_supports(groups, changes)
 
     def _validated_groups(
         self, updates: Iterable[Update]
@@ -507,6 +700,101 @@ class TriggerRuntime:
                 f"update {update!r} does not match the arity of relation {update.relation!r}"
             )
 
+    # -- support-structure maintenance ------------------------------------------------
+
+    def _counter_rows(self, relation: str):
+        """The relation's current ``(row, count)`` pairs from its counter map
+        (the support tier's bootstrap and exhaustion-recovery source)."""
+        name = self._maintenance.relation_counters.get(relation)
+        if name is None:
+            return ()
+        return self.maps[name].items()
+
+    @property
+    def has_supports(self) -> bool:
+        """Whether the maintenance plan keeps support-structure sidecars."""
+        return self._support_tier is not None
+
+    def rebuild_supports(self) -> None:
+        """(Re)derive every support sidecar from the counter maps.
+
+        Used after map tables were installed wholesale (session restore): the
+        sidecars are a function of the base counters, so rebuilding beats
+        serializing them — and the rebuilt supports are always untruncated.
+        """
+        if self._support_tier is not None:
+            self._support_tier.bootstrap(self._counter_rows)
+
+    def feed_supports(
+        self,
+        updates: Iterable[Update],
+        changes: Optional[Dict[str, MapTable]] = None,
+    ) -> None:
+        """Feed raw updates into the support sidecars (post-trigger).
+
+        The engine-level hook for the generated backend, which shares this
+        runtime's maps and tier but applies triggers through its own module;
+        the interpreted entry points feed internally.  Must run *after* the
+        triggers so an exhausted support's rebuild sees post-update counters.
+        """
+        if self._support_tier is None:
+            return
+        feed = [
+            (update.relation, update.values, update.sign, update.count)
+            for update in updates
+            if update.relation in self._support_relations
+        ]
+        if feed:
+            diffs = self._support_tier.collect(feed, self._counter_rows)
+            self._apply_support_changes(diffs, changes)
+
+    def _feed_supports(
+        self,
+        groups: Dict[Tuple[str, int], List[Update]],
+        changes: Optional[Dict[str, MapTable]],
+    ) -> None:
+        """Feed a validated batch into the support sidecars (post-triggers)."""
+        if self._support_tier is None:
+            return
+        feed = []
+        for (relation, sign), group in groups.items():
+            if relation in self._support_relations:
+                feed.extend(
+                    (relation, update.values, sign, update.count) for update in group
+                )
+        if feed:
+            diffs = self._support_tier.collect(feed, self._counter_rows)
+            self._apply_support_changes(diffs, changes)
+
+    def _apply_support_changes(
+        self,
+        diffs: Dict[str, Dict[Tuple[Any, ...], Any]],
+        changes: Optional[Dict[str, MapTable]],
+    ) -> None:
+        """Install the support tier's per-group new values into the tables.
+
+        ``None`` (and ring zero) mean the group emptied out; semiring CDC
+        reports that as the zero so subscribers can drop the key.
+        """
+        ring = self.ring
+        indexes = self.indexes
+        for name, group_values in diffs.items():
+            table = self.maps[name]
+            collector = None if changes is None else changes.get(name)
+            for key, value in group_values.items():
+                self.statistics.entries_updated += 1
+                if value is None or ring.is_zero(value):
+                    if table.pop(key, None) is not None:
+                        indexes.discard(name, key)
+                    if collector is not None:
+                        collector[key] = ring.zero
+                else:
+                    if key not in table:
+                        indexes.add(name, key)
+                    table[key] = value
+                    if collector is not None:
+                        collector[key] = value
+
     def _apply_trigger(
         self,
         trigger: Trigger,
@@ -523,8 +811,19 @@ class TriggerRuntime:
         pending = []
         for statement in trigger.statements:
             self.statistics.statements_executed += 1
+            environment = self._environment
+            maps = self.maps
+            if self._count_env is not None:
+                if statement.target in self._counter_maps:
+                    # Counter statements are ℤ-valued whatever the ring is.
+                    environment = self._count_env
+                else:
+                    # Ring statements can join against counter maps (base
+                    # copies of the other relations) — read them as ring
+                    # values through the from-int view.
+                    maps = self._evaluation_maps()
             result = evaluate(
-                statement.as_aggregate(), self._environment, bindings, maps=self.maps
+                statement.as_aggregate(), environment, bindings, maps=maps
             )
             increments = {
                 record.values_for(statement.target_keys): value
@@ -577,25 +876,77 @@ class TriggerRuntime:
         recomputes re-derive once per group.
         """
         ring = self.ring
+        semiring = self._semiring
         tracked_sources = self._tracked_sources_for(batch_trigger.recomputes)
         pending = []
+        #: Lazily-built ring view for evaluate statements in semiring mode:
+        #: counter maps wrapped, plus the delta's ``from_int`` image under
+        #: the reserved delta name.
+        ring_view: Optional[IndexedMaps] = None
         self.maps[batch_trigger.delta_map] = delta_table
         try:
             for statement in batch_trigger.statements:
                 self.statistics.statements_executed += 1
                 increments: MapTable = {}
+                is_counter = semiring and statement.target in self._counter_maps
                 if statement.projection is not None:
-                    coefficient = ring.coerce(statement.coefficient)
-                    for key, multiplicity in delta_table.items():
-                        target_key = tuple(key[position] for position in statement.projection)
-                        value = ring.mul(coefficient, multiplicity)
-                        existing = increments.get(target_key)
-                        increments[target_key] = (
-                            value if existing is None else ring.add(existing, value)
-                        )
+                    if is_counter:
+                        coefficient = statement.coefficient
+                        for key, multiplicity in delta_table.items():
+                            target_key = tuple(
+                                key[position] for position in statement.projection
+                            )
+                            increments[target_key] = (
+                                increments.get(target_key, 0) + coefficient * multiplicity
+                            )
+                    elif semiring:
+                        # The delta counts tuples in ℤ: a count maps to its
+                        # ``from_int`` image, and a coefficient of 1 stays out
+                        # of the product entirely — ``coerce(1)`` need not be
+                        # the multiplicative identity outside a ring (min-plus
+                        # coerces 1 to the value 1.0, but its ``one`` is 0.0).
+                        coefficient = statement.coefficient
+                        for key, multiplicity in delta_table.items():
+                            target_key = tuple(
+                                key[position] for position in statement.projection
+                            )
+                            value = ring.from_int(multiplicity)
+                            if coefficient != 1:
+                                value = ring.mul(ring.coerce(coefficient), value)
+                            existing = increments.get(target_key)
+                            increments[target_key] = (
+                                value if existing is None else ring.add(existing, value)
+                            )
+                    else:
+                        coefficient = ring.coerce(statement.coefficient)
+                        for key, multiplicity in delta_table.items():
+                            target_key = tuple(
+                                key[position] for position in statement.projection
+                            )
+                            value = ring.mul(coefficient, multiplicity)
+                            existing = increments.get(target_key)
+                            increments[target_key] = (
+                                value if existing is None else ring.add(existing, value)
+                            )
                 else:
+                    environment = self._environment
+                    maps = self.maps
+                    if semiring:
+                        if is_counter:
+                            environment = self._count_env
+                        else:
+                            if ring_view is None:
+                                from_int = ring.from_int
+                                ring_view = IndexedMaps(
+                                    self._evaluation_maps(), indexes=self.indexes
+                                )
+                                ring_view[batch_trigger.delta_map] = {
+                                    key: from_int(multiplicity)
+                                    for key, multiplicity in delta_table.items()
+                                }
+                            maps = ring_view
                     result = evaluate(
-                        statement.as_aggregate(), self._environment, maps=self.maps
+                        statement.as_aggregate(), environment, maps=maps
                     )
                     for record, value in result.items():
                         increments[record.values_for(statement.target_keys)] = value
@@ -629,6 +980,9 @@ class TriggerRuntime:
         increment maps over a sharded table.
         """
         ring = self.ring
+        semiring = self._semiring
+        if semiring and target in self._counter_maps:
+            ring = INTEGER_RING
         table = self.maps[target]
         if type(table) is ShardedMapTable:
             self._fold_increments_sharded(
@@ -639,11 +993,16 @@ class TriggerRuntime:
         collector = None if changes is None else changes.get(target)
         touched = None if tracked_sources is None else tracked_sources.get(target)
         for key, value in increments.items():
+            new_value = ring.add(table.get(key, ring.zero), value)
             if collector is not None:
-                collector[key] = ring.add(collector.get(key, ring.zero), value)
+                if semiring:
+                    # Semiring CDC carries post-update values (differences
+                    # are undefined without subtraction); zero = key gone.
+                    collector[key] = new_value
+                else:
+                    collector[key] = ring.add(collector.get(key, ring.zero), value)
             if touched is not None and not ring.is_zero(value):
                 touched.add(key)
-            new_value = ring.add(table.get(key, ring.zero), value)
             self.statistics.entries_updated += 1
             if ring.is_zero(new_value):
                 if table.pop(key, None) is not None:
@@ -674,11 +1033,23 @@ class TriggerRuntime:
         if not increments:
             return
         ring = self.ring
+        semiring = self._semiring
+        counter = semiring and target in self._counter_maps
+        if counter:
+            ring = INTEGER_RING
         collector = None if changes is None else changes.get(target)
         touched = None if tracked_sources is None else tracked_sources.get(target)
         if collector is not None:
-            for key, value in increments.items():
-                collector[key] = ring.add(collector.get(key, ring.zero), value)
+            if semiring:
+                # Post-update values, read before the fold mutates the table
+                # (each key folds exactly once per call, so old + increment
+                # is the value the fold will store).
+                zero = ring.zero
+                for key, value in increments.items():
+                    collector[key] = ring.add(table.get(key, zero), value)
+            else:
+                for key, value in increments.items():
+                    collector[key] = ring.add(collector.get(key, ring.zero), value)
         if touched is not None:
             for key, value in increments.items():
                 if not ring.is_zero(value):
@@ -686,13 +1057,29 @@ class TriggerRuntime:
         self.statistics.entries_updated += len(increments)
         journal = self.indexes.specs.get(target) is not None
         indexes = self.indexes
+        sink = lambda added, removed: indexes.apply_journal(target, added, removed)  # noqa: E731
+        if counter:
+            # Counter folds run in ℤ whatever the session ring is.  The
+            # process backend's workers fold with the session ring, so counter
+            # maps stay on coordinator shards (thread pool / inline) and never
+            # gain a worker mirror — no staleness to track.
+            fold_shards_threaded(
+                table,
+                increments,
+                journal,
+                self._shard_fold_int,
+                self._shard_fold_inline_int,
+                sink,
+                force_inline=serial,
+            )
+            return
         fold_sharded_table(
             table,
             increments,
             journal,
             self._shard_fold,
             self._shard_fold_inline,
-            lambda added, removed: indexes.apply_journal(target, added, removed),
+            sink,
             force_inline=serial,
             name=target,
         )
@@ -706,7 +1093,9 @@ class TriggerRuntime:
         """Execute one recompute statement: re-evaluate affected groups, fold diffs."""
         self.statistics.statements_executed += 1
         ring = self.ring
+        semiring = self._semiring
         table = self.maps[recompute.target]
+        maps = self._evaluation_maps()
         new_values: Dict[Tuple[Any, ...], Any] = {}
         affected: Iterable[Tuple[Any, ...]]
         if recompute.tracked:
@@ -718,7 +1107,7 @@ class TriggerRuntime:
             def evaluate_group(group):
                 group_bindings = Record.from_values(recompute.target_keys, group)
                 result = evaluate(
-                    recompute.as_aggregate(), self._environment, group_bindings, maps=self.maps
+                    recompute.as_aggregate(), self._environment, group_bindings, maps=maps
                 )
                 value = ring.zero
                 for _record, part in result.items():
@@ -739,7 +1128,7 @@ class TriggerRuntime:
             new_values = dict(zip(group_list, values))
             affected = group_list
         else:
-            result = evaluate(recompute.as_aggregate(), self._environment, maps=self.maps)
+            result = evaluate(recompute.as_aggregate(), self._environment, maps=maps)
             for record, value in result.items():
                 key = record.values_for(recompute.target_keys)
                 if key in new_values:
@@ -758,8 +1147,11 @@ class TriggerRuntime:
                 continue
             self.statistics.entries_updated += 1
             if collector is not None:
-                delta = ring.sub(new_value, old_value)
-                collector[key] = ring.add(collector.get(key, ring.zero), delta)
+                if semiring:
+                    collector[key] = new_value
+                else:
+                    delta = ring.sub(new_value, old_value)
+                    collector[key] = ring.add(collector.get(key, ring.zero), delta)
             if touched is not None:
                 touched.add(key)
             if ring.is_zero(new_value):
@@ -769,6 +1161,28 @@ class TriggerRuntime:
                 if key not in table:
                     indexes.add(recompute.target, key)
                 table[key] = new_value
+
+    def _evaluation_maps(self):
+        """The ring evaluator's view of the map environment.
+
+        Counter maps hold exact ℤ multiplicities; ring-valued statements and
+        recompute bodies can join against them (base-relation copies), so
+        their counts must read back as ``from_int`` images.  The view shares
+        the underlying tables (and the attached slice indexes, whose buckets
+        hold the same keys), so index-backed partially-bound reads keep their
+        per-group cost; it is cached until a table object is replaced.
+        """
+        if not self._semiring or not self._counter_maps:
+            return self.maps
+        view = self._ring_view
+        if view is None:
+            view = IndexedMaps(self.maps, indexes=self.indexes)
+            for name in self._counter_maps:
+                counter = view.get(name)
+                if counter is not None:
+                    view[name] = _FromIntView(counter, self.ring)
+            self._ring_view = view
+        return view
 
     def apply_all(self, updates: Iterable[Update]) -> None:
         for update in updates:
@@ -852,6 +1266,14 @@ class _BatchPlan:
         replay_events = [
             (relation, sign, trigger) for (relation, sign), trigger in replay_items
         ]
+        if runtime.ring is FLOAT_FIELD and (
+            replay_events
+            or any(verdict != "total" for _r, _s, verdict, _t in batch_events)
+        ):
+            # Float accumulation is order-sensitive: only the compensated
+            # fused-total shape (nullary keys, one += per statement) is safe
+            # to specialize — Counter grouping and replay reorder the adds.
+            return False
         arities = {
             event: len(trigger.argument_names) for event, trigger in program.triggers.items()
         }

@@ -533,13 +533,19 @@ def fold_sharded_table(
     )
 
 
-def make_generated_fold_sharded(ring: Semiring):
+def make_generated_fold_sharded(ring: Semiring, local: bool = False):
     """The ``_fold_sharded`` helper injected into generated trigger modules.
 
     The generated ``_fold`` delegates here when its target table is a
     :class:`ShardedMapTable` (after handling CDC and tracked-source
     accumulation serially); index maintenance is journalled by the workers
     and replayed into the raw ``_IDX`` storage after the join.
+
+    ``local`` pins the fold to the coordinator's thread pool regardless of
+    the table's attached shard backend: the process backend's workers fold
+    with the session ring, so ℤ-valued counter maps of a semiring program
+    must stay on coordinator shards (they then never gain a worker mirror,
+    so no staleness can arise).
     """
     fold_shard = make_shard_fold(ring)
     fold_inline = make_inline_shard_fold(ring)
@@ -550,6 +556,12 @@ def make_generated_fold_sharded(ring: Semiring):
         def sink(added, removed):
             apply_index_journal(idx, specs, name, added, removed)
 
+        if local:
+            fold_shards_threaded(
+                table, acc, journal, fold_shard, fold_inline, sink,
+                force_inline=serial,
+            )
+            return
         fold_sharded_table(
             table, acc, journal, fold_shard, fold_inline, sink,
             force_inline=serial, name=name,

@@ -291,6 +291,66 @@ class BatchTrigger:
 
 
 @dataclass
+class MaintenancePlan:
+    """How a semiring-compiled program maintains its maps under deletions.
+
+    Present on :class:`TriggerProgram` only when the program was compiled for
+    a proper semiring (no additive inverse).  ``strategies`` assigns every
+    map one of the :mod:`repro.algebra.semirings` maintenance strategies —
+    plus ``"counter"`` for the integer-valued base-copy maps that both
+    tracked recomputes and support rebuilds read.  ``counter_maps`` lists
+    those integer maps (executors run their folds with plain integer
+    arithmetic and convert reads through ``ring.from_int``);
+    ``relation_counters`` maps each base relation to its counter map;
+    ``supports`` holds the :class:`repro.algebra.lattices.SupportPlan` of
+    every support-structure map.
+    """
+
+    ring_name: str
+    strategies: Dict[str, str] = field(default_factory=dict)
+    counter_maps: Tuple[str, ...] = ()
+    supports: Dict[str, Any] = field(default_factory=dict)
+    relation_counters: Dict[str, str] = field(default_factory=dict)
+
+    def strategy_for(self, name: str) -> Optional[str]:
+        return self.strategies.get(name)
+
+    def renamed(self, renaming: Dict[str, str]) -> "MaintenancePlan":
+        """The plan under a map renaming (used by the multi-view catalog)."""
+        import dataclasses as _dataclasses
+
+        def new(name: str) -> str:
+            return renaming.get(name, name)
+
+        return MaintenancePlan(
+            ring_name=self.ring_name,
+            strategies={new(name): strategy for name, strategy in self.strategies.items()},
+            counter_maps=tuple(new(name) for name in self.counter_maps),
+            supports={
+                new(name): _dataclasses.replace(plan, map_name=new(name))
+                for name, plan in self.supports.items()
+            },
+            relation_counters={
+                relation: new(name) for relation, name in self.relation_counters.items()
+            },
+        )
+
+    def merge(self, other: "MaintenancePlan") -> None:
+        """Fold another program's plan into this one (same ring required)."""
+        if other.ring_name != self.ring_name:
+            raise ValueError(
+                f"cannot merge maintenance plans over different rings "
+                f"({self.ring_name!r} vs {other.ring_name!r})"
+            )
+        self.strategies.update(other.strategies)
+        merged = dict.fromkeys(self.counter_maps)
+        merged.update(dict.fromkeys(other.counter_maps))
+        self.counter_maps = tuple(merged)
+        self.supports.update(other.supports)
+        self.relation_counters.update(other.relation_counters)
+
+
+@dataclass
 class TriggerProgram:
     """A compiled query: the map hierarchy plus one trigger per event kind.
 
@@ -306,6 +366,8 @@ class TriggerProgram:
     triggers: Dict[Tuple[str, int], Trigger]
     schema: Dict[str, Tuple[str, ...]]
     batch_triggers: Dict[Tuple[str, int], BatchTrigger] = field(default_factory=dict)
+    #: Semiring maintenance contract; ``None`` for ring-compiled programs.
+    maintenance: Optional[MaintenancePlan] = None
 
     def trigger_for(self, relation: str, sign: int) -> Optional[Trigger]:
         return self.triggers.get((relation, sign))
@@ -362,7 +424,12 @@ class TriggerProgram:
 
         lines = ["MAPS:"]
         for definition in sorted(self.maps.values(), key=lambda d: (d.level, d.name)):
-            lines.append(f"  [level {definition.level}] {definition.describe()}")
+            maint = ""
+            if self.maintenance is not None:
+                strategy = self.maintenance.strategy_for(definition.name)
+                if strategy:
+                    maint = f"  [maint:{strategy}]"
+            lines.append(f"  [level {definition.level}] {definition.describe()}{maint}")
         lines.append("TRIGGERS:")
         for key in sorted(self.triggers, key=lambda pair: (pair[0], -pair[1])):
             trigger = self.triggers[key]

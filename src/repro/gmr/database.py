@@ -185,6 +185,14 @@ class Database:
         self.ring = ring
         self._columns: Dict[str, Tuple[str, ...]] = {}
         self._relations: Dict[str, GMR] = {}
+        #: Per-relation integer row counts, kept only for proper semirings:
+        #: deletions cannot be folded as ``from_int(-1)`` multiplicities, so
+        #: the counts are the source of truth and each relation's gmr is
+        #: rebuilt lazily (``count`` rows become ``from_int(count)``).
+        self._counts: Optional[Dict[str, Dict[Tuple[Any, ...], int]]] = (
+            None if ring.is_ring else {}
+        )
+        self._stale: set = set()
         if schema:
             for name, columns in schema.items():
                 self.declare(name, columns)
@@ -203,6 +211,8 @@ class Database:
             )
         self._columns[name] = columns
         self._relations.setdefault(name, GMR.zero(ring=self.ring))
+        if self._counts is not None:
+            self._counts.setdefault(name, {})
 
     def columns(self, name: str) -> Tuple[str, ...]:
         """The declared column order of a relation."""
@@ -230,38 +240,101 @@ class Database:
     def relation(self, name: str) -> GMR:
         """The current gmr stored under ``name`` (empty if never touched)."""
         self.columns(name)
+        if self._counts is not None and name in self._stale:
+            self._stale.discard(name)
+            self._relations[name] = self._gmr_from_counts(name)
         return self._relations[name]
+
+    def _gmr_from_counts(self, name: str) -> GMR:
+        """Rebuild one relation's gmr from its integer row counts."""
+        columns = self._columns[name]
+        ring = self.ring
+        data = {
+            Record.from_values(columns, values): ring.from_int(count)
+            for values, count in self._counts[name].items()
+            if count > 0
+        }
+        return GMR(data, ring=ring)
+
+    def counts(self, name: str) -> Dict[Tuple[Any, ...], int]:
+        """The integer row counts of one relation (semiring databases only).
+
+        Proper semirings cannot recover counts from multiplicities
+        (``from_int`` is not injective — every positive count maps to the
+        same idempotent value), so the database tracks them alongside the
+        gmrs; this is what support-structure rebuilds and counter-map
+        bootstraps read.
+        """
+        self.columns(name)
+        if self._counts is None:
+            raise TypeError(
+                f"row counts are tracked only for proper semirings; "
+                f"{self.ring.name!r} is a ring — read multiplicities off the gmr"
+            )
+        return self._counts[name]
 
     def __getitem__(self, name: str) -> GMR:
         return self.relation(name)
 
     def set_relation(self, name: str, value: GMR) -> None:
-        """Replace the contents of a relation wholesale."""
+        """Replace the contents of a relation wholesale.
+
+        Over a proper semiring the integer row counts cannot be recovered
+        from the multiplicities, so each record is counted as one row —
+        callers that care about multiset counts should :meth:`load` or
+        :meth:`apply` instead.
+        """
         self.columns(name)
         if value.ring != self.ring:
             raise ValueError("relation coefficient structure does not match the database")
         self._relations[name] = value
+        if self._counts is not None:
+            columns = self._columns[name]
+            self._counts[name] = {
+                record.values_for(columns): 1 for record, _value in value.items()
+            }
+            self._stale.discard(name)
 
     def load(self, name: str, tuples: Iterable[Sequence[Any]]) -> None:
         """Bulk-insert tuples (each in declared column order) into a relation."""
         columns = self.columns(name)
+        if self._counts is not None:
+            counts = self._counts[name]
+            for row in tuples:
+                values = tuple(row)
+                if len(values) != len(columns):
+                    raise ValueError(
+                        f"tuple {values!r} does not match the arity of {name!r}"
+                    )
+                counts[values] = counts.get(values, 0) + 1
+            self._stale.add(name)
+            return
         addition = GMR.from_tuples(columns, tuples, ring=self.ring)
         self._relations[name] = self._relations[name] + addition
+
+    def _refresh_all(self) -> None:
+        """Rebuild every count-stale gmr (whole-database read paths)."""
+        if self._counts is not None:
+            for name in tuple(self._stale):
+                self.relation(name)
 
     def size(self, name: Optional[str] = None) -> int:
         """Number of distinct records in one relation, or in the whole database."""
         if name is not None:
             return len(self.relation(name))
+        self._refresh_all()
         return sum(len(gmr) for gmr in self._relations.values())
 
     def active_domain(self) -> frozenset:
         """All data values appearing anywhere in the database."""
+        self._refresh_all()
         values = set()
         for gmr in self._relations.values():
             values.update(gmr.active_domain())
         return frozenset(values)
 
     def is_empty(self) -> bool:
+        self._refresh_all()
         return all(gmr.is_zero() for gmr in self._relations.values())
 
     # -- updates -----------------------------------------------------------------------
@@ -286,7 +359,23 @@ class Database:
         )
 
     def apply(self, update: Update) -> None:
-        """Apply a single-tuple update in place: ``R += ±{t}``."""
+        """Apply a single-tuple update in place: ``R += ±{t}``.
+
+        Over a proper semiring the update adjusts the relation's integer row
+        counts (deletions have no foldable ``from_int(-1)`` image); the gmr
+        is rebuilt lazily on the next read.
+        """
+        if self._counts is not None:
+            self.record_for(update)  # arity validation
+            counts = self._counts[update.relation]
+            values = update.values
+            count = counts.get(values, 0) + update.sign * update.count
+            if count <= 0:
+                counts.pop(values, None)
+            else:
+                counts[values] = count
+            self._stale.add(update.relation)
+            return
         self._relations[update.relation] = self.relation(update.relation) + self.delta_gmr(update)
 
     def apply_all(self, updates: Iterable[Update]) -> None:
@@ -304,6 +393,9 @@ class Database:
         clone = Database(ring=self.ring)
         clone._columns = dict(self._columns)
         clone._relations = dict(self._relations)
+        if self._counts is not None:
+            clone._counts = {name: dict(counts) for name, counts in self._counts.items()}
+            clone._stale = set(self._stale)
         return clone
 
     # -- dunder -----------------------------------------------------------------------
@@ -313,9 +405,12 @@ class Database:
             return NotImplemented
         if self.ring != other.ring or self._columns != other._columns:
             return False
+        self._refresh_all()
+        other._refresh_all()
         return self._relations == other._relations
 
     def __iter__(self) -> Iterator[Tuple[str, GMR]]:
+        self._refresh_all()
         return iter(self._relations.items())
 
     def __repr__(self) -> str:

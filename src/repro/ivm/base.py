@@ -84,11 +84,21 @@ class IVMEngine(ABC):
         self._change_callbacks.remove(callback)
 
     def _dispatch_changes(self) -> None:
-        """Filter zero deltas out of the pending changes and notify subscribers."""
+        """Filter zero deltas out of the pending changes and notify subscribers.
+
+        Over a proper semiring the payload carries *post-update values* (no
+        additive inverse means no deltas) and ``ring.zero`` is the removal
+        marker for a group that vanished — so nothing is filtered there.
+        """
         pending, self._pending_changes = self._pending_changes, None
         if not pending:
             return
-        changes = {key: value for key, value in pending.items() if not self.ring.is_zero(value)}
+        if self.ring.is_ring:
+            changes = {
+                key: value for key, value in pending.items() if not self.ring.is_zero(value)
+            }
+        else:
+            changes = pending
         if not changes:
             return
         for callback in self._change_callbacks:
@@ -214,19 +224,23 @@ class IVMEngine(ABC):
         return f"<{type(self).__name__} for {self.query}>"
 
 
-def result_as_mapping(result: Any) -> Dict[Tuple[Any, ...], Any]:
+def result_as_mapping(result: Any, ring: Optional[Any] = None) -> Dict[Tuple[Any, ...], Any]:
     """Normalize an engine result to a ``{key tuple: value}`` mapping.
 
     Scalars become ``{(): value}`` (dropping a zero scalar, to match the
-    convention that absent keys mean zero).
+    convention that absent keys mean zero).  Pass the coefficient structure
+    as ``ring`` when it is not integer-like: min-plus' zero is ``inf`` while
+    ``0.0`` is its multiplicative identity, so the default ``!= 0`` filter
+    would keep the wrong elements.
     """
+    is_zero = ring.is_zero if ring is not None else (lambda value: value == 0)
     if isinstance(result, dict):
-        return {key: value for key, value in result.items() if value != 0}
-    if result == 0:
+        return {key: value for key, value in result.items() if not is_zero(value)}
+    if is_zero(result):
         return {}
     return {(): result}
 
 
-def results_agree(left: Any, right: Any) -> bool:
+def results_agree(left: Any, right: Any, ring: Optional[Any] = None) -> bool:
     """True when two engine results denote the same mapping."""
-    return result_as_mapping(left) == result_as_mapping(right)
+    return result_as_mapping(left, ring) == result_as_mapping(right, ring)

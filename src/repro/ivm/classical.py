@@ -38,15 +38,22 @@ class ClassicalIVM(IVMEngine):
         self.db = Database(schema=self.schema, ring=ring)
         self._materialized: Dict[Tuple[Any, ...], Any] = {}
         # Pre-derive the symbolic delta query per (relation, sign) once; at
-        # update time only the update values are bound into it.
+        # update time only the update values are bound into it.  Deletion
+        # deltas negate, so a proper semiring cannot take this route at all:
+        # the engine degrades to recompute-and-diff per update — per-update
+        # cost grows with |D| (documented, and exactly the degradation the
+        # recursive engine's maintenance strategies avoid), but it stays a
+        # valid cross-validation oracle.
         self._delta_queries: Dict[Tuple[str, int], Tuple[Expr, Tuple[str, ...]]] = {}
-        for relation, columns in self.schema.items():
-            for sign in (1, -1):
-                event = UpdateEvent.symbolic(sign, relation, len(columns))
-                raw = delta(self.query, event)
-                keep = set(self.query.group_vars) | set(event.argument_names) | all_variables(self.query)
-                simplified = simplify(raw, bound_vars=event.argument_names, needed_vars=keep)
-                self._delta_queries[(relation, sign)] = (simplified, event.argument_names)
+        self._recompute_fallback = not ring.is_ring
+        if not self._recompute_fallback:
+            for relation, columns in self.schema.items():
+                for sign in (1, -1):
+                    event = UpdateEvent.symbolic(sign, relation, len(columns))
+                    raw = delta(self.query, event)
+                    keep = set(self.query.group_vars) | set(event.argument_names) | all_variables(self.query)
+                    simplified = simplify(raw, bound_vars=event.argument_names, needed_vars=keep)
+                    self._delta_queries[(relation, sign)] = (simplified, event.argument_names)
 
     def bootstrap(self, db: Database) -> None:
         """Adopt an existing database and materialize the current result."""
@@ -66,6 +73,13 @@ class ClassicalIVM(IVMEngine):
     # -- engine interface ---------------------------------------------------------------
 
     def _apply(self, update: Update) -> None:
+        if self._recompute_fallback:
+            self.db.apply(update)
+            previous = self._materialized
+            self._materialized = self._evaluate_full()
+            if self._pending_changes is not None:
+                self._diff_into_pending(previous, self._materialized)
+            return
         delta_query, argument_names = self._delta_queries[(update.relation, update.sign)]
         from repro.gmr.records import Record
 
@@ -88,6 +102,26 @@ class ClassicalIVM(IVMEngine):
                 self._materialized[key] = new_value
         # The base relations must stay current for the next delta evaluation.
         self.db.apply(update)
+
+    def _apply_batch(self, updates) -> None:
+        """In recompute-fallback mode the whole batch lands before one diff."""
+        if not self._recompute_fallback:
+            super()._apply_batch(updates)
+            return
+        for update in updates:
+            self.db.apply(update)
+        previous = self._materialized
+        self._materialized = self._evaluate_full()
+        if self._pending_changes is not None:
+            self._diff_into_pending(previous, self._materialized)
+
+    def _diff_into_pending(self, previous, current) -> None:
+        """Semiring change capture: post-update value per changed group,
+        ``ring.zero`` marking a removed one (the compiled executors' contract)."""
+        zero = self.ring.zero
+        for key in previous.keys() | current.keys():
+            if previous.get(key, zero) != current.get(key, zero):
+                self._pending_changes[key] = current.get(key, zero)
 
     @staticmethod
     def _group_value(name: str, record, bindings):

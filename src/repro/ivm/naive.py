@@ -41,20 +41,6 @@ class NaiveReevaluation(IVMEngine):
         self._result = dict(result)
         self._pending_changes = None
 
-    def on_change(self, callback):
-        """Subscribe to result deltas (requires a coefficient *ring*).
-
-        This engine captures changes by diffing the recomputed result against
-        the previous one, which needs subtraction; refusing the subscription
-        up front beats a ``TypeError`` halfway through a later update.
-        """
-        if not self.ring.is_ring:
-            raise TypeError(
-                f"change capture on the naive engine diffs results with subtraction, "
-                f"but {self.ring.name!r} is a proper semiring without additive inverses"
-            )
-        return super().on_change(callback)
-
     def _apply(self, update: Update) -> None:
         self.db.apply(update)
         previous = self._result
@@ -72,14 +58,23 @@ class NaiveReevaluation(IVMEngine):
             self._diff_into_pending(previous, self._result)
 
     def _diff_into_pending(self, previous, current) -> None:
-        """Change capture by diffing: the engine recomputes anyway, so the delta
-        is ``current - previous`` over the union of keys (requires a ring)."""
+        """Change capture by diffing: the engine recomputes anyway.
+
+        Over a ring the payload is the delta ``current - previous``; over a
+        proper semiring (no subtraction) it is the post-update value of each
+        changed group, with ``ring.zero`` marking a removed group — the same
+        contract the compiled executors follow.
+        """
         zero = self.ring.zero
+        delta_mode = self.ring.is_ring
         for key in previous.keys() | current.keys():
             before = previous.get(key, zero)
             after = current.get(key, zero)
             if before != after:
-                self._record_change(key, self.ring.sub(after, before))
+                if delta_mode:
+                    self._record_change(key, self.ring.sub(after, before))
+                else:
+                    self._pending_changes[key] = after
 
     def result(self) -> Any:
         if not self.query.group_vars:

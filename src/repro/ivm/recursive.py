@@ -55,8 +55,12 @@ class RecursiveIVM(IVMEngine):
         # commutative coefficient structures, so it defaults off for others.
         if normalize is None:
             normalize = ring.commutative
+        # Passing the ring attaches a maintenance plan for proper semirings
+        # (counter maps, tracked recomputes, support structures); rings with
+        # additive inverses compile exactly as before.
         self.program: TriggerProgram = compile_query(
-            self.query, self.schema, name=map_name, verify=verify, normalize=normalize
+            self.query, self.schema, name=map_name, verify=verify, normalize=normalize,
+            ring=ring,
         )
         # shards > 1 hash-partitions the map tables so batch folds run per
         # shard (repro.compiler.sharding); the default (None -> REPRO_SHARDS
@@ -75,8 +79,11 @@ class RecursiveIVM(IVMEngine):
         if backend == "generated":
             # The generated module's arithmetic is specialized to the ring
             # (native +/*/0 for the built-in integer and float structures,
-            # ring.add/ring.mul/ring.zero otherwise); proper semirings raise
-            # CompilationError here rather than silently computing integers.
+            # ring.add/ring.mul/ring.zero otherwise); proper semirings
+            # compile through their maintenance plan.  The module handles
+            # counter maps and recomputes itself; support sidecars are fed
+            # at this engine layer after each apply (the runtime owns the
+            # tier and the maps both backends share).
             self._generated = generate_python(self.program, ring=ring, specialize=specialize)
 
     # -- initialization from an existing database --------------------------------------
@@ -84,6 +91,8 @@ class RecursiveIVM(IVMEngine):
     def bootstrap(self, db: Database) -> None:
         """Compute initial values of every map from an already-populated database."""
         self.runtime.bootstrap(db)
+        if self._generated is not None:
+            self._generated.reset_compensation()
 
     def state_backup(self):
         """Plain-dict copies of every map table (sharded tables are merged)."""
@@ -91,6 +100,8 @@ class RecursiveIVM(IVMEngine):
 
     def state_restore(self, backup) -> None:
         self.runtime.restore_tables(backup)
+        if self._generated is not None:
+            self._generated.reset_compensation()
         self._pending_changes = None
 
     def close(self) -> None:
@@ -113,14 +124,16 @@ class RecursiveIVM(IVMEngine):
 
     def _apply(self, update: Update) -> None:
         if self._generated is not None:
+            changes = self._change_hook()
             self._generated.apply(
                 self.runtime.maps,
                 update.relation,
                 update.sign,
                 update.values,
                 indexes=self.runtime.indexes,
-                changes=self._change_hook(),
+                changes=changes,
             )
+            self.runtime.feed_supports((update,), changes)
             self._absorb_generated_statistics(1)
         else:
             self.runtime.apply(update, changes=self._change_hook())
@@ -134,10 +147,14 @@ class RecursiveIVM(IVMEngine):
         number of distinct keys touched, not the number of tuples.
         """
         if self._generated is not None:
+            changes = self._change_hook()
+            if self.runtime.has_supports and type(updates) is not list:
+                updates = list(updates)
             count = self._generated.apply_batch(
                 self.runtime.maps, updates, indexes=self.runtime.indexes,
-                changes=self._change_hook(),
+                changes=changes,
             )
+            self.runtime.feed_supports(updates, changes)
             if count is None:
                 count = sum([update.count for update in updates])
             self._absorb_generated_statistics(count)
@@ -157,10 +174,14 @@ class RecursiveIVM(IVMEngine):
 
     def _replay_batch(self, updates) -> None:
         if self._generated is not None:
+            changes = self._change_hook()
+            if self.runtime.has_supports and type(updates) is not list:
+                updates = list(updates)
             self._generated.apply_batch_replay(
                 self.runtime.maps, updates, indexes=self.runtime.indexes,
-                changes=self._change_hook(),
+                changes=changes,
             )
+            self.runtime.feed_supports(updates, changes)
             self._absorb_generated_statistics(sum(update.count for update in updates))
         else:
             self.runtime.apply_batch_replay(updates, changes=self._change_hook())

@@ -35,6 +35,7 @@ from repro.compiler.verify import mark_serial_folds
 from repro.compiler.triggers import (
     BatchStatement,
     BatchTrigger,
+    MaintenancePlan,
     RecomputeStatement,
     Statement,
     Trigger,
@@ -104,6 +105,9 @@ class MapCatalog:
         self._recomputes: Dict[Tuple[str, int], List[RecomputeStatement]] = {}
         #: View name -> the shared map holding its result.
         self.result_maps: Dict[str, str] = {}
+        #: Merged semiring maintenance contract of all absorbed views
+        #: (``None`` until a plan-carrying program is absorbed).
+        self.maintenance: "MaintenancePlan | None" = None
         #: How many map definitions were answered by an existing shared map.
         self.maps_deduplicated = 0
         #: How many trigger statements were dropped because their target map
@@ -131,6 +135,9 @@ class MapCatalog:
             self.statements_deduplicated,
             {event: list(statements) for event, statements in self._recomputes.items()},
             {event: list(statements) for event, statements in self._batch_statements.items()},
+            # renamed({}) deep-copies the plan's dicts, so a later merge into
+            # the live plan cannot leak into the checkpoint.
+            self.maintenance.renamed({}) if self.maintenance is not None else None,
         )
 
     def rollback(self, state) -> None:
@@ -154,6 +161,7 @@ class MapCatalog:
             {event: list(statements) for event, statements in state[6].items()},
             {event: list(statements) for event, statements in state[7].items()},
         )
+        self.maintenance = state[8]
 
     # -- registration ---------------------------------------------------------
 
@@ -271,6 +279,17 @@ class MapCatalog:
                     )
                 )
 
+        if program.maintenance is not None:
+            # The plan travels under the same renaming as the maps: a
+            # deduplicated counter/support map keeps the strategy of the view
+            # that first materialized it (identical definitions compile to
+            # identical strategies, so merge order cannot disagree).
+            renamed_plan = program.maintenance.renamed(renaming)
+            if self.maintenance is None:
+                self.maintenance = renamed_plan
+            else:
+                self.maintenance.merge(renamed_plan)
+
         result_map = renaming[program.result_map]
         self.result_maps[view_name] = result_map
         return result_map, tuple(new_names)
@@ -324,6 +343,7 @@ class MapCatalog:
             triggers=triggers,
             schema=dict(self.schema),
             batch_triggers=batch_triggers,
+            maintenance=self.maintenance.renamed({}) if self.maintenance is not None else None,
         )
         # Merging statement lists across views can create write-read pairs no
         # single view had, so the shard-race analysis re-runs on the union.

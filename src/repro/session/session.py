@@ -30,7 +30,7 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.algebra.semirings import BUILTIN_SEMIRINGS, INTEGER_RING, Semiring
+from repro.algebra.semirings import INTEGER_RING, Semiring, resolve_semiring
 from repro.compiler.codegen import GeneratedTriggers, generate_python
 from repro.compiler.compile import compile_query
 from repro.compiler.cost import RuntimeStatistics
@@ -58,7 +58,7 @@ from repro.session.views import (
     COMPILED_BACKENDS,
     MaterializedView,
 )
-from repro.sql.frontend import is_sql, sql_to_agca
+from repro.sql.frontend import is_sql, parse_sql, required_ring_name, translate
 
 #: Snapshot format tag; bump when the layout changes.  Version 2 adds the
 #: shard count and per-update net multiplicities in the history log;
@@ -128,8 +128,12 @@ class _CompiledGroup:
         catalog and the runtime are restored to their pre-registration state
         and the view name stays available.
         """
+        # Passing the ring attaches the semiring maintenance plan (counter
+        # maps, tracked recomputes, support structures) that both compiled
+        # executors dispatch on; rings with inverses compile exactly as before.
         program = compile_query(
-            query, self.catalog.schema, name=view_name, normalize=self.ring.commutative
+            query, self.catalog.schema, name=view_name, normalize=self.ring.commutative,
+            ring=self.ring,
         )
         state = self.catalog.checkpoint()
         previous_runtime, previous_generated = self.runtime, self.generated
@@ -160,6 +164,9 @@ class _CompiledGroup:
             runtime.bootstrap(bootstrap_source(), names=new_maps)
         else:
             runtime.indexes.rebuild(runtime.maps)
+            # A rebuild replaces the runtime object (and with it the support
+            # tier); re-derive the sidecars from the carried-over counters.
+            runtime.rebuild_supports()
         self.runtime = runtime
         self.generated = (
             generate_python(combined, ring=self.ring) if self.backend == "generated" else None
@@ -183,6 +190,10 @@ class _CompiledGroup:
                 indexes=self.runtime.indexes,
                 changes=changes,
             )
+            # Support sidecars (semiring top-k/min/max) are fed at this layer
+            # — the generated module owns the triggers, the runtime owns the
+            # tier; must run post-trigger so rebuilds see updated counters.
+            self.runtime.feed_supports((update,), changes)
             self._absorb_generated_statistics(1)
         else:
             self.runtime.apply(update, changes=changes)
@@ -192,6 +203,7 @@ class _CompiledGroup:
             count = self.generated.apply_batch(
                 self.runtime.maps, updates, indexes=self.runtime.indexes, changes=changes
             )
+            self.runtime.feed_supports(updates, changes)
             if count is None:
                 count = sum([update.count for update in updates])
             self._absorb_generated_statistics(count)
@@ -371,7 +383,23 @@ class Session:
 
     def _as_query(self, query, group_vars: Optional[Sequence[str]]) -> AggSum:
         if isinstance(query, str):
-            expr = sql_to_agca(query, self.schema) if is_sql(query) else parse(query)
+            if is_sql(query):
+                parsed = parse_sql(query)
+                # Lattice aggregates (MIN/MAX/TOPK) carry their semantics in
+                # the coefficient structure, so the session must have been
+                # created over the matching one — catching the mismatch here
+                # names the fix instead of serving silently wrong sums.
+                required = required_ring_name(parsed)
+                if required is not None and self.ring.name != required:
+                    raise ValueError(
+                        f"aggregate {parsed.aggregate!r} requires the {required!r} "
+                        f"coefficient structure, but this session uses "
+                        f"{self.ring.name!r}; create the session with "
+                        f"ring=resolve_semiring({required!r})"
+                    )
+                expr = translate(parsed, self.schema)
+            else:
+                expr = parse(query)
         elif isinstance(query, Expr):
             expr = query
         else:
@@ -604,13 +632,23 @@ class Session:
         self.statistics.seconds_in_updates += time.perf_counter() - started
 
     def _dispatch(self, notifications) -> None:
-        """Deliver collected per-map deltas to the subscribed views' callbacks."""
+        """Deliver collected per-map deltas to the subscribed views' callbacks.
+
+        Over a proper semiring the payload carries post-update values and
+        ``ring.zero`` marks a removed group — those entries must be delivered,
+        not filtered (there are no deltas without additive inverses).
+        """
         ring = self.ring
         for group, changes in notifications:
             for map_name, accumulated in changes.items():
-                filtered = {
-                    key: value for key, value in accumulated.items() if not ring.is_zero(value)
-                }
+                if ring.is_ring:
+                    filtered = {
+                        key: value
+                        for key, value in accumulated.items()
+                        if not ring.is_zero(value)
+                    }
+                else:
+                    filtered = accumulated
                 if not filtered:
                     continue
                 for view in group.watched.get(map_name, ()):
@@ -747,12 +785,15 @@ class Session:
         if snapshot.get("format") not in _ACCEPTED_SNAPSHOT_FORMATS:
             raise ValueError(f"unsupported session snapshot format: {snapshot.get('format')!r}")
         if ring is None:
-            ring = BUILTIN_SEMIRINGS.get(snapshot["ring"])
-            if ring is None:
+            try:
+                # resolve_semiring also reconstructs parameterized structures
+                # the builtin table cannot enumerate ("top3", "top4-min", …).
+                ring = resolve_semiring(snapshot["ring"])
+            except KeyError:
                 raise ValueError(
                     f"snapshot uses non-built-in ring {snapshot['ring']!r}; "
                     f"pass the ring instance explicitly"
-                )
+                ) from None
         if shards is None:
             shards = snapshot.get("shards", 1)
         if shard_backend is None:
@@ -775,6 +816,8 @@ class Session:
                     {tuple(key): value for key, value in entries}
                 )
             group.runtime.indexes.rebuild(group.runtime.maps)
+            # Support sidecars are a function of the restored counter maps.
+            group.runtime.rebuild_supports()
         for view_name, relations in snapshot["engine_databases"].items():
             engine = session._views[view_name]._engine
             db = Database(schema=schema, ring=ring)

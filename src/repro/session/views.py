@@ -62,8 +62,13 @@ class MaterializedView:
         return dict(table)
 
     def result_mapping(self) -> Dict[Tuple[Any, ...], Any]:
-        """The result as a ``{group-key tuple: value}`` mapping (scalars become ``{(): v}``)."""
-        return result_as_mapping(self.result())
+        """The result as a ``{group-key tuple: value}`` mapping (scalars become ``{(): v}``).
+
+        Zero-filtering is ring-aware: min-plus keeps its legitimate ``0.0``
+        values and drops its ``inf`` zero, which the default integer
+        convention would get exactly backwards.
+        """
+        return result_as_mapping(self.result(), self._session.ring)
 
     # -- statistics --------------------------------------------------------------
 
@@ -102,8 +107,11 @@ class MaterializedView:
         a mapping from group-key tuples to non-zero ring deltas (the empty
         tuple keys ungrouped results).  Replaying the deltas over an earlier
         :meth:`result_mapping` (ring-adding values, dropping keys that reach
-        zero) reconstructs the current result exactly.  Returns the callback,
-        so the method can be used as a decorator.
+        zero) reconstructs the current result exactly.  Over a proper
+        semiring the payload instead carries the *post-update value* of each
+        changed group, with ``ring.zero`` marking a removed group — replaying
+        means overwriting (or dropping) the key.  Returns the callback, so
+        the method can be used as a decorator.
         """
         if self._engine is not None:
             return self._engine.on_change(callback)

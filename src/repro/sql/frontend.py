@@ -2,8 +2,8 @@
 
 The supported shape is the one the paper translates:
 
-    SELECT g1, ..., gm, SUM(t)            -- or COUNT(*)
-    FROM   R1 a1, R2 a2, ...
+    SELECT g1, ..., gm, SUM(t)            -- or COUNT(*), MIN(t), MAX(t),
+    FROM   R1 a1, R2 a2, ...              --    TOPK(k, t)
     WHERE  c1 AND c2 AND ...
     GROUP BY g1, ..., gm
     HAVING  h1 AND h2 AND ...
@@ -11,6 +11,12 @@ The supported shape is the one the paper translates:
 which becomes
 
     AggSum((g1, ..., gm),  R1(~x1) * R2(~x2) * ... * c1 * c2 * ... * h1 * ... * t)
+
+MIN/MAX/TOPK translate to the *same* product — the aggregation semantics
+live in the coefficient structure (min-plus, max-plus, the k-best tropical
+semiring), not in the expression.  :func:`required_ring_name` reports which
+structure a query needs; sessions validate their ring against it at view
+registration.
 
 Column references may be qualified (``a1.col``) or unqualified when
 unambiguous; conditions are comparisons between column references, constants,
@@ -43,7 +49,15 @@ from repro.core.variables import all_variables
 _COMPARISON_OPERATORS = ("!=", "<=", ">=", "=", "<", ">")
 _NUMBER_PATTERN = re.compile(r"^-?\d+(\.\d+)?$")
 _SQL_PATTERN = re.compile(r"^\s*select\b", re.IGNORECASE)
-_AGGREGATE_PATTERN = re.compile(r"^(sum|count)\s*\((.*)\)$", re.IGNORECASE | re.DOTALL)
+_AGGREGATE_PATTERN = re.compile(
+    r"^(sum|count|min|max|topk)\s*\((.*)\)$", re.IGNORECASE | re.DOTALL
+)
+#: Lattice aggregates translate to the same AGCA product as SUM — the
+#: *coefficient structure* carries the aggregation semantics.  This table
+#: names the structure each aggregate kind needs (resolve it with
+#: :func:`repro.algebra.semirings.resolve_semiring`); SUM/COUNT run over any
+#: ring and map to ``None``.
+_AGGREGATE_RING_NAMES = {"min": "min-plus", "max": "max-plus"}
 
 
 def _scan_top_level(text: str):
@@ -91,6 +105,18 @@ def _split_last_top_level(text: str, operators: str) -> Optional[Tuple[int, str]
 
 def _top_level_positions(text: str) -> Dict[int, str]:
     return dict(_scan_top_level(text))
+
+
+def _split_top_level_commas(text: str) -> List[str]:
+    """Split at commas outside parentheses (``TOPK(3, x)`` stays one item)."""
+    pieces: List[str] = []
+    start = 0
+    for index, character in _scan_top_level(text):
+        if character == ",":
+            pieces.append(text[start:index])
+            start = index + 1
+    pieces.append(text[start:])
+    return pieces
 
 
 def _split_comparison(text: str) -> Tuple[str, str, str]:
@@ -200,18 +226,23 @@ def parse_sql(text: str) -> SQLQuery:
     if match is None:
         raise ParseError(f"unsupported SQL shape: {text!r}")
 
-    select_items = [item.strip() for item in match.group("select").split(",")]
+    # TOPK(k, expr) carries a top-level comma, so the SELECT list is split
+    # only at commas outside parentheses.
+    select_items = [item.strip() for item in _split_top_level_commas(match.group("select"))]
     aggregate = None
     select_groups: List[str] = []
     for item in select_items:
-        if re.match(r"^(sum|count)\s*\(", item, re.IGNORECASE):
+        if re.match(r"^(sum|count|min|max|topk)\s*\(", item, re.IGNORECASE):
             if aggregate is not None:
                 raise ParseError("only one aggregate per query is supported")
             aggregate = item
         else:
             select_groups.append(item)
     if aggregate is None:
-        raise ParseError("the SELECT clause must contain a SUM(...) or COUNT(*) aggregate")
+        raise ParseError(
+            "the SELECT clause must contain a SUM(...), COUNT(*), MIN(...), "
+            "MAX(...) or TOPK(k, ...) aggregate"
+        )
 
     tables: List[Tuple[str, str]] = []
     for entry in match.group("from").split(","):
@@ -387,6 +418,8 @@ class _Translator:
             if argument not in ("*", "1"):
                 raise ParseError("only COUNT(*) is supported")
             return None
+        if kind == "topk":
+            _, argument = _split_topk_argument(argument)
         if argument in ("1", "*"):
             return None
         return self.resolve(argument)
@@ -435,6 +468,39 @@ class _Translator:
             if name not in group_vars
         }
         return rename_variables(aggregate, renaming)
+
+
+def _split_topk_argument(argument: str) -> Tuple[int, str]:
+    """Split ``TOPK``'s argument into ``(k, value expression)``."""
+    pieces = _split_top_level_commas(argument)
+    if len(pieces) != 2:
+        raise ParseError(f"TOPK takes exactly (k, expression), got: {argument!r}")
+    count = pieces[0].strip()
+    if not count.isdigit() or int(count) < 1:
+        raise ParseError(f"TOPK's first argument must be a positive integer, got: {count!r}")
+    return int(count), pieces[1].strip()
+
+
+def required_ring_name(query: "SQLQuery | str") -> Optional[str]:
+    """The coefficient structure a query's aggregate requires, by name.
+
+    ``None`` means the aggregate (SUM/COUNT) runs over any ring.  MIN/MAX
+    return ``"min-plus"`` / ``"max-plus"`` and ``TOPK(k, ...)`` returns
+    ``"top{k}"`` — all resolvable through
+    :func:`repro.algebra.semirings.resolve_semiring`.
+    :meth:`repro.session.Session.view` validates the session's ring against
+    this before compiling.
+    """
+    if isinstance(query, str):
+        query = parse_sql(query)
+    match = _AGGREGATE_PATTERN.match(query.aggregate.strip())
+    if match is None:
+        raise ParseError(f"unsupported aggregate: {query.aggregate!r}")
+    kind, argument = match.group(1).lower(), match.group(2).strip()
+    if kind == "topk":
+        count, _ = _split_topk_argument(argument)
+        return f"top{count}"
+    return _AGGREGATE_RING_NAMES.get(kind)
 
 
 def sql_to_agca(text: str, schema: Mapping[str, Sequence[str]]) -> AggSum:

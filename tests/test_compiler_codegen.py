@@ -185,10 +185,27 @@ def test_recursive_engine_generated_backend_uses_ring():
     assert generated.result() == expected
 
 
-def test_recursive_engine_generated_backend_rejects_semiring():
-    from repro.algebra.semirings import BOOLEAN_SEMIRING
+def test_recursive_engine_generated_backend_maintains_semirings():
+    """Semirings flow through the generated backend: ring-compiling attaches
+    the maintenance plan, which lowers deletions to integer counter updates
+    plus tracked recomputes instead of (nonexistent) negated folds."""
+    from repro.algebra.semirings import BOOLEAN_SEMIRING, MIN_PLUS
     from repro.ivm.recursive import RecursiveIVM
 
+    schema = {"R": ("A",)}
+    query = parse("Sum(R(x) * x)")
+    interpreted = RecursiveIVM(query, schema, ring=MIN_PLUS, backend="interpreted")
+    generated = RecursiveIVM(query, schema, ring=MIN_PLUS, backend="generated")
+    generator = StreamGenerator(schema, seed=7)
+    for update in generator.generate(150):
+        interpreted.apply(update)
+        generated.apply(update)
+    live = [value for (value,) in generator.live_tuples("R")]
+    expected = min(live) if live else MIN_PLUS.zero
+    assert interpreted.result() == expected
+    assert generated.result() == expected
+    # A bare relation count is still rejected: there is no ring-valued fold
+    # to maintain (the base-copy registry would alias the result map itself).
     with pytest.raises(CompilationError):
         RecursiveIVM(parse("Sum(R(x))"), UNARY_SCHEMA, ring=BOOLEAN_SEMIRING, backend="generated")
 

@@ -12,7 +12,13 @@ EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 EXPECTED_SNIPPETS = {
     "quickstart.py": ["Q on {c, c, d}", "recursive (paper)", "Compiled view hierarchy"],
     "polynomial_memoization.py": ["Figure 1", "Random walk", "additions performed"],
-    "social_analytics.py": ["Second delta", "customers remain", "Per-update time"],
+    "social_analytics.py": [
+        "Second delta",
+        "customers remain",
+        "Per-update time",
+        "Top-3 posts per community",
+        "the panel re-ranks",
+    ],
     "sales_dashboard.py": ["Revenue per nation", "Busiest customers", "compiled revenue program"],
     "streaming_ingest.py": [
         "revenue per region",

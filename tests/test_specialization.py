@@ -235,3 +235,65 @@ def test_specialize_env_knob(monkeypatch):
     monkeypatch.setenv("REPRO_SPECIALIZE", "1")
     engine = RecursiveIVM(parse("Sum(R(x))"), {"R": ("A",)}, backend="generated")
     assert engine._generated.specializations
+
+
+# ---------------------------------------------------------------------------
+# Kahan-compensated fused float totals (PR 10)
+# ---------------------------------------------------------------------------
+
+
+def test_float_all_total_programs_fuse_with_kahan_compensation():
+    """The float field no longer keeps the generic path just to pin
+    accumulation order: an all-total program fuses, with a per-target Kahan
+    compensation term making the fused sum *more* accurate, not less."""
+    engine = RecursiveIVM(
+        parse("Sum(R(x))"), {"R": ("A",)},
+        ring=FLOAT_FIELD, backend="generated", specialize=True,
+    )
+    assert "_KC" in engine.generated_source()
+    assert engine._generated.specializations
+
+
+def test_kahan_fused_totals_accuracy_no_worse_than_fsum():
+    """A float total sitting at 1e16 absorbs 1000 single-tuple batches: plain
+    ``+=`` drops every increment (the ulp at 1e16 is 2.0), ``math.fsum`` over
+    the same contributions keeps them all — the Kahan path must match fsum."""
+    import math
+
+    from repro.compiler.codegen import generate_python
+    from repro.compiler.compile import compile_query
+    from repro.gmr.database import insert
+
+    program = compile_query(parse("Sum(R(x))"), {"R": ("A",)}, name="q")
+    kahan = generate_python(program, ring=FLOAT_FIELD, specialize=True)
+    generic = generate_python(program, ring=FLOAT_FIELD, specialize=False)
+    contributions = [1e16] + [1.0] * 1000
+    exact = math.fsum(contributions)
+    results = {}
+    for label, generated in (("kahan", kahan), ("generic", generic)):
+        maps = {name: {} for name in program.maps}
+        maps["q"][()] = 1e16
+        for step in range(1000):
+            generated.apply_batch(maps, [insert("R", step)])
+        results[label] = maps["q"][()]
+    assert results["generic"] == 1e16  # the baseline really does lose the tail
+    assert abs(results["kahan"] - exact) <= abs(results["generic"] - exact)
+    assert results["kahan"] == exact
+
+
+def test_kahan_compensation_resets_with_the_tables():
+    """``reset_compensation`` clears the carried low-order bits, so a restore
+    to wholly different tables does not replay a stale compensation term."""
+    from repro.compiler.codegen import generate_python
+    from repro.compiler.compile import compile_query
+    from repro.gmr.database import insert
+
+    program = compile_query(parse("Sum(R(x))"), {"R": ("A",)}, name="q")
+    generated = generate_python(program, ring=FLOAT_FIELD, specialize=True)
+    maps = {name: {} for name in program.maps}
+    maps["q"][()] = 1e16
+    generated.apply_batch(maps, [insert("R", 0)])
+    generated.reset_compensation()
+    fresh = {name: {} for name in program.maps}
+    generated.apply_batch(fresh, [insert("R", 1), insert("R", 2)])
+    assert fresh["q"][()] == 2.0
